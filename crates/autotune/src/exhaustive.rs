@@ -1,0 +1,68 @@
+//! Exhaustive search.
+
+use dsearch_core::Configuration;
+
+use crate::space::ConfigSpace;
+use crate::tuner::{Evaluation, Tuner, TuningResult};
+
+/// Evaluates every configuration in the space.
+///
+/// This is what the paper's measurement campaign amounted to: every
+/// combination of thread counts, five repetitions each.  It is the reference
+/// the cheaper strategies are validated against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveTuner;
+
+impl ExhaustiveTuner {
+    /// Creates an exhaustive tuner.
+    #[must_use]
+    pub fn new() -> Self {
+        ExhaustiveTuner
+    }
+}
+
+impl Tuner for ExhaustiveTuner {
+    fn tune<F>(&self, space: &ConfigSpace, mut objective: F) -> TuningResult
+    where
+        F: FnMut(&Configuration) -> f64,
+    {
+        let evaluations: Vec<Evaluation> = space
+            .iter()
+            .map(|configuration| Evaluation { cost: objective(&configuration), configuration })
+            .collect();
+        TuningResult::from_evaluations(evaluations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bowl(c: &Configuration) -> f64 {
+        // Minimum at (4, 2, 1).
+        (c.extraction_threads as f64 - 4.0).powi(2)
+            + (c.update_threads as f64 - 2.0).powi(2)
+            + (c.join_threads as f64 - 1.0).powi(2)
+    }
+
+    #[test]
+    fn finds_the_global_minimum() {
+        let space = ConfigSpace::new(1..=8, 0..=4, 0..=2);
+        let result = ExhaustiveTuner::new().tune(&space, bowl);
+        assert_eq!(result.best_configuration, Configuration::new(4, 2, 1));
+        assert_eq!(result.evaluation_count(), space.size());
+        assert!(result.best_cost.abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluates_each_point_exactly_once() {
+        let space = ConfigSpace::new(1..=3, 0..=1, 0..=1);
+        let mut calls = 0usize;
+        let result = ExhaustiveTuner::default().tune(&space, |c| {
+            calls += 1;
+            bowl(c)
+        });
+        assert_eq!(calls, space.size());
+        assert_eq!(result.evaluation_count(), space.size());
+    }
+}

@@ -1,0 +1,103 @@
+//! Random search under a fixed evaluation budget.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dsearch_core::Configuration;
+
+use crate::space::ConfigSpace;
+use crate::tuner::{Evaluation, Tuner, TuningResult};
+
+/// Samples configurations uniformly at random.
+///
+/// Useful as a cheap baseline for the other strategies and for spaces too
+/// large to enumerate (e.g. when the objective is a real measured run).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSearchTuner {
+    budget: usize,
+    seed: u64,
+}
+
+impl RandomSearchTuner {
+    /// Creates a tuner that evaluates at most `budget` configurations.
+    #[must_use]
+    pub fn new(budget: usize, seed: u64) -> Self {
+        RandomSearchTuner { budget: budget.max(1), seed }
+    }
+}
+
+impl Default for RandomSearchTuner {
+    fn default() -> Self {
+        RandomSearchTuner::new(32, 0x5eed)
+    }
+}
+
+impl Tuner for RandomSearchTuner {
+    fn tune<F>(&self, space: &ConfigSpace, mut objective: F) -> TuningResult
+    where
+        F: FnMut(&Configuration) -> f64,
+    {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (ex_min, ex_max) = space.extraction_bounds();
+        let (up_min, up_max) = space.update_bounds();
+        let (jn_min, jn_max) = space.join_bounds();
+        let mut evaluations = Vec::with_capacity(self.budget);
+        let mut seen = std::collections::HashSet::new();
+        while evaluations.len() < self.budget.min(space.size()) {
+            let configuration = Configuration::new(
+                rng.gen_range(ex_min..=ex_max),
+                rng.gen_range(up_min..=up_max),
+                rng.gen_range(jn_min..=jn_max),
+            );
+            if !seen.insert(configuration) {
+                continue;
+            }
+            evaluations.push(Evaluation { cost: objective(&configuration), configuration });
+        }
+        TuningResult::from_evaluations(evaluations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bowl(c: &Configuration) -> f64 {
+        (c.extraction_threads as f64 - 2.0).abs()
+            + (c.update_threads as f64 - 1.0).abs()
+            + c.join_threads as f64
+    }
+
+    #[test]
+    fn respects_the_budget_and_avoids_duplicates() {
+        let space = ConfigSpace::new(1..=10, 0..=5, 0..=2);
+        let mut calls = 0;
+        let result = RandomSearchTuner::new(20, 7).tune(&space, |c| {
+            calls += 1;
+            bowl(c)
+        });
+        assert_eq!(calls, 20);
+        assert_eq!(result.evaluation_count(), 20);
+        let distinct: std::collections::HashSet<String> =
+            result.evaluations.iter().map(|e| e.configuration.to_string()).collect();
+        assert_eq!(distinct.len(), 20);
+    }
+
+    #[test]
+    fn finds_the_optimum_when_budget_covers_the_space() {
+        let space = ConfigSpace::new(1..=4, 0..=2, 0..=1);
+        let result = RandomSearchTuner::new(1_000, 3).tune(&space, bowl);
+        assert_eq!(result.evaluation_count(), space.size());
+        assert_eq!(result.best_configuration, Configuration::new(2, 1, 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = ConfigSpace::new(1..=6, 0..=3, 0..=2);
+        let a = RandomSearchTuner::new(10, 99).tune(&space, bowl);
+        let b = RandomSearchTuner::new(10, 99).tune(&space, bowl);
+        assert_eq!(a, b);
+        let c = RandomSearchTuner::new(10, 100).tune(&space, bowl);
+        assert!(a.evaluations != c.evaluations || a.best_configuration == c.best_configuration);
+    }
+}

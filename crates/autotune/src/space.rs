@@ -1,0 +1,207 @@
+//! The configuration search space.
+
+use std::ops::RangeInclusive;
+
+use serde::{Deserialize, Serialize};
+
+use dsearch_core::Configuration;
+
+/// Inclusive bounds on each component of the `(x, y, z)` tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    min_extraction: usize,
+    max_extraction: usize,
+    min_update: usize,
+    max_update: usize,
+    min_join: usize,
+    max_join: usize,
+}
+
+impl ConfigSpace {
+    /// Creates a space from inclusive ranges for x, y and z.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty or the extraction minimum is zero.
+    #[must_use]
+    pub fn new(
+        extraction: RangeInclusive<usize>,
+        update: RangeInclusive<usize>,
+        join: RangeInclusive<usize>,
+    ) -> Self {
+        assert!(!extraction.is_empty(), "extraction range must be non-empty");
+        assert!(!update.is_empty(), "update range must be non-empty");
+        assert!(!join.is_empty(), "join range must be non-empty");
+        assert!(*extraction.start() >= 1, "at least one extraction thread is required");
+        ConfigSpace {
+            min_extraction: *extraction.start(),
+            max_extraction: *extraction.end(),
+            min_update: *update.start(),
+            max_update: *update.end(),
+            min_join: *join.start(),
+            max_join: *join.end(),
+        }
+    }
+
+    /// A space sized for a machine with `cores` cores, mirroring the region
+    /// the paper explored (extractors up to cores + 2, updaters up to half the
+    /// cores, joiners up to 2).
+    #[must_use]
+    pub fn for_cores(cores: usize) -> Self {
+        let cores = cores.max(1);
+        ConfigSpace::new(1..=cores + 2, 0..=(cores / 2).max(1), 0..=2)
+    }
+
+    /// Number of points in the space.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        (self.max_extraction - self.min_extraction + 1)
+            * (self.max_update - self.min_update + 1)
+            * (self.max_join - self.min_join + 1)
+    }
+
+    /// Returns `true` when `config` lies inside the space.
+    #[must_use]
+    pub fn contains(&self, config: &Configuration) -> bool {
+        (self.min_extraction..=self.max_extraction).contains(&config.extraction_threads)
+            && (self.min_update..=self.max_update).contains(&config.update_threads)
+            && (self.min_join..=self.max_join).contains(&config.join_threads)
+    }
+
+    /// Iterates over every configuration in the space (x-major order).
+    pub fn iter(&self) -> impl Iterator<Item = Configuration> + '_ {
+        let updates = self.min_update..=self.max_update;
+        let joins = self.min_join..=self.max_join;
+        (self.min_extraction..=self.max_extraction).flat_map(move |x| {
+            let joins = joins.clone();
+            updates.clone().flat_map(move |y| {
+                joins.clone().map(move |z| Configuration::new(x, y, z))
+            })
+        })
+    }
+
+    /// Clamps a configuration onto the space boundary.
+    #[must_use]
+    pub fn clamp(&self, config: Configuration) -> Configuration {
+        Configuration::new(
+            config.extraction_threads.clamp(self.min_extraction, self.max_extraction),
+            config.update_threads.clamp(self.min_update, self.max_update),
+            config.join_threads.clamp(self.min_join, self.max_join),
+        )
+    }
+
+    /// The axis-aligned neighbours of a configuration (±1 on each dimension)
+    /// that lie inside the space.
+    #[must_use]
+    pub fn neighbours(&self, config: &Configuration) -> Vec<Configuration> {
+        let mut out = Vec::with_capacity(6);
+        let deltas: [(isize, isize, isize); 6] = [
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ];
+        for (dx, dy, dz) in deltas {
+            let x = config.extraction_threads as isize + dx;
+            let y = config.update_threads as isize + dy;
+            let z = config.join_threads as isize + dz;
+            if x < 0 || y < 0 || z < 0 {
+                continue;
+            }
+            let candidate = Configuration::new(x as usize, y as usize, z as usize);
+            if self.contains(&candidate) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+
+    /// Bounds of the extraction-thread axis.
+    #[must_use]
+    pub fn extraction_bounds(&self) -> (usize, usize) {
+        (self.min_extraction, self.max_extraction)
+    }
+
+    /// Bounds of the update-thread axis.
+    #[must_use]
+    pub fn update_bounds(&self) -> (usize, usize) {
+        (self.min_update, self.max_update)
+    }
+
+    /// Bounds of the join-thread axis.
+    #[must_use]
+    pub fn join_bounds(&self) -> (usize, usize) {
+        (self.min_join, self.max_join)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_iteration_agree() {
+        let space = ConfigSpace::new(1..=4, 0..=3, 0..=2);
+        assert_eq!(space.size(), 4 * 4 * 3);
+        assert_eq!(space.iter().count(), space.size());
+        // Every iterated point is inside the space, and all are distinct.
+        let points: Vec<Configuration> = space.iter().collect();
+        for p in &points {
+            assert!(space.contains(p));
+        }
+        let distinct: std::collections::HashSet<String> =
+            points.iter().map(|p| p.to_string()).collect();
+        assert_eq!(distinct.len(), points.len());
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let space = ConfigSpace::new(1..=4, 0..=2, 0..=1);
+        assert!(space.contains(&Configuration::new(1, 0, 0)));
+        assert!(space.contains(&Configuration::new(4, 2, 1)));
+        assert!(!space.contains(&Configuration::new(5, 0, 0)));
+        assert!(!space.contains(&Configuration::new(4, 3, 0)));
+        assert_eq!(space.clamp(Configuration::new(9, 9, 9)), Configuration::new(4, 2, 1));
+        assert_eq!(space.clamp(Configuration::new(0, 0, 0)), Configuration::new(1, 0, 0));
+    }
+
+    #[test]
+    fn neighbours_stay_inside() {
+        let space = ConfigSpace::new(1..=4, 0..=2, 0..=1);
+        let corner = Configuration::new(1, 0, 0);
+        let n = space.neighbours(&corner);
+        assert_eq!(n.len(), 3); // +x, +y, +z only
+        for c in &n {
+            assert!(space.contains(c));
+        }
+        let middle = Configuration::new(2, 1, 0);
+        assert_eq!(space.neighbours(&middle).len(), 5);
+    }
+
+    #[test]
+    fn for_cores_scales() {
+        let small = ConfigSpace::for_cores(4);
+        let big = ConfigSpace::for_cores(32);
+        assert!(big.size() > small.size());
+        assert_eq!(small.extraction_bounds(), (1, 6));
+        assert_eq!(small.update_bounds(), (0, 2));
+        assert_eq!(small.join_bounds(), (0, 2));
+        // Degenerate core count still produces a valid space.
+        assert!(ConfigSpace::for_cores(0).size() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = ConfigSpace::new(3..=1, 0..=1, 0..=1);
+    }
+
+    #[test]
+    #[should_panic(expected = "extraction thread")]
+    fn zero_extraction_panics() {
+        let _ = ConfigSpace::new(0..=2, 0..=1, 0..=1);
+    }
+}

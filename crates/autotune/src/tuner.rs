@@ -1,0 +1,86 @@
+//! The tuner abstraction.
+
+use serde::{Deserialize, Serialize};
+
+use dsearch_core::Configuration;
+
+use crate::space::ConfigSpace;
+
+/// One evaluated point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The configuration evaluated.
+    pub configuration: Configuration,
+    /// Its cost (seconds; lower is better).
+    pub cost: f64,
+}
+
+/// The outcome of a tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningResult {
+    /// The best configuration found.
+    pub best_configuration: Configuration,
+    /// The cost of the best configuration.
+    pub best_cost: f64,
+    /// Every evaluation performed, in order.
+    pub evaluations: Vec<Evaluation>,
+}
+
+impl TuningResult {
+    /// Builds a result from an evaluation log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluations` is empty.
+    #[must_use]
+    pub fn from_evaluations(evaluations: Vec<Evaluation>) -> Self {
+        let best = evaluations
+            .iter()
+            .copied()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one evaluation is required");
+        TuningResult {
+            best_configuration: best.configuration,
+            best_cost: best.cost,
+            evaluations,
+        }
+    }
+
+    /// Number of objective evaluations performed.
+    #[must_use]
+    pub fn evaluation_count(&self) -> usize {
+        self.evaluations.len()
+    }
+}
+
+/// A search strategy over the configuration space.
+pub trait Tuner {
+    /// Searches `space` for the configuration minimising `objective`.
+    fn tune<F>(&self, space: &ConfigSpace, objective: F) -> TuningResult
+    where
+        F: FnMut(&Configuration) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_evaluations_picks_the_minimum() {
+        let evals = vec![
+            Evaluation { configuration: Configuration::new(1, 0, 0), cost: 10.0 },
+            Evaluation { configuration: Configuration::new(2, 0, 0), cost: 3.0 },
+            Evaluation { configuration: Configuration::new(3, 0, 0), cost: 7.0 },
+        ];
+        let result = TuningResult::from_evaluations(evals);
+        assert_eq!(result.best_configuration, Configuration::new(2, 0, 0));
+        assert!((result.best_cost - 3.0).abs() < 1e-12);
+        assert_eq!(result.evaluation_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one evaluation")]
+    fn empty_evaluations_panic() {
+        let _ = TuningResult::from_evaluations(Vec::new());
+    }
+}

@@ -1,0 +1,133 @@
+//! Ablation benchmarks for the design decisions the paper calls out.
+//!
+//! Each group flips exactly one of the choices discussed in Sections 2–3:
+//!
+//! * work-distribution strategy (round-robin vs. size-balanced vs. chunked
+//!   vs. shared work queue);
+//! * duplicate handling (per-file condensed word list vs. inserting every
+//!   occurrence) and insertion granularity (en bloc vs. per term);
+//! * Stage 1 scheduling (up-front vs. concurrent with extraction);
+//! * join strategy (single-threaded vs. parallel reduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsearch::core::config::{DedupMode, InsertGranularity, Stage1Mode};
+use dsearch::core::distribute::DistributionStrategy;
+use dsearch::core::{Configuration, GeneratorOptions, Implementation, IndexGenerator};
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch::index::{join_all, parallel_join, InMemoryIndex};
+use dsearch::text::Term;
+use dsearch::vfs::VPath;
+
+fn bench_distribution(c: &mut Criterion) {
+    let (fs, _) = materialize_to_memfs(&CorpusSpec::paper_scaled(0.001), 6);
+    let root = VPath::root();
+    let mut group = c.benchmark_group("ablation_distribution");
+    group.sample_size(10);
+    for strategy in DistributionStrategy::ALL {
+        let mut options = GeneratorOptions::paper_defaults();
+        options.distribution = strategy;
+        let generator = IndexGenerator::new(options);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, _| {
+                b.iter(|| {
+                    let run = generator
+                        .run(&fs, &root, Implementation::ReplicateNoJoin, Configuration::new(2, 0, 0))
+                        .unwrap();
+                    black_box(run.outcome.file_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let (fs, _) = materialize_to_memfs(&CorpusSpec::paper_scaled(0.001), 7);
+    let root = VPath::root();
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.sample_size(10);
+    let cases = [
+        ("condensed_word_list_en_bloc", DedupMode::PerFileWordList, InsertGranularity::EnBloc),
+        ("condensed_word_list_per_term", DedupMode::PerFileWordList, InsertGranularity::PerTerm),
+        ("every_occurrence_en_bloc", DedupMode::InsertEveryOccurrence, InsertGranularity::EnBloc),
+        ("every_occurrence_per_term", DedupMode::InsertEveryOccurrence, InsertGranularity::PerTerm),
+    ];
+    for (name, dedup, granularity) in cases {
+        let mut options = GeneratorOptions::paper_defaults();
+        options.dedup = dedup;
+        options.granularity = granularity;
+        let generator = IndexGenerator::new(options);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let run = generator
+                    .run(&fs, &root, Implementation::SharedLocked, Configuration::new(2, 0, 0))
+                    .unwrap();
+                black_box(run.outcome.file_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stage1_mode(c: &mut Criterion) {
+    let (fs, _) = materialize_to_memfs(&CorpusSpec::paper_scaled(0.001), 8);
+    let root = VPath::root();
+    let mut group = c.benchmark_group("ablation_stage1");
+    group.sample_size(10);
+    for (name, mode) in [("up_front", Stage1Mode::UpFront), ("concurrent", Stage1Mode::Concurrent)] {
+        let mut options = GeneratorOptions::paper_defaults();
+        options.stage1 = mode;
+        let generator = IndexGenerator::new(options);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let run = generator
+                    .run(&fs, &root, Implementation::ReplicateNoJoin, Configuration::new(2, 0, 0))
+                    .unwrap();
+                black_box(run.outcome.file_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    // Build replica indices once, then measure the join variants.
+    let replica_count = 8;
+    let mut replicas: Vec<InMemoryIndex> = (0..replica_count).map(|_| InMemoryIndex::new()).collect();
+    for doc in 0..4_000u32 {
+        let terms: Vec<Term> = (0..20)
+            .map(|k| Term::from(format!("term{:04}", (doc.wrapping_mul(31).wrapping_add(k)) % 2_500)))
+            .collect();
+        replicas[(doc as usize) % replica_count]
+            .insert_file(dsearch::index::FileId(doc), terms);
+    }
+
+    let mut group = c.benchmark_group("ablation_join");
+    group.sample_size(10);
+    group.bench_function("single_thread_join", |b| {
+        b.iter(|| {
+            let joined = join_all(replicas.clone());
+            black_box(joined.term_count())
+        });
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_reduction_join", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let joined = parallel_join(replicas.clone(), threads);
+                    black_box(joined.term_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribution, bench_dedup, bench_stage1_mode, bench_join);
+criterion_main!(benches);

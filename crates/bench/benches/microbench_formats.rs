@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the format-extraction substrate.
+//!
+//! The paper notes that "for more complex formats, [term extraction] would
+//! take longer" — these benches quantify how much longer: throughput of the
+//! format detectors and extractors relative to the plain-text pass-through,
+//! over documents of the same size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dsearch::formats::{detect_format, DocumentFormat, FormatRegistry, WpxWriter};
+
+/// Builds a document of roughly `target_bytes` in the given format.
+fn sample_document(format: DocumentFormat, target_bytes: usize) -> (String, Vec<u8>) {
+    let sentence = "the parallel index generator extracts terms from desktop documents ";
+    let mut body = String::new();
+    while body.len() < target_bytes {
+        body.push_str(sentence);
+    }
+    match format {
+        DocumentFormat::PlainText => ("doc.txt".into(), body.into_bytes()),
+        DocumentFormat::Markdown => {
+            let mut out = String::from("# Benchmark document\n\n");
+            for (i, chunk) in body.as_bytes().chunks(120).enumerate() {
+                out.push_str(&format!("- item {i}: *{}*\n", String::from_utf8_lossy(chunk)));
+            }
+            ("doc.md".into(), out.into_bytes())
+        }
+        DocumentFormat::Html => {
+            let mut out = String::from("<html><body>");
+            for chunk in body.as_bytes().chunks(120) {
+                out.push_str(&format!("<p>{} &amp; more</p>", String::from_utf8_lossy(chunk)));
+            }
+            out.push_str("</body></html>");
+            ("doc.html".into(), out.into_bytes())
+        }
+        DocumentFormat::Csv => {
+            let mut out = String::from("id,text\n");
+            for (i, chunk) in body.as_bytes().chunks(80).enumerate() {
+                out.push_str(&format!("{i},\"{}\"\n", String::from_utf8_lossy(chunk)));
+            }
+            ("doc.csv".into(), out.into_bytes())
+        }
+        DocumentFormat::Wpx => {
+            let mut writer = WpxWriter::new("Benchmark document");
+            for chunk in body.as_bytes().chunks(200) {
+                writer.paragraph(String::from_utf8_lossy(chunk).into_owned());
+            }
+            ("doc.wpx".into(), writer.finish().into_bytes())
+        }
+        DocumentFormat::SourceCode => {
+            let mut out = String::new();
+            for i in 0..(target_bytes / 64).max(1) {
+                out.push_str(&format!(
+                    "fn extract_term_batch_{i}(work_queue: &WorkQueue) -> FileTerms {{ todo!() }}\n"
+                ));
+            }
+            ("doc.rs".into(), out.into_bytes())
+        }
+        DocumentFormat::Binary => ("doc.bin".into(), vec![0u8; target_bytes]),
+    }
+}
+
+fn bench_extraction_throughput(c: &mut Criterion) {
+    let registry = FormatRegistry::with_builtins();
+    let mut group = c.benchmark_group("formats_extraction_throughput");
+    group.sample_size(20);
+    for format in [
+        DocumentFormat::PlainText,
+        DocumentFormat::Markdown,
+        DocumentFormat::Html,
+        DocumentFormat::Csv,
+        DocumentFormat::Wpx,
+        DocumentFormat::SourceCode,
+    ] {
+        let (path, bytes) = sample_document(format, 64 * 1024);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format), &bytes, |b, bytes| {
+            b.iter(|| black_box(registry.extract(&path, bytes).text.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formats_detection");
+    let cases: Vec<(String, Vec<u8>)> = [
+        DocumentFormat::PlainText,
+        DocumentFormat::Html,
+        DocumentFormat::Csv,
+        DocumentFormat::Binary,
+    ]
+    .into_iter()
+    .map(|f| sample_document(f, 16 * 1024))
+    .collect();
+    // Detection by extension (cheap) vs. content sniffing (extension stripped).
+    group.bench_function("by_extension", |b| {
+        b.iter(|| {
+            for (path, bytes) in &cases {
+                black_box(detect_format(path, bytes));
+            }
+        });
+    });
+    group.bench_function("by_content_sniffing", |b| {
+        b.iter(|| {
+            for (_, bytes) in &cases {
+                black_box(detect_format("no_extension", bytes));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction_throughput, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end throughput of the real threaded pipeline on this host.
+//!
+//! Sweeps the extraction-thread count for each of the three implementations,
+//! which is the raw measurement the paper's evaluation is built on (its
+//! machines simply had more cores than this container).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dsearch::core::{Configuration, Implementation, IndexGenerator};
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch::vfs::VPath;
+
+fn bench_real_pipeline(c: &mut Criterion) {
+    let (fs, manifest) = materialize_to_memfs(&CorpusSpec::paper_scaled(0.001), 5);
+    let root = VPath::root();
+    let generator = IndexGenerator::default();
+
+    let mut group = c.benchmark_group("real_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(manifest.total_bytes()));
+
+    group.bench_function("sequential_baseline", |b| {
+        b.iter(|| {
+            let run = generator.run_sequential(&fs, &root).unwrap();
+            black_box(run.index.term_count())
+        });
+    });
+
+    for implementation in Implementation::ALL {
+        for x in [1usize, 2, 4] {
+            let config = Configuration::new(x, 0, 0);
+            group.bench_with_input(
+                BenchmarkId::new(implementation.paper_name().replace(' ', "_"), x),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        let run = generator.run(&fs, &root, implementation, *config).unwrap();
+                        black_box(run.outcome.file_count())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Speed-up-vs-thread-count curves (the figure-style view behind Tables 2–4).
+//!
+//! The paper only prints the best configuration per implementation; the data
+//! behind those rows is a full sweep over thread allocations.  This bench
+//! evaluates the calibrated platform models over that sweep for each paper
+//! platform (the bench time measures the model/sweep machinery itself;
+//! the curve values are printed once at start-up so the series can be read
+//! from the bench output).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dsearch::sim::{all_curves, amdahl_ceiling, PlatformModel, WorkloadModel};
+
+fn print_curves_once(platform: &PlatformModel, workload: &WorkloadModel) {
+    let max_threads = platform.cores + 2;
+    let curves = all_curves(platform, workload, max_threads);
+    println!("\n# speed-up vs extraction threads — {}", platform.name);
+    print!("# x:");
+    for x in 1..=max_threads {
+        print!(" {x:>5}");
+    }
+    println!();
+    for curve in &curves {
+        print!("# {}:", curve.implementation.paper_name());
+        for point in &curve.points {
+            print!(" {:>5.2}", point.estimate.speedup);
+        }
+        println!();
+    }
+    print!("# Amdahl ceiling:");
+    for x in 1..=max_threads {
+        print!(" {:>5.2}", amdahl_ceiling(platform, workload, x));
+    }
+    println!();
+}
+
+fn bench_speedup_curves(c: &mut Criterion) {
+    let workload = WorkloadModel::paper();
+    let mut group = c.benchmark_group("speedup_curves");
+    for platform in PlatformModel::paper_platforms() {
+        print_curves_once(&platform, &workload);
+        let threads = platform.cores + 2;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_core_sweep", platform.cores)),
+            &platform,
+            |b, platform| {
+                b.iter(|| {
+                    let curves = all_curves(platform, &workload, threads);
+                    black_box(curves.iter().map(|c| c.peak_speedup()).sum::<f64>())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup_curves);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Table 1 — execution times for sequential index generation.
+//!
+//! The paper's Table 1 breaks the sequential generator into four measured
+//! stages (filename generation, read files, read + extract, index update).
+//! This bench measures the same four stages of the real Rust pipeline on a
+//! scaled synthetic corpus, so the *relative* shape (reading dominates,
+//! filename generation is negligible) can be compared with the paper; the
+//! absolute 4/8/32-core numbers are reproduced by the platform model (see the
+//! `reproduce_tables` binary).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dsearch::core::IndexGenerator;
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch::text::tokenizer::Tokenizer;
+use dsearch::vfs::{FileSystem, VPath, Walker};
+
+fn bench_table1(c: &mut Criterion) {
+    let spec = CorpusSpec::paper_scaled(0.001);
+    let (fs, manifest) = materialize_to_memfs(&spec, 1);
+    let root = VPath::root();
+    let mut group = c.benchmark_group("table1_sequential_stages");
+    group.sample_size(10);
+
+    group.bench_function("stage1_filename_generation", |b| {
+        b.iter(|| {
+            let (files, stats) = Walker::new().walk(&fs, &root).unwrap();
+            black_box((files.len(), stats.total_bytes))
+        });
+    });
+
+    let (files, _) = Walker::new().walk(&fs, &root).unwrap();
+    let tokenizer = Tokenizer::default();
+
+    group.bench_function("read_files_only", |b| {
+        b.iter(|| {
+            let mut bytes = 0u64;
+            for f in &files {
+                let data = fs.read(&f.path).unwrap();
+                bytes += tokenizer.scan_only(&data);
+            }
+            black_box(bytes)
+        });
+    });
+
+    group.bench_function("read_and_extract_terms", |b| {
+        b.iter(|| {
+            let mut terms = 0u64;
+            for f in &files {
+                let data = fs.read(&f.path).unwrap();
+                let (toks, _) = tokenizer.tokenize(&data);
+                terms += toks.len() as u64;
+            }
+            black_box(terms)
+        });
+    });
+
+    group.bench_function("index_update", |b| {
+        // Pre-extract once; measure only the index-update stage, as the paper
+        // does.
+        let generator = IndexGenerator::default();
+        let run = generator.run_sequential(&fs, &root).unwrap();
+        let extracted: Vec<(u32, Vec<dsearch::text::Term>)> = run
+            .index
+            .iter()
+            .flat_map(|(t, p)| p.iter().map(move |id| (id.as_u32(), t.clone())))
+            .fold(std::collections::BTreeMap::new(), |mut acc, (id, term)| {
+                acc.entry(id).or_insert_with(Vec::new).push(term);
+                acc
+            })
+            .into_iter()
+            .collect();
+        b.iter_batched(
+            || extracted.clone(),
+            |docs| {
+                let mut index = dsearch::index::InMemoryIndex::new();
+                for (id, terms) in docs {
+                    index.insert_file(dsearch::index::FileId(id), terms);
+                }
+                black_box(index.term_count())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("full_sequential_pipeline", |b| {
+        let generator = IndexGenerator::default();
+        b.iter(|| {
+            let run = generator.run_sequential(&fs, &root).unwrap();
+            black_box(run.index.term_count())
+        });
+    });
+
+    group.finish();
+    eprintln!(
+        "corpus for table1 bench: {} files, {} bytes",
+        manifest.file_count(),
+        manifest.total_bytes()
+    );
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table 3 — best configurations on the 8-core Intel machine.
+//!
+//! Same structure as the Table 2 bench: the real threaded pipeline at the
+//! paper's best configurations, plus the platform-model evaluation that
+//! regenerates the published numbers (`reproduce_tables -- table3`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dsearch::core::IndexGenerator;
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch::sim::{estimate_run, paper, PlatformModel, WorkloadModel};
+use dsearch::vfs::VPath;
+
+fn bench_table3(c: &mut Criterion) {
+    let (fs, _) = materialize_to_memfs(&CorpusSpec::paper_scaled(0.001), 3);
+    let root = VPath::root();
+    let generator = IndexGenerator::default();
+    let expected = paper::table3();
+    let platform = PlatformModel::eight_core();
+    let workload = WorkloadModel::paper();
+
+    let mut group = c.benchmark_group("table3_8core");
+    group.sample_size(10);
+
+    for row in &expected.rows {
+        group.bench_function(
+            format!("real_{}_{}", row.implementation.paper_name().replace(' ', "_"), row.best_configuration),
+            |b| {
+                b.iter(|| {
+                    let run = generator
+                        .run(&fs, &root, row.implementation, row.best_configuration)
+                        .unwrap();
+                    black_box(run.outcome.file_count())
+                });
+            },
+        );
+    }
+
+    group.bench_function("model_evaluation_all_rows", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for row in &expected.rows {
+                total += estimate_run(&platform, &workload, row.implementation, row.best_configuration).total_s;
+            }
+            black_box(total)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

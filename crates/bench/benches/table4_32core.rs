@@ -1,0 +1,69 @@
+//! Table 4 — best configurations on the 32-core Intel machine.
+//!
+//! Same structure as the Table 2 bench: the real threaded pipeline at the
+//! paper's best configurations, plus the platform-model evaluation that
+//! regenerates the published numbers (`reproduce_tables -- table4`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dsearch::core::IndexGenerator;
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch::sim::sweep::SweepRanges;
+use dsearch::sim::{best_configuration, estimate_run, paper, PlatformModel, WorkloadModel};
+use dsearch::vfs::VPath;
+
+fn bench_table4(c: &mut Criterion) {
+    let (fs, _) = materialize_to_memfs(&CorpusSpec::paper_scaled(0.001), 4);
+    let root = VPath::root();
+    let generator = IndexGenerator::default();
+    let expected = paper::table4();
+    let platform = PlatformModel::thirty_two_core();
+    let workload = WorkloadModel::paper();
+
+    let mut group = c.benchmark_group("table4_32core");
+    group.sample_size(10);
+
+    for row in &expected.rows {
+        group.bench_function(
+            format!("real_{}_{}", row.implementation.paper_name().replace(' ', "_"), row.best_configuration),
+            |b| {
+                b.iter(|| {
+                    let run = generator
+                        .run(&fs, &root, row.implementation, row.best_configuration)
+                        .unwrap();
+                    black_box(run.outcome.file_count())
+                });
+            },
+        );
+    }
+
+    group.bench_function("model_evaluation_all_rows", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for row in &expected.rows {
+                total += estimate_run(&platform, &workload, row.implementation, row.best_configuration).total_s;
+            }
+            black_box(total)
+        });
+    });
+
+    // The full configuration-space sweep the paper's auto-tuner performed.
+    group.bench_function("model_sweep_best_config", |b| {
+        let ranges = SweepRanges::for_platform(&platform);
+        b.iter(|| {
+            let best = best_configuration(
+                &platform,
+                &workload,
+                dsearch::core::Implementation::ReplicateNoJoin,
+                ranges,
+            );
+            black_box(best.estimate.total_s)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Regenerates every table of the paper.
+//!
+//! ```text
+//! cargo run -p dsearch-bench --bin reproduce_tables            # all tables
+//! cargo run -p dsearch-bench --bin reproduce_tables -- table3  # just one
+//! cargo run -p dsearch-bench --bin reproduce_tables -- real    # real run on this host
+//! ```
+//!
+//! * **Table 1** — sequential stage times.  Printed twice: the calibrated
+//!   platform model's prediction for the paper's full 869 MB corpus on each of
+//!   the three paper machines, and a real measured run of this crate's
+//!   sequential pipeline on a scaled synthetic corpus on *this* host.
+//! * **Tables 2–4** — best-configuration comparison of the three
+//!   implementations on the 4-, 8- and 32-core platform models, evaluated at
+//!   the paper's best configurations and at the model's own best
+//!   configurations.
+//! * **real** — runs the three real threaded implementations on this host
+//!   (whatever core count it has) over a scaled corpus, so the code path the
+//!   paper measures is exercised end to end.
+
+use std::time::Instant;
+
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch::core::{Configuration, Implementation, IndexGenerator};
+use dsearch::sim::paper;
+use dsearch::sim::sweep::SweepRanges;
+use dsearch::sim::{
+    best_configuration, estimate_run, sequential_stages, PlatformModel, WorkloadModel,
+};
+use dsearch::vfs::VPath;
+use dsearch_bench::{format_table, TableRow};
+
+fn print_table1() {
+    println!("== Table 1: execution times for sequential index generation (seconds) ==\n");
+    let workload = WorkloadModel::paper();
+    let mut rows = Vec::new();
+    for (platform, expected) in PlatformModel::paper_platforms().iter().zip(paper::table1()) {
+        let est = sequential_stages(platform, &workload);
+        rows.push(TableRow::new([
+            format!("{}-core platform", platform.cores),
+            format!("{:.1} (paper {:.1})", est.filename_generation_s, expected.filename_generation_s),
+            format!("{:.1} (paper {:.1})", est.read_files_s, expected.read_files_s),
+            format!("{:.1} (paper {:.1})", est.read_and_extract_s, expected.read_and_extract_s),
+            format!("{:.1} (paper {:.1})", est.index_update_s, expected.index_update_s),
+        ]));
+    }
+    println!(
+        "{}",
+        format_table(
+            &["platform", "filename generation", "read files", "read + extract", "index update"],
+            &rows
+        )
+    );
+
+    println!("-- measured on this host (scaled synthetic corpus, sequential pipeline) --\n");
+    let spec = CorpusSpec::paper_scaled(0.002);
+    let (fs, manifest) = materialize_to_memfs(&spec, 2010);
+    let run = IndexGenerator::default()
+        .run_sequential(&fs, &VPath::root())
+        .expect("sequential run succeeds");
+    let rows = vec![TableRow::new([
+        format!(
+            "this host ({} files, {:.1} MB)",
+            manifest.file_count(),
+            manifest.total_bytes() as f64 / 1e6
+        ),
+        format!("{:.3}", run.timings.filename_generation.as_secs_f64()),
+        format!("{:.3}", run.timings.read_files.as_secs_f64()),
+        format!("{:.3}", run.timings.read_and_extract.as_secs_f64()),
+        format!("{:.3}", run.timings.index_update.as_secs_f64()),
+    ])];
+    println!(
+        "{}",
+        format_table(
+            &["platform", "filename generation", "read files", "read + extract", "index update"],
+            &rows
+        )
+    );
+}
+
+fn print_best_config_table(platform: &PlatformModel, expected: &paper::BestConfigTable) {
+    println!(
+        "== Table {}: best configurations on the {}-core machine (sequential ≈ {:.0} s) ==\n",
+        match expected.platform_cores {
+            4 => "2",
+            8 => "3",
+            _ => "4",
+        },
+        expected.platform_cores,
+        expected.sequential_s
+    );
+    let workload = WorkloadModel::paper();
+    let ranges = SweepRanges::for_platform(platform);
+    let mut rows = Vec::new();
+    let mut model_speedup_impl1 = None;
+    for row in &expected.rows {
+        let at_paper_config =
+            estimate_run(platform, &workload, row.implementation, row.best_configuration);
+        let model_best = best_configuration(platform, &workload, row.implementation, ranges);
+        if row.implementation == Implementation::SharedLocked {
+            model_speedup_impl1 = Some(at_paper_config.speedup);
+        }
+        let variance = model_speedup_impl1
+            .map(|base| (at_paper_config.speedup - base) / base * 100.0)
+            .unwrap_or(0.0);
+        rows.push(TableRow::new([
+            row.implementation.paper_name().to_string(),
+            row.best_configuration.to_string(),
+            format!("{:.1} (paper {:.1})", at_paper_config.total_s, row.execution_time_s),
+            format!("{:.2} (paper {:.2})", at_paper_config.speedup, row.speedup),
+            format!("{:+.1}% (paper {:+.1}%)", variance, row.variance_vs_impl1_percent),
+            format!("{} @ {:.1}s", model_best.configuration, model_best.estimate.total_s),
+            at_paper_config.bottleneck.to_string(),
+        ]));
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "implementation",
+                "paper best config",
+                "exec time (s)",
+                "speed-up",
+                "variance vs impl 1",
+                "model's own best",
+                "bottleneck",
+            ],
+            &rows
+        )
+    );
+}
+
+fn print_real_run() {
+    println!("== Real threaded run on this host ==\n");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let spec = CorpusSpec::paper_scaled(0.002);
+    let (fs, manifest) = materialize_to_memfs(&spec, 77);
+    println!(
+        "host cores: {cores}; corpus: {} files, {:.1} MB (paper corpus scaled)\n",
+        manifest.file_count(),
+        manifest.total_bytes() as f64 / 1e6
+    );
+
+    let generator = IndexGenerator::default();
+    let started = Instant::now();
+    let sequential = generator
+        .run_sequential(&fs, &VPath::root())
+        .expect("sequential run succeeds");
+    let sequential_s = started.elapsed().as_secs_f64();
+
+    let x = cores.max(1);
+    let configs = [
+        (Implementation::SharedLocked, Configuration::new(x, 1, 0)),
+        (Implementation::ReplicateJoin, Configuration::new(x, 0, 1)),
+        (Implementation::ReplicateNoJoin, Configuration::new(x, 0, 0)),
+    ];
+    let mut rows = Vec::new();
+    rows.push(TableRow::new([
+        "Sequential".to_string(),
+        "-".to_string(),
+        format!("{sequential_s:.3}"),
+        "-".to_string(),
+    ]));
+    for (implementation, config) in configs {
+        let run = generator
+            .run(&fs, &VPath::root(), implementation, config)
+            .expect("parallel run succeeds");
+        let report = run.report();
+        rows.push(TableRow::new([
+            implementation.paper_name().to_string(),
+            config.to_string(),
+            format!("{:.3}", report.total_seconds),
+            format!("{:.2}", report.speedup_vs_seconds(sequential_s)),
+        ]));
+        // Sanity: all implementations index every file.
+        assert_eq!(report.files, sequential.stage2.files);
+    }
+    println!(
+        "{}",
+        format_table(&["implementation", "config (x, y, z)", "exec time (s)", "speed-up"], &rows)
+    );
+    println!(
+        "note: this container exposes {cores} core(s); wall-clock speed-up on the paper's\n\
+         multi-core machines is reproduced by the platform model (tables 2-4 above)."
+    );
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let platforms = PlatformModel::paper_platforms();
+    match arg.as_str() {
+        "table1" => print_table1(),
+        "table2" => print_best_config_table(&platforms[0], &paper::table2()),
+        "table3" => print_best_config_table(&platforms[1], &paper::table3()),
+        "table4" => print_best_config_table(&platforms[2], &paper::table4()),
+        "real" => print_real_run(),
+        "all" => {
+            print_table1();
+            print_best_config_table(&platforms[0], &paper::table2());
+            print_best_config_table(&platforms[1], &paper::table3());
+            print_best_config_table(&platforms[2], &paper::table4());
+            print_real_run();
+        }
+        other => {
+            eprintln!("unknown table {other:?}; expected table1|table2|table3|table4|real|all");
+            std::process::exit(2);
+        }
+    }
+}

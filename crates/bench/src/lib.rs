@@ -1,0 +1,13 @@
+//! Shared helpers for the `dsearch` benchmark harness.
+//!
+//! The real work lives in the Criterion benches (`benches/`) and the
+//! `reproduce_tables` binary (`src/bin/`); this library holds the formatting
+//! and measurement helpers they share so every table is rendered the same
+//! way.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tables;
+
+pub use tables::{format_table, TableRow};

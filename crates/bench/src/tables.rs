@@ -1,0 +1,103 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// One row of a rendered table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRow {
+    /// Cell values, one per column.
+    pub cells: Vec<String>,
+}
+
+impl TableRow {
+    /// Builds a row from anything displayable.
+    pub fn new<I, S>(cells: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TableRow { cells: cells.into_iter().map(Into::into).collect() }
+    }
+}
+
+/// Renders a header and rows as an aligned plain-text table.
+///
+/// # Example
+///
+/// ```
+/// use dsearch_bench::{format_table, TableRow};
+///
+/// let text = format_table(
+///     &["impl", "time (s)"],
+///     &[TableRow::new(["Implementation 1", "46.7"])],
+/// );
+/// assert!(text.contains("Implementation 1"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[must_use]
+pub fn format_table(header: &[&str], rows: &[TableRow]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.cells.iter().enumerate().take(columns) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for i in 0..columns {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            if i + 1 < columns {
+                line.push_str("  ");
+            }
+        }
+        line.trim_end().to_string()
+    };
+
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_string()).collect();
+    let mut out = render_row(&header_cells);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(&row.cells));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_aligned() {
+        let text = format_table(
+            &["name", "value"],
+            &[
+                TableRow::new(["short", "1"]),
+                TableRow::new(["a much longer name", "2"]),
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The value column starts at the same offset in both data rows.
+        let offset_1 = lines[2].find('1').unwrap();
+        let offset_2 = lines[3].find('2').unwrap();
+        assert_eq!(offset_1, offset_2);
+    }
+
+    #[test]
+    fn missing_cells_render_as_blank() {
+        let text = format_table(&["a", "b", "c"], &[TableRow::new(["only"])]);
+        assert!(text.contains("only"));
+    }
+
+    #[test]
+    fn extra_cells_are_ignored() {
+        let text = format_table(&["a"], &[TableRow::new(["x", "ignored"])]);
+        assert!(!text.contains("ignored"));
+    }
+}

@@ -1,0 +1,191 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! The grammar is the common GNU-ish subset the `dsearch-cli` commands need:
+//!
+//! * the first non-option token is the subcommand;
+//! * `--name value` and `--name=value` set an option;
+//! * `--flag` with no value sets a boolean flag (a token starting with `--`
+//!   following it is not consumed as its value);
+//! * everything else is a positional argument.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::CliError;
+
+/// Option names that take a value (everything else starting with `--` is a
+/// boolean flag).
+const VALUE_OPTIONS: &[&str] = &[
+    "store",
+    "extractors",
+    "updaters",
+    "joiners",
+    "implementation",
+    "limit",
+    "scale",
+    "seed",
+    "platform",
+    "max-threads",
+    "table",
+];
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional token), if any.
+    pub command: Option<String>,
+    /// Positional arguments after the subcommand.
+    pub positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
+}
+
+impl ParsedArgs {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Fails when an option that requires a value is missing one.
+    pub fn parse<I, S>(raw: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                if let Some((name, value)) = name.split_once('=') {
+                    parsed.options.insert(name.to_owned(), value.to_owned());
+                    continue;
+                }
+                if VALUE_OPTIONS.contains(&name) {
+                    match iter.peek() {
+                        Some(next) if !next.starts_with("--") => {
+                            let value = iter.next().expect("peeked");
+                            parsed.options.insert(name.to_owned(), value);
+                        }
+                        _ => {
+                            return Err(CliError::Usage(format!(
+                                "option --{name} requires a value"
+                            )))
+                        }
+                    }
+                } else {
+                    parsed.flags.insert(name.to_owned());
+                }
+            } else if parsed.command.is_none() {
+                parsed.command = Some(token);
+            } else {
+                parsed.positionals.push(token);
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The value of `--name`, if given.
+    #[must_use]
+    pub fn value_of(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether `--name` appeared as a boolean flag.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains(name)
+    }
+
+    /// The value of `--name` parsed as a number.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value is present but does not parse.
+    pub fn number_of<T>(&self, name: &str) -> Result<Option<T>, CliError>
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        match self.value_of(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|e| {
+                CliError::Usage(format!("option --{name}: invalid value {raw:?} ({e})"))
+            }),
+        }
+    }
+
+    /// The `i`-th positional argument.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a usage error naming `what` when the positional is missing.
+    pub fn require_positional(&self, i: usize, what: &str) -> Result<&str, CliError> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required argument: {what}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(tokens.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_positionals_are_separated() {
+        let args = parse(&["index", "/home/docs", "extra"]);
+        assert_eq!(args.command.as_deref(), Some("index"));
+        assert_eq!(args.positionals, ["/home/docs", "extra"]);
+    }
+
+    #[test]
+    fn options_take_values_in_both_spellings() {
+        let args = parse(&["index", "dir", "--store", "/tmp/s", "--extractors=4"]);
+        assert_eq!(args.value_of("store"), Some("/tmp/s"));
+        assert_eq!(args.value_of("extractors"), Some("4"));
+        assert_eq!(args.number_of::<usize>("extractors").unwrap(), Some(4));
+        assert_eq!(args.value_of("missing"), None);
+    }
+
+    #[test]
+    fn flags_do_not_consume_the_next_token() {
+        let args = parse(&["index", "dir", "--incremental", "--store", "s"]);
+        assert!(args.flag("incremental"));
+        assert!(!args.flag("formats"));
+        assert_eq!(args.value_of("store"), Some("s"));
+        assert_eq!(args.positionals, ["dir"]);
+    }
+
+    #[test]
+    fn value_option_followed_by_option_is_an_error() {
+        let err = ParsedArgs::parse(["index", "--store", "--incremental"]).unwrap_err();
+        assert!(err.to_string().contains("--store"));
+        let err = ParsedArgs::parse(["search", "--limit"]).unwrap_err();
+        assert!(err.to_string().contains("--limit"));
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        let args = parse(&["search", "--limit", "many"]);
+        let err = args.number_of::<usize>("limit").unwrap_err();
+        assert!(err.to_string().contains("--limit"));
+        assert!(err.to_string().contains("many"));
+    }
+
+    #[test]
+    fn required_positionals_produce_usage_errors() {
+        let args = parse(&["corpus"]);
+        assert!(args.require_positional(0, "output directory").is_err());
+        let args = parse(&["corpus", "/tmp/c"]);
+        assert_eq!(args.require_positional(0, "output directory").unwrap(), "/tmp/c");
+    }
+
+    #[test]
+    fn empty_input_parses_to_nothing() {
+        let args = parse(&[]);
+        assert!(args.command.is_none());
+        assert!(args.positionals.is_empty());
+    }
+}

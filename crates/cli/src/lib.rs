@@ -1,0 +1,140 @@
+//! The `dsearch-cli` command-line tool.
+//!
+//! A thin, scriptable front end over the `dsearch` library — the "desktop
+//! search" application the paper's index generator exists to serve:
+//!
+//! | command | purpose |
+//! |---|---|
+//! | `index <dir> --store <path>` | index a directory with one of the paper's three parallel implementations and persist the result |
+//! | `search --store <path> <query…>` | run a boolean/prefix query against a persisted index |
+//! | `corpus <dir> --scale 0.01` | materialise a synthetic benchmark corpus with the paper's shape |
+//! | `tables` | print the paper's Tables 1–4 regenerated from the calibrated platform models |
+//! | `curves --platform 32` | print speed-up-vs-threads curves for the three implementations |
+//!
+//! The command functions all return their output as a `String` so they can be
+//! unit- and integration-tested without capturing stdout; `main` just prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+pub use args::ParsedArgs;
+
+/// Errors reported to the command-line user.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was malformed.
+    Usage(String),
+    /// The requested operation failed.
+    Failed(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Wraps any displayable failure.
+    pub fn failed(e: impl fmt::Display) -> Self {
+        CliError::Failed(e.to_string())
+    }
+}
+
+/// The top-level usage text.
+#[must_use]
+pub fn usage() -> String {
+    "dsearch-cli — parallel desktop-search index generator (Meder & Tichy 2010 reproduction)
+
+USAGE:
+    dsearch-cli <command> [arguments]
+
+COMMANDS:
+    index <dir> --store <path> [--extractors N] [--updaters N] [--joiners N]
+          [--implementation 1|2|3] [--formats] [--incremental]
+        Index the files under <dir> and persist the result in <path>.
+
+    search --store <path> <query words…> [--limit N]
+        Query a persisted index.  Supports AND/OR/NOT and trailing-* prefixes.
+
+    corpus <dir> [--scale F] [--seed N]
+        Materialise a synthetic benchmark corpus with the paper's shape.
+
+    tables [--table 1|2|3|4]
+        Print the paper's tables regenerated from the calibrated platform models.
+
+    curves [--platform 4|8|32] [--max-threads N]
+        Print speed-up-vs-thread-count curves for the three implementations.
+
+    tune [--platform 4|8|32]
+        Search the (x, y, z) space with the exhaustive, hill-climbing and
+        random-search auto-tuners and compare what they find.
+
+    help
+        Show this message.
+"
+    .to_owned()
+}
+
+/// Parses `raw` arguments (without the program name) and runs the selected
+/// command, returning its printable output.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed command lines and
+/// [`CliError::Failed`] when the operation itself fails.
+pub fn run<I, S>(raw: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = ParsedArgs::parse(raw)?;
+    match args.command.as_deref() {
+        None | Some("help") => Ok(usage()),
+        Some("index") => commands::index::run(&args),
+        Some("search") => commands::search::run(&args),
+        Some("corpus") => commands::corpus::run(&args),
+        Some("tables") => commands::tables::run(&args),
+        Some("curves") => commands::curves::run(&args),
+        Some("tune") => commands::tune::run(&args),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command {other:?}; run `dsearch-cli help` for the command list"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_empty_input_print_usage() {
+        let out = run(["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("index <dir>"));
+        assert_eq!(run(Vec::<String>::new()).unwrap(), out);
+    }
+
+    #[test]
+    fn unknown_commands_are_usage_errors() {
+        let err = run(["frobnicate"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn error_display_distinguishes_usage_from_failure() {
+        assert!(CliError::Usage("x".into()).to_string().starts_with("usage error"));
+        assert_eq!(CliError::failed("boom").to_string(), "boom");
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end tests of the CLI: corpus → index → search → incremental update,
+//! all through the library-level `run` entry point (no subprocess needed).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dsearch_cli::{run, CliError};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "dsearch-cli-e2e-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn sub(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn write_docs(dir: &Path) {
+    fs::create_dir_all(dir.join("notes")).unwrap();
+    fs::write(dir.join("notes/report.txt"), "quarterly revenue grew strongly").unwrap();
+    fs::write(dir.join("notes/plan.md"), "# Roadmap\n\nParallel indexing milestones\n").unwrap();
+    fs::write(dir.join("todo.txt"), "review the parallel index generator").unwrap();
+}
+
+#[test]
+fn index_then_search_finds_documents() {
+    let dir = TempDir::new("index-search");
+    let docs = dir.path().join("docs");
+    fs::create_dir_all(&docs).unwrap();
+    write_docs(&docs);
+    let store = dir.sub("store");
+
+    let out = run([
+        "index".to_owned(),
+        docs.to_string_lossy().into_owned(),
+        "--store".to_owned(),
+        store.clone(),
+        "--extractors".to_owned(),
+        "2".to_owned(),
+        "--implementation".to_owned(),
+        "2".to_owned(),
+        "--formats".to_owned(),
+    ])
+    .unwrap();
+    assert!(out.contains("indexed 3 files"), "{out}");
+    assert!(out.contains("Implementation 2"));
+
+    let out = run(["search".to_owned(), "--store".to_owned(), store.clone(), "parallel".to_owned()])
+        .unwrap();
+    assert!(out.contains("2 result(s)"), "{out}");
+    assert!(out.contains("todo.txt"));
+
+    // NOT and prefix queries work through the CLI too.
+    let out = run([
+        "search".to_owned(),
+        "--store".to_owned(),
+        store.clone(),
+        "parallel".to_owned(),
+        "NOT".to_owned(),
+        "roadmap".to_owned(),
+    ])
+    .unwrap();
+    assert!(out.contains("1 result(s)"), "{out}");
+    let out = run([
+        "search".to_owned(),
+        "--store".to_owned(),
+        store,
+        "revenu*".to_owned(),
+    ])
+    .unwrap();
+    assert!(out.contains("report.txt"), "{out}");
+}
+
+#[test]
+fn implementation_three_stores_replicas_and_searches_them_together() {
+    let dir = TempDir::new("replicas");
+    let docs = dir.path().join("docs");
+    fs::create_dir_all(&docs).unwrap();
+    write_docs(&docs);
+    let store = dir.sub("store");
+
+    let out = run([
+        "index".to_owned(),
+        docs.to_string_lossy().into_owned(),
+        "--store".to_owned(),
+        store.clone(),
+        "--extractors".to_owned(),
+        "3".to_owned(),
+        "--implementation".to_owned(),
+        "3".to_owned(),
+    ])
+    .unwrap();
+    assert!(out.contains("3 segment(s)"), "{out}");
+
+    let out = run(["search".to_owned(), "--store".to_owned(), store, "index".to_owned()]).unwrap();
+    assert!(out.contains("result(s)"), "{out}");
+    assert!(out.contains("todo.txt"), "{out}");
+}
+
+#[test]
+fn incremental_update_rescans_only_changes() {
+    let dir = TempDir::new("incremental");
+    let docs = dir.path().join("docs");
+    fs::create_dir_all(&docs).unwrap();
+    write_docs(&docs);
+    let store = dir.sub("store");
+
+    let first = run([
+        "index".to_owned(),
+        docs.to_string_lossy().into_owned(),
+        "--store".to_owned(),
+        store.clone(),
+        "--incremental".to_owned(),
+    ])
+    .unwrap();
+    assert!(first.contains("added 3"), "{first}");
+
+    // No changes: nothing is re-scanned.
+    let second = run([
+        "index".to_owned(),
+        docs.to_string_lossy().into_owned(),
+        "--store".to_owned(),
+        store.clone(),
+        "--incremental".to_owned(),
+    ])
+    .unwrap();
+    assert!(second.contains("added 0 / modified 0 / removed 0 / unchanged 3"), "{second}");
+
+    // Add one file, remove another.
+    fs::write(docs.join("notes/new.txt"), "fresh incremental content").unwrap();
+    fs::remove_file(docs.join("todo.txt")).unwrap();
+    let third = run([
+        "index".to_owned(),
+        docs.to_string_lossy().into_owned(),
+        "--store".to_owned(),
+        store.clone(),
+        "--incremental".to_owned(),
+    ])
+    .unwrap();
+    assert!(third.contains("added 1"), "{third}");
+    assert!(third.contains("removed 1"), "{third}");
+
+    let out = run(["search".to_owned(), "--store".to_owned(), store.clone(), "incremental".to_owned()])
+        .unwrap();
+    assert!(out.contains("new.txt"), "{out}");
+    let out = run(["search".to_owned(), "--store".to_owned(), store, "generator".to_owned()]).unwrap();
+    assert!(out.contains("0 result(s)"), "removed file must not be found: {out}");
+}
+
+#[test]
+fn searching_an_empty_store_fails_cleanly() {
+    let dir = TempDir::new("empty-store");
+    let store = dir.sub("store");
+    // Opening the store lazily creates it, so the search sees zero segments.
+    let err = run(["search".to_owned(), "--store".to_owned(), store, "anything".to_owned()])
+        .unwrap_err();
+    assert!(matches!(err, CliError::Failed(_)));
+    assert!(err.to_string().contains("empty"));
+}
+
+#[test]
+fn tables_and_curves_commands_run_without_a_corpus() {
+    let out = run(["tables", "--table", "4"]).unwrap();
+    assert!(out.contains("32-core"));
+    let out = run(["curves", "--platform", "4", "--max-threads", "4"]).unwrap();
+    assert!(out.contains("Implementation 3"));
+}

@@ -1,0 +1,309 @@
+//! Run configurations.
+//!
+//! The paper explores the design space along two axes:
+//!
+//! * which **implementation** of the index interaction is used
+//!   ([`Implementation`]), and
+//! * how many threads are allocated to each stage — the configuration tuple
+//!   *(x, y, z)* = (term-extraction threads, index-update threads, index-join
+//!   threads) ([`Configuration`]).
+//!
+//! [`GeneratorOptions`] collects the remaining design choices the paper calls
+//! out (work-distribution strategy, duplicate handling, Stage 1 scheduling),
+//! each of which the ablation benchmarks can flip independently.
+
+use serde::{Deserialize, Serialize};
+
+use dsearch_text::tokenizer::TokenizerOptions;
+
+use crate::distribute::DistributionStrategy;
+
+/// The three index-update designs compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Implementation {
+    /// Implementation 1: a single shared index, locked on update.
+    SharedLocked,
+    /// Implementation 2: per-thread replica indices, joined at the end
+    /// ("Join Forces").
+    ReplicateJoin,
+    /// Implementation 3: per-thread replica indices, never joined; the search
+    /// queries all replicas in parallel.
+    ReplicateNoJoin,
+}
+
+impl Implementation {
+    /// All three implementations, in paper order.
+    pub const ALL: [Implementation; 3] = [
+        Implementation::SharedLocked,
+        Implementation::ReplicateJoin,
+        Implementation::ReplicateNoJoin,
+    ];
+
+    /// The paper's name for the implementation ("Implementation 1" …).
+    #[must_use]
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Implementation::SharedLocked => "Implementation 1",
+            Implementation::ReplicateJoin => "Implementation 2",
+            Implementation::ReplicateNoJoin => "Implementation 3",
+        }
+    }
+
+    /// Whether the implementation performs a join stage.
+    #[must_use]
+    pub fn joins(self) -> bool {
+        matches!(self, Implementation::ReplicateJoin)
+    }
+
+    /// Whether the implementation keeps a single shared index during updates.
+    #[must_use]
+    pub fn uses_shared_index(self) -> bool {
+        matches!(self, Implementation::SharedLocked)
+    }
+}
+
+impl std::fmt::Display for Implementation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A thread-allocation tuple *(x, y, z)*.
+///
+/// * `x` — term-extraction threads (Stage 2); must be ≥ 1.
+/// * `y` — dedicated index-update threads (Stage 3); `0` means the extractor
+///   threads update the index themselves.
+/// * `z` — index-join threads; only meaningful for
+///   [`Implementation::ReplicateJoin`], `0` means the main thread performs a
+///   sequential join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Term-extraction threads (x).
+    pub extraction_threads: usize,
+    /// Index-update threads (y); 0 = extractors update the index directly.
+    pub update_threads: usize,
+    /// Index-join threads (z); 0 = sequential join on the main thread.
+    pub join_threads: usize,
+}
+
+impl Configuration {
+    /// Creates a configuration tuple `(x, y, z)`.
+    #[must_use]
+    pub fn new(extraction_threads: usize, update_threads: usize, join_threads: usize) -> Self {
+        Configuration { extraction_threads, update_threads, join_threads }
+    }
+
+    /// The sequential configuration `(1, 0, 0)`.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Configuration::new(1, 0, 0)
+    }
+
+    /// Number of threads that perform index updates: `y`, or `x` when `y == 0`.
+    #[must_use]
+    pub fn updater_count(&self) -> usize {
+        if self.update_threads == 0 {
+            self.extraction_threads
+        } else {
+            self.update_threads
+        }
+    }
+
+    /// Total worker threads used during the extraction/update phase.
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        self.extraction_threads + self.update_threads
+    }
+
+    /// Validates the tuple for a given implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when the tuple cannot be run.
+    pub fn validate(&self, implementation: Implementation) -> Result<(), String> {
+        if self.extraction_threads == 0 {
+            return Err("extraction_threads (x) must be at least 1".into());
+        }
+        if self.join_threads > 0 && !implementation.joins() {
+            return Err(format!(
+                "{} does not join indices; join_threads (z) must be 0",
+                implementation.paper_name()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})",
+            self.extraction_threads, self.update_threads, self.join_threads
+        )
+    }
+}
+
+/// How term duplicates within one file are handled (Section 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DedupMode {
+    /// Build a condensed word list per file (the paper's choice).
+    #[default]
+    PerFileWordList,
+    /// Insert every occurrence into the index and let the index discard
+    /// duplicates (the rejected alternative; kept for the ablation).
+    InsertEveryOccurrence,
+}
+
+/// Granularity of index insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InsertGranularity {
+    /// Pass the whole per-file word list to the index in one call (en bloc).
+    #[default]
+    EnBloc,
+    /// Insert terms one at a time (one lock acquisition per term for the
+    /// shared index).
+    PerTerm,
+}
+
+/// How Stage 2 treats file formats other than plain text.
+///
+/// The paper's benchmark was plain ASCII text only; handling "more file
+/// formats" is listed as future work.  [`FormatMode::DetectAndExtract`] is
+/// that extension: each file's format is detected (by extension, then content
+/// sniffing) and converted to plain text by `dsearch-formats` before
+/// tokenisation, and binary files are skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FormatMode {
+    /// Treat every file as plain text (the paper's setup).
+    #[default]
+    PlainTextOnly,
+    /// Detect each file's format and extract its plain text before
+    /// tokenisation; skip binary files.
+    DetectAndExtract,
+}
+
+/// When Stage 1 runs relative to Stage 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Stage1Mode {
+    /// Generate the complete filename list before extraction starts (the
+    /// paper's choice).
+    #[default]
+    UpFront,
+    /// Run the filename generator concurrently with the extractors, feeding
+    /// them through a shared queue (the paper found this "highly inefficient"
+    /// because of per-filename locking; kept for the ablation).
+    Concurrent,
+}
+
+/// All design choices of a run besides the thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorOptions {
+    /// Tokenizer settings.
+    pub tokenizer: TokenizerOptions,
+    /// Work-distribution strategy for Stage 2.
+    pub distribution: DistributionStrategy,
+    /// Duplicate handling.
+    pub dedup: DedupMode,
+    /// Index insertion granularity.
+    pub granularity: InsertGranularity,
+    /// Stage 1 scheduling.
+    pub stage1: Stage1Mode,
+    /// File-format handling in Stage 2.
+    pub formats: FormatMode,
+    /// Capacity of the extractor → updater buffer (files in flight) when
+    /// dedicated updater threads are used.
+    pub update_queue_capacity: usize,
+}
+
+impl GeneratorOptions {
+    /// The reference configuration the paper converged on.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        GeneratorOptions {
+            tokenizer: TokenizerOptions::default(),
+            distribution: DistributionStrategy::RoundRobin,
+            dedup: DedupMode::PerFileWordList,
+            granularity: InsertGranularity::EnBloc,
+            stage1: Stage1Mode::UpFront,
+            formats: FormatMode::PlainTextOnly,
+            update_queue_capacity: 64,
+        }
+    }
+
+    /// Effective update-queue capacity (defaults to 64 when left at 0).
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        if self.update_queue_capacity == 0 {
+            64
+        } else {
+            self.update_queue_capacity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Configuration::new(3, 1, 0).to_string(), "(3, 1, 0)");
+        assert_eq!(Configuration::new(8, 4, 1).to_string(), "(8, 4, 1)");
+        assert_eq!(Implementation::SharedLocked.to_string(), "Implementation 1");
+        assert_eq!(Implementation::ReplicateJoin.to_string(), "Implementation 2");
+        assert_eq!(Implementation::ReplicateNoJoin.to_string(), "Implementation 3");
+    }
+
+    #[test]
+    fn implementation_properties() {
+        assert!(Implementation::SharedLocked.uses_shared_index());
+        assert!(!Implementation::ReplicateJoin.uses_shared_index());
+        assert!(Implementation::ReplicateJoin.joins());
+        assert!(!Implementation::ReplicateNoJoin.joins());
+        assert_eq!(Implementation::ALL.len(), 3);
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(Configuration::new(0, 1, 0).validate(Implementation::SharedLocked).is_err());
+        assert!(Configuration::new(1, 0, 1).validate(Implementation::SharedLocked).is_err());
+        assert!(Configuration::new(1, 0, 1).validate(Implementation::ReplicateNoJoin).is_err());
+        assert!(Configuration::new(3, 5, 1).validate(Implementation::ReplicateJoin).is_ok());
+        assert!(Configuration::new(3, 1, 0).validate(Implementation::SharedLocked).is_ok());
+    }
+
+    #[test]
+    fn updater_and_worker_counts() {
+        let direct = Configuration::new(4, 0, 0);
+        assert_eq!(direct.updater_count(), 4);
+        assert_eq!(direct.worker_threads(), 4);
+        let buffered = Configuration::new(3, 2, 1);
+        assert_eq!(buffered.updater_count(), 2);
+        assert_eq!(buffered.worker_threads(), 5);
+        assert_eq!(Configuration::sequential(), Configuration::new(1, 0, 0));
+    }
+
+    #[test]
+    fn options_defaults_match_paper_choices() {
+        let opts = GeneratorOptions::paper_defaults();
+        assert_eq!(opts.distribution, DistributionStrategy::RoundRobin);
+        assert_eq!(opts.dedup, DedupMode::PerFileWordList);
+        assert_eq!(opts.granularity, InsertGranularity::EnBloc);
+        assert_eq!(opts.stage1, Stage1Mode::UpFront);
+        assert_eq!(opts.formats, FormatMode::PlainTextOnly);
+        assert!(opts.queue_capacity() > 0);
+        let default_opts = GeneratorOptions::default();
+        assert_eq!(default_opts.queue_capacity(), 64);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = Configuration::new(6, 2, 0);
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert_eq!(serde_json::from_str::<Configuration>(&json).unwrap(), cfg);
+        let imp = Implementation::ReplicateNoJoin;
+        let json = serde_json::to_string(&imp).unwrap();
+        assert_eq!(serde_json::from_str::<Implementation>(&json).unwrap(), imp);
+    }
+}

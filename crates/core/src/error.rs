@@ -1,0 +1,81 @@
+//! Pipeline error type.
+
+use dsearch_vfs::VfsError;
+
+/// Errors produced while generating an index.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The configuration tuple is invalid for the chosen implementation.
+    InvalidConfiguration(String),
+    /// Stage 1 failed to traverse the directory tree.
+    Walk(VfsError),
+    /// A file listed in Stage 1 could not be read in Stage 2.
+    Read {
+        /// The file that failed.
+        path: String,
+        /// The underlying error.
+        source: VfsError,
+    },
+    /// A worker thread panicked.
+    WorkerPanicked(&'static str),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+            PipelineError::Walk(e) => write!(f, "filename generation failed: {e}"),
+            PipelineError::Read { path, source } => write!(f, "failed to read {path}: {source}"),
+            PipelineError::WorkerPanicked(stage) => write!(f, "a {stage} worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Walk(e) => Some(e),
+            PipelineError::Read { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<VfsError> for PipelineError {
+    fn from(e: VfsError) -> Self {
+        PipelineError::Walk(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsearch_vfs::VPath;
+
+    #[test]
+    fn display_and_source() {
+        let e = PipelineError::InvalidConfiguration("x must be positive".into());
+        assert!(e.to_string().contains("x must be positive"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: PipelineError = VfsError::NotFound(VPath::new("missing")).into();
+        assert!(e.to_string().contains("missing"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = PipelineError::Read {
+            path: "a.txt".into(),
+            source: VfsError::NotFound(VPath::new("a.txt")),
+        };
+        assert!(e.to_string().contains("a.txt"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = PipelineError::WorkerPanicked("extraction");
+        assert!(e.to_string().contains("extraction"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

@@ -1,0 +1,63 @@
+//! The parallel index generator for desktop search — the primary contribution
+//! of Meder & Tichy, *"Parallelizing an Index Generator for Desktop Search"*
+//! (KIT technical report 2010-9).
+//!
+//! The generator runs in three stages:
+//!
+//! 1. **Filename generation** ([`stage1`]) — a single thread traverses the
+//!    directory tree and produces the complete list of files (the paper
+//!    measured this at 2–5 % of the runtime, so it is not parallelised).
+//! 2. **Term extraction** ([`stage2`]) — *x* extractor threads read their
+//!    private share of the files (round-robin distribution by default, see
+//!    [`distribute`]), tokenize them and build a de-duplicated word list per
+//!    file.
+//! 3. **Index update** ([`stage3`]) — the word lists are inserted into the
+//!    inverted index, either directly by the extractors or by *y* dedicated
+//!    updater threads fed through a bounded buffer.
+//!
+//! Three implementations of the index-update interaction are provided, exactly
+//! as compared in the paper ([`config::Implementation`]):
+//!
+//! | Implementation | Index organisation | Final step |
+//! |---|---|---|
+//! | 1 `SharedLocked`   | one shared index, locked per file insert | — |
+//! | 2 `ReplicateJoin`  | one private replica per updating thread | replicas joined by *z* threads |
+//! | 3 `ReplicateNoJoin`| one private replica per updating thread | replicas kept; queries search them all |
+//!
+//! [`runner::IndexGenerator`] orchestrates a run for any `(x, y, z)`
+//! configuration and returns a [`report::RunReport`] with per-stage timings —
+//! the quantities the paper's Tables 1–4 are built from.
+//!
+//! # Example
+//!
+//! ```
+//! use dsearch_core::config::{Configuration, Implementation};
+//! use dsearch_core::runner::IndexGenerator;
+//! use dsearch_corpus::{materialize_to_memfs, CorpusSpec};
+//! use dsearch_vfs::VPath;
+//!
+//! let (fs, _) = materialize_to_memfs(&CorpusSpec::tiny(), 7);
+//! let generator = IndexGenerator::default();
+//! let run = generator
+//!     .run(&fs, &VPath::root(), Implementation::SharedLocked, Configuration::new(2, 0, 0))
+//!     .unwrap();
+//! assert!(run.outcome.file_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod distribute;
+pub mod error;
+pub mod report;
+pub mod runner;
+pub mod stage1;
+pub mod stage2;
+pub mod stage3;
+pub mod timing;
+
+pub use config::{Configuration, FormatMode, GeneratorOptions, Implementation};
+pub use error::PipelineError;
+pub use report::{IndexOutcome, ParallelRun, RunReport, SequentialRun};
+pub use runner::IndexGenerator;

@@ -1,0 +1,176 @@
+//! Document text generation.
+//!
+//! Generates pseudo-natural-language plain text: words drawn from a
+//! [`Vocabulary`] under a Zipf distribution, assembled into sentences and
+//! paragraphs until a target byte size is reached.  The Zipf skew is what
+//! gives files realistic *duplicate-term ratios*, which is the quantity the
+//! paper's "condensed word list" optimisation exploits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+
+use crate::spec::CorpusSpec;
+use crate::vocab::Vocabulary;
+
+/// Generates document text for a corpus.
+#[derive(Debug, Clone)]
+pub struct DocumentGenerator {
+    vocab: Vocabulary,
+    zipf: Zipf<f64>,
+    words_per_sentence: (usize, usize),
+    sentences_per_paragraph: (usize, usize),
+}
+
+impl DocumentGenerator {
+    /// Creates a generator for the given spec, building the vocabulary from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's vocabulary size is zero or the Zipf exponent is
+    /// not positive (call [`CorpusSpec::validate`] first to get a friendly
+    /// error instead).
+    #[must_use]
+    pub fn new(spec: &CorpusSpec, seed: u64) -> Self {
+        let vocab = Vocabulary::generate(spec.vocabulary_size, seed);
+        let zipf = Zipf::new(spec.vocabulary_size as u64, spec.zipf_exponent)
+            .expect("valid zipf parameters");
+        DocumentGenerator {
+            vocab,
+            zipf,
+            words_per_sentence: (5, 18),
+            sentences_per_paragraph: (3, 8),
+        }
+    }
+
+    /// The vocabulary this generator draws from.
+    #[must_use]
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Samples one word rank from the Zipf distribution.
+    fn sample_rank<R: Rng>(&self, rng: &mut R) -> usize {
+        // Zipf samples in 1..=N; rank 1 is the most frequent.
+        (self.zipf.sample(rng) as usize - 1).min(self.vocab.len() - 1)
+    }
+
+    /// Generates a document of at least `target_bytes` bytes (and not much
+    /// more: generation stops at the first paragraph boundary past the
+    /// target).
+    ///
+    /// The same `(doc_seed)` always produces the same text.
+    #[must_use]
+    pub fn generate(&self, target_bytes: u64, doc_seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(doc_seed);
+        let mut out = Vec::with_capacity(target_bytes as usize + 256);
+        while (out.len() as u64) < target_bytes {
+            let sentences = rng.gen_range(self.sentences_per_paragraph.0..=self.sentences_per_paragraph.1);
+            for _ in 0..sentences {
+                let words = rng.gen_range(self.words_per_sentence.0..=self.words_per_sentence.1);
+                for i in 0..words {
+                    let rank = self.sample_rank(&mut rng);
+                    let word = self.vocab.word(rank);
+                    if i == 0 {
+                        // Capitalise sentence starts like real text.
+                        let mut chars = word.chars();
+                        if let Some(first) = chars.next() {
+                            out.extend(first.to_ascii_uppercase().to_string().as_bytes());
+                            out.extend(chars.as_str().as_bytes());
+                        }
+                    } else {
+                        out.extend(word.as_bytes());
+                    }
+                    if i + 1 < words {
+                        out.push(b' ');
+                    }
+                }
+                out.extend(b". ");
+            }
+            out.extend(b"\n\n");
+        }
+        out
+    }
+
+    /// Expected number of term occurrences in a document of `bytes` bytes.
+    ///
+    /// Used by the simulator's cost model.
+    #[must_use]
+    pub fn expected_terms_for_bytes(&self, bytes: u64) -> u64 {
+        // Every word is followed by roughly one separator byte plus sentence
+        // punctuation overhead (~15 %).
+        let per_word = self.vocab.mean_word_len() + 1.35;
+        (bytes as f64 / per_word).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsearch_text::tokenizer::Tokenizer;
+    use dsearch_text::wordlist::WordList;
+
+    fn generator() -> DocumentGenerator {
+        DocumentGenerator::new(&CorpusSpec::tiny(), 7)
+    }
+
+    #[test]
+    fn generates_at_least_target_bytes() {
+        let g = generator();
+        for target in [0u64, 100, 1_000, 10_000] {
+            let doc = g.generate(target, 1);
+            assert!(doc.len() as u64 >= target, "target {target}, got {}", doc.len());
+            // ...but not wildly more (at most one paragraph of slack; a
+            // paragraph is bounded by 8 sentences of 18 long words).
+            assert!((doc.len() as u64) < target + 6_000);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generator();
+        assert_eq!(g.generate(2_000, 5), g.generate(2_000, 5));
+        assert_ne!(g.generate(2_000, 5), g.generate(2_000, 6));
+    }
+
+    #[test]
+    fn text_is_ascii_and_tokenizable() {
+        let g = generator();
+        let doc = g.generate(5_000, 3);
+        assert!(doc.is_ascii());
+        let tok = Tokenizer::default();
+        let (terms, stats) = tok.tokenize(&doc);
+        assert!(stats.terms_emitted > 100);
+        // Every token is a vocabulary word (lowercased).
+        let vocab: std::collections::HashSet<&str> =
+            g.vocabulary().words().iter().map(String::as_str).collect();
+        for t in &terms {
+            assert!(vocab.contains(t.as_str()), "token {t} not in vocabulary");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_produces_duplicates_within_a_document() {
+        let g = generator();
+        let doc = g.generate(20_000, 11);
+        let tok = Tokenizer::default();
+        let (terms, _) = tok.tokenize(&doc);
+        let list = WordList::from_terms(terms.iter().cloned());
+        // With a Zipfian distribution the distinct/occurrence ratio must be
+        // well below 1 for a 20 kB document.
+        let ratio = list.len() as f64 / terms.len() as f64;
+        assert!(ratio < 0.65, "expected heavy duplication, distinct ratio {ratio}");
+    }
+
+    #[test]
+    fn expected_terms_estimate_is_close() {
+        let g = generator();
+        let doc = g.generate(30_000, 13);
+        let tok = Tokenizer::default();
+        let (_, stats) = tok.tokenize(&doc);
+        let estimate = g.expected_terms_for_bytes(doc.len() as u64);
+        let ratio = estimate as f64 / stats.terms_emitted as f64;
+        assert!((0.6..1.4).contains(&ratio), "estimate {estimate}, actual {}", stats.terms_emitted);
+    }
+}

@@ -1,0 +1,309 @@
+//! Corpus materialisation.
+//!
+//! Turns a [`CorpusSpec`] into actual files in a file-system sink and returns
+//! a [`CorpusManifest`] describing what was written.  Two sinks are provided:
+//! the in-memory [`MemFs`] (used by tests, benchmarks and the simulator) and
+//! any writable host directory (via [`DirSink`]) for experiments against a
+//! real disk.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+use dsearch_vfs::{MemFs, VPath};
+
+use crate::docgen::DocumentGenerator;
+use crate::spec::CorpusSpec;
+
+/// Where generated files are written.
+pub trait CorpusSink {
+    /// Creates `path` with the given contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the failure; materialisation stops at the
+    /// first error.
+    fn write_file(&mut self, path: &VPath, contents: &[u8]) -> Result<(), String>;
+}
+
+impl CorpusSink for MemFs {
+    fn write_file(&mut self, path: &VPath, contents: &[u8]) -> Result<(), String> {
+        self.add_file(path, contents.to_vec()).map_err(|e| e.to_string())
+    }
+}
+
+/// A sink that writes below a host directory.
+#[derive(Debug)]
+pub struct DirSink {
+    root: std::path::PathBuf,
+}
+
+impl DirSink {
+    /// Creates a sink rooted at `root` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the root directory cannot be created.
+    pub fn new(root: impl Into<std::path::PathBuf>) -> Result<Self, String> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| e.to_string())?;
+        Ok(DirSink { root })
+    }
+}
+
+impl CorpusSink for DirSink {
+    fn write_file(&mut self, path: &VPath, contents: &[u8]) -> Result<(), String> {
+        let host = path.to_os_path(&self.root);
+        if let Some(parent) = host.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(&host, contents).map_err(|e| e.to_string())
+    }
+}
+
+/// One generated file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Path of the file.
+    pub path: VPath,
+    /// Size in bytes.
+    pub size: u64,
+    /// `true` for one of the corpus's large files.
+    pub is_large: bool,
+}
+
+/// Description of a materialised corpus.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusManifest {
+    entries: Vec<ManifestEntry>,
+}
+
+impl CorpusManifest {
+    /// All generated files.
+    #[must_use]
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Number of files generated.
+    #[must_use]
+    pub fn file_count(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Total bytes generated.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.size).sum()
+    }
+
+    /// Number of large files generated.
+    #[must_use]
+    pub fn large_file_count(&self) -> u64 {
+        self.entries.iter().filter(|e| e.is_large).count() as u64
+    }
+
+    /// Paths of every file, in generation order.
+    #[must_use]
+    pub fn paths(&self) -> Vec<VPath> {
+        self.entries.iter().map(|e| e.path.clone()).collect()
+    }
+}
+
+fn directory_for(spec: &CorpusSpec, rng: &mut StdRng, dir_cache: &mut Vec<VPath>) -> VPath {
+    if dir_cache.len() < spec.directories {
+        // Create a fresh directory, nested under a random existing one to get
+        // an unbalanced tree (the paper notes directory trees are unbalanced).
+        let parent = if dir_cache.is_empty() || rng.gen_bool(0.35) {
+            VPath::root()
+        } else {
+            dir_cache[rng.gen_range(0..dir_cache.len())].clone()
+        };
+        let name = format!("dir{:05}", dir_cache.len());
+        let dir = if parent.depth() >= spec.max_depth {
+            VPath::root().join(&name)
+        } else {
+            parent.join(&name)
+        };
+        dir_cache.push(dir.clone());
+        dir
+    } else {
+        dir_cache[rng.gen_range(0..dir_cache.len())].clone()
+    }
+}
+
+/// Generates the corpus described by `spec` into `sink`.
+///
+/// Generation is fully deterministic in `(spec, seed)`.
+///
+/// # Errors
+///
+/// Returns the spec-validation error or the first sink write error.
+pub fn materialize<S: CorpusSink>(
+    spec: &CorpusSpec,
+    seed: u64,
+    sink: &mut S,
+) -> Result<CorpusManifest, String> {
+    spec.validate()?;
+    let gen = DocumentGenerator::new(spec, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let sigma = if spec.small_file_sigma == 0.0 { 1e-9 } else { spec.small_file_sigma };
+    let size_dist = LogNormal::new((spec.small_file_median_bytes as f64).ln(), sigma)
+        .map_err(|e| format!("invalid log-normal parameters: {e}"))?;
+
+    let mut dir_cache: Vec<VPath> = Vec::with_capacity(spec.directories);
+    let mut entries = Vec::with_capacity(spec.file_count());
+
+    for i in 0..spec.small_files {
+        let dir = directory_for(spec, &mut rng, &mut dir_cache);
+        let size = size_dist.sample(&mut rng).max(32.0).min(4.0e7) as u64;
+        let path = dir.join(format!("doc{i:06}.txt"));
+        let contents = gen.generate(size, seed ^ (i as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
+        sink.write_file(&path, &contents)?;
+        entries.push(ManifestEntry { path, size: contents.len() as u64, is_large: false });
+    }
+
+    for i in 0..spec.large_files {
+        let path = VPath::new(format!("large/large{i:02}.txt"));
+        let contents = gen.generate(
+            spec.large_file_bytes,
+            seed ^ 0xdead_beef ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        sink.write_file(&path, &contents)?;
+        entries.push(ManifestEntry { path, size: contents.len() as u64, is_large: true });
+    }
+
+    Ok(CorpusManifest { entries })
+}
+
+/// Convenience: materialises `spec` into a fresh [`MemFs`].
+///
+/// # Panics
+///
+/// Panics if the spec fails validation (use [`materialize`] directly to handle
+/// the error).
+#[must_use]
+pub fn materialize_to_memfs(spec: &CorpusSpec, seed: u64) -> (MemFs, CorpusManifest) {
+    let mut fs = MemFs::new();
+    let manifest = materialize(spec, seed, &mut fs).expect("valid corpus spec");
+    (fs, manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsearch_vfs::{FileSystem, Walker};
+
+    #[test]
+    fn tiny_corpus_materialises_into_memfs() {
+        let spec = CorpusSpec::tiny();
+        let (fs, manifest) = materialize_to_memfs(&spec, 1);
+        assert_eq!(manifest.file_count() as usize, spec.file_count());
+        assert_eq!(fs.file_count(), spec.file_count());
+        assert_eq!(manifest.large_file_count() as usize, spec.large_files);
+        assert_eq!(manifest.total_bytes(), fs.total_bytes());
+        assert!(manifest.total_bytes() > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CorpusSpec::tiny();
+        let (_, m1) = materialize_to_memfs(&spec, 42);
+        let (_, m2) = materialize_to_memfs(&spec, 42);
+        assert_eq!(m1, m2);
+        let (_, m3) = materialize_to_memfs(&spec, 43);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn every_manifest_entry_is_readable_with_matching_size() {
+        let spec = CorpusSpec::tiny();
+        let (fs, manifest) = materialize_to_memfs(&spec, 5);
+        for entry in manifest.entries() {
+            let data = fs.read(&entry.path).unwrap();
+            assert_eq!(data.len() as u64, entry.size);
+        }
+    }
+
+    #[test]
+    fn walker_and_manifest_agree() {
+        let spec = CorpusSpec::tiny();
+        let (fs, manifest) = materialize_to_memfs(&spec, 9);
+        let (files, stats) = Walker::new().walk(&fs, &VPath::root()).unwrap();
+        assert_eq!(files.len() as u64, manifest.file_count());
+        assert_eq!(stats.total_bytes, manifest.total_bytes());
+    }
+
+    #[test]
+    fn small_files_dominate_count_and_large_files_dominate_max_size() {
+        let spec = CorpusSpec::tiny();
+        let (_, manifest) = materialize_to_memfs(&spec, 2);
+        let max_small = manifest
+            .entries()
+            .iter()
+            .filter(|e| !e.is_large)
+            .map(|e| e.size)
+            .max()
+            .unwrap();
+        let min_large = manifest
+            .entries()
+            .iter()
+            .filter(|e| e.is_large)
+            .map(|e| e.size)
+            .min()
+            .unwrap();
+        assert!(min_large >= spec.large_file_bytes);
+        assert!(min_large > max_small / 2, "large files should be large relative to small ones");
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let mut spec = CorpusSpec::tiny();
+        spec.vocabulary_size = 0;
+        let mut fs = MemFs::new();
+        assert!(materialize(&spec, 1, &mut fs).is_err());
+    }
+
+    #[test]
+    fn dir_sink_writes_to_disk() {
+        let root = std::env::temp_dir().join(format!("dsearch-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut sink = DirSink::new(&root).unwrap();
+        let mut spec = CorpusSpec::tiny();
+        spec.small_files = 5;
+        spec.large_files = 1;
+        spec.large_file_bytes = 4096;
+        let manifest = materialize(&spec, 3, &mut sink).unwrap();
+        assert_eq!(manifest.file_count(), 6);
+        for entry in manifest.entries() {
+            let host = entry.path.to_os_path(&root);
+            let meta = std::fs::metadata(&host).unwrap();
+            assert_eq!(meta.len(), entry.size);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn directory_tree_respects_configured_spread() {
+        let mut spec = CorpusSpec::tiny();
+        spec.small_files = 60;
+        spec.directories = 8;
+        let (_, manifest) = materialize_to_memfs(&spec, 4);
+        let dirs: std::collections::HashSet<String> = manifest
+            .entries()
+            .iter()
+            .filter(|e| !e.is_large)
+            .filter_map(|e| e.path.parent().map(|p| p.into_string()))
+            .collect();
+        assert!(dirs.len() <= spec.directories + 1);
+        assert!(dirs.len() >= 2, "files should be spread over several directories");
+    }
+
+    #[test]
+    fn manifest_paths_accessor() {
+        let spec = CorpusSpec::tiny();
+        let (_, manifest) = materialize_to_memfs(&spec, 8);
+        assert_eq!(manifest.paths().len() as u64, manifest.file_count());
+    }
+}

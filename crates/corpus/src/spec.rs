@@ -1,0 +1,239 @@
+//! Corpus specifications.
+//!
+//! A [`CorpusSpec`] fully describes a synthetic benchmark corpus.  The
+//! constants in [`CorpusSpec::paper`] encode the paper's benchmark: about
+//! 51 000 ASCII files — many small files plus five large ones — totalling
+//! roughly 869 MB of plain text.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a synthetic corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Number of small files.
+    pub small_files: usize,
+    /// Median size of a small file, in bytes.
+    pub small_file_median_bytes: u64,
+    /// Log-normal shape parameter (sigma) of small-file sizes.
+    pub small_file_sigma: f64,
+    /// Number of large files (the paper's corpus has five).
+    pub large_files: usize,
+    /// Size of each large file, in bytes.
+    pub large_file_bytes: u64,
+    /// Vocabulary size (distinct terms available to the generator).
+    pub vocabulary_size: usize,
+    /// Zipf exponent of the term distribution (≈1.0 for natural language).
+    pub zipf_exponent: f64,
+    /// Number of directories the small files are spread across.
+    pub directories: usize,
+    /// Maximum nesting depth of the directory tree.
+    pub max_depth: usize,
+}
+
+impl CorpusSpec {
+    /// The paper's benchmark at full scale: ≈51 000 files, ≈869 MB.
+    ///
+    /// With five large files at 32 MiB each (≈160 MiB total) the remaining
+    /// ≈709 MB is spread over 50 995 small files, giving a mean small-file
+    /// size of ≈14 kB, which matches "many small files".
+    #[must_use]
+    pub fn paper() -> Self {
+        CorpusSpec {
+            small_files: 50_995,
+            small_file_median_bytes: 9_000,
+            small_file_sigma: 0.9,
+            large_files: 5,
+            large_file_bytes: 32 * 1024 * 1024,
+            vocabulary_size: 200_000,
+            zipf_exponent: 1.05,
+            directories: 1_200,
+            max_depth: 6,
+            }
+    }
+
+    /// The paper's benchmark scaled by `scale` (0 < scale ≤ 1) while keeping
+    /// its shape: the file-count and byte totals shrink proportionally, the
+    /// size *distribution* and the small/large mix stay the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    #[must_use]
+    pub fn paper_scaled(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        let paper = Self::paper();
+        let small_files = ((paper.small_files as f64 * scale).round() as usize).max(8);
+        let large_files = if scale >= 0.01 { paper.large_files } else { 2 };
+        let large_file_bytes =
+            ((paper.large_file_bytes as f64 * scale).round() as u64).max(16 * 1024);
+        let vocabulary_size =
+            ((paper.vocabulary_size as f64 * scale.sqrt()).round() as usize).max(2_000);
+        let directories = ((paper.directories as f64 * scale).round() as usize).max(4);
+        CorpusSpec {
+            small_files,
+            large_files,
+            large_file_bytes,
+            vocabulary_size,
+            directories,
+            ..paper
+        }
+    }
+
+    /// A tiny corpus for unit tests (a few dozen files, tens of kB).
+    #[must_use]
+    pub fn tiny() -> Self {
+        CorpusSpec {
+            small_files: 30,
+            small_file_median_bytes: 400,
+            small_file_sigma: 0.7,
+            large_files: 2,
+            large_file_bytes: 8 * 1024,
+            vocabulary_size: 2_000,
+            zipf_exponent: 1.05,
+            directories: 5,
+            max_depth: 3,
+        }
+    }
+
+    /// Total number of files the corpus will contain.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.small_files + self.large_files
+    }
+
+    /// Expected total corpus size in bytes.
+    ///
+    /// The log-normal mean is `median * exp(sigma²/2)`.
+    #[must_use]
+    pub fn expected_bytes(&self) -> u64 {
+        let mean_small =
+            self.small_file_median_bytes as f64 * (self.small_file_sigma.powi(2) / 2.0).exp();
+        (self.small_files as f64 * mean_small) as u64
+            + self.large_files as u64 * self.large_file_bytes
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.small_files == 0 && self.large_files == 0 {
+            return Err("corpus must contain at least one file".into());
+        }
+        if self.small_files > 0 && self.small_file_median_bytes == 0 {
+            return Err("small_file_median_bytes must be positive".into());
+        }
+        if self.large_files > 0 && self.large_file_bytes == 0 {
+            return Err("large_file_bytes must be positive".into());
+        }
+        if self.vocabulary_size == 0 {
+            return Err("vocabulary_size must be positive".into());
+        }
+        if !(self.zipf_exponent.is_finite()) || self.zipf_exponent <= 0.0 {
+            return Err(format!("zipf_exponent must be positive, got {}", self.zipf_exponent));
+        }
+        if !(self.small_file_sigma.is_finite()) || self.small_file_sigma < 0.0 {
+            return Err(format!("small_file_sigma must be non-negative, got {}", self.small_file_sigma));
+        }
+        if self.directories == 0 {
+            return Err("directories must be positive".into());
+        }
+        if self.max_depth == 0 {
+            return Err("max_depth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        Self::paper_scaled(0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_matches_headline_numbers() {
+        let spec = CorpusSpec::paper();
+        assert_eq!(spec.file_count(), 51_000);
+        let bytes = spec.expected_bytes();
+        // ≈869 MB (decimal). Allow ±12 %.
+        let target = 869_000_000f64;
+        let ratio = bytes as f64 / target;
+        assert!((0.88..1.12).contains(&ratio), "expected ≈869 MB, got {bytes} ({ratio:.2}×)");
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_spec_shrinks_proportionally() {
+        let full = CorpusSpec::paper();
+        let tenth = CorpusSpec::paper_scaled(0.1);
+        assert!(tenth.small_files < full.small_files);
+        assert!(tenth.expected_bytes() < full.expected_bytes());
+        // Roughly 10 % of the byte volume (large files scale too).
+        let ratio = tenth.expected_bytes() as f64 / full.expected_bytes() as f64;
+        assert!((0.05..0.2).contains(&ratio), "ratio {ratio}");
+        assert!(tenth.validate().is_ok());
+    }
+
+    #[test]
+    fn full_scale_is_identity() {
+        assert_eq!(CorpusSpec::paper_scaled(1.0).small_files, CorpusSpec::paper().small_files);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_panics() {
+        let _ = CorpusSpec::paper_scaled(0.0);
+    }
+
+    #[test]
+    fn tiny_spec_is_valid() {
+        let spec = CorpusSpec::tiny();
+        assert!(spec.validate().is_ok());
+        assert!(spec.file_count() < 100);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut spec = CorpusSpec::tiny();
+        spec.small_files = 0;
+        spec.large_files = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = CorpusSpec::tiny();
+        spec.vocabulary_size = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = CorpusSpec::tiny();
+        spec.zipf_exponent = -1.0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = CorpusSpec::tiny();
+        spec.directories = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = CorpusSpec::tiny();
+        spec.small_file_median_bytes = 0;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_a_valid_scaled_paper_spec() {
+        let spec = CorpusSpec::default();
+        assert!(spec.validate().is_ok());
+        assert!(spec.file_count() >= 100);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = CorpusSpec::tiny();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: CorpusSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,146 @@
+//! Synthetic vocabulary generation.
+//!
+//! Documents are built from a fixed vocabulary of pseudo-English words.  Words
+//! are generated deterministically from a seed by gluing syllables together,
+//! so two corpora generated with the same spec and seed are byte-identical —
+//! a requirement for reproducible experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Syllables used to build pseudo-words.
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n",
+    "p", "pl", "pr", "qu", "r", "s", "sc", "sh", "sl", "sp", "st", "str", "t", "th", "tr", "v",
+    "w", "z",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "ou"];
+const CODAS: &[&str] = &[
+    "", "b", "ck", "d", "g", "l", "ll", "m", "n", "nd", "ng", "nt", "p", "r", "rd", "rk", "rm",
+    "s", "ss", "st", "t", "tch", "x",
+];
+
+/// A deterministic synthetic vocabulary.
+///
+/// Rank 0 is the most frequent word under the Zipf distribution used by the
+/// document generator.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Generates `size` distinct pseudo-words from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn generate(size: usize, seed: u64) -> Self {
+        assert!(size > 0, "vocabulary size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_u64);
+        let mut words = Vec::with_capacity(size);
+        let mut seen = std::collections::HashSet::with_capacity(size * 2);
+        while words.len() < size {
+            let syllables = rng.gen_range(1..=4);
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+                w.push_str(NUCLEI[rng.gen_range(0..NUCLEI.len())]);
+                w.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+            }
+            if w.len() >= 2 && seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        Vocabulary { words }
+    }
+
+    /// Number of words in the vocabulary.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` when the vocabulary is empty (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word at frequency rank `rank` (0 = most frequent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= len()`.
+    #[must_use]
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// All words, by rank.
+    #[must_use]
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Average word length in bytes (used by the cost model to convert bytes
+    /// to expected term counts).
+    #[must_use]
+    pub fn mean_word_len(&self) -> f64 {
+        if self.words.is_empty() {
+            return 0.0;
+        }
+        self.words.iter().map(|w| w.len() as f64).sum::<f64>() / self.words.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_of_distinct_words() {
+        let v = Vocabulary::generate(1000, 7);
+        assert_eq!(v.len(), 1000);
+        let distinct: std::collections::HashSet<&str> =
+            v.words().iter().map(String::as_str).collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Vocabulary::generate(500, 99);
+        let b = Vocabulary::generate(500, 99);
+        assert_eq!(a.words(), b.words());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Vocabulary::generate(500, 1);
+        let b = Vocabulary::generate(500, 2);
+        assert_ne!(a.words(), b.words());
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii_terms() {
+        let v = Vocabulary::generate(2000, 3);
+        for w in v.words() {
+            assert!(w.len() >= 2);
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "bad word {w:?}");
+        }
+    }
+
+    #[test]
+    fn mean_word_len_is_reasonable() {
+        let v = Vocabulary::generate(1000, 11);
+        let mean = v.mean_word_len();
+        assert!(mean > 2.0 && mean < 20.0, "mean word length {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = Vocabulary::generate(0, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Byte decoding and ASCII transliteration.
+//!
+//! The paper's tokenizer (and ours, in `dsearch-text`) only treats ASCII
+//! letters and digits as term characters, so accented characters in real
+//! desktop documents would silently split terms ("café" → "caf").  The
+//! transliteration pass here maps the common Latin-1 / Latin Extended-A
+//! letters onto their base ASCII letters before tokenisation, both for
+//! ISO-8859-1 bytes and for their UTF-8 encodings, so the resulting index
+//! terms match what a user would type into a search box.
+
+/// Statistics of one decode pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Bytes examined.
+    pub bytes_in: u64,
+    /// Bytes produced.
+    pub bytes_out: u64,
+    /// Non-ASCII characters transliterated to ASCII letters.
+    pub transliterated: u64,
+    /// Non-ASCII characters with no mapping (replaced by a space).
+    pub dropped: u64,
+}
+
+/// Maps one Unicode scalar to its ASCII transliteration, if any.
+///
+/// Covers the Latin-1 Supplement letters and a handful of common Latin
+/// Extended-A letters (œ, ß, ligatures are expanded to two letters).
+fn transliterate_char(c: char) -> Option<&'static str> {
+    let out = match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' => "a",
+        'À' | 'Á' | 'Â' | 'Ã' | 'Ä' | 'Å' | 'Ā' => "A",
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' => "e",
+        'È' | 'É' | 'Ê' | 'Ë' | 'Ē' => "E",
+        'ì' | 'í' | 'î' | 'ï' | 'ī' => "i",
+        'Ì' | 'Í' | 'Î' | 'Ï' => "I",
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' => "o",
+        'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö' | 'Ø' => "O",
+        'ù' | 'ú' | 'û' | 'ü' | 'ū' => "u",
+        'Ù' | 'Ú' | 'Û' | 'Ü' => "U",
+        'ý' | 'ÿ' => "y",
+        'Ý' => "Y",
+        'ñ' | 'ń' => "n",
+        'Ñ' => "N",
+        'ç' | 'ć' | 'č' => "c",
+        'Ç' | 'Č' => "C",
+        'š' | 'ś' => "s",
+        'Š' => "S",
+        'ž' | 'ź' | 'ż' => "z",
+        'Ž' => "Z",
+        'ß' => "ss",
+        'œ' => "oe",
+        'Œ' => "OE",
+        'æ' => "ae",
+        'Æ' => "AE",
+        'ð' => "d",
+        'þ' => "th",
+        'ł' => "l",
+        'đ' => "d",
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// Decodes a byte buffer into ASCII text.
+///
+/// The buffer is treated as UTF-8 when it decodes cleanly and as ISO-8859-1
+/// (Latin-1) otherwise.  ASCII bytes pass through untouched; everything else
+/// is transliterated via the accent table or replaced by a single space so
+/// term boundaries are preserved.
+///
+/// # Example
+///
+/// ```
+/// use dsearch_formats::transliterate_to_ascii;
+///
+/// let (text, stats) = transliterate_to_ascii("Café Zürich".as_bytes());
+/// assert_eq!(text, "Cafe Zurich");
+/// assert_eq!(stats.transliterated, 2);
+/// ```
+#[must_use]
+pub fn transliterate_to_ascii(bytes: &[u8]) -> (String, DecodeStats) {
+    let mut stats = DecodeStats { bytes_in: bytes.len() as u64, ..DecodeStats::default() };
+    if bytes.is_ascii() {
+        stats.bytes_out = bytes.len() as u64;
+        return (String::from_utf8_lossy(bytes).into_owned(), stats);
+    }
+    let decoded: String = match std::str::from_utf8(bytes) {
+        Ok(s) => s.to_owned(),
+        // Latin-1: every byte maps to the code point of the same value.
+        Err(_) => bytes.iter().map(|&b| b as char).collect(),
+    };
+    let mut out = String::with_capacity(decoded.len());
+    for c in decoded.chars() {
+        if c.is_ascii() {
+            out.push(c);
+        } else if let Some(mapped) = transliterate_char(c) {
+            out.push_str(mapped);
+            stats.transliterated += 1;
+        } else {
+            out.push(' ');
+            stats.dropped += 1;
+        }
+    }
+    stats.bytes_out = out.len() as u64;
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_passes_through_unchanged() {
+        let (text, stats) = transliterate_to_ascii(b"plain ascii text 123");
+        assert_eq!(text, "plain ascii text 123");
+        assert_eq!(stats.transliterated, 0);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.bytes_in, stats.bytes_out);
+    }
+
+    #[test]
+    fn utf8_accents_are_transliterated() {
+        let (text, stats) = transliterate_to_ascii("résumé naïve São Paulo".as_bytes());
+        assert_eq!(text, "resume naive Sao Paulo");
+        assert_eq!(stats.transliterated, 4);
+    }
+
+    #[test]
+    fn latin1_bytes_are_transliterated() {
+        // "Müller" in ISO-8859-1: 0xFC is ü.
+        let latin1 = [b'M', 0xFC, b'l', b'l', b'e', b'r'];
+        let (text, stats) = transliterate_to_ascii(&latin1);
+        assert_eq!(text, "Muller");
+        assert_eq!(stats.transliterated, 1);
+    }
+
+    #[test]
+    fn ligatures_expand_to_multiple_letters() {
+        let (text, _) = transliterate_to_ascii("straße cœur Æsir".as_bytes());
+        assert_eq!(text, "strasse coeur AEsir");
+    }
+
+    #[test]
+    fn unmapped_characters_become_spaces() {
+        let (text, stats) = transliterate_to_ascii("data → index 漢字".as_bytes());
+        assert_eq!(text, "data   index   ");
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.transliterated, 0);
+    }
+
+    #[test]
+    fn term_boundaries_are_preserved_for_tokenisation() {
+        // The replacement must never glue two words together.
+        let (text, _) = transliterate_to_ascii("alpha→beta".as_bytes());
+        assert_eq!(text, "alpha beta");
+    }
+}

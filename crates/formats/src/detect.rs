@@ -1,0 +1,238 @@
+//! Format detection.
+//!
+//! Detection is a two-step process, mirroring what desktop indexers do in
+//! practice:
+//!
+//! 1. the file extension is consulted first (cheap and usually right);
+//! 2. when the extension is missing or unknown, the first few kilobytes of
+//!    content are sniffed ([`sniff_content`]).
+//!
+//! The result records which of the two signals decided the outcome so callers
+//! (and the format statistics in the run report) can tell how often sniffing
+//! had to be used.
+
+use crate::format::DocumentFormat;
+
+/// How many leading bytes content sniffing examines.
+const SNIFF_WINDOW: usize = 4096;
+
+/// Which signal produced a detection result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatHint {
+    /// The file extension determined the format.
+    Extension,
+    /// The leading bytes of the content determined the format.
+    Content,
+    /// Neither signal matched; the default (plain text) was assumed.
+    Default,
+}
+
+/// Extracts the lowercase extension of a path-like string, if any.
+fn extension_of(path: &str) -> Option<String> {
+    let name = path.rsplit(['/', '\\']).next().unwrap_or(path);
+    let (stem, ext) = name.rsplit_once('.')?;
+    if stem.is_empty() || ext.is_empty() {
+        return None;
+    }
+    Some(ext.to_ascii_lowercase())
+}
+
+/// Sniffs a document's format from its leading bytes.
+///
+/// The checks, in order:
+///
+/// * a NUL byte or a very high proportion of non-ASCII control bytes →
+///   [`DocumentFormat::Binary`];
+/// * a `<?xml`, `<!DOCTYPE html`, `<html` or `<wpx` prefix → HTML or WPX;
+/// * a leading Markdown heading (`# `) or horizontal rule → Markdown;
+/// * several comma-separated rows of equal field count → CSV.
+///
+/// Anything else is reported as plain text.
+#[must_use]
+pub fn sniff_content(bytes: &[u8]) -> DocumentFormat {
+    let window = &bytes[..bytes.len().min(SNIFF_WINDOW)];
+    if window.is_empty() {
+        return DocumentFormat::PlainText;
+    }
+    if looks_binary(window) {
+        return DocumentFormat::Binary;
+    }
+    let text: String = window.iter().map(|&b| b as char).collect();
+    let trimmed = text.trim_start();
+    let lower = trimmed.to_ascii_lowercase();
+    if lower.starts_with("<wpx") {
+        return DocumentFormat::Wpx;
+    }
+    if lower.starts_with("<?xml")
+        || lower.starts_with("<!doctype html")
+        || lower.starts_with("<html")
+        || lower.starts_with("<head")
+        || lower.starts_with("<body")
+    {
+        return DocumentFormat::Html;
+    }
+    if looks_markdown(trimmed) {
+        return DocumentFormat::Markdown;
+    }
+    if looks_csv(trimmed) {
+        return DocumentFormat::Csv;
+    }
+    DocumentFormat::PlainText
+}
+
+fn looks_binary(window: &[u8]) -> bool {
+    if window.contains(&0) {
+        return true;
+    }
+    let suspicious = window
+        .iter()
+        .filter(|&&b| b < 0x09 || (b > 0x0d && b < 0x20) || b == 0x7f)
+        .count();
+    // More than 5 % control characters is not text.
+    suspicious * 20 > window.len()
+}
+
+fn looks_markdown(text: &str) -> bool {
+    let mut heading_lines = 0usize;
+    let mut list_lines = 0usize;
+    let mut lines = 0usize;
+    for line in text.lines().take(40) {
+        let line = line.trim_start();
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        if line.starts_with('#') && line.chars().take_while(|&c| c == '#').count() <= 6 {
+            heading_lines += 1;
+        }
+        if line.starts_with("- ") || line.starts_with("* ") || line.starts_with("```") {
+            list_lines += 1;
+        }
+    }
+    lines > 0 && (heading_lines + list_lines) * 3 >= lines
+}
+
+fn looks_csv(text: &str) -> bool {
+    let mut field_counts = Vec::new();
+    for line in text.lines().take(8) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = line.matches(',').count() + 1;
+        field_counts.push(fields);
+    }
+    field_counts.len() >= 3
+        && field_counts[0] >= 2
+        && field_counts.iter().all(|&c| c == field_counts[0])
+}
+
+/// Detects the format of a document from its path and contents.
+///
+/// Returns the detected format together with the [`FormatHint`] that decided
+/// it.
+///
+/// # Example
+///
+/// ```
+/// use dsearch_formats::{detect_format, DocumentFormat, FormatHint};
+///
+/// let (format, hint) = detect_format("notes.md", b"# heading\nbody");
+/// assert_eq!(format, DocumentFormat::Markdown);
+/// assert_eq!(hint, FormatHint::Extension);
+///
+/// let (format, hint) = detect_format("no_extension", b"<html><body>x</body></html>");
+/// assert_eq!(format, DocumentFormat::Html);
+/// assert_eq!(hint, FormatHint::Content);
+/// ```
+#[must_use]
+pub fn detect_format(path: &str, bytes: &[u8]) -> (DocumentFormat, FormatHint) {
+    if let Some(ext) = extension_of(path) {
+        if let Some(format) = DocumentFormat::from_extension(&ext) {
+            return (format, FormatHint::Extension);
+        }
+    }
+    let sniffed = sniff_content(bytes);
+    if sniffed == DocumentFormat::PlainText {
+        (DocumentFormat::PlainText, FormatHint::Default)
+    } else {
+        (sniffed, FormatHint::Content)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_extraction_handles_paths_and_dots() {
+        assert_eq!(extension_of("a/b/c/report.TXT").as_deref(), Some("txt"));
+        assert_eq!(extension_of("archive.tar.gz").as_deref(), Some("gz"));
+        assert_eq!(extension_of("noext"), None);
+        assert_eq!(extension_of(".hidden"), None);
+        assert_eq!(extension_of("trailingdot."), None);
+        assert_eq!(extension_of("win\\path\\doc.md").as_deref(), Some("md"));
+    }
+
+    #[test]
+    fn extension_wins_over_content() {
+        let (format, hint) = detect_format("data.csv", b"<html>not really</html>");
+        assert_eq!(format, DocumentFormat::Csv);
+        assert_eq!(hint, FormatHint::Extension);
+    }
+
+    #[test]
+    fn binary_content_is_detected() {
+        let mut data = b"text with a hole ".to_vec();
+        data.push(0);
+        data.extend_from_slice(b" more");
+        assert_eq!(sniff_content(&data), DocumentFormat::Binary);
+        let (format, hint) = detect_format("mystery", &data);
+        assert_eq!(format, DocumentFormat::Binary);
+        assert_eq!(hint, FormatHint::Content);
+    }
+
+    #[test]
+    fn control_character_density_marks_binary() {
+        let data: Vec<u8> = (0..200).map(|i| if i % 3 == 0 { 0x01 } else { b'a' }).collect();
+        assert_eq!(sniff_content(&data), DocumentFormat::Binary);
+    }
+
+    #[test]
+    fn html_and_wpx_prefixes_are_sniffed() {
+        assert_eq!(sniff_content(b"  <!DOCTYPE html><html>"), DocumentFormat::Html);
+        assert_eq!(sniff_content(b"<?xml version=\"1.0\"?><doc/>"), DocumentFormat::Html);
+        assert_eq!(sniff_content(b"<wpx version=\"1\"><para>x</para></wpx>"), DocumentFormat::Wpx);
+    }
+
+    #[test]
+    fn markdown_heuristic_needs_markup_density() {
+        let md = "# Title\n\n- item one\n- item two\n\n## Section\nbody text\n";
+        assert_eq!(sniff_content(md.as_bytes()), DocumentFormat::Markdown);
+        let prose = "This is a perfectly ordinary paragraph of text\nwith several lines\nand no markup at all\n";
+        assert_eq!(sniff_content(prose.as_bytes()), DocumentFormat::PlainText);
+    }
+
+    #[test]
+    fn csv_heuristic_requires_consistent_field_counts() {
+        let csv = "name,size,kind\na.txt,10,text\nb.txt,20,text\nc.txt,30,text\n";
+        assert_eq!(sniff_content(csv.as_bytes()), DocumentFormat::Csv);
+        let ragged = "name,size\nonly one field here\nanother,2,3\nrow,4\n";
+        assert_eq!(sniff_content(ragged.as_bytes()), DocumentFormat::PlainText);
+    }
+
+    #[test]
+    fn empty_and_unknown_default_to_plain_text() {
+        let (format, hint) = detect_format("unknown.zzz", b"just words here");
+        assert_eq!(format, DocumentFormat::PlainText);
+        assert_eq!(hint, FormatHint::Default);
+        assert_eq!(sniff_content(b""), DocumentFormat::PlainText);
+    }
+
+    #[test]
+    fn sniffing_only_looks_at_the_window() {
+        // A NUL byte far past the sniff window must not flip the decision.
+        let mut data = vec![b'a'; SNIFF_WINDOW + 10];
+        data.push(0);
+        assert_eq!(sniff_content(&data), DocumentFormat::PlainText);
+    }
+}

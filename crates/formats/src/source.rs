@@ -1,0 +1,158 @@
+//! Source-code text extraction.
+//!
+//! Source files on a developer's desktop are worth indexing, but raw
+//! tokenisation misses the obvious queries: a user searching for "index
+//! generator" should find `IndexGenerator` and `index_generator`.  The
+//! extractor therefore keeps the file verbatim *and* appends the split forms
+//! of every compound identifier (camelCase, PascalCase, snake_case,
+//! SCREAMING_SNAKE_CASE), so both the exact identifier and its component
+//! words end up in the index.
+
+/// Splits one identifier into its component words.
+///
+/// `parseHTTPResponse` → `["parse", "HTTP", "Response"]`,
+/// `index_generator` → `["index", "generator"]`.
+#[must_use]
+pub fn split_identifier(ident: &str) -> Vec<String> {
+    let mut words: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let chars: Vec<char> = ident.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '_' || c == '-' || c.is_ascii_digit() {
+            if !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        if c.is_ascii_uppercase() {
+            let prev_lower = i > 0 && chars[i - 1].is_ascii_lowercase();
+            let next_lower = chars.get(i + 1).is_some_and(char::is_ascii_lowercase);
+            // Boundary before an uppercase letter that starts a new word:
+            // "parseHTTP" (prev lower) or "HTTPResponse" (acronym end).
+            if !current.is_empty() && (prev_lower || (next_lower && current.chars().all(|p| p.is_ascii_uppercase()))) {
+                words.push(std::mem::take(&mut current));
+            }
+        }
+        current.push(c);
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    words.retain(|w| w.len() > 1);
+    words
+}
+
+/// Returns `true` for identifiers that would benefit from splitting.
+fn is_compound(ident: &str) -> bool {
+    if ident.len() < 4 {
+        return false;
+    }
+    let has_separator = ident.contains('_') || ident.contains('-');
+    let has_case_change = ident
+        .as_bytes()
+        .windows(2)
+        .any(|w| w[0].is_ascii_lowercase() && w[1].is_ascii_uppercase());
+    has_separator || has_case_change
+}
+
+/// Extracts the searchable text of a source file.
+///
+/// The original text is kept in full; split forms of compound identifiers are
+/// appended at the end (each on its own line) so they become additional
+/// terms without disturbing byte-count statistics much.
+///
+/// # Example
+///
+/// ```
+/// use dsearch_formats::source::extract_text;
+///
+/// let code = "fn run_generator(cfg: &RunConfig) -> RunReport { unimplemented!() }";
+/// let text = extract_text(code);
+/// assert!(text.contains("run_generator"));
+/// assert!(text.contains("run generator"));
+/// assert!(text.contains("Run Config"));
+/// ```
+#[must_use]
+pub fn extract_text(code: &str) -> String {
+    let mut out = String::with_capacity(code.len() + code.len() / 4);
+    out.push_str(code);
+    out.push('\n');
+
+    let mut seen: Vec<String> = Vec::new();
+    let mut current = String::new();
+    for c in code.chars().chain(std::iter::once(' ')) {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+            current.push(c);
+        } else if !current.is_empty() {
+            let ident = std::mem::take(&mut current);
+            if is_compound(&ident) && !seen.contains(&ident) {
+                let words = split_identifier(&ident);
+                if words.len() > 1 {
+                    out.push_str(&words.join(" "));
+                    out.push('\n');
+                }
+                seen.push(ident);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camel_case_is_split() {
+        assert_eq!(split_identifier("indexGenerator"), ["index", "Generator"]);
+        assert_eq!(split_identifier("IndexGenerator"), ["Index", "Generator"]);
+    }
+
+    #[test]
+    fn acronyms_are_kept_together() {
+        assert_eq!(split_identifier("parseHTTPResponse"), ["parse", "HTTP", "Response"]);
+        assert_eq!(split_identifier("XMLHttpRequest"), ["XML", "Http", "Request"]);
+    }
+
+    #[test]
+    fn snake_and_kebab_case_are_split() {
+        assert_eq!(split_identifier("term_extraction_threads"), ["term", "extraction", "threads"]);
+        assert_eq!(split_identifier("round-robin"), ["round", "robin"]);
+        assert_eq!(split_identifier("SCREAMING_SNAKE"), ["SCREAMING", "SNAKE"]);
+    }
+
+    #[test]
+    fn digits_act_as_separators_and_short_fragments_are_dropped(){
+        assert_eq!(split_identifier("stage2runner"), ["stage", "runner"]);
+        assert_eq!(split_identifier("x_y"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn extract_keeps_original_and_appends_split_forms() {
+        let code = "let sharedIndex = SharedIndex::new(); shared_index_update(&sharedIndex);";
+        let text = extract_text(code);
+        assert!(text.contains("sharedIndex"));
+        assert!(text.contains("shared Index"));
+        assert!(text.contains("shared index update"));
+    }
+
+    #[test]
+    fn simple_identifiers_are_not_duplicated() {
+        let code = "let x = map.get(key);";
+        let text = extract_text(code);
+        // Nothing compound here: output is just the code plus a newline.
+        assert_eq!(text.trim_end(), code);
+    }
+
+    #[test]
+    fn repeated_identifiers_are_split_once() {
+        let code = "run_report(); run_report(); run_report();";
+        let text = extract_text(code);
+        assert_eq!(text.matches("run report").count(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_just_a_newline() {
+        assert_eq!(extract_text(""), "\n");
+    }
+}

@@ -1,0 +1,411 @@
+//! The single-threaded in-memory inverted index.
+//!
+//! [`InMemoryIndex`] is the structure every implementation ultimately builds:
+//! an FNV hash map from [`Term`] to [`PostingList`].  Implementation 1 wraps
+//! it in a lock ([`crate::SharedIndex`]); Implementations 2 and 3 give each
+//! extractor thread a private one ("replica") and either join them
+//! ([`crate::join`]) or search them together ([`crate::IndexSet`]).
+//!
+//! The update path follows the paper's design: terms arrive **en bloc** as the
+//! de-duplicated word list of one file ([`InMemoryIndex::insert_file`]), so no
+//! `(term, filename)` duplicate check is ever needed.
+
+use dsearch_text::hashtable::FnvHashMap;
+use dsearch_text::tokenizer::Term;
+
+use crate::doc_table::FileId;
+use crate::posting::PostingList;
+use crate::stats::IndexStats;
+
+/// An in-memory inverted index: term → posting list.
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryIndex {
+    terms: FnvHashMap<Term, PostingList>,
+    files_indexed: u64,
+    postings: u64,
+}
+
+impl InMemoryIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        InMemoryIndex::default()
+    }
+
+    /// Creates an empty index pre-sized for roughly `expected_terms` distinct
+    /// terms.
+    #[must_use]
+    pub fn with_capacity(expected_terms: usize) -> Self {
+        InMemoryIndex {
+            terms: FnvHashMap::with_capacity(expected_terms),
+            files_indexed: 0,
+            postings: 0,
+        }
+    }
+
+    /// Inserts the (already de-duplicated) terms of one file.
+    ///
+    /// This is the en-bloc update of the paper: one call per file, no
+    /// duplicate checking inside the index.
+    pub fn insert_file<I>(&mut self, file: FileId, terms: I)
+    where
+        I: IntoIterator<Item = Term>,
+    {
+        for term in terms {
+            let list = self.terms.entry_or_default(term);
+            if list.add(file) {
+                self.postings += 1;
+            }
+        }
+        self.files_indexed += 1;
+    }
+
+    /// Inserts a single `(term, file)` pair.
+    ///
+    /// This is the *per-occurrence* update path used only by the ablation that
+    /// disables the condensed word list; it must tolerate duplicates.
+    pub fn insert_occurrence(&mut self, file: FileId, term: Term) {
+        let list = self.terms.entry_or_default(term);
+        if list.add(file) {
+            self.postings += 1;
+        }
+    }
+
+    /// Records that one file has been fully processed via
+    /// [`InMemoryIndex::insert_occurrence`] calls.
+    pub fn note_file_done(&mut self) {
+        self.files_indexed += 1;
+    }
+
+    /// The posting list for `term`, if the term occurs anywhere.
+    #[must_use]
+    pub fn postings(&self, term: &Term) -> Option<&PostingList> {
+        self.terms.get(term.as_str())
+    }
+
+    /// Returns `true` when `term` occurs in at least one file.
+    #[must_use]
+    pub fn contains_term(&self, term: &Term) -> bool {
+        self.terms.contains_key(term.as_str())
+    }
+
+    /// Number of distinct terms.
+    #[must_use]
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of `(term, file)` postings.
+    #[must_use]
+    pub fn posting_count(&self) -> u64 {
+        self.postings
+    }
+
+    /// Number of files inserted.
+    #[must_use]
+    pub fn file_count(&self) -> u64 {
+        self.files_indexed
+    }
+
+    /// Returns `true` when nothing has been indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(term, posting list)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Term, &PostingList)> {
+        self.terms.iter()
+    }
+
+    /// Merges `other` into `self` (used by the join stage).
+    pub fn merge_from(&mut self, other: &InMemoryIndex) {
+        for (term, list) in other.iter() {
+            let mine = self.terms.entry_or_default(term.clone());
+            let before = mine.len();
+            mine.union_with(list);
+            self.postings += (mine.len() - before) as u64;
+        }
+        self.files_indexed += other.files_indexed;
+    }
+
+    /// Consumes `other` and merges it into `self`, reusing `other`'s posting
+    /// lists where possible.
+    pub fn absorb(&mut self, other: InMemoryIndex) {
+        for (term, list) in other.terms.into_iter_pairs() {
+            if let Some(mine) = self.terms.get_mut(term.as_str()) {
+                let before = mine.len();
+                mine.union_with(&list);
+                self.postings += (mine.len() - before) as u64;
+            } else {
+                self.postings += list.len() as u64;
+                self.terms.insert(term, list);
+            }
+        }
+        self.files_indexed += other.files_indexed;
+    }
+
+    /// Removes every posting of `file` from the index.
+    ///
+    /// Returns the number of postings removed.  Terms whose posting list
+    /// becomes empty are dropped entirely.  The file counter is decremented
+    /// when anything was removed.  Used by the incremental re-indexer when a
+    /// file is deleted or modified.
+    pub fn remove_file(&mut self, file: FileId) -> u64 {
+        let affected: Vec<Term> = self
+            .iter()
+            .filter(|(_, list)| list.contains(file))
+            .map(|(term, _)| term.clone())
+            .collect();
+        let mut removed = 0u64;
+        for term in affected {
+            if let Some(list) = self.terms.get_mut(term.as_str()) {
+                if list.remove(file) {
+                    removed += 1;
+                }
+                if list.is_empty() {
+                    self.terms.remove(term.as_str());
+                }
+            }
+        }
+        self.postings -= removed;
+        if removed > 0 && self.files_indexed > 0 {
+            self.files_indexed -= 1;
+        }
+        removed
+    }
+
+    /// Summary statistics for reports and tests.
+    #[must_use]
+    pub fn stats(&self) -> IndexStats {
+        let mut longest = 0usize;
+        for (_, list) in self.iter() {
+            longest = longest.max(list.len());
+        }
+        IndexStats {
+            distinct_terms: self.term_count() as u64,
+            postings: self.postings,
+            files: self.files_indexed,
+            longest_posting_list: longest as u64,
+        }
+    }
+
+    /// Collects the index into a sorted `(term, ids)` list, for comparisons in
+    /// tests and serialization.
+    #[must_use]
+    pub fn to_sorted_entries(&self) -> Vec<(Term, Vec<FileId>)> {
+        let mut entries: Vec<(Term, Vec<FileId>)> = self
+            .iter()
+            .map(|(t, p)| (t.clone(), p.doc_ids().to_vec()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+}
+
+impl PartialEq for InMemoryIndex {
+    /// Two indices are equal when they map the same terms to the same file
+    /// sets (bookkeeping counters other than the posting structure are not
+    /// compared; `files_indexed` differs legitimately between a joined index
+    /// and a sequentially built one only if files were empty).
+    fn eq(&self, other: &Self) -> bool {
+        self.to_sorted_entries() == other.to_sorted_entries()
+    }
+}
+
+impl Eq for InMemoryIndex {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(s: &str) -> Term {
+        Term::from(s)
+    }
+
+    #[test]
+    fn insert_file_builds_postings() {
+        let mut idx = InMemoryIndex::new();
+        idx.insert_file(FileId(0), [t("alpha"), t("beta")]);
+        idx.insert_file(FileId(1), [t("beta"), t("gamma")]);
+
+        assert_eq!(idx.term_count(), 3);
+        assert_eq!(idx.posting_count(), 4);
+        assert_eq!(idx.file_count(), 2);
+        assert_eq!(idx.postings(&t("beta")).unwrap().doc_ids(), &[FileId(0), FileId(1)]);
+        assert_eq!(idx.postings(&t("alpha")).unwrap().doc_ids(), &[FileId(0)]);
+        assert!(idx.postings(&t("delta")).is_none());
+        assert!(idx.contains_term(&t("gamma")));
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn per_occurrence_path_tolerates_duplicates() {
+        let mut idx = InMemoryIndex::new();
+        idx.insert_occurrence(FileId(3), t("dup"));
+        idx.insert_occurrence(FileId(3), t("dup"));
+        idx.insert_occurrence(FileId(4), t("dup"));
+        idx.note_file_done();
+        idx.note_file_done();
+        assert_eq!(idx.posting_count(), 2);
+        assert_eq!(idx.file_count(), 2);
+        assert_eq!(idx.postings(&t("dup")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn merge_from_unions_postings() {
+        let mut a = InMemoryIndex::new();
+        a.insert_file(FileId(0), [t("x"), t("y")]);
+        let mut b = InMemoryIndex::new();
+        b.insert_file(FileId(1), [t("y"), t("z")]);
+
+        a.merge_from(&b);
+        assert_eq!(a.term_count(), 3);
+        assert_eq!(a.posting_count(), 4);
+        assert_eq!(a.file_count(), 2);
+        assert_eq!(a.postings(&t("y")).unwrap().doc_ids(), &[FileId(0), FileId(1)]);
+    }
+
+    #[test]
+    fn absorb_equals_merge_from() {
+        let mut a1 = InMemoryIndex::new();
+        a1.insert_file(FileId(0), [t("x"), t("y")]);
+        let mut a2 = a1.clone();
+
+        let mut b = InMemoryIndex::new();
+        b.insert_file(FileId(1), [t("y"), t("z")]);
+        b.insert_file(FileId(2), [t("x")]);
+
+        a1.merge_from(&b);
+        a2.absorb(b);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.posting_count(), a2.posting_count());
+    }
+
+    #[test]
+    fn remove_file_drops_postings_and_empty_terms() {
+        let mut idx = InMemoryIndex::new();
+        idx.insert_file(FileId(0), [t("shared"), t("only0")]);
+        idx.insert_file(FileId(1), [t("shared"), t("only1")]);
+        assert_eq!(idx.posting_count(), 4);
+
+        let removed = idx.remove_file(FileId(0));
+        assert_eq!(removed, 2);
+        assert_eq!(idx.posting_count(), 2);
+        assert_eq!(idx.file_count(), 1);
+        assert!(!idx.contains_term(&t("only0")), "empty posting lists are dropped");
+        assert_eq!(idx.postings(&t("shared")).unwrap().doc_ids(), &[FileId(1)]);
+
+        // Removing a file with no postings is a no-op.
+        assert_eq!(idx.remove_file(FileId(7)), 0);
+        assert_eq!(idx.file_count(), 1);
+    }
+
+    #[test]
+    fn remove_then_reinsert_matches_fresh_index() {
+        let mut idx = InMemoryIndex::new();
+        idx.insert_file(FileId(0), [t("a"), t("b")]);
+        idx.insert_file(FileId(1), [t("b"), t("c")]);
+        idx.remove_file(FileId(1));
+        idx.insert_file(FileId(1), [t("c"), t("d")]);
+
+        let mut fresh = InMemoryIndex::new();
+        fresh.insert_file(FileId(0), [t("a"), t("b")]);
+        fresh.insert_file(FileId(1), [t("c"), t("d")]);
+        assert_eq!(idx, fresh);
+        assert_eq!(idx.posting_count(), fresh.posting_count());
+    }
+
+    #[test]
+    fn stats_report_shape() {
+        let mut idx = InMemoryIndex::new();
+        idx.insert_file(FileId(0), [t("common"), t("rare1")]);
+        idx.insert_file(FileId(1), [t("common"), t("rare2")]);
+        idx.insert_file(FileId(2), [t("common")]);
+        let s = idx.stats();
+        assert_eq!(s.distinct_terms, 3);
+        assert_eq!(s.postings, 5);
+        assert_eq!(s.files, 3);
+        assert_eq!(s.longest_posting_list, 3);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = InMemoryIndex::new();
+        a.insert_file(FileId(0), [t("p"), t("q")]);
+        a.insert_file(FileId(1), [t("q")]);
+
+        let mut b = InMemoryIndex::new();
+        b.insert_file(FileId(1), [t("q")]);
+        b.insert_file(FileId(0), [t("q"), t("p")]);
+
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut a = InMemoryIndex::with_capacity(1000);
+        let mut b = InMemoryIndex::new();
+        for i in 0..50u32 {
+            a.insert_file(FileId(i), [t("w"), Term::from(format!("t{i}"))]);
+            b.insert_file(FileId(i), [t("w"), Term::from(format!("t{i}"))]);
+        }
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// Splitting a stream of (file, terms) insertions across two indices
+        /// and merging them equals inserting everything into one index.
+        #[test]
+        fn merge_is_equivalent_to_sequential(
+            docs in proptest::collection::vec(
+                (0u32..64, proptest::collection::vec("[a-e]{1,3}", 1..8)),
+                1..40,
+            )
+        ) {
+            let mut sequential = InMemoryIndex::new();
+            let mut left = InMemoryIndex::new();
+            let mut right = InMemoryIndex::new();
+            for (i, (file, words)) in docs.iter().enumerate() {
+                // De-duplicate per file, as the extractor would.
+                let mut uniq: Vec<&String> = words.iter().collect();
+                uniq.sort();
+                uniq.dedup();
+                let terms: Vec<Term> = uniq.iter().map(|w| Term::from(w.as_str())).collect();
+                sequential.insert_file(FileId(*file), terms.clone());
+                if i % 2 == 0 {
+                    left.insert_file(FileId(*file), terms);
+                } else {
+                    right.insert_file(FileId(*file), terms);
+                }
+            }
+            let mut joined = left.clone();
+            joined.merge_from(&right);
+            prop_assert_eq!(&joined, &sequential);
+
+            let mut absorbed = left;
+            absorbed.absorb(right);
+            prop_assert_eq!(&absorbed, &sequential);
+        }
+
+        /// posting_count always equals the sum of posting-list lengths.
+        #[test]
+        fn posting_count_is_consistent(
+            docs in proptest::collection::vec(
+                (0u32..32, proptest::collection::vec("[a-d]{1,2}", 1..6)),
+                0..30,
+            )
+        ) {
+            let mut idx = InMemoryIndex::new();
+            for (file, words) in &docs {
+                let mut uniq = words.clone();
+                uniq.sort();
+                uniq.dedup();
+                idx.insert_file(FileId(*file), uniq.iter().map(|w| Term::from(w.as_str())));
+            }
+            let total: u64 = idx.iter().map(|(_, p)| p.len() as u64).sum();
+            prop_assert_eq!(idx.posting_count(), total);
+        }
+    }
+}

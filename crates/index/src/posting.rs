@@ -1,0 +1,299 @@
+//! Posting lists.
+//!
+//! A posting list records which files contain a given term.  Because each
+//! extractor hands the index a de-duplicated word list per file, a file id is
+//! added to any particular term's list at most once per index, so the list is
+//! a set of file ids.  It is kept sorted to make joins (set unions) and query
+//! intersections linear.
+
+use serde::{Deserialize, Serialize};
+
+use crate::doc_table::FileId;
+
+/// A sorted, duplicate-free list of the files containing one term.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostingList {
+    ids: Vec<FileId>,
+}
+
+impl PostingList {
+    /// Creates an empty posting list.
+    #[must_use]
+    pub fn new() -> Self {
+        PostingList::default()
+    }
+
+    /// Creates a list from an iterator of file ids (sorted and de-duplicated).
+    pub fn from_ids<I: IntoIterator<Item = FileId>>(ids: I) -> Self {
+        let mut ids: Vec<FileId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        PostingList { ids }
+    }
+
+    /// Number of files in the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` when no file contains the term.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The file ids, sorted ascending.
+    #[must_use]
+    pub fn doc_ids(&self) -> &[FileId] {
+        &self.ids
+    }
+
+    /// Returns `true` when `id` is in the list.
+    #[must_use]
+    pub fn contains(&self, id: FileId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Adds a file id, keeping the list sorted; returns `true` when it was new.
+    ///
+    /// Appending ids in increasing order (the common case when one extractor
+    /// owns a contiguous slice of files) is O(1).
+    pub fn add(&mut self, id: FileId) -> bool {
+        match self.ids.last() {
+            Some(&last) if last < id => {
+                self.ids.push(id);
+                true
+            }
+            Some(&last) if last == id => false,
+            _ => match self.ids.binary_search(&id) {
+                Ok(_) => false,
+                Err(pos) => {
+                    self.ids.insert(pos, id);
+                    true
+                }
+            },
+        }
+    }
+
+    /// Merges `other` into `self` (set union). Linear in the combined length.
+    pub fn union_with(&mut self, other: &PostingList) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.ids = other.ids.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.ids[i..]);
+        merged.extend_from_slice(&other.ids[j..]);
+        self.ids = merged;
+    }
+
+    /// Returns the intersection of two lists (files containing both terms).
+    #[must_use]
+    pub fn intersect(&self, other: &PostingList) -> PostingList {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PostingList { ids: out }
+    }
+
+    /// Removes a file id from the list; returns `true` when it was present.
+    ///
+    /// Used by the incremental re-indexer when a file is deleted or about to
+    /// be re-indexed after a modification.
+    pub fn remove(&mut self, id: FileId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Returns the union of two lists without modifying either.
+    #[must_use]
+    pub fn union(&self, other: &PostingList) -> PostingList {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns the files in `self` that are **not** in `other` (set
+    /// difference).  Used to evaluate `NOT` terms in queries.
+    #[must_use]
+    pub fn difference(&self, other: &PostingList) -> PostingList {
+        PostingList {
+            ids: self.ids.iter().copied().filter(|id| !other.contains(*id)).collect(),
+        }
+    }
+
+    /// Iterates over the file ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.ids.iter().copied()
+    }
+}
+
+impl FromIterator<FileId> for PostingList {
+    fn from_iter<I: IntoIterator<Item = FileId>>(iter: I) -> Self {
+        PostingList::from_ids(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<FileId> {
+        v.iter().map(|&i| FileId(i)).collect()
+    }
+
+    #[test]
+    fn add_keeps_sorted_unique() {
+        let mut p = PostingList::new();
+        assert!(p.add(FileId(5)));
+        assert!(p.add(FileId(2)));
+        assert!(!p.add(FileId(5)));
+        assert!(p.add(FileId(9)));
+        assert_eq!(p.doc_ids(), ids(&[2, 5, 9]).as_slice());
+        assert_eq!(p.len(), 3);
+        assert!(p.contains(FileId(2)));
+        assert!(!p.contains(FileId(3)));
+    }
+
+    #[test]
+    fn append_in_order_fast_path() {
+        let mut p = PostingList::new();
+        for i in 0..1000 {
+            assert!(p.add(FileId(i)));
+        }
+        assert_eq!(p.len(), 1000);
+        assert!(!p.add(FileId(999)));
+    }
+
+    #[test]
+    fn remove_deletes_only_the_given_id() {
+        let mut p = PostingList::from_ids(ids(&[1, 3, 5]));
+        assert!(p.remove(FileId(3)));
+        assert_eq!(p.doc_ids(), ids(&[1, 5]).as_slice());
+        assert!(!p.remove(FileId(3)));
+        assert!(!p.remove(FileId(99)));
+        assert!(p.remove(FileId(1)));
+        assert!(p.remove(FileId(5)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let p = PostingList::from_ids(ids(&[3, 1, 3, 2, 1]));
+        assert_eq!(p.doc_ids(), ids(&[1, 2, 3]).as_slice());
+    }
+
+    #[test]
+    fn difference_removes_other_ids() {
+        let a = PostingList::from_ids(ids(&[1, 2, 3, 4]));
+        let b = PostingList::from_ids(ids(&[2, 4, 6]));
+        assert_eq!(a.difference(&b).doc_ids(), ids(&[1, 3]).as_slice());
+        assert_eq!(b.difference(&a).doc_ids(), ids(&[6]).as_slice());
+        assert_eq!(a.difference(&PostingList::new()), a);
+        assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn union_with_merges_sets() {
+        let mut a = PostingList::from_ids(ids(&[1, 3, 5]));
+        let b = PostingList::from_ids(ids(&[2, 3, 6]));
+        a.union_with(&b);
+        assert_eq!(a.doc_ids(), ids(&[1, 2, 3, 5, 6]).as_slice());
+    }
+
+    #[test]
+    fn union_with_empty_cases() {
+        let mut a = PostingList::new();
+        let b = PostingList::from_ids(ids(&[1, 2]));
+        a.union_with(&b);
+        assert_eq!(a.doc_ids(), ids(&[1, 2]).as_slice());
+        let mut c = a.clone();
+        c.union_with(&PostingList::new());
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn intersect_returns_common_ids() {
+        let a = PostingList::from_ids(ids(&[1, 2, 4, 8]));
+        let b = PostingList::from_ids(ids(&[2, 3, 4, 9]));
+        assert_eq!(a.intersect(&b).doc_ids(), ids(&[2, 4]).as_slice());
+        assert!(a.intersect(&PostingList::new()).is_empty());
+    }
+
+    #[test]
+    fn iterator_and_collect() {
+        let p: PostingList = ids(&[4, 1, 4]).into_iter().collect();
+        let back: Vec<FileId> = p.iter().collect();
+        assert_eq!(back, ids(&[1, 4]));
+    }
+
+    proptest! {
+        /// union and intersect agree with the naive set implementations.
+        #[test]
+        fn set_semantics(a in proptest::collection::vec(0u32..200, 0..100),
+                         b in proptest::collection::vec(0u32..200, 0..100)) {
+            use std::collections::BTreeSet;
+            let pa = PostingList::from_ids(a.iter().map(|&i| FileId(i)));
+            let pb = PostingList::from_ids(b.iter().map(|&i| FileId(i)));
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+
+            let union: Vec<u32> = pa.union(&pb).iter().map(FileId::as_u32).collect();
+            let expected_union: Vec<u32> = sa.union(&sb).copied().collect();
+            prop_assert_eq!(union, expected_union);
+
+            let inter: Vec<u32> = pa.intersect(&pb).iter().map(FileId::as_u32).collect();
+            let expected_inter: Vec<u32> = sa.intersection(&sb).copied().collect();
+            prop_assert_eq!(inter, expected_inter);
+        }
+
+        /// add() produces the same set as from_ids() regardless of order.
+        #[test]
+        fn add_matches_from_ids(xs in proptest::collection::vec(0u32..500, 0..200)) {
+            let mut incremental = PostingList::new();
+            for &x in &xs {
+                incremental.add(FileId(x));
+            }
+            let bulk = PostingList::from_ids(xs.iter().map(|&x| FileId(x)));
+            prop_assert_eq!(incremental, bulk);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Index persistence.
+//!
+//! Desktop search regenerates its index periodically but persists it between
+//! runs.  [`IndexSnapshot`] is a serialisable (serde) representation of an
+//! [`InMemoryIndex`] plus its [`DocTable`], with JSON writers/readers.  The
+//! snapshot stores sorted entries so two snapshots of equal indices are
+//! byte-identical, which the tests rely on.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use dsearch_text::tokenizer::Term;
+
+use crate::doc_table::{DocTable, FileId};
+use crate::memory_index::InMemoryIndex;
+
+/// Errors from snapshot I/O.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The snapshot could not be parsed.
+    Format(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::Format(msg) => write!(f, "invalid snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SerializeError::Io(e) => Some(e),
+            SerializeError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// A serialisable snapshot of an index and its document table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexSnapshot {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// The document table (id order).
+    pub docs: DocTable,
+    /// Sorted `(term, sorted file ids)` entries.
+    pub entries: Vec<(Term, Vec<FileId>)>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl IndexSnapshot {
+    /// Builds a snapshot from an index and its document table.
+    #[must_use]
+    pub fn from_index(index: &InMemoryIndex, docs: &DocTable) -> Self {
+        IndexSnapshot {
+            version: SNAPSHOT_VERSION,
+            docs: docs.clone(),
+            entries: index.to_sorted_entries(),
+        }
+    }
+
+    /// Reconstructs the index (and document table) from the snapshot.
+    #[must_use]
+    pub fn into_index(self) -> (InMemoryIndex, DocTable) {
+        let mut index = InMemoryIndex::with_capacity(self.entries.len());
+        // Rebuild via per-term inserts; file counters are restored from the
+        // doc table size.
+        for (term, ids) in self.entries {
+            for id in ids {
+                index.insert_occurrence(id, term.clone());
+            }
+        }
+        for _ in 0..self.docs.len() {
+            index.note_file_done();
+        }
+        (index, self.docs)
+    }
+
+    /// Writes the snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and I/O failures.
+    pub fn write_json<W: Write>(&self, mut writer: W) -> Result<(), SerializeError> {
+        let json = serde_json::to_string(self).map_err(|e| SerializeError::Format(e.to_string()))?;
+        writer.write_all(json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a snapshot from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed JSON, or a version mismatch.
+    pub fn read_json<R: Read>(mut reader: R) -> Result<Self, SerializeError> {
+        let mut buf = String::new();
+        reader.read_to_string(&mut buf)?;
+        let snapshot: IndexSnapshot =
+            serde_json::from_str(&buf).map_err(|e| SerializeError::Format(e.to_string()))?;
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(SerializeError::Format(format!(
+                "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        Ok(snapshot)
+    }
+
+    /// Number of distinct terms in the snapshot.
+    #[must_use]
+    pub fn term_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (InMemoryIndex, DocTable) {
+        let mut docs = DocTable::new();
+        let a = docs.insert("a.txt");
+        let b = docs.insert("b.txt");
+        let mut index = InMemoryIndex::new();
+        index.insert_file(a, [Term::from("alpha"), Term::from("shared")]);
+        index.insert_file(b, [Term::from("beta"), Term::from("shared")]);
+        (index, docs)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let (index, docs) = sample();
+        let snapshot = IndexSnapshot::from_index(&index, &docs);
+        assert_eq!(snapshot.term_count(), 3);
+
+        let mut buf = Vec::new();
+        snapshot.write_json(&mut buf).unwrap();
+        let restored = IndexSnapshot::read_json(&buf[..]).unwrap();
+        assert_eq!(snapshot, restored);
+
+        let (index2, docs2) = restored.into_index();
+        assert_eq!(index2, index);
+        assert_eq!(docs2, docs);
+        assert_eq!(index2.file_count(), 2);
+    }
+
+    #[test]
+    fn equal_indices_produce_identical_snapshots() {
+        let (index, docs) = sample();
+        // Build the same index in a different order.
+        let mut docs2 = DocTable::new();
+        let a = docs2.insert("a.txt");
+        let b = docs2.insert("b.txt");
+        let mut index2 = InMemoryIndex::new();
+        index2.insert_file(b, [Term::from("shared"), Term::from("beta")]);
+        index2.insert_file(a, [Term::from("shared"), Term::from("alpha")]);
+
+        let s1 = IndexSnapshot::from_index(&index, &docs);
+        let s2 = IndexSnapshot::from_index(&index2, &docs2);
+        let mut b1 = Vec::new();
+        let mut b2 = Vec::new();
+        s1.write_json(&mut b1).unwrap();
+        s2.write_json(&mut b2).unwrap();
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let err = IndexSnapshot::read_json(&b"not json"[..]).unwrap_err();
+        assert!(matches!(err, SerializeError::Format(_)));
+        assert!(err.to_string().contains("invalid snapshot"));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (index, docs) = sample();
+        let mut snapshot = IndexSnapshot::from_index(&index, &docs);
+        snapshot.version = 99;
+        let mut buf = Vec::new();
+        snapshot.write_json(&mut buf).unwrap();
+        let err = IndexSnapshot::read_json(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn io_error_variant_has_source() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::Other, "disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (index, docs) = sample();
+        let snapshot = IndexSnapshot::from_index(&index, &docs);
+        let err = snapshot.write_json(FailingWriter).unwrap_err();
+        assert!(matches!(err, SerializeError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

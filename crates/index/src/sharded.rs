@@ -1,0 +1,213 @@
+//! Term-sharded index.
+//!
+//! A design point between the single locked index (Implementation 1) and full
+//! replication (Implementations 2/3): the term space is split into `N` shards
+//! by hashing the term, and each shard has its own lock.  Two threads only
+//! contend when they touch the same shard.  The paper does not evaluate this
+//! variant, but it is the natural "use finer-grained locking" answer to the
+//! contention the paper measures, so the ablation benchmarks include it.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsearch_text::fnv::fnv1a_64;
+use dsearch_text::tokenizer::Term;
+
+use crate::doc_table::FileId;
+use crate::memory_index::InMemoryIndex;
+use crate::posting::PostingList;
+use crate::stats::IndexStats;
+
+/// A sharded, lock-per-shard inverted index.
+///
+/// # Example
+///
+/// ```
+/// use dsearch_index::{FileId, ShardedIndex};
+/// use dsearch_text::Term;
+///
+/// let index = ShardedIndex::new(8);
+/// index.insert_file(FileId(0), [Term::from("alpha"), Term::from("beta")]);
+/// assert_eq!(index.postings(&Term::from("alpha")).unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    shards: Arc<Vec<Mutex<InMemoryIndex>>>,
+}
+
+impl ShardedIndex {
+    /// Creates an index with `shards` shards (at least 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedIndex {
+            shards: Arc::new((0..shards).map(|_| Mutex::new(InMemoryIndex::new())).collect()),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, term: &Term) -> usize {
+        (fnv1a_64(term.as_str().as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts one file's de-duplicated terms.
+    ///
+    /// The word list is partitioned by shard first so each shard lock is
+    /// taken at most once per file.
+    pub fn insert_file<I>(&self, file: FileId, terms: I)
+    where
+        I: IntoIterator<Item = Term>,
+    {
+        let mut per_shard: Vec<Vec<Term>> = vec![Vec::new(); self.shards.len()];
+        for term in terms {
+            per_shard[self.shard_for(&term)].push(term);
+        }
+        let mut touched_any = false;
+        for (shard_idx, bucket) in per_shard.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[shard_idx].lock();
+            for term in bucket {
+                shard.insert_occurrence(file, term);
+            }
+            if !touched_any {
+                // Account the file exactly once, in the first shard it touches.
+                shard.note_file_done();
+                touched_any = true;
+            }
+        }
+        if !touched_any {
+            // Empty word list: account the file in shard 0 for bookkeeping.
+            self.shards[0].lock().note_file_done();
+        }
+    }
+
+    /// The posting list for `term`, if present.
+    #[must_use]
+    pub fn postings(&self, term: &Term) -> Option<PostingList> {
+        self.shards[self.shard_for(term)].lock().postings(term).cloned()
+    }
+
+    /// Merges every shard into a single [`InMemoryIndex`].
+    #[must_use]
+    pub fn into_index(self) -> InMemoryIndex {
+        let shards = Arc::try_unwrap(self.shards)
+            .map(|v| v.into_iter().map(Mutex::into_inner).collect::<Vec<_>>())
+            .unwrap_or_else(|arc| arc.iter().map(|m| m.lock().clone()).collect());
+        crate::join::join_all(shards)
+    }
+
+    /// Aggregate statistics across shards.
+    #[must_use]
+    pub fn stats(&self) -> IndexStats {
+        let mut total = IndexStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.lock().stats();
+            total.distinct_terms += s.distinct_terms;
+            total.postings += s.postings;
+            total.files += s.files;
+            total.longest_posting_list = total.longest_posting_list.max(s.longest_posting_list);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Term {
+        Term::from(s)
+    }
+
+    #[test]
+    fn single_shard_behaves_like_plain_index() {
+        let sharded = ShardedIndex::new(1);
+        let mut plain = InMemoryIndex::new();
+        for i in 0..20u32 {
+            let terms = vec![t("common"), Term::from(format!("t{}", i % 4))];
+            sharded.insert_file(FileId(i), terms.clone());
+            plain.insert_file(FileId(i), terms);
+        }
+        assert_eq!(sharded.clone().into_index(), plain);
+        assert_eq!(sharded.stats().files, 20);
+    }
+
+    #[test]
+    fn sharding_preserves_contents() {
+        for shards in [2, 4, 16] {
+            let sharded = ShardedIndex::new(shards);
+            let mut plain = InMemoryIndex::new();
+            for i in 0..50u32 {
+                let terms = vec![
+                    t("everywhere"),
+                    Term::from(format!("group{}", i % 7)),
+                    Term::from(format!("unique{i}")),
+                ];
+                sharded.insert_file(FileId(i), terms.clone());
+                plain.insert_file(FileId(i), terms);
+            }
+            assert_eq!(sharded.shard_count(), shards);
+            assert_eq!(sharded.postings(&t("everywhere")).unwrap().len(), 50);
+            assert!(sharded.postings(&t("missing")).is_none());
+            let merged = sharded.into_index();
+            assert_eq!(merged, plain);
+        }
+    }
+
+    #[test]
+    fn file_count_is_not_double_counted() {
+        let sharded = ShardedIndex::new(8);
+        for i in 0..30u32 {
+            sharded.insert_file(FileId(i), [t("a"), t("b"), t("c"), t("d")]);
+        }
+        assert_eq!(sharded.stats().files, 30);
+        assert_eq!(sharded.into_index().file_count(), 30);
+    }
+
+    #[test]
+    fn empty_word_list_still_counts_the_file() {
+        let sharded = ShardedIndex::new(4);
+        sharded.insert_file(FileId(0), Vec::<Term>::new());
+        assert_eq!(sharded.stats().files, 1);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let sharded = ShardedIndex::new(0);
+        assert_eq!(sharded.shard_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_consistent() {
+        let sharded = ShardedIndex::new(4);
+        let mut handles = Vec::new();
+        for thread in 0..4u32 {
+            let sharded = sharded.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u32 {
+                    sharded.insert_file(
+                        FileId(thread * 25 + i),
+                        [t("shared"), Term::from(format!("thread{thread}"))],
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sharded.postings(&t("shared")).unwrap().len(), 100);
+        let stats = sharded.stats();
+        assert_eq!(stats.files, 100);
+        let merged = sharded.into_index();
+        assert_eq!(merged.file_count(), 100);
+        assert_eq!(merged.term_count(), 5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Index statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of an index (or a set of replicas).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Number of distinct terms.
+    pub distinct_terms: u64,
+    /// Number of `(term, file)` postings.
+    pub postings: u64,
+    /// Number of files indexed.
+    pub files: u64,
+    /// Length of the longest posting list (how common is the most common term).
+    pub longest_posting_list: u64,
+}
+
+impl IndexStats {
+    /// Average posting-list length.
+    #[must_use]
+    pub fn mean_postings_per_term(&self) -> f64 {
+        if self.distinct_terms == 0 {
+            0.0
+        } else {
+            self.postings as f64 / self.distinct_terms as f64
+        }
+    }
+
+    /// Average number of distinct terms per file.
+    #[must_use]
+    pub fn mean_terms_per_file(&self) -> f64 {
+        if self.files == 0 {
+            0.0
+        } else {
+            self.postings as f64 / self.files as f64
+        }
+    }
+}
+
+impl std::fmt::Display for IndexStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} terms, {} postings, {} files (mean {:.1} postings/term, {:.1} terms/file)",
+            self.distinct_terms,
+            self.postings,
+            self.files,
+            self.mean_postings_per_term(),
+            self.mean_terms_per_file(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_handle_zero_denominators() {
+        let empty = IndexStats::default();
+        assert_eq!(empty.mean_postings_per_term(), 0.0);
+        assert_eq!(empty.mean_terms_per_file(), 0.0);
+    }
+
+    #[test]
+    fn means_compute_ratios() {
+        let s = IndexStats { distinct_terms: 10, postings: 40, files: 8, longest_posting_list: 7 };
+        assert!((s.mean_postings_per_term() - 4.0).abs() < 1e-9);
+        assert!((s.mean_terms_per_file() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_counts() {
+        let s = IndexStats { distinct_terms: 3, postings: 5, files: 2, longest_posting_list: 2 };
+        let text = s.to_string();
+        assert!(text.contains('3') && text.contains('5') && text.contains('2'));
+    }
+}

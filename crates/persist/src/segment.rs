@@ -1,0 +1,284 @@
+//! The binary segment format.
+//!
+//! One segment stores one complete index (terms, delta-encoded posting lists)
+//! together with its document table.  The layout is:
+//!
+//! ```text
+//! magic   "DSG1"                            4 bytes
+//! checksum FNV-1a(payload)                  8 bytes little-endian
+//! payload:
+//!   version                                 varint
+//!   doc count                               varint
+//!   per doc: path                           length-prefixed bytes
+//!   term count                              varint
+//!   per term: term bytes, posting count,    length-prefixed bytes + varints
+//!             postings as ascending deltas
+//! ```
+//!
+//! Posting lists are ascending file-id sequences, so delta encoding keeps
+//! most entries to a single byte — the standard inverted-index trick.  The
+//! checksum makes a truncated or bit-flipped segment a clean
+//! [`PersistError::Corrupt`] instead of a garbage index.
+
+use std::io::{Read, Write};
+
+use dsearch_index::{DocTable, FileId, InMemoryIndex};
+use dsearch_text::fnv::fnv1a_64;
+use dsearch_text::Term;
+
+use crate::error::PersistError;
+use crate::varint;
+
+/// Magic bytes identifying a segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"DSG1";
+
+/// Current segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+
+/// Longest path or term (in bytes) a segment will accept when reading;
+/// protects against corrupt length prefixes.
+const MAX_STRING_LEN: u64 = 64 * 1024;
+
+/// Summary of a written segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SegmentInfo {
+    /// Number of documents in the segment's doc table.
+    pub doc_count: u64,
+    /// Number of distinct terms.
+    pub term_count: u64,
+    /// Number of `(term, file)` postings.
+    pub posting_count: u64,
+    /// Encoded size in bytes (including header).
+    pub bytes: u64,
+}
+
+/// Writes `index` and `docs` as one segment.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_segment<W: Write>(
+    index: &InMemoryIndex,
+    docs: &DocTable,
+    mut writer: W,
+) -> Result<SegmentInfo, PersistError> {
+    let mut payload: Vec<u8> = Vec::new();
+    varint::write_u32(&mut payload, SEGMENT_VERSION)?;
+
+    varint::write_u64(&mut payload, docs.len() as u64)?;
+    for (_, path) in docs.iter() {
+        varint::write_bytes(&mut payload, path.as_bytes())?;
+    }
+
+    let entries = index.to_sorted_entries();
+    varint::write_u64(&mut payload, entries.len() as u64)?;
+    let mut posting_count = 0u64;
+    for (term, ids) in &entries {
+        varint::write_bytes(&mut payload, term.as_str().as_bytes())?;
+        varint::write_u64(&mut payload, ids.len() as u64)?;
+        let mut previous = 0u64;
+        for (i, id) in ids.iter().enumerate() {
+            let value = u64::from(id.as_u32());
+            let delta = if i == 0 { value } else { value - previous };
+            varint::write_u64(&mut payload, delta)?;
+            previous = value;
+        }
+        posting_count += ids.len() as u64;
+    }
+
+    let checksum = fnv1a_64(&payload);
+    writer.write_all(&SEGMENT_MAGIC)?;
+    writer.write_all(&checksum.to_le_bytes())?;
+    writer.write_all(&payload)?;
+
+    Ok(SegmentInfo {
+        doc_count: docs.len() as u64,
+        term_count: entries.len() as u64,
+        posting_count,
+        bytes: (SEGMENT_MAGIC.len() + 8 + payload.len()) as u64,
+    })
+}
+
+/// Reads one segment, reconstructing the index and its document table.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a wrong magic number, a checksum mismatch, an
+/// unsupported version or any malformed length/delta.
+pub fn read_segment<R: Read>(mut reader: R) -> Result<(InMemoryIndex, DocTable), PersistError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != SEGMENT_MAGIC {
+        return Err(PersistError::Corrupt("bad segment magic".into()));
+    }
+    let mut checksum_bytes = [0u8; 8];
+    reader.read_exact(&mut checksum_bytes)?;
+    let expected_checksum = u64::from_le_bytes(checksum_bytes);
+
+    let mut payload = Vec::new();
+    reader.read_to_end(&mut payload)?;
+    if fnv1a_64(&payload) != expected_checksum {
+        return Err(PersistError::Corrupt("segment checksum mismatch".into()));
+    }
+
+    let mut cursor = &payload[..];
+    let version = varint::read_u32(&mut cursor)?;
+    if version != SEGMENT_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version, expected: SEGMENT_VERSION });
+    }
+
+    let doc_count = varint::read_u64(&mut cursor)?;
+    let mut docs = DocTable::with_capacity(doc_count as usize);
+    for _ in 0..doc_count {
+        let path = varint::read_bytes(&mut cursor, MAX_STRING_LEN)?;
+        let path = String::from_utf8(path)
+            .map_err(|_| PersistError::Corrupt("document path is not valid UTF-8".into()))?;
+        docs.insert(path);
+    }
+
+    let term_count = varint::read_u64(&mut cursor)?;
+    let mut index = InMemoryIndex::with_capacity(term_count as usize);
+    for _ in 0..term_count {
+        let term = varint::read_bytes(&mut cursor, MAX_STRING_LEN)?;
+        let term = String::from_utf8(term)
+            .map_err(|_| PersistError::Corrupt("term is not valid UTF-8".into()))?;
+        let term = Term::from(term);
+        let posting_count = varint::read_u64(&mut cursor)?;
+        let mut previous = 0u64;
+        for i in 0..posting_count {
+            let delta = varint::read_u64(&mut cursor)?;
+            let value = if i == 0 { delta } else { previous + delta };
+            let id = u32::try_from(value)
+                .map_err(|_| PersistError::Corrupt("file id does not fit in u32".into()))?;
+            index.insert_occurrence(FileId(id), term.clone());
+            previous = value;
+        }
+    }
+    // Restore the file counter from the doc table, as the JSON snapshot does.
+    for _ in 0..doc_count {
+        index.note_file_done();
+    }
+
+    if !cursor.is_empty() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after segment payload",
+            cursor.len()
+        )));
+    }
+    Ok((index, docs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> (InMemoryIndex, DocTable) {
+        let mut docs = DocTable::new();
+        let a = docs.insert("dir/a.txt");
+        let b = docs.insert("dir/b.txt");
+        let c = docs.insert("c.md");
+        let mut index = InMemoryIndex::new();
+        index.insert_file(a, [Term::from("alpha"), Term::from("beta")]);
+        index.insert_file(b, [Term::from("beta"), Term::from("gamma")]);
+        index.insert_file(c, [Term::from("alpha"), Term::from("gamma"), Term::from("delta")]);
+        (index, docs)
+    }
+
+    #[test]
+    fn round_trip_preserves_index_and_docs() {
+        let (index, docs) = sample();
+        let mut buf = Vec::new();
+        let info = write_segment(&index, &docs, &mut buf).unwrap();
+        assert_eq!(info.doc_count, 3);
+        assert_eq!(info.term_count, 4);
+        assert_eq!(info.posting_count, 7);
+        assert_eq!(info.bytes, buf.len() as u64);
+
+        let (restored, restored_docs) = read_segment(&buf[..]).unwrap();
+        assert_eq!(restored, index);
+        assert_eq!(restored_docs.len(), docs.len());
+        for (id, path) in docs.iter() {
+            assert_eq!(restored_docs.path(id), Some(path));
+        }
+        assert_eq!(restored.file_count(), 3);
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let mut buf = Vec::new();
+        let info = write_segment(&InMemoryIndex::new(), &DocTable::new(), &mut buf).unwrap();
+        assert_eq!(info.term_count, 0);
+        let (restored, docs) = read_segment(&buf[..]).unwrap();
+        assert!(restored.is_empty());
+        assert!(docs.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (index, docs) = sample();
+        let mut buf = Vec::new();
+        write_segment(&index, &docs, &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_segment(&buf[..]), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_caught_by_checksum() {
+        let (index, docs) = sample();
+        let mut buf = Vec::new();
+        write_segment(&index, &docs, &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert!(matches!(read_segment(&buf[..]), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_segment_is_an_error() {
+        let (index, docs) = sample();
+        let mut buf = Vec::new();
+        write_segment(&index, &docs, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_segment(&buf[..]).is_err());
+        assert!(read_segment(&buf[..6]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_even_with_matching_length() {
+        // Appending bytes invalidates the checksum; the reader reports
+        // corruption rather than silently ignoring the tail.
+        let (index, docs) = sample();
+        let mut buf = Vec::new();
+        write_segment(&index, &docs, &mut buf).unwrap();
+        buf.extend_from_slice(b"junk");
+        assert!(read_segment(&buf[..]).is_err());
+    }
+
+    proptest! {
+        /// Any index built from en-bloc file insertions survives a
+        /// write → read round trip exactly.
+        #[test]
+        fn arbitrary_indices_round_trip(
+            files in proptest::collection::vec(
+                proptest::collection::vec("[a-f]{1,4}", 1..10),
+                0..40,
+            )
+        ) {
+            let mut docs = DocTable::new();
+            let mut index = InMemoryIndex::new();
+            for (i, words) in files.iter().enumerate() {
+                let id = docs.insert(format!("f{i}.txt"));
+                let mut uniq = words.clone();
+                uniq.sort();
+                uniq.dedup();
+                index.insert_file(id, uniq.iter().map(|w| Term::from(w.as_str())));
+            }
+            let mut buf = Vec::new();
+            let info = write_segment(&index, &docs, &mut buf).unwrap();
+            prop_assert_eq!(info.doc_count, docs.len() as u64);
+            let (restored, restored_docs) = read_segment(&buf[..]).unwrap();
+            prop_assert_eq!(&restored, &index);
+            prop_assert_eq!(restored_docs.len(), docs.len());
+        }
+    }
+}

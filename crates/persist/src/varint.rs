@@ -1,0 +1,188 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! Posting lists are stored as delta-encoded varints, the classic inverted-
+//! index compression: file ids within one posting list are ascending, so the
+//! gaps are small and most encode in a single byte.
+
+use std::io::{Read, Write};
+
+use crate::error::PersistError;
+
+/// Appends a `u64` in LEB128 encoding.
+pub fn write_u64<W: Write>(writer: &mut W, mut value: u64) -> Result<(), PersistError> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            writer.write_all(&[byte])?;
+            return Ok(());
+        }
+        writer.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Appends a `u32` in LEB128 encoding.
+pub fn write_u32<W: Write>(writer: &mut W, value: u32) -> Result<(), PersistError> {
+    write_u64(writer, u64::from(value))
+}
+
+/// Reads a LEB128-encoded `u64`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, on truncated input and on encodings longer than ten
+/// bytes (which cannot come from [`write_u64`]).
+pub fn read_u64<R: Read>(reader: &mut R) -> Result<u64, PersistError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 63 && b > 1 {
+            return Err(PersistError::Corrupt("varint overflows u64".into()));
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(PersistError::Corrupt("varint longer than 10 bytes".into()));
+        }
+    }
+}
+
+/// Reads a LEB128-encoded `u32`.
+///
+/// # Errors
+///
+/// Fails like [`read_u64`], and additionally when the decoded value does not
+/// fit in a `u32`.
+pub fn read_u32<R: Read>(reader: &mut R) -> Result<u32, PersistError> {
+    let value = read_u64(reader)?;
+    u32::try_from(value)
+        .map_err(|_| PersistError::Corrupt(format!("value {value} does not fit in u32")))
+}
+
+/// Writes a length-prefixed byte string.
+pub fn write_bytes<W: Write>(writer: &mut W, bytes: &[u8]) -> Result<(), PersistError> {
+    write_u64(writer, bytes.len() as u64)?;
+    writer.write_all(bytes)?;
+    Ok(())
+}
+
+/// Reads a length-prefixed byte string, rejecting lengths above `max_len`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, truncated input, or a declared length above
+/// `max_len` (a corruption guard so a bad length cannot trigger a huge
+/// allocation).
+pub fn read_bytes<R: Read>(reader: &mut R, max_len: u64) -> Result<Vec<u8>, PersistError> {
+    let len = read_u64(reader)?;
+    if len > max_len {
+        return Err(PersistError::Corrupt(format!(
+            "declared length {len} exceeds limit {max_len}"
+        )));
+    }
+    let mut buf = vec![0u8; len as usize];
+    reader.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(value: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, value).unwrap();
+        read_u64(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn small_values_use_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            assert_eq!(buf.len(), 1);
+            assert_eq!(round_trip(v), v);
+        }
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for v in [127, 128, 16_383, 16_384, u64::from(u32::MAX), u64::MAX] {
+            assert_eq!(round_trip(v), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        buf.pop();
+        assert!(read_u64(&mut &buf[..]).is_err());
+        assert!(read_u64(&mut &[][..]).is_err());
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        let eleven_bytes = [0x80u8; 11];
+        assert!(matches!(read_u64(&mut &eleven_bytes[..]), Err(PersistError::Corrupt(_))));
+        // A tenth byte with bits beyond 64 set also overflows.
+        let mut overflow = vec![0xffu8; 9];
+        overflow.push(0x7f);
+        assert!(read_u64(&mut &overflow[..]).is_err());
+    }
+
+    #[test]
+    fn u32_reader_rejects_oversized_values() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::from(u32::MAX) + 1).unwrap();
+        assert!(matches!(read_u32(&mut &buf[..]), Err(PersistError::Corrupt(_))));
+        let mut buf = Vec::new();
+        write_u32(&mut buf, u32::MAX).unwrap();
+        assert_eq!(read_u32(&mut &buf[..]).unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn byte_strings_round_trip_and_enforce_limit() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, b"hello world").unwrap();
+        assert_eq!(read_bytes(&mut &buf[..], 1024).unwrap(), b"hello world");
+        assert!(matches!(read_bytes(&mut &buf[..], 4), Err(PersistError::Corrupt(_))));
+        let mut empty = Vec::new();
+        write_bytes(&mut empty, b"").unwrap();
+        assert_eq!(read_bytes(&mut &empty[..], 10).unwrap(), Vec::<u8>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn any_u64_round_trips(value in any::<u64>()) {
+            prop_assert_eq!(round_trip(value), value);
+        }
+
+        #[test]
+        fn sequences_round_trip(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let mut buf = Vec::new();
+            for &v in &values {
+                write_u64(&mut buf, v).unwrap();
+            }
+            let mut reader = &buf[..];
+            for &v in &values {
+                prop_assert_eq!(read_u64(&mut reader).unwrap(), v);
+            }
+            prop_assert!(reader.is_empty());
+        }
+
+        #[test]
+        fn arbitrary_byte_strings_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut buf = Vec::new();
+            write_bytes(&mut buf, &bytes).unwrap();
+            prop_assert_eq!(read_bytes(&mut &buf[..], 4096).unwrap(), bytes);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Search-query layer for `dsearch`.
+//!
+//! The paper's future-work section ("we will analyze how to integrate the
+//! search query functionality and parallelize it as well, for instance by
+//! using multiple indices") is implemented here:
+//!
+//! * [`query::Query`] — a small boolean query language (`AND`/`OR`/`NOT`,
+//!   implicit `AND` between words, trailing-`*` prefix queries);
+//! * [`search::SingleIndexSearcher`] — evaluates queries against one joined
+//!   index (the result of Implementations 1 and 2);
+//! * [`search::MultiIndexSearcher`] — evaluates queries against the un-joined
+//!   replica set of Implementation 3, optionally fanning the replicas out to
+//!   multiple threads;
+//! * [`results::SearchResults`] — ranked hits with their file paths.
+//!
+//! # Example
+//!
+//! ```
+//! use dsearch_index::{DocTable, InMemoryIndex};
+//! use dsearch_query::{Query, SearchBackend, SingleIndexSearcher};
+//! use dsearch_text::Term;
+//!
+//! let mut docs = DocTable::new();
+//! let a = docs.insert("a.txt");
+//! let b = docs.insert("b.txt");
+//! let mut index = InMemoryIndex::new();
+//! index.insert_file(a, [Term::from("rust"), Term::from("search")]);
+//! index.insert_file(b, [Term::from("rust")]);
+//!
+//! let searcher = SingleIndexSearcher::new(&index, &docs);
+//! let results = searcher.search(&Query::parse("rust AND search").unwrap());
+//! assert_eq!(results.len(), 1);
+//! assert_eq!(results.hits()[0].path, "a.txt");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod query;
+pub mod results;
+pub mod search;
+
+pub use query::{ParseError, Query, QueryGroup, QueryTerm};
+pub use results::{Hit, SearchResults};
+pub use search::{MultiIndexSearcher, SearchBackend, SingleIndexSearcher};

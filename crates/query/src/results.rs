@@ -1,0 +1,122 @@
+//! Search results.
+
+use serde::{Deserialize, Serialize};
+
+use dsearch_index::FileId;
+
+/// One matching file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hit {
+    /// The matching file's id.
+    pub file_id: FileId,
+    /// The matching file's path.
+    pub path: String,
+    /// Number of query terms the file matched (the ranking key).
+    pub matched_terms: usize,
+}
+
+/// An ordered list of hits.
+///
+/// Hits are sorted by descending `matched_terms`, ties broken by ascending
+/// file id so results are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchResults {
+    hits: Vec<Hit>,
+}
+
+impl SearchResults {
+    /// Builds results from unsorted hits.
+    #[must_use]
+    pub fn new(mut hits: Vec<Hit>) -> Self {
+        hits.sort_by(|a, b| {
+            b.matched_terms
+                .cmp(&a.matched_terms)
+                .then_with(|| a.file_id.cmp(&b.file_id))
+        });
+        SearchResults { hits }
+    }
+
+    /// The hits, best first.
+    #[must_use]
+    pub fn hits(&self) -> &[Hit] {
+        &self.hits
+    }
+
+    /// Number of hits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Returns `true` when nothing matched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// The matching file ids, best first.
+    #[must_use]
+    pub fn file_ids(&self) -> Vec<FileId> {
+        self.hits.iter().map(|h| h.file_id).collect()
+    }
+
+    /// The matching paths, best first.
+    #[must_use]
+    pub fn paths(&self) -> Vec<&str> {
+        self.hits.iter().map(|h| h.path.as_str()).collect()
+    }
+
+    /// Truncates the results to the best `n` hits.
+    pub fn truncate(&mut self, n: usize) {
+        self.hits.truncate(n);
+    }
+}
+
+impl IntoIterator for SearchResults {
+    type Item = Hit;
+    type IntoIter = std::vec::IntoIter<Hit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.hits.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(id: u32, matched: usize) -> Hit {
+        Hit { file_id: FileId(id), path: format!("f{id}.txt"), matched_terms: matched }
+    }
+
+    #[test]
+    fn sorts_by_matched_terms_then_id() {
+        let results = SearchResults::new(vec![hit(3, 1), hit(1, 2), hit(2, 2)]);
+        assert_eq!(results.file_ids(), vec![FileId(1), FileId(2), FileId(3)]);
+        assert_eq!(results.hits()[0].matched_terms, 2);
+        assert_eq!(results.paths()[2], "f3.txt");
+    }
+
+    #[test]
+    fn empty_results() {
+        let results = SearchResults::default();
+        assert!(results.is_empty());
+        assert_eq!(results.len(), 0);
+        assert!(results.file_ids().is_empty());
+    }
+
+    #[test]
+    fn truncate_keeps_best() {
+        let mut results = SearchResults::new(vec![hit(1, 3), hit(2, 2), hit(3, 1)]);
+        results.truncate(2);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results.hits()[1].file_id, FileId(2));
+    }
+
+    #[test]
+    fn into_iterator_yields_sorted_hits() {
+        let results = SearchResults::new(vec![hit(2, 1), hit(1, 5)]);
+        let collected: Vec<Hit> = results.into_iter().collect();
+        assert_eq!(collected[0].file_id, FileId(1));
+    }
+}

@@ -1,0 +1,327 @@
+//! Query evaluation over single and replicated indices.
+//!
+//! [`SingleIndexSearcher`] serves the common case (Implementations 1 and 2
+//! end with one index).  [`MultiIndexSearcher`] serves Implementation 3: the
+//! replicas are never joined, so a query is evaluated against every replica
+//! and the partial results are combined — optionally with one thread per
+//! replica, which is the parallel-query idea the paper sketches as future
+//! work.
+
+use dsearch_index::{DocTable, FileId, InMemoryIndex, IndexSet, PostingList};
+use dsearch_text::Term;
+
+use crate::query::{Query, QueryTerm};
+use crate::results::{Hit, SearchResults};
+
+/// Anything queries can be evaluated against.
+pub trait SearchBackend {
+    /// The posting list for one term (empty when the term is unknown).
+    fn postings(&self, term: &Term) -> PostingList;
+
+    /// The union of the posting lists of every indexed term starting with
+    /// `prefix` (used for `word*` queries).
+    fn prefix_postings(&self, prefix: &str) -> PostingList;
+
+    /// The path registered for a file id.
+    fn path_of(&self, id: FileId) -> Option<&str>;
+
+    /// Evaluates a query, producing ranked results.
+    fn search(&self, query: &Query) -> SearchResults {
+        let mut matched: Vec<(FileId, usize)> = Vec::new();
+        for group in query.groups() {
+            // AND within the group: intersect the posting lists, smallest
+            // first would be the classic optimisation; lists here are small
+            // enough that plain left-to-right intersection is fine.
+            let mut iter = group.required().iter();
+            let Some(first) = iter.next() else { continue };
+            let mut acc = match first {
+                QueryTerm::Exact(term) => self.postings(term),
+                QueryTerm::Prefix(prefix) => self.prefix_postings(prefix),
+            };
+            for term in iter {
+                if acc.is_empty() {
+                    break;
+                }
+                let next = match term {
+                    QueryTerm::Exact(term) => self.postings(term),
+                    QueryTerm::Prefix(prefix) => self.prefix_postings(prefix),
+                };
+                acc = acc.intersect(&next);
+            }
+            // NOT terms: subtract the postings of every excluded term.
+            for term in group.excluded() {
+                if acc.is_empty() {
+                    break;
+                }
+                acc = acc.difference(&self.postings(term));
+            }
+            for id in acc.iter() {
+                matched.push((id, group.len()));
+            }
+        }
+        // A document matching several OR groups keeps its best (highest
+        // matched-term) group.
+        matched.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+        matched.dedup_by_key(|(id, _)| *id);
+
+        let hits = matched
+            .into_iter()
+            .map(|(id, matched_terms)| Hit {
+                file_id: id,
+                path: self.path_of(id).unwrap_or("<unknown>").to_owned(),
+                matched_terms,
+            })
+            .collect();
+        SearchResults::new(hits)
+    }
+}
+
+/// Searches one joined index.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleIndexSearcher<'a> {
+    index: &'a InMemoryIndex,
+    docs: &'a DocTable,
+}
+
+impl<'a> SingleIndexSearcher<'a> {
+    /// Creates a searcher over `index` with paths resolved through `docs`.
+    #[must_use]
+    pub fn new(index: &'a InMemoryIndex, docs: &'a DocTable) -> Self {
+        SingleIndexSearcher { index, docs }
+    }
+}
+
+impl SearchBackend for SingleIndexSearcher<'_> {
+    fn postings(&self, term: &Term) -> PostingList {
+        self.index.postings(term).cloned().unwrap_or_default()
+    }
+
+    fn prefix_postings(&self, prefix: &str) -> PostingList {
+        let mut out = PostingList::new();
+        for (term, list) in self.index.iter() {
+            if term.as_str().starts_with(prefix) {
+                out.union_with(list);
+            }
+        }
+        out
+    }
+
+    fn path_of(&self, id: FileId) -> Option<&str> {
+        self.docs.path(id)
+    }
+}
+
+/// Searches the un-joined replica set of Implementation 3.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiIndexSearcher<'a> {
+    set: &'a IndexSet,
+    docs: &'a DocTable,
+    parallel: bool,
+}
+
+impl<'a> MultiIndexSearcher<'a> {
+    /// Creates a sequential multi-index searcher.
+    #[must_use]
+    pub fn new(set: &'a IndexSet, docs: &'a DocTable) -> Self {
+        MultiIndexSearcher { set, docs, parallel: false }
+    }
+
+    /// Makes term lookups fan out with one thread per replica.
+    ///
+    /// Worth it only for large replica counts or long queries; provided to
+    /// reproduce the paper's "search can work with multiple indices in
+    /// parallel" claim.
+    #[must_use]
+    pub fn with_parallel_lookup(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Number of replicas consulted per lookup.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.set.replica_count()
+    }
+}
+
+impl SearchBackend for MultiIndexSearcher<'_> {
+    fn postings(&self, term: &Term) -> PostingList {
+        if !self.parallel || self.set.replica_count() <= 1 {
+            return self.set.postings(term);
+        }
+        // One lookup thread per replica, merged at the end.
+        let partials: Vec<PostingList> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .set
+                .replicas()
+                .iter()
+                .map(|replica| {
+                    scope.spawn(move || replica.postings(term).cloned().unwrap_or_default())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replica lookup panicked"))
+                .collect()
+        });
+        let mut out = PostingList::new();
+        for p in &partials {
+            out.union_with(p);
+        }
+        out
+    }
+
+    fn prefix_postings(&self, prefix: &str) -> PostingList {
+        let mut out = PostingList::new();
+        for replica in self.set.replicas() {
+            for (term, list) in replica.iter() {
+                if term.as_str().starts_with(prefix) {
+                    out.union_with(list);
+                }
+            }
+        }
+        out
+    }
+
+    fn path_of(&self, id: FileId) -> Option<&str> {
+        self.docs.path(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds one joined index and an equivalent 3-replica set over the same
+    /// tiny document collection.
+    fn fixture() -> (InMemoryIndex, IndexSet, DocTable) {
+        let docs_content: &[(&str, &[&str])] = &[
+            ("a.txt", &["rust", "parallel", "index"]),
+            ("b.txt", &["rust", "search"]),
+            ("c.txt", &["java", "search", "index"]),
+            ("d.txt", &["rust", "java"]),
+            ("e.txt", &["parallel", "search", "rust"]),
+        ];
+        let mut table = DocTable::new();
+        let mut joined = InMemoryIndex::new();
+        let mut replicas: Vec<InMemoryIndex> = (0..3).map(|_| InMemoryIndex::new()).collect();
+        for (i, (path, words)) in docs_content.iter().enumerate() {
+            let id = table.insert(*path);
+            let terms: Vec<Term> = words.iter().map(|w| Term::from(*w)).collect();
+            joined.insert_file(id, terms.clone());
+            replicas[i % 3].insert_file(id, terms);
+        }
+        (joined, IndexSet::new(replicas), table)
+    }
+
+    #[test]
+    fn single_term_query() {
+        let (index, _, docs) = fixture();
+        let searcher = SingleIndexSearcher::new(&index, &docs);
+        let results = searcher.search(&Query::parse("rust").unwrap());
+        assert_eq!(results.len(), 4);
+        assert!(results.paths().contains(&"a.txt"));
+        assert!(!results.paths().contains(&"c.txt"));
+    }
+
+    #[test]
+    fn and_query_intersects() {
+        let (index, _, docs) = fixture();
+        let searcher = SingleIndexSearcher::new(&index, &docs);
+        let results = searcher.search(&Query::parse("rust search").unwrap());
+        assert_eq!(results.paths(), vec!["b.txt", "e.txt"]);
+    }
+
+    #[test]
+    fn or_query_unions_and_ranks_by_matched_terms() {
+        let (index, _, docs) = fixture();
+        let searcher = SingleIndexSearcher::new(&index, &docs);
+        let results = searcher.search(&Query::parse("rust parallel OR java").unwrap());
+        // a.txt and e.txt match both terms of the first group (2 matched
+        // terms); c.txt and d.txt match "java" (1 matched term).
+        assert_eq!(results.len(), 4);
+        assert_eq!(results.hits()[0].matched_terms, 2);
+        assert!(results.paths()[..2].contains(&"a.txt"));
+        assert!(results.paths()[..2].contains(&"e.txt"));
+    }
+
+    #[test]
+    fn unknown_terms_produce_no_hits() {
+        let (index, _, docs) = fixture();
+        let searcher = SingleIndexSearcher::new(&index, &docs);
+        let results = searcher.search(&Query::parse("nonexistent").unwrap());
+        assert!(results.is_empty());
+        let results = searcher.search(&Query::parse("rust nonexistent").unwrap());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn multi_index_matches_single_index() {
+        let (index, set, docs) = fixture();
+        let single = SingleIndexSearcher::new(&index, &docs);
+        let multi = MultiIndexSearcher::new(&set, &docs);
+        let multi_par = MultiIndexSearcher::new(&set, &docs).with_parallel_lookup(true);
+        assert_eq!(multi.replica_count(), 3);
+
+        for raw in ["rust", "rust search", "index OR java", "parallel rust OR java search", "rust java index OR search"] {
+            let q = Query::parse(raw).unwrap();
+            let expected = single.search(&q);
+            assert_eq!(multi.search(&q), expected, "sequential multi, query {raw:?}");
+            assert_eq!(multi_par.search(&q), expected, "parallel multi, query {raw:?}");
+        }
+    }
+
+    #[test]
+    fn not_terms_exclude_documents() {
+        let (index, set, docs) = fixture();
+        let searcher = SingleIndexSearcher::new(&index, &docs);
+        // All rust documents except the ones also mentioning java.
+        let results = searcher.search(&Query::parse("rust NOT java").unwrap());
+        assert_eq!(results.paths(), vec!["a.txt", "b.txt", "e.txt"]);
+        // Dash syntax and multi-replica backend agree.
+        let multi = MultiIndexSearcher::new(&set, &docs);
+        assert_eq!(multi.search(&Query::parse("rust -java").unwrap()), results);
+        // Excluding a term that never occurs changes nothing.
+        let unchanged = searcher.search(&Query::parse("rust NOT cobol").unwrap());
+        assert_eq!(unchanged.len(), 4);
+    }
+
+    #[test]
+    fn prefix_queries_expand_over_index_terms() {
+        let (index, set, docs) = fixture();
+        let searcher = SingleIndexSearcher::new(&index, &docs);
+        // "ja*" matches "java"; "par*" matches "parallel".
+        let results = searcher.search(&Query::parse("ja*").unwrap());
+        assert_eq!(results.paths(), vec!["c.txt", "d.txt"]);
+        let results = searcher.search(&Query::parse("par* search").unwrap());
+        assert_eq!(results.paths(), vec!["e.txt"]);
+        // Prefix matching nothing yields no hits.
+        assert!(searcher.search(&Query::parse("zz*").unwrap()).is_empty());
+        // Multi-index prefix expansion covers every replica.
+        let multi = MultiIndexSearcher::new(&set, &docs);
+        assert_eq!(
+            multi.search(&Query::parse("ja*").unwrap()),
+            searcher.search(&Query::parse("ja*").unwrap())
+        );
+    }
+
+    #[test]
+    fn duplicate_document_across_or_groups_is_reported_once() {
+        let (index, _, docs) = fixture();
+        let searcher = SingleIndexSearcher::new(&index, &docs);
+        // b.txt matches both groups.
+        let results = searcher.search(&Query::parse("rust OR search").unwrap());
+        let b_hits = results.paths().iter().filter(|p| **p == "b.txt").count();
+        assert_eq!(b_hits, 1);
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn path_of_unknown_id_is_placeholder() {
+        let (index, _, _) = fixture();
+        let empty_docs = DocTable::new();
+        let searcher = SingleIndexSearcher::new(&index, &empty_docs);
+        let results = searcher.search(&Query::parse("rust").unwrap());
+        assert!(results.hits().iter().all(|h| h.path == "<unknown>"));
+    }
+}

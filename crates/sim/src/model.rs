@@ -1,0 +1,386 @@
+//! The calibrated cost model.
+//!
+//! The model decomposes a run into the quantities the paper measures:
+//!
+//! * **Stage 1** — a fixed, platform-specific filename-generation time
+//!   (scaled by file count relative to the paper corpus).
+//! * **I/O** — every file pays a seek/open overhead (overlapped up to the
+//!   platform's `seek_parallelism`) and its bytes are transferred at the
+//!   single-stream bandwidth; concurrent readers scale throughput up to the
+//!   platform's aggregate bandwidth.  This is what bounded the paper's runs:
+//!   the benchmark is read-dominated.
+//! * **CPU** — scanning/extraction and index update cost a platform-specific
+//!   number of nanoseconds per byte; the available parallelism is the lesser
+//!   of the worker-thread count and the core count.
+//! * **Shared-index serialisation (Implementation 1)** — updates against the
+//!   shared index are serialized by its lock (at slightly inflated per-byte
+//!   cost because the single large hash map has worse cache locality), and
+//!   every additional contending thread adds a platform-specific lock
+//!   hand-off penalty.
+//! * **Join (Implementation 2)** — after the extraction barrier the replicas
+//!   are merged; a single joiner needs a platform-calibrated number of
+//!   seconds for the paper corpus, and additional joiner threads divide that
+//!   (tree reduction).
+//!
+//! The run time of a configuration is the maximum of the I/O, CPU and
+//! serialisation bounds (they overlap) plus the non-overlappable update tail
+//! and the join.  Parameters are calibrated so the model reproduces Table 1
+//! exactly and Tables 2–4 within a few percent; see EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+use dsearch_core::{Configuration, Implementation};
+
+use crate::platform::PlatformModel;
+use crate::workload::WorkloadModel;
+
+const MB: f64 = 1_000_000.0;
+const NS: f64 = 1e-9;
+
+/// Sequential per-stage times (one row of Table 1), in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SequentialStageEstimate {
+    /// Filename generation.
+    pub filename_generation_s: f64,
+    /// Reading every file without term extraction.
+    pub read_files_s: f64,
+    /// Reading every file and extracting terms.
+    pub read_and_extract_s: f64,
+    /// Index update.
+    pub index_update_s: f64,
+}
+
+impl SequentialStageEstimate {
+    /// Sum of the production stages (filename generation + read-and-extract +
+    /// index update).
+    #[must_use]
+    pub fn production_total_s(&self) -> f64 {
+        self.filename_generation_s + self.read_and_extract_s + self.index_update_s
+    }
+}
+
+/// The estimated outcome of one parallel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunEstimate {
+    /// End-to-end seconds.
+    pub total_s: f64,
+    /// Stage 1 seconds.
+    pub stage1_s: f64,
+    /// Overlapped extraction/update phase seconds.
+    pub phase_s: f64,
+    /// Join seconds (zero unless Implementation 2).
+    pub join_s: f64,
+    /// Speed-up versus the platform's reported sequential runtime.
+    pub speedup: f64,
+    /// Which of the phase bounds was binding.
+    pub bottleneck: Bottleneck,
+}
+
+/// The binding constraint of the extraction/update phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// Disk bandwidth / seek overhead.
+    Io,
+    /// CPU capacity (scan + extraction + parallel update).
+    Cpu,
+    /// Serialised updates on the shared-index lock.
+    SharedIndexLock,
+    /// Update throughput of the configured updater threads.
+    UpdateThroughput,
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Bottleneck::Io => "I/O",
+            Bottleneck::Cpu => "CPU",
+            Bottleneck::SharedIndexLock => "shared-index lock",
+            Bottleneck::UpdateThroughput => "update throughput",
+        };
+        f.write_str(s)
+    }
+}
+
+fn stage1_seconds(platform: &PlatformModel, workload: &WorkloadModel) -> f64 {
+    // Stage 1 cost scales with the number of files (directory entries).
+    platform.filename_generation_s * workload.files as f64 / WorkloadModel::paper().files as f64
+}
+
+fn seek_seconds_total(platform: &PlatformModel, workload: &WorkloadModel) -> f64 {
+    workload.files as f64 * platform.seek_ms_per_file / 1_000.0
+}
+
+fn transfer_seconds_single_stream(platform: &PlatformModel, workload: &WorkloadModel) -> f64 {
+    workload.bytes as f64 / (platform.stream_bandwidth_mbps * MB)
+}
+
+fn scan_cpu_seconds(platform: &PlatformModel, workload: &WorkloadModel) -> f64 {
+    workload.bytes as f64 * platform.scan_ns_per_byte * NS
+}
+
+fn update_cpu_seconds(platform: &PlatformModel, workload: &WorkloadModel) -> f64 {
+    workload.bytes as f64 * platform.update_ns_per_byte * NS
+}
+
+/// Estimates the sequential per-stage times (one row of Table 1).
+#[must_use]
+pub fn sequential_stages(
+    platform: &PlatformModel,
+    workload: &WorkloadModel,
+) -> SequentialStageEstimate {
+    let read = seek_seconds_total(platform, workload)
+        + transfer_seconds_single_stream(platform, workload);
+    SequentialStageEstimate {
+        filename_generation_s: stage1_seconds(platform, workload),
+        read_files_s: read,
+        read_and_extract_s: read + scan_cpu_seconds(platform, workload),
+        index_update_s: update_cpu_seconds(platform, workload),
+    }
+}
+
+/// I/O lower bound for `readers` concurrent extractor threads.
+fn io_floor_seconds(platform: &PlatformModel, workload: &WorkloadModel, readers: usize) -> f64 {
+    let readers = readers.max(1);
+    let seeks = seek_seconds_total(platform, workload)
+        / readers.min(platform.seek_parallelism) as f64;
+    let effective_bw = (readers as f64 * platform.stream_bandwidth_mbps)
+        .min(platform.aggregate_bandwidth_mbps)
+        * MB;
+    seeks + workload.bytes as f64 / effective_bw
+}
+
+/// Estimates one parallel run.
+///
+/// The configuration is taken at face value (no validation beyond clamping
+/// zero thread counts); use [`Configuration::validate`] for user input.
+#[must_use]
+pub fn estimate_run(
+    platform: &PlatformModel,
+    workload: &WorkloadModel,
+    implementation: Implementation,
+    configuration: Configuration,
+) -> RunEstimate {
+    let x = configuration.extraction_threads.max(1);
+    let y = configuration.update_threads;
+    let updaters = configuration.updater_count().max(1);
+    let workers = (x + y).max(1);
+
+    let stage1_s = stage1_seconds(platform, workload);
+    let scan_cpu = scan_cpu_seconds(platform, workload);
+    let update_cpu = update_cpu_seconds(platform, workload);
+
+    // --- candidate lower bounds for the overlapped phase -------------------
+    let io_bound = io_floor_seconds(platform, workload, x);
+    let parallel_cores = workers.min(platform.cores).max(1) as f64;
+
+    let (cpu_bound, update_bound, tail_s, bottleneck_extra) = match implementation {
+        Implementation::SharedLocked => {
+            // Updates are serialized on the lock, at inflated per-byte cost,
+            // plus a hand-off penalty per additional contender.
+            let serialized = update_cpu * platform.shared_update_inflation;
+            let contention =
+                platform.lock_penalty_s_per_contender * (updaters.saturating_sub(1)) as f64
+                    * workload.scale_vs_paper();
+            let cpu = scan_cpu / parallel_cores;
+            (cpu, serialized + contention, 0.0, Bottleneck::SharedIndexLock)
+        }
+        Implementation::ReplicateJoin | Implementation::ReplicateNoJoin => {
+            // Updates spread across the updater threads' private replicas.
+            let per_updater = update_cpu / updaters as f64;
+            let cpu = (scan_cpu + update_cpu) / parallel_cores;
+            let tail = per_updater * platform.update_tail_fraction;
+            (cpu, per_updater, tail, Bottleneck::UpdateThroughput)
+        }
+    };
+
+    let (phase_core, bottleneck) = {
+        let mut best = (io_bound, Bottleneck::Io);
+        if cpu_bound > best.0 {
+            best = (cpu_bound, Bottleneck::Cpu);
+        }
+        if update_bound > best.0 {
+            best = (update_bound, bottleneck_extra);
+        }
+        best
+    };
+    let mut phase_s = phase_core + tail_s;
+    // The shared-index contention penalty applies on top of whichever bound
+    // is binding: lock hand-offs steal time from reading as well.
+    if implementation == Implementation::SharedLocked {
+        let contention =
+            platform.lock_penalty_s_per_contender * (updaters.saturating_sub(1)) as f64
+                * workload.scale_vs_paper();
+        if bottleneck != Bottleneck::SharedIndexLock {
+            phase_s += contention;
+        }
+    }
+
+    // --- join ---------------------------------------------------------------
+    let join_s = if implementation.joins() {
+        let joiners = configuration.join_threads.max(1) as f64;
+        platform.join_s_single_thread * workload.scale_vs_paper() / joiners
+    } else {
+        0.0
+    };
+
+    let total_s = stage1_s + phase_s + join_s;
+    let speedup = if total_s > 0.0 {
+        platform.sequential_reported_s * workload.scale_vs_paper() / total_s
+    } else {
+        0.0
+    };
+
+    RunEstimate { total_s, stage1_s, phase_s, join_s, speedup, bottleneck }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(actual: f64, expected: f64, tolerance_frac: f64) -> bool {
+        (actual - expected).abs() <= expected * tolerance_frac
+    }
+
+    #[test]
+    fn table1_is_reproduced_within_two_percent() {
+        let workload = WorkloadModel::paper();
+        let cases = [
+            (PlatformModel::four_core(), 5.0, 77.0, 88.0, 22.0),
+            (PlatformModel::eight_core(), 4.0, 47.0, 61.0, 29.0),
+            (PlatformModel::thirty_two_core(), 5.0, 73.0, 80.0, 28.0),
+        ];
+        for (platform, fname, read, read_extract, update) in cases {
+            let est = sequential_stages(&platform, &workload);
+            assert!(close(est.filename_generation_s, fname, 0.02), "{}: fn {}", platform.name, est.filename_generation_s);
+            assert!(close(est.read_files_s, read, 0.02), "{}: read {}", platform.name, est.read_files_s);
+            assert!(close(est.read_and_extract_s, read_extract, 0.02), "{}: read+extract {}", platform.name, est.read_and_extract_s);
+            assert!(close(est.index_update_s, update, 0.02), "{}: update {}", platform.name, est.index_update_s);
+            assert!(est.production_total_s() > est.read_and_extract_s);
+        }
+    }
+
+    #[test]
+    fn table2_best_configs_are_reproduced_on_the_4_core() {
+        let platform = PlatformModel::four_core();
+        let workload = WorkloadModel::paper();
+        let cases = [
+            (Implementation::SharedLocked, Configuration::new(3, 1, 0), 4.71),
+            (Implementation::ReplicateJoin, Configuration::new(3, 5, 1), 4.70),
+            (Implementation::ReplicateNoJoin, Configuration::new(3, 2, 0), 4.74),
+        ];
+        let mut speedups = Vec::new();
+        for (implementation, config, paper_speedup) in cases {
+            let est = estimate_run(&platform, &workload, implementation, config);
+            assert!(
+                close(est.speedup, paper_speedup, 0.10),
+                "{implementation}: model {:.2} vs paper {paper_speedup}",
+                est.speedup
+            );
+            speedups.push(est.speedup);
+        }
+        // All three are "nearly the same" on the 4-core machine.
+        let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+        let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 1.10, "spread too large: {speedups:?}");
+    }
+
+    #[test]
+    fn table3_ordering_holds_on_the_8_core() {
+        let platform = PlatformModel::eight_core();
+        let workload = WorkloadModel::paper();
+        let impl1 = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(3, 2, 0));
+        let impl2 = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(6, 2, 1));
+        let impl3 = estimate_run(&platform, &workload, Implementation::ReplicateNoJoin, Configuration::new(6, 2, 0));
+        assert!(close(impl1.speedup, 1.76, 0.10), "impl1 {}", impl1.speedup);
+        assert!(close(impl2.speedup, 1.82, 0.10), "impl2 {}", impl2.speedup);
+        assert!(close(impl3.speedup, 2.12, 0.10), "impl3 {}", impl3.speedup);
+        assert!(impl3.speedup > impl2.speedup && impl2.speedup > impl1.speedup);
+    }
+
+    #[test]
+    fn table4_ordering_and_gap_hold_on_the_32_core() {
+        let platform = PlatformModel::thirty_two_core();
+        let workload = WorkloadModel::paper();
+        let impl1 = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(8, 4, 0));
+        let impl2 = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(8, 4, 1));
+        let impl3 = estimate_run(&platform, &workload, Implementation::ReplicateNoJoin, Configuration::new(9, 4, 0));
+        assert!(close(impl1.speedup, 1.96, 0.10), "impl1 {}", impl1.speedup);
+        assert!(close(impl2.speedup, 2.47, 0.10), "impl2 {}", impl2.speedup);
+        assert!(close(impl3.speedup, 3.50, 0.10), "impl3 {}", impl3.speedup);
+        assert!(impl3.speedup > impl2.speedup && impl2.speedup > impl1.speedup);
+        // The no-join design wins by a large factor over the shared lock.
+        assert!(impl3.speedup / impl1.speedup > 1.5);
+    }
+
+    #[test]
+    fn more_extraction_threads_never_hurt_the_no_join_design() {
+        let platform = PlatformModel::thirty_two_core();
+        let workload = WorkloadModel::paper();
+        let mut last = f64::INFINITY;
+        for x in 1..=16 {
+            let est = estimate_run(
+                &platform,
+                &workload,
+                Implementation::ReplicateNoJoin,
+                Configuration::new(x, 4, 0),
+            );
+            assert!(est.total_s <= last + 1e-9, "x={x} slower than x-1");
+            last = est.total_s;
+        }
+    }
+
+    #[test]
+    fn more_lock_contenders_hurt_the_shared_design() {
+        let platform = PlatformModel::thirty_two_core();
+        let workload = WorkloadModel::paper();
+        let few = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(8, 2, 0));
+        let many = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(8, 16, 0));
+        assert!(many.total_s > few.total_s);
+    }
+
+    #[test]
+    fn join_threads_reduce_join_time() {
+        let platform = PlatformModel::thirty_two_core();
+        let workload = WorkloadModel::paper();
+        let one = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(8, 4, 1));
+        let four = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(8, 4, 4));
+        assert!(four.join_s < one.join_s);
+        assert!(four.total_s < one.total_s);
+        assert!((one.join_s - 4.0 * four.join_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_workloads_scale_down_proportionally() {
+        let platform = PlatformModel::four_core();
+        let full = WorkloadModel::paper();
+        let tenth = WorkloadModel::from_counts(5_100, 86_900_000);
+        let est_full = estimate_run(&platform, &full, Implementation::ReplicateNoJoin, Configuration::new(3, 2, 0));
+        let est_tenth = estimate_run(&platform, &tenth, Implementation::ReplicateNoJoin, Configuration::new(3, 2, 0));
+        let ratio = est_tenth.total_s / est_full.total_s;
+        assert!((0.08..0.12).contains(&ratio), "ratio {ratio}");
+        // Speed-up is scale-free.
+        assert!(close(est_tenth.speedup, est_full.speedup, 0.02));
+    }
+
+    #[test]
+    fn bottleneck_classification_is_sensible() {
+        let platform = PlatformModel::eight_core();
+        let workload = WorkloadModel::paper();
+        // Single extractor: I/O bound.
+        let est = estimate_run(&platform, &workload, Implementation::ReplicateNoJoin, Configuration::new(1, 0, 0));
+        assert_eq!(est.bottleneck, Bottleneck::Io);
+        assert_eq!(est.bottleneck.to_string(), "I/O");
+        // Shared index with many contenders: lock bound.
+        let est = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(8, 8, 0));
+        assert_eq!(est.bottleneck, Bottleneck::SharedIndexLock);
+    }
+
+    #[test]
+    fn estimate_handles_degenerate_configurations() {
+        let platform = PlatformModel::four_core();
+        let workload = WorkloadModel::paper();
+        let est = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(0, 0, 0));
+        assert!(est.total_s.is_finite() && est.total_s > 0.0);
+        assert!(est.join_s > 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Platform models of the paper's three Intel machines.
+//!
+//! Every parameter is either taken from the paper's hardware description
+//! (core counts, clock rates) or **calibrated from Table 1** (per-stage
+//! sequential times) and the reported sequential runtimes.  The calibration is
+//! spelled out field by field so EXPERIMENTS.md can reference it.
+
+use serde::{Deserialize, Serialize};
+
+/// A model of one evaluation platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformModel {
+    /// Human-readable name ("4-core Intel Core2Quad Q6600" …).
+    pub name: String,
+    /// Number of hardware cores.
+    pub cores: usize,
+    /// Stage 1 (filename generation) time for the paper's corpus, in seconds.
+    pub filename_generation_s: f64,
+    /// Per-file open/seek overhead, in milliseconds.
+    pub seek_ms_per_file: f64,
+    /// How many file-open/seek operations the I/O subsystem overlaps.
+    pub seek_parallelism: usize,
+    /// Sustained single-stream read bandwidth, in MB/s (decimal).
+    pub stream_bandwidth_mbps: f64,
+    /// Aggregate read bandwidth with many concurrent readers, in MB/s.
+    pub aggregate_bandwidth_mbps: f64,
+    /// CPU cost of scanning and term extraction, in ns per byte.
+    pub scan_ns_per_byte: f64,
+    /// CPU cost of index update (hash look-ups and posting appends), in ns
+    /// per byte of input text.
+    pub update_ns_per_byte: f64,
+    /// Slow-down of updates against the single large shared index relative to
+    /// small per-thread replicas (worse cache locality).
+    pub shared_update_inflation: f64,
+    /// Extra serialized seconds added per additional thread contending for
+    /// the shared-index lock (cache-line transfer and lock hand-off costs).
+    pub lock_penalty_s_per_contender: f64,
+    /// Seconds a single thread needs to join the replicas of the paper's
+    /// corpus (scaled by workload size and divided by the join thread count).
+    pub join_s_single_thread: f64,
+    /// Fraction of the (parallelised) update work that does not overlap with
+    /// I/O and extraction (the tail after the last file is read).
+    pub update_tail_fraction: f64,
+    /// The sequential end-to-end runtime the paper reports for this platform,
+    /// in seconds (the denominator of its speed-up numbers).
+    pub sequential_reported_s: f64,
+}
+
+impl PlatformModel {
+    /// The 4-core machine: Intel Core2Quad Q6600, 2.4 GHz, 4 GB RAM,
+    /// Windows 7 64 bit.  Table 1 row: 5.0 / 77.0 / 88.0 / 22.0 s; sequential
+    /// ≈ 220 s.
+    #[must_use]
+    pub fn four_core() -> Self {
+        PlatformModel {
+            name: "4-core Intel Core2Quad Q6600 (2.4 GHz, Windows 7)".into(),
+            cores: 4,
+            filename_generation_s: 5.0,
+            seek_ms_per_file: 0.6,
+            seek_parallelism: 4,
+            stream_bandwidth_mbps: 18.7,
+            aggregate_bandwidth_mbps: 30.0,
+            scan_ns_per_byte: 12.66,
+            update_ns_per_byte: 25.3,
+            shared_update_inflation: 1.15,
+            lock_penalty_s_per_contender: 3.0,
+            join_s_single_thread: 2.0,
+            update_tail_fraction: 0.1,
+            sequential_reported_s: 220.0,
+        }
+    }
+
+    /// The 8-core machine: Intel Xeon E5320, 1.86 GHz, 8 GB RAM, Ubuntu 8.10.
+    /// Table 1 row: 4.0 / 47.0 / 61.0 / 29.0 s; sequential ≈ 105 s.
+    #[must_use]
+    pub fn eight_core() -> Self {
+        PlatformModel {
+            name: "8-core Intel Xeon E5320 (1.86 GHz, Ubuntu 8.10)".into(),
+            cores: 8,
+            filename_generation_s: 4.0,
+            seek_ms_per_file: 0.3,
+            seek_parallelism: 6,
+            stream_bandwidth_mbps: 27.4,
+            aggregate_bandwidth_mbps: 21.0,
+            scan_ns_per_byte: 16.1,
+            update_ns_per_byte: 33.37,
+            shared_update_inflation: 1.15,
+            lock_penalty_s_per_contender: 9.0,
+            join_s_single_thread: 8.0,
+            update_tail_fraction: 0.1,
+            sequential_reported_s: 105.0,
+        }
+    }
+
+    /// The 32-core machine: Intel Xeon X7560, 2.27 GHz, 8 GB RAM, RHEL 4
+    /// (Intel Manycore Testing Lab).  Table 1 row: 5.0 / 73.0 / 80.0 / 28.0 s;
+    /// sequential ≈ 90 s.
+    #[must_use]
+    pub fn thirty_two_core() -> Self {
+        PlatformModel {
+            name: "32-core Intel Xeon X7560 (2.27 GHz, RHEL 4, Manycore Testing Lab)".into(),
+            cores: 32,
+            filename_generation_s: 5.0,
+            seek_ms_per_file: 0.55,
+            seek_parallelism: 16,
+            stream_bandwidth_mbps: 19.3,
+            aggregate_bandwidth_mbps: 48.0,
+            scan_ns_per_byte: 8.06,
+            update_ns_per_byte: 32.2,
+            shared_update_inflation: 1.15,
+            lock_penalty_s_per_contender: 2.9,
+            join_s_single_thread: 9.5,
+            update_tail_fraction: 0.1,
+            sequential_reported_s: 90.0,
+        }
+    }
+
+    /// The three paper platforms, in paper order.
+    #[must_use]
+    pub fn paper_platforms() -> Vec<PlatformModel> {
+        vec![Self::four_core(), Self::eight_core(), Self::thirty_two_core()]
+    }
+
+    /// Validates that the parameters are physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first nonsensical parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("cores must be positive".into());
+        }
+        for (name, value) in [
+            ("filename_generation_s", self.filename_generation_s),
+            ("seek_ms_per_file", self.seek_ms_per_file),
+            ("stream_bandwidth_mbps", self.stream_bandwidth_mbps),
+            ("aggregate_bandwidth_mbps", self.aggregate_bandwidth_mbps),
+            ("scan_ns_per_byte", self.scan_ns_per_byte),
+            ("update_ns_per_byte", self.update_ns_per_byte),
+            ("sequential_reported_s", self.sequential_reported_s),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!("{name} must be positive and finite, got {value}"));
+            }
+        }
+        if self.seek_parallelism == 0 {
+            return Err("seek_parallelism must be positive".into());
+        }
+        if self.shared_update_inflation < 1.0 {
+            return Err("shared_update_inflation must be >= 1.0".into());
+        }
+        if !(0.0..=1.0).contains(&self.update_tail_fraction) {
+            return Err("update_tail_fraction must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platforms_are_valid_and_distinct() {
+        let platforms = PlatformModel::paper_platforms();
+        assert_eq!(platforms.len(), 3);
+        for p in &platforms {
+            assert!(p.validate().is_ok(), "{}: {:?}", p.name, p.validate());
+        }
+        assert_eq!(platforms[0].cores, 4);
+        assert_eq!(platforms[1].cores, 8);
+        assert_eq!(platforms[2].cores, 32);
+        assert_ne!(platforms[0], platforms[1]);
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut p = PlatformModel::four_core();
+        p.cores = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = PlatformModel::four_core();
+        p.stream_bandwidth_mbps = -1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = PlatformModel::four_core();
+        p.shared_update_inflation = 0.5;
+        assert!(p.validate().is_err());
+
+        let mut p = PlatformModel::four_core();
+        p.update_tail_fraction = 2.0;
+        assert!(p.validate().is_err());
+
+        let mut p = PlatformModel::four_core();
+        p.seek_parallelism = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = PlatformModel::eight_core();
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<PlatformModel>(&json).unwrap(), p);
+    }
+}

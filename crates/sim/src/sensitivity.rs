@@ -1,0 +1,220 @@
+//! Sensitivity analysis over the platform parameters.
+//!
+//! The paper's central observation — the optimal design is "markedly
+//! different" on each platform — is a statement about how the winner depends
+//! on hardware characteristics.  The sensitivity sweep makes that dependence
+//! explicit: one platform parameter (lock hand-off cost, aggregate disk
+//! bandwidth, core count, index-update CPU cost) is scaled over a range of
+//! factors while everything else is held fixed, and the best achievable time
+//! of each implementation is recorded at every point.  The output shows which
+//! parameter moves the crossover between the shared-lock design and the
+//! replicated designs.
+
+use serde::{Deserialize, Serialize};
+
+use dsearch_core::Implementation;
+
+use crate::platform::PlatformModel;
+use crate::sweep::{best_configuration, SweepRanges};
+use crate::workload::WorkloadModel;
+
+/// The platform parameter varied by a sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SensitivityAxis {
+    /// `lock_penalty_s_per_contender` — the cost of shared-index contention.
+    LockPenalty,
+    /// `aggregate_bandwidth_mbps` — how much the disk rewards concurrent
+    /// readers.
+    AggregateBandwidth,
+    /// `cores` — the processor count (scaled and rounded, minimum 1).
+    Cores,
+    /// `update_ns_per_byte` — the CPU cost of index update.
+    UpdateCost,
+    /// `join_s_single_thread` — the cost of joining replicas at the end.
+    JoinCost,
+}
+
+impl SensitivityAxis {
+    /// Every axis, for exhaustive studies.
+    pub const ALL: [SensitivityAxis; 5] = [
+        SensitivityAxis::LockPenalty,
+        SensitivityAxis::AggregateBandwidth,
+        SensitivityAxis::Cores,
+        SensitivityAxis::UpdateCost,
+        SensitivityAxis::JoinCost,
+    ];
+}
+
+impl std::fmt::Display for SensitivityAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SensitivityAxis::LockPenalty => "lock penalty",
+            SensitivityAxis::AggregateBandwidth => "aggregate disk bandwidth",
+            SensitivityAxis::Cores => "core count",
+            SensitivityAxis::UpdateCost => "index-update CPU cost",
+            SensitivityAxis::JoinCost => "join cost",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Applies a scaling factor to one parameter of a platform model.
+#[must_use]
+pub fn scaled_platform(base: &PlatformModel, axis: SensitivityAxis, factor: f64) -> PlatformModel {
+    let mut platform = base.clone();
+    match axis {
+        SensitivityAxis::LockPenalty => platform.lock_penalty_s_per_contender *= factor,
+        SensitivityAxis::AggregateBandwidth => platform.aggregate_bandwidth_mbps *= factor,
+        SensitivityAxis::Cores => {
+            platform.cores = ((base.cores as f64 * factor).round() as usize).max(1);
+        }
+        SensitivityAxis::UpdateCost => platform.update_ns_per_byte *= factor,
+        SensitivityAxis::JoinCost => platform.join_s_single_thread *= factor,
+    }
+    platform.name = format!("{} [{axis} × {factor:.2}]", base.name);
+    platform
+}
+
+/// One point of a sensitivity sweep: the best time of every implementation at
+/// one scaling factor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// The scaling factor applied to the axis parameter.
+    pub factor: f64,
+    /// Best end-to-end seconds per implementation (paper order: 1, 2, 3).
+    pub best_seconds: [f64; 3],
+    /// Best speed-up per implementation (paper order).
+    pub best_speedups: [f64; 3],
+    /// Which implementation wins at this point (fastest best time).
+    pub winner: Implementation,
+}
+
+impl SensitivityPoint {
+    /// Ratio of Implementation 1's best time to Implementation 3's best time
+    /// (> 1 means the replicated, no-join design wins).
+    #[must_use]
+    pub fn shared_vs_no_join_ratio(&self) -> f64 {
+        self.best_seconds[0] / self.best_seconds[2]
+    }
+}
+
+/// Sweeps one axis over the given scaling factors.
+#[must_use]
+pub fn sensitivity_sweep(
+    base: &PlatformModel,
+    workload: &WorkloadModel,
+    axis: SensitivityAxis,
+    factors: &[f64],
+) -> Vec<SensitivityPoint> {
+    factors
+        .iter()
+        .map(|&factor| {
+            let platform = scaled_platform(base, axis, factor);
+            let ranges = SweepRanges::for_platform(&platform);
+            let mut best_seconds = [0.0f64; 3];
+            let mut best_speedups = [0.0f64; 3];
+            for (i, implementation) in Implementation::ALL.into_iter().enumerate() {
+                let best = best_configuration(&platform, workload, implementation, ranges);
+                best_seconds[i] = best.estimate.total_s;
+                best_speedups[i] = best.estimate.speedup;
+            }
+            let winner = Implementation::ALL
+                .into_iter()
+                .zip(best_seconds)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(implementation, _)| implementation)
+                .unwrap_or(Implementation::ReplicateNoJoin);
+            SensitivityPoint { factor, best_seconds, best_speedups, winner }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FACTORS: [f64; 4] = [0.25, 0.5, 1.0, 2.0];
+
+    #[test]
+    fn scaled_platform_touches_only_the_requested_parameter() {
+        let base = PlatformModel::eight_core();
+        let scaled = scaled_platform(&base, SensitivityAxis::LockPenalty, 2.0);
+        assert!((scaled.lock_penalty_s_per_contender - base.lock_penalty_s_per_contender * 2.0).abs() < 1e-12);
+        assert_eq!(scaled.cores, base.cores);
+        assert!((scaled.update_ns_per_byte - base.update_ns_per_byte).abs() < 1e-12);
+        assert!(scaled.name.contains("lock penalty"));
+        assert!(scaled.validate().is_ok());
+
+        let cores = scaled_platform(&base, SensitivityAxis::Cores, 4.0);
+        assert_eq!(cores.cores, 32);
+        let tiny = scaled_platform(&base, SensitivityAxis::Cores, 0.01);
+        assert_eq!(tiny.cores, 1, "core count never drops below one");
+    }
+
+    #[test]
+    fn lock_penalty_drives_the_gap_between_impl1_and_impl3() {
+        let base = PlatformModel::thirty_two_core();
+        let workload = WorkloadModel::paper();
+        let points = sensitivity_sweep(&base, &workload, SensitivityAxis::LockPenalty, &FACTORS);
+        assert_eq!(points.len(), FACTORS.len());
+        let ratios: Vec<f64> = points.iter().map(SensitivityPoint::shared_vs_no_join_ratio).collect();
+        // A more expensive lock widens the gap monotonically.
+        for pair in ratios.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "ratios {ratios:?}");
+        }
+        // At every factor the no-join design is at least as good as the lock.
+        for point in &points {
+            assert!(point.best_seconds[2] <= point.best_seconds[0] + 1e-9);
+            assert_ne!(point.winner, Implementation::SharedLocked);
+        }
+    }
+
+    #[test]
+    fn more_aggregate_bandwidth_raises_every_speedup() {
+        let base = PlatformModel::four_core();
+        let workload = WorkloadModel::paper();
+        let points =
+            sensitivity_sweep(&base, &workload, SensitivityAxis::AggregateBandwidth, &[1.0, 4.0]);
+        for i in 0..3 {
+            assert!(
+                points[1].best_speedups[i] >= points[0].best_speedups[i] - 1e-9,
+                "impl{} got slower with more bandwidth",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn join_cost_only_affects_implementation_two() {
+        let base = PlatformModel::eight_core();
+        let workload = WorkloadModel::paper();
+        let points = sensitivity_sweep(&base, &workload, SensitivityAxis::JoinCost, &[1.0, 3.0]);
+        // Implementations 1 and 3 never join, so their best times are flat.
+        assert!((points[0].best_seconds[0] - points[1].best_seconds[0]).abs() < 1e-9);
+        assert!((points[0].best_seconds[2] - points[1].best_seconds[2]).abs() < 1e-9);
+        // Implementation 2 pays for the more expensive join.
+        assert!(points[1].best_seconds[1] >= points[0].best_seconds[1]);
+    }
+
+    #[test]
+    fn core_axis_reproduces_the_papers_platform_trend() {
+        // Scaling the 4-core machine's core count up (keeping its disk)
+        // should grow the advantage of the no-join design, mirroring what the
+        // paper saw when moving to the bigger machines.
+        let base = PlatformModel::four_core();
+        let workload = WorkloadModel::paper();
+        let points = sensitivity_sweep(&base, &workload, SensitivityAxis::Cores, &[1.0, 8.0]);
+        let gap_small = points[0].shared_vs_no_join_ratio();
+        let gap_large = points[1].shared_vs_no_join_ratio();
+        assert!(gap_large >= gap_small - 1e-9, "gap {gap_small} -> {gap_large}");
+    }
+
+    #[test]
+    fn axis_display_and_all_are_consistent() {
+        assert_eq!(SensitivityAxis::ALL.len(), 5);
+        for axis in SensitivityAxis::ALL {
+            assert!(!axis.to_string().is_empty());
+        }
+        assert_eq!(SensitivityAxis::Cores.to_string(), "core count");
+    }
+}

@@ -1,0 +1,206 @@
+//! Configuration-space sweeps.
+//!
+//! The paper explored thread allocations by brute force (five repetitions per
+//! point, partly steered by an auto-tuner).  [`sweep_implementation`]
+//! evaluates the cost model over a grid of `(x, y, z)` tuples and
+//! [`best_configuration`] returns the fastest point — the model-side
+//! counterpart of the paper's "best config." column.
+
+use serde::{Deserialize, Serialize};
+
+use dsearch_core::{Configuration, Implementation};
+
+use crate::model::{estimate_run, RunEstimate};
+use crate::platform::PlatformModel;
+use crate::workload::WorkloadModel;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The configuration evaluated.
+    pub configuration: Configuration,
+    /// The model's estimate for it.
+    pub estimate: RunEstimate,
+}
+
+/// The best configuration found for one implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BestConfiguration {
+    /// The implementation.
+    pub implementation: Implementation,
+    /// The fastest configuration in the sweep.
+    pub configuration: Configuration,
+    /// Its estimate.
+    pub estimate: RunEstimate,
+}
+
+/// Ranges swept for each component of the configuration tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepRanges {
+    /// Maximum extraction threads (x is swept from 1 to this value).
+    pub max_extraction: usize,
+    /// Maximum dedicated update threads (y from 0 to this value).
+    pub max_update: usize,
+    /// Maximum join threads (z from 0 to this value; only used for
+    /// Implementation 2).
+    pub max_join: usize,
+}
+
+impl SweepRanges {
+    /// Ranges appropriate for a platform: up to `cores + 2` extractors,
+    /// `cores / 2` updaters and 2 joiners (the region the paper explored).
+    #[must_use]
+    pub fn for_platform(platform: &PlatformModel) -> Self {
+        SweepRanges {
+            max_extraction: platform.cores + 2,
+            max_update: (platform.cores / 2).max(1),
+            max_join: 2,
+        }
+    }
+}
+
+/// Evaluates every configuration in the ranges for one implementation.
+#[must_use]
+pub fn sweep_implementation(
+    platform: &PlatformModel,
+    workload: &WorkloadModel,
+    implementation: Implementation,
+    ranges: SweepRanges,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    let join_range: Vec<usize> = if implementation.joins() {
+        (0..=ranges.max_join).collect()
+    } else {
+        vec![0]
+    };
+    for x in 1..=ranges.max_extraction.max(1) {
+        for y in 0..=ranges.max_update {
+            for &z in &join_range {
+                let configuration = Configuration::new(x, y, z);
+                if configuration.validate(implementation).is_err() {
+                    continue;
+                }
+                let estimate = estimate_run(platform, workload, implementation, configuration);
+                points.push(SweepPoint { configuration, estimate });
+            }
+        }
+    }
+    points
+}
+
+/// Finds the fastest configuration for one implementation.
+///
+/// Ties are broken towards fewer total threads (the paper reports the
+/// smallest configuration achieving the best time).
+#[must_use]
+pub fn best_configuration(
+    platform: &PlatformModel,
+    workload: &WorkloadModel,
+    implementation: Implementation,
+    ranges: SweepRanges,
+) -> BestConfiguration {
+    let points = sweep_implementation(platform, workload, implementation, ranges);
+    let best = points
+        .into_iter()
+        .min_by(|a, b| {
+            a.estimate
+                .total_s
+                .partial_cmp(&b.estimate.total_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    (a.configuration.worker_threads() + a.configuration.join_threads)
+                        .cmp(&(b.configuration.worker_threads() + b.configuration.join_threads))
+                })
+        })
+        .expect("sweep ranges are non-empty");
+    BestConfiguration {
+        implementation,
+        configuration: best.configuration,
+        estimate: best.estimate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_whole_grid() {
+        let platform = PlatformModel::four_core();
+        let workload = WorkloadModel::paper();
+        let ranges = SweepRanges { max_extraction: 4, max_update: 2, max_join: 1 };
+        let impl3 = sweep_implementation(&platform, &workload, Implementation::ReplicateNoJoin, ranges);
+        // x in 1..=4, y in 0..=2, z fixed at 0.
+        assert_eq!(impl3.len(), 4 * 3);
+        let impl2 = sweep_implementation(&platform, &workload, Implementation::ReplicateJoin, ranges);
+        assert_eq!(impl2.len(), 4 * 3 * 2);
+    }
+
+    #[test]
+    fn best_configuration_is_the_minimum_of_its_sweep() {
+        let platform = PlatformModel::eight_core();
+        let workload = WorkloadModel::paper();
+        let ranges = SweepRanges::for_platform(&platform);
+        for implementation in Implementation::ALL {
+            let best = best_configuration(&platform, &workload, implementation, ranges);
+            let points = sweep_implementation(&platform, &workload, implementation, ranges);
+            for p in points {
+                assert!(
+                    best.estimate.total_s <= p.estimate.total_s + 1e-9,
+                    "{implementation}: {} beaten by {}",
+                    best.configuration,
+                    p.configuration
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_best_configs_reproduce_the_papers_ordering_on_every_platform() {
+        let workload = WorkloadModel::paper();
+        for platform in PlatformModel::paper_platforms() {
+            let ranges = SweepRanges::for_platform(&platform);
+            let impl1 = best_configuration(&platform, &workload, Implementation::SharedLocked, ranges);
+            let impl2 = best_configuration(&platform, &workload, Implementation::ReplicateJoin, ranges);
+            let impl3 = best_configuration(&platform, &workload, Implementation::ReplicateNoJoin, ranges);
+            // The paper's headline: the no-join design is the overall winner
+            // on every platform (ties allowed on the 4-core machine, where all
+            // three designs are equivalent).
+            assert!(impl3.estimate.total_s <= impl2.estimate.total_s + 1e-9, "{}", platform.name);
+            assert!(
+                impl3.estimate.total_s <= impl1.estimate.total_s * 1.05 + 1e-9,
+                "{}: impl3 {} vs impl1 {}",
+                platform.name,
+                impl3.estimate.total_s,
+                impl1.estimate.total_s
+            );
+        }
+    }
+
+    #[test]
+    fn gap_between_designs_grows_with_core_count() {
+        let workload = WorkloadModel::paper();
+        let mut ratios = Vec::new();
+        for platform in PlatformModel::paper_platforms() {
+            let ranges = SweepRanges::for_platform(&platform);
+            let impl1 = best_configuration(&platform, &workload, Implementation::SharedLocked, ranges);
+            let impl3 = best_configuration(&platform, &workload, Implementation::ReplicateNoJoin, ranges);
+            ratios.push(impl1.estimate.total_s / impl3.estimate.total_s);
+        }
+        // The paper's crossover: the advantage of replication over the shared
+        // lock grows from essentially nothing on 4 cores to a large factor on
+        // 32 cores.
+        assert!(ratios[0] < 1.15, "4-core ratio {}", ratios[0]);
+        assert!(ratios[2] > ratios[0], "32-core {} should exceed 4-core {}", ratios[2], ratios[0]);
+        assert!(ratios[2] > 1.3, "32-core ratio {}", ratios[2]);
+    }
+
+    #[test]
+    fn ranges_for_platform_scale_with_cores() {
+        let small = SweepRanges::for_platform(&PlatformModel::four_core());
+        let large = SweepRanges::for_platform(&PlatformModel::thirty_two_core());
+        assert!(large.max_extraction > small.max_extraction);
+        assert!(large.max_update > small.max_update);
+        assert_eq!(small.max_join, 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Workload models.
+//!
+//! The cost model only needs aggregate properties of the benchmark: how many
+//! files there are and how many bytes they hold.  [`WorkloadModel::paper`]
+//! describes the paper's corpus (≈51 000 files, ≈869 MB); scaled corpora
+//! produced by `dsearch-corpus` convert via [`WorkloadModel::from_spec`] or
+//! [`WorkloadModel::from_counts`].
+
+use serde::{Deserialize, Serialize};
+
+use dsearch_corpus::CorpusSpec;
+
+/// Aggregate description of an indexing workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadModel {
+    /// Number of files.
+    pub files: u64,
+    /// Total bytes of text.
+    pub bytes: u64,
+}
+
+impl WorkloadModel {
+    /// The paper's benchmark: about 51 000 ASCII files, about 869 MB.
+    #[must_use]
+    pub fn paper() -> Self {
+        WorkloadModel { files: 51_000, bytes: 869_000_000 }
+    }
+
+    /// Builds a workload model from explicit counts.
+    #[must_use]
+    pub fn from_counts(files: u64, bytes: u64) -> Self {
+        WorkloadModel { files, bytes }
+    }
+
+    /// Builds a workload model from a corpus specification (using its
+    /// expected byte volume).
+    #[must_use]
+    pub fn from_spec(spec: &CorpusSpec) -> Self {
+        WorkloadModel {
+            files: spec.file_count() as u64,
+            bytes: spec.expected_bytes(),
+        }
+    }
+
+    /// Ratio of this workload's byte volume to the paper's.
+    #[must_use]
+    pub fn scale_vs_paper(&self) -> f64 {
+        self.bytes as f64 / Self::paper().bytes as f64
+    }
+
+    /// Validates the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the workload is empty.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.files == 0 {
+            return Err("workload must contain at least one file".into());
+        }
+        if self.bytes == 0 {
+            return Err("workload must contain at least one byte".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for WorkloadModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_matches_headline_numbers() {
+        let w = WorkloadModel::paper();
+        assert_eq!(w.files, 51_000);
+        assert_eq!(w.bytes, 869_000_000);
+        assert!(w.validate().is_ok());
+        assert!((w.scale_vs_paper() - 1.0).abs() < 1e-12);
+        assert_eq!(WorkloadModel::default(), w);
+    }
+
+    #[test]
+    fn from_spec_tracks_the_spec() {
+        let spec = CorpusSpec::paper();
+        let w = WorkloadModel::from_spec(&spec);
+        assert_eq!(w.files, 51_000);
+        let ratio = w.bytes as f64 / 869_000_000f64;
+        assert!((0.85..1.15).contains(&ratio), "bytes ratio {ratio}");
+
+        let scaled = WorkloadModel::from_spec(&CorpusSpec::paper_scaled(0.1));
+        assert!(scaled.bytes < w.bytes);
+        assert!(scaled.scale_vs_paper() < 0.2);
+    }
+
+    #[test]
+    fn from_counts_and_validation() {
+        let w = WorkloadModel::from_counts(10, 1000);
+        assert!(w.validate().is_ok());
+        assert!(WorkloadModel::from_counts(0, 10).validate().is_err());
+        assert!(WorkloadModel::from_counts(10, 0).validate().is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Fowler–Noll–Vo hash functions.
+//!
+//! The paper's index and duplicate-elimination containers both use the FNV1
+//! hash function (Noll, <http://isthe.com/chongo/tech/comp/fnv/>). This module
+//! provides the classic FNV-1 and the FNV-1a variant in 32- and 64-bit widths,
+//! plus a [`std::hash::Hasher`] implementation so the containers in
+//! [`crate::hashtable`] and the standard collections can use them.
+//!
+//! # Example
+//!
+//! ```
+//! use dsearch_text::fnv::{fnv1a_64, fnv1_32};
+//!
+//! // Published FNV test vector: the empty string hashes to the offset basis.
+//! assert_eq!(fnv1_32(b""), 0x811c9dc5);
+//! // FNV-1a of "a".
+//! assert_eq!(fnv1a_64(b"a") , 0xaf63dc4c8601ec8c);
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 32-bit FNV offset basis.
+pub const FNV32_OFFSET: u32 = 0x811c9dc5;
+/// 32-bit FNV prime.
+pub const FNV32_PRIME: u32 = 0x0100_0193;
+/// 64-bit FNV offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Computes the 32-bit FNV-1 hash of `bytes`.
+///
+/// FNV-1 multiplies by the prime *before* xoring in the next byte.
+#[inline]
+#[must_use]
+pub fn fnv1_32(bytes: &[u8]) -> u32 {
+    let mut hash = FNV32_OFFSET;
+    for &b in bytes {
+        hash = hash.wrapping_mul(FNV32_PRIME);
+        hash ^= u32::from(b);
+    }
+    hash
+}
+
+/// Computes the 32-bit FNV-1a hash of `bytes`.
+///
+/// FNV-1a xors in the next byte *before* multiplying by the prime; it has
+/// slightly better avalanche behaviour for short keys.
+#[inline]
+#[must_use]
+pub fn fnv1a_32(bytes: &[u8]) -> u32 {
+    let mut hash = FNV32_OFFSET;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(FNV32_PRIME);
+    }
+    hash
+}
+
+/// Computes the 64-bit FNV-1 hash of `bytes`.
+#[inline]
+#[must_use]
+pub fn fnv1_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV64_OFFSET;
+    for &b in bytes {
+        hash = hash.wrapping_mul(FNV64_PRIME);
+        hash ^= u64::from(b);
+    }
+    hash
+}
+
+/// Computes the 64-bit FNV-1a hash of `bytes`.
+#[inline]
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV64_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV64_PRIME);
+    }
+    hash
+}
+
+/// A [`Hasher`] that implements 64-bit FNV-1a.
+///
+/// Use [`FnvBuildHasher`] to plug it into `HashMap`/`HashSet` or into the
+/// containers in [`crate::hashtable`].
+///
+/// # Example
+///
+/// ```
+/// use std::collections::HashMap;
+/// use dsearch_text::fnv::FnvBuildHasher;
+///
+/// let mut map: HashMap<String, u32, FnvBuildHasher> = HashMap::default();
+/// map.insert("term".to_owned(), 7);
+/// assert_eq!(map["term"], 7);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher {
+    state: u64,
+}
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher { state: FNV64_OFFSET }
+    }
+}
+
+impl FnvHasher {
+    /// Creates a hasher seeded with the standard FNV-64 offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a hasher with an explicit initial state.
+    ///
+    /// Useful for chaining hashes across logically concatenated byte runs.
+    #[must_use]
+    pub fn with_state(state: u64) -> Self {
+        FnvHasher { state }
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = self.state;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV64_PRIME);
+        }
+        self.state = hash;
+    }
+}
+
+/// A `BuildHasher` producing [`FnvHasher`]s, for use with standard collections.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    // Published test vectors from Landon Curt Noll's FNV pages.
+    #[test]
+    fn fnv1_32_vectors() {
+        assert_eq!(fnv1_32(b""), 0x811c9dc5);
+        assert_eq!(fnv1_32(b"a"), 0x050c5d7e);
+        assert_eq!(fnv1_32(b"b"), 0x050c5d7d);
+        assert_eq!(fnv1_32(b"foobar"), 0x31f0b262);
+    }
+
+    #[test]
+    fn fnv1a_32_vectors() {
+        assert_eq!(fnv1a_32(b""), 0x811c9dc5);
+        assert_eq!(fnv1a_32(b"a"), 0xe40c292c);
+        assert_eq!(fnv1a_32(b"foobar"), 0xbf9cf968);
+    }
+
+    #[test]
+    fn fnv1_64_vectors() {
+        assert_eq!(fnv1_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1_64(b"a"), 0xaf63bd4c8601b7be);
+        assert_eq!(fnv1_64(b"foobar"), 0x340d8765a4dda9c2);
+    }
+
+    #[test]
+    fn fnv1a_64_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hasher_matches_free_function() {
+        let mut h = FnvHasher::new();
+        h.write(b"hello world");
+        assert_eq!(h.finish(), fnv1a_64(b"hello world"));
+    }
+
+    #[test]
+    fn hasher_is_incremental() {
+        let mut h = FnvHasher::new();
+        h.write(b"hello ");
+        h.write(b"world");
+        assert_eq!(h.finish(), fnv1a_64(b"hello world"));
+    }
+
+    #[test]
+    fn build_hasher_usable_with_std_hashmap() {
+        let mut map: std::collections::HashMap<&str, u32, FnvBuildHasher> =
+            std::collections::HashMap::default();
+        map.insert("alpha", 1);
+        map.insert("beta", 2);
+        assert_eq!(map.get("alpha"), Some(&1));
+        assert_eq!(map.get("beta"), Some(&2));
+        assert_eq!(map.get("gamma"), None);
+    }
+
+    #[test]
+    fn string_hash_is_stable_across_hasher_instances() {
+        let build = FnvBuildHasher::default();
+        let a = {
+            let mut h = build.build_hasher();
+            "reproducible".hash(&mut h);
+            h.finish()
+        };
+        let b = {
+            let mut h = build.build_hasher();
+            "reproducible".hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_keys_rarely_collide_in_small_sample() {
+        let words = ["term", "extraction", "index", "update", "filename", "generation"];
+        let mut hashes: Vec<u64> = words.iter().map(|w| fnv1a_64(w.as_bytes())).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), words.len());
+    }
+
+    #[test]
+    fn with_state_continues_a_chain() {
+        let first = {
+            let mut h = FnvHasher::new();
+            h.write(b"abc");
+            h.finish()
+        };
+        let mut h = FnvHasher::with_state(first);
+        h.write(b"def");
+        assert_eq!(h.finish(), fnv1a_64(b"abcdef"));
+    }
+}

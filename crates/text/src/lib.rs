@@ -1,0 +1,51 @@
+//! Text substrate for the `dsearch` desktop-search index generator.
+//!
+//! This crate provides the low-level text machinery the paper's index
+//! generator is built on:
+//!
+//! * [`fnv`] — the FNV-1 and FNV-1a hash functions the paper uses for both the
+//!   shared index (Boost `unordered_map`) and the per-extractor duplicate
+//!   elimination (`unordered_set`);
+//! * [`hashtable`] — open-addressing hash map and hash set built on FNV,
+//!   mirroring the containers the original C++ implementation relied on;
+//! * [`tokenizer`] — the term scanner that walks file contents byte by byte
+//!   and extracts index terms;
+//! * [`normalize`] — term normalisation (case folding, length limits);
+//! * [`stopwords`] — a small stop-word filter;
+//! * [`wordlist`] — the per-file *condensed word list* (terms de-duplicated
+//!   within one file) that extractor threads hand to the index *en bloc*.
+//!
+//! # Example
+//!
+//! ```
+//! use dsearch_text::tokenizer::Tokenizer;
+//! use dsearch_text::wordlist::WordListBuilder;
+//!
+//! let text = b"The quick brown fox jumps over the lazy dog. The fox!";
+//! let tokenizer = Tokenizer::default();
+//! let mut builder = WordListBuilder::new();
+//! for term in tokenizer.terms(text) {
+//!     builder.push(term);
+//! }
+//! let list = builder.finish();
+//! // "the" and "fox" appear several times in the text but only once in the
+//! // condensed word list.
+//! assert_eq!(list.iter().filter(|t| t.as_str() == "fox").count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fnv;
+pub mod hashtable;
+pub mod normalize;
+pub mod stopwords;
+pub mod tokenizer;
+pub mod wordlist;
+
+pub use fnv::{fnv1_32, fnv1_64, fnv1a_32, fnv1a_64, FnvBuildHasher, FnvHasher};
+pub use hashtable::{FnvHashMap, FnvHashSet};
+pub use normalize::{NormalizeOptions, Normalizer};
+pub use stopwords::StopWords;
+pub use tokenizer::{Term, TokenStats, Tokenizer, TokenizerOptions};
+pub use wordlist::{WordList, WordListBuilder};

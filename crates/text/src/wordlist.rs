@@ -1,0 +1,254 @@
+//! Per-file condensed word lists.
+//!
+//! Section 3 of the paper settles the duplicate-handling question by analysis:
+//! each term extractor builds a *condensed word list without duplicates* for
+//! the file it is scanning and hands the whole list to the index **en bloc**.
+//! Because every file is scanned exactly once, the index never has to check
+//! whether a `(term, filename)` pair already exists, and the number of
+//! locking/buffering operations drops to one per file instead of one per term
+//! occurrence.
+//!
+//! [`WordListBuilder`] implements exactly that: it accepts every occurrence of
+//! every term and keeps only the first, using the FNV hash set from
+//! [`crate::hashtable`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::hashtable::FnvHashSet;
+use crate::tokenizer::Term;
+
+/// The de-duplicated terms of a single file, in first-occurrence order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WordList {
+    terms: Vec<Term>,
+    /// Total occurrences observed before de-duplication (for statistics and
+    /// the simulator's cost model).
+    occurrences: u64,
+}
+
+impl WordList {
+    /// The distinct terms, in the order they first appeared in the file.
+    #[must_use]
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of distinct terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when the file contained no indexable terms.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total term occurrences seen before de-duplication.
+    #[must_use]
+    pub fn occurrences(&self) -> u64 {
+        self.occurrences
+    }
+
+    /// Iterates over the distinct terms.
+    pub fn iter(&self) -> std::slice::Iter<'_, Term> {
+        self.terms.iter()
+    }
+
+    /// Consumes the list, returning the distinct terms.
+    #[must_use]
+    pub fn into_terms(self) -> Vec<Term> {
+        self.terms
+    }
+
+    /// Builds a word list directly from a term iterator.
+    pub fn from_terms<I: IntoIterator<Item = Term>>(terms: I) -> Self {
+        let mut b = WordListBuilder::new();
+        for t in terms {
+            b.push(t);
+        }
+        b.finish()
+    }
+}
+
+impl IntoIterator for WordList {
+    type Item = Term;
+    type IntoIter = std::vec::IntoIter<Term>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.terms.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a WordList {
+    type Item = &'a Term;
+    type IntoIter = std::slice::Iter<'a, Term>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.terms.iter()
+    }
+}
+
+/// Incrementally builds a [`WordList`] while a file is being scanned.
+///
+/// # Example
+///
+/// ```
+/// use dsearch_text::wordlist::WordListBuilder;
+/// use dsearch_text::tokenizer::Term;
+///
+/// let mut b = WordListBuilder::new();
+/// b.push(Term::from("fox"));
+/// b.push(Term::from("fox"));
+/// b.push(Term::from("dog"));
+/// let list = b.finish();
+/// assert_eq!(list.len(), 2);
+/// assert_eq!(list.occurrences(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WordListBuilder {
+    seen: FnvHashSet<Term>,
+    terms: Vec<Term>,
+    occurrences: u64,
+}
+
+impl WordListBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder sized for roughly `expected_terms` distinct terms.
+    #[must_use]
+    pub fn with_capacity(expected_terms: usize) -> Self {
+        WordListBuilder {
+            seen: FnvHashSet::with_capacity(expected_terms),
+            terms: Vec::with_capacity(expected_terms),
+            occurrences: 0,
+        }
+    }
+
+    /// Records one occurrence of `term`; only the first occurrence is kept.
+    /// Returns `true` when the term was new for this file.
+    pub fn push(&mut self, term: Term) -> bool {
+        self.occurrences += 1;
+        if self.seen.contains(term.as_str()) {
+            false
+        } else {
+            self.seen.insert(term.clone());
+            self.terms.push(term);
+            true
+        }
+    }
+
+    /// Number of distinct terms so far.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total occurrences pushed so far.
+    #[must_use]
+    pub fn occurrences(&self) -> u64 {
+        self.occurrences
+    }
+
+    /// Finishes the file, producing the condensed word list.
+    #[must_use]
+    pub fn finish(self) -> WordList {
+        WordList { terms: self.terms, occurrences: self.occurrences }
+    }
+
+    /// Clears the builder for reuse on the next file, keeping allocations.
+    pub fn reset(&mut self) -> WordList {
+        let list = WordList {
+            terms: std::mem::take(&mut self.terms),
+            occurrences: self.occurrences,
+        };
+        self.seen.clear();
+        self.occurrences = 0;
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_first_occurrence_order() {
+        let list = WordList::from_terms(["b", "a", "b", "c", "a"].map(Term::from));
+        let words: Vec<&str> = list.terms().iter().map(|t| t.as_str()).collect();
+        assert_eq!(words, ["b", "a", "c"]);
+        assert_eq!(list.occurrences(), 5);
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = WordList::from_terms(std::iter::empty());
+        assert!(list.is_empty());
+        assert_eq!(list.len(), 0);
+        assert_eq!(list.occurrences(), 0);
+    }
+
+    #[test]
+    fn push_reports_novelty() {
+        let mut b = WordListBuilder::new();
+        assert!(b.push(Term::from("x")));
+        assert!(!b.push(Term::from("x")));
+        assert!(b.push(Term::from("y")));
+        assert_eq!(b.distinct(), 2);
+        assert_eq!(b.occurrences(), 3);
+    }
+
+    #[test]
+    fn reset_reuses_builder() {
+        let mut b = WordListBuilder::with_capacity(8);
+        b.push(Term::from("one"));
+        b.push(Term::from("one"));
+        let first = b.reset();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first.occurrences(), 2);
+
+        b.push(Term::from("two"));
+        let second = b.reset();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second.terms()[0].as_str(), "two");
+        assert_eq!(second.occurrences(), 1);
+    }
+
+    #[test]
+    fn iteration_forms() {
+        let list = WordList::from_terms(["a", "b"].map(Term::from));
+        let by_ref: Vec<&Term> = (&list).into_iter().collect();
+        assert_eq!(by_ref.len(), 2);
+        let owned: Vec<Term> = list.clone().into_iter().collect();
+        assert_eq!(owned.len(), 2);
+        assert_eq!(list.iter().count(), 2);
+        assert_eq!(list.into_terms().len(), 2);
+    }
+
+    proptest! {
+        /// The condensed list contains each distinct term exactly once and
+        /// occurrences equals the input length.
+        #[test]
+        fn dedup_invariants(words in proptest::collection::vec("[a-z]{1,6}", 0..300)) {
+            let list = WordList::from_terms(words.iter().map(|w| Term::from(w.as_str())));
+            prop_assert_eq!(list.occurrences(), words.len() as u64);
+
+            let mut expected: Vec<&str> = words.iter().map(String::as_str).collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(list.len(), expected.len());
+
+            // No duplicates in the output.
+            let mut seen = std::collections::HashSet::new();
+            for t in list.terms() {
+                prop_assert!(seen.insert(t.as_str().to_owned()));
+            }
+        }
+    }
+}

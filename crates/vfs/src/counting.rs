@@ -1,0 +1,245 @@
+//! I/O accounting decorator.
+//!
+//! [`CountingFs`] wraps any [`FileSystem`] and counts the operations flowing
+//! through it: file opens (reads), directory listings, metadata queries and
+//! bytes transferred.  The paper decides *whether term extraction is worth
+//! parallelising* by comparing pure read time with read-and-extract time; the
+//! discrete-event simulator needs the same I/O totals to turn a workload into
+//! simulated seconds on the 4-, 8- and 32-core platforms.  Counting at the
+//! VFS layer keeps that accounting exact regardless of which concrete file
+//! system is underneath.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::VfsError;
+use crate::path::VPath;
+use crate::{DirEntry, FileMeta, FileSystem};
+
+/// A snapshot of the I/O performed through a [`CountingFs`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoCounters {
+    /// Number of whole-file reads (each maps to one open+sequential read).
+    pub file_reads: u64,
+    /// Total bytes returned by file reads.
+    pub bytes_read: u64,
+    /// Number of directory listings.
+    pub dir_listings: u64,
+    /// Number of directory entries returned across all listings.
+    pub entries_listed: u64,
+    /// Number of metadata queries.
+    pub metadata_queries: u64,
+}
+
+impl IoCounters {
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &IoCounters) {
+        self.file_reads += other.file_reads;
+        self.bytes_read += other.bytes_read;
+        self.dir_listings += other.dir_listings;
+        self.entries_listed += other.entries_listed;
+        self.metadata_queries += other.metadata_queries;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    file_reads: AtomicU64,
+    bytes_read: AtomicU64,
+    dir_listings: AtomicU64,
+    entries_listed: AtomicU64,
+    metadata_queries: AtomicU64,
+}
+
+/// Wraps a file system and counts every operation.
+///
+/// The wrapper is cheap (a handful of relaxed atomic increments per call) and
+/// thread-safe, so it can sit under the multi-threaded extraction stage.
+///
+/// # Example
+///
+/// ```
+/// use dsearch_vfs::{CountingFs, FileSystem, MemFs, VPath};
+///
+/// let inner = MemFs::new();
+/// inner.add_file(&VPath::new("f.txt"), vec![0u8; 128]).unwrap();
+/// let fs = CountingFs::new(inner);
+/// fs.read(&VPath::new("f.txt")).unwrap();
+/// let io = fs.counters();
+/// assert_eq!(io.file_reads, 1);
+/// assert_eq!(io.bytes_read, 128);
+/// ```
+#[derive(Debug)]
+pub struct CountingFs<F> {
+    inner: F,
+    counters: Arc<Counters>,
+}
+
+impl<F: FileSystem> CountingFs<F> {
+    /// Wraps `inner`, starting all counters at zero.
+    #[must_use]
+    pub fn new(inner: F) -> Self {
+        CountingFs { inner, counters: Arc::new(Counters::default()) }
+    }
+
+    /// Returns the wrapped file system.
+    #[must_use]
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+
+    /// Borrows the wrapped file system.
+    #[must_use]
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Takes a snapshot of the counters.
+    #[must_use]
+    pub fn counters(&self) -> IoCounters {
+        IoCounters {
+            file_reads: self.counters.file_reads.load(Ordering::Relaxed),
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            dir_listings: self.counters.dir_listings.load(Ordering::Relaxed),
+            entries_listed: self.counters.entries_listed.load(Ordering::Relaxed),
+            metadata_queries: self.counters.metadata_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.counters.file_reads.store(0, Ordering::Relaxed);
+        self.counters.bytes_read.store(0, Ordering::Relaxed);
+        self.counters.dir_listings.store(0, Ordering::Relaxed);
+        self.counters.entries_listed.store(0, Ordering::Relaxed);
+        self.counters.metadata_queries.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<F: FileSystem> FileSystem for CountingFs<F> {
+    fn read(&self, path: &VPath) -> Result<Vec<u8>, VfsError> {
+        let data = self.inner.read(path)?;
+        self.counters.file_reads.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    fn metadata(&self, path: &VPath) -> Result<FileMeta, VfsError> {
+        self.counters.metadata_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.metadata(path)
+    }
+
+    fn read_dir(&self, path: &VPath) -> Result<Vec<DirEntry>, VfsError> {
+        let entries = self.inner.read_dir(path)?;
+        self.counters.dir_listings.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .entries_listed
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        Ok(entries)
+    }
+
+    fn exists(&self, path: &VPath) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemFs;
+
+    fn counting_fixture() -> CountingFs<MemFs> {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("a/one.txt"), vec![1; 10]).unwrap();
+        fs.add_file(&VPath::new("a/two.txt"), vec![2; 20]).unwrap();
+        fs.add_file(&VPath::new("b/three.txt"), vec![3; 30]).unwrap();
+        CountingFs::new(fs)
+    }
+
+    #[test]
+    fn counts_reads_and_bytes() {
+        let fs = counting_fixture();
+        fs.read(&VPath::new("a/one.txt")).unwrap();
+        fs.read(&VPath::new("a/two.txt")).unwrap();
+        let io = fs.counters();
+        assert_eq!(io.file_reads, 2);
+        assert_eq!(io.bytes_read, 30);
+    }
+
+    #[test]
+    fn failed_reads_do_not_count() {
+        let fs = counting_fixture();
+        assert!(fs.read(&VPath::new("missing")).is_err());
+        assert_eq!(fs.counters().file_reads, 0);
+        assert_eq!(fs.counters().bytes_read, 0);
+    }
+
+    #[test]
+    fn counts_dir_listings_and_entries() {
+        let fs = counting_fixture();
+        fs.read_dir(&VPath::root()).unwrap();
+        fs.read_dir(&VPath::new("a")).unwrap();
+        let io = fs.counters();
+        assert_eq!(io.dir_listings, 2);
+        assert_eq!(io.entries_listed, 4); // root: a, b ; a: one.txt, two.txt
+    }
+
+    #[test]
+    fn counts_metadata_queries() {
+        let fs = counting_fixture();
+        let _ = fs.metadata(&VPath::new("a/one.txt"));
+        let _ = fs.metadata(&VPath::new("missing"));
+        assert_eq!(fs.counters().metadata_queries, 2);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let fs = counting_fixture();
+        fs.read(&VPath::new("a/one.txt")).unwrap();
+        fs.read_dir(&VPath::root()).unwrap();
+        fs.reset();
+        assert_eq!(fs.counters(), IoCounters::default());
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = IoCounters { file_reads: 1, bytes_read: 2, dir_listings: 3, entries_listed: 4, metadata_queries: 5 };
+        let b = IoCounters { file_reads: 10, bytes_read: 20, dir_listings: 30, entries_listed: 40, metadata_queries: 50 };
+        a.merge(&b);
+        assert_eq!(a.file_reads, 11);
+        assert_eq!(a.bytes_read, 22);
+        assert_eq!(a.dir_listings, 33);
+        assert_eq!(a.entries_listed, 44);
+        assert_eq!(a.metadata_queries, 55);
+    }
+
+    #[test]
+    fn concurrent_counting_is_consistent() {
+        let fs = Arc::new(counting_fixture());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    fs.read(&VPath::new("a/one.txt")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let io = fs.counters();
+        assert_eq!(io.file_reads, 100);
+        assert_eq!(io.bytes_read, 1000);
+    }
+
+    #[test]
+    fn inner_access() {
+        let fs = counting_fixture();
+        assert_eq!(fs.inner().file_count(), 3);
+        let inner = fs.into_inner();
+        assert_eq!(inner.file_count(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for file-system operations.
+
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+use crate::path::VPath;
+
+/// Errors produced by [`crate::FileSystem`] implementations.
+#[derive(Debug, Clone)]
+pub enum VfsError {
+    /// The path does not exist.
+    NotFound(VPath),
+    /// The path exists but is a directory where a file was expected.
+    NotAFile(VPath),
+    /// The path exists but is a file where a directory was expected.
+    NotADirectory(VPath),
+    /// The path already exists (returned by mutating operations on `MemFs`).
+    AlreadyExists(VPath),
+    /// An invalid path was supplied (e.g. the root where a file is required).
+    InvalidPath(VPath),
+    /// An underlying operating-system I/O error.
+    Io(Arc<io::Error>),
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "path not found: {p}"),
+            VfsError::NotAFile(p) => write!(f, "not a file: {p}"),
+            VfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            VfsError::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            VfsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            VfsError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VfsError::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for VfsError {
+    fn from(e: io::Error) -> Self {
+        VfsError::Io(Arc::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_path() {
+        let e = VfsError::NotFound(VPath::new("a/b"));
+        assert!(e.to_string().contains("a/b"));
+        let e = VfsError::NotAFile(VPath::new("dir"));
+        assert!(e.to_string().contains("dir"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_and_sourced() {
+        let io_err = io::Error::new(io::ErrorKind::PermissionDenied, "nope");
+        let e: VfsError = io_err.into();
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VfsError>();
+    }
+}

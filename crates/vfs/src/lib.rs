@@ -1,0 +1,147 @@
+//! File-system substrate for the `dsearch` index generator.
+//!
+//! The paper's Stage 1 (filename generation) and Stage 2 (term extraction)
+//! are dominated by file-system work: traversing a directory tree and reading
+//! tens of thousands of files.  This crate abstracts that work behind the
+//! [`FileSystem`] trait so the same pipeline can run against:
+//!
+//! * [`MemFs`] — an in-memory tree, used by the tests, the corpus generator
+//!   and the platform simulator (this container has no 869 MB benchmark
+//!   directory, so the synthetic corpus is normally served from memory);
+//! * [`OsFs`] — the real operating-system file system, rooted at a directory,
+//!   for indexing an actual desktop folder;
+//! * [`CountingFs`] — a decorator that counts opens, reads and bytes
+//!   transferred; the discrete-event simulator converts those counts into
+//!   simulated I/O time for the paper's three Intel platforms.
+//!
+//! [`walker::Walker`] implements the Stage 1 directory traversal on top of any
+//! [`FileSystem`].
+//!
+//! # Example
+//!
+//! ```
+//! use dsearch_vfs::{FileSystem, MemFs, VPath};
+//!
+//! let fs = MemFs::new();
+//! fs.add_file(&VPath::new("docs/readme.txt"), b"hello world".to_vec()).unwrap();
+//! let data = fs.read(&VPath::new("docs/readme.txt")).unwrap();
+//! assert_eq!(data, b"hello world");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counting;
+pub mod error;
+pub mod mem;
+pub mod os;
+pub mod path;
+pub mod walker;
+
+pub use counting::{CountingFs, IoCounters};
+pub use error::VfsError;
+pub use mem::MemFs;
+pub use os::OsFs;
+pub use path::VPath;
+pub use walker::{WalkStats, Walker};
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// Metadata about a file, as much as the index generator needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FileMeta {
+    /// File size in bytes.
+    pub size: u64,
+    /// `true` for directories.
+    pub is_dir: bool,
+}
+
+/// One entry of a directory listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Full virtual path of the entry.
+    pub path: VPath,
+    /// Entry metadata.
+    pub meta: FileMeta,
+}
+
+/// The file-system abstraction the index generator is written against.
+///
+/// Implementations must be thread-safe: Stage 2 reads files from many
+/// extractor threads concurrently.
+pub trait FileSystem: Send + Sync + Debug {
+    /// Reads the whole file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] when the path does not exist and
+    /// [`VfsError::NotAFile`] when it names a directory; real I/O failures are
+    /// wrapped in [`VfsError::Io`].
+    fn read(&self, path: &VPath) -> Result<Vec<u8>, VfsError>;
+
+    /// Returns metadata for `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] when the path does not exist.
+    fn metadata(&self, path: &VPath) -> Result<FileMeta, VfsError>;
+
+    /// Lists the immediate children of the directory at `path`, in a
+    /// deterministic (sorted) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] when the path does not exist and
+    /// [`VfsError::NotADirectory`] when it names a file.
+    fn read_dir(&self, path: &VPath) -> Result<Vec<DirEntry>, VfsError>;
+
+    /// Returns `true` when `path` exists.
+    fn exists(&self, path: &VPath) -> bool {
+        self.metadata(path).is_ok()
+    }
+}
+
+/// A shareable, dynamically typed file system handle.
+pub type SharedFs = Arc<dyn FileSystem>;
+
+impl<T: FileSystem + ?Sized> FileSystem for Arc<T> {
+    fn read(&self, path: &VPath) -> Result<Vec<u8>, VfsError> {
+        (**self).read(path)
+    }
+
+    fn metadata(&self, path: &VPath) -> Result<FileMeta, VfsError> {
+        (**self).metadata(path)
+    }
+
+    fn read_dir(&self, path: &VPath) -> Result<Vec<DirEntry>, VfsError> {
+        (**self).read_dir(path)
+    }
+
+    fn exists(&self, path: &VPath) -> bool {
+        (**self).exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_dyn_filesystem_is_usable() {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("a.txt"), b"x".to_vec()).unwrap();
+        let shared: SharedFs = Arc::new(fs);
+        assert!(shared.exists(&VPath::new("a.txt")));
+        assert_eq!(shared.read(&VPath::new("a.txt")).unwrap(), b"x");
+        assert_eq!(shared.metadata(&VPath::new("a.txt")).unwrap().size, 1);
+    }
+
+    #[test]
+    fn file_meta_is_copy() {
+        let m = FileMeta { size: 10, is_dir: false };
+        let m2 = m;
+        assert_eq!(m, m2);
+        assert!(format!("{m:?}").contains("10"));
+    }
+}

@@ -1,0 +1,352 @@
+//! In-memory file system.
+//!
+//! [`MemFs`] stores a whole directory tree in memory.  The corpus generator
+//! materialises the synthetic benchmark into a `MemFs`, and the test-suite and
+//! simulator read from it, which keeps the reproduction independent of the
+//! host disk (the paper's 869 MB benchmark directory is not available here —
+//! see DESIGN.md §2).
+//!
+//! The structure is thread-safe; concurrent readers do not block each other
+//! beyond the short lock needed to clone the requested file's bytes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::VfsError;
+use crate::path::VPath;
+use crate::{DirEntry, FileMeta, FileSystem};
+
+#[derive(Debug, Clone)]
+enum Node {
+    File(Arc<Vec<u8>>),
+    Dir,
+}
+
+/// A thread-safe in-memory file system.
+///
+/// # Example
+///
+/// ```
+/// use dsearch_vfs::{FileSystem, MemFs, VPath};
+///
+/// let fs = MemFs::new();
+/// fs.add_file(&VPath::new("a/b/file.txt"), b"data".to_vec()).unwrap();
+/// assert!(fs.exists(&VPath::new("a/b")));
+/// assert_eq!(fs.read(&VPath::new("a/b/file.txt")).unwrap(), b"data");
+/// ```
+#[derive(Debug, Default)]
+pub struct MemFs {
+    // BTreeMap keeps listings deterministic and sorted.
+    nodes: RwLock<BTreeMap<VPath, Node>>,
+}
+
+impl MemFs {
+    /// Creates an empty file system containing only the root directory.
+    #[must_use]
+    pub fn new() -> Self {
+        let fs = MemFs { nodes: RwLock::new(BTreeMap::new()) };
+        fs.nodes.write().insert(VPath::root(), Node::Dir);
+        fs
+    }
+
+    /// Adds a file, creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::AlreadyExists`] when a file already exists at
+    /// `path`, [`VfsError::InvalidPath`] for the root, and
+    /// [`VfsError::NotADirectory`] when a parent component is a file.
+    pub fn add_file(&self, path: &VPath, contents: Vec<u8>) -> Result<(), VfsError> {
+        if path.is_root() {
+            return Err(VfsError::InvalidPath(path.clone()));
+        }
+        let mut nodes = self.nodes.write();
+        if let Some(existing) = nodes.get(path) {
+            return match existing {
+                Node::File(_) => Err(VfsError::AlreadyExists(path.clone())),
+                Node::Dir => Err(VfsError::NotAFile(path.clone())),
+            };
+        }
+        // Create parents.
+        let mut ancestors = Vec::new();
+        let mut cur = path.parent();
+        while let Some(p) = cur {
+            ancestors.push(p.clone());
+            cur = p.parent();
+        }
+        for dir in ancestors.into_iter().rev() {
+            match nodes.get(&dir) {
+                None => {
+                    nodes.insert(dir, Node::Dir);
+                }
+                Some(Node::Dir) => {}
+                Some(Node::File(_)) => return Err(VfsError::NotADirectory(dir)),
+            }
+        }
+        nodes.insert(path.clone(), Node::File(Arc::new(contents)));
+        Ok(())
+    }
+
+    /// Creates an (empty) directory, including parents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotADirectory`] when a component on the way is a
+    /// file.
+    pub fn add_dir(&self, path: &VPath) -> Result<(), VfsError> {
+        let mut nodes = self.nodes.write();
+        let mut chain = vec![path.clone()];
+        let mut cur = path.parent();
+        while let Some(p) = cur {
+            chain.push(p.clone());
+            cur = p.parent();
+        }
+        for dir in chain.into_iter().rev() {
+            match nodes.get(&dir) {
+                None => {
+                    nodes.insert(dir, Node::Dir);
+                }
+                Some(Node::Dir) => {}
+                Some(Node::File(_)) => return Err(VfsError::NotADirectory(dir)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] when absent, [`VfsError::NotAFile`] for
+    /// directories.
+    pub fn remove_file(&self, path: &VPath) -> Result<(), VfsError> {
+        let mut nodes = self.nodes.write();
+        match nodes.get(path) {
+            None => Err(VfsError::NotFound(path.clone())),
+            Some(Node::Dir) => Err(VfsError::NotAFile(path.clone())),
+            Some(Node::File(_)) => {
+                nodes.remove(path);
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of files (not directories) in the tree.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.nodes
+            .read()
+            .values()
+            .filter(|n| matches!(n, Node::File(_)))
+            .count()
+    }
+
+    /// Total bytes stored across all files.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes
+            .read()
+            .values()
+            .map(|n| match n {
+                Node::File(data) => data.len() as u64,
+                Node::Dir => 0,
+            })
+            .sum()
+    }
+
+    /// Lists every file path in the tree (sorted), mainly for tests.
+    #[must_use]
+    pub fn all_files(&self) -> Vec<VPath> {
+        self.nodes
+            .read()
+            .iter()
+            .filter_map(|(p, n)| match n {
+                Node::File(_) => Some(p.clone()),
+                Node::Dir => None,
+            })
+            .collect()
+    }
+}
+
+impl FileSystem for MemFs {
+    fn read(&self, path: &VPath) -> Result<Vec<u8>, VfsError> {
+        let nodes = self.nodes.read();
+        match nodes.get(path) {
+            None => Err(VfsError::NotFound(path.clone())),
+            Some(Node::Dir) => Err(VfsError::NotAFile(path.clone())),
+            Some(Node::File(data)) => Ok(data.as_ref().clone()),
+        }
+    }
+
+    fn metadata(&self, path: &VPath) -> Result<FileMeta, VfsError> {
+        let nodes = self.nodes.read();
+        match nodes.get(path) {
+            None => Err(VfsError::NotFound(path.clone())),
+            Some(Node::Dir) => Ok(FileMeta { size: 0, is_dir: true }),
+            Some(Node::File(data)) => Ok(FileMeta { size: data.len() as u64, is_dir: false }),
+        }
+    }
+
+    fn read_dir(&self, path: &VPath) -> Result<Vec<DirEntry>, VfsError> {
+        let nodes = self.nodes.read();
+        match nodes.get(path) {
+            None => return Err(VfsError::NotFound(path.clone())),
+            Some(Node::File(_)) => return Err(VfsError::NotADirectory(path.clone())),
+            Some(Node::Dir) => {}
+        }
+        let want_depth = path.depth() + 1;
+        let mut entries = Vec::new();
+        for (p, node) in nodes.iter() {
+            if p.is_root() || !p.starts_with(path) || p.depth() != want_depth {
+                continue;
+            }
+            let meta = match node {
+                Node::Dir => FileMeta { size: 0, is_dir: true },
+                Node::File(data) => FileMeta { size: data.len() as u64, is_dir: false },
+            };
+            entries.push(DirEntry { path: p.clone(), meta });
+        }
+        Ok(entries)
+    }
+
+    fn exists(&self, path: &VPath) -> bool {
+        self.nodes.read().contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_and_read_file() {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("dir/file.txt"), b"hello".to_vec()).unwrap();
+        assert_eq!(fs.read(&VPath::new("dir/file.txt")).unwrap(), b"hello");
+        assert_eq!(fs.metadata(&VPath::new("dir/file.txt")).unwrap().size, 5);
+        assert!(fs.metadata(&VPath::new("dir")).unwrap().is_dir);
+    }
+
+    #[test]
+    fn duplicate_file_rejected() {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("f"), vec![1]).unwrap();
+        assert!(matches!(
+            fs.add_file(&VPath::new("f"), vec![2]),
+            Err(VfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn root_is_not_a_file() {
+        let fs = MemFs::new();
+        assert!(matches!(fs.add_file(&VPath::root(), vec![]), Err(VfsError::InvalidPath(_))));
+        assert!(matches!(fs.read(&VPath::root()), Err(VfsError::NotAFile(_))));
+    }
+
+    #[test]
+    fn file_as_parent_is_rejected() {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("a"), vec![]).unwrap();
+        assert!(matches!(
+            fs.add_file(&VPath::new("a/b"), vec![]),
+            Err(VfsError::NotADirectory(_))
+        ));
+        assert!(matches!(fs.add_dir(&VPath::new("a/c")), Err(VfsError::NotADirectory(_))));
+    }
+
+    #[test]
+    fn read_dir_lists_immediate_children_only() {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("top/a.txt"), vec![1]).unwrap();
+        fs.add_file(&VPath::new("top/sub/b.txt"), vec![2, 3]).unwrap();
+        fs.add_dir(&VPath::new("top/emptydir")).unwrap();
+
+        let entries = fs.read_dir(&VPath::new("top")).unwrap();
+        let names: Vec<&str> = entries.iter().map(|e| e.path.file_name().unwrap()).collect();
+        assert_eq!(names, ["a.txt", "emptydir", "sub"]);
+
+        let root_entries = fs.read_dir(&VPath::root()).unwrap();
+        assert_eq!(root_entries.len(), 1);
+        assert_eq!(root_entries[0].path.as_str(), "top");
+    }
+
+    #[test]
+    fn read_dir_on_file_fails() {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("f"), vec![]).unwrap();
+        assert!(matches!(fs.read_dir(&VPath::new("f")), Err(VfsError::NotADirectory(_))));
+        assert!(matches!(fs.read_dir(&VPath::new("missing")), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn remove_file_works() {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("f"), vec![1]).unwrap();
+        assert_eq!(fs.file_count(), 1);
+        fs.remove_file(&VPath::new("f")).unwrap();
+        assert_eq!(fs.file_count(), 0);
+        assert!(matches!(fs.remove_file(&VPath::new("f")), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn counters_track_files_and_bytes() {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("a"), vec![0; 10]).unwrap();
+        fs.add_file(&VPath::new("b/c"), vec![0; 20]).unwrap();
+        assert_eq!(fs.file_count(), 2);
+        assert_eq!(fs.total_bytes(), 30);
+        assert_eq!(fs.all_files().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_reads_are_safe() {
+        let fs = std::sync::Arc::new(MemFs::new());
+        for i in 0..50 {
+            fs.add_file(&VPath::new(format!("f{i}")), vec![i as u8; 100]).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let fs = std::sync::Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                let mut total = 0usize;
+                for i in 0..50 {
+                    total += fs.read(&VPath::new(format!("f{i}"))).unwrap().len();
+                }
+                (t, total)
+            }));
+        }
+        for h in handles {
+            let (_, total) = h.join().unwrap();
+            assert_eq!(total, 5000);
+        }
+    }
+
+    proptest! {
+        /// Any set of generated files can be added under distinct paths and read
+        /// back intact; listings see exactly the added files.
+        #[test]
+        fn roundtrip_random_tree(files in proptest::collection::btree_map(
+            "[a-z]{1,3}(/[a-z]{1,3}){0,3}",
+            proptest::collection::vec(any::<u8>(), 0..64),
+            1..40,
+        )) {
+            let fs = MemFs::new();
+            let mut added = Vec::new();
+            for (raw_path, data) in &files {
+                let p = VPath::new(raw_path);
+                if fs.add_file(&p, data.clone()).is_ok() {
+                    added.push((p, data.clone()));
+                }
+            }
+            // Everything that was added reads back byte-identical.
+            for (p, data) in &added {
+                prop_assert_eq!(&fs.read(p).unwrap(), data);
+            }
+            prop_assert_eq!(fs.file_count(), added.len());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Operating-system file system, rooted at a directory.
+//!
+//! [`OsFs`] exposes a subtree of the host file system through the
+//! [`FileSystem`] trait so the index generator can index a real desktop
+//! directory — the paper's original use case.  All paths are interpreted
+//! relative to the root the instance was created with; escaping the root via
+//! `..` is prevented by [`VPath`] normalisation.
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::error::VfsError;
+use crate::path::VPath;
+use crate::{DirEntry, FileMeta, FileSystem};
+
+/// A [`FileSystem`] view of a host directory.
+///
+/// # Example
+///
+/// ```no_run
+/// use dsearch_vfs::{FileSystem, OsFs, VPath};
+///
+/// let fs = OsFs::new("/home/user/Documents");
+/// let data = fs.read(&VPath::new("notes/todo.txt"))?;
+/// # Ok::<(), dsearch_vfs::VfsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OsFs {
+    root: PathBuf,
+}
+
+impl OsFs {
+    /// Creates a file system rooted at `root`.
+    ///
+    /// The root is not checked for existence here; operations will fail with
+    /// [`VfsError::NotFound`] if it does not exist.
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        OsFs { root: root.into() }
+    }
+
+    /// The host path this file system is rooted at.
+    #[must_use]
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn resolve(&self, path: &VPath) -> PathBuf {
+        path.to_os_path(&self.root)
+    }
+}
+
+impl FileSystem for OsFs {
+    fn read(&self, path: &VPath) -> Result<Vec<u8>, VfsError> {
+        let host = self.resolve(path);
+        match fs::metadata(&host) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(VfsError::NotFound(path.clone()))
+            }
+            Err(e) => return Err(e.into()),
+            Ok(meta) if meta.is_dir() => return Err(VfsError::NotAFile(path.clone())),
+            Ok(_) => {}
+        }
+        fs::read(&host).map_err(Into::into)
+    }
+
+    fn metadata(&self, path: &VPath) -> Result<FileMeta, VfsError> {
+        let host = self.resolve(path);
+        match fs::metadata(&host) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(VfsError::NotFound(path.clone()))
+            }
+            Err(e) => Err(e.into()),
+            Ok(meta) => Ok(FileMeta { size: meta.len(), is_dir: meta.is_dir() }),
+        }
+    }
+
+    fn read_dir(&self, path: &VPath) -> Result<Vec<DirEntry>, VfsError> {
+        let host = self.resolve(path);
+        let meta = match fs::metadata(&host) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(VfsError::NotFound(path.clone()))
+            }
+            Err(e) => return Err(e.into()),
+            Ok(m) => m,
+        };
+        if !meta.is_dir() {
+            return Err(VfsError::NotADirectory(path.clone()));
+        }
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(&host).map_err(VfsError::from)? {
+            let entry = entry.map_err(VfsError::from)?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let meta = entry.metadata().map_err(VfsError::from)?;
+            entries.push(DirEntry {
+                path: path.join(name),
+                meta: FileMeta { size: meta.len(), is_dir: meta.is_dir() },
+            });
+        }
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_tree() -> (tempdir::TempDirGuard, OsFs) {
+        let dir = tempdir::TempDirGuard::new("dsearch-osfs-test");
+        fs::create_dir_all(dir.path().join("sub")).unwrap();
+        fs::write(dir.path().join("top.txt"), b"top contents").unwrap();
+        fs::write(dir.path().join("sub/inner.txt"), b"inner").unwrap();
+        let osfs = OsFs::new(dir.path());
+        (dir, osfs)
+    }
+
+    /// Minimal temp-dir helper so the crate needs no extra dependency.
+    mod tempdir {
+        use std::path::{Path, PathBuf};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        #[derive(Debug)]
+        pub struct TempDirGuard {
+            path: PathBuf,
+        }
+
+        impl TempDirGuard {
+            pub fn new(prefix: &str) -> Self {
+                let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+                let path = std::env::temp_dir().join(format!(
+                    "{prefix}-{}-{}",
+                    std::process::id(),
+                    n
+                ));
+                std::fs::create_dir_all(&path).unwrap();
+                TempDirGuard { path }
+            }
+
+            pub fn path(&self) -> &Path {
+                &self.path
+            }
+        }
+
+        impl Drop for TempDirGuard {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.path);
+            }
+        }
+    }
+
+    #[test]
+    fn reads_files_and_metadata() {
+        let (_guard, fs) = temp_tree();
+        assert_eq!(fs.read(&VPath::new("top.txt")).unwrap(), b"top contents");
+        assert_eq!(fs.metadata(&VPath::new("top.txt")).unwrap().size, 12);
+        assert!(fs.metadata(&VPath::new("sub")).unwrap().is_dir);
+        assert!(fs.exists(&VPath::new("sub/inner.txt")));
+    }
+
+    #[test]
+    fn missing_paths_report_not_found() {
+        let (_guard, fs) = temp_tree();
+        assert!(matches!(fs.read(&VPath::new("nope.txt")), Err(VfsError::NotFound(_))));
+        assert!(matches!(fs.metadata(&VPath::new("nope")), Err(VfsError::NotFound(_))));
+        assert!(matches!(fs.read_dir(&VPath::new("nope")), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn directories_are_not_files_and_vice_versa() {
+        let (_guard, fs) = temp_tree();
+        assert!(matches!(fs.read(&VPath::new("sub")), Err(VfsError::NotAFile(_))));
+        assert!(matches!(fs.read_dir(&VPath::new("top.txt")), Err(VfsError::NotADirectory(_))));
+    }
+
+    #[test]
+    fn read_dir_is_sorted_and_complete() {
+        let (_guard, fs) = temp_tree();
+        let entries = fs.read_dir(&VPath::root()).unwrap();
+        let names: Vec<&str> = entries.iter().map(|e| e.path.file_name().unwrap()).collect();
+        assert_eq!(names, ["sub", "top.txt"]);
+    }
+
+    #[test]
+    fn vpath_cannot_escape_root() {
+        let (_guard, fs) = temp_tree();
+        // "../../etc/passwd" normalises to "etc/passwd" under the root.
+        let sneaky = VPath::new("../../etc/passwd");
+        assert!(matches!(fs.read(&sneaky), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn root_accessor_returns_configured_path() {
+        let fs = OsFs::new("/some/root");
+        assert_eq!(fs.root(), std::path::Path::new("/some/root"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Virtual paths.
+//!
+//! Virtual paths are `/`-separated, relative (no leading `/` is required, one
+//! is tolerated), and never contain `.` or `..` components after
+//! normalisation.  A newtype keeps them from being confused with terms or
+//! host-OS paths.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+/// A normalised virtual path inside a [`crate::FileSystem`].
+///
+/// # Example
+///
+/// ```
+/// use dsearch_vfs::VPath;
+///
+/// let p = VPath::new("docs//2010/./report.txt");
+/// assert_eq!(p.as_str(), "docs/2010/report.txt");
+/// assert_eq!(p.file_name(), Some("report.txt"));
+/// assert_eq!(p.parent().unwrap().as_str(), "docs/2010");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VPath(String);
+
+impl VPath {
+    /// Creates a normalised virtual path from any `/`-separated string.
+    ///
+    /// Empty components, `.` components and leading/trailing slashes are
+    /// removed; `..` components are resolved where possible and dropped at the
+    /// root.
+    #[must_use]
+    pub fn new(raw: impl AsRef<str>) -> Self {
+        let mut parts: Vec<&str> = Vec::new();
+        for comp in raw.as_ref().split('/') {
+            match comp {
+                "" | "." => {}
+                ".." => {
+                    parts.pop();
+                }
+                other => parts.push(other),
+            }
+        }
+        VPath(parts.join("/"))
+    }
+
+    /// The root path (empty string), i.e. the top of the virtual tree.
+    #[must_use]
+    pub fn root() -> Self {
+        VPath(String::new())
+    }
+
+    /// Returns `true` for the root path.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The path as a `/`-separated string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The final component, if any.
+    #[must_use]
+    pub fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            None
+        } else {
+            self.0.rsplit('/').next()
+        }
+    }
+
+    /// The parent directory, or `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<VPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.0.rfind('/') {
+            Some(idx) => Some(VPath(self.0[..idx].to_owned())),
+            None => Some(VPath::root()),
+        }
+    }
+
+    /// Appends a component (or a `/`-separated suffix) to this path.
+    #[must_use]
+    pub fn join(&self, component: impl AsRef<str>) -> VPath {
+        if self.is_root() {
+            VPath::new(component)
+        } else {
+            VPath::new(format!("{}/{}", self.0, component.as_ref()))
+        }
+    }
+
+    /// Iterates over the path components.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.components().count()
+    }
+
+    /// Returns `true` when `self` is `prefix` or lies below it.
+    #[must_use]
+    pub fn starts_with(&self, prefix: &VPath) -> bool {
+        if prefix.is_root() {
+            return true;
+        }
+        self.0 == prefix.0 || self.0.starts_with(&format!("{}/", prefix.0))
+    }
+
+    /// The file-name extension (without the dot), if any.
+    #[must_use]
+    pub fn extension(&self) -> Option<&str> {
+        let name = self.file_name()?;
+        let idx = name.rfind('.')?;
+        if idx == 0 || idx + 1 == name.len() {
+            None
+        } else {
+            Some(&name[idx + 1..])
+        }
+    }
+
+    /// Converts the virtual path into a host path below `root`.
+    #[must_use]
+    pub fn to_os_path(&self, root: &std::path::Path) -> PathBuf {
+        let mut p = root.to_path_buf();
+        for comp in self.components() {
+            p.push(comp);
+        }
+        p
+    }
+
+    /// Consumes the path, returning the inner string.
+    #[must_use]
+    pub fn into_string(self) -> String {
+        self.0
+    }
+}
+
+impl fmt::Display for VPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            f.write_str("/")
+        } else {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+impl From<&str> for VPath {
+    fn from(s: &str) -> Self {
+        VPath::new(s)
+    }
+}
+
+impl From<String> for VPath {
+    fn from(s: String) -> Self {
+        VPath::new(s)
+    }
+}
+
+impl AsRef<str> for VPath {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalisation_removes_dots_and_doubles() {
+        assert_eq!(VPath::new("a//b/./c").as_str(), "a/b/c");
+        assert_eq!(VPath::new("/leading/slash/").as_str(), "leading/slash");
+        assert_eq!(VPath::new("a/b/../c").as_str(), "a/c");
+        assert_eq!(VPath::new("../a").as_str(), "a");
+        assert_eq!(VPath::new("").as_str(), "");
+    }
+
+    #[test]
+    fn root_properties() {
+        let r = VPath::root();
+        assert!(r.is_root());
+        assert_eq!(r.file_name(), None);
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.to_string(), "/");
+    }
+
+    #[test]
+    fn parent_and_file_name() {
+        let p = VPath::new("a/b/c.txt");
+        assert_eq!(p.file_name(), Some("c.txt"));
+        assert_eq!(p.parent().unwrap().as_str(), "a/b");
+        assert_eq!(p.parent().unwrap().parent().unwrap().as_str(), "a");
+        assert_eq!(p.parent().unwrap().parent().unwrap().parent().unwrap(), VPath::root());
+    }
+
+    #[test]
+    fn join_builds_children() {
+        assert_eq!(VPath::root().join("a").as_str(), "a");
+        assert_eq!(VPath::new("a").join("b/c").as_str(), "a/b/c");
+    }
+
+    #[test]
+    fn starts_with_prefixes() {
+        let p = VPath::new("a/b/c");
+        assert!(p.starts_with(&VPath::root()));
+        assert!(p.starts_with(&VPath::new("a")));
+        assert!(p.starts_with(&VPath::new("a/b")));
+        assert!(p.starts_with(&VPath::new("a/b/c")));
+        assert!(!p.starts_with(&VPath::new("a/bc")));
+        assert!(!p.starts_with(&VPath::new("b")));
+    }
+
+    #[test]
+    fn extension_handling() {
+        assert_eq!(VPath::new("a/file.txt").extension(), Some("txt"));
+        assert_eq!(VPath::new("a/archive.tar.gz").extension(), Some("gz"));
+        assert_eq!(VPath::new("a/noext").extension(), None);
+        assert_eq!(VPath::new("a/.hidden").extension(), None);
+        assert_eq!(VPath::new("a/trailing.").extension(), None);
+    }
+
+    #[test]
+    fn os_path_conversion() {
+        let p = VPath::new("a/b/c.txt");
+        let os = p.to_os_path(std::path::Path::new("/root"));
+        assert_eq!(os, std::path::PathBuf::from("/root/a/b/c.txt"));
+    }
+
+    #[test]
+    fn depth_counts_components() {
+        assert_eq!(VPath::new("a/b/c").depth(), 3);
+        assert_eq!(VPath::new("a").depth(), 1);
+        assert_eq!(VPath::root().depth(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: VPath = "x/y".into();
+        let b: VPath = String::from("x/y").into();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref(), "x/y");
+        assert_eq!(a.clone().into_string(), "x/y");
+    }
+
+    proptest! {
+        /// Normalisation is idempotent and never leaves `.`/`..`/empty components.
+        #[test]
+        fn normalisation_idempotent(raw in "[a-z./]{0,40}") {
+            let once = VPath::new(&raw);
+            let twice = VPath::new(once.as_str());
+            prop_assert_eq!(&once, &twice);
+            for comp in once.components() {
+                prop_assert!(!comp.is_empty());
+                prop_assert_ne!(comp, ".");
+                prop_assert_ne!(comp, "..");
+            }
+        }
+
+        /// join(parent, file_name) reconstructs any non-root path.
+        #[test]
+        fn parent_join_roundtrip(raw in "[a-z]{1,5}(/[a-z]{1,5}){0,5}") {
+            let p = VPath::new(&raw);
+            if let (Some(parent), Some(name)) = (p.parent(), p.file_name()) {
+                prop_assert_eq!(parent.join(name), p);
+            }
+        }
+    }
+}

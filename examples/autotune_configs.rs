@@ -1,0 +1,90 @@
+//! Explore the (x, y, z) configuration space with the auto-tuner.
+//!
+//! ```text
+//! cargo run --example autotune_configs
+//! ```
+//!
+//! The paper used an auto-tuner (Schäfer et al.) to explore thread
+//! allocations.  This example compares the three tuning strategies provided
+//! by `dsearch-autotune` on two objectives:
+//!
+//! 1. the platform model for the 32-core machine (instantaneous to evaluate,
+//!    so exhaustive search is the reference), and
+//! 2. real measured runs on this host over a small corpus (expensive to
+//!    evaluate, which is where the cheaper strategies earn their keep).
+
+use std::time::Instant;
+
+use dsearch::autotune::{
+    ConfigSpace, ExhaustiveTuner, HillClimbTuner, RandomSearchTuner, Tuner,
+};
+use dsearch::core::{Configuration, Implementation, IndexGenerator};
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch::sim::{estimate_run, PlatformModel, WorkloadModel};
+use dsearch::vfs::VPath;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- objective 1: the calibrated platform model --------------------------
+    let platform = PlatformModel::thirty_two_core();
+    let workload = WorkloadModel::paper();
+    let implementation = Implementation::ReplicateNoJoin;
+    let space = ConfigSpace::for_cores(platform.cores);
+    println!(
+        "tuning {} on the model of {} ({} configurations)\n",
+        implementation.paper_name(),
+        platform.name,
+        space.size()
+    );
+
+    let model_objective = |config: &Configuration| {
+        if config.validate(implementation).is_err() {
+            return f64::INFINITY;
+        }
+        estimate_run(&platform, &workload, implementation, *config).total_s
+    };
+
+    let results = [
+        ("exhaustive", ExhaustiveTuner::new().tune(&space, model_objective)),
+        ("hill-climb", HillClimbTuner::new(4, 1).tune(&space, model_objective)),
+        ("random(64)", RandomSearchTuner::new(64, 1).tune(&space, model_objective)),
+    ];
+    for (name, result) in &results {
+        println!(
+            "  {name:<12} best {} -> {:>6.1}s  ({} evaluations)",
+            result.best_configuration,
+            result.best_cost,
+            result.evaluation_count()
+        );
+    }
+
+    // --- objective 2: real runs on this host ---------------------------------
+    println!("\ntuning with real measured runs on this host (small corpus):\n");
+    let (fs, manifest) = materialize_to_memfs(&CorpusSpec::paper_scaled(0.001), 3);
+    println!(
+        "  corpus: {} files, {:.1} MB",
+        manifest.file_count(),
+        manifest.total_bytes() as f64 / 1e6
+    );
+    let generator = IndexGenerator::default();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let real_space = ConfigSpace::new(1..=cores.max(2) + 1, 0..=1, 0..=0);
+
+    let mut evaluations = 0u32;
+    let real_objective = |config: &Configuration| {
+        evaluations += 1;
+        let started = Instant::now();
+        generator
+            .run(&fs, &VPath::root(), implementation, *config)
+            .expect("run succeeds");
+        started.elapsed().as_secs_f64()
+    };
+    let result = HillClimbTuner::new(2, 7).tune(&real_space, real_objective);
+    println!(
+        "  hill-climb over {} candidate configs: best {} at {:.3}s ({} measured runs)",
+        real_space.size(),
+        result.best_configuration,
+        result.best_cost,
+        result.evaluation_count()
+    );
+    Ok(())
+}

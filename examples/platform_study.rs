@@ -1,0 +1,89 @@
+//! The paper's platform study: how do the three implementations compare on
+//! the 4-, 8- and 32-core machines?
+//!
+//! ```text
+//! cargo run --example platform_study
+//! ```
+//!
+//! For each platform model the example evaluates every implementation at the
+//! paper's best configuration and at the model's own best configuration
+//! (found with the auto-tuner), then prints the comparison.  It also runs the
+//! real threaded pipeline on a scaled corpus on this host as a correctness
+//! check — every implementation must produce the identical index.
+
+use dsearch::autotune::{ConfigSpace, ExhaustiveTuner, Tuner};
+use dsearch::core::{Configuration, Implementation, IndexGenerator};
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch::sim::{estimate_run, paper, PlatformModel, WorkloadModel};
+use dsearch::vfs::VPath;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = WorkloadModel::paper();
+
+    for (platform, table) in PlatformModel::paper_platforms()
+        .into_iter()
+        .zip(paper::best_config_tables())
+    {
+        println!("== {} ==", platform.name);
+        println!(
+            "   sequential: {:.0} s (paper), corpus {} files / {:.0} MB",
+            table.sequential_s,
+            workload.files,
+            workload.bytes as f64 / 1e6
+        );
+        for row in &table.rows {
+            let estimate =
+                estimate_run(&platform, &workload, row.implementation, row.best_configuration);
+
+            // Let the auto-tuner find the model's own best configuration.
+            let space = ConfigSpace::for_cores(platform.cores);
+            let tuned = ExhaustiveTuner::new().tune(&space, |config| {
+                if config.validate(row.implementation).is_err() {
+                    return f64::INFINITY;
+                }
+                estimate_run(&platform, &workload, row.implementation, *config).total_s
+            });
+
+            println!(
+                "   {:<18} paper best {} -> {:>5.1}s ({:.2}x)   model {:>5.1}s ({:.2}x)   tuner best {} -> {:>5.1}s",
+                row.implementation.paper_name(),
+                row.best_configuration,
+                row.execution_time_s,
+                row.speedup,
+                estimate.total_s,
+                estimate.speedup,
+                tuned.best_configuration,
+                tuned.best_cost,
+            );
+        }
+        println!();
+    }
+
+    // Correctness check with real threads on this host.
+    println!("== real-thread cross-check on this host ==");
+    let (fs, manifest) = materialize_to_memfs(&CorpusSpec::paper_scaled(0.002), 7);
+    let generator = IndexGenerator::default();
+    let sequential = generator.run_sequential(&fs, &VPath::root())?;
+    println!(
+        "   corpus {} files / {:.1} MB, sequential {:.3}s",
+        manifest.file_count(),
+        manifest.total_bytes() as f64 / 1e6,
+        sequential.timings.read_and_extract.as_secs_f64()
+            + sequential.timings.filename_generation.as_secs_f64()
+            + sequential.timings.index_update.as_secs_f64()
+    );
+    for implementation in Implementation::ALL {
+        let config = Configuration::new(3, 1, if implementation.joins() { 1 } else { 0 });
+        let run = generator.run(&fs, &VPath::root(), implementation, config)?;
+        let (index, _) = run.outcome.into_single_index();
+        assert_eq!(index, sequential.index, "{implementation} diverged from the sequential index");
+        println!(
+            "   {:<18} {}  {:.3}s  -> identical index ({} terms)",
+            implementation.paper_name(),
+            config,
+            run.timings.total.as_secs_f64(),
+            index.term_count()
+        );
+    }
+    Ok(())
+}

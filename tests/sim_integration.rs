@@ -1,0 +1,134 @@
+//! Integration tests for the platform model: reproduction of the paper's
+//! tables and consistency between the model, the auto-tuner and the real
+//! pipeline's bookkeeping.
+
+use dsearch::autotune::{ConfigSpace, ExhaustiveTuner, HillClimbTuner, Tuner};
+use dsearch::core::{Configuration, Implementation};
+use dsearch::sim::sweep::SweepRanges;
+use dsearch::sim::{
+    best_configuration, estimate_run, paper, sequential_stages, PlatformModel, WorkloadModel,
+};
+
+#[test]
+fn table1_reproduction_within_tolerance() {
+    let workload = WorkloadModel::paper();
+    for (platform, expected) in PlatformModel::paper_platforms().iter().zip(paper::table1()) {
+        let est = sequential_stages(platform, &workload);
+        for (name, model, paper_value) in [
+            ("filename generation", est.filename_generation_s, expected.filename_generation_s),
+            ("read files", est.read_files_s, expected.read_files_s),
+            ("read and extract", est.read_and_extract_s, expected.read_and_extract_s),
+            ("index update", est.index_update_s, expected.index_update_s),
+        ] {
+            let rel = (model - paper_value).abs() / paper_value;
+            assert!(rel < 0.05, "{}: {name} model {model:.1} vs paper {paper_value:.1}", platform.name);
+        }
+    }
+}
+
+#[test]
+fn tables_2_to_4_reproduction_within_ten_percent() {
+    let workload = WorkloadModel::paper();
+    let platforms = PlatformModel::paper_platforms();
+    for (platform, table) in platforms.iter().zip(paper::best_config_tables()) {
+        for row in &table.rows {
+            let est = estimate_run(platform, &workload, row.implementation, row.best_configuration);
+            let rel = (est.speedup - row.speedup).abs() / row.speedup;
+            assert!(
+                rel < 0.10,
+                "{} {}: model speed-up {:.2} vs paper {:.2}",
+                platform.name,
+                row.implementation,
+                est.speedup,
+                row.speedup
+            );
+        }
+    }
+}
+
+#[test]
+fn the_papers_qualitative_ordering_holds_in_the_model() {
+    let workload = WorkloadModel::paper();
+    let platforms = PlatformModel::paper_platforms();
+
+    // 4-core: all three within ten percent of each other.
+    let four = &platforms[0];
+    let speedups: Vec<f64> = paper::table2()
+        .rows
+        .iter()
+        .map(|row| estimate_run(four, &workload, row.implementation, row.best_configuration).speedup)
+        .collect();
+    let spread = speedups.iter().cloned().fold(f64::MIN, f64::max)
+        / speedups.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.10, "4-core spread {spread:.3} ({speedups:?})");
+
+    // 8- and 32-core: Implementation 3 > Implementation 2 > Implementation 1,
+    // and the relative advantage grows with the core count.
+    let mut impl3_over_impl1 = Vec::new();
+    for (platform, table) in platforms[1..].iter().zip([paper::table3(), paper::table4()]) {
+        let estimates: Vec<f64> = table
+            .rows
+            .iter()
+            .map(|row| estimate_run(platform, &workload, row.implementation, row.best_configuration).speedup)
+            .collect();
+        assert!(estimates[2] > estimates[1], "{}: impl3 vs impl2", platform.name);
+        assert!(estimates[1] > estimates[0], "{}: impl2 vs impl1", platform.name);
+        impl3_over_impl1.push(estimates[2] / estimates[0]);
+    }
+    assert!(impl3_over_impl1[1] > impl3_over_impl1[0], "the gap widens from 8 to 32 cores");
+}
+
+#[test]
+fn auto_tuner_finds_the_same_optimum_as_the_sweep() {
+    let workload = WorkloadModel::paper();
+    for platform in PlatformModel::paper_platforms() {
+        for implementation in Implementation::ALL {
+            let ranges = SweepRanges::for_platform(&platform);
+            let sweep_best = best_configuration(&platform, &workload, implementation, ranges);
+
+            let space = ConfigSpace::for_cores(platform.cores);
+            let objective = |config: &Configuration| {
+                if config.validate(implementation).is_err() {
+                    return f64::INFINITY;
+                }
+                estimate_run(&platform, &workload, implementation, *config).total_s
+            };
+            let exhaustive = ExhaustiveTuner::new().tune(&space, objective);
+            assert!(
+                (exhaustive.best_cost - sweep_best.estimate.total_s).abs() < 1e-6,
+                "{} {}: tuner {:.3} vs sweep {:.3}",
+                platform.name,
+                implementation,
+                exhaustive.best_cost,
+                sweep_best.estimate.total_s
+            );
+
+            // Hill climbing reaches the same optimum on this near-unimodal
+            // surface with far fewer evaluations.
+            let climbed = HillClimbTuner::new(6, 11).tune(&space, objective);
+            assert!(
+                climbed.best_cost <= exhaustive.best_cost * 1.02 + 1e-9,
+                "{} {}: hill climb {:.3} vs exhaustive {:.3}",
+                platform.name,
+                implementation,
+                climbed.best_cost,
+                exhaustive.best_cost
+            );
+            assert!(climbed.evaluation_count() < exhaustive.evaluation_count());
+        }
+    }
+}
+
+#[test]
+fn model_agrees_with_itself_across_workload_scales() {
+    // Speed-ups are scale-invariant in the model: a 10× smaller corpus
+    // produces the same relative ordering and (nearly) the same speed-ups.
+    let platform = PlatformModel::thirty_two_core();
+    let full = WorkloadModel::paper();
+    let small = WorkloadModel::from_counts(5_100, 86_900_000);
+    for row in paper::table4().rows {
+        let a = estimate_run(&platform, &full, row.implementation, row.best_configuration);
+        let b = estimate_run(&platform, &small, row.implementation, row.best_configuration);
+        assert!((a.speedup - b.speedup).abs() / a.speedup < 0.02, "{}", row.implementation);
+    }
+}
