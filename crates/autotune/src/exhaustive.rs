@@ -58,7 +58,7 @@ mod tests {
     fn evaluates_each_point_exactly_once() {
         let space = ConfigSpace::new(1..=3, 0..=1, 0..=1);
         let mut calls = 0usize;
-        let result = ExhaustiveTuner::default().tune(&space, |c| {
+        let result = ExhaustiveTuner.tune(&space, |c| {
             calls += 1;
             bowl(c)
         });

@@ -77,9 +77,7 @@ impl Tuner for HillClimbTuner {
                 let mut best_neighbour: Option<(Configuration, f64)> = None;
                 for neighbour in space.neighbours(&current) {
                     let cost = evaluate(&neighbour, &mut evaluations);
-                    if cost < current_cost
-                        && best_neighbour.map_or(true, |(_, best)| cost < best)
-                    {
+                    if cost < current_cost && best_neighbour.is_none_or(|(_, best)| cost < best) {
                         best_neighbour = Some((neighbour, cost));
                     }
                 }
@@ -119,9 +117,12 @@ mod tests {
         let space = ConfigSpace::new(1..=12, 0..=6, 0..=2);
         let exhaustive = ExhaustiveTuner::new().tune(&space, bowl);
         let climb = HillClimbTuner::default().tune(&space, bowl);
-        assert!(climb.evaluation_count() < exhaustive.evaluation_count() / 2,
+        assert!(
+            climb.evaluation_count() < exhaustive.evaluation_count() / 2,
             "hill climbing used {} evaluations vs exhaustive {}",
-            climb.evaluation_count(), exhaustive.evaluation_count());
+            climb.evaluation_count(),
+            exhaustive.evaluation_count()
+        );
         assert!((climb.best_cost - exhaustive.best_cost).abs() < 1e-9);
     }
 

@@ -74,9 +74,9 @@ impl ConfigSpace {
         let joins = self.min_join..=self.max_join;
         (self.min_extraction..=self.max_extraction).flat_map(move |x| {
             let joins = joins.clone();
-            updates.clone().flat_map(move |y| {
-                joins.clone().map(move |z| Configuration::new(x, y, z))
-            })
+            updates
+                .clone()
+                .flat_map(move |y| joins.clone().map(move |z| Configuration::new(x, y, z)))
         })
     }
 
@@ -95,14 +95,8 @@ impl ConfigSpace {
     #[must_use]
     pub fn neighbours(&self, config: &Configuration) -> Vec<Configuration> {
         let mut out = Vec::with_capacity(6);
-        let deltas: [(isize, isize, isize); 6] = [
-            (1, 0, 0),
-            (-1, 0, 0),
-            (0, 1, 0),
-            (0, -1, 0),
-            (0, 0, 1),
-            (0, 0, -1),
-        ];
+        let deltas: [(isize, isize, isize); 6] =
+            [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)];
         for (dx, dy, dz) in deltas {
             let x = config.extraction_threads as isize + dx;
             let y = config.update_threads as isize + dy;

@@ -39,11 +39,7 @@ impl TuningResult {
             .copied()
             .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
             .expect("at least one evaluation is required");
-        TuningResult {
-            best_configuration: best.configuration,
-            best_cost: best.cost,
-            evaluations,
-        }
+        TuningResult { best_configuration: best.configuration, best_cost: best.cost, evaluations }
     }
 
     /// Number of objective evaluations performed.

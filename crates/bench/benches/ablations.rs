@@ -29,18 +29,14 @@ fn bench_distribution(c: &mut Criterion) {
         let mut options = GeneratorOptions::paper_defaults();
         options.distribution = strategy;
         let generator = IndexGenerator::new(options);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy),
-            &strategy,
-            |b, _| {
-                b.iter(|| {
-                    let run = generator
-                        .run(&fs, &root, Implementation::ReplicateNoJoin, Configuration::new(2, 0, 0))
-                        .unwrap();
-                    black_box(run.outcome.file_count())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(strategy), &strategy, |b, _| {
+            b.iter(|| {
+                let run = generator
+                    .run(&fs, &root, Implementation::ReplicateNoJoin, Configuration::new(2, 0, 0))
+                    .unwrap();
+                black_box(run.outcome.file_count())
+            });
+        });
     }
     group.finish();
 }
@@ -78,7 +74,8 @@ fn bench_stage1_mode(c: &mut Criterion) {
     let root = VPath::root();
     let mut group = c.benchmark_group("ablation_stage1");
     group.sample_size(10);
-    for (name, mode) in [("up_front", Stage1Mode::UpFront), ("concurrent", Stage1Mode::Concurrent)] {
+    for (name, mode) in [("up_front", Stage1Mode::UpFront), ("concurrent", Stage1Mode::Concurrent)]
+    {
         let mut options = GeneratorOptions::paper_defaults();
         options.stage1 = mode;
         let generator = IndexGenerator::new(options);
@@ -97,13 +94,15 @@ fn bench_stage1_mode(c: &mut Criterion) {
 fn bench_join(c: &mut Criterion) {
     // Build replica indices once, then measure the join variants.
     let replica_count = 8;
-    let mut replicas: Vec<InMemoryIndex> = (0..replica_count).map(|_| InMemoryIndex::new()).collect();
+    let mut replicas: Vec<InMemoryIndex> =
+        (0..replica_count).map(|_| InMemoryIndex::new()).collect();
     for doc in 0..4_000u32 {
         let terms: Vec<Term> = (0..20)
-            .map(|k| Term::from(format!("term{:04}", (doc.wrapping_mul(31).wrapping_add(k)) % 2_500)))
+            .map(|k| {
+                Term::from(format!("term{:04}", (doc.wrapping_mul(31).wrapping_add(k)) % 2_500))
+            })
             .collect();
-        replicas[(doc as usize) % replica_count]
-            .insert_file(dsearch::index::FileId(doc), terms);
+        replicas[(doc as usize) % replica_count].insert_file(dsearch::index::FileId(doc), terms);
     }
 
     let mut group = c.benchmark_group("ablation_join");

@@ -14,7 +14,9 @@ fn word_lists(docs: u32, terms_per_doc: u32, vocab: u32) -> Vec<(FileId, Vec<Ter
     (0..docs)
         .map(|d| {
             let terms = (0..terms_per_doc)
-                .map(|k| Term::from(format!("w{:05}", (d.wrapping_mul(17).wrapping_add(k * 7)) % vocab)))
+                .map(|k| {
+                    Term::from(format!("w{:05}", (d.wrapping_mul(17).wrapping_add(k * 7)) % vocab))
+                })
                 .collect();
             (FileId(d), terms)
         })

@@ -77,22 +77,18 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
     group.sample_size(10);
     for changed in [1usize, 8, 32] {
         let (fs, index, docs, signatures) = mutated_corpus(changed);
-        group.bench_with_input(
-            BenchmarkId::new("incremental", changed),
-            &changed,
-            |b, _| {
-                let indexer = IncrementalIndexer::new();
-                b.iter(|| {
-                    let mut index = index.clone();
-                    let mut docs = docs.clone();
-                    let mut signatures = signatures.clone();
-                    let report = indexer
-                        .update(&fs, &VPath::root(), &mut index, &mut docs, &mut signatures)
-                        .unwrap();
-                    black_box(report.postings_added)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("incremental", changed), &changed, |b, _| {
+            let indexer = IncrementalIndexer::new();
+            b.iter(|| {
+                let mut index = index.clone();
+                let mut docs = docs.clone();
+                let mut signatures = signatures.clone();
+                let report = indexer
+                    .update(&fs, &VPath::root(), &mut index, &mut docs, &mut signatures)
+                    .unwrap();
+                black_box(report.postings_added)
+            });
+        });
         group.bench_with_input(BenchmarkId::new("full_rebuild", changed), &changed, |b, _| {
             let indexer = IncrementalIndexer::new();
             b.iter(|| {

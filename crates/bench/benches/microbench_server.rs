@@ -1,0 +1,154 @@
+//! Server microbenchmarks: query throughput through the worker pool at
+//! 1/4/8 workers, with a cold cache (every request distinct) versus a warm
+//! cache (small repeated workload).
+//!
+//! Run with `cargo bench --bench microbench_server`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dsearch::index::{DocTable, InMemoryIndex};
+use dsearch::server::{
+    loadgen, EngineConfig, IndexSnapshot, LoadConfig, LoadMode, QueryEngine, WorkerPool, Workload,
+};
+use dsearch::text::Term;
+
+/// A deterministic synthetic index: `docs` documents over a vocabulary with
+/// Zipf-ish sharing ("common" everywhere, `w{k}` spread over k-sized strata).
+fn build_snapshot(docs: usize) -> IndexSnapshot {
+    let mut table = DocTable::new();
+    let mut index = InMemoryIndex::new();
+    for i in 0..docs {
+        let id = table.insert(format!("doc{i}.txt"));
+        let words = [
+            "common".to_string(),
+            format!("w{}", i % 10),
+            format!("m{}", i % 100),
+            format!("rare{i}"),
+        ];
+        index.insert_file(id, words.into_iter().map(Term::from));
+    }
+    IndexSnapshot::from_index(index, table, 1)
+}
+
+fn engine_with(workers: usize, cache_capacity: usize) -> Arc<QueryEngine> {
+    QueryEngine::new(
+        build_snapshot(2000),
+        EngineConfig { workers, cache_capacity, cache_shards: 8, result_limit: 20 },
+    )
+}
+
+/// Warm workload: 16 distinct queries replayed; after the first pass every
+/// request is a cache hit.
+fn warm_workload() -> Workload {
+    Workload::from_queries((0..16).map(|i| format!("common w{} OR m{}", i % 10, i % 100)).collect())
+}
+
+/// Cold workload: a large pool of distinct queries (far beyond the cache
+/// capacity used in the cold benchmark) so effectively every request misses.
+fn cold_workload() -> Workload {
+    Workload::from_queries((0..4096).map(|i| format!("m{} rare{}", i % 100, i % 2000)).collect())
+}
+
+const REQUESTS_PER_ITER: usize = 512;
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQUESTS_PER_ITER as u64));
+
+    for workers in [1usize, 4, 8] {
+        // Warm: shared engine keeps its cache across iterations.
+        let engine = engine_with(workers, 4096);
+        let pool = WorkerPool::start(Arc::clone(&engine));
+        let workload = warm_workload();
+        group.bench_with_input(BenchmarkId::new("warm_cache", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                let report = loadgen::run(
+                    &pool,
+                    &workload,
+                    &LoadConfig {
+                        requests: REQUESTS_PER_ITER,
+                        mode: LoadMode::Closed { clients: workers.max(2) },
+                    },
+                );
+                assert_eq!(report.errors, 0);
+                report.latency.p99
+            });
+        });
+        pool.shutdown();
+
+        // Cold: tiny cache + distinct queries, so every request searches.
+        let engine = engine_with(workers, 1);
+        let pool = WorkerPool::start(Arc::clone(&engine));
+        let workload = cold_workload();
+        group.bench_with_input(BenchmarkId::new("cold_cache", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                let report = loadgen::run(
+                    &pool,
+                    &workload,
+                    &LoadConfig {
+                        requests: REQUESTS_PER_ITER,
+                        mode: LoadMode::Closed { clients: workers.max(2) },
+                    },
+                );
+                assert_eq!(report.errors, 0);
+                report.latency.p99
+            });
+        });
+        pool.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_cache_effect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_cache_effect");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQUESTS_PER_ITER as u64));
+
+    // Same engine shape, same 4 workers — the only variable is whether the
+    // repeated workload can hit the cache.
+    let warm_engine = engine_with(4, 4096);
+    let warm_pool = WorkerPool::start(Arc::clone(&warm_engine));
+    let warm = warm_workload();
+    group.bench_function("repeated_queries_warm", |b| {
+        b.iter(|| {
+            loadgen::run(
+                &warm_pool,
+                &warm,
+                &LoadConfig { requests: REQUESTS_PER_ITER, mode: LoadMode::Closed { clients: 4 } },
+            )
+            .qps
+        });
+    });
+
+    let cold_engine = engine_with(4, 1);
+    let cold_pool = WorkerPool::start(Arc::clone(&cold_engine));
+    group.bench_function("repeated_queries_cold", |b| {
+        b.iter(|| {
+            loadgen::run(
+                &cold_pool,
+                &warm,
+                &LoadConfig { requests: REQUESTS_PER_ITER, mode: LoadMode::Closed { clients: 4 } },
+            )
+            .qps
+        });
+    });
+
+    // Report the measured cache effect once, outside the timing loops.
+    let warm_counters = warm_engine.cache_counters();
+    let cold_counters = cold_engine.cache_counters();
+    println!(
+        "cache hit rates: warm {:.3} vs cold {:.3}",
+        warm_counters.hit_rate(),
+        cold_counters.hit_rate()
+    );
+
+    warm_pool.shutdown();
+    cold_pool.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_cache_effect);
+criterion_main!(benches);

@@ -25,7 +25,11 @@ fn bench_table3(c: &mut Criterion) {
 
     for row in &expected.rows {
         group.bench_function(
-            format!("real_{}_{}", row.implementation.paper_name().replace(' ', "_"), row.best_configuration),
+            format!(
+                "real_{}_{}",
+                row.implementation.paper_name().replace(' ', "_"),
+                row.best_configuration
+            ),
             |b| {
                 b.iter(|| {
                     let run = generator
@@ -41,7 +45,9 @@ fn bench_table3(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0.0;
             for row in &expected.rows {
-                total += estimate_run(&platform, &workload, row.implementation, row.best_configuration).total_s;
+                total +=
+                    estimate_run(&platform, &workload, row.implementation, row.best_configuration)
+                        .total_s;
             }
             black_box(total)
         });

@@ -20,8 +20,8 @@
 
 use std::time::Instant;
 
-use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
 use dsearch::core::{Configuration, Implementation, IndexGenerator};
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
 use dsearch::sim::paper;
 use dsearch::sim::sweep::SweepRanges;
 use dsearch::sim::{
@@ -38,7 +38,10 @@ fn print_table1() {
         let est = sequential_stages(platform, &workload);
         rows.push(TableRow::new([
             format!("{}-core platform", platform.cores),
-            format!("{:.1} (paper {:.1})", est.filename_generation_s, expected.filename_generation_s),
+            format!(
+                "{:.1} (paper {:.1})",
+                est.filename_generation_s, expected.filename_generation_s
+            ),
             format!("{:.1} (paper {:.1})", est.read_files_s, expected.read_files_s),
             format!("{:.1} (paper {:.1})", est.read_and_extract_s, expected.read_and_extract_s),
             format!("{:.1} (paper {:.1})", est.index_update_s, expected.index_update_s),
@@ -143,9 +146,8 @@ fn print_real_run() {
 
     let generator = IndexGenerator::default();
     let started = Instant::now();
-    let sequential = generator
-        .run_sequential(&fs, &VPath::root())
-        .expect("sequential run succeeds");
+    let sequential =
+        generator.run_sequential(&fs, &VPath::root()).expect("sequential run succeeds");
     let sequential_s = started.elapsed().as_secs_f64();
 
     let x = cores.max(1);

@@ -45,10 +45,10 @@ pub fn format_table(header: &[&str], rows: &[TableRow]) -> String {
     }
     let render_row = |cells: &[String]| -> String {
         let mut line = String::new();
-        for i in 0..columns {
+        for (i, width) in widths.iter().enumerate().take(columns) {
             let empty = String::new();
             let cell = cells.get(i).unwrap_or(&empty);
-            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            line.push_str(&format!("{cell:<width$}"));
             if i + 1 < columns {
                 line.push_str("  ");
             }
@@ -76,10 +76,7 @@ mod tests {
     fn columns_are_aligned() {
         let text = format_table(
             &["name", "value"],
-            &[
-                TableRow::new(["short", "1"]),
-                TableRow::new(["a much longer name", "2"]),
-            ],
+            &[TableRow::new(["short", "1"]), TableRow::new(["a much longer name", "2"])],
         );
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -26,6 +26,16 @@ const VALUE_OPTIONS: &[&str] = &[
     "platform",
     "max-threads",
     "table",
+    // serve / loadgen
+    "tcp",
+    "workers",
+    "cache",
+    "cache-shards",
+    "requests",
+    "clients",
+    "rate",
+    "queries",
+    "mode",
 ];
 
 /// Parsed command-line arguments.

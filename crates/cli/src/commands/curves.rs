@@ -11,9 +11,7 @@ fn platform_from(args: &ParsedArgs) -> Result<PlatformModel, CliError> {
         "4" => Ok(PlatformModel::four_core()),
         "8" => Ok(PlatformModel::eight_core()),
         "32" => Ok(PlatformModel::thirty_two_core()),
-        other => Err(CliError::Usage(format!(
-            "--platform must be 4, 8 or 32 (got {other:?})"
-        ))),
+        other => Err(CliError::Usage(format!("--platform must be 4, 8 or 32 (got {other:?})"))),
     }
 }
 
@@ -24,10 +22,7 @@ fn platform_from(args: &ParsedArgs) -> Result<PlatformModel, CliError> {
 /// Fails when `--platform` or `--max-threads` is invalid.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let platform = platform_from(args)?;
-    let max_threads = args
-        .number_of::<usize>("max-threads")?
-        .unwrap_or(platform.cores + 2)
-        .max(1);
+    let max_threads = args.number_of::<usize>("max-threads")?.unwrap_or(platform.cores + 2).max(1);
     let workload = WorkloadModel::paper();
     let curves = all_curves(&platform, &workload, max_threads);
 
@@ -36,10 +31,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         let mut row = vec![x.to_string()];
         for curve in &curves {
             let point = &curve.points[x - 1];
-            row.push(format!(
-                "{:.2}x ({})",
-                point.estimate.speedup, point.configuration
-            ));
+            row.push(format!("{:.2}x ({})", point.estimate.speedup, point.configuration));
         }
         row.push(format!("{:.2}x", amdahl_ceiling(&platform, &workload, x)));
         rows.push(row);
@@ -50,13 +42,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         platform.name
     );
     out.push_str(&format_table(
-        &[
-            "x",
-            "Implementation 1",
-            "Implementation 2",
-            "Implementation 3",
-            "Amdahl ceiling",
-        ],
+        &["x", "Implementation 1", "Implementation 2", "Implementation 3", "Amdahl ceiling"],
         &rows,
     ));
     out.push('\n');

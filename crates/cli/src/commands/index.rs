@@ -17,19 +17,21 @@ fn implementation_from(args: &ParsedArgs) -> Result<Implementation, CliError> {
         "1" => Ok(Implementation::SharedLocked),
         "2" => Ok(Implementation::ReplicateJoin),
         "3" => Ok(Implementation::ReplicateNoJoin),
-        other => Err(CliError::Usage(format!(
-            "--implementation must be 1, 2 or 3 (got {other:?})"
-        ))),
+        other => {
+            Err(CliError::Usage(format!("--implementation must be 1, 2 or 3 (got {other:?})")))
+        }
     }
 }
 
-fn configuration_from(args: &ParsedArgs, implementation: Implementation) -> Result<Configuration, CliError> {
+fn configuration_from(
+    args: &ParsedArgs,
+    implementation: Implementation,
+) -> Result<Configuration, CliError> {
     let default_threads = std::thread::available_parallelism().map_or(2, usize::from);
     let x = args.number_of::<usize>("extractors")?.unwrap_or(default_threads.max(1));
     let y = args.number_of::<usize>("updaters")?.unwrap_or(0);
-    let z = args
-        .number_of::<usize>("joiners")?
-        .unwrap_or(if implementation.joins() { 1 } else { 0 });
+    let z =
+        args.number_of::<usize>("joiners")?.unwrap_or(if implementation.joins() { 1 } else { 0 });
     let configuration = Configuration::new(x, y, z);
     configuration.validate(implementation).map_err(CliError::Usage)?;
     Ok(configuration)
@@ -155,7 +157,8 @@ mod tests {
 
     #[test]
     fn configuration_defaults_and_validation() {
-        let args = ParsedArgs::parse(["index", "d", "--extractors", "3", "--updaters", "2"]).unwrap();
+        let args =
+            ParsedArgs::parse(["index", "d", "--extractors", "3", "--updaters", "2"]).unwrap();
         let cfg = configuration_from(&args, Implementation::ReplicateNoJoin).unwrap();
         assert_eq!(cfg, Configuration::new(3, 2, 0));
         // Joiners default to 1 for Implementation 2 and are rejected for 3.

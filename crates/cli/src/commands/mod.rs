@@ -6,7 +6,9 @@
 pub mod corpus;
 pub mod curves;
 pub mod index;
+pub mod loadgen;
 pub mod search;
+pub mod serve;
 pub mod tables;
 pub mod tune;
 
@@ -53,10 +55,7 @@ mod tests {
     fn table_columns_are_aligned() {
         let out = format_table(
             &["name", "value"],
-            &[
-                vec!["short".into(), "1".into()],
-                vec!["a much longer name".into(), "2".into()],
-            ],
+            &[vec!["short".into(), "1".into()], vec!["a much longer name".into(), "2".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,146 @@
+//! `dsearch serve` — run the query service over a persisted index store.
+//!
+//! The service answers the line protocol on stdin; with `--tcp <addr>` it
+//! also listens on a socket, sharing one worker pool and cache between both
+//! front ends.  `!reload` re-reads the store and publishes the result as the
+//! next snapshot generation without interrupting in-flight queries.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dsearch::persist::IndexStore;
+use dsearch::server::{EngineConfig, IndexSnapshot, QueryEngine, Service, TcpServer};
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+
+/// Builds the engine configuration from the shared serve/loadgen options.
+pub(crate) fn engine_config(args: &ParsedArgs) -> Result<EngineConfig, CliError> {
+    let mut config = EngineConfig::default();
+    if let Some(workers) = args.number_of::<usize>("workers")? {
+        config.workers = workers.max(1);
+    }
+    if let Some(capacity) = args.number_of::<usize>("cache")? {
+        config.cache_capacity = capacity;
+    }
+    if let Some(shards) = args.number_of::<usize>("cache-shards")? {
+        config.cache_shards = shards.max(1);
+    }
+    if let Some(limit) = args.number_of::<usize>("limit")? {
+        config.result_limit = limit;
+    }
+    Ok(config)
+}
+
+/// Opens the store and loads generation 1.
+pub(crate) fn load_engine(args: &ParsedArgs) -> Result<(Arc<QueryEngine>, PathBuf), CliError> {
+    let store_path = args
+        .value_of("store")
+        .ok_or_else(|| CliError::Usage("this command requires --store <path>".into()))?;
+    let store = IndexStore::open(store_path).map_err(CliError::failed)?;
+    if store.segment_count() == 0 {
+        return Err(CliError::Failed(format!(
+            "index store {store_path} is empty; run `dsearch index` first"
+        )));
+    }
+    let snapshot = IndexSnapshot::load(&store, 1).map_err(CliError::failed)?;
+    let config = engine_config(args)?;
+    Ok((QueryEngine::new(snapshot, config), PathBuf::from(store_path)))
+}
+
+/// Runs the `serve` command.
+///
+/// # Errors
+///
+/// Fails on usage errors or an unreadable/empty store.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    let (engine, store_path) = load_engine(args)?;
+    let banner = format!(
+        "serving {} document(s), {} shard(s), generation {} \
+         ({} workers, cache {} entries / {} shards)\n\
+         protocol: one query per line; !stats, !reload, !quit\n",
+        engine.snapshot_cell().load().doc_count(),
+        engine.snapshot_cell().load().shard_count(),
+        engine.snapshot_cell().generation(),
+        engine.config().workers,
+        engine.config().cache_capacity,
+        engine.config().cache_shards,
+    );
+    let service = Arc::new(Service::start(engine, Some(store_path)));
+
+    let tcp_server = match args.value_of("tcp") {
+        Some(addr) => {
+            let server = TcpServer::bind(Arc::clone(&service), addr).map_err(CliError::failed)?;
+            eprintln!("listening on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+
+    eprint!("{banner}");
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let end = service.serve_lines(stdin.lock(), stdout.lock()).map_err(CliError::failed)?;
+
+    if let Some(server) = tcp_server {
+        // A daemonised server (stdin closed, e.g. `< /dev/null &`) keeps
+        // serving TCP; an explicit stdin `!quit` shuts the whole service
+        // down.
+        if end == dsearch::server::SessionEnd::Eof {
+            eprintln!("stdin closed; continuing to serve TCP (Ctrl-C to stop)");
+            loop {
+                std::thread::park();
+            }
+        }
+        server.stop();
+    }
+    let report = service.engine().stats_report();
+    Ok(format!("{report}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_requires_a_store() {
+        let args = ParsedArgs::parse(["serve"]).unwrap();
+        assert!(matches!(run(&args).unwrap_err(), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn empty_store_is_a_failure() {
+        let dir = std::env::temp_dir().join(format!("dsearch-serve-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = ParsedArgs::parse([
+            "serve".to_string(),
+            "--store".to_string(),
+            dir.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_config_parses_overrides() {
+        let args = ParsedArgs::parse([
+            "serve",
+            "--workers",
+            "3",
+            "--cache",
+            "128",
+            "--cache-shards",
+            "2",
+            "--limit",
+            "5",
+        ])
+        .unwrap();
+        let config = engine_config(&args).unwrap();
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.cache_capacity, 128);
+        assert_eq!(config.cache_shards, 2);
+        assert_eq!(config.result_limit, 5);
+    }
+}

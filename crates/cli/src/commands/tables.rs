@@ -3,7 +3,9 @@
 use dsearch::core::Implementation;
 use dsearch::sim::paper;
 use dsearch::sim::sweep::SweepRanges;
-use dsearch::sim::{best_configuration, estimate_run, sequential_stages, PlatformModel, WorkloadModel};
+use dsearch::sim::{
+    best_configuration, estimate_run, sequential_stages, PlatformModel, WorkloadModel,
+};
 
 use crate::args::ParsedArgs;
 use crate::commands::format_table;
@@ -41,7 +43,8 @@ fn best_config_table(platform: &PlatformModel, table: &paper::BestConfigTable) -
         .rows
         .iter()
         .map(|row| {
-            let at_paper = estimate_run(platform, &workload, row.implementation, row.best_configuration);
+            let at_paper =
+                estimate_run(platform, &workload, row.implementation, row.best_configuration);
             let model_best = best_configuration(platform, &workload, row.implementation, ranges);
             vec![
                 row.implementation.paper_name().to_owned(),

@@ -20,9 +20,7 @@ fn platform_from(args: &ParsedArgs) -> Result<PlatformModel, CliError> {
         "4" => Ok(PlatformModel::four_core()),
         "8" => Ok(PlatformModel::eight_core()),
         "32" => Ok(PlatformModel::thirty_two_core()),
-        other => Err(CliError::Usage(format!(
-            "--platform must be 4, 8 or 32 (got {other:?})"
-        ))),
+        other => Err(CliError::Usage(format!("--platform must be 4, 8 or 32 (got {other:?})"))),
     }
 }
 

@@ -7,6 +7,8 @@
 //! |---|---|
 //! | `index <dir> --store <path>` | index a directory with one of the paper's three parallel implementations and persist the result |
 //! | `search --store <path> <query…>` | run a boolean/prefix query against a persisted index |
+//! | `serve --store <path> [--tcp addr]` | run the concurrent query service (line protocol, snapshot reloads) |
+//! | `loadgen --store <path>` | replay a derived query workload and report QPS + latency percentiles |
 //! | `corpus <dir> --scale 0.01` | materialise a synthetic benchmark corpus with the paper's shape |
 //! | `tables` | print the paper's Tables 1–4 regenerated from the calibrated platform models |
 //! | `curves --platform 32` | print speed-up-vs-threads curves for the three implementations |
@@ -67,6 +69,19 @@ COMMANDS:
     search --store <path> <query words…> [--limit N]
         Query a persisted index.  Supports AND/OR/NOT and trailing-* prefixes.
 
+    serve --store <path> [--tcp ADDR] [--workers N] [--cache N]
+          [--cache-shards N] [--limit N]
+        Run the query service: line protocol on stdin (and ADDR when --tcp is
+        given).  One query per line; !stats reports metrics, !reload republishes
+        the store as a new snapshot generation, !quit disconnects.  With --tcp,
+        closing stdin leaves the TCP listener serving (daemon mode); !quit on
+        stdin stops everything.
+
+    loadgen --store <path> [--requests N] [--queries N] [--seed N]
+            [--mode closed|open] [--clients N] [--rate QPS] [--workers N]
+        Replay a query workload derived from the indexed terms and report QPS
+        and p50/p95/p99 latency.
+
     corpus <dir> [--scale F] [--seed N]
         Materialise a synthetic benchmark corpus with the paper's shape.
 
@@ -103,6 +118,8 @@ where
         None | Some("help") => Ok(usage()),
         Some("index") => commands::index::run(&args),
         Some("search") => commands::search::run(&args),
+        Some("serve") => commands::serve::run(&args),
+        Some("loadgen") => commands::loadgen::run(&args),
         Some("corpus") => commands::corpus::run(&args),
         Some("tables") => commands::tables::run(&args),
         Some("curves") => commands::curves::run(&args),

@@ -10,7 +10,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("dsearch-cli: {e}");
+            eprintln!("dsearch: {e}");
             if matches!(e, dsearch_cli::CliError::Usage(_)) {
                 eprintln!("\n{}", dsearch_cli::usage());
             }

@@ -10,10 +10,8 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> Self {
-        let path = std::env::temp_dir().join(format!(
-            "dsearch-cli-e2e-{tag}-{}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("dsearch-cli-e2e-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&path);
         fs::create_dir_all(&path).unwrap();
         TempDir(path)
@@ -64,8 +62,9 @@ fn index_then_search_finds_documents() {
     assert!(out.contains("indexed 3 files"), "{out}");
     assert!(out.contains("Implementation 2"));
 
-    let out = run(["search".to_owned(), "--store".to_owned(), store.clone(), "parallel".to_owned()])
-        .unwrap();
+    let out =
+        run(["search".to_owned(), "--store".to_owned(), store.clone(), "parallel".to_owned()])
+            .unwrap();
     assert!(out.contains("2 result(s)"), "{out}");
     assert!(out.contains("todo.txt"));
 
@@ -80,13 +79,8 @@ fn index_then_search_finds_documents() {
     ])
     .unwrap();
     assert!(out.contains("1 result(s)"), "{out}");
-    let out = run([
-        "search".to_owned(),
-        "--store".to_owned(),
-        store,
-        "revenu*".to_owned(),
-    ])
-    .unwrap();
+    let out =
+        run(["search".to_owned(), "--store".to_owned(), store, "revenu*".to_owned()]).unwrap();
     assert!(out.contains("report.txt"), "{out}");
 }
 
@@ -159,11 +153,65 @@ fn incremental_update_rescans_only_changes() {
     assert!(third.contains("added 1"), "{third}");
     assert!(third.contains("removed 1"), "{third}");
 
-    let out = run(["search".to_owned(), "--store".to_owned(), store.clone(), "incremental".to_owned()])
-        .unwrap();
+    let out =
+        run(["search".to_owned(), "--store".to_owned(), store.clone(), "incremental".to_owned()])
+            .unwrap();
     assert!(out.contains("new.txt"), "{out}");
-    let out = run(["search".to_owned(), "--store".to_owned(), store, "generator".to_owned()]).unwrap();
+    let out =
+        run(["search".to_owned(), "--store".to_owned(), store, "generator".to_owned()]).unwrap();
     assert!(out.contains("0 result(s)"), "removed file must not be found: {out}");
+}
+
+#[test]
+fn loadgen_reports_qps_and_percentiles() {
+    let dir = TempDir::new("loadgen");
+    let docs = dir.path().join("docs");
+    fs::create_dir_all(&docs).unwrap();
+    write_docs(&docs);
+    let store = dir.sub("store");
+
+    run([
+        "index".to_owned(),
+        docs.to_string_lossy().into_owned(),
+        "--store".to_owned(),
+        store.clone(),
+    ])
+    .unwrap();
+
+    let out = run([
+        "loadgen".to_owned(),
+        "--store".to_owned(),
+        store.clone(),
+        "--requests".to_owned(),
+        "200".to_owned(),
+        "--queries".to_owned(),
+        "16".to_owned(),
+        "--clients".to_owned(),
+        "2".to_owned(),
+        "--workers".to_owned(),
+        "2".to_owned(),
+    ])
+    .unwrap();
+    assert!(out.contains("qps"), "{out}");
+    assert!(out.contains("p50") && out.contains("p95") && out.contains("p99"), "{out}");
+    assert!(out.contains("errors 0"), "{out}");
+    assert!(out.contains("generations seen {1}"), "{out}");
+
+    // Open-loop mode works through the CLI too.
+    let out = run([
+        "loadgen".to_owned(),
+        "--store".to_owned(),
+        store,
+        "--requests".to_owned(),
+        "50".to_owned(),
+        "--mode".to_owned(),
+        "open".to_owned(),
+        "--rate".to_owned(),
+        "5000".to_owned(),
+    ])
+    .unwrap();
+    assert!(out.contains("open-loop"), "{out}");
+    assert!(out.contains("p99"), "{out}");
 }
 
 #[test]
@@ -171,8 +219,8 @@ fn searching_an_empty_store_fails_cleanly() {
     let dir = TempDir::new("empty-store");
     let store = dir.sub("store");
     // Opening the store lazily creates it, so the search sees zero segments.
-    let err = run(["search".to_owned(), "--store".to_owned(), store, "anything".to_owned()])
-        .unwrap_err();
+    let err =
+        run(["search".to_owned(), "--store".to_owned(), store, "anything".to_owned()]).unwrap_err();
     assert!(matches!(err, CliError::Failed(_)));
     assert!(err.to_string().contains("empty"));
 }

@@ -136,11 +136,7 @@ impl Configuration {
 
 impl std::fmt::Display for Configuration {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "({}, {}, {})",
-            self.extraction_threads, self.update_threads, self.join_threads
-        )
+        write!(f, "({}, {}, {})", self.extraction_threads, self.update_threads, self.join_threads)
     }
 }
 

@@ -106,9 +106,8 @@ pub fn partition(
         DistributionStrategy::RoundRobin
         | DistributionStrategy::WorkQueue
         | DistributionStrategy::WorkStealing => {
-            let mut parts: Vec<Vec<WorkItem>> = (0..workers)
-                .map(|_| Vec::with_capacity(items.len() / workers + 1))
-                .collect();
+            let mut parts: Vec<Vec<WorkItem>> =
+                (0..workers).map(|_| Vec::with_capacity(items.len() / workers + 1)).collect();
             for (i, item) in items.into_iter().enumerate() {
                 parts[i % workers].push(item);
             }
@@ -165,10 +164,7 @@ pub fn balance_metrics(parts: &[Vec<WorkItem>]) -> (u64, u64, f64) {
     if parts.is_empty() {
         return (0, 0, 1.0);
     }
-    let loads: Vec<u64> = parts
-        .iter()
-        .map(|p| p.iter().map(|w| w.size).sum())
-        .collect();
+    let loads: Vec<u64> = parts.iter().map(|p| p.iter().map(|w| w.size).sum()).collect();
     let max = *loads.iter().max().unwrap_or(&0);
     let min = *loads.iter().min().unwrap_or(&0);
     let total: u64 = loads.iter().sum();
@@ -321,20 +317,16 @@ mod tests {
     fn round_robin_interleaves() {
         let parts = partition(items(&[1, 2, 3, 4, 5]), 2, DistributionStrategy::RoundRobin);
         assert_eq!(parts.len(), 2);
-        let ids: Vec<Vec<u32>> = parts
-            .iter()
-            .map(|p| p.iter().map(|w| w.file_id.as_u32()).collect())
-            .collect();
+        let ids: Vec<Vec<u32>> =
+            parts.iter().map(|p| p.iter().map(|w| w.file_id.as_u32()).collect()).collect();
         assert_eq!(ids, vec![vec![0, 2, 4], vec![1, 3]]);
     }
 
     #[test]
     fn chunked_keeps_contiguity() {
         let parts = partition(items(&[0; 7]), 3, DistributionStrategy::Chunked);
-        let ids: Vec<Vec<u32>> = parts
-            .iter()
-            .map(|p| p.iter().map(|w| w.file_id.as_u32()).collect())
-            .collect();
+        let ids: Vec<Vec<u32>> =
+            parts.iter().map(|p| p.iter().map(|w| w.file_id.as_u32()).collect()).collect();
         assert_eq!(ids, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
     }
 
@@ -343,7 +335,7 @@ mod tests {
         // One huge file and many small ones — the scenario the paper's
         // benchmark (five large files) creates.
         let mut sizes = vec![1_000_000u64];
-        sizes.extend(std::iter::repeat(1_000).take(99));
+        sizes.extend(std::iter::repeat_n(1_000, 99));
         let rr = partition(items(&sizes), 4, DistributionStrategy::RoundRobin);
         let sb = partition(items(&sizes), 4, DistributionStrategy::SizeBalanced);
         let (_, _, rr_imbalance) = balance_metrics(&rr);

@@ -61,3 +61,4 @@ pub use config::{Configuration, FormatMode, GeneratorOptions, Implementation};
 pub use error::PipelineError;
 pub use report::{IndexOutcome, ParallelRun, RunReport, SequentialRun};
 pub use runner::IndexGenerator;
+pub use timing::{percentile, LatencySummary, StageTimings, Stopwatch};

@@ -34,7 +34,7 @@ pub struct SequentialTimings {
 impl SequentialTimings {
     /// Total time of a sequential index generation: Stage 1 + read-and-extract
     /// + index update (the read-only pass is a measurement aid, not part of a
-    /// production run).
+    ///   production run).
     #[must_use]
     pub fn total(&self) -> Duration {
         self.filename_generation + self.read_and_extract + self.index_update
@@ -106,9 +106,7 @@ impl IndexOutcome {
     #[must_use]
     pub fn postings(&self, term: &Term) -> PostingList {
         match self {
-            IndexOutcome::Single { index, .. } => {
-                index.postings(term).cloned().unwrap_or_default()
-            }
+            IndexOutcome::Single { index, .. } => index.postings(term).cloned().unwrap_or_default(),
             IndexOutcome::Replicas { set, .. } => set.postings(term),
         }
     }
@@ -286,12 +284,14 @@ mod tests {
         let run = ParallelRun {
             implementation: Implementation::ReplicateNoJoin,
             configuration: Configuration::new(9, 4, 0),
-            timings: StageTimings {
-                total: Duration::from_secs_f64(25.7),
-                ..Default::default()
-            },
+            timings: StageTimings { total: Duration::from_secs_f64(25.7), ..Default::default() },
             stage1: Stage1Stats::default(),
-            stage2: Stage2Stats { files: 51_000, bytes: 869_000_000, occurrences: 1, terms_emitted: 1 },
+            stage2: Stage2Stats {
+                files: 51_000,
+                bytes: 869_000_000,
+                occurrences: 1,
+                terms_emitted: 1,
+            },
             outcome: sample_outcome_replicas(),
         };
         let report = run.report();

@@ -9,12 +9,14 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
-use dsearch_index::{join_all, parallel_join, IndexSet, InMemoryIndex, SharedIndex};
+use dsearch_index::{join_all, parallel_join, InMemoryIndex, IndexSet, SharedIndex};
 use dsearch_text::tokenizer::Tokenizer;
 use dsearch_vfs::{FileSystem, VPath};
 
 use crate::config::{Configuration, FormatMode, GeneratorOptions, Implementation, Stage1Mode};
-use crate::distribute::{partition, stealing_pool, DistributionStrategy, StealWorker, WorkItem, WorkQueue};
+use crate::distribute::{
+    partition, stealing_pool, DistributionStrategy, StealWorker, WorkItem, WorkQueue,
+};
 use crate::error::PipelineError;
 use crate::report::{IndexOutcome, ParallelRun, SequentialRun, SequentialTimings};
 use crate::stage1::generate_filenames;
@@ -140,9 +142,7 @@ impl IndexGenerator {
         implementation: Implementation,
         configuration: Configuration,
     ) -> Result<ParallelRun, PipelineError> {
-        configuration
-            .validate(implementation)
-            .map_err(PipelineError::InvalidConfiguration)?;
+        configuration.validate(implementation).map_err(PipelineError::InvalidConfiguration)?;
 
         let total_sw = Stopwatch::start();
 
@@ -183,17 +183,13 @@ impl IndexGenerator {
             (Stage1Mode::UpFront, DistributionStrategy::WorkStealing) => {
                 stealing_pool(items.clone(), x).into_iter().map(WorkSource::Stealing).collect()
             }
-            (Stage1Mode::UpFront, strategy) => partition(items.clone(), x, strategy)
-                .into_iter()
-                .map(WorkSource::Static)
-                .collect(),
+            (Stage1Mode::UpFront, strategy) => {
+                partition(items.clone(), x, strategy).into_iter().map(WorkSource::Static).collect()
+            }
         };
 
-        let shared_index = if implementation.uses_shared_index() {
-            Some(SharedIndex::new())
-        } else {
-            None
-        };
+        let shared_index =
+            if implementation.uses_shared_index() { Some(SharedIndex::new()) } else { None };
 
         let extractor_template = self.extractor();
         let granularity = self.options.granularity;
@@ -215,8 +211,7 @@ impl IndexGenerator {
                         let rx = rx.clone();
                         let shared = shared_index.clone();
                         scope.spawn(move || {
-                            let mut shared_sink =
-                                shared.map(|s| SharedSink::new(s, granularity));
+                            let mut shared_sink = shared.map(|s| SharedSink::new(s, granularity));
                             let mut replica_sink = if shared_sink.is_none() {
                                 Some(ReplicaSink::new(granularity))
                             } else {
@@ -243,72 +238,75 @@ impl IndexGenerator {
                     let extractor = extractor_template.clone();
                     let shared = shared_index.clone();
                     let sender = update_channel.as_ref().map(|(tx, _)| tx.clone());
-                    scope.spawn(move || -> (Result<Stage2Stats, PipelineError>, Option<InMemoryIndex>) {
-                        // When there are no dedicated updaters the extractor
-                        // owns its own sink.
-                        let mut shared_sink = if sender.is_none() {
-                            shared.map(|s| SharedSink::new(s, granularity))
-                        } else {
-                            None
-                        };
-                        let mut replica_sink = if sender.is_none() && shared_sink.is_none() {
-                            Some(ReplicaSink::new(granularity))
-                        } else {
-                            None
-                        };
+                    scope.spawn(
+                        move || -> (Result<Stage2Stats, PipelineError>, Option<InMemoryIndex>) {
+                            // When there are no dedicated updaters the extractor
+                            // owns its own sink.
+                            let mut shared_sink = if sender.is_none() {
+                                shared.map(|s| SharedSink::new(s, granularity))
+                            } else {
+                                None
+                            };
+                            let mut replica_sink = if sender.is_none() && shared_sink.is_none() {
+                                Some(ReplicaSink::new(granularity))
+                            } else {
+                                None
+                            };
 
-                        let mut stats = Stage2Stats::default();
-                        let mut handle_file = |ft: FileTerms| {
-                            stats.files += 1;
-                            stats.bytes += ft.bytes;
-                            stats.occurrences += ft.occurrences;
-                            stats.terms_emitted += ft.terms.len() as u64;
-                            if let Some(tx) = &sender {
-                                // The updaters exit when every sender is
-                                // dropped; a send error can only happen if
-                                // they already exited, which means we are
-                                // shutting down.
-                                let _ = tx.send(ft);
-                            } else if let Some(sink) = shared_sink.as_mut() {
-                                sink.apply(ft);
-                            } else if let Some(sink) = replica_sink.as_mut() {
-                                sink.apply(ft);
-                            }
-                        };
+                            let mut stats = Stage2Stats::default();
+                            let mut handle_file = |ft: FileTerms| {
+                                stats.files += 1;
+                                stats.bytes += ft.bytes;
+                                stats.occurrences += ft.occurrences;
+                                stats.terms_emitted += ft.terms.len() as u64;
+                                if let Some(tx) = &sender {
+                                    // The updaters exit when every sender is
+                                    // dropped; a send error can only happen if
+                                    // they already exited, which means we are
+                                    // shutting down.
+                                    let _ = tx.send(ft);
+                                } else if let Some(sink) = shared_sink.as_mut() {
+                                    sink.apply(ft);
+                                } else if let Some(sink) = replica_sink.as_mut() {
+                                    sink.apply(ft);
+                                }
+                            };
 
-                        let result: Result<(), PipelineError> = (|| {
-                            match source {
-                                WorkSource::Static(work) => {
-                                    for item in &work {
-                                        let ft = extractor.extract_file(fs, item)?;
-                                        handle_file(ft);
+                            let result: Result<(), PipelineError> = (|| {
+                                match source {
+                                    WorkSource::Static(work) => {
+                                        for item in &work {
+                                            let ft = extractor.extract_file(fs, item)?;
+                                            handle_file(ft);
+                                        }
+                                    }
+                                    WorkSource::Queue(queue) => {
+                                        while let Some(item) = queue.pop() {
+                                            let ft = extractor.extract_file(fs, &item)?;
+                                            handle_file(ft);
+                                        }
+                                    }
+                                    WorkSource::Stealing(worker) => {
+                                        while let Some(item) = worker.pop() {
+                                            let ft = extractor.extract_file(fs, &item)?;
+                                            handle_file(ft);
+                                        }
+                                    }
+                                    WorkSource::Channel(rx) => {
+                                        for item in rx.iter() {
+                                            let ft = extractor.extract_file(fs, &item)?;
+                                            handle_file(ft);
+                                        }
                                     }
                                 }
-                                WorkSource::Queue(queue) => {
-                                    while let Some(item) = queue.pop() {
-                                        let ft = extractor.extract_file(fs, &item)?;
-                                        handle_file(ft);
-                                    }
-                                }
-                                WorkSource::Stealing(worker) => {
-                                    while let Some(item) = worker.pop() {
-                                        let ft = extractor.extract_file(fs, &item)?;
-                                        handle_file(ft);
-                                    }
-                                }
-                                WorkSource::Channel(rx) => {
-                                    for item in rx.iter() {
-                                        let ft = extractor.extract_file(fs, &item)?;
-                                        handle_file(ft);
-                                    }
-                                }
-                            }
-                            Ok(())
-                        })();
+                                Ok(())
+                            })(
+                            );
 
-                        let replica = replica_sink.map(ReplicaSink::into_index);
-                        (result.map(|()| stats), replica)
-                    })
+                            let replica = replica_sink.map(ReplicaSink::into_index);
+                            (result.map(|()| stats), replica)
+                        },
+                    )
                 })
                 .collect();
 
@@ -350,9 +348,8 @@ impl IndexGenerator {
         let sw = Stopwatch::start();
         let outcome = match implementation {
             Implementation::SharedLocked => {
-                let index = shared_index
-                    .expect("shared index exists for Implementation 1")
-                    .into_inner();
+                let index =
+                    shared_index.expect("shared index exists for Implementation 1").into_inner();
                 IndexOutcome::Single { index, docs }
             }
             Implementation::ReplicateJoin => {
@@ -492,7 +489,12 @@ mod tests {
         let fs = MemFs::new();
         let generator = IndexGenerator::default();
         let err = generator
-            .run(&fs, &VPath::new("missing"), Implementation::SharedLocked, Configuration::new(1, 0, 0))
+            .run(
+                &fs,
+                &VPath::new("missing"),
+                Implementation::SharedLocked,
+                Configuration::new(1, 0, 0),
+            )
             .unwrap_err();
         assert!(matches!(err, PipelineError::Walk(_)));
         assert!(generator.run_sequential(&fs, &VPath::new("missing")).is_err());
@@ -521,7 +523,12 @@ mod tests {
             let generator = IndexGenerator::new(options.clone());
             assert_eq!(generator.options().distribution, options.distribution);
             let run = generator
-                .run(&fs, &VPath::root(), Implementation::ReplicateJoin, Configuration::new(2, 0, 0))
+                .run(
+                    &fs,
+                    &VPath::root(),
+                    Implementation::ReplicateJoin,
+                    Configuration::new(2, 0, 0),
+                )
                 .unwrap();
             let (index, _) = run.outcome.into_single_index();
             assert_eq!(index, reference.index, "options {options:?}");

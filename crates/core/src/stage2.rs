@@ -101,10 +101,8 @@ impl Extractor {
             source,
         })?;
         let bytes = data.len() as u64;
-        let extracted = self
-            .formats
-            .as_ref()
-            .map(|registry| registry.extract(item.path.as_str(), &data));
+        let extracted =
+            self.formats.as_ref().map(|registry| registry.extract(item.path.as_str(), &data));
         let text: &[u8] = match &extracted {
             Some(e) => e.text_bytes(),
             None => &data,
@@ -247,7 +245,7 @@ mod tests {
         let bad = WorkItem { file_id: FileId(9), path: VPath::new("missing.txt"), size: 0 };
         let err = ex.extract_file(&fs, &bad).unwrap_err();
         assert!(err.to_string().contains("missing.txt"));
-        let err = ex.scan_only(&fs, &[bad.clone()]).unwrap_err();
+        let err = ex.scan_only(&fs, std::slice::from_ref(&bad)).unwrap_err();
         assert!(matches!(err, PipelineError::Read { .. }));
         let err = ex.extract_all(&fs, &[bad], |_| {}).unwrap_err();
         assert!(matches!(err, PipelineError::Read { .. }));
@@ -263,7 +261,7 @@ mod tests {
         )
         .unwrap();
         fs.add_file(&VPath::new("blob.bin"), vec![0, 159, 146, 150]).unwrap();
-        let items = vec![
+        let items = [
             WorkItem { file_id: FileId(0), path: VPath::new("page.html"), size: 0 },
             WorkItem { file_id: FileId(1), path: VPath::new("blob.bin"), size: 4 },
         ];

@@ -44,6 +44,67 @@ impl StageTimings {
     }
 }
 
+/// Ready-made latency summary: the percentiles a serving system reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarised.
+    pub samples: usize,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarises a sample set (need not be sorted; empty yields zeros).
+    #[must_use]
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        LatencySummary {
+            samples: sorted.len(),
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50 {:.3?}  p95 {:.3?}  p99 {:.3?}  max {:.3?} ({} samples)",
+            self.p50, self.p95, self.p99, self.max, self.samples
+        )
+    }
+}
+
+/// The `q`-th percentile (0–100) of an **ascending-sorted** sample set, using
+/// the nearest-rank method.  Empty input yields zero.
+///
+/// This is the shared implementation behind server statistics, the load
+/// generator and the benches, so every report agrees on what "p99" means.
+#[must_use]
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let q = q.clamp(0.0, 100.0);
+    // Nearest-rank: smallest sample with at least q% of the data at or below
+    // it.  ceil(q/100 * n) with 1-based ranks.
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 /// Measures one duration at a time.
 #[derive(Debug)]
 pub struct Stopwatch {
@@ -102,6 +163,35 @@ mod tests {
         assert!((s - 4.71).abs() < 0.02, "speedup {s}");
         let zero = StageTimings::default();
         assert_eq!(zero.speedup_vs(&seq), 0.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&sorted, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&sorted, 95.0), Duration::from_millis(95));
+        assert_eq!(percentile(&sorted, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&sorted, 100.0), Duration::from_millis(100));
+        assert_eq!(percentile(&sorted, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        // Single sample: every percentile is that sample.
+        let one = [Duration::from_micros(7)];
+        assert_eq!(percentile(&one, 1.0), one[0]);
+        assert_eq!(percentile(&one, 99.0), one[0]);
+    }
+
+    #[test]
+    fn latency_summary_from_unsorted_samples() {
+        let samples: Vec<Duration> = (1..=200).rev().map(Duration::from_micros).collect();
+        let summary = LatencySummary::from_samples(&samples);
+        assert_eq!(summary.samples, 200);
+        assert_eq!(summary.p50, Duration::from_micros(100));
+        assert_eq!(summary.p95, Duration::from_micros(190));
+        assert_eq!(summary.p99, Duration::from_micros(198));
+        assert_eq!(summary.max, Duration::from_micros(200));
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        let text = summary.to_string();
+        assert!(text.contains("p99") && text.contains("200 samples"));
     }
 
     #[test]

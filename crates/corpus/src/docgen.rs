@@ -66,7 +66,8 @@ impl DocumentGenerator {
         let mut rng = StdRng::seed_from_u64(doc_seed);
         let mut out = Vec::with_capacity(target_bytes as usize + 256);
         while (out.len() as u64) < target_bytes {
-            let sentences = rng.gen_range(self.sentences_per_paragraph.0..=self.sentences_per_paragraph.1);
+            let sentences =
+                rng.gen_range(self.sentences_per_paragraph.0..=self.sentences_per_paragraph.1);
             for _ in 0..sentences {
                 let words = rng.gen_range(self.words_per_sentence.0..=self.words_per_sentence.1);
                 for i in 0..words {

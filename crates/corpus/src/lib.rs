@@ -39,6 +39,8 @@ pub mod spec;
 pub mod vocab;
 
 pub use docgen::DocumentGenerator;
-pub use materialize::{materialize, materialize_to_memfs, CorpusManifest, CorpusSink, ManifestEntry};
+pub use materialize::{
+    materialize, materialize_to_memfs, CorpusManifest, CorpusSink, ManifestEntry,
+};
 pub use spec::CorpusSpec;
 pub use vocab::Vocabulary;

@@ -157,7 +157,7 @@ pub fn materialize<S: CorpusSink>(
 
     for i in 0..spec.small_files {
         let dir = directory_for(spec, &mut rng, &mut dir_cache);
-        let size = size_dist.sample(&mut rng).max(32.0).min(4.0e7) as u64;
+        let size = size_dist.sample(&mut rng).clamp(32.0, 4.0e7) as u64;
         let path = dir.join(format!("doc{i:06}.txt"));
         let contents = gen.generate(size, seed ^ (i as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
         sink.write_file(&path, &contents)?;
@@ -239,20 +239,10 @@ mod tests {
     fn small_files_dominate_count_and_large_files_dominate_max_size() {
         let spec = CorpusSpec::tiny();
         let (_, manifest) = materialize_to_memfs(&spec, 2);
-        let max_small = manifest
-            .entries()
-            .iter()
-            .filter(|e| !e.is_large)
-            .map(|e| e.size)
-            .max()
-            .unwrap();
-        let min_large = manifest
-            .entries()
-            .iter()
-            .filter(|e| e.is_large)
-            .map(|e| e.size)
-            .min()
-            .unwrap();
+        let max_small =
+            manifest.entries().iter().filter(|e| !e.is_large).map(|e| e.size).max().unwrap();
+        let min_large =
+            manifest.entries().iter().filter(|e| e.is_large).map(|e| e.size).min().unwrap();
         assert!(min_large >= spec.large_file_bytes);
         assert!(min_large > max_small / 2, "large files should be large relative to small ones");
     }

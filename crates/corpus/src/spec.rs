@@ -48,7 +48,7 @@ impl CorpusSpec {
             zipf_exponent: 1.05,
             directories: 1_200,
             max_depth: 6,
-            }
+        }
     }
 
     /// The paper's benchmark scaled by `scale` (0 < scale ≤ 1) while keeping
@@ -134,7 +134,10 @@ impl CorpusSpec {
             return Err(format!("zipf_exponent must be positive, got {}", self.zipf_exponent));
         }
         if !(self.small_file_sigma.is_finite()) || self.small_file_sigma < 0.0 {
-            return Err(format!("small_file_sigma must be non-negative, got {}", self.small_file_sigma));
+            return Err(format!(
+                "small_file_sigma must be non-negative, got {}",
+                self.small_file_sigma
+            ));
         }
         if self.directories == 0 {
             return Err("directories must be positive".into());

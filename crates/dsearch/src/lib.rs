@@ -12,6 +12,7 @@
 //! | [`index`] | `dsearch-index` | inverted index: shared/locked, replicated, joined, sharded |
 //! | [`core`] | `dsearch-core` | the three-stage parallel index generator and its three implementations |
 //! | [`query`] | `dsearch-query` | boolean search over single or replicated indices |
+//! | [`server`] | `dsearch-server` | concurrent query serving: snapshots, worker pool, cache, load generator |
 //! | [`sim`] | `dsearch-sim` | calibrated models of the paper's 4-, 8- and 32-core platforms |
 //! | [`autotune`] | `dsearch-autotune` | configuration auto-tuner (exhaustive, hill-climbing, random) |
 //!
@@ -84,6 +85,12 @@ pub mod query {
     pub use dsearch_query::*;
 }
 
+/// Concurrent query serving: snapshots with atomic reload, the worker-pool
+/// query engine, the sharded result cache and the load generator.
+pub mod server {
+    pub use dsearch_server::*;
+}
+
 /// Calibrated platform models of the paper's three Intel testbeds.
 pub mod sim {
     pub use dsearch_sim::*;
@@ -107,6 +114,7 @@ mod tests {
         let _ = crate::persist::FileSignature::from_bytes(b"smoke");
         let _ = crate::core::Configuration::new(1, 0, 0);
         let _ = crate::query::Query::parse("smoke").unwrap();
+        let _ = crate::server::EngineConfig::default();
         let _ = crate::sim::PlatformModel::four_core();
         let _ = crate::autotune::ConfigSpace::for_cores(4);
     }

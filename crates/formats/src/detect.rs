@@ -84,10 +84,8 @@ fn looks_binary(window: &[u8]) -> bool {
     if window.contains(&0) {
         return true;
     }
-    let suspicious = window
-        .iter()
-        .filter(|&&b| b < 0x09 || (b > 0x0d && b < 0x20) || b == 0x7f)
-        .count();
+    let suspicious =
+        window.iter().filter(|&&b| b < 0x09 || (b > 0x0d && b < 0x20) || b == 0x7f).count();
     // More than 5 % control characters is not text.
     suspicious * 20 > window.len()
 }

@@ -63,8 +63,8 @@ impl DocumentFormat {
             "html" | "htm" | "xhtml" | "xml" => DocumentFormat::Html,
             "csv" | "tsv" => DocumentFormat::Csv,
             "wpx" => DocumentFormat::Wpx,
-            "rs" | "c" | "h" | "cpp" | "hpp" | "cc" | "java" | "cs" | "py" | "js" | "ts"
-            | "go" | "rb" | "sh" => DocumentFormat::SourceCode,
+            "rs" | "c" | "h" | "cpp" | "hpp" | "cc" | "java" | "cs" | "py" | "js" | "ts" | "go"
+            | "rb" | "sh" => DocumentFormat::SourceCode,
             "bin" | "exe" | "dll" | "so" | "o" | "a" | "png" | "jpg" | "jpeg" | "gif" | "zip"
             | "gz" | "pdf" => DocumentFormat::Binary,
             _ => return None,

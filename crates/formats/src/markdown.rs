@@ -54,7 +54,11 @@ fn strip_line(line: &str) -> String {
     let mut rest = line;
     rest = rest.trim_start_matches('#').trim_start();
     rest = rest.trim_start_matches('>').trim_start();
-    if let Some(r) = rest.strip_prefix("- ").or_else(|| rest.strip_prefix("* ")).or_else(|| rest.strip_prefix("+ ")) {
+    if let Some(r) = rest
+        .strip_prefix("- ")
+        .or_else(|| rest.strip_prefix("* "))
+        .or_else(|| rest.strip_prefix("+ "))
+    {
         rest = r;
     } else {
         // Numbered list: "12. item".

@@ -122,10 +122,7 @@ impl TextExtractor for WpxExtractor {
     fn extract(&self, text: &str) -> String {
         // The WPX container escapes &, < and > in text content; undo that so
         // the index sees what the author typed.
-        wpx::extract_text(text)
-            .replace("&lt;", "<")
-            .replace("&gt;", ">")
-            .replace("&amp;", "&")
+        wpx::extract_text(text).replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
     }
 
     fn name(&self) -> &'static str {
@@ -153,11 +150,8 @@ pub struct FormatRegistry {
 
 impl fmt::Debug for FormatRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut names: Vec<(String, &'static str)> = self
-            .extractors
-            .iter()
-            .map(|(format, ex)| (format.to_string(), ex.name()))
-            .collect();
+        let mut names: Vec<(String, &'static str)> =
+            self.extractors.iter().map(|(format, ex)| (format.to_string(), ex.name())).collect();
         names.sort();
         f.debug_struct("FormatRegistry").field("extractors", &names).finish()
     }
@@ -277,8 +271,8 @@ mod tests {
     #[test]
     fn html_extraction_end_to_end() {
         let registry = FormatRegistry::with_builtins();
-        let extracted =
-            registry.extract("page.html", b"<html><body><p>caf\xc3\xa9 &amp; bar</p></body></html>");
+        let extracted = registry
+            .extract("page.html", b"<html><body><p>caf\xc3\xa9 &amp; bar</p></body></html>");
         assert_eq!(extracted.format, DocumentFormat::Html);
         assert!(extracted.text_str().contains("cafe & bar"));
     }
@@ -303,10 +297,7 @@ mod tests {
     #[test]
     fn custom_extractor_overrides_builtin() {
         let mut registry = FormatRegistry::with_builtins();
-        registry.register(
-            DocumentFormat::Markdown,
-            Arc::new(|_: &str| "overridden".to_owned()),
-        );
+        registry.register(DocumentFormat::Markdown, Arc::new(|_: &str| "overridden".to_owned()));
         let extracted = registry.extract("x.md", b"# heading");
         assert_eq!(extracted.text_str(), "overridden");
     }
@@ -314,11 +305,8 @@ mod tests {
     #[test]
     fn extract_as_skips_detection() {
         let registry = FormatRegistry::with_builtins();
-        let extracted = registry.extract_as(
-            DocumentFormat::Csv,
-            FormatHint::Extension,
-            b"a,b\n1,2\n",
-        );
+        let extracted =
+            registry.extract_as(DocumentFormat::Csv, FormatHint::Extension, b"a,b\n1,2\n");
         assert_eq!(extracted.text_str(), "a b\n1 2\n");
     }
 

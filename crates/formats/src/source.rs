@@ -29,7 +29,9 @@ pub fn split_identifier(ident: &str) -> Vec<String> {
             let next_lower = chars.get(i + 1).is_some_and(char::is_ascii_lowercase);
             // Boundary before an uppercase letter that starts a new word:
             // "parseHTTP" (prev lower) or "HTTPResponse" (acronym end).
-            if !current.is_empty() && (prev_lower || (next_lower && current.chars().all(|p| p.is_ascii_uppercase()))) {
+            if !current.is_empty()
+                && (prev_lower || (next_lower && current.chars().all(|p| p.is_ascii_uppercase())))
+            {
                 words.push(std::mem::take(&mut current));
             }
         }
@@ -48,10 +50,8 @@ fn is_compound(ident: &str) -> bool {
         return false;
     }
     let has_separator = ident.contains('_') || ident.contains('-');
-    let has_case_change = ident
-        .as_bytes()
-        .windows(2)
-        .any(|w| w[0].is_ascii_lowercase() && w[1].is_ascii_uppercase());
+    let has_case_change =
+        ident.as_bytes().windows(2).any(|w| w[0].is_ascii_lowercase() && w[1].is_ascii_uppercase());
     has_separator || has_case_change
 }
 
@@ -122,7 +122,7 @@ mod tests {
     }
 
     #[test]
-    fn digits_act_as_separators_and_short_fragments_are_dropped(){
+    fn digits_act_as_separators_and_short_fragments_are_dropped() {
         assert_eq!(split_identifier("stage2runner"), ["stage", "runner"]);
         assert_eq!(split_identifier("x_y"), Vec::<String>::new());
     }

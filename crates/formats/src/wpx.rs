@@ -252,7 +252,8 @@ mod tests {
 
     #[test]
     fn runs_inside_paragraphs_keep_their_text() {
-        let wpx = "<wpx><body><para>before <run style=\"em\">emphasised</run> after</para></body></wpx>";
+        let wpx =
+            "<wpx><body><para>before <run style=\"em\">emphasised</run> after</para></body></wpx>";
         let text = extract_text(wpx);
         assert!(text.contains("before"));
         assert!(text.contains("emphasised"));

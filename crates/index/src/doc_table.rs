@@ -85,10 +85,7 @@ impl DocTable {
 
     /// Iterates over `(FileId, path)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (FileId, &str)> {
-        self.paths
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (FileId(i as u32), p.as_str()))
+        self.paths.iter().enumerate().map(|(i, p)| (FileId(i as u32), p.as_str()))
     }
 
     /// Linear search for the id of `path` (test/debug helper; production code

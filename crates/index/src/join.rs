@@ -50,11 +50,8 @@ impl JoinPlan {
     /// joiner threads.
     #[must_use]
     pub fn new(replicas: usize, threads: usize) -> Self {
-        let rounds = if replicas <= 1 {
-            0
-        } else {
-            (usize::BITS - (replicas - 1).leading_zeros()) as usize
-        };
+        let rounds =
+            if replicas <= 1 { 0 } else { (usize::BITS - (replicas - 1).leading_zeros()) as usize };
         JoinPlan { replicas, threads: threads.max(1), rounds }
     }
 
@@ -127,10 +124,7 @@ pub fn parallel_join(replicas: Vec<InMemoryIndex>, threads: usize) -> InMemoryIn
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("join worker panicked"))
-                    .collect()
+                handles.into_iter().flat_map(|h| h.join().expect("join worker panicked")).collect()
             })
         };
         current = merged;
@@ -145,9 +139,13 @@ mod tests {
     use dsearch_text::tokenizer::Term;
     use proptest::prelude::*;
 
-    fn build_replicas(docs: &[(u32, Vec<String>)], replica_count: usize) -> (Vec<InMemoryIndex>, InMemoryIndex) {
+    fn build_replicas(
+        docs: &[(u32, Vec<String>)],
+        replica_count: usize,
+    ) -> (Vec<InMemoryIndex>, InMemoryIndex) {
         let mut sequential = InMemoryIndex::new();
-        let mut replicas: Vec<InMemoryIndex> = (0..replica_count).map(|_| InMemoryIndex::new()).collect();
+        let mut replicas: Vec<InMemoryIndex> =
+            (0..replica_count).map(|_| InMemoryIndex::new()).collect();
         for (i, (file, words)) in docs.iter().enumerate() {
             let mut uniq = words.clone();
             uniq.sort();
@@ -190,14 +188,7 @@ mod tests {
     fn sequential_and_parallel_join_agree() {
         let docs: Vec<(u32, Vec<String>)> = (0..60)
             .map(|i| {
-                (
-                    i,
-                    vec![
-                        format!("w{}", i % 7),
-                        "everywhere".to_string(),
-                        format!("unique{i}"),
-                    ],
-                )
+                (i, vec![format!("w{}", i % 7), "everywhere".to_string(), format!("unique{i}")])
             })
             .collect();
         for replica_count in [1, 2, 3, 5, 8] {
@@ -206,7 +197,10 @@ mod tests {
             assert_eq!(joined_seq, sequential, "sequential join, {replica_count} replicas");
             for threads in [1, 2, 4] {
                 let joined_par = parallel_join(replicas.clone(), threads);
-                assert_eq!(joined_par, sequential, "parallel join, {replica_count} replicas, {threads} threads");
+                assert_eq!(
+                    joined_par, sequential,
+                    "parallel join, {replica_count} replicas, {threads} threads"
+                );
             }
         }
     }

@@ -194,10 +194,8 @@ impl InMemoryIndex {
     /// tests and serialization.
     #[must_use]
     pub fn to_sorted_entries(&self) -> Vec<(Term, Vec<FileId>)> {
-        let mut entries: Vec<(Term, Vec<FileId>)> = self
-            .iter()
-            .map(|(t, p)| (t.clone(), p.doc_ids().to_vec()))
-            .collect();
+        let mut entries: Vec<(Term, Vec<FileId>)> =
+            self.iter().map(|(t, p)| (t.clone(), p.doc_ids().to_vec())).collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         entries
     }

@@ -154,9 +154,7 @@ impl PostingList {
     /// difference).  Used to evaluate `NOT` terms in queries.
     #[must_use]
     pub fn difference(&self, other: &PostingList) -> PostingList {
-        PostingList {
-            ids: self.ids.iter().copied().filter(|id| !other.contains(*id)).collect(),
-        }
+        PostingList { ids: self.ids.iter().copied().filter(|id| !other.contains(*id)).collect() }
     }
 
     /// Iterates over the file ids in ascending order.

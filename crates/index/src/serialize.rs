@@ -96,7 +96,8 @@ impl IndexSnapshot {
     ///
     /// Propagates serialisation and I/O failures.
     pub fn write_json<W: Write>(&self, mut writer: W) -> Result<(), SerializeError> {
-        let json = serde_json::to_string(self).map_err(|e| SerializeError::Format(e.to_string()))?;
+        let json =
+            serde_json::to_string(self).map_err(|e| SerializeError::Format(e.to_string()))?;
         writer.write_all(json.as_bytes())?;
         Ok(())
     }
@@ -201,7 +202,7 @@ mod tests {
         struct FailingWriter;
         impl Write for FailingWriter {
             fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
-                Err(std::io::Error::new(std::io::ErrorKind::Other, "disk full"))
+                Err(std::io::Error::other("disk full"))
             }
             fn flush(&mut self) -> std::io::Result<()> {
                 Ok(())

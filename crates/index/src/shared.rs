@@ -52,9 +52,7 @@ impl SharedIndex {
     /// Creates a shared index pre-sized for roughly `expected_terms` terms.
     #[must_use]
     pub fn with_capacity(expected_terms: usize) -> Self {
-        SharedIndex {
-            inner: Arc::new(Mutex::new(InMemoryIndex::with_capacity(expected_terms))),
-        }
+        SharedIndex { inner: Arc::new(Mutex::new(InMemoryIndex::with_capacity(expected_terms))) }
     }
 
     /// Inserts one file's de-duplicated terms under the lock.

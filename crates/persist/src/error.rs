@@ -63,7 +63,7 @@ mod tests {
 
     #[test]
     fn display_covers_all_variants() {
-        let io = PersistError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = PersistError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
         assert!(io.source().is_some());
 

@@ -252,10 +252,7 @@ impl IncrementalIndexer {
         signatures: &mut SignatureDb,
     ) -> Result<UpdateReport, PersistError> {
         let change = self.diff(fs, root, signatures)?;
-        let mut report = UpdateReport {
-            unchanged: change.unchanged,
-            ..UpdateReport::default()
-        };
+        let mut report = UpdateReport { unchanged: change.unchanged, ..UpdateReport::default() };
 
         // Path → id lookup for the documents we already know.
         let mut known: FnvHashMap<String, dsearch_index::FileId> = FnvHashMap::new();
@@ -271,38 +268,39 @@ impl IncrementalIndexer {
             report.removed += 1;
         }
 
-        let mut reindex = |path: &VPath, is_new: bool, report: &mut UpdateReport| -> Result<(), PersistError> {
-            let data = fs.read(path)?;
-            let signature = FileSignature::from_bytes(&data);
-            let path_str = path.as_str().to_owned();
-            let id = match known.get(path_str.as_str()) {
-                Some(&id) => {
-                    report.postings_removed += index.remove_file(id);
-                    id
+        let mut reindex =
+            |path: &VPath, is_new: bool, report: &mut UpdateReport| -> Result<(), PersistError> {
+                let data = fs.read(path)?;
+                let signature = FileSignature::from_bytes(&data);
+                let path_str = path.as_str().to_owned();
+                let id = match known.get(path_str.as_str()) {
+                    Some(&id) => {
+                        report.postings_removed += index.remove_file(id);
+                        id
+                    }
+                    None => {
+                        let id = docs.insert(path_str.clone());
+                        known.insert(path_str.clone(), id);
+                        id
+                    }
+                };
+                let (terms, _stats) = self.tokenizer.tokenize(&data);
+                let mut builder = WordListBuilder::with_capacity(terms.len() / 2 + 1);
+                for t in terms {
+                    builder.push(t);
                 }
-                None => {
-                    let id = docs.insert(path_str.clone());
-                    known.insert(path_str.clone(), id);
-                    id
+                let list = builder.finish();
+                report.postings_added += list.len() as u64;
+                report.bytes_scanned += data.len() as u64;
+                index.insert_file(id, list.into_terms());
+                signatures.record(path_str, signature);
+                if is_new {
+                    report.added += 1;
+                } else {
+                    report.modified += 1;
                 }
+                Ok(())
             };
-            let (terms, _stats) = self.tokenizer.tokenize(&data);
-            let mut builder = WordListBuilder::with_capacity(terms.len() / 2 + 1);
-            for t in terms {
-                builder.push(t);
-            }
-            let list = builder.finish();
-            report.postings_added += list.len() as u64;
-            report.bytes_scanned += data.len() as u64;
-            index.insert_file(id, list.into_terms());
-            signatures.record(path_str, signature);
-            if is_new {
-                report.added += 1;
-            } else {
-                report.modified += 1;
-            }
-            Ok(())
-        };
 
         for path in &change.added {
             reindex(path, true, &mut report)?;
@@ -330,8 +328,7 @@ mod tests {
     #[test]
     fn first_run_indexes_everything() {
         let (fs, mut index, mut docs, mut sigs, indexer) = setup();
-        let report =
-            indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
+        let report = indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
         assert_eq!(report.added, 2);
         assert_eq!(report.modified, 0);
         assert_eq!(report.unchanged, 0);
@@ -346,8 +343,7 @@ mod tests {
         let (fs, mut index, mut docs, mut sigs, indexer) = setup();
         indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
         let before = index.clone();
-        let report =
-            indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
+        let report = indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
         assert_eq!(report.added + report.modified + report.removed, 0);
         assert_eq!(report.unchanged, 2);
         assert_eq!(index, before);
@@ -365,15 +361,16 @@ mod tests {
         // Same size, different content: hash must catch it.
         fs.remove_file(&VPath::new("docs/a.txt")).unwrap();
         fs.add_file(&VPath::new("docs/a.txt"), b"alpha omega".to_vec()).unwrap();
-        let report =
-            indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
+        let report = indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
         assert_eq!(report.modified, 1);
         assert_eq!(report.added, 0);
         assert!(index.contains_term(&Term::from("omega")));
-        assert!(!index.contains_term(&Term::from("beta")) || {
-            // "beta" must survive through b.txt only.
-            index.postings(&Term::from("beta")).unwrap().len() == 1
-        });
+        assert!(
+            !index.contains_term(&Term::from("beta")) || {
+                // "beta" must survive through b.txt only.
+                index.postings(&Term::from("beta")).unwrap().len() == 1
+            }
+        );
         // The doc table did not grow: the path kept its id.
         assert_eq!(docs.len(), 2);
     }
@@ -383,8 +380,7 @@ mod tests {
         let (fs, mut index, mut docs, mut sigs, indexer) = setup();
         indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
         fs.remove_file(&VPath::new("docs/b.txt")).unwrap();
-        let report =
-            indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
+        let report = indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
         assert_eq!(report.removed, 1);
         assert!(!index.contains_term(&Term::from("gamma")));
         assert_eq!(index.postings(&Term::from("beta")).unwrap().len(), 1);
@@ -396,8 +392,7 @@ mod tests {
         let (fs, mut index, mut docs, mut sigs, indexer) = setup();
         indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
         fs.add_file(&VPath::new("docs/c.txt"), b"delta".to_vec()).unwrap();
-        let report =
-            indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
+        let report = indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut sigs).unwrap();
         assert_eq!(report.added, 1);
         assert_eq!(report.unchanged, 2);
         assert!(index.contains_term(&Term::from("delta")));
@@ -430,10 +425,8 @@ mod tests {
             let mut v: Vec<(String, Vec<String>)> = idx
                 .iter()
                 .map(|(t, p)| {
-                    let mut paths: Vec<String> = p
-                        .iter()
-                        .filter_map(|id| table.path(id).map(str::to_owned))
-                        .collect();
+                    let mut paths: Vec<String> =
+                        p.iter().filter_map(|id| table.path(id).map(str::to_owned)).collect();
                     paths.sort();
                     (t.as_str().to_owned(), paths)
                 })

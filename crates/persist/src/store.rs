@@ -199,9 +199,7 @@ impl IndexStore {
         let mut docs = DocTable::new();
         for (i, (index, segment_docs)) in self.load_all()?.into_iter().enumerate() {
             indices.push(index);
-            if i == 0 || docs.is_empty() {
-                docs = segment_docs;
-            } else if segment_docs.len() > docs.len() {
+            if i == 0 || docs.is_empty() || segment_docs.len() > docs.len() {
                 docs = segment_docs;
             }
         }

@@ -134,29 +134,34 @@ impl Query {
         let mut pending_operator: Option<String> = None;
         let mut negate_next = false;
 
-        let finish_group = |current: &mut QueryGroup,
-                                groups: &mut Vec<QueryGroup>|
-         -> Result<(), ParseError> {
-            if current.required.is_empty() && !current.excluded.is_empty() {
-                return Err(ParseError::ExclusionOnly);
-            }
-            if !current.required.is_empty() {
-                groups.push(std::mem::take(current));
-            }
-            Ok(())
-        };
+        let finish_group =
+            |current: &mut QueryGroup, groups: &mut Vec<QueryGroup>| -> Result<(), ParseError> {
+                if current.required.is_empty() && !current.excluded.is_empty() {
+                    return Err(ParseError::ExclusionOnly);
+                }
+                if !current.required.is_empty() {
+                    groups.push(std::mem::take(current));
+                }
+                Ok(())
+            };
 
         for token in raw.split_whitespace() {
             match token {
                 "OR" => {
-                    if current.required.is_empty() && current.excluded.is_empty() {
+                    if (current.required.is_empty() && current.excluded.is_empty())
+                        || pending_operator.is_some()
+                    {
                         return Err(ParseError::DanglingOperator("OR".into()));
                     }
                     finish_group(&mut current, &mut groups)?;
                     pending_operator = Some("OR".into());
                 }
                 "AND" => {
-                    if current.required.is_empty() && current.excluded.is_empty() {
+                    // Bare leading `AND`, and doubled operators (`a AND AND b`),
+                    // are user errors rather than something to guess through.
+                    if (current.required.is_empty() && current.excluded.is_empty())
+                        || pending_operator.is_some()
+                    {
                         return Err(ParseError::DanglingOperator("AND".into()));
                     }
                     pending_operator = Some("AND".into());
@@ -211,9 +216,7 @@ impl Query {
     /// Builds a disjunction-only query from terms.
     #[must_use]
     pub fn any_of<I: IntoIterator<Item = Term>>(terms: I) -> Self {
-        Query {
-            groups: terms.into_iter().map(|t| QueryGroup::of_terms([t])).collect(),
-        }
+        Query { groups: terms.into_iter().map(|t| QueryGroup::of_terms([t])).collect() }
     }
 
     /// The OR-of-AND groups.
@@ -243,9 +246,7 @@ impl Query {
     /// Returns `true` when any group uses a prefix pattern.
     #[must_use]
     pub fn has_prefix_terms(&self) -> bool {
-        self.groups
-            .iter()
-            .any(|g| g.required.iter().any(|t| matches!(t, QueryTerm::Prefix(_))))
+        self.groups.iter().any(|g| g.required.iter().any(|t| matches!(t, QueryTerm::Prefix(_))))
     }
 
     /// Returns `true` when any group excludes terms.
@@ -357,6 +358,43 @@ mod tests {
         assert!(matches!(Query::parse("rust AND"), Err(ParseError::DanglingOperator(_))));
         assert!(matches!(Query::parse("AND rust"), Err(ParseError::DanglingOperator(_))));
         assert!(matches!(Query::parse("rust NOT"), Err(ParseError::DanglingOperator(_))));
+    }
+
+    #[test]
+    fn bare_operators_are_rejected() {
+        for raw in ["AND", "OR", "NOT", "AND OR", "NOT AND"] {
+            assert!(
+                matches!(Query::parse(raw), Err(ParseError::DanglingOperator(_))),
+                "{raw:?} must be rejected as a dangling operator"
+            );
+        }
+        // `NOT foo` with no left side cannot be evaluated against an
+        // inverted index; it is rejected (not mis-parsed as a match-all).
+        assert_eq!(Query::parse("NOT foo").unwrap_err(), ParseError::ExclusionOnly);
+    }
+
+    #[test]
+    fn doubled_operators_are_rejected() {
+        for raw in
+            ["rust AND AND search", "rust AND OR search", "rust OR OR search", "rust OR AND search"]
+        {
+            let err = Query::parse(raw).unwrap_err();
+            assert!(
+                matches!(err, ParseError::DanglingOperator(_)),
+                "{raw:?} must be rejected, got {err:?}"
+            );
+        }
+        // The error message names the offending operator.
+        let err = Query::parse("rust AND AND search").unwrap_err();
+        assert!(err.to_string().contains("AND"));
+    }
+
+    #[test]
+    fn operator_after_not_still_parses() {
+        // Hardening must not break legitimate combinations.
+        let q = Query::parse("rust AND NOT java OR go").unwrap();
+        assert_eq!(q.groups().len(), 2);
+        assert_eq!(q.groups()[0].excluded(), &[Term::from("java")]);
     }
 
     #[test]

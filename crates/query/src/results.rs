@@ -29,9 +29,7 @@ impl SearchResults {
     #[must_use]
     pub fn new(mut hits: Vec<Hit>) -> Self {
         hits.sort_by(|a, b| {
-            b.matched_terms
-                .cmp(&a.matched_terms)
-                .then_with(|| a.file_id.cmp(&b.file_id))
+            b.matched_terms.cmp(&a.matched_terms).then_with(|| a.file_id.cmp(&b.file_id))
         });
         SearchResults { hits }
     }

@@ -159,10 +159,7 @@ impl SearchBackend for MultiIndexSearcher<'_> {
                     scope.spawn(move || replica.postings(term).cloned().unwrap_or_default())
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("replica lookup panicked"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("replica lookup panicked")).collect()
         });
         let mut out = PostingList::new();
         for p in &partials {
@@ -263,7 +260,13 @@ mod tests {
         let multi_par = MultiIndexSearcher::new(&set, &docs).with_parallel_lookup(true);
         assert_eq!(multi.replica_count(), 3);
 
-        for raw in ["rust", "rust search", "index OR java", "parallel rust OR java search", "rust java index OR search"] {
+        for raw in [
+            "rust",
+            "rust search",
+            "index OR java",
+            "parallel rust OR java search",
+            "rust java index OR search",
+        ] {
             let q = Query::parse(raw).unwrap();
             let expected = single.search(&q);
             assert_eq!(multi.search(&q), expected, "sequential multi, query {raw:?}");

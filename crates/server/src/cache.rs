@@ -1,0 +1,271 @@
+//! Sharded LRU cache for query results.
+//!
+//! Keys are `(normalised query, snapshot generation)`, so a snapshot swap
+//! naturally invalidates the whole cache without any flush: entries for the
+//! old generation stop being requested and age out through normal LRU
+//! eviction.  Sharding by key hash keeps lock contention low when many worker
+//! threads hit the cache at once.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsearch_query::SearchResults;
+
+/// A cache key: the canonical query text plus the generation it was answered
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical (parsed-and-rendered) query text.
+    pub query: String,
+    /// Snapshot generation the cached results came from.
+    pub generation: u64,
+}
+
+/// Counters describing cache behaviour since start-up.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+}
+
+impl CacheCounters {
+    /// Fraction of lookups served from cache (0.0 when none yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One LRU shard: a key map plus a recency index ordered by a monotonically
+/// increasing tick.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<CacheKey, (Arc<SearchResults>, u64)>,
+    recency: BTreeMap<u64, CacheKey>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) -> Option<Arc<SearchResults>> {
+        let tick = self.tick;
+        self.tick += 1;
+        let (value, old_tick) = self.entries.get_mut(key)?;
+        let value = Arc::clone(value);
+        let previous = std::mem::replace(old_tick, tick);
+        self.recency.remove(&previous);
+        self.recency.insert(tick, key.clone());
+        Some(value)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Arc<SearchResults>, capacity: usize) -> u64 {
+        let tick = self.tick;
+        self.tick += 1;
+        if let Some((_, old_tick)) = self.entries.remove(&key) {
+            self.recency.remove(&old_tick);
+        }
+        self.entries.insert(key.clone(), (value, tick));
+        self.recency.insert(tick, key);
+        let mut evicted = 0;
+        while self.entries.len() > capacity {
+            let (_, victim) = self.recency.pop_first().expect("recency tracks entries");
+            self.entries.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A sharded LRU query-result cache.
+#[derive(Debug)]
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl QueryCache {
+    /// Creates a cache with `capacity` total entries spread over `shards`
+    /// locks.  Both values are clamped to at least 1.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity_per_shard = capacity.max(1).div_ceil(shards);
+        QueryCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        use std::hash::Hasher;
+        // FNV-1a (the system-wide hash) over the query text, continued over
+        // the generation so the same query maps to fresh shards per image.
+        let mut hasher = dsearch_text::fnv::FnvHasher::new();
+        hasher.write(key.query.as_bytes());
+        hasher.write(&key.generation.to_le_bytes());
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a cached result, refreshing its recency on hit.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<SearchResults>> {
+        let result = self.shard_for(key).lock().touch(key);
+        match &result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Inserts a result, evicting least-recently-used entries past capacity.
+    pub fn insert(&self, key: CacheKey, value: Arc<SearchResults>) {
+        let evicted = self.shard_for(&key).lock().insert(key, value, self.capacity_per_shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Number of live entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Returns `true` when no entries are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards the cache is split into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsearch_index::FileId;
+    use dsearch_query::Hit;
+
+    fn results(n: usize) -> Arc<SearchResults> {
+        Arc::new(SearchResults::new(
+            (0..n)
+                .map(|i| Hit {
+                    file_id: FileId(i as u32),
+                    path: format!("f{i}.txt"),
+                    matched_terms: 1,
+                })
+                .collect(),
+        ))
+    }
+
+    fn key(q: &str, generation: u64) -> CacheKey {
+        CacheKey { query: q.to_string(), generation }
+    }
+
+    #[test]
+    fn hit_miss_and_counter_accounting() {
+        let cache = QueryCache::new(8, 2);
+        assert!(cache.get(&key("rust", 1)).is_none());
+        cache.insert(key("rust", 1), results(3));
+        let got = cache.get(&key("rust", 1)).expect("cached");
+        assert_eq!(got.len(), 3);
+        let counters = cache.counters();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.insertions, 1);
+        assert!((counters.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(cache.shard_count(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn generation_is_part_of_the_key() {
+        let cache = QueryCache::new(8, 4);
+        cache.insert(key("rust", 1), results(3));
+        assert!(cache.get(&key("rust", 2)).is_none(), "new generation must miss");
+        assert!(cache.get(&key("rust", 1)).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // Single shard so the LRU order is fully observable.
+        let cache = QueryCache::new(2, 1);
+        cache.insert(key("a", 1), results(1));
+        cache.insert(key("b", 1), results(1));
+        // Touch "a" so "b" is now the coldest.
+        assert!(cache.get(&key("a", 1)).is_some());
+        cache.insert(key("c", 1), results(1));
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(cache.get(&key("b", 1)).is_none(), "cold entry evicted");
+        assert!(cache.get(&key("a", 1)).is_some());
+        assert!(cache.get(&key("c", 1)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_a_key_updates_in_place() {
+        let cache = QueryCache::new(4, 1);
+        cache.insert(key("q", 1), results(1));
+        cache.insert(key("q", 1), results(5));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key("q", 1)).unwrap().len(), 5);
+        assert_eq!(cache.counters().evictions, 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_lossless() {
+        let cache = Arc::new(QueryCache::new(256, 8));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let k = key(&format!("q{t}-{i}"), 1);
+                    cache.insert(k.clone(), results(1));
+                    assert!(cache.get(&k).is_some() || cache.counters().evictions > 0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let counters = cache.counters();
+        assert_eq!(counters.insertions, 1600);
+        assert!(cache.len() <= 256 + 8);
+    }
+}

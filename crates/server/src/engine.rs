@@ -1,0 +1,395 @@
+//! The query engine: snapshot + cache + stats behind a worker-thread pool.
+//!
+//! [`QueryEngine::execute`] is the synchronous serving path (parse → cache
+//! probe → snapshot search → cache fill).  [`WorkerPool`] runs that path on a
+//! fixed set of worker threads fed through an MPMC channel, which is how the
+//! TCP/stdin front ends and the load generator drive the engine.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsearch_core::timing::Stopwatch;
+use dsearch_query::{ParseError, Query, SearchResults};
+
+use crate::cache::{CacheCounters, CacheKey, QueryCache};
+use crate::snapshot::{IndexSnapshot, SnapshotCell};
+use crate::stats::ServerStats;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads the pool spawns.
+    pub workers: usize,
+    /// Total cached query results across all shards.
+    pub cache_capacity: usize,
+    /// Number of cache shards (locks).
+    pub cache_shards: usize,
+    /// Cap on hits kept per response (and per cache entry).
+    pub result_limit: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map_or(4, usize::from).min(16),
+            cache_capacity: 4096,
+            cache_shards: 8,
+            result_limit: 20,
+        }
+    }
+}
+
+/// Errors surfaced to protocol clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The query did not parse.
+    Parse(ParseError),
+    /// The worker pool is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Parse(e) => write!(f, "invalid query: {e}"),
+            ServerError::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// One answered query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Canonical (parsed-and-rendered) query text.
+    pub query: String,
+    /// Ranked hits, truncated to the engine's result limit.
+    pub results: Arc<SearchResults>,
+    /// Snapshot generation the answer came from.
+    pub generation: u64,
+    /// Whether the result was served from cache.
+    pub cached: bool,
+    /// Wall-clock service time inside the engine.
+    pub latency: Duration,
+}
+
+/// The shared serving state.
+#[derive(Debug)]
+pub struct QueryEngine {
+    snapshot: SnapshotCell,
+    cache: QueryCache,
+    stats: ServerStats,
+    config: EngineConfig,
+}
+
+impl QueryEngine {
+    /// Builds an engine serving `snapshot` under `config`.
+    #[must_use]
+    pub fn new(snapshot: IndexSnapshot, config: EngineConfig) -> Arc<Self> {
+        Arc::new(QueryEngine {
+            snapshot: SnapshotCell::new(snapshot),
+            cache: QueryCache::new(config.cache_capacity, config.cache_shards),
+            stats: ServerStats::new(),
+            config,
+        })
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The snapshot slot (for publishing new generations).
+    #[must_use]
+    pub fn snapshot_cell(&self) -> &SnapshotCell {
+        &self.snapshot
+    }
+
+    /// The live serving counters.
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Snapshot of the cache counters.
+    #[must_use]
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// The rendered stats report (the `!stats` protocol answer).
+    #[must_use]
+    pub fn stats_report(&self) -> String {
+        self.stats.render(self.cache.counters(), self.snapshot.generation())
+    }
+
+    /// Serves one query synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the query does not parse; the error is also counted in the
+    /// engine stats.
+    pub fn execute(&self, raw: &str) -> Result<QueryResponse, ServerError> {
+        let stopwatch = Stopwatch::start();
+        let query = Query::parse(raw).map_err(|e| {
+            self.stats.record_error();
+            ServerError::Parse(e)
+        })?;
+        // Canonical text: normalised terms, canonical operator rendering, so
+        // "RUST  search" and "rust AND search" share one cache slot.
+        let canonical = query.to_string();
+
+        // The snapshot Arc is held for the whole evaluation: a concurrent
+        // publish cannot pull the image out from under this query.
+        let snapshot = self.snapshot.load();
+        let key = CacheKey { query: canonical.clone(), generation: snapshot.generation() };
+
+        if let Some(results) = self.cache.get(&key) {
+            let latency = stopwatch.elapsed();
+            self.stats.record_query(latency);
+            return Ok(QueryResponse {
+                query: canonical,
+                results,
+                generation: snapshot.generation(),
+                cached: true,
+                latency,
+            });
+        }
+
+        let mut results = snapshot.search(&query);
+        results.truncate(self.config.result_limit);
+        let results = Arc::new(results);
+        self.cache.insert(key, Arc::clone(&results));
+
+        let latency = stopwatch.elapsed();
+        self.stats.record_query(latency);
+        Ok(QueryResponse {
+            query: canonical,
+            results,
+            generation: snapshot.generation(),
+            cached: false,
+            latency,
+        })
+    }
+}
+
+/// A submitted query waiting for its worker.
+pub struct PendingResponse {
+    receiver: mpsc::Receiver<Result<QueryResponse, ServerError>>,
+}
+
+impl PendingResponse {
+    /// Blocks until the worker answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker's error; reports `ShuttingDown` when the pool
+    /// died before answering.
+    pub fn wait(self) -> Result<QueryResponse, ServerError> {
+        self.receiver.recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+}
+
+struct Job {
+    raw: String,
+    respond: mpsc::Sender<Result<QueryResponse, ServerError>>,
+}
+
+/// A fixed pool of worker threads executing queries from an MPMC queue.
+pub struct WorkerPool {
+    jobs: Option<crossbeam::channel::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<u64>>,
+}
+
+impl WorkerPool {
+    /// Spawns `engine.config().workers` workers.
+    #[must_use]
+    pub fn start(engine: Arc<QueryEngine>) -> Self {
+        let workers = engine.config().workers.max(1);
+        // Unbounded queue: submitters never block, so an open-loop load
+        // generator keeps its pacing past saturation (queueing shows up as
+        // latency, the signal it exists to measure).  Closed-loop callers
+        // (TCP connections, stdin, the closed-loop generator) bound their
+        // own outstanding work by waiting for each answer.
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let mut served = 0u64;
+                    for job in rx.iter() {
+                        // A client that gave up is not an error.
+                        let _ = job.respond.send(engine.execute(&job.raw));
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        WorkerPool { jobs: Some(tx), handles }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a query; the result is collected through the returned handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool is shutting down.
+    pub fn submit(&self, raw: impl Into<String>) -> Result<PendingResponse, ServerError> {
+        let (respond, receiver) = mpsc::channel();
+        let job = Job { raw: raw.into(), respond };
+        match &self.jobs {
+            Some(sender) => sender.send(job).map_err(|_| ServerError::ShuttingDown)?,
+            None => return Err(ServerError::ShuttingDown),
+        }
+        Ok(PendingResponse { receiver })
+    }
+
+    /// Submits and waits: the closed-loop client path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submit and execution errors.
+    pub fn execute(&self, raw: &str) -> Result<QueryResponse, ServerError> {
+        self.submit(raw)?.wait()
+    }
+
+    /// Drains the queue and joins every worker, returning the total number of
+    /// jobs served.
+    pub fn shutdown(mut self) -> u64 {
+        self.jobs = None; // drop the sender: workers drain and exit
+        self.handles.drain(..).map(|h| h.join().unwrap_or(0)).sum()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.jobs = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsearch_index::{DocTable, InMemoryIndex};
+    use dsearch_text::Term;
+
+    fn engine(config: EngineConfig) -> Arc<QueryEngine> {
+        let mut docs = DocTable::new();
+        let mut index = InMemoryIndex::new();
+        for (path, words) in [
+            ("a.txt", vec!["rust", "parallel", "index"]),
+            ("b.txt", vec!["rust", "search"]),
+            ("c.txt", vec!["java", "search"]),
+        ] {
+            let id = docs.insert(path);
+            index.insert_file(id, words.into_iter().map(Term::from));
+        }
+        QueryEngine::new(IndexSnapshot::from_index(index, docs, 1), config)
+    }
+
+    #[test]
+    fn execute_answers_and_caches() {
+        let engine = engine(EngineConfig::default());
+        let first = engine.execute("rust search").unwrap();
+        assert!(!first.cached);
+        assert_eq!(first.results.paths(), vec!["b.txt"]);
+        assert_eq!(first.generation, 1);
+        assert_eq!(first.query, "rust AND search");
+
+        // Different spelling, same canonical query: served from cache.
+        let second = engine.execute("RUST AND search").unwrap();
+        assert!(second.cached);
+        assert_eq!(second.results.paths(), vec!["b.txt"]);
+        assert_eq!(engine.cache_counters().hits, 1);
+        assert_eq!(engine.stats().query_count(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_counted_not_cached() {
+        let engine = engine(EngineConfig::default());
+        let err = engine.execute("AND").unwrap_err();
+        assert!(matches!(err, ServerError::Parse(_)));
+        assert!(err.to_string().contains("invalid query"));
+        assert_eq!(engine.stats().error_count(), 1);
+        assert_eq!(engine.stats().query_count(), 0);
+    }
+
+    #[test]
+    fn publish_invalidates_via_generation() {
+        let engine = engine(EngineConfig::default());
+        let before = engine.execute("rust").unwrap();
+        assert_eq!(before.generation, 1);
+        assert_eq!(before.results.len(), 2);
+
+        // Publish generation 2 with one more rust document.
+        let mut docs = DocTable::new();
+        let id = docs.insert("d.txt");
+        let mut index = InMemoryIndex::new();
+        index.insert_file(id, [Term::from("rust")]);
+        engine.snapshot_cell().publish(IndexSnapshot::from_index(index, docs, 2));
+
+        let after = engine.execute("rust").unwrap();
+        assert_eq!(after.generation, 2);
+        assert!(!after.cached, "old generation's cache entry must not serve generation 2");
+        assert_eq!(after.results.paths(), vec!["d.txt"]);
+        assert!(engine.stats_report().contains("generation=2"));
+    }
+
+    #[test]
+    fn result_limit_truncates_responses() {
+        let engine = engine(EngineConfig { result_limit: 1, ..EngineConfig::default() });
+        let response = engine.execute("rust").unwrap();
+        assert_eq!(response.results.len(), 1);
+    }
+
+    #[test]
+    fn worker_pool_serves_concurrent_clients() {
+        let engine = engine(EngineConfig { workers: 4, ..EngineConfig::default() });
+        let pool = Arc::new(WorkerPool::start(Arc::clone(&engine)));
+        assert_eq!(pool.worker_count(), 4);
+
+        let mut clients = Vec::new();
+        for t in 0..6 {
+            let pool = Arc::clone(&pool);
+            clients.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let raw = if (t + i) % 2 == 0 { "rust" } else { "search" };
+                    let response = pool.execute(raw).unwrap();
+                    assert!(!response.results.is_empty());
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        let pool = Arc::try_unwrap(pool).ok().expect("all clients done");
+        assert_eq!(pool.shutdown(), 300);
+        assert_eq!(engine.stats().query_count(), 300);
+        // 2 distinct queries × 1 generation: everything after the first two
+        // evaluations is a cache hit.
+        assert_eq!(engine.cache_counters().misses, 2);
+    }
+
+    #[test]
+    fn submitting_after_shutdown_fails_cleanly() {
+        let engine = engine(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let pool = WorkerPool::start(engine);
+        let pending = pool.submit("rust").unwrap();
+        assert!(pending.wait().is_ok());
+        let served = pool.shutdown();
+        assert_eq!(served, 1);
+    }
+}

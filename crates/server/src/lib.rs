@@ -1,0 +1,66 @@
+//! `dsearch-server` — the concurrent query-serving subsystem.
+//!
+//! The paper's pipeline produces an index in a batch run; this crate turns
+//! that artifact into a long-lived service, the direction the paper's
+//! future-work section points ("integrate the search query functionality and
+//! parallelize it, for instance by using multiple indices"):
+//!
+//! * [`snapshot`] — [`IndexSnapshot`] loads an on-disk
+//!   [`dsearch_persist::IndexStore`] into an immutable, `Arc`-shared image
+//!   (one shard per segment, mirroring Implementation 3's replica set), and
+//!   [`SnapshotCell`] swaps generations atomically so a background re-index
+//!   never blocks or corrupts in-flight queries;
+//! * [`engine`] — [`QueryEngine`] runs parse → cache → search, and
+//!   [`WorkerPool`] executes that path on a fixed thread pool fed through an
+//!   MPMC queue;
+//! * [`cache`] — [`QueryCache`], a sharded LRU keyed by
+//!   `(normalised query, snapshot generation)` with hit/miss/eviction
+//!   counters;
+//! * [`stats`] — [`ServerStats`]: QPS, p50/p95/p99 latency (shared
+//!   percentile code from `dsearch_core::timing`), error counts;
+//! * [`protocol`] / [`serve`] — the line protocol and the stdin/TCP front
+//!   ends behind `dsearch serve`;
+//! * [`loadgen`] — closed- and open-loop load generation behind
+//!   `dsearch loadgen`.
+//!
+//! # Example
+//!
+//! ```
+//! use dsearch_index::{DocTable, InMemoryIndex};
+//! use dsearch_server::{EngineConfig, IndexSnapshot, QueryEngine};
+//! use dsearch_text::Term;
+//!
+//! let mut docs = DocTable::new();
+//! let id = docs.insert("guide.txt");
+//! let mut index = InMemoryIndex::new();
+//! index.insert_file(id, [Term::from("rust"), Term::from("serving")]);
+//!
+//! let engine = QueryEngine::new(
+//!     IndexSnapshot::from_index(index, docs, 1),
+//!     EngineConfig::default(),
+//! );
+//! let response = engine.execute("rust serving").unwrap();
+//! assert_eq!(response.results.paths(), vec!["guide.txt"]);
+//! assert!(!response.cached);
+//! assert!(engine.execute("rust serving").unwrap().cached);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod serve;
+pub mod snapshot;
+pub mod stats;
+
+pub use cache::{CacheCounters, CacheKey, QueryCache};
+pub use engine::{
+    EngineConfig, PendingResponse, QueryEngine, QueryResponse, ServerError, WorkerPool,
+};
+pub use loadgen::{LoadConfig, LoadMode, LoadReport, Workload};
+pub use serve::{Handled, Service, SessionEnd, TcpServer};
+pub use snapshot::{IndexSnapshot, SnapshotCell};
+pub use stats::ServerStats;

@@ -1,0 +1,220 @@
+//! The line protocol `dsearch serve` speaks over stdin and TCP.
+//!
+//! Requests are single lines:
+//!
+//! * any ordinary line is a query (`rust AND search`, `inde*`, …);
+//! * `!stats` returns the server's metrics line;
+//! * `!reload` is answered by the serving front end (snapshot reload);
+//! * `!quit` closes the connection.
+//!
+//! Responses are line-oriented and end with a lone `END` line:
+//!
+//! ```text
+//! OK 2 generation=3 cached=false micros=184
+//! b.txt (2 terms)
+//! e.txt (2 terms)
+//! END
+//! ```
+//!
+//! Errors answer `ERR <message>` followed by `END`, so a client can always
+//! resynchronise on `END`.
+
+use crate::engine::{QueryResponse, ServerError};
+
+/// Terminator line of every response.
+pub const END: &str = "END";
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Evaluate a query.
+    Query(String),
+    /// Report serving metrics.
+    Stats,
+    /// Reload the snapshot from the store.
+    Reload,
+    /// Close the connection.
+    Quit,
+    /// Blank line: ignored.
+    Empty,
+}
+
+/// Parses one request line.
+#[must_use]
+pub fn parse_request(line: &str) -> Request {
+    let trimmed = line.trim();
+    match trimmed {
+        "" => Request::Empty,
+        "!stats" => Request::Stats,
+        "!reload" => Request::Reload,
+        "!quit" => Request::Quit,
+        query => Request::Query(query.to_string()),
+    }
+}
+
+/// Renders a successful query response.
+#[must_use]
+pub fn render_response(response: &QueryResponse) -> String {
+    let mut out = format!(
+        "OK {} generation={} cached={} micros={}\n",
+        response.results.len(),
+        response.generation,
+        response.cached,
+        response.latency.as_micros()
+    );
+    for hit in response.results.hits() {
+        out.push_str(&format!("{} ({} terms)\n", hit.path, hit.matched_terms));
+    }
+    out.push_str(END);
+    out.push('\n');
+    out
+}
+
+/// Renders an error response.
+#[must_use]
+pub fn render_error(error: &ServerError) -> String {
+    render_error_text(&error.to_string())
+}
+
+/// Renders an error response from plain text (for errors that are not
+/// [`ServerError`]s, like reload failures).
+#[must_use]
+pub fn render_error_text(message: &str) -> String {
+    format!("ERR {message}\n{END}\n")
+}
+
+/// Renders a one-line informational response (stats, reload confirmations).
+#[must_use]
+pub fn render_info(info: &str) -> String {
+    format!("OK {info}\n{END}\n")
+}
+
+/// A client-side parse of one protocol response (used by the TCP load
+/// generator and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedResponse {
+    /// `true` for `OK`, `false` for `ERR`.
+    pub ok: bool,
+    /// The rest of the status line.
+    pub status: String,
+    /// Body lines between the status line and `END`.
+    pub body: Vec<String>,
+}
+
+impl ParsedResponse {
+    /// Number of hits announced by an `OK <n> …` status line (0 otherwise).
+    #[must_use]
+    pub fn hit_count(&self) -> usize {
+        self.status.split_whitespace().next().and_then(|n| n.parse().ok()).unwrap_or(0)
+    }
+
+    /// The `generation=<g>` field of the status line, if present.
+    #[must_use]
+    pub fn generation(&self) -> Option<u64> {
+        self.status
+            .split_whitespace()
+            .find_map(|field| field.strip_prefix("generation=")?.parse().ok())
+    }
+
+    /// The `cached=<bool>` field of the status line, if present.
+    #[must_use]
+    pub fn cached(&self) -> Option<bool> {
+        self.status.split_whitespace().find_map(|field| field.strip_prefix("cached=")?.parse().ok())
+    }
+}
+
+/// Reads one full response (through `END`) from a line iterator.
+///
+/// Returns `None` when the stream ends before a status line arrives.
+pub fn read_response<I, E>(lines: &mut I) -> Option<Result<ParsedResponse, E>>
+where
+    I: Iterator<Item = Result<String, E>>,
+{
+    let status_line = match lines.next()? {
+        Ok(line) => line,
+        Err(e) => return Some(Err(e)),
+    };
+    let (ok, status) = if let Some(rest) = status_line.strip_prefix("OK") {
+        (true, rest.trim().to_string())
+    } else if let Some(rest) = status_line.strip_prefix("ERR") {
+        (false, rest.trim().to_string())
+    } else {
+        (false, status_line)
+    };
+    let mut body = Vec::new();
+    for line in lines {
+        match line {
+            Ok(line) if line == END => {
+                return Some(Ok(ParsedResponse { ok, status, body }));
+            }
+            Ok(line) => body.push(line),
+            Err(e) => return Some(Err(e)),
+        }
+    }
+    // Stream ended before END: report what we have.
+    Some(Ok(ParsedResponse { ok, status, body }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsearch_query::{Hit, SearchResults};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(parse_request("rust AND search"), Request::Query("rust AND search".into()));
+        assert_eq!(parse_request("  !stats  "), Request::Stats);
+        assert_eq!(parse_request("!reload"), Request::Reload);
+        assert_eq!(parse_request("!quit"), Request::Quit);
+        assert_eq!(parse_request("   "), Request::Empty);
+    }
+
+    #[test]
+    fn responses_render_and_parse_back() {
+        let response = QueryResponse {
+            query: "rust".into(),
+            results: Arc::new(SearchResults::new(vec![Hit {
+                file_id: dsearch_index::FileId(0),
+                path: "a.txt".into(),
+                matched_terms: 2,
+            }])),
+            generation: 5,
+            cached: true,
+            latency: Duration::from_micros(123),
+        };
+        let text = render_response(&response);
+        assert!(text.ends_with("END\n"));
+
+        let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
+        let parsed = read_response(&mut lines).unwrap().unwrap();
+        assert!(parsed.ok);
+        assert_eq!(parsed.hit_count(), 1);
+        assert_eq!(parsed.generation(), Some(5));
+        assert_eq!(parsed.cached(), Some(true));
+        assert_eq!(parsed.body, vec!["a.txt (2 terms)"]);
+    }
+
+    #[test]
+    fn errors_render_with_end_marker() {
+        let err = ServerError::ShuttingDown;
+        let text = render_error(&err);
+        assert!(text.starts_with("ERR "));
+        assert!(text.ends_with("END\n"));
+        let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
+        let parsed = read_response(&mut lines).unwrap().unwrap();
+        assert!(!parsed.ok);
+        assert!(parsed.status.contains("shutting down"));
+    }
+
+    #[test]
+    fn info_lines_round_trip() {
+        let text = render_info("queries=10 qps=5.0");
+        let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
+        let parsed = read_response(&mut lines).unwrap().unwrap();
+        assert!(parsed.ok);
+        assert!(parsed.status.contains("qps=5.0"));
+        assert!(parsed.body.is_empty());
+    }
+}

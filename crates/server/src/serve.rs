@@ -1,0 +1,351 @@
+//! Serving front ends: a line loop for stdin/tests and a TCP listener.
+//!
+//! Both front ends funnel every query through the same [`WorkerPool`], so a
+//! single `Service` can serve stdin and many TCP connections at once while
+//! the pool bounds the actual query concurrency.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsearch_persist::IndexStore;
+
+use crate::engine::{QueryEngine, WorkerPool};
+use crate::protocol::{
+    parse_request, render_error, render_error_text, render_info, render_response, Request,
+};
+
+/// A running service: engine + worker pool + optional reload source.
+pub struct Service {
+    engine: Arc<QueryEngine>,
+    pool: WorkerPool,
+    /// Store directory `!reload` re-reads; `None` disables reloads.
+    store_path: Option<PathBuf>,
+    requests: AtomicU64,
+}
+
+/// What a handled request asks the connection to do next.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Handled {
+    /// Write this response and keep the connection open.
+    Respond(String),
+    /// Write nothing (blank request line).
+    Ignore,
+    /// Write nothing and close the connection.
+    Close,
+}
+
+/// How a line session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The input reached end-of-file.
+    Eof,
+    /// The client sent `!quit`.
+    Quit,
+}
+
+impl Service {
+    /// Starts the worker pool for `engine`.
+    #[must_use]
+    pub fn start(engine: Arc<QueryEngine>, store_path: Option<PathBuf>) -> Self {
+        let pool = WorkerPool::start(Arc::clone(&engine));
+        Service { engine, pool, store_path, requests: AtomicU64::new(0) }
+    }
+
+    /// The engine this service fronts.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.engine
+    }
+
+    /// Total request lines handled (all connections).
+    #[must_use]
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Handles one protocol line.
+    #[must_use]
+    pub fn handle(&self, line: &str) -> Handled {
+        match parse_request(line) {
+            Request::Empty => Handled::Ignore,
+            Request::Quit => Handled::Close,
+            Request::Stats => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(render_info(&self.engine.stats_report()))
+            }
+            Request::Reload => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(self.reload())
+            }
+            Request::Query(raw) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                match self.pool.execute(&raw) {
+                    Ok(response) => Handled::Respond(render_response(&response)),
+                    Err(e) => Handled::Respond(render_error(&e)),
+                }
+            }
+        }
+    }
+
+    fn reload(&self) -> String {
+        let Some(path) = &self.store_path else {
+            return render_error_text(
+                "reload unavailable: service was started without a store path",
+            );
+        };
+        let result =
+            IndexStore::open(path).and_then(|store| self.engine.snapshot_cell().reload(&store));
+        match result {
+            Ok(generation) => render_info(&format!("reloaded generation={generation}")),
+            Err(e) => render_error_text(&format!("reload failed: {e}")),
+        }
+    }
+
+    /// Serves one line-oriented connection (stdin, a socket, a test buffer)
+    /// until EOF or `!quit`, reporting which of the two ended it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures on the output side.
+    pub fn serve_lines<R: BufRead, W: Write>(
+        &self,
+        input: R,
+        mut output: W,
+    ) -> io::Result<SessionEnd> {
+        for line in input.lines() {
+            let line = line?;
+            match self.handle(&line) {
+                Handled::Respond(response) => {
+                    output.write_all(response.as_bytes())?;
+                    output.flush()?;
+                }
+                Handled::Ignore => {}
+                Handled::Close => return Ok(SessionEnd::Quit),
+            }
+        }
+        Ok(SessionEnd::Eof)
+    }
+
+    /// Shuts the pool down, returning how many queries the workers served.
+    pub fn shutdown(self) -> u64 {
+        self.pool.shutdown()
+    }
+}
+
+/// A TCP front end accepting connections on its own thread.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting.
+    /// Each connection is served on its own thread; queries run on the shared
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn bind(service: Arc<Service>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<Connection>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        // A clone of the socket stays behind so `stop` can
+                        // shut it down and unblock the connection's read.
+                        let socket = stream.try_clone().ok();
+                        let service = Arc::clone(&service);
+                        let handle = std::thread::spawn(move || {
+                            let _ = serve_connection(&service, stream);
+                        });
+                        let mut connections = accept_connections.lock();
+                        // Drop finished connections so a long-lived server
+                        // does not accumulate handles.
+                        connections.retain(|c| !c.handle.is_finished());
+                        // Re-check shutdown *inside* the lock: if `stop`'s
+                        // disconnect sweep already ran, it cannot have seen
+                        // this connection, so disconnect it here — otherwise
+                        // the final join below would block on its read.
+                        if accept_shutdown.load(Ordering::SeqCst) {
+                            if let Some(socket) = &socket {
+                                let _ = socket.shutdown(std::net::Shutdown::Both);
+                            }
+                        }
+                        connections.push(Connection { handle, socket });
+                    }
+                    Err(_) => break,
+                }
+            }
+            let remaining = std::mem::take(&mut *accept_connections.lock());
+            for connection in remaining {
+                let _ = connection.handle.join();
+            }
+        });
+        Ok(TcpServer { local_addr, shutdown, connections, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, disconnects every open connection and joins the
+    /// accept thread (which joins the connection threads).
+    pub fn stop(mut self) {
+        self.stop_in_place();
+    }
+
+    fn stop_in_place(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock connection reads: a socket shutdown surfaces as EOF in
+        // `serve_lines`, so even idle clients release their threads.
+        for connection in self.connections.lock().iter() {
+            if let Some(socket) = &connection.socket {
+                let _ = socket.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        // Nudge the blocking accept with one last connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct Connection {
+    handle: std::thread::JoinHandle<()>,
+    socket: Option<TcpStream>,
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop_in_place();
+    }
+}
+
+fn serve_connection(service: &Service, stream: TcpStream) -> io::Result<SessionEnd> {
+    let reader = BufReader::new(stream.try_clone()?);
+    service.serve_lines(reader, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::snapshot::IndexSnapshot;
+    use dsearch_index::{DocTable, InMemoryIndex};
+    use dsearch_text::Term;
+    use std::io::Cursor;
+
+    fn service() -> Service {
+        let mut docs = DocTable::new();
+        let mut index = InMemoryIndex::new();
+        for (path, words) in [("a.txt", vec!["rust", "index"]), ("b.txt", vec!["rust"])] {
+            let id = docs.insert(path);
+            index.insert_file(id, words.into_iter().map(Term::from));
+        }
+        let engine = QueryEngine::new(
+            IndexSnapshot::from_index(index, docs, 1),
+            EngineConfig { workers: 2, ..EngineConfig::default() },
+        );
+        Service::start(engine, None)
+    }
+
+    #[test]
+    fn line_session_answers_queries_stats_and_errors() {
+        let service = service();
+        let input = "rust\n\n!stats\nAND\n!quit\nrust\n";
+        let mut output = Vec::new();
+        let end = service.serve_lines(Cursor::new(input), &mut output).unwrap();
+        assert_eq!(end, SessionEnd::Quit);
+        let text = String::from_utf8(output).unwrap();
+
+        assert!(text.contains("OK 2 generation=1 cached=false"), "{text}");
+        assert!(text.contains("a.txt (1 terms)"), "{text}");
+        assert!(text.contains("queries=1"), "{text}");
+        assert!(text.contains("ERR invalid query"), "{text}");
+        // The query after !quit was never served.
+        assert_eq!(text.matches("OK 2").count(), 1, "{text}");
+        assert_eq!(service.request_count(), 3);
+        // The pool served both query lines ("rust" and the failing "AND").
+        assert_eq!(service.shutdown(), 2);
+    }
+
+    #[test]
+    fn eof_sessions_report_eof() {
+        let service = service();
+        let mut output = Vec::new();
+        let end = service.serve_lines(Cursor::new("rust\n"), &mut output).unwrap();
+        assert_eq!(end, SessionEnd::Eof);
+        assert_eq!(service.shutdown(), 1);
+    }
+
+    #[test]
+    fn reload_without_store_path_reports_an_error() {
+        let service = service();
+        let Handled::Respond(response) = service.handle("!reload") else {
+            panic!("reload should respond");
+        };
+        assert!(response.contains("ERR reload unavailable"), "{response}");
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use crate::protocol::read_response;
+        use std::io::BufRead;
+
+        let service = Arc::new(service());
+        let server = TcpServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap()).lines();
+        let mut stream = stream;
+        writeln!(stream, "rust index").unwrap();
+        let response = read_response(&mut reader).unwrap().unwrap();
+        assert!(response.ok);
+        assert_eq!(response.hit_count(), 1);
+        assert_eq!(response.generation(), Some(1));
+        writeln!(stream, "!quit").unwrap();
+        drop(stream);
+        server.stop();
+    }
+
+    #[test]
+    fn stop_returns_even_with_an_idle_connection_open() {
+        let service = Arc::new(service());
+        let server = TcpServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // A client that connects and then just sits there.
+        let idle = TcpStream::connect(addr).unwrap();
+
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            server.stop();
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("stop() must not hang on idle connections");
+        drop(idle);
+    }
+}

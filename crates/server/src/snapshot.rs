@@ -1,0 +1,346 @@
+//! Immutable, atomically swappable index snapshots.
+//!
+//! A [`IndexSnapshot`] is the serving-side image of an on-disk
+//! [`IndexStore`]: every segment is loaded into memory as one shard and the
+//! whole image is shared behind an `Arc`.  Queries hold the `Arc` for their
+//! entire evaluation, so a concurrent re-index can publish a new generation
+//! through [`SnapshotCell::publish`] without invalidating anything in
+//! flight — readers on the old generation finish on the old image, new
+//! queries pick up the new one.
+//!
+//! The shard layout mirrors the paper's Implementation 3: a store holding the
+//! un-joined replica segments of a parallel run is served replica-per-shard,
+//! exactly the "search can work with multiple indices in parallel" future
+//! work the paper sketches.  A compacted (single-segment) store loads as one
+//! shard.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dsearch_index::{DocTable, InMemoryIndex, IndexSet};
+use dsearch_persist::{IndexStore, PersistError};
+use dsearch_query::{MultiIndexSearcher, Query, SearchBackend, SearchResults, SingleIndexSearcher};
+
+/// One immutable in-memory image of an index store.
+#[derive(Debug)]
+pub struct IndexSnapshot {
+    generation: u64,
+    shards: IndexSet,
+    docs: DocTable,
+    /// Evaluate term lookups with one thread per shard.
+    parallel_lookup: bool,
+}
+
+impl IndexSnapshot {
+    /// Loads every live segment of `store` as one shard each, tagging the
+    /// image with `generation`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a segment is missing or corrupt.
+    pub fn load(store: &IndexStore, generation: u64) -> Result<Self, PersistError> {
+        let mut docs = DocTable::new();
+        let mut shards = Vec::with_capacity(store.segment_count());
+        for (index, segment_docs) in store.load_all()? {
+            // Segments written from one run share a doc table; keep the most
+            // complete copy (mirrors the CLI's multi-segment search).
+            if segment_docs.len() > docs.len() {
+                docs = segment_docs;
+            }
+            shards.push(index);
+        }
+        Ok(IndexSnapshot {
+            generation,
+            shards: IndexSet::new(shards),
+            docs,
+            parallel_lookup: false,
+        })
+    }
+
+    /// Builds a snapshot directly from an in-memory index (tests, benches and
+    /// the re-index path before segments hit disk).
+    #[must_use]
+    pub fn from_index(index: InMemoryIndex, docs: DocTable, generation: u64) -> Self {
+        IndexSnapshot {
+            generation,
+            shards: IndexSet::new(vec![index]),
+            docs,
+            parallel_lookup: false,
+        }
+    }
+
+    /// Builds a snapshot from explicit shards.
+    #[must_use]
+    pub fn from_shards(shards: Vec<InMemoryIndex>, docs: DocTable, generation: u64) -> Self {
+        IndexSnapshot { generation, shards: IndexSet::new(shards), docs, parallel_lookup: false }
+    }
+
+    /// Makes term lookups fan out with one thread per shard (worth it only
+    /// for large shard counts; defaults to off).
+    #[must_use]
+    pub fn with_parallel_lookup(mut self, parallel: bool) -> Self {
+        self.parallel_lookup = parallel;
+        self
+    }
+
+    /// The generation number this image was published under.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of shards (loaded segments).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.replica_count()
+    }
+
+    /// Total documents in the snapshot's doc table.
+    #[must_use]
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Total files indexed across shards.
+    #[must_use]
+    pub fn file_count(&self) -> u64 {
+        self.shards.file_count()
+    }
+
+    /// The document table backing this snapshot.
+    #[must_use]
+    pub fn docs(&self) -> &DocTable {
+        &self.docs
+    }
+
+    /// Iterates `(term text, document frequency)` pairs across every shard.
+    /// A term living in several shards appears once per shard; callers merge.
+    pub fn terms(&self) -> impl Iterator<Item = (String, usize)> + '_ {
+        self.shards.replicas().iter().flat_map(|replica| {
+            replica.iter().map(|(term, postings)| (term.as_str().to_owned(), postings.len()))
+        })
+    }
+
+    /// Evaluates `query` against this image.
+    ///
+    /// Single-shard snapshots use the direct searcher; multi-shard snapshots
+    /// fan the query out across shards like `MultiIndexSearcher`.
+    #[must_use]
+    pub fn search(&self, query: &Query) -> SearchResults {
+        if self.shards.replica_count() == 1 {
+            SingleIndexSearcher::new(&self.shards.replicas()[0], &self.docs).search(query)
+        } else {
+            MultiIndexSearcher::new(&self.shards, &self.docs)
+                .with_parallel_lookup(self.parallel_lookup)
+                .search(query)
+        }
+    }
+}
+
+/// The atomically swappable slot the engine serves from.
+///
+/// Readers pay one `RwLock` read acquisition to clone the `Arc`; publishers
+/// swap the `Arc` under the write lock.  In-flight queries keep the old image
+/// alive through their own `Arc` until they finish.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<IndexSnapshot>>,
+    /// Highest generation number ever handed out or published.  Reloads
+    /// reserve their number here *before* loading, so two concurrent reloads
+    /// can never tag different images with the same generation (which would
+    /// poison the generation-keyed query cache).
+    issued: std::sync::atomic::AtomicU64,
+}
+
+impl SnapshotCell {
+    /// Creates the cell with its first snapshot.
+    #[must_use]
+    pub fn new(snapshot: IndexSnapshot) -> Self {
+        let issued = std::sync::atomic::AtomicU64::new(snapshot.generation());
+        SnapshotCell { current: RwLock::new(Arc::new(snapshot)), issued }
+    }
+
+    /// The current snapshot (cheap: one atomic ref-count bump).
+    #[must_use]
+    pub fn load(&self) -> Arc<IndexSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The currently served generation number.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.current.read().generation()
+    }
+
+    /// Atomically replaces the served snapshot, returning the generation that
+    /// was displaced.
+    pub fn publish(&self, snapshot: IndexSnapshot) -> u64 {
+        use std::sync::atomic::Ordering;
+        self.issued.fetch_max(snapshot.generation(), Ordering::SeqCst);
+        let mut slot = self.current.write();
+        let old = slot.generation();
+        *slot = Arc::new(snapshot);
+        old
+    }
+
+    /// Reloads from `store`, publishing the image as the next generation.
+    ///
+    /// Safe under concurrency: each reload reserves a distinct generation up
+    /// front, and an image never displaces a newer one (two racing reloads
+    /// leave the later generation serving, whatever order they finish in).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the store cannot be read; the current snapshot stays
+    /// published in that case.
+    pub fn reload(&self, store: &IndexStore) -> Result<u64, PersistError> {
+        use std::sync::atomic::Ordering;
+        let next_generation = self.issued.fetch_add(1, Ordering::SeqCst) + 1;
+        let snapshot = IndexSnapshot::load(store, next_generation)?;
+        let mut slot = self.current.write();
+        if snapshot.generation() > slot.generation() {
+            *slot = Arc::new(snapshot);
+        }
+        Ok(next_generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsearch_text::Term;
+
+    fn snapshot_with(words: &[(&str, &[&str])], generation: u64) -> IndexSnapshot {
+        let mut docs = DocTable::new();
+        let mut index = InMemoryIndex::new();
+        for (path, terms) in words {
+            let id = docs.insert(*path);
+            index.insert_file(id, terms.iter().map(|w| Term::from(*w)));
+        }
+        IndexSnapshot::from_index(index, docs, generation)
+    }
+
+    #[test]
+    fn single_shard_snapshot_searches_like_a_searcher() {
+        let snapshot = snapshot_with(
+            &[("a.txt", &["rust", "index"]), ("b.txt", &["rust"]), ("c.txt", &["java"])],
+            1,
+        );
+        assert_eq!(snapshot.generation(), 1);
+        assert_eq!(snapshot.shard_count(), 1);
+        assert_eq!(snapshot.doc_count(), 3);
+        assert_eq!(snapshot.file_count(), 3);
+        let results = snapshot.search(&Query::parse("rust").unwrap());
+        assert_eq!(results.paths(), vec!["a.txt", "b.txt"]);
+        assert_eq!(snapshot.docs().len(), 3);
+    }
+
+    #[test]
+    fn multi_shard_snapshot_unions_shards() {
+        let mut docs = DocTable::new();
+        let a = docs.insert("a.txt");
+        let b = docs.insert("b.txt");
+        let mut shard0 = InMemoryIndex::new();
+        shard0.insert_file(a, [Term::from("rust")]);
+        let mut shard1 = InMemoryIndex::new();
+        shard1.insert_file(b, [Term::from("rust"), Term::from("search")]);
+
+        for parallel in [false, true] {
+            let snapshot =
+                IndexSnapshot::from_shards(vec![shard0.clone(), shard1.clone()], docs.clone(), 3)
+                    .with_parallel_lookup(parallel);
+            assert_eq!(snapshot.shard_count(), 2);
+            let results = snapshot.search(&Query::parse("rust").unwrap());
+            assert_eq!(results.paths(), vec!["a.txt", "b.txt"], "parallel={parallel}");
+            let results = snapshot.search(&Query::parse("rust search").unwrap());
+            assert_eq!(results.paths(), vec!["b.txt"], "parallel={parallel}");
+        }
+    }
+
+    #[test]
+    fn cell_publishes_new_generations_without_disturbing_held_arcs() {
+        let cell = SnapshotCell::new(snapshot_with(&[("old.txt", &["stale"])], 1));
+        let held = cell.load();
+        assert_eq!(held.generation(), 1);
+
+        let displaced = cell.publish(snapshot_with(&[("new.txt", &["fresh"])], 2));
+        assert_eq!(displaced, 1);
+        assert_eq!(cell.generation(), 2);
+
+        // The held image still answers from the old generation.
+        assert_eq!(held.search(&Query::parse("stale").unwrap()).len(), 1);
+        assert_eq!(held.search(&Query::parse("fresh").unwrap()).len(), 0);
+        // A fresh load sees the new one.
+        let fresh = cell.load();
+        assert_eq!(fresh.search(&Query::parse("fresh").unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn concurrent_reloads_issue_distinct_generations() {
+        let dir = std::env::temp_dir().join(format!(
+            "dsearch-server-reload-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = IndexStore::open(&dir).unwrap();
+        let mut docs = DocTable::new();
+        let id = docs.insert("a.txt");
+        let mut index = InMemoryIndex::new();
+        index.insert_file(id, [Term::from("alpha")]);
+        store.commit(&index, &docs).unwrap();
+
+        let cell = SnapshotCell::new(IndexSnapshot::load(&store, 1).unwrap());
+        let generations: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cell = &cell;
+                    let store = IndexStore::open(&dir).unwrap();
+                    scope.spawn(move || cell.reload(&store).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Every racing reload got its own generation number, and the cell
+        // ended up serving the newest one.
+        let mut sorted = generations.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), generations.len(), "duplicate generations: {generations:?}");
+        assert_eq!(cell.generation(), *sorted.last().unwrap());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_and_reload_from_a_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "dsearch-server-snap-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = IndexStore::open(&dir).unwrap();
+
+        let mut docs = DocTable::new();
+        let id = docs.insert("first.txt");
+        let mut index = InMemoryIndex::new();
+        index.insert_file(id, [Term::from("alpha")]);
+        store.commit(&index, &docs).unwrap();
+
+        let cell = SnapshotCell::new(IndexSnapshot::load(&store, 1).unwrap());
+        assert_eq!(cell.load().search(&Query::parse("alpha").unwrap()).len(), 1);
+
+        // Re-index adds a document; reload publishes generation 2.
+        let id2 = docs.insert("second.txt");
+        index.insert_file(id2, [Term::from("alpha"), Term::from("beta")]);
+        store.replace_all(&index, &docs).unwrap();
+        let generation = cell.reload(&store).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(cell.load().search(&Query::parse("alpha").unwrap()).len(), 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,155 @@
+//! Serving metrics: QPS, latency percentiles, cache hit rate, generation.
+//!
+//! Latency percentiles come from `dsearch_core::timing` so the server, the
+//! load generator and the benches all agree on one percentile definition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use dsearch_core::timing::LatencySummary;
+
+use crate::cache::CacheCounters;
+
+/// How many of the most recent request latencies the percentile window keeps.
+pub const LATENCY_WINDOW: usize = 8192;
+
+/// Live counters, updated by every worker.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    /// Ring buffer of recent latencies (window for percentile reporting).
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug)]
+struct LatencyRing {
+    samples: Vec<Duration>,
+    next: usize,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing { samples: Vec::new(), next: 0 }),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Creates zeroed stats anchored at "now".
+    #[must_use]
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Records one successfully answered query.
+    pub fn record_query(&self, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.latencies.lock();
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(latency);
+        } else {
+            let slot = ring.next;
+            ring.samples[slot] = latency;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Records one failed request (parse error, protocol error).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of queries answered so far.
+    #[must_use]
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed requests so far.
+    #[must_use]
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the stats were created.
+    #[must_use]
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Queries per second over the whole uptime.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        let secs = self.uptime().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.query_count() as f64 / secs
+        }
+    }
+
+    /// Percentile summary over the recent-latency window.
+    #[must_use]
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(&self.latencies.lock().samples)
+    }
+
+    /// Renders a one-stop report (used by the `!stats` protocol command).
+    #[must_use]
+    pub fn render(&self, cache: CacheCounters, generation: u64) -> String {
+        let latency = self.latency_summary();
+        format!(
+            "queries={} errors={} qps={:.1} generation={} cache_hit_rate={:.3} \
+             cache_hits={} cache_misses={} cache_evictions={} latency[{latency}]",
+            self.query_count(),
+            self.error_count(),
+            self.qps(),
+            generation,
+            cache.hit_rate(),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_percentiles_accumulate() {
+        let stats = ServerStats::new();
+        for i in 1..=100u64 {
+            stats.record_query(Duration::from_micros(i));
+        }
+        stats.record_error();
+        assert_eq!(stats.query_count(), 100);
+        assert_eq!(stats.error_count(), 1);
+        let summary = stats.latency_summary();
+        assert_eq!(summary.samples, 100);
+        assert_eq!(summary.p50, Duration::from_micros(50));
+        assert_eq!(summary.p99, Duration::from_micros(99));
+        assert!(stats.qps() > 0.0);
+        let report = stats.render(CacheCounters::default(), 7);
+        assert!(report.contains("generation=7"), "{report}");
+        assert!(report.contains("queries=100"), "{report}");
+    }
+
+    #[test]
+    fn latency_window_wraps_instead_of_growing() {
+        let stats = ServerStats::new();
+        for i in 0..(LATENCY_WINDOW as u64 + 100) {
+            stats.record_query(Duration::from_nanos(i));
+        }
+        assert_eq!(stats.latency_summary().samples, LATENCY_WINDOW);
+    }
+}

@@ -1,0 +1,87 @@
+//! Persist → serve roundtrip: an index built by the real pipeline, written
+//! with `write_segment`, opened through `IndexStore` and loaded into an
+//! `IndexSnapshot` must answer every query exactly like the in-memory
+//! `SingleIndexSearcher` over the same corpus.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dsearch_core::{Configuration, Implementation, IndexGenerator};
+use dsearch_corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch_persist::segment::{read_segment, write_segment};
+use dsearch_persist::IndexStore;
+use dsearch_query::{Query, SearchBackend, SingleIndexSearcher};
+use dsearch_server::IndexSnapshot;
+use dsearch_vfs::VPath;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir()
+            .join(format!("dsearch-persist-roundtrip-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn snapshot_from_store_matches_in_memory_searcher() {
+    // A real (tiny) corpus through the real parallel pipeline.
+    let (fs, _manifest) = materialize_to_memfs(&CorpusSpec::tiny(), 42);
+    let run = IndexGenerator::default()
+        .run(&fs, &VPath::root(), Implementation::ReplicateJoin, Configuration::new(2, 0, 0))
+        .unwrap();
+    let (index, docs) = run.outcome.into_single_index();
+
+    // write_segment → byte-exact read back.
+    let mut buffer = Vec::new();
+    write_segment(&index, &docs, &mut buffer).unwrap();
+    let (restored, restored_docs) = read_segment(&buffer[..]).unwrap();
+    assert_eq!(restored, index);
+    assert_eq!(restored_docs.len(), docs.len());
+
+    // Same bytes through the store layout, loaded as a serving snapshot.
+    let dir = TempDir::new("match");
+    let store_dir = dir.0.join("store");
+    let mut store = IndexStore::open(&store_dir).unwrap();
+    store.commit(&index, &docs).unwrap();
+    let store = IndexStore::open(&store_dir).unwrap();
+    let snapshot = IndexSnapshot::load(&store, 1).unwrap();
+    assert_eq!(snapshot.shard_count(), 1);
+    assert_eq!(snapshot.doc_count(), docs.len());
+
+    // Derive queries from the indexed terms themselves so the comparison
+    // covers hits, multi-term intersections, exclusions and prefixes.
+    let reference = SingleIndexSearcher::new(&index, &docs);
+    let mut terms: Vec<String> = index.iter().map(|(t, _)| t.as_str().to_owned()).collect();
+    terms.sort();
+    let mut checked = 0;
+    for (i, term) in terms.iter().enumerate().step_by(7) {
+        let other = &terms[(i * 3 + 11) % terms.len()];
+        let prefix: String = term.chars().take(2).collect();
+        for raw in [
+            term.clone(),
+            format!("{term} {other}"),
+            format!("{term} OR {other}"),
+            format!("{term} NOT {other}"),
+            format!("{prefix}*"),
+        ] {
+            let Ok(query) = Query::parse(&raw) else { continue };
+            assert_eq!(
+                snapshot.search(&query),
+                reference.search(&query),
+                "snapshot and in-memory searcher disagree on {raw:?}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 50, "too few queries exercised: {checked}");
+}

@@ -51,10 +51,7 @@ impl SpeedupCurve {
     #[must_use]
     pub fn knee(&self, fraction: f64) -> Option<usize> {
         let target = self.peak_speedup() * fraction;
-        self.points
-            .iter()
-            .find(|p| p.estimate.speedup >= target)
-            .map(|p| p.extraction_threads)
+        self.points.iter().find(|p| p.estimate.speedup >= target).map(|p| p.extraction_threads)
     }
 }
 
@@ -69,11 +66,8 @@ pub fn speedup_curve(
     max_extraction: usize,
 ) -> SpeedupCurve {
     let ranges = SweepRanges::for_platform(platform);
-    let join_range: Vec<usize> = if implementation.joins() {
-        (0..=ranges.max_join).collect()
-    } else {
-        vec![0]
-    };
+    let join_range: Vec<usize> =
+        if implementation.joins() { (0..=ranges.max_join).collect() } else { vec![0] };
     let mut points = Vec::new();
     for x in 1..=max_extraction.max(1) {
         let mut best: Option<CurvePoint> = None;
@@ -180,7 +174,7 @@ mod tests {
         let workload = WorkloadModel::paper();
         let curve = speedup_curve(&platform, &workload, Implementation::ReplicateNoJoin, 10);
         let knee = curve.knee(0.95).expect("curve has points");
-        assert!(knee >= 1 && knee <= 10);
+        assert!((1..=10).contains(&knee));
         // A 50 % target is reached no later than the 95 % target.
         assert!(curve.knee(0.5).unwrap() <= knee);
     }

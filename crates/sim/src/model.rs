@@ -128,8 +128,8 @@ pub fn sequential_stages(
     platform: &PlatformModel,
     workload: &WorkloadModel,
 ) -> SequentialStageEstimate {
-    let read = seek_seconds_total(platform, workload)
-        + transfer_seconds_single_stream(platform, workload);
+    let read =
+        seek_seconds_total(platform, workload) + transfer_seconds_single_stream(platform, workload);
     SequentialStageEstimate {
         filename_generation_s: stage1_seconds(platform, workload),
         read_files_s: read,
@@ -141,8 +141,8 @@ pub fn sequential_stages(
 /// I/O lower bound for `readers` concurrent extractor threads.
 fn io_floor_seconds(platform: &PlatformModel, workload: &WorkloadModel, readers: usize) -> f64 {
     let readers = readers.max(1);
-    let seeks = seek_seconds_total(platform, workload)
-        / readers.min(platform.seek_parallelism) as f64;
+    let seeks =
+        seek_seconds_total(platform, workload) / readers.min(platform.seek_parallelism) as f64;
     let effective_bw = (readers as f64 * platform.stream_bandwidth_mbps)
         .min(platform.aggregate_bandwidth_mbps)
         * MB;
@@ -178,9 +178,9 @@ pub fn estimate_run(
             // Updates are serialized on the lock, at inflated per-byte cost,
             // plus a hand-off penalty per additional contender.
             let serialized = update_cpu * platform.shared_update_inflation;
-            let contention =
-                platform.lock_penalty_s_per_contender * (updaters.saturating_sub(1)) as f64
-                    * workload.scale_vs_paper();
+            let contention = platform.lock_penalty_s_per_contender
+                * (updaters.saturating_sub(1)) as f64
+                * workload.scale_vs_paper();
             let cpu = scan_cpu / parallel_cores;
             (cpu, serialized + contention, 0.0, Bottleneck::SharedIndexLock)
         }
@@ -207,9 +207,9 @@ pub fn estimate_run(
     // The shared-index contention penalty applies on top of whichever bound
     // is binding: lock hand-offs steal time from reading as well.
     if implementation == Implementation::SharedLocked {
-        let contention =
-            platform.lock_penalty_s_per_contender * (updaters.saturating_sub(1)) as f64
-                * workload.scale_vs_paper();
+        let contention = platform.lock_penalty_s_per_contender
+            * (updaters.saturating_sub(1)) as f64
+            * workload.scale_vs_paper();
         if bottleneck != Bottleneck::SharedIndexLock {
             phase_s += contention;
         }
@@ -251,10 +251,30 @@ mod tests {
         ];
         for (platform, fname, read, read_extract, update) in cases {
             let est = sequential_stages(&platform, &workload);
-            assert!(close(est.filename_generation_s, fname, 0.02), "{}: fn {}", platform.name, est.filename_generation_s);
-            assert!(close(est.read_files_s, read, 0.02), "{}: read {}", platform.name, est.read_files_s);
-            assert!(close(est.read_and_extract_s, read_extract, 0.02), "{}: read+extract {}", platform.name, est.read_and_extract_s);
-            assert!(close(est.index_update_s, update, 0.02), "{}: update {}", platform.name, est.index_update_s);
+            assert!(
+                close(est.filename_generation_s, fname, 0.02),
+                "{}: fn {}",
+                platform.name,
+                est.filename_generation_s
+            );
+            assert!(
+                close(est.read_files_s, read, 0.02),
+                "{}: read {}",
+                platform.name,
+                est.read_files_s
+            );
+            assert!(
+                close(est.read_and_extract_s, read_extract, 0.02),
+                "{}: read+extract {}",
+                platform.name,
+                est.read_and_extract_s
+            );
+            assert!(
+                close(est.index_update_s, update, 0.02),
+                "{}: update {}",
+                platform.name,
+                est.index_update_s
+            );
             assert!(est.production_total_s() > est.read_and_extract_s);
         }
     }
@@ -288,9 +308,24 @@ mod tests {
     fn table3_ordering_holds_on_the_8_core() {
         let platform = PlatformModel::eight_core();
         let workload = WorkloadModel::paper();
-        let impl1 = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(3, 2, 0));
-        let impl2 = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(6, 2, 1));
-        let impl3 = estimate_run(&platform, &workload, Implementation::ReplicateNoJoin, Configuration::new(6, 2, 0));
+        let impl1 = estimate_run(
+            &platform,
+            &workload,
+            Implementation::SharedLocked,
+            Configuration::new(3, 2, 0),
+        );
+        let impl2 = estimate_run(
+            &platform,
+            &workload,
+            Implementation::ReplicateJoin,
+            Configuration::new(6, 2, 1),
+        );
+        let impl3 = estimate_run(
+            &platform,
+            &workload,
+            Implementation::ReplicateNoJoin,
+            Configuration::new(6, 2, 0),
+        );
         assert!(close(impl1.speedup, 1.76, 0.10), "impl1 {}", impl1.speedup);
         assert!(close(impl2.speedup, 1.82, 0.10), "impl2 {}", impl2.speedup);
         assert!(close(impl3.speedup, 2.12, 0.10), "impl3 {}", impl3.speedup);
@@ -301,9 +336,24 @@ mod tests {
     fn table4_ordering_and_gap_hold_on_the_32_core() {
         let platform = PlatformModel::thirty_two_core();
         let workload = WorkloadModel::paper();
-        let impl1 = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(8, 4, 0));
-        let impl2 = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(8, 4, 1));
-        let impl3 = estimate_run(&platform, &workload, Implementation::ReplicateNoJoin, Configuration::new(9, 4, 0));
+        let impl1 = estimate_run(
+            &platform,
+            &workload,
+            Implementation::SharedLocked,
+            Configuration::new(8, 4, 0),
+        );
+        let impl2 = estimate_run(
+            &platform,
+            &workload,
+            Implementation::ReplicateJoin,
+            Configuration::new(8, 4, 1),
+        );
+        let impl3 = estimate_run(
+            &platform,
+            &workload,
+            Implementation::ReplicateNoJoin,
+            Configuration::new(9, 4, 0),
+        );
         assert!(close(impl1.speedup, 1.96, 0.10), "impl1 {}", impl1.speedup);
         assert!(close(impl2.speedup, 2.47, 0.10), "impl2 {}", impl2.speedup);
         assert!(close(impl3.speedup, 3.50, 0.10), "impl3 {}", impl3.speedup);
@@ -333,8 +383,18 @@ mod tests {
     fn more_lock_contenders_hurt_the_shared_design() {
         let platform = PlatformModel::thirty_two_core();
         let workload = WorkloadModel::paper();
-        let few = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(8, 2, 0));
-        let many = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(8, 16, 0));
+        let few = estimate_run(
+            &platform,
+            &workload,
+            Implementation::SharedLocked,
+            Configuration::new(8, 2, 0),
+        );
+        let many = estimate_run(
+            &platform,
+            &workload,
+            Implementation::SharedLocked,
+            Configuration::new(8, 16, 0),
+        );
         assert!(many.total_s > few.total_s);
     }
 
@@ -342,8 +402,18 @@ mod tests {
     fn join_threads_reduce_join_time() {
         let platform = PlatformModel::thirty_two_core();
         let workload = WorkloadModel::paper();
-        let one = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(8, 4, 1));
-        let four = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(8, 4, 4));
+        let one = estimate_run(
+            &platform,
+            &workload,
+            Implementation::ReplicateJoin,
+            Configuration::new(8, 4, 1),
+        );
+        let four = estimate_run(
+            &platform,
+            &workload,
+            Implementation::ReplicateJoin,
+            Configuration::new(8, 4, 4),
+        );
         assert!(four.join_s < one.join_s);
         assert!(four.total_s < one.total_s);
         assert!((one.join_s - 4.0 * four.join_s).abs() < 1e-9);
@@ -354,8 +424,18 @@ mod tests {
         let platform = PlatformModel::four_core();
         let full = WorkloadModel::paper();
         let tenth = WorkloadModel::from_counts(5_100, 86_900_000);
-        let est_full = estimate_run(&platform, &full, Implementation::ReplicateNoJoin, Configuration::new(3, 2, 0));
-        let est_tenth = estimate_run(&platform, &tenth, Implementation::ReplicateNoJoin, Configuration::new(3, 2, 0));
+        let est_full = estimate_run(
+            &platform,
+            &full,
+            Implementation::ReplicateNoJoin,
+            Configuration::new(3, 2, 0),
+        );
+        let est_tenth = estimate_run(
+            &platform,
+            &tenth,
+            Implementation::ReplicateNoJoin,
+            Configuration::new(3, 2, 0),
+        );
         let ratio = est_tenth.total_s / est_full.total_s;
         assert!((0.08..0.12).contains(&ratio), "ratio {ratio}");
         // Speed-up is scale-free.
@@ -367,11 +447,21 @@ mod tests {
         let platform = PlatformModel::eight_core();
         let workload = WorkloadModel::paper();
         // Single extractor: I/O bound.
-        let est = estimate_run(&platform, &workload, Implementation::ReplicateNoJoin, Configuration::new(1, 0, 0));
+        let est = estimate_run(
+            &platform,
+            &workload,
+            Implementation::ReplicateNoJoin,
+            Configuration::new(1, 0, 0),
+        );
         assert_eq!(est.bottleneck, Bottleneck::Io);
         assert_eq!(est.bottleneck.to_string(), "I/O");
         // Shared index with many contenders: lock bound.
-        let est = estimate_run(&platform, &workload, Implementation::SharedLocked, Configuration::new(8, 8, 0));
+        let est = estimate_run(
+            &platform,
+            &workload,
+            Implementation::SharedLocked,
+            Configuration::new(8, 8, 0),
+        );
         assert_eq!(est.bottleneck, Bottleneck::SharedIndexLock);
     }
 
@@ -379,7 +469,12 @@ mod tests {
     fn estimate_handles_degenerate_configurations() {
         let platform = PlatformModel::four_core();
         let workload = WorkloadModel::paper();
-        let est = estimate_run(&platform, &workload, Implementation::ReplicateJoin, Configuration::new(0, 0, 0));
+        let est = estimate_run(
+            &platform,
+            &workload,
+            Implementation::ReplicateJoin,
+            Configuration::new(0, 0, 0),
+        );
         assert!(est.total_s.is_finite() && est.total_s > 0.0);
         assert!(est.join_s > 0.0);
     }

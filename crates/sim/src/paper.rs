@@ -27,9 +27,27 @@ pub struct Table1Row {
 #[must_use]
 pub fn table1() -> Vec<Table1Row> {
     vec![
-        Table1Row { platform_cores: 4, filename_generation_s: 5.0, read_files_s: 77.0, read_and_extract_s: 88.0, index_update_s: 22.0 },
-        Table1Row { platform_cores: 8, filename_generation_s: 4.0, read_files_s: 47.0, read_and_extract_s: 61.0, index_update_s: 29.0 },
-        Table1Row { platform_cores: 32, filename_generation_s: 5.0, read_files_s: 73.0, read_and_extract_s: 80.0, index_update_s: 28.0 },
+        Table1Row {
+            platform_cores: 4,
+            filename_generation_s: 5.0,
+            read_files_s: 77.0,
+            read_and_extract_s: 88.0,
+            index_update_s: 22.0,
+        },
+        Table1Row {
+            platform_cores: 8,
+            filename_generation_s: 4.0,
+            read_files_s: 47.0,
+            read_and_extract_s: 61.0,
+            index_update_s: 29.0,
+        },
+        Table1Row {
+            platform_cores: 32,
+            filename_generation_s: 5.0,
+            read_files_s: 73.0,
+            read_and_extract_s: 80.0,
+            index_update_s: 28.0,
+        },
     ]
 }
 
@@ -67,9 +85,27 @@ pub fn table2() -> BestConfigTable {
         platform_cores: 4,
         sequential_s: 220.0,
         rows: vec![
-            BestConfigRow { implementation: Implementation::SharedLocked, best_configuration: Configuration::new(3, 1, 0), execution_time_s: 46.7, speedup: 4.71, variance_vs_impl1_percent: 0.0 },
-            BestConfigRow { implementation: Implementation::ReplicateJoin, best_configuration: Configuration::new(3, 5, 1), execution_time_s: 46.9, speedup: 4.70, variance_vs_impl1_percent: -0.21 },
-            BestConfigRow { implementation: Implementation::ReplicateNoJoin, best_configuration: Configuration::new(3, 2, 0), execution_time_s: 46.4, speedup: 4.74, variance_vs_impl1_percent: 0.85 },
+            BestConfigRow {
+                implementation: Implementation::SharedLocked,
+                best_configuration: Configuration::new(3, 1, 0),
+                execution_time_s: 46.7,
+                speedup: 4.71,
+                variance_vs_impl1_percent: 0.0,
+            },
+            BestConfigRow {
+                implementation: Implementation::ReplicateJoin,
+                best_configuration: Configuration::new(3, 5, 1),
+                execution_time_s: 46.9,
+                speedup: 4.70,
+                variance_vs_impl1_percent: -0.21,
+            },
+            BestConfigRow {
+                implementation: Implementation::ReplicateNoJoin,
+                best_configuration: Configuration::new(3, 2, 0),
+                execution_time_s: 46.4,
+                speedup: 4.74,
+                variance_vs_impl1_percent: 0.85,
+            },
         ],
     }
 }
@@ -81,9 +117,27 @@ pub fn table3() -> BestConfigTable {
         platform_cores: 8,
         sequential_s: 105.0,
         rows: vec![
-            BestConfigRow { implementation: Implementation::SharedLocked, best_configuration: Configuration::new(3, 2, 0), execution_time_s: 59.5, speedup: 1.76, variance_vs_impl1_percent: 0.0 },
-            BestConfigRow { implementation: Implementation::ReplicateJoin, best_configuration: Configuration::new(6, 2, 1), execution_time_s: 57.7, speedup: 1.82, variance_vs_impl1_percent: 3.4 },
-            BestConfigRow { implementation: Implementation::ReplicateNoJoin, best_configuration: Configuration::new(6, 2, 0), execution_time_s: 49.5, speedup: 2.12, variance_vs_impl1_percent: 16.5 },
+            BestConfigRow {
+                implementation: Implementation::SharedLocked,
+                best_configuration: Configuration::new(3, 2, 0),
+                execution_time_s: 59.5,
+                speedup: 1.76,
+                variance_vs_impl1_percent: 0.0,
+            },
+            BestConfigRow {
+                implementation: Implementation::ReplicateJoin,
+                best_configuration: Configuration::new(6, 2, 1),
+                execution_time_s: 57.7,
+                speedup: 1.82,
+                variance_vs_impl1_percent: 3.4,
+            },
+            BestConfigRow {
+                implementation: Implementation::ReplicateNoJoin,
+                best_configuration: Configuration::new(6, 2, 0),
+                execution_time_s: 49.5,
+                speedup: 2.12,
+                variance_vs_impl1_percent: 16.5,
+            },
         ],
     }
 }
@@ -95,9 +149,27 @@ pub fn table4() -> BestConfigTable {
         platform_cores: 32,
         sequential_s: 90.0,
         rows: vec![
-            BestConfigRow { implementation: Implementation::SharedLocked, best_configuration: Configuration::new(8, 4, 0), execution_time_s: 45.9, speedup: 1.96, variance_vs_impl1_percent: 0.0 },
-            BestConfigRow { implementation: Implementation::ReplicateJoin, best_configuration: Configuration::new(8, 4, 1), execution_time_s: 36.4, speedup: 2.47, variance_vs_impl1_percent: 26.0 },
-            BestConfigRow { implementation: Implementation::ReplicateNoJoin, best_configuration: Configuration::new(9, 4, 0), execution_time_s: 25.7, speedup: 3.50, variance_vs_impl1_percent: 78.6 },
+            BestConfigRow {
+                implementation: Implementation::SharedLocked,
+                best_configuration: Configuration::new(8, 4, 0),
+                execution_time_s: 45.9,
+                speedup: 1.96,
+                variance_vs_impl1_percent: 0.0,
+            },
+            BestConfigRow {
+                implementation: Implementation::ReplicateJoin,
+                best_configuration: Configuration::new(8, 4, 1),
+                execution_time_s: 36.4,
+                speedup: 2.47,
+                variance_vs_impl1_percent: 26.0,
+            },
+            BestConfigRow {
+                implementation: Implementation::ReplicateNoJoin,
+                best_configuration: Configuration::new(9, 4, 0),
+                execution_time_s: 25.7,
+                speedup: 3.50,
+                variance_vs_impl1_percent: 78.6,
+            },
         ],
     }
 }
@@ -168,7 +240,11 @@ mod tests {
         // 4-core: all within a few percent; 8- and 32-core: impl3 > impl2 > impl1.
         let t2 = table2();
         let speedups: Vec<f64> = t2.rows.iter().map(|r| r.speedup).collect();
-        assert!(speedups.iter().cloned().fold(f64::MIN, f64::max) / speedups.iter().cloned().fold(f64::MAX, f64::min) < 1.02);
+        assert!(
+            speedups.iter().cloned().fold(f64::MIN, f64::max)
+                / speedups.iter().cloned().fold(f64::MAX, f64::min)
+                < 1.02
+        );
         for table in [table3(), table4()] {
             assert!(table.rows[2].speedup > table.rows[1].speedup);
             assert!(table.rows[1].speedup > table.rows[0].speedup);

@@ -139,7 +139,10 @@ mod tests {
     fn scaled_platform_touches_only_the_requested_parameter() {
         let base = PlatformModel::eight_core();
         let scaled = scaled_platform(&base, SensitivityAxis::LockPenalty, 2.0);
-        assert!((scaled.lock_penalty_s_per_contender - base.lock_penalty_s_per_contender * 2.0).abs() < 1e-12);
+        assert!(
+            (scaled.lock_penalty_s_per_contender - base.lock_penalty_s_per_contender * 2.0).abs()
+                < 1e-12
+        );
         assert_eq!(scaled.cores, base.cores);
         assert!((scaled.update_ns_per_byte - base.update_ns_per_byte).abs() < 1e-12);
         assert!(scaled.name.contains("lock penalty"));
@@ -157,7 +160,8 @@ mod tests {
         let workload = WorkloadModel::paper();
         let points = sensitivity_sweep(&base, &workload, SensitivityAxis::LockPenalty, &FACTORS);
         assert_eq!(points.len(), FACTORS.len());
-        let ratios: Vec<f64> = points.iter().map(SensitivityPoint::shared_vs_no_join_ratio).collect();
+        let ratios: Vec<f64> =
+            points.iter().map(SensitivityPoint::shared_vs_no_join_ratio).collect();
         // A more expensive lock widens the gap monotonically.
         for pair in ratios.windows(2) {
             assert!(pair[1] >= pair[0] - 1e-9, "ratios {ratios:?}");

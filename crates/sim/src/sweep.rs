@@ -68,11 +68,8 @@ pub fn sweep_implementation(
     ranges: SweepRanges,
 ) -> Vec<SweepPoint> {
     let mut points = Vec::new();
-    let join_range: Vec<usize> = if implementation.joins() {
-        (0..=ranges.max_join).collect()
-    } else {
-        vec![0]
-    };
+    let join_range: Vec<usize> =
+        if implementation.joins() { (0..=ranges.max_join).collect() } else { vec![0] };
     for x in 1..=ranges.max_extraction.max(1) {
         for y in 0..=ranges.max_update {
             for &z in &join_range {
@@ -113,11 +110,7 @@ pub fn best_configuration(
                 })
         })
         .expect("sweep ranges are non-empty");
-    BestConfiguration {
-        implementation,
-        configuration: best.configuration,
-        estimate: best.estimate,
-    }
+    BestConfiguration { implementation, configuration: best.configuration, estimate: best.estimate }
 }
 
 #[cfg(test)]
@@ -129,10 +122,12 @@ mod tests {
         let platform = PlatformModel::four_core();
         let workload = WorkloadModel::paper();
         let ranges = SweepRanges { max_extraction: 4, max_update: 2, max_join: 1 };
-        let impl3 = sweep_implementation(&platform, &workload, Implementation::ReplicateNoJoin, ranges);
+        let impl3 =
+            sweep_implementation(&platform, &workload, Implementation::ReplicateNoJoin, ranges);
         // x in 1..=4, y in 0..=2, z fixed at 0.
         assert_eq!(impl3.len(), 4 * 3);
-        let impl2 = sweep_implementation(&platform, &workload, Implementation::ReplicateJoin, ranges);
+        let impl2 =
+            sweep_implementation(&platform, &workload, Implementation::ReplicateJoin, ranges);
         assert_eq!(impl2.len(), 4 * 3 * 2);
     }
 
@@ -160,9 +155,12 @@ mod tests {
         let workload = WorkloadModel::paper();
         for platform in PlatformModel::paper_platforms() {
             let ranges = SweepRanges::for_platform(&platform);
-            let impl1 = best_configuration(&platform, &workload, Implementation::SharedLocked, ranges);
-            let impl2 = best_configuration(&platform, &workload, Implementation::ReplicateJoin, ranges);
-            let impl3 = best_configuration(&platform, &workload, Implementation::ReplicateNoJoin, ranges);
+            let impl1 =
+                best_configuration(&platform, &workload, Implementation::SharedLocked, ranges);
+            let impl2 =
+                best_configuration(&platform, &workload, Implementation::ReplicateJoin, ranges);
+            let impl3 =
+                best_configuration(&platform, &workload, Implementation::ReplicateNoJoin, ranges);
             // The paper's headline: the no-join design is the overall winner
             // on every platform (ties allowed on the 4-core machine, where all
             // three designs are equivalent).
@@ -183,8 +181,10 @@ mod tests {
         let mut ratios = Vec::new();
         for platform in PlatformModel::paper_platforms() {
             let ranges = SweepRanges::for_platform(&platform);
-            let impl1 = best_configuration(&platform, &workload, Implementation::SharedLocked, ranges);
-            let impl3 = best_configuration(&platform, &workload, Implementation::ReplicateNoJoin, ranges);
+            let impl1 =
+                best_configuration(&platform, &workload, Implementation::SharedLocked, ranges);
+            let impl3 =
+                best_configuration(&platform, &workload, Implementation::ReplicateNoJoin, ranges);
             ratios.push(impl1.estimate.total_s / impl3.estimate.total_s);
         }
         // The paper's crossover: the advantage of replication over the shared

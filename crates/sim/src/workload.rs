@@ -36,10 +36,7 @@ impl WorkloadModel {
     /// expected byte volume).
     #[must_use]
     pub fn from_spec(spec: &CorpusSpec) -> Self {
-        WorkloadModel {
-            files: spec.file_count() as u64,
-            bytes: spec.expected_bytes(),
-        }
+        WorkloadModel { files: spec.file_count() as u64, bytes: spec.expected_bytes() }
     }
 
     /// Ratio of this workload's byte volume to the paper's.

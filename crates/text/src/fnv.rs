@@ -146,7 +146,7 @@ pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::hash::{BuildHasher, Hash};
+    use std::hash::BuildHasher;
 
     // Published test vectors from Landon Curt Noll's FNV pages.
     #[test]
@@ -207,16 +207,8 @@ mod tests {
     #[test]
     fn string_hash_is_stable_across_hasher_instances() {
         let build = FnvBuildHasher::default();
-        let a = {
-            let mut h = build.build_hasher();
-            "reproducible".hash(&mut h);
-            h.finish()
-        };
-        let b = {
-            let mut h = build.build_hasher();
-            "reproducible".hash(&mut h);
-            h.finish()
-        };
+        let a = { build.hash_one("reproducible") };
+        let b = { build.hash_one("reproducible") };
         assert_eq!(a, b);
     }
 

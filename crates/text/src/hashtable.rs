@@ -21,7 +21,7 @@
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::hash::{BuildHasher, Hash, Hasher};
+use std::hash::{BuildHasher, Hash};
 
 use crate::fnv::FnvBuildHasher;
 
@@ -116,9 +116,7 @@ impl<K: Hash + Eq, V, S: BuildHasher> FnvHashMap<K, V, S> {
     }
 
     fn hash_of<Q: Hash + ?Sized>(&self, key: &Q) -> u64 {
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
-        h.finish()
+        self.hasher.hash_one(key)
     }
 
     fn mask(&self) -> usize {

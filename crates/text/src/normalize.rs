@@ -67,10 +67,7 @@ impl Normalizer {
     /// remains.
     #[must_use]
     pub fn normalize(&self, raw: &str) -> Option<Term> {
-        let mut s: String = raw
-            .chars()
-            .filter(|c| c.is_ascii())
-            .collect();
+        let mut s: String = raw.chars().filter(|c| c.is_ascii()).collect();
         if self.options.lowercase {
             s.make_ascii_lowercase();
         }
@@ -96,9 +93,7 @@ impl Normalizer {
     /// that normalise to nothing.
     #[must_use]
     pub fn normalize_all(&self, raw: &str) -> Vec<Term> {
-        raw.split_whitespace()
-            .filter_map(|w| self.normalize(w))
-            .collect()
+        raw.split_whitespace().filter_map(|w| self.normalize(w)).collect()
     }
 }
 

@@ -10,9 +10,9 @@ use crate::tokenizer::Term;
 
 /// The classic short English stop-word list.
 pub const ENGLISH_STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is",
-    "it", "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there",
-    "these", "they", "this", "to", "was", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with",
 ];
 
 /// A set of terms to exclude from indexing or querying.
@@ -36,9 +36,7 @@ impl StopWords {
 
     /// Builds a stop list from an iterator of words.
     pub fn from_words<'a>(words: impl IntoIterator<Item = &'a str>) -> Self {
-        StopWords {
-            words: words.into_iter().map(|w| w.to_ascii_lowercase()).collect(),
-        }
+        StopWords { words: words.into_iter().map(|w| w.to_ascii_lowercase()).collect() }
     }
 
     /// Number of stop words in the list.
@@ -93,12 +91,8 @@ mod tests {
     #[test]
     fn filter_removes_only_stop_words() {
         let sw = StopWords::english();
-        let mut terms = vec![
-            Term::from("the"),
-            Term::from("quick"),
-            Term::from("and"),
-            Term::from("brown"),
-        ];
+        let mut terms =
+            vec![Term::from("the"), Term::from("quick"), Term::from("and"), Term::from("brown")];
         sw.filter(&mut terms);
         let words: Vec<&str> = terms.iter().map(|t| t.as_str()).collect();
         assert_eq!(words, ["quick", "brown"]);

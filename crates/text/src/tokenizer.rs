@@ -206,12 +206,7 @@ impl Tokenizer {
 
     /// Convenience wrapper returning only the terms of a byte slice.
     pub fn terms<'a>(&'a self, text: &'a [u8]) -> impl Iterator<Item = Term> + 'a {
-        TermIter {
-            tokenizer: self,
-            text,
-            pos: 0,
-            stats: TokenStats::default(),
-        }
+        TermIter { tokenizer: self, text, pos: 0, stats: TokenStats::default() }
     }
 
     /// Reads a stream to the end (byte-by-byte semantics, buffered I/O) and
@@ -272,9 +267,8 @@ impl<'a> Iterator for TermIter<'a> {
                 self.pos += 1;
                 self.stats.bytes_scanned += 1;
             }
-            if let Some(t) = self
-                .tokenizer
-                .finish_token(&self.text[start..self.pos], &mut self.stats)
+            if let Some(t) =
+                self.tokenizer.finish_token(&self.text[start..self.pos], &mut self.stats)
             {
                 return Some(t);
             }
@@ -317,14 +311,19 @@ mod tests {
         let (terms, _) = with.tokenize(b"abc123 456");
         assert_eq!(terms.iter().map(Term::as_str).collect::<Vec<_>>(), ["abc123", "456"]);
 
-        let without = Tokenizer::new(TokenizerOptions { include_digits: false, ..Default::default() });
+        let without =
+            Tokenizer::new(TokenizerOptions { include_digits: false, ..Default::default() });
         let (terms, _) = without.tokenize(b"abc123 456");
         assert_eq!(terms.iter().map(Term::as_str).collect::<Vec<_>>(), ["abc"]);
     }
 
     #[test]
     fn length_filters_apply() {
-        let tok = Tokenizer::new(TokenizerOptions { min_term_len: 3, max_term_len: 5, ..Default::default() });
+        let tok = Tokenizer::new(TokenizerOptions {
+            min_term_len: 3,
+            max_term_len: 5,
+            ..Default::default()
+        });
         let (terms, stats) = tok.tokenize(b"a ab abc abcd abcde abcdef");
         let words: Vec<&str> = terms.iter().map(Term::as_str).collect();
         assert_eq!(words, ["abc", "abcd", "abcde"]);

@@ -163,10 +163,8 @@ impl WordListBuilder {
 
     /// Clears the builder for reuse on the next file, keeping allocations.
     pub fn reset(&mut self) -> WordList {
-        let list = WordList {
-            terms: std::mem::take(&mut self.terms),
-            occurrences: self.occurrences,
-        };
+        let list =
+            WordList { terms: std::mem::take(&mut self.terms), occurrences: self.occurrences };
         self.seen.clear();
         self.occurrences = 0;
         list

@@ -134,9 +134,7 @@ impl<F: FileSystem> FileSystem for CountingFs<F> {
     fn read_dir(&self, path: &VPath) -> Result<Vec<DirEntry>, VfsError> {
         let entries = self.inner.read_dir(path)?;
         self.counters.dir_listings.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .entries_listed
-            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        self.counters.entries_listed.fetch_add(entries.len() as u64, Ordering::Relaxed);
         Ok(entries)
     }
 
@@ -205,8 +203,20 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = IoCounters { file_reads: 1, bytes_read: 2, dir_listings: 3, entries_listed: 4, metadata_queries: 5 };
-        let b = IoCounters { file_reads: 10, bytes_read: 20, dir_listings: 30, entries_listed: 40, metadata_queries: 50 };
+        let mut a = IoCounters {
+            file_reads: 1,
+            bytes_read: 2,
+            dir_listings: 3,
+            entries_listed: 4,
+            metadata_queries: 5,
+        };
+        let b = IoCounters {
+            file_reads: 10,
+            bytes_read: 20,
+            dir_listings: 30,
+            entries_listed: 40,
+            metadata_queries: 50,
+        };
         a.merge(&b);
         assert_eq!(a.file_reads, 11);
         assert_eq!(a.bytes_read, 22);

@@ -136,11 +136,7 @@ impl MemFs {
     /// Number of files (not directories) in the tree.
     #[must_use]
     pub fn file_count(&self) -> usize {
-        self.nodes
-            .read()
-            .values()
-            .filter(|n| matches!(n, Node::File(_)))
-            .count()
+        self.nodes.read().values().filter(|n| matches!(n, Node::File(_))).count()
     }
 
     /// Total bytes stored across all files.
@@ -234,10 +230,7 @@ mod tests {
     fn duplicate_file_rejected() {
         let fs = MemFs::new();
         fs.add_file(&VPath::new("f"), vec![1]).unwrap();
-        assert!(matches!(
-            fs.add_file(&VPath::new("f"), vec![2]),
-            Err(VfsError::AlreadyExists(_))
-        ));
+        assert!(matches!(fs.add_file(&VPath::new("f"), vec![2]), Err(VfsError::AlreadyExists(_))));
     }
 
     #[test]
@@ -251,10 +244,7 @@ mod tests {
     fn file_as_parent_is_rejected() {
         let fs = MemFs::new();
         fs.add_file(&VPath::new("a"), vec![]).unwrap();
-        assert!(matches!(
-            fs.add_file(&VPath::new("a/b"), vec![]),
-            Err(VfsError::NotADirectory(_))
-        ));
+        assert!(matches!(fs.add_file(&VPath::new("a/b"), vec![]), Err(VfsError::NotADirectory(_))));
         assert!(matches!(fs.add_dir(&VPath::new("a/c")), Err(VfsError::NotADirectory(_))));
     }
 

@@ -131,11 +131,8 @@ mod tests {
         impl TempDirGuard {
             pub fn new(prefix: &str) -> Self {
                 let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-                let path = std::env::temp_dir().join(format!(
-                    "{prefix}-{}-{}",
-                    std::process::id(),
-                    n
-                ));
+                let path =
+                    std::env::temp_dir().join(format!("{prefix}-{}-{}", std::process::id(), n));
                 std::fs::create_dir_all(&path).unwrap();
                 TempDirGuard { path }
             }

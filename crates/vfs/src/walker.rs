@@ -192,10 +192,7 @@ mod tests {
     #[test]
     fn extension_filter_is_case_insensitive() {
         let fs = tree();
-        let (files, _) = Walker::new()
-            .with_extensions(["txt"])
-            .walk(&fs, &VPath::root())
-            .unwrap();
+        let (files, _) = Walker::new().with_extensions(["txt"]).walk(&fs, &VPath::root()).unwrap();
         assert_eq!(files.len(), 4);
         assert!(files.iter().all(|f| f.path.extension().unwrap().eq_ignore_ascii_case("txt")));
     }
@@ -203,10 +200,8 @@ mod tests {
     #[test]
     fn size_limit_filters_large_files() {
         let fs = tree();
-        let (files, stats) = Walker::new()
-            .with_max_file_size(20)
-            .walk(&fs, &VPath::root())
-            .unwrap();
+        let (files, stats) =
+            Walker::new().with_max_file_size(20).walk(&fs, &VPath::root()).unwrap();
         assert_eq!(files.len(), 3);
         assert!(files.iter().all(|f| f.size <= 20));
         assert_eq!(stats.total_bytes, 35);

@@ -15,9 +15,7 @@
 
 use std::time::Instant;
 
-use dsearch::autotune::{
-    ConfigSpace, ExhaustiveTuner, HillClimbTuner, RandomSearchTuner, Tuner,
-};
+use dsearch::autotune::{ConfigSpace, ExhaustiveTuner, HillClimbTuner, RandomSearchTuner, Tuner};
 use dsearch::core::{Configuration, Implementation, IndexGenerator};
 use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
 use dsearch::sim::{estimate_run, PlatformModel, WorkloadModel};
@@ -73,9 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let real_objective = |config: &Configuration| {
         evaluations += 1;
         let started = Instant::now();
-        generator
-            .run(&fs, &VPath::root(), implementation, *config)
-            .expect("run succeeds");
+        generator.run(&fs, &VPath::root(), implementation, *config).expect("run succeeds");
         started.elapsed().as_secs_f64()
     };
     let result = HillClimbTuner::new(2, 7).tune(&real_space, real_objective);

@@ -28,11 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut reference: Option<(dsearch::index::InMemoryIndex, dsearch::index::DocTable)> = None;
     for implementation in Implementation::ALL {
-        let config = Configuration::new(
-            cores,
-            0,
-            if implementation.joins() { 1 } else { 0 },
-        );
+        let config = Configuration::new(cores, 0, if implementation.joins() { 1 } else { 0 });
         let run = generator.run(&fs, &VPath::root(), implementation, config)?;
         println!(
             "{:<18} {}  {:>8.3}s  {} files, {} replica(s)",

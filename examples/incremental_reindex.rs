@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut docs = DocTable::new();
     let mut signatures = SignatureDb::new();
 
-    let report = indexer.update(&fs_view, &VPath::root(), &mut index, &mut docs, &mut signatures)?;
+    let report =
+        indexer.update(&fs_view, &VPath::root(), &mut index, &mut docs, &mut signatures)?;
     println!(
         "first run : added {} files, re-scanned {:.1} kB",
         report.added,
@@ -55,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- second run: load the persisted state and update it --------------
     let mut store = IndexStore::open(&store_dir)?;
     let (mut index, mut docs) = store.load_joined()?;
-    let mut signatures = SignatureDb::from_json(&fs::read_to_string(store_dir.join("signatures.json"))?)?;
+    let mut signatures =
+        SignatureDb::from_json(&fs::read_to_string(store_dir.join("signatures.json"))?)?;
 
     let changes = indexer.diff(&fs_view, &VPath::root(), &signatures)?;
     println!(
@@ -67,7 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         changes.files_to_scan(),
         changes.files_to_scan() as u64 + changes.unchanged,
     );
-    let report = indexer.update(&fs_view, &VPath::root(), &mut index, &mut docs, &mut signatures)?;
+    let report =
+        indexer.update(&fs_view, &VPath::root(), &mut index, &mut docs, &mut signatures)?;
     println!(
         "            postings removed {}, postings added {}, rescan ratio {:.0}%",
         report.postings_removed,

@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(from_multi, from_single, "multi-index search must match the joined index");
     assert_eq!(from_parallel, from_single, "parallel fan-out must match too");
 
-    println!("{} matching files (identical results from all three search paths)", from_single.len());
+    println!(
+        "{} matching files (identical results from all three search paths)",
+        from_single.len()
+    );
     for hit in from_single.hits().iter().take(5) {
         println!("  {} (matched {} terms)", hit.path, hit.matched_terms);
     }

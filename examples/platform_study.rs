@@ -20,9 +20,8 @@ use dsearch::vfs::VPath;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = WorkloadModel::paper();
 
-    for (platform, table) in PlatformModel::paper_platforms()
-        .into_iter()
-        .zip(paper::best_config_tables())
+    for (platform, table) in
+        PlatformModel::paper_platforms().into_iter().zip(paper::best_config_tables())
     {
         println!("== {} ==", platform.name);
         println!(

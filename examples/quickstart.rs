@@ -4,8 +4,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
 use dsearch::core::{Configuration, Implementation, IndexGenerator};
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
 use dsearch::query::{Query, SearchBackend, SingleIndexSearcher};
 use dsearch::vfs::VPath;
 

@@ -1,0 +1,260 @@
+//! Offline shim of `criterion`: the API surface the `dsearch-bench` targets
+//! use, with a deliberately small measurement loop (a handful of timed
+//! iterations, median reported) instead of criterion's statistical engine.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs every benchmark
+//! routine exactly once for a fast smoke check.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Workload magnitude attached to a group, echoed in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Measured samples, one per timed run of the routine.
+    samples: Vec<Duration>,
+    sample_target: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it several times (once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let runs = if self.test_mode { 1 } else { self.sample_target };
+        for _ in 0..runs {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let runs = if self.test_mode { 1 } else { self.sample_target };
+        for _ in 0..runs {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort();
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark records (min 2 in this shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(2, 20);
+        self
+    }
+
+    /// Declares the per-iteration workload.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_target: if self.criterion.test_mode { 1 } else { self.sample_size },
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        self.report(&id, &mut bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_target: if self.criterion.test_mode { 1 } else { self.sample_size },
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &mut bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &mut Bencher) {
+        let label = format!("{}/{}", self.name, id.id);
+        match bencher.median() {
+            Some(median) => {
+                let throughput = match self.throughput {
+                    Some(Throughput::Bytes(b)) if median.as_secs_f64() > 0.0 => {
+                        let mib = b as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                        format!("  ({mib:.1} MiB/s)")
+                    }
+                    Some(Throughput::Elements(n)) if median.as_secs_f64() > 0.0 => {
+                        let eps = n as f64 / median.as_secs_f64();
+                        format!("  ({eps:.0} elem/s)")
+                    }
+                    _ => String::new(),
+                };
+                println!("bench {label:<60} median {median:>12.3?}{throughput}");
+            }
+            None => println!("bench {label:<60} (no samples)"),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`:
+        // run everything once, quickly.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 5, throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string()).bench_function("run", f);
+        self
+    }
+}
+
+/// Declares the benchmark functions of one target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark target's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter_batched(|| vec![n; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut criterion = Criterion { test_mode: true };
+        sample_bench(&mut criterion);
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline shim of `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait (generation only — failing inputs are reported but not
+//! shrunk), integer-range and generation-regex strategies, tuple composition,
+//! `collection::vec`/`collection::btree_map`, `option::of`, `any::<T>()`,
+//! `prop_map`, and the `proptest!`/`prop_assert*`/`prop_assume!` macros.
+//!
+//! Each `proptest!` test derives its RNG seed from the test name, so runs are
+//! deterministic yet differ across tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+
+mod regex_gen;
+
+pub use strategy::{Map, Strategy};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for real-proptest compatibility; the shim does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// The RNG handed to strategies (public so the `proptest!` macro can name
+/// it; not part of the real proptest API).
+#[derive(Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic per-test generator: the seed is an FNV-1a hash of the
+    /// test name.
+    #[must_use]
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(hash) }
+    }
+
+    /// Uniform draw from `low..high`.
+    pub fn below(&mut self, high: usize) -> usize {
+        if high <= 1 {
+            0
+        } else {
+            self.inner.gen_range(0..high)
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from an inclusive u64 span.
+    pub fn u64_in(&mut self, low: u64, high: u64) -> u64 {
+        if low >= high {
+            low
+        } else {
+            self.inner.gen_range(low..=high)
+        }
+    }
+
+    /// Uniform draw from an inclusive i64 span.
+    pub fn i64_in(&mut self, low: i64, high: i64) -> i64 {
+        if low >= high {
+            low
+        } else {
+            self.inner.gen_range(low..=high)
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for the full range of an integer type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.bits() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyInt { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for `bool`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        AnyBool
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig,
+    };
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(binding in strategy, ...) { body }` item becomes a
+/// `#[test]` that evaluates its strategies `cases` times and runs the body on
+/// every generated input.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @config($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@config($config:expr)) => {};
+    (@config($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($binding:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $binding = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let case_desc: ::std::string::String = {
+                    let mut parts: ::std::vec::Vec<::std::string::String> = ::std::vec::Vec::new();
+                    $(parts.push(format!(concat!(stringify!($binding), " = {:?}"), &$binding));)+
+                    parts.join(", ")
+                };
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let ::std::result::Result::Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} failed for inputs: {}",
+                        case + 1,
+                        config.cases,
+                        case_desc
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { @config($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// (The shim runs the body inside a closure per case, so "skip" is an early
+/// return rather than a retry with a fresh input.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

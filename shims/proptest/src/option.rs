@@ -1,0 +1,42 @@
+//! Option strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy yielding `None` about a quarter of the time, otherwise
+/// `Some(inner)` (matching real proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let strategy = of(0u8..10);
+        let mut rng = TestRng::deterministic("option");
+        let values: Vec<Option<u8>> = (0..200).map(|_| strategy.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+}

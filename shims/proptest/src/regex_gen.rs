@@ -1,0 +1,285 @@
+//! A tiny generation-oriented regex engine.
+//!
+//! Supports the subset the workspace's string strategies use:
+//!
+//! * literal characters (including multi-byte UTF-8);
+//! * character classes `[a-z ]`, `[ -~]`, `[A-Za-z_]` (ranges and literals);
+//! * groups with alternation `(alpha|beta|gamma)`;
+//! * quantifiers `{m,n}`, `{n}`, `?`, `*`, `+` on classes, groups and
+//!   literals (`*`/`+` are capped at 8 repetitions).
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges; single characters are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternation of sequences.
+    Group(Vec<Vec<Quantified>>),
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// A parsed generation regex.
+#[derive(Debug, Clone)]
+pub struct GenRegex {
+    sequence: Vec<Quantified>,
+}
+
+impl GenRegex {
+    /// Parses `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset — a test-authoring
+    /// error, caught immediately on first run.
+    pub fn parse(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let sequence = parse_sequence(&chars, &mut pos, pattern);
+        assert!(
+            pos == chars.len(),
+            "generation regex {pattern:?}: unexpected {:?} at {pos}",
+            chars.get(pos)
+        );
+        GenRegex { sequence }
+    }
+
+    /// Generates one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate_sequence(&self.sequence, rng, &mut out);
+        out
+    }
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Quantified> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        let node = match c {
+            ')' | '|' => break,
+            '[' => {
+                *pos += 1;
+                parse_class(chars, pos, pattern)
+            }
+            '(' => {
+                *pos += 1;
+                let mut alternatives = vec![parse_sequence(chars, pos, pattern)];
+                while chars.get(*pos) == Some(&'|') {
+                    *pos += 1;
+                    alternatives.push(parse_sequence(chars, pos, pattern));
+                }
+                assert!(
+                    chars.get(*pos) == Some(&')'),
+                    "generation regex {pattern:?}: unclosed group"
+                );
+                *pos += 1;
+                Node::Group(alternatives)
+            }
+            '\\' => {
+                *pos += 1;
+                let escaped = *chars
+                    .get(*pos)
+                    .unwrap_or_else(|| panic!("generation regex {pattern:?}: dangling escape"));
+                *pos += 1;
+                Node::Literal(escaped)
+            }
+            '.' => {
+                *pos += 1;
+                // Generating "any char" sticks to printable ASCII.
+                Node::Class(vec![(' ', '~')])
+            }
+            c => {
+                *pos += 1;
+                Node::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(chars, pos, pattern);
+        nodes.push(Quantified { node, min, max });
+    }
+    nodes
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    let mut ranges = Vec::new();
+    let negated = chars.get(*pos) == Some(&'^');
+    assert!(!negated, "generation regex {pattern:?}: negated classes unsupported");
+    while let Some(&c) = chars.get(*pos) {
+        if c == ']' {
+            *pos += 1;
+            return Node::Class(ranges);
+        }
+        let low = if c == '\\' {
+            *pos += 1;
+            *chars
+                .get(*pos)
+                .unwrap_or_else(|| panic!("generation regex {pattern:?}: dangling escape"))
+        } else {
+            c
+        };
+        *pos += 1;
+        // `a-z` range, unless `-` is the last char before `]`.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+            *pos += 1;
+            let high = chars[*pos];
+            *pos += 1;
+            assert!(low <= high, "generation regex {pattern:?}: inverted range");
+            ranges.push((low, high));
+        } else {
+            ranges.push((low, low));
+        }
+    }
+    panic!("generation regex {pattern:?}: unclosed class");
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, pattern: &str) -> (u32, u32) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min = 0u32;
+            while let Some(&c) = chars.get(*pos) {
+                if c.is_ascii_digit() {
+                    min = min * 10 + (c as u32 - '0' as u32);
+                    *pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    let mut max = 0u32;
+                    let mut saw_digit = false;
+                    while let Some(&c) = chars.get(*pos) {
+                        if c.is_ascii_digit() {
+                            max = max * 10 + (c as u32 - '0' as u32);
+                            *pos += 1;
+                            saw_digit = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    assert!(saw_digit, "generation regex {pattern:?}: open-ended {{m,}}");
+                    max
+                }
+                _ => min,
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "generation regex {pattern:?}: unclosed quantifier"
+            );
+            *pos += 1;
+            assert!(min <= max, "generation regex {pattern:?}: inverted quantifier");
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_sequence(sequence: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in sequence {
+        let count = q.min + rng.below((q.max - q.min + 1) as usize) as u32;
+        for _ in 0..count {
+            generate_node(&q.node, rng, out);
+        }
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            // Weight ranges by their width so every char is equally likely.
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut target = rng.below(total as usize) as u32;
+            for (lo, hi) in ranges {
+                let width = *hi as u32 - *lo as u32 + 1;
+                if target < width {
+                    out.push(char::from_u32(*lo as u32 + target).expect("valid char in class"));
+                    return;
+                }
+                target -= width;
+            }
+            unreachable!("class selection within total width");
+        }
+        Node::Group(alternatives) => {
+            let pick = rng.below(alternatives.len());
+            generate_sequence(&alternatives[pick], rng, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: &str) -> String {
+        GenRegex::parse(pattern).generate(&mut TestRng::deterministic(seed))
+    }
+
+    #[test]
+    fn classes_with_quantifiers() {
+        for i in 0..50 {
+            let s = gen("[a-z]{3,8}", &format!("s{i}"));
+            assert!((3..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = gen("[ -~]{0,20}", &format!("p{i}"));
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let s = gen("[A-Za-z_]{1,24}", &format!("m{i}"));
+            assert!(!s.is_empty() && s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn alternation_and_optional_groups() {
+        for i in 0..60 {
+            let s = gen("(alpha|beta|gamma)", &format!("a{i}"));
+            assert!(["alpha", "beta", "gamma"].contains(&s.as_str()), "{s:?}");
+
+            let s = gen("(fresh|новое)?(index|search)", &format!("b{i}"));
+            let tail_ok = s.ends_with("index") || s.ends_with("search");
+            assert!(tail_ok, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn nested_groups_with_quantifiers() {
+        for i in 0..40 {
+            let s = gen("[a-z]{1,3}(/[a-z]{1,3}){0,3}", &format!("n{i}"));
+            for part in s.split('/') {
+                assert!((1..=3).contains(&part.len()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        assert_eq!(gen("abc", "x"), "abc");
+        assert_eq!(gen("a{4}", "x"), "aaaa");
+        let s = gen("x[0-9]{2}y", "x");
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+}

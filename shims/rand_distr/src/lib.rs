@@ -1,0 +1,154 @@
+//! Offline shim of `rand_distr`: the two distributions the corpus generator
+//! uses.  [`LogNormal`] samples via Box-Muller; [`Zipf`] samples by inverse
+//! CDF over a precomputed cumulative table (exact, O(log n) per draw).
+
+use std::marker::PhantomData;
+
+pub use rand::Distribution;
+use rand::RngCore;
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+fn unit(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution from the mean and standard deviation of the
+    /// underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `sigma` is negative or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() || !sigma.is_finite() {
+            return Err(ParamError("log-normal parameters must be finite"));
+        }
+        if sigma < 0.0 {
+            return Err(ParamError("log-normal sigma must be non-negative"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller transform.
+        let mut u1 = unit(rng);
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = unit(rng);
+        }
+        let u2 = unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Zipf distribution over `1..=n` with exponent `s`: rank `k` has probability
+/// proportional to `1 / k^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf<F> {
+    /// Cumulative (unnormalised) weights; `cdf[k-1]` = sum of `1/i^s` for
+    /// `i ≤ k`.
+    cdf: Vec<f64>,
+    _marker: PhantomData<F>,
+}
+
+impl Zipf<f64> {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `n` is zero or `s` is not positive and finite.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("zipf needs at least one element"));
+        }
+        if !(s.is_finite() && s > 0.0) {
+            return Err(ParamError("zipf exponent must be positive and finite"));
+        }
+        let n = usize::try_from(n).map_err(|_| ParamError("zipf n too large"))?;
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        Ok(Zipf { cdf, _marker: PhantomData })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = *self.cdf.last().expect("cdf is non-empty");
+        let target = unit(rng) * total;
+        let idx = self.cdf.partition_point(|&c| c < target);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lognormal_median_tracks_mu() {
+        let dist = LogNormal::new((1000.0f64).ln(), 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| rng.sample(dist)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 1000.0).abs() < 100.0, "median {median}");
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let dist = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        let draws = 40_000;
+        for _ in 0..draws {
+            let v = dist.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&v));
+            let k = v as usize;
+            if k <= 4 {
+                counts[k - 1] += 1;
+            }
+        }
+        // P(1) ≈ 1/H(1000) ≈ 0.133; P(2) ≈ half of that.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        let p1 = counts[0] as f64 / draws as f64;
+        assert!((p1 - 0.133).abs() < 0.02, "p1 {p1}");
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+    }
+
+    #[test]
+    fn reference_to_distribution_also_samples() {
+        let dist = Zipf::new(10, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = dist.sample(&mut rng);
+        assert!((1.0..=10.0).contains(&v));
+    }
+}

@@ -1,0 +1,440 @@
+//! Offline shim of `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! small serde surface the workspace uses: `Serialize`/`Deserialize` traits
+//! over an owned [`Value`] data model, plus derive macros (re-exported from
+//! the sibling `serde_derive` shim).  `serde_json` (also shimmed) renders and
+//! parses [`Value`]s.
+//!
+//! The wire format round-trips through the shimmed `serde_json` exactly; it
+//! intentionally mirrors real serde's JSON conventions (externally tagged
+//! enums, transparent newtypes, `Duration` as `{secs, nanos}`) so swapping the
+//! real crates back in keeps on-disk formats compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// The self-describing value tree all (de)serialisation goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (always < 0).
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value widened to `f64`, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, when this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64`, when this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: &str) -> Self {
+        DeError { msg: msg.to_string() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up `name` in an object body and deserialises it (derive helper).
+pub fn object_field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        // A missing field only deserialises when the target accepts null
+        // (Option<T>), mirroring serde's treatment of absent optionals.
+        None => {
+            T::deserialize(&Value::Null).map_err(|_| DeError::new(&format!("missing field {name}")))
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::new("expected unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let i = *self as i64;
+                if i < 0 { Value::Int(i) } else { Value::UInt(i as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::new("expected integer"))?;
+                <$t>::try_from(i).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::new("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| DeError::new("expected number"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::new("expected single-char string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        if items.len() != N {
+            return Err(DeError::new("array length mismatch"));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed.try_into().map_err(|_| DeError::new("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::new("expected tuple array"))?;
+                let mut iter = items.iter();
+                Ok(($(
+                    {
+                        let _ = $idx;
+                        $name::deserialize(iter.next().ok_or_else(|| DeError::new("tuple too short"))?)?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialise as JSON objects when the key renders as a string, which is
+/// the only key shape this workspace uses.
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(k, v)| (key_to_string(&k.serialize()), v.serialize())).collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::new("expected object map"))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::deserialize(&Value::Str(k.clone()))?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: Serialize + Ord,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn serialize(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (key_to_string(&k.serialize()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::new("expected object map"))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::deserialize(&Value::Str(k.clone()))?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::UInt(u) => u.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("serde shim: unsupported map key {other:?}"),
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::new("expected duration object"))?;
+        let secs: u64 = object_field(obj, "secs")?;
+        let nanos: u32 = object_field(obj, "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(std::path::PathBuf::from).ok_or_else(|| DeError::new("expected path string"))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! value-based data model of the local `serde` shim (`serde::Value`), without
+//! depending on `syn`/`quote`: the input item is analysed directly from its
+//! token stream and the generated impl is assembled as a string and re-parsed.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields → JSON objects keyed by field name;
+//! * newtype structs (one unnamed field) → the inner value, transparently;
+//! * tuple structs → arrays;
+//! * unit-only enums → the variant name as a string;
+//! * enums with tuple/struct/unit variants → externally tagged
+//!   (`{"Variant": …}` / `"Variant"`), mirroring serde's default.
+//!
+//! `#[serde(...)]` attributes are not supported (the workspace uses none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item under the derive.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Splits the token trees of a brace/paren group body at top-level commas,
+/// treating `<`/`>` as nesting so `BTreeMap<K, V>` stays in one piece.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        parts.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Strips leading `#[...]` attribute pairs (doc comments included) from a
+/// token slice.
+fn skip_attributes(mut tokens: &[TokenTree]) -> &[TokenTree] {
+    loop {
+        match tokens {
+            [TokenTree::Punct(p), TokenTree::Group(g), rest @ ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                tokens = rest;
+            }
+            _ => return tokens,
+        }
+    }
+}
+
+/// Extracts the field name from one named-field declaration
+/// (`[pub] name : Type`).
+fn field_name(tokens: &[TokenTree]) -> Option<String> {
+    let tokens = skip_attributes(tokens);
+    let mut idents: Vec<String> = Vec::new();
+    for tt in tokens {
+        match tt {
+            TokenTree::Ident(i) => idents.push(i.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                // The ident immediately before the first `:` is the name;
+                // anything before it is visibility (`pub`).
+                return idents.last().cloned();
+            }
+            TokenTree::Group(_) => {} // pub(crate)
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = skip_attributes(&tokens);
+    let mut i = 0;
+    let mut kind = "";
+    let mut name = String::new();
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = if s == "struct" { "struct" } else { "enum" };
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = n.to_string();
+                }
+                i += 2;
+                break;
+            }
+        }
+        i += 1;
+    }
+    assert!(!name.is_empty(), "serde_derive shim: could not find item name");
+
+    // Skip generics, if any (the workspace derives on non-generic items, but
+    // be tolerant: skip a balanced <...> run).
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            while i < tokens.len() {
+                if let TokenTree::Punct(p) = &tokens[i] {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // Find the body group (brace for named/enum, paren for tuple struct).
+    let body = tokens[i..].iter().find_map(|tt| match tt {
+        TokenTree::Group(g)
+            if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(g.clone())
+        }
+        _ => None,
+    });
+
+    match (kind, body) {
+        ("struct", None) => Item::UnitStruct { name },
+        ("struct", Some(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::TupleStruct { name, arity: split_top_level(&inner).len() }
+        }
+        ("struct", Some(g)) => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let fields = split_top_level(&inner).iter().filter_map(|f| field_name(f)).collect();
+            Item::NamedStruct { name, fields }
+        }
+        ("enum", Some(g)) => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_top_level(&inner)
+                .iter()
+                .filter_map(|v| {
+                    let v = skip_attributes(v);
+                    let mut vname = None;
+                    let mut shape = VariantShape::Unit;
+                    for tt in v {
+                        match tt {
+                            TokenTree::Ident(id) if vname.is_none() => {
+                                vname = Some(id.to_string());
+                            }
+                            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                                shape = VariantShape::Tuple(split_top_level(&inner).len());
+                            }
+                            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                                shape = VariantShape::Named(
+                                    split_top_level(&inner)
+                                        .iter()
+                                        .filter_map(|f| field_name(f))
+                                        .collect(),
+                                );
+                            }
+                            _ => {}
+                        }
+                    }
+                    vname.map(|name| Variant { name, shape })
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        _ => panic!("serde_derive shim: unsupported item shape"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize(&self) -> ::serde::Value {{
+                        let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();
+                        {pushes}
+                        ::serde::Value::Object(fields)
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn serialize(&self) -> ::serde::Value {{
+                    ::serde::Serialize::serialize(&self.0)
+                }}
+            }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let pushes: String = (0..arity)
+                .map(|i| format!("items.push(::serde::Serialize::serialize(&self.{i}));\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize(&self) -> ::serde::Value {{
+                        let mut items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();
+                        {pushes}
+                        ::serde::Value::Array(items)
+                    }}
+                }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+            }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::serialize(f0))]),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let pushes: String = binds
+                                .iter()
+                                .map(|b| format!("items.push(::serde::Serialize::serialize({b}));\n"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {{
+                                    let mut items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();
+                                    {pushes}
+                                    ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(items))])
+                                }},\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "fields.push((\"{f}\".to_string(), ::serde::Serialize::serialize({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{
+                                    let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();
+                                    {pushes}
+                                    ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(fields))])
+                                }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::object_field(obj, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;
+                        ::std::result::Result::Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                    ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))
+                }}
+            }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let gets: String = (0..arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(items.get({i}).ok_or_else(|| ::serde::DeError::new(\"missing tuple element\"))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        let items = v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;
+                        ::std::result::Result::Ok({name}({gets}))
+                    }}
+                }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn deserialize(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                    ::std::result::Result::Ok({name})
+                }}
+            }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => return ::std::result::Result::Ok({name}::{0}),\n", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(val)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let gets: String = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(items.get({i}).ok_or_else(|| ::serde::DeError::new(\"missing variant element\"))?)?,\n"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{
+                                    let items = val.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array variant\"))?;
+                                    return ::std::result::Result::Ok({name}::{vn}({gets}));
+                                }}\n"
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::object_field(obj, \"{f}\")?,\n"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{
+                                    let obj = val.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object variant\"))?;
+                                    return ::std::result::Result::Ok({name}::{vn} {{ {inits} }});
+                                }}\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        if let ::serde::Value::Str(s) = v {{
+                            match s.as_str() {{
+                                {unit_arms}
+                                other => return ::std::result::Result::Err(::serde::DeError::new(&format!(\"unknown variant {{other}} of {name}\"))),
+                            }}
+                        }}
+                        if let ::std::option::Option::Some(obj) = v.as_object() {{
+                            if let ::std::option::Option::Some((tag, val)) = obj.first() {{
+                                match tag.as_str() {{
+                                    {tagged_arms}
+                                    other => return ::std::result::Result::Err(::serde::DeError::new(&format!(\"unknown variant {{other}} of {name}\"))),
+                                }}
+                            }}
+                        }}
+                        ::std::result::Result::Err(::serde::DeError::new(\"expected string or single-key object for enum {name}\"))
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Deserialize impl parses")
+}

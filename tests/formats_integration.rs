@@ -66,7 +66,12 @@ fn all_three_implementations_agree_on_a_mixed_format_corpus() {
 
     for implementation in [Implementation::ReplicateJoin, Implementation::ReplicateNoJoin] {
         let run = generator
-            .run(&fs, &VPath::root(), implementation, Configuration::new(3, 1, if implementation.joins() { 1 } else { 0 }))
+            .run(
+                &fs,
+                &VPath::root(),
+                implementation,
+                Configuration::new(3, 1, if implementation.joins() { 1 } else { 0 }),
+            )
             .unwrap();
         assert_eq!(run.outcome.file_count(), reference_index.file_count(), "{implementation}");
         let (index, docs) = run.outcome.into_single_index();
@@ -85,16 +90,16 @@ fn content_is_indexed_and_markup_binary_and_scripts_are_not() {
 
     // Content words from every indexable format.
     for present in [
-        "manycore",     // plain text
-        "guide",        // markdown heading
-        "generator",    // markdown body
-        "evaluation",   // html heading
-        "speedup",      // html body with a numeric entity inside the word
-        "quadcore",     // csv field
-        "seven",        // csv quoted field
-        "forces",       // wpx paragraph
-        "discussion",   // wpx title
-        "extractor",    // split identifier from source code
+        "manycore",   // plain text
+        "guide",      // markdown heading
+        "generator",  // markdown body
+        "evaluation", // html heading
+        "speedup",    // html body with a numeric entity inside the word
+        "quadcore",   // csv field
+        "seven",      // csv quoted field
+        "forces",     // wpx paragraph
+        "discussion", // wpx title
+        "extractor",  // split identifier from source code
     ] {
         assert!(index.contains_term(&Term::from(present)), "missing content term {present}");
     }

@@ -17,10 +17,8 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> Self {
-        let path = std::env::temp_dir().join(format!(
-            "dsearch-persist-it-{tag}-{}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("dsearch-persist-it-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&path);
         fs::create_dir_all(&path).unwrap();
         TempDir(path)
@@ -108,7 +106,8 @@ fn incremental_update_matches_a_full_rebuild_on_a_mutated_corpus() {
     let mut index = InMemoryIndex::new();
     let mut docs = DocTable::new();
     let mut signatures = SignatureDb::new();
-    let first = indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut signatures).unwrap();
+    let first =
+        indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut signatures).unwrap();
     assert_eq!(first.added, manifest.file_count());
 
     // Mutate the corpus: delete a few files, rewrite one, add new ones.
@@ -121,7 +120,8 @@ fn incremental_update_matches_a_full_rebuild_on_a_mutated_corpus() {
     fs.add_file(&VPath::new("extra/new_two.txt"), b"another new file with unique wording".to_vec())
         .unwrap();
 
-    let second = indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut signatures).unwrap();
+    let second =
+        indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut signatures).unwrap();
     assert_eq!(second.added, 2);
     assert_eq!(second.modified, 1);
     assert_eq!(second.removed, 2);
@@ -212,7 +212,8 @@ fn empty_memfs_corpus_is_handled_gracefully() {
     let mut index = InMemoryIndex::new();
     let mut docs = DocTable::new();
     let mut signatures = SignatureDb::new();
-    let report = indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut signatures).unwrap();
+    let report =
+        indexer.update(&fs, &VPath::root(), &mut index, &mut docs, &mut signatures).unwrap();
     assert_eq!(report.added + report.modified + report.removed, 0);
     assert!(index.is_empty());
 

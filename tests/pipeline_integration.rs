@@ -93,7 +93,12 @@ fn all_option_combinations_produce_the_reference_index() {
                 };
                 let generator = IndexGenerator::new(options);
                 let run = generator
-                    .run(&fs, &VPath::root(), Implementation::SharedLocked, Configuration::new(2, 1, 0))
+                    .run(
+                        &fs,
+                        &VPath::root(),
+                        Implementation::SharedLocked,
+                        Configuration::new(2, 1, 0),
+                    )
                     .unwrap();
                 let (index, _) = run.outcome.into_single_index();
                 assert_eq!(
@@ -143,11 +148,7 @@ fn generated_index_matches_corpus_ground_truth() {
     let paths_for = |term: &str| -> Vec<String> {
         index
             .postings(&Term::from(term))
-            .map(|p| {
-                p.iter()
-                    .map(|id| docs.path(id).unwrap().to_string())
-                    .collect()
-            })
+            .map(|p| p.iter().map(|id| docs.path(id).unwrap().to_string()).collect())
             .unwrap_or_default()
     };
     assert_eq!(paths_for("alpha"), vec!["a/letter.txt"]);

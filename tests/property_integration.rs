@@ -30,7 +30,10 @@ fn corpus_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
             (0u8..3, "[a-z]{3,8}"),
             // File body: 1..30 words from a deliberately small vocabulary so
             // terms overlap across files.
-            proptest::collection::vec("(alpha|beta|gamma|delta|index|search|lock|join|core|disk)", 1..30),
+            proptest::collection::vec(
+                "(alpha|beta|gamma|delta|index|search|lock|join|core|disk)",
+                1..30,
+            ),
         ),
         1..12,
     )

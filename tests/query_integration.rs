@@ -8,7 +8,8 @@ use dsearch::query::{MultiIndexSearcher, Query, SearchBackend, SingleIndexSearch
 use dsearch::text::Term;
 use dsearch::vfs::{MemFs, VPath};
 
-fn build_outcomes() -> (dsearch::index::InMemoryIndex, dsearch::index::DocTable, dsearch::index::IndexSet) {
+fn build_outcomes(
+) -> (dsearch::index::InMemoryIndex, dsearch::index::DocTable, dsearch::index::IndexSet) {
     let (fs, _) = materialize_to_memfs(&CorpusSpec::tiny(), 5);
     let generator = IndexGenerator::default();
 
@@ -28,7 +29,8 @@ fn build_outcomes() -> (dsearch::index::InMemoryIndex, dsearch::index::DocTable,
 
 fn frequent_terms(index: &dsearch::index::InMemoryIndex, n: usize) -> Vec<String> {
     let mut by_frequency: Vec<_> = index.iter().collect();
-    by_frequency.sort_by_key(|(t, postings)| (std::cmp::Reverse(postings.len()), t.as_str().to_owned()));
+    by_frequency
+        .sort_by_key(|(t, postings)| (std::cmp::Reverse(postings.len()), t.as_str().to_owned()));
     by_frequency.iter().take(n).map(|(t, _)| t.to_string()).collect()
 }
 

@@ -21,7 +21,11 @@ fn table1_reproduction_within_tolerance() {
             ("index update", est.index_update_s, expected.index_update_s),
         ] {
             let rel = (model - paper_value).abs() / paper_value;
-            assert!(rel < 0.05, "{}: {name} model {model:.1} vs paper {paper_value:.1}", platform.name);
+            assert!(
+                rel < 0.05,
+                "{}: {name} model {model:.1} vs paper {paper_value:.1}",
+                platform.name
+            );
         }
     }
 }
@@ -56,7 +60,9 @@ fn the_papers_qualitative_ordering_holds_in_the_model() {
     let speedups: Vec<f64> = paper::table2()
         .rows
         .iter()
-        .map(|row| estimate_run(four, &workload, row.implementation, row.best_configuration).speedup)
+        .map(|row| {
+            estimate_run(four, &workload, row.implementation, row.best_configuration).speedup
+        })
         .collect();
     let spread = speedups.iter().cloned().fold(f64::MIN, f64::max)
         / speedups.iter().cloned().fold(f64::MAX, f64::min);
@@ -69,7 +75,10 @@ fn the_papers_qualitative_ordering_holds_in_the_model() {
         let estimates: Vec<f64> = table
             .rows
             .iter()
-            .map(|row| estimate_run(platform, &workload, row.implementation, row.best_configuration).speedup)
+            .map(|row| {
+                estimate_run(platform, &workload, row.implementation, row.best_configuration)
+                    .speedup
+            })
             .collect();
         assert!(estimates[2] > estimates[1], "{}: impl3 vs impl2", platform.name);
         assert!(estimates[1] > estimates[0], "{}: impl2 vs impl1", platform.name);
