@@ -1,6 +1,7 @@
 //! Server microbenchmarks: query throughput through the worker pool at
 //! 1/4/8 workers, with a cold cache (every request distinct) versus a warm
-//! cache (small repeated workload).
+//! cache (small repeated workload), and batched versus unbatched execution
+//! on a repeated/shared-term workload the cache cannot absorb.
 //!
 //! Run with `cargo bench --bench microbench_server`.
 
@@ -10,7 +11,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use dsearch::index::{DocTable, InMemoryIndex};
 use dsearch::server::{
-    loadgen, EngineConfig, IndexSnapshot, LoadConfig, LoadMode, QueryEngine, WorkerPool, Workload,
+    loadgen, BatchConfig, EngineConfig, IndexSnapshot, LoadConfig, LoadMode, QueryEngine,
+    WorkerPool, Workload,
 };
 use dsearch::text::Term;
 
@@ -35,8 +37,15 @@ fn build_snapshot(docs: usize) -> IndexSnapshot {
 fn engine_with(workers: usize, cache_capacity: usize) -> Arc<QueryEngine> {
     QueryEngine::new(
         build_snapshot(2000),
-        EngineConfig { workers, cache_capacity, cache_shards: 8, result_limit: 20 },
+        EngineConfig {
+            workers,
+            cache_capacity,
+            cache_shards: 8,
+            result_limit: 20,
+            ..EngineConfig::default()
+        },
     )
+    .expect("bench config is valid")
 }
 
 /// Warm workload: 16 distinct queries replayed; after the first pass every
@@ -150,5 +159,82 @@ fn bench_cache_effect(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_worker_scaling, bench_cache_effect);
+/// An engine whose cache cannot absorb the workload (one entry), so any win
+/// on repeated/shared-term queries comes from batching: in-batch dedup plus
+/// the per-batch posting memo.
+fn batching_engine(max_batch: usize) -> Arc<QueryEngine> {
+    QueryEngine::new(
+        build_snapshot(2000),
+        EngineConfig {
+            workers: 2,
+            cache_capacity: 1,
+            cache_shards: 1,
+            result_limit: 20,
+            batch: BatchConfig { max_batch, ..BatchConfig::default() },
+        },
+    )
+    .expect("bench config is valid")
+}
+
+/// Repeated queries with heavy term sharing: 4 distinct canonical forms,
+/// all anchored on "common", cycling fast enough that a one-entry cache
+/// never helps two consecutive requests.  With 8 closed-loop clients a
+/// drained batch usually holds duplicates, so both dedup and the posting
+/// memo contribute.
+fn shared_term_workload() -> Workload {
+    Workload::from_queries((0..64).map(|i| format!("common w{}", i % 4)).collect())
+}
+
+fn bench_batching(c: &mut Criterion) {
+    // Out-of-band comparison for the batched-vs-unbatched acceptance check:
+    // one long run per configuration, reporting throughput and the batching
+    // counters.  8 closed-loop clients against 2 workers keep a backlog
+    // queued, which is where batching can group and deduplicate.
+    for (label, max_batch) in [("unbatched(max_batch=1)", 1), ("batched(max_batch=32)", 32)] {
+        let engine = batching_engine(max_batch);
+        let pool = WorkerPool::start(Arc::clone(&engine));
+        let report = loadgen::run(
+            &pool,
+            &shared_term_workload(),
+            &LoadConfig { requests: 8192, mode: LoadMode::Closed { clients: 8 } },
+        );
+        let stats = engine.stats();
+        println!(
+            "{label}: qps {:.0}  p99 {:?}  batched {}  dedup_hits {}",
+            report.qps,
+            report.latency.p99,
+            stats.batched_count(),
+            stats.dedup_hit_count()
+        );
+        pool.shutdown();
+    }
+
+    let mut group = c.benchmark_group("server_batching");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQUESTS_PER_ITER as u64));
+
+    for (name, max_batch) in [("unbatched", 1usize), ("batched", 32)] {
+        let engine = batching_engine(max_batch);
+        let pool = WorkerPool::start(Arc::clone(&engine));
+        let workload = shared_term_workload();
+        group.bench_function(BenchmarkId::new("shared_terms", name), |b| {
+            b.iter(|| {
+                let report = loadgen::run(
+                    &pool,
+                    &workload,
+                    &LoadConfig {
+                        requests: REQUESTS_PER_ITER,
+                        mode: LoadMode::Closed { clients: 8 },
+                    },
+                );
+                assert_eq!(report.errors, 0);
+                report.qps
+            });
+        });
+        pool.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_cache_effect, bench_batching);
 criterion_main!(benches);

@@ -36,6 +36,10 @@ const VALUE_OPTIONS: &[&str] = &[
     "rate",
     "queries",
     "mode",
+    "max-batch",
+    "batch-wait-us",
+    "queue-bound",
+    "overload",
 ];
 
 /// Parsed command-line arguments.

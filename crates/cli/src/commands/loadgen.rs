@@ -4,7 +4,11 @@
 //! The workload is derived from the store's own index terms (weighted toward
 //! frequent terms), so it exercises realistic hit patterns without needing a
 //! separate query log.  `--mode closed` models `--clients` synchronous users;
-//! `--mode open` submits at a fixed `--rate` regardless of completions.
+//! `--mode open` submits at a fixed `--rate` regardless of completions —
+//! combined with `--queue-bound`/`--overload` this is how load shedding is
+//! observed (the report's `shed` column and the server's `shed=` counter).
+//! `--max-batch`/`--batch-wait-us` control how aggressively workers batch
+//! the backlog.
 
 use std::sync::Arc;
 

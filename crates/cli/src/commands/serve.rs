@@ -15,20 +15,35 @@ use crate::args::ParsedArgs;
 use crate::CliError;
 
 /// Builds the engine configuration from the shared serve/loadgen options.
+/// Invalid combinations (zero workers, zero cache shards, empty batches) are
+/// usage errors here, before any store I/O happens.
 pub(crate) fn engine_config(args: &ParsedArgs) -> Result<EngineConfig, CliError> {
     let mut config = EngineConfig::default();
     if let Some(workers) = args.number_of::<usize>("workers")? {
-        config.workers = workers.max(1);
+        config.workers = workers;
     }
     if let Some(capacity) = args.number_of::<usize>("cache")? {
         config.cache_capacity = capacity;
     }
     if let Some(shards) = args.number_of::<usize>("cache-shards")? {
-        config.cache_shards = shards.max(1);
+        config.cache_shards = shards;
     }
     if let Some(limit) = args.number_of::<usize>("limit")? {
         config.result_limit = limit;
     }
+    if let Some(max_batch) = args.number_of::<usize>("max-batch")? {
+        config.batch.max_batch = max_batch;
+    }
+    if let Some(wait_us) = args.number_of::<u64>("batch-wait-us")? {
+        config.batch.max_wait = std::time::Duration::from_micros(wait_us);
+    }
+    if let Some(bound) = args.number_of::<usize>("queue-bound")? {
+        config.batch.queue_bound = bound;
+    }
+    if let Some(policy) = args.value_of("overload") {
+        config.batch.overload = policy.parse().map_err(CliError::Usage)?;
+    }
+    config.validate().map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
     Ok(config)
 }
 
@@ -45,7 +60,9 @@ pub(crate) fn load_engine(args: &ParsedArgs) -> Result<(Arc<QueryEngine>, PathBu
     }
     let snapshot = IndexSnapshot::load(&store, 1).map_err(CliError::failed)?;
     let config = engine_config(args)?;
-    Ok((QueryEngine::new(snapshot, config), PathBuf::from(store_path)))
+    let engine = QueryEngine::new(snapshot, config)
+        .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
+    Ok((engine, PathBuf::from(store_path)))
 }
 
 /// Runs the `serve` command.
@@ -55,9 +72,15 @@ pub(crate) fn load_engine(args: &ParsedArgs) -> Result<(Arc<QueryEngine>, PathBu
 /// Fails on usage errors or an unreadable/empty store.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let (engine, store_path) = load_engine(args)?;
+    let batch = &engine.config().batch;
+    let queue_bound = match batch.queue_bound {
+        0 => "unbounded".to_owned(),
+        bound => bound.to_string(),
+    };
     let banner = format!(
         "serving {} document(s), {} shard(s), generation {} \
          ({} workers, cache {} entries / {} shards)\n\
+         batching: max_batch={} max_wait={:?} queue_bound={queue_bound} overload={}\n\
          protocol: one query per line; !stats, !reload, !quit\n",
         engine.snapshot_cell().load().doc_count(),
         engine.snapshot_cell().load().shard_count(),
@@ -65,6 +88,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         engine.config().workers,
         engine.config().cache_capacity,
         engine.config().cache_shards,
+        batch.max_batch,
+        batch.max_wait,
+        batch.overload,
     );
     let service = Arc::new(Service::start(engine, Some(store_path)));
 
@@ -135,6 +161,14 @@ mod tests {
             "2",
             "--limit",
             "5",
+            "--max-batch",
+            "16",
+            "--batch-wait-us",
+            "250",
+            "--queue-bound",
+            "64",
+            "--overload",
+            "drop-oldest",
         ])
         .unwrap();
         let config = engine_config(&args).unwrap();
@@ -142,5 +176,25 @@ mod tests {
         assert_eq!(config.cache_capacity, 128);
         assert_eq!(config.cache_shards, 2);
         assert_eq!(config.result_limit, 5);
+        assert_eq!(config.batch.max_batch, 16);
+        assert_eq!(config.batch.max_wait, std::time::Duration::from_micros(250));
+        assert_eq!(config.batch.queue_bound, 64);
+        assert_eq!(config.batch.overload, dsearch::server::OverloadPolicy::DropOldest);
+    }
+
+    #[test]
+    fn invalid_configs_are_usage_errors_before_store_io() {
+        for flags in [["--workers", "0"], ["--cache-shards", "0"], ["--max-batch", "0"]] {
+            let args = ParsedArgs::parse(["serve", flags[0], flags[1], "--store", "/nonexistent"])
+                .unwrap();
+            let err = engine_config(&args).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Usage(msg) if msg.contains("invalid configuration")),
+                "{flags:?}: {err}"
+            );
+        }
+        let args = ParsedArgs::parse(["serve", "--overload", "sideways"]).unwrap();
+        let err = engine_config(&args).unwrap_err();
+        assert!(err.to_string().contains("sideways"), "{err}");
     }
 }

@@ -70,17 +70,23 @@ COMMANDS:
         Query a persisted index.  Supports AND/OR/NOT and trailing-* prefixes.
 
     serve --store <path> [--tcp ADDR] [--workers N] [--cache N]
-          [--cache-shards N] [--limit N]
+          [--cache-shards N] [--limit N] [--max-batch N] [--batch-wait-us N]
+          [--queue-bound N] [--overload reject|drop]
         Run the query service: line protocol on stdin (and ADDR when --tcp is
         given).  One query per line; !stats reports metrics, !reload republishes
         the store as a new snapshot generation, !quit disconnects.  With --tcp,
         closing stdin leaves the TCP listener serving (daemon mode); !quit on
-        stdin stops everything.
+        stdin stops everything.  Workers drain up to --max-batch queued queries
+        per wakeup (waiting up to --batch-wait-us for a fuller batch); with a
+        nonzero --queue-bound, excess load is shed per --overload (reject the
+        new request, or drop the oldest queued one).
 
     loadgen --store <path> [--requests N] [--queries N] [--seed N]
             [--mode closed|open] [--clients N] [--rate QPS] [--workers N]
-        Replay a query workload derived from the indexed terms and report QPS
-        and p50/p95/p99 latency.
+            [--max-batch N] [--batch-wait-us N] [--queue-bound N]
+            [--overload reject|drop]
+        Replay a query workload derived from the indexed terms and report QPS,
+        p50/p95/p99 latency and shed/batched/dedup counts.
 
     corpus <dir> [--scale F] [--seed N]
         Materialise a synthetic benchmark corpus with the paper's shape.

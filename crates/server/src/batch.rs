@@ -1,0 +1,471 @@
+//! Batched query execution and admission control.
+//!
+//! PR 1's worker pool executed every queued query independently and accepted
+//! unbounded load.  This module puts a scheduling layer between the front
+//! ends and the workers:
+//!
+//! * [`QueueGovernor`] — the admission-controlled queue.  Submissions past a
+//!   configurable depth bound are shed according to an [`OverloadPolicy`]
+//!   (reject the new request, or drop the oldest queued one), and every shed
+//!   request is counted in [`ServerStats`](crate::stats::ServerStats) and
+//!   answered with [`ServerError::Overloaded`].
+//! * **Batch draining** — a worker does not pop one job at a time: it drains
+//!   up to [`BatchConfig::max_batch`] queued jobs in one go (optionally
+//!   waiting up to [`BatchConfig::max_wait`] for the batch to fill).  All
+//!   queries of a batch execute against a single snapshot load, so the whole
+//!   batch shares one generation by construction.
+//! * [`BatchSearcher`] — a per-batch posting memo.  Queries in one batch that
+//!   share terms (or prefix patterns) fetch each posting list once; identical
+//!   canonical queries collapse to a single search fanned out to every
+//!   waiter (`dedup_hits` in the stats).
+//!
+//! The scheduler favours latency when idle: with `max_wait == 0` a lone
+//! query is executed immediately as a batch of one, while a backlog drains
+//! in `max_batch`-sized groups, which is where dedup and the posting memo
+//! pay off.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dsearch_index::{FileId, PostingList};
+use dsearch_query::SearchBackend;
+use dsearch_text::Term;
+
+use crate::engine::{Job, ServerError};
+use crate::snapshot::IndexSnapshot;
+use crate::stats::ServerStats;
+
+/// What to do with a submission when the queue is at its depth bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Refuse the new request (the submitter sees
+    /// [`ServerError::Overloaded`] immediately).
+    #[default]
+    RejectNew,
+    /// Admit the new request and shed the oldest queued one (its waiter sees
+    /// [`ServerError::Overloaded`]).
+    DropOldest,
+}
+
+impl std::str::FromStr for OverloadPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reject" | "reject-new" => Ok(OverloadPolicy::RejectNew),
+            "drop" | "drop-oldest" => Ok(OverloadPolicy::DropOldest),
+            other => Err(format!("unknown overload policy {other:?}; expected reject or drop")),
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverloadPolicy::RejectNew => f.write_str("reject-new"),
+            OverloadPolicy::DropOldest => f.write_str("drop-oldest"),
+        }
+    }
+}
+
+/// Batching and admission-control parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Most jobs one worker drains per batch (must be at least 1).
+    pub max_batch: usize,
+    /// How long a worker may wait for a partially filled batch to grow.
+    /// Zero (the default) means "batch whatever is already queued": no
+    /// latency is added when the server is idle, and batches form naturally
+    /// from backlog under load.
+    pub max_wait: Duration,
+    /// Queue-depth bound; `0` disables admission control (unbounded queue).
+    pub queue_bound: usize,
+    /// What to shed when the queue is at its bound.
+    pub overload: OverloadPolicy,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 32,
+            max_wait: Duration::ZERO,
+            queue_bound: 0,
+            overload: OverloadPolicy::RejectNew,
+        }
+    }
+}
+
+struct GovernorState {
+    queue: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The admission-controlled MPMC queue between submitters and workers.
+///
+/// Submitters [`submit`](QueueGovernor::submit) jobs; workers drain them in
+/// batches via [`next_batch`](QueueGovernor::next_batch).  The governor
+/// enforces [`BatchConfig::queue_bound`] at admission time and records every
+/// shed request in the shared [`ServerStats`].
+pub struct QueueGovernor {
+    state: Mutex<GovernorState>,
+    available: Condvar,
+    config: BatchConfig,
+}
+
+impl QueueGovernor {
+    /// Creates an open governor enforcing `config`.
+    #[must_use]
+    pub fn new(config: BatchConfig) -> Self {
+        QueueGovernor {
+            state: Mutex::new(GovernorState { queue: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            config,
+        }
+    }
+
+    /// The configuration this governor enforces.
+    #[must_use]
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Number of jobs currently queued (a point-in-time gauge).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+    }
+
+    /// Admits one job, shedding according to the overload policy when the
+    /// queue is at its bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Overloaded`] when the job is rejected under
+    /// [`OverloadPolicy::RejectNew`], and [`ServerError::ShuttingDown`] after
+    /// [`close`](QueueGovernor::close).
+    pub(crate) fn submit(&self, job: Job, stats: &ServerStats) -> Result<(), ServerError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(ServerError::ShuttingDown);
+        }
+        let bound = self.config.queue_bound;
+        if bound > 0 && state.queue.len() >= bound {
+            match self.config.overload {
+                OverloadPolicy::RejectNew => {
+                    stats.record_shed();
+                    return Err(ServerError::Overloaded);
+                }
+                OverloadPolicy::DropOldest => {
+                    while state.queue.len() >= bound {
+                        let victim = state.queue.pop_front().expect("len >= bound >= 1");
+                        // The waiter may have given up; that is not an error.
+                        let _ = victim.respond.send(Err(ServerError::Overloaded));
+                        stats.record_shed();
+                    }
+                }
+            }
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one job is available (or the governor closes),
+    /// then drains up to `max_batch` jobs.  With a nonzero `max_wait` the
+    /// worker lingers for late arrivals until the batch fills or the window
+    /// expires.
+    ///
+    /// Returns `None` only when the governor is closed *and* drained, so
+    /// shutdown never discards admitted work.
+    pub(crate) fn next_batch(&self) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !state.queue.is_empty() {
+                break;
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        let drained = Instant::now();
+        let take = self.config.max_batch.min(state.queue.len());
+        let mut batch: Vec<Job> = state.queue.drain(..take).collect();
+
+        if !self.config.max_wait.is_zero() && batch.len() < self.config.max_batch {
+            let deadline = drained + self.config.max_wait;
+            while batch.len() < self.config.max_batch && !state.closed {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else { break };
+                let (next, timeout) =
+                    self.available.wait_timeout(state, left).unwrap_or_else(|e| e.into_inner());
+                state = next;
+                let take = (self.config.max_batch - batch.len()).min(state.queue.len());
+                batch.extend(state.queue.drain(..take));
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    /// Closes the governor: subsequent submissions fail, workers drain what
+    /// is queued and then observe the end of the stream.
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.available.notify_all();
+    }
+}
+
+impl std::fmt::Debug for QueueGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueGovernor")
+            .field("config", &self.config)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+/// A memoizing [`SearchBackend`] over one snapshot, scoped to one batch.
+///
+/// Each distinct exact term or prefix pattern is resolved against the
+/// snapshot once; queries later in the batch that mention the same term
+/// reuse the memoized posting list.  The memo lives on the worker's stack
+/// for the duration of one batch, so it needs no locking and never holds
+/// postings beyond the batch.
+pub struct BatchSearcher<'a> {
+    snapshot: &'a IndexSnapshot,
+    terms: RefCell<HashMap<Term, PostingList>>,
+    prefixes: RefCell<HashMap<String, PostingList>>,
+    memo_hits: Cell<u64>,
+    memo_misses: Cell<u64>,
+}
+
+impl<'a> BatchSearcher<'a> {
+    /// Creates an empty memo over `snapshot`.
+    #[must_use]
+    pub fn new(snapshot: &'a IndexSnapshot) -> Self {
+        BatchSearcher {
+            snapshot,
+            terms: RefCell::new(HashMap::new()),
+            prefixes: RefCell::new(HashMap::new()),
+            memo_hits: Cell::new(0),
+            memo_misses: Cell::new(0),
+        }
+    }
+
+    /// Posting lookups answered from the memo.
+    #[must_use]
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.get()
+    }
+
+    /// Posting lookups that had to consult the snapshot.
+    #[must_use]
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses.get()
+    }
+}
+
+impl SearchBackend for BatchSearcher<'_> {
+    fn postings(&self, term: &Term) -> PostingList {
+        if let Some(list) = self.terms.borrow().get(term) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
+            return list.clone();
+        }
+        self.memo_misses.set(self.memo_misses.get() + 1);
+        let list = self.snapshot.term_postings(term);
+        self.terms.borrow_mut().insert(term.clone(), list.clone());
+        list
+    }
+
+    fn prefix_postings(&self, prefix: &str) -> PostingList {
+        if let Some(list) = self.prefixes.borrow().get(prefix) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
+            return list.clone();
+        }
+        self.memo_misses.set(self.memo_misses.get() + 1);
+        let list = self.snapshot.prefix_postings(prefix);
+        self.prefixes.borrow_mut().insert(prefix.to_owned(), list.clone());
+        list
+    }
+
+    fn path_of(&self, id: FileId) -> Option<&str> {
+        self.snapshot.path_of(id)
+    }
+}
+
+impl std::fmt::Debug for BatchSearcher<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSearcher")
+            .field("memo_hits", &self.memo_hits.get())
+            .field("memo_misses", &self.memo_misses.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PendingResponse;
+    use dsearch_index::{DocTable, InMemoryIndex};
+    use dsearch_query::Query;
+    use std::sync::mpsc;
+
+    fn job(raw: &str) -> (Job, PendingResponse) {
+        let (respond, receiver) = mpsc::channel();
+        (
+            Job { raw: raw.to_owned(), respond, submitted: Instant::now() },
+            PendingResponse::from_receiver(receiver),
+        )
+    }
+
+    fn governor(config: BatchConfig) -> (QueueGovernor, ServerStats) {
+        (QueueGovernor::new(config), ServerStats::new())
+    }
+
+    #[test]
+    fn unbounded_governor_admits_everything() {
+        let (governor, stats) = governor(BatchConfig::default());
+        for i in 0..100 {
+            let (j, _pending) = job(&format!("q{i}"));
+            governor.submit(j, &stats).unwrap();
+        }
+        assert_eq!(governor.depth(), 100);
+        assert_eq!(stats.shed_count(), 0);
+        assert_eq!(governor.config().queue_bound, 0);
+    }
+
+    #[test]
+    fn reject_new_sheds_the_submission() {
+        let (governor, stats) = governor(BatchConfig { queue_bound: 2, ..BatchConfig::default() });
+        let (a, _pa) = job("a");
+        let (b, _pb) = job("b");
+        let (c, _pc) = job("c");
+        governor.submit(a, &stats).unwrap();
+        governor.submit(b, &stats).unwrap();
+        assert_eq!(governor.submit(c, &stats).unwrap_err(), ServerError::Overloaded);
+        assert_eq!(governor.depth(), 2);
+        assert_eq!(stats.shed_count(), 1);
+    }
+
+    #[test]
+    fn drop_oldest_sheds_the_head_and_answers_its_waiter() {
+        let (governor, stats) = governor(BatchConfig {
+            queue_bound: 2,
+            overload: OverloadPolicy::DropOldest,
+            ..BatchConfig::default()
+        });
+        let (a, pa) = job("a");
+        let (b, _pb) = job("b");
+        let (c, _pc) = job("c");
+        governor.submit(a, &stats).unwrap();
+        governor.submit(b, &stats).unwrap();
+        governor.submit(c, &stats).unwrap();
+        assert_eq!(governor.depth(), 2);
+        assert_eq!(stats.shed_count(), 1);
+        // The dropped job's waiter got the overload answer.
+        assert_eq!(pa.wait().unwrap_err(), ServerError::Overloaded);
+        // The surviving queue is b, c.
+        let batch = governor.next_batch().unwrap();
+        let raws: Vec<&str> = batch.iter().map(|j| j.raw.as_str()).collect();
+        assert_eq!(raws, ["b", "c"]);
+    }
+
+    #[test]
+    fn batches_drain_up_to_max_batch() {
+        let (governor, stats) = governor(BatchConfig { max_batch: 3, ..BatchConfig::default() });
+        let mut pendings = Vec::new();
+        for i in 0..5 {
+            let (j, p) = job(&format!("q{i}"));
+            governor.submit(j, &stats).unwrap();
+            pendings.push(p);
+        }
+        assert_eq!(governor.next_batch().unwrap().len(), 3);
+        assert_eq!(governor.next_batch().unwrap().len(), 2);
+        governor.close();
+        assert!(governor.next_batch().is_none());
+    }
+
+    #[test]
+    fn closed_governor_rejects_submissions_but_drains() {
+        let (governor, stats) = governor(BatchConfig::default());
+        let (a, _pa) = job("a");
+        governor.submit(a, &stats).unwrap();
+        governor.close();
+        let (b, _pb) = job("b");
+        assert_eq!(governor.submit(b, &stats).unwrap_err(), ServerError::ShuttingDown);
+        // Admitted work survives the close.
+        assert_eq!(governor.next_batch().unwrap().len(), 1);
+        assert!(governor.next_batch().is_none());
+    }
+
+    #[test]
+    fn max_wait_fills_a_batch_from_late_arrivals() {
+        let (governor, stats) = governor(BatchConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(200),
+            ..BatchConfig::default()
+        });
+        let (a, _pa) = job("a");
+        governor.submit(a, &stats).unwrap();
+        let second = std::thread::spawn({
+            let (b, pb) = job("b");
+            move || (b, pb)
+        });
+        let (b, _pb) = second.join().unwrap();
+        // Submit the second job from another thread shortly after the worker
+        // starts waiting.
+        std::thread::scope(|scope| {
+            let submitter = scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                governor.submit(b, &stats).unwrap();
+            });
+            let batch = governor.next_batch().unwrap();
+            assert_eq!(batch.len(), 2, "late arrival joined the waiting batch");
+            submitter.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn overload_policy_parses_and_renders() {
+        assert_eq!("reject".parse::<OverloadPolicy>().unwrap(), OverloadPolicy::RejectNew);
+        assert_eq!("drop-oldest".parse::<OverloadPolicy>().unwrap(), OverloadPolicy::DropOldest);
+        assert!("sideways".parse::<OverloadPolicy>().is_err());
+        assert_eq!(OverloadPolicy::DropOldest.to_string(), "drop-oldest");
+        assert!(format!("{:?}", QueueGovernor::new(BatchConfig::default())).contains("depth"));
+    }
+
+    #[test]
+    fn batch_searcher_memoizes_terms_and_prefixes() {
+        let mut docs = DocTable::new();
+        let mut index = InMemoryIndex::new();
+        for (path, words) in [
+            ("a.txt", vec!["rust", "search"]),
+            ("b.txt", vec!["rust", "index"]),
+            ("c.txt", vec!["ruby"]),
+        ] {
+            let id = docs.insert(path);
+            index.insert_file(id, words.into_iter().map(Term::from));
+        }
+        let snapshot = IndexSnapshot::from_index(index, docs, 1);
+        let searcher = BatchSearcher::new(&snapshot);
+
+        // Two queries sharing the term "rust": the second lookup is a memo
+        // hit, and both answers match the snapshot's own evaluation.
+        for raw in ["rust search", "rust index", "ru*"] {
+            let query = Query::parse(raw).unwrap();
+            assert_eq!(searcher.search(&query), snapshot.search(&query), "query {raw:?}");
+        }
+        let query = Query::parse("rust search OR ru*").unwrap();
+        assert_eq!(searcher.search(&query), snapshot.search(&query));
+
+        assert!(searcher.memo_hits() >= 3, "hits {}", searcher.memo_hits());
+        // Distinct lookups: rust, search, index, prefix "ru".
+        assert_eq!(searcher.memo_misses(), 4);
+        assert!(format!("{searcher:?}").contains("memo_hits"));
+    }
+}

@@ -1,17 +1,23 @@
-//! The query engine: snapshot + cache + stats behind a worker-thread pool.
+//! The query engine: snapshot + cache + stats behind a batch-scheduled
+//! worker-thread pool.
 //!
-//! [`QueryEngine::execute`] is the synchronous serving path (parse → cache
-//! probe → snapshot search → cache fill).  [`WorkerPool`] runs that path on a
-//! fixed set of worker threads fed through an MPMC channel, which is how the
-//! TCP/stdin front ends and the load generator drive the engine.
+//! [`QueryEngine::execute_batch`] is the serving path (parse → dedup → cache
+//! probe → memoized snapshot search → fan-out); [`QueryEngine::execute`] is
+//! the batch-of-one convenience.  [`WorkerPool`] runs that path on a fixed
+//! set of worker threads fed through an admission-controlled
+//! [`QueueGovernor`](crate::batch::QueueGovernor): each worker drains up to
+//! `max_batch` queued queries at a time, so a backlog turns into shared work
+//! (one snapshot load, one posting memo, one search per distinct canonical
+//! query) instead of per-request overhead.
 
+use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dsearch_core::timing::Stopwatch;
-use dsearch_query::{ParseError, Query, SearchResults};
+use dsearch_query::{ParseError, Query, SearchBackend, SearchResults};
 
+use crate::batch::{BatchConfig, BatchSearcher, QueueGovernor};
 use crate::cache::{CacheCounters, CacheKey, QueryCache};
 use crate::snapshot::{IndexSnapshot, SnapshotCell};
 use crate::stats::ServerStats;
@@ -27,6 +33,8 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Cap on hits kept per response (and per cache entry).
     pub result_limit: usize,
+    /// Batching and admission-control parameters for the worker pool.
+    pub batch: BatchConfig,
 }
 
 impl Default for EngineConfig {
@@ -36,7 +44,53 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             result_limit: 20,
+            batch: BatchConfig::default(),
         }
+    }
+}
+
+/// An invalid [`EngineConfig`], reported at engine construction instead of
+/// producing a pool that can never make progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: no thread would ever drain the queue.
+    NoWorkers,
+    /// `cache_shards == 0`: the cache would have no shard to store into.
+    NoCacheShards,
+    /// `batch.max_batch == 0`: a worker would drain nothing per wakeup.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoWorkers => f.write_str("workers must be at least 1"),
+            ConfigError::NoCacheShards => f.write_str("cache_shards must be at least 1"),
+            ConfigError::EmptyBatch => f.write_str("max_batch must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl EngineConfig {
+    /// Checks the configuration for values that would deadlock or disable
+    /// the serving path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::NoWorkers);
+        }
+        if self.cache_shards == 0 {
+            return Err(ConfigError::NoCacheShards);
+        }
+        if self.batch.max_batch == 0 {
+            return Err(ConfigError::EmptyBatch);
+        }
+        Ok(())
     }
 }
 
@@ -45,6 +99,8 @@ impl Default for EngineConfig {
 pub enum ServerError {
     /// The query did not parse.
     Parse(ParseError),
+    /// The request was shed by admission control.
+    Overloaded,
     /// The worker pool is shutting down.
     ShuttingDown,
 }
@@ -53,6 +109,7 @@ impl std::fmt::Display for ServerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServerError::Parse(e) => write!(f, "invalid query: {e}"),
+            ServerError::Overloaded => f.write_str("server overloaded: request shed"),
             ServerError::ShuttingDown => f.write_str("server is shutting down"),
         }
     }
@@ -71,7 +128,13 @@ pub struct QueryResponse {
     pub generation: u64,
     /// Whether the result was served from cache.
     pub cached: bool,
-    /// Wall-clock service time inside the engine.
+    /// Wall-clock service time.  For pool-served queries this runs from the
+    /// batch's earliest submission until the whole batch finished, so queue
+    /// wait and any `max_wait` fill window are included; every query in a
+    /// batch shares the value — no response is released before its batch
+    /// completes, so this approximates what the client observes, not the
+    /// query's share of the evaluation work.  Direct
+    /// [`QueryEngine::execute`] calls time only the engine itself.
     pub latency: Duration,
 }
 
@@ -86,14 +149,19 @@ pub struct QueryEngine {
 
 impl QueryEngine {
     /// Builds an engine serving `snapshot` under `config`.
-    #[must_use]
-    pub fn new(snapshot: IndexSnapshot, config: EngineConfig) -> Arc<Self> {
-        Arc::new(QueryEngine {
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configuration is invalid (zero workers, zero cache
+    /// shards, empty batches) — see [`EngineConfig::validate`].
+    pub fn new(snapshot: IndexSnapshot, config: EngineConfig) -> Result<Arc<Self>, ConfigError> {
+        config.validate()?;
+        Ok(Arc::new(QueryEngine {
             snapshot: SnapshotCell::new(snapshot),
             cache: QueryCache::new(config.cache_capacity, config.cache_shards),
             stats: ServerStats::new(),
             config,
-        })
+        }))
     }
 
     /// The engine's configuration.
@@ -126,53 +194,105 @@ impl QueryEngine {
         self.stats.render(self.cache.counters(), self.snapshot.generation())
     }
 
-    /// Serves one query synchronously.
+    /// Serves one query synchronously (a batch of one).
     ///
     /// # Errors
     ///
     /// Fails when the query does not parse; the error is also counted in the
     /// engine stats.
     pub fn execute(&self, raw: &str) -> Result<QueryResponse, ServerError> {
-        let stopwatch = Stopwatch::start();
-        let query = Query::parse(raw).map_err(|e| {
-            self.stats.record_error();
-            ServerError::Parse(e)
-        })?;
-        // Canonical text: normalised terms, canonical operator rendering, so
-        // "RUST  search" and "rust AND search" share one cache slot.
-        let canonical = query.to_string();
+        self.execute_batch(&[raw]).pop().expect("one query in, one response out")
+    }
 
-        // The snapshot Arc is held for the whole evaluation: a concurrent
-        // publish cannot pull the image out from under this query.
-        let snapshot = self.snapshot.load();
-        let key = CacheKey { query: canonical.clone(), generation: snapshot.generation() };
+    /// Serves a batch of queries against a single snapshot load.
+    ///
+    /// Identical canonical queries collapse to one evaluation fanned out to
+    /// every position (`dedup_hits`), and distinct queries that share terms
+    /// reuse per-batch memoized posting lists.  Responses come back in
+    /// submission order; parse failures occupy their slot as errors without
+    /// failing the rest of the batch.
+    #[must_use]
+    pub fn execute_batch(&self, raws: &[&str]) -> Vec<Result<QueryResponse, ServerError>> {
+        self.execute_batch_since(raws, std::time::Instant::now())
+    }
 
-        if let Some(results) = self.cache.get(&key) {
-            let latency = stopwatch.elapsed();
-            self.stats.record_query(latency);
-            return Ok(QueryResponse {
-                query: canonical,
-                results,
-                generation: snapshot.generation(),
-                cached: true,
-                latency,
-            });
+    /// [`execute_batch`](QueryEngine::execute_batch) with an explicit start
+    /// instant: the worker pool passes the batch's earliest submission time,
+    /// so queueing delay and any `max_wait` fill window are charged to the
+    /// served queries' latency rather than hidden from it.
+    pub(crate) fn execute_batch_since(
+        &self,
+        raws: &[&str],
+        started: std::time::Instant,
+    ) -> Vec<Result<QueryResponse, ServerError>> {
+        let mut slots: Vec<Option<Result<QueryResponse, ServerError>>> =
+            raws.iter().map(|_| None).collect();
+        let mut parsed: Vec<Option<Query>> = raws.iter().map(|_| None).collect();
+
+        // Group positions by canonical query text: "RUST  search" and
+        // "rust AND search" are one evaluation.
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut executed = 0u64;
+        for (i, raw) in raws.iter().enumerate() {
+            match Query::parse(raw) {
+                Ok(query) => {
+                    groups.entry(query.to_string()).or_default().push(i);
+                    parsed[i] = Some(query);
+                    executed += 1;
+                }
+                Err(e) => {
+                    self.stats.record_error();
+                    slots[i] = Some(Err(ServerError::Parse(e)));
+                }
+            }
         }
 
-        let mut results = snapshot.search(&query);
-        results.truncate(self.config.result_limit);
-        let results = Arc::new(results);
-        self.cache.insert(key, Arc::clone(&results));
+        // One snapshot load for the whole batch: every query in it shares a
+        // generation, and a concurrent publish cannot tear the image.
+        let snapshot = self.snapshot.load();
+        let generation = snapshot.generation();
+        let searcher = BatchSearcher::new(&snapshot);
 
-        let latency = stopwatch.elapsed();
-        self.stats.record_query(latency);
-        Ok(QueryResponse {
-            query: canonical,
-            results,
-            generation: snapshot.generation(),
-            cached: false,
-            latency,
-        })
+        for (canonical, positions) in groups {
+            let key = CacheKey { query: canonical.clone(), generation };
+            let (results, cached) = match self.cache.get(&key) {
+                Some(results) => (results, true),
+                None => {
+                    let query = parsed[positions[0]].take().expect("grouped position parsed");
+                    let mut results = searcher.search(&query);
+                    results.truncate(self.config.result_limit);
+                    let results = Arc::new(results);
+                    self.cache.insert(key, Arc::clone(&results));
+                    (results, false)
+                }
+            };
+            self.stats.record_dedup_hits((positions.len() - 1) as u64);
+            for &i in &positions {
+                slots[i] = Some(Ok(QueryResponse {
+                    query: canonical.clone(),
+                    results: Arc::clone(&results),
+                    generation,
+                    cached,
+                    latency: Duration::ZERO,
+                }));
+            }
+        }
+
+        // Only queries that actually executed count toward the batching
+        // stats; parse-error slots never shared any work.
+        self.stats.record_batch(executed);
+        let latency = started.elapsed();
+        slots
+            .into_iter()
+            .map(|slot| {
+                let mut result = slot.expect("every position answered");
+                if let Ok(response) = &mut result {
+                    response.latency = latency;
+                    self.stats.record_query(latency);
+                }
+                result
+            })
+            .collect()
     }
 }
 
@@ -182,6 +302,13 @@ pub struct PendingResponse {
 }
 
 impl PendingResponse {
+    /// Wraps a raw response channel (crate-internal plumbing).
+    pub(crate) fn from_receiver(
+        receiver: mpsc::Receiver<Result<QueryResponse, ServerError>>,
+    ) -> Self {
+        PendingResponse { receiver }
+    }
+
     /// Blocks until the worker answers.
     ///
     /// # Errors
@@ -193,44 +320,58 @@ impl PendingResponse {
     }
 }
 
-struct Job {
-    raw: String,
-    respond: mpsc::Sender<Result<QueryResponse, ServerError>>,
+/// A queued query plus the channel its answer travels back on.
+pub(crate) struct Job {
+    pub(crate) raw: String,
+    pub(crate) respond: mpsc::Sender<Result<QueryResponse, ServerError>>,
+    /// When the job entered the queue; served queries are timed from here so
+    /// queueing delay shows up in the latency percentiles.
+    pub(crate) submitted: std::time::Instant,
 }
 
-/// A fixed pool of worker threads executing queries from an MPMC queue.
+/// A fixed pool of worker threads draining query batches from an
+/// admission-controlled queue.
 pub struct WorkerPool {
-    jobs: Option<crossbeam::channel::Sender<Job>>,
+    engine: Arc<QueryEngine>,
+    governor: Arc<QueueGovernor>,
     handles: Vec<std::thread::JoinHandle<u64>>,
 }
 
 impl WorkerPool {
-    /// Spawns `engine.config().workers` workers.
+    /// Spawns `engine.config().workers` workers behind a
+    /// [`QueueGovernor`] configured from `engine.config().batch`.
     #[must_use]
     pub fn start(engine: Arc<QueryEngine>) -> Self {
-        let workers = engine.config().workers.max(1);
-        // Unbounded queue: submitters never block, so an open-loop load
-        // generator keeps its pacing past saturation (queueing shows up as
-        // latency, the signal it exists to measure).  Closed-loop callers
-        // (TCP connections, stdin, the closed-loop generator) bound their
-        // own outstanding work by waiting for each answer.
-        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let workers = engine.config().workers;
+        let governor = Arc::new(QueueGovernor::new(engine.config().batch));
         let handles = (0..workers)
             .map(|_| {
-                let rx = rx.clone();
+                let governor = Arc::clone(&governor);
                 let engine = Arc::clone(&engine);
                 std::thread::spawn(move || {
                     let mut served = 0u64;
-                    for job in rx.iter() {
-                        // A client that gave up is not an error.
-                        let _ = job.respond.send(engine.execute(&job.raw));
-                        served += 1;
+                    while let Some(batch) = governor.next_batch() {
+                        // Time the batch from its earliest submission, so
+                        // queueing delay and the fill window both land in
+                        // the recorded latency.
+                        let started = batch
+                            .iter()
+                            .map(|job| job.submitted)
+                            .min()
+                            .expect("batches are never empty");
+                        let raws: Vec<&str> = batch.iter().map(|job| job.raw.as_str()).collect();
+                        let responses = engine.execute_batch_since(&raws, started);
+                        for (job, response) in batch.iter().zip(responses) {
+                            // A client that gave up is not an error.
+                            let _ = job.respond.send(response);
+                            served += 1;
+                        }
                     }
                     served
                 })
             })
             .collect();
-        WorkerPool { jobs: Some(tx), handles }
+        WorkerPool { engine, governor, handles }
     }
 
     /// Number of worker threads.
@@ -239,19 +380,24 @@ impl WorkerPool {
         self.handles.len()
     }
 
+    /// Jobs currently waiting in the admission queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.governor.depth()
+    }
+
     /// Enqueues a query; the result is collected through the returned handle.
     ///
     /// # Errors
     ///
-    /// Fails when the pool is shutting down.
+    /// Fails with [`ServerError::Overloaded`] when admission control rejects
+    /// the request, and [`ServerError::ShuttingDown`] when the pool is
+    /// stopping.
     pub fn submit(&self, raw: impl Into<String>) -> Result<PendingResponse, ServerError> {
         let (respond, receiver) = mpsc::channel();
-        let job = Job { raw: raw.into(), respond };
-        match &self.jobs {
-            Some(sender) => sender.send(job).map_err(|_| ServerError::ShuttingDown)?,
-            None => return Err(ServerError::ShuttingDown),
-        }
-        Ok(PendingResponse { receiver })
+        let job = Job { raw: raw.into(), respond, submitted: std::time::Instant::now() };
+        self.governor.submit(job, self.engine.stats())?;
+        Ok(PendingResponse::from_receiver(receiver))
     }
 
     /// Submits and waits: the closed-loop client path.
@@ -266,14 +412,14 @@ impl WorkerPool {
     /// Drains the queue and joins every worker, returning the total number of
     /// jobs served.
     pub fn shutdown(mut self) -> u64 {
-        self.jobs = None; // drop the sender: workers drain and exit
+        self.governor.close();
         self.handles.drain(..).map(|h| h.join().unwrap_or(0)).sum()
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.jobs = None;
+        self.governor.close();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -283,6 +429,7 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::OverloadPolicy;
     use dsearch_index::{DocTable, InMemoryIndex};
     use dsearch_text::Term;
 
@@ -297,7 +444,36 @@ mod tests {
             let id = docs.insert(path);
             index.insert_file(id, words.into_iter().map(Term::from));
         }
-        QueryEngine::new(IndexSnapshot::from_index(index, docs, 1), config)
+        QueryEngine::new(IndexSnapshot::from_index(index, docs, 1), config).unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_construction() {
+        for (config, expected) in [
+            (EngineConfig { workers: 0, ..EngineConfig::default() }, ConfigError::NoWorkers),
+            (
+                EngineConfig { cache_shards: 0, ..EngineConfig::default() },
+                ConfigError::NoCacheShards,
+            ),
+            (
+                EngineConfig {
+                    batch: BatchConfig { max_batch: 0, ..BatchConfig::default() },
+                    ..EngineConfig::default()
+                },
+                ConfigError::EmptyBatch,
+            ),
+        ] {
+            let mut docs = DocTable::new();
+            let id = docs.insert("a.txt");
+            let mut index = InMemoryIndex::new();
+            index.insert_file(id, [Term::from("rust")]);
+            let err = QueryEngine::new(IndexSnapshot::from_index(index, docs, 1), config.clone())
+                .unwrap_err();
+            assert_eq!(err, expected, "config {config:?}");
+            assert!(!err.to_string().is_empty());
+            assert_eq!(config.validate().unwrap_err(), expected);
+        }
+        assert!(EngineConfig::default().validate().is_ok());
     }
 
     #[test]
@@ -325,6 +501,62 @@ mod tests {
         assert!(err.to_string().contains("invalid query"));
         assert_eq!(engine.stats().error_count(), 1);
         assert_eq!(engine.stats().query_count(), 0);
+    }
+
+    #[test]
+    fn batch_deduplicates_identical_canonical_queries() {
+        let engine = engine(EngineConfig::default());
+        let raws = ["rust search", "RUST  AND search", "rust", "rust AND search"];
+        let responses = engine.execute_batch(&raws);
+        assert_eq!(responses.len(), 4);
+        for (i, response) in responses.iter().enumerate() {
+            let response = response.as_ref().unwrap();
+            assert_eq!(response.generation, 1, "slot {i}");
+        }
+        // Three spellings of "rust AND search" share one evaluation and one
+        // result Arc; "rust" is its own evaluation.
+        assert!(Arc::ptr_eq(
+            &responses[0].as_ref().unwrap().results,
+            &responses[1].as_ref().unwrap().results
+        ));
+        assert!(Arc::ptr_eq(
+            &responses[0].as_ref().unwrap().results,
+            &responses[3].as_ref().unwrap().results
+        ));
+        let counters = engine.cache_counters();
+        assert_eq!(counters.misses, 2, "one probe per distinct canonical query");
+        assert_eq!(counters.hits, 0);
+        assert_eq!(engine.stats().dedup_hit_count(), 2);
+        assert_eq!(engine.stats().batched_count(), 4);
+        assert_eq!(engine.stats().batch_count(), 1);
+        assert_eq!(engine.stats().query_count(), 4);
+    }
+
+    #[test]
+    fn batch_mixes_errors_and_answers_in_order() {
+        let engine = engine(EngineConfig::default());
+        let responses = engine.execute_batch(&["rust", "AND", "search"]);
+        assert_eq!(responses.len(), 3);
+        assert!(responses[0].is_ok());
+        assert!(matches!(responses[1], Err(ServerError::Parse(_))));
+        assert!(responses[2].is_ok());
+        assert_eq!(engine.stats().error_count(), 1);
+        assert_eq!(engine.stats().query_count(), 2);
+    }
+
+    #[test]
+    fn batch_results_match_individual_execution() {
+        let solo = engine(EngineConfig::default());
+        let batched = engine(EngineConfig::default());
+        let raws =
+            ["rust", "search", "rust search", "java OR rust", "par*", "rust NOT java", "rust"];
+        let batch_responses = batched.execute_batch(&raws);
+        for (raw, batch_response) in raws.iter().zip(batch_responses) {
+            let expected = solo.execute(raw).unwrap();
+            let got = batch_response.unwrap();
+            assert_eq!(got.results.hits(), expected.results.hits(), "query {raw:?}");
+            assert_eq!(got.query, expected.query);
+        }
     }
 
     #[test]
@@ -375,12 +607,55 @@ mod tests {
         for c in clients {
             c.join().unwrap();
         }
+        assert_eq!(pool.queue_depth(), 0);
         let pool = Arc::try_unwrap(pool).ok().expect("all clients done");
         assert_eq!(pool.shutdown(), 300);
         assert_eq!(engine.stats().query_count(), 300);
-        // 2 distinct queries × 1 generation: everything after the first two
-        // evaluations is a cache hit.
-        assert_eq!(engine.cache_counters().misses, 2);
+        // Every query either probed the cache once (hit or miss) or
+        // piggybacked on an identical query in its batch.
+        let counters = engine.cache_counters();
+        assert_eq!(counters.hits + counters.misses + engine.stats().dedup_hit_count(), 300);
+        // 2 distinct queries × 1 generation: only the first evaluations can
+        // miss (racing workers may each miss once).
+        assert!(counters.misses >= 2, "{counters:?}");
+        assert!(counters.misses <= 2 * engine.config().workers as u64, "{counters:?}");
+    }
+
+    #[test]
+    fn bounded_pool_sheds_when_overfilled() {
+        // One worker, queue bound 1, reject-new: with the worker wedged on a
+        // first query, at most 1 more fits; further submissions shed.
+        let engine = engine(EngineConfig {
+            workers: 1,
+            cache_capacity: 1,
+            batch: BatchConfig {
+                max_batch: 1,
+                queue_bound: 1,
+                overload: OverloadPolicy::RejectNew,
+                ..BatchConfig::default()
+            },
+            ..EngineConfig::default()
+        });
+        let pool = WorkerPool::start(Arc::clone(&engine));
+        // Saturate: submit faster than the single worker can possibly drain
+        // by never waiting, with every query distinct so none is a cheap
+        // cache hit.  At least one submission must shed once the queue holds
+        // `queue_bound` jobs.
+        let mut pendings = Vec::new();
+        let mut shed = 0;
+        for i in 0..200 {
+            match pool.submit(format!("par* OR rust q{i}")) {
+                Ok(pending) => pendings.push(pending),
+                Err(ServerError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(shed > 0, "200 instant submissions through a depth-1 queue never shed");
+        assert_eq!(engine.stats().shed_count(), shed);
+        for pending in pendings {
+            pending.wait().unwrap();
+        }
+        pool.shutdown();
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //!   never blocks or corrupts in-flight queries;
 //! * [`engine`] — [`QueryEngine`] runs parse → cache → search, and
 //!   [`WorkerPool`] executes that path on a fixed thread pool fed through an
-//!   MPMC queue;
+//!   admission-controlled queue;
+//! * [`batch`] — the scheduling layer between front ends and workers:
+//!   [`QueueGovernor`] bounds queue depth and sheds overload
+//!   (reject-new or drop-oldest), workers drain the queue in batches that
+//!   share one snapshot load, deduplicate identical canonical queries, and
+//!   evaluate shared terms once through the [`BatchSearcher`] posting memo;
 //! * [`cache`] — [`QueryCache`], a sharded LRU keyed by
 //!   `(normalised query, snapshot generation)` with hit/miss/eviction
 //!   counters;
@@ -38,7 +43,8 @@
 //! let engine = QueryEngine::new(
 //!     IndexSnapshot::from_index(index, docs, 1),
 //!     EngineConfig::default(),
-//! );
+//! )
+//! .expect("default config is valid");
 //! let response = engine.execute("rust serving").unwrap();
 //! assert_eq!(response.results.paths(), vec!["guide.txt"]);
 //! assert!(!response.cached);
@@ -48,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod loadgen;
@@ -56,9 +63,10 @@ pub mod serve;
 pub mod snapshot;
 pub mod stats;
 
+pub use batch::{BatchConfig, BatchSearcher, OverloadPolicy, QueueGovernor};
 pub use cache::{CacheCounters, CacheKey, QueryCache};
 pub use engine::{
-    EngineConfig, PendingResponse, QueryEngine, QueryResponse, ServerError, WorkerPool,
+    ConfigError, EngineConfig, PendingResponse, QueryEngine, QueryResponse, ServerError, WorkerPool,
 };
 pub use loadgen::{LoadConfig, LoadMode, LoadReport, Workload};
 pub use serve::{Handled, Service, SessionEnd, TcpServer};

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use dsearch_core::timing::LatencySummary;
 
-use crate::engine::WorkerPool;
+use crate::engine::{ServerError, WorkerPool};
 use crate::snapshot::IndexSnapshot;
 
 /// A replayable query list.
@@ -153,6 +153,8 @@ pub struct LoadReport {
     pub requests: usize,
     /// Requests that failed (parse errors, shutdown).
     pub errors: usize,
+    /// Requests shed by the server's admission control.
+    pub shed: usize,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Achieved throughput.
@@ -169,8 +171,8 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests {}  errors {}  elapsed {:.3?}  qps {:.1}",
-            self.requests, self.errors, self.elapsed, self.qps
+            "requests {}  errors {}  shed {}  elapsed {:.3?}  qps {:.1}",
+            self.requests, self.errors, self.shed, self.elapsed, self.qps
         )?;
         writeln!(f, "latency  {}", self.latency)?;
         write!(
@@ -220,6 +222,7 @@ fn run_closed(
                             local.generations.insert(response.generation);
                             local.cache_hits += usize::from(response.cached);
                         }
+                        Err(ServerError::Overloaded) => local.shed += 1,
                         Err(_) => local.errors += 1,
                     }
                 }
@@ -251,6 +254,7 @@ fn run_open(pool: &WorkerPool, workload: &Workload, requests: usize, rate_qps: f
                         collected.generations.insert(response.generation);
                         collected.cache_hits += usize::from(response.cached);
                     }
+                    Err(ServerError::Overloaded) => collected.shed += 1,
                     Err(_) => collected.errors += 1,
                 }
             }
@@ -269,6 +273,8 @@ fn run_open(pool: &WorkerPool, workload: &Workload, requests: usize, rate_qps: f
                     // Collector gone means the run is being torn down.
                     let _ = tx.send((sent, pending));
                 }
+                // Rejected at admission: shed without disturbing the pacing.
+                Err(ServerError::Overloaded) => collected.shed += 1,
                 Err(_) => collected.errors += 1,
             }
         }
@@ -286,6 +292,7 @@ struct Collected {
     generations: BTreeSet<u64>,
     cache_hits: usize,
     errors: usize,
+    shed: usize,
 }
 
 impl Collected {
@@ -294,6 +301,7 @@ impl Collected {
         self.generations.extend(other.generations);
         self.cache_hits += other.cache_hits;
         self.errors += other.errors;
+        self.shed += other.shed;
     }
 
     fn into_report(self, requests: usize, elapsed: Duration) -> LoadReport {
@@ -305,6 +313,7 @@ impl Collected {
         LoadReport {
             requests,
             errors: self.errors,
+            shed: self.shed,
             elapsed,
             qps,
             latency: LatencySummary::from_samples(&self.latencies),
@@ -335,7 +344,8 @@ mod tests {
 
     fn pool(workers: usize) -> (Arc<QueryEngine>, WorkerPool) {
         let engine =
-            QueryEngine::new(snapshot(), EngineConfig { workers, ..EngineConfig::default() });
+            QueryEngine::new(snapshot(), EngineConfig { workers, ..EngineConfig::default() })
+                .unwrap();
         let pool = WorkerPool::start(Arc::clone(&engine));
         (engine, pool)
     }
@@ -369,6 +379,7 @@ mod tests {
         );
         assert_eq!(report.requests, 120);
         assert_eq!(report.errors, 0);
+        assert_eq!(report.shed, 0, "an unbounded queue never sheds");
         assert_eq!(report.latency.samples, 120);
         assert!(report.qps > 0.0);
         assert_eq!(report.generations, BTreeSet::from([1]));

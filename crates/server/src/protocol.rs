@@ -108,18 +108,23 @@ impl ParsedResponse {
         self.status.split_whitespace().next().and_then(|n| n.parse().ok()).unwrap_or(0)
     }
 
+    /// The raw text of a `name=value` field of the status line, if present.
+    /// Stats lines are made of such fields (`shed=3`, `generation=2`, …).
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&str> {
+        self.status.split_whitespace().find_map(|field| field.strip_prefix(name)?.strip_prefix('='))
+    }
+
     /// The `generation=<g>` field of the status line, if present.
     #[must_use]
     pub fn generation(&self) -> Option<u64> {
-        self.status
-            .split_whitespace()
-            .find_map(|field| field.strip_prefix("generation=")?.parse().ok())
+        self.field("generation")?.parse().ok()
     }
 
     /// The `cached=<bool>` field of the status line, if present.
     #[must_use]
     pub fn cached(&self) -> Option<bool> {
-        self.status.split_whitespace().find_map(|field| field.strip_prefix("cached=")?.parse().ok())
+        self.field("cached")?.parse().ok()
     }
 }
 
@@ -216,5 +221,19 @@ mod tests {
         assert!(parsed.ok);
         assert!(parsed.status.contains("qps=5.0"));
         assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn status_fields_parse_by_name() {
+        let text = render_info("queries=10 shed=3 dedup_hits=7 generation=2");
+        let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
+        let parsed = read_response(&mut lines).unwrap().unwrap();
+        assert_eq!(parsed.field("shed"), Some("3"));
+        assert_eq!(parsed.field("dedup_hits"), Some("7"));
+        assert_eq!(parsed.field("queries"), Some("10"));
+        assert_eq!(parsed.generation(), Some(2));
+        // Prefix names never match a longer field.
+        assert_eq!(parsed.field("dedup"), None);
+        assert_eq!(parsed.field("missing"), None);
     }
 }

@@ -62,6 +62,13 @@ impl Service {
         &self.engine
     }
 
+    /// The worker pool this service executes queries on (load generators can
+    /// drive it directly while `!stats` observes the same counters).
+    #[must_use]
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
     /// Total request lines handled (all connections).
     #[must_use]
     pub fn request_count(&self) -> u64 {
@@ -265,7 +272,8 @@ mod tests {
         let engine = QueryEngine::new(
             IndexSnapshot::from_index(index, docs, 1),
             EngineConfig { workers: 2, ..EngineConfig::default() },
-        );
+        )
+        .unwrap();
         Service::start(engine, None)
     }
 

@@ -122,6 +122,31 @@ impl IndexSnapshot {
         })
     }
 
+    /// The merged posting list for one exact term across every shard (empty
+    /// when the term is unknown).  This is the raw lookup the per-batch
+    /// posting memo builds on; it honours
+    /// [`with_parallel_lookup`](IndexSnapshot::with_parallel_lookup) the same
+    /// way [`search`](IndexSnapshot::search) does.
+    #[must_use]
+    pub fn term_postings(&self, term: &dsearch_text::Term) -> dsearch_index::PostingList {
+        MultiIndexSearcher::new(&self.shards, &self.docs)
+            .with_parallel_lookup(self.parallel_lookup)
+            .postings(term)
+    }
+
+    /// The union of the posting lists of every indexed term starting with
+    /// `prefix`, merged across shards (the `word*` lookup).
+    #[must_use]
+    pub fn prefix_postings(&self, prefix: &str) -> dsearch_index::PostingList {
+        MultiIndexSearcher::new(&self.shards, &self.docs).prefix_postings(prefix)
+    }
+
+    /// The path registered for a file id in this snapshot's doc table.
+    #[must_use]
+    pub fn path_of(&self, id: dsearch_index::FileId) -> Option<&str> {
+        self.docs.path(id)
+    }
+
     /// Evaluates `query` against this image.
     ///
     /// Single-shard snapshots use the direct searcher; multi-shard snapshots
@@ -234,6 +259,20 @@ mod tests {
         let results = snapshot.search(&Query::parse("rust").unwrap());
         assert_eq!(results.paths(), vec!["a.txt", "b.txt"]);
         assert_eq!(snapshot.docs().len(), 3);
+    }
+
+    #[test]
+    fn raw_posting_lookups_match_search_semantics() {
+        let snapshot = snapshot_with(
+            &[("a.txt", &["rust", "index"]), ("b.txt", &["rust"]), ("c.txt", &["java"])],
+            1,
+        );
+        assert_eq!(snapshot.term_postings(&Term::from("rust")).len(), 2);
+        assert!(snapshot.term_postings(&Term::from("cobol")).is_empty());
+        assert_eq!(snapshot.prefix_postings("ja").len(), 1);
+        assert_eq!(snapshot.prefix_postings("").len(), 3);
+        let id = snapshot.term_postings(&Term::from("java")).iter().next().unwrap();
+        assert_eq!(snapshot.path_of(id), Some("c.txt"));
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub struct ServerStats {
     started: Instant,
     queries: AtomicU64,
     errors: AtomicU64,
+    /// Requests refused or dropped by admission control.
+    shed: AtomicU64,
+    /// Batches of at least two queries executed together.
+    batches: AtomicU64,
+    /// Queries served as part of a multi-query batch.
+    batched: AtomicU64,
+    /// Queries answered by an identical query in the same batch.
+    dedup_hits: AtomicU64,
     /// Ring buffer of recent latencies (window for percentile reporting).
     latencies: Mutex<LatencyRing>,
 }
@@ -37,6 +45,10 @@ impl Default for ServerStats {
             started: Instant::now(),
             queries: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing { samples: Vec::new(), next: 0 }),
         }
     }
@@ -67,6 +79,27 @@ impl ServerStats {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one request shed by admission control.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed batch of `size` queries.  Batches of one are the
+    /// unbatched fast path and are not counted.
+    pub fn record_batch(&self, size: u64) {
+        if size >= 2 {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.batched.fetch_add(size, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `count` queries answered by deduplication inside one batch.
+    pub fn record_dedup_hits(&self, count: u64) {
+        if count > 0 {
+            self.dedup_hits.fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
     /// Number of queries answered so far.
     #[must_use]
     pub fn query_count(&self) -> u64 {
@@ -77,6 +110,30 @@ impl ServerStats {
     #[must_use]
     pub fn error_count(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests shed by admission control so far.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Number of multi-query batches executed so far.
+    #[must_use]
+    pub fn batch_count(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Number of queries served inside multi-query batches so far.
+    #[must_use]
+    pub fn batched_count(&self) -> u64 {
+        self.batched.load(Ordering::Relaxed)
+    }
+
+    /// Number of queries answered by in-batch deduplication so far.
+    #[must_use]
+    pub fn dedup_hit_count(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
     }
 
     /// Wall-clock time since the stats were created.
@@ -107,10 +164,14 @@ impl ServerStats {
     pub fn render(&self, cache: CacheCounters, generation: u64) -> String {
         let latency = self.latency_summary();
         format!(
-            "queries={} errors={} qps={:.1} generation={} cache_hit_rate={:.3} \
-             cache_hits={} cache_misses={} cache_evictions={} latency[{latency}]",
+            "queries={} errors={} shed={} batched={} dedup_hits={} qps={:.1} generation={} \
+             cache_hit_rate={:.3} cache_hits={} cache_misses={} cache_evictions={} \
+             latency[{latency}]",
             self.query_count(),
             self.error_count(),
+            self.shed_count(),
+            self.batched_count(),
+            self.dedup_hit_count(),
             self.qps(),
             generation,
             cache.hit_rate(),
@@ -142,6 +203,27 @@ mod tests {
         let report = stats.render(CacheCounters::default(), 7);
         assert!(report.contains("generation=7"), "{report}");
         assert!(report.contains("queries=100"), "{report}");
+        assert!(report.contains("shed=0"), "{report}");
+    }
+
+    #[test]
+    fn batching_counters_accumulate_and_render() {
+        let stats = ServerStats::new();
+        stats.record_shed();
+        stats.record_shed();
+        stats.record_batch(1); // unbatched fast path: not counted
+        stats.record_batch(4);
+        stats.record_batch(3);
+        stats.record_dedup_hits(0);
+        stats.record_dedup_hits(5);
+        assert_eq!(stats.shed_count(), 2);
+        assert_eq!(stats.batch_count(), 2);
+        assert_eq!(stats.batched_count(), 7);
+        assert_eq!(stats.dedup_hit_count(), 5);
+        let report = stats.render(CacheCounters::default(), 1);
+        assert!(report.contains("shed=2"), "{report}");
+        assert!(report.contains("batched=7"), "{report}");
+        assert!(report.contains("dedup_hits=5"), "{report}");
     }
 
     #[test]

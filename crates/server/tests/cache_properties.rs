@@ -1,0 +1,166 @@
+//! Property tests for the sharded LRU [`QueryCache`].
+//!
+//! A single-shard cache is checked operation-by-operation against a
+//! reference LRU model; multi-shard caches are checked against the global
+//! invariants (capacity bound, counter reconciliation, generation
+//! invalidation) that hold regardless of how keys hash to shards.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dsearch_index::FileId;
+use dsearch_query::{Hit, SearchResults};
+use dsearch_server::{CacheKey, QueryCache};
+
+fn results(n: usize) -> Arc<SearchResults> {
+    Arc::new(SearchResults::new(
+        (0..n)
+            .map(|i| Hit { file_id: FileId(i as u32), path: format!("f{i}.txt"), matched_terms: 1 })
+            .collect(),
+    ))
+}
+
+fn key(id: u8, generation: u64) -> CacheKey {
+    CacheKey { query: format!("q{id}"), generation }
+}
+
+/// A reference single-shard LRU: index 0 is the coldest entry.
+#[derive(Default)]
+struct ModelLru {
+    order: Vec<CacheKey>,
+    evictions: u64,
+    replacements: u64,
+}
+
+impl ModelLru {
+    fn insert(&mut self, key: CacheKey, capacity: usize) {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+            self.replacements += 1;
+        }
+        self.order.push(key);
+        while self.order.len() > capacity {
+            self.order.remove(0);
+            self.evictions += 1;
+        }
+    }
+
+    fn probe(&mut self, key: &CacheKey) -> bool {
+        match self.order.iter().position(|k| k == key) {
+            Some(pos) => {
+                let key = self.order.remove(pos);
+                self.order.push(key);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random insert/probe sequences against a one-shard cache behave
+    /// exactly like the reference LRU: same hits, same evictions, same live
+    /// set, and the capacity is never exceeded at any step.
+    #[test]
+    fn single_shard_cache_matches_an_lru_model(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec((any::<bool>(), 0u8..12, 1u64..3), 1..200),
+    ) {
+        let cache = QueryCache::new(capacity, 1);
+        let mut model = ModelLru::default();
+        let mut inserts = 0u64;
+        let (mut hits, mut misses) = (0u64, 0u64);
+
+        for (is_insert, id, generation) in ops {
+            let key = key(id, generation);
+            if is_insert {
+                cache.insert(key.clone(), results(1));
+                model.insert(key, capacity);
+                inserts += 1;
+            } else {
+                let got = cache.get(&key).is_some();
+                let expected = model.probe(&key);
+                prop_assert_eq!(got, expected, "probe of {:?} disagrees with the model", key);
+                if got { hits += 1 } else { misses += 1 }
+            }
+            prop_assert!(cache.len() <= capacity, "{} entries > capacity {}", cache.len(), capacity);
+        }
+
+        let counters = cache.counters();
+        prop_assert_eq!(counters.insertions, inserts);
+        prop_assert_eq!(counters.evictions, model.evictions);
+        prop_assert_eq!(counters.hits, hits);
+        prop_assert_eq!(counters.misses, misses);
+        prop_assert_eq!(cache.len(), model.order.len());
+        // Reconciliation: every insert either replaced a live entry, was
+        // evicted later, or is still live.
+        prop_assert_eq!(
+            counters.insertions - model.replacements - counters.evictions,
+            cache.len() as u64
+        );
+        // The model's live set is exactly what the cache still answers.
+        for live in &model.order {
+            prop_assert!(cache.get(live).is_some(), "live key {:?} missing", live);
+        }
+    }
+
+    /// With any shard count, the cache never exceeds its worst-case bound
+    /// (per-shard capacity × shards) and the global counters reconcile:
+    /// inserts − replacements − evictions = live entries.
+    #[test]
+    fn sharded_capacity_and_counters_reconcile(
+        capacity in 1usize..32,
+        shards in 1usize..6,
+        ops in proptest::collection::vec((0u8..64, 1u64..4), 1..300),
+    ) {
+        let cache = QueryCache::new(capacity, shards);
+        let bound = capacity.max(1).div_ceil(shards) * shards;
+        let mut inserts = 0u64;
+        let mut replacements = 0u64;
+
+        for (id, generation) in ops {
+            let key = key(id, generation);
+            // A probe just before the insert tells us whether this insert
+            // replaces a live entry (len unchanged) or adds one.
+            if cache.get(&key).is_some() {
+                replacements += 1;
+            }
+            cache.insert(key, results(1));
+            inserts += 1;
+            prop_assert!(cache.len() <= bound, "{} entries > bound {}", cache.len(), bound);
+        }
+
+        let counters = cache.counters();
+        prop_assert_eq!(counters.insertions, inserts);
+        prop_assert_eq!(inserts - replacements - counters.evictions, cache.len() as u64);
+    }
+
+    /// Entries cached under one generation never answer probes for a later
+    /// generation: bumping the generation (what a snapshot publish does to
+    /// the key space) invalidates every prior entry.
+    #[test]
+    fn generation_bump_invalidates_all_prior_entries(
+        ids in proptest::collection::vec(0u8..32, 1..40),
+        shards in 1usize..5,
+        generation in 1u64..1000,
+    ) {
+        let cache = QueryCache::new(64, shards);
+        for id in &ids {
+            cache.insert(key(*id, generation), results(1));
+        }
+        for id in &ids {
+            prop_assert!(
+                cache.get(&key(*id, generation + 1)).is_none(),
+                "generation {} entry served generation {}", generation, generation + 1
+            );
+        }
+        // The old generation's entries are still live (capacity was ample):
+        // invalidation comes from the key space, not from flushing.
+        for id in &ids {
+            prop_assert!(cache.get(&key(*id, generation)).is_some());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the line protocol: arbitrary bytes never panic the
+//! parsers, and every rendered response round-trips through
+//! encode → `read_response` unchanged.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use dsearch_index::FileId;
+use dsearch_query::{Hit, SearchResults};
+use dsearch_server::protocol::{
+    parse_request, read_response, render_error, render_error_text, render_info, render_response,
+    Request, END,
+};
+use dsearch_server::{QueryResponse, ServerError};
+
+/// Arbitrary (possibly non-UTF-8) bytes, decoded the way a front end would.
+fn arbitrary_line() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..80)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Paths that are representable in a line protocol (no newlines; the server
+/// only ever emits paths produced by the indexer, which are line-safe).
+fn path_strategy() -> impl Strategy<Value = String> {
+    "[a-z0-9/._-]{1,20}"
+}
+
+fn response_strategy() -> impl Strategy<Value = QueryResponse> {
+    (
+        proptest::collection::vec((path_strategy(), 1usize..5), 0..8),
+        1u64..100,
+        any::<bool>(),
+        0u64..1_000_000,
+    )
+        .prop_map(|(raw_hits, generation, cached, micros)| {
+            let hits = raw_hits
+                .into_iter()
+                .enumerate()
+                .map(|(i, (path, matched_terms))| Hit {
+                    file_id: FileId(i as u32),
+                    path,
+                    matched_terms,
+                })
+                .collect();
+            QueryResponse {
+                query: "canonical query".into(),
+                results: Arc::new(SearchResults::new(hits)),
+                generation,
+                cached,
+                latency: Duration::from_micros(micros),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any byte salad fed to the request parser and the response reader is
+    /// classified without panicking, and the classification is total:
+    /// every line is exactly one of the request kinds.
+    #[test]
+    fn arbitrary_lines_never_panic_the_parsers(
+        lines in proptest::collection::vec(arbitrary_line(), 0..12),
+    ) {
+        for line in &lines {
+            match parse_request(line) {
+                Request::Empty => prop_assert!(line.trim().is_empty()),
+                Request::Stats => prop_assert_eq!(line.trim(), "!stats"),
+                Request::Reload => prop_assert_eq!(line.trim(), "!reload"),
+                Request::Quit => prop_assert_eq!(line.trim(), "!quit"),
+                Request::Query(q) => prop_assert_eq!(q.as_str(), line.trim()),
+            }
+        }
+        // The response reader consumes any line stream without panicking,
+        // and always makes progress (each call eats at least one line).
+        let mut iter = lines.iter().cloned().map(Ok::<_, std::io::Error>);
+        let mut responses = 0;
+        while let Some(result) = read_response(&mut iter) {
+            prop_assert!(result.is_ok());
+            responses += 1;
+            prop_assert!(responses <= lines.len(), "reader stopped making progress");
+        }
+    }
+
+    /// Every rendered query response parses back to exactly the hits,
+    /// generation and cached flag it was rendered from.
+    #[test]
+    fn responses_round_trip_through_the_protocol(response in response_strategy()) {
+        let text = render_response(&response);
+        prop_assert!(text.ends_with(&format!("{END}\n")));
+
+        let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
+        let parsed = read_response(&mut lines).unwrap().unwrap();
+        prop_assert!(lines.next().is_none(), "exactly one response per render");
+
+        prop_assert!(parsed.ok);
+        prop_assert_eq!(parsed.hit_count(), response.results.len());
+        prop_assert_eq!(parsed.generation(), Some(response.generation));
+        prop_assert_eq!(parsed.cached(), Some(response.cached));
+        let expected_body: Vec<String> = response
+            .results
+            .hits()
+            .iter()
+            .map(|hit| format!("{} ({} terms)", hit.path, hit.matched_terms))
+            .collect();
+        prop_assert_eq!(parsed.body, expected_body);
+    }
+
+    /// Errors and info lines keep the same framing invariants: one status
+    /// line, no body, an END terminator, and a lossless status payload.
+    #[test]
+    fn errors_and_info_round_trip(message in "[ -~]{0,40}", which in any::<bool>()) {
+        let text = if which {
+            render_error_text(&message)
+        } else {
+            render_info(&message)
+        };
+        prop_assert!(text.ends_with(&format!("{END}\n")));
+        let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
+        let parsed = read_response(&mut lines).unwrap().unwrap();
+        prop_assert_eq!(parsed.ok, !which);
+        prop_assert_eq!(parsed.status, message.trim());
+        prop_assert!(parsed.body.is_empty());
+    }
+}
+
+#[test]
+fn server_errors_render_with_end_framing() {
+    for error in [
+        ServerError::Overloaded,
+        ServerError::ShuttingDown,
+        ServerError::Parse(dsearch_query::ParseError::Empty),
+    ] {
+        let text = render_error(&error);
+        assert!(text.starts_with("ERR "), "{text}");
+        assert!(text.ends_with(&format!("{END}\n")), "{text}");
+        let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
+        let parsed = read_response(&mut lines).unwrap().unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(parsed.status, error.to_string());
+    }
+}

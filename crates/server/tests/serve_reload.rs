@@ -74,8 +74,15 @@ fn queries_survive_a_concurrent_snapshot_reload() {
     let store = IndexStore::open(&store_dir).unwrap();
     let engine = QueryEngine::new(
         IndexSnapshot::load(&store, 1).unwrap(),
-        EngineConfig { workers: 4, cache_capacity: 256, cache_shards: 4, result_limit: 64 },
-    );
+        EngineConfig {
+            workers: 4,
+            cache_capacity: 256,
+            cache_shards: 4,
+            result_limit: 64,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
     let pool = Arc::new(WorkerPool::start(Arc::clone(&engine)));
 
     let reload_done = Arc::new(AtomicBool::new(false));
@@ -188,8 +195,15 @@ fn multi_segment_store_serves_as_sharded_snapshot() {
     assert_eq!(snapshot.shard_count(), 3);
     let engine = QueryEngine::new(
         snapshot,
-        EngineConfig { workers: 2, cache_capacity: 64, cache_shards: 2, result_limit: 64 },
-    );
+        EngineConfig {
+            workers: 2,
+            cache_capacity: 64,
+            cache_shards: 2,
+            result_limit: 64,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
     let response = engine.execute("common").unwrap();
     assert_eq!(response.results.len(), 30);
     let response = engine.execute("w0 common").unwrap();
