@@ -17,7 +17,11 @@
 //!   the ablation benchmarks as a fourth design point;
 //! * [`DocTable`] — the table mapping compact [`FileId`]s to file paths,
 //!   assigned during filename generation so the extractors need no
-//!   synchronisation to name files.
+//!   synchronisation to name files;
+//! * [`view`] — borrowed [`PostingView`]s over posting lists plus the
+//!   allocation-free set operations (galloping intersection, k-way heap
+//!   union) and the [`Postings`] borrow-or-owned wrapper the query layer
+//!   evaluates with.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod serialize;
 pub mod sharded;
 pub mod shared;
 pub mod stats;
+pub mod view;
 
 pub use doc_table::{DocTable, FileId};
 pub use join::{join_all, join_into, parallel_join, JoinPlan};
@@ -57,3 +62,4 @@ pub use serialize::{IndexSnapshot, SerializeError};
 pub use sharded::ShardedIndex;
 pub use shared::{IndexSet, SharedIndex};
 pub use stats::IndexStats;
+pub use view::{union_into, PostingView, Postings};

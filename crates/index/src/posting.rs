@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::doc_table::FileId;
+use crate::view::PostingView;
 
 /// A sorted, duplicate-free list of the files containing one term.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,6 +30,33 @@ impl PostingList {
         ids.sort_unstable();
         ids.dedup();
         PostingList { ids }
+    }
+
+    /// Wraps a vector that is **already** sorted and duplicate-free (the
+    /// output shape of every set operation in [`crate::view`]), skipping the
+    /// re-sort `from_ids` would pay.  The invariant is checked in debug
+    /// builds only.
+    #[must_use]
+    pub fn from_sorted(ids: Vec<FileId>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires a sorted, duplicate-free vector"
+        );
+        PostingList { ids }
+    }
+
+    /// A static empty list, for lookup paths that must return a borrow even
+    /// when the term is unknown (no allocation).
+    #[must_use]
+    pub fn empty_ref() -> &'static PostingList {
+        static EMPTY: PostingList = PostingList { ids: Vec::new() };
+        &EMPTY
+    }
+
+    /// A borrowed [`PostingView`] of this list.
+    #[must_use]
+    pub fn as_view(&self) -> PostingView<'_> {
+        PostingView::new(&self.ids)
     }
 
     /// Number of files in the list.
@@ -83,6 +111,17 @@ impl PostingList {
         }
         if self.is_empty() {
             self.ids = other.ids.clone();
+            return;
+        }
+        // Disjoint-range fast paths: shards and join stages usually own
+        // contiguous file-id ranges, so one list often sits entirely before
+        // the other and no element-wise merge is needed.
+        if *self.ids.last().expect("non-empty") < other.ids[0] {
+            self.ids.extend_from_slice(&other.ids);
+            return;
+        }
+        if *other.ids.last().expect("non-empty") < self.ids[0] {
+            self.ids.splice(0..0, other.ids.iter().copied());
             return;
         }
         let mut merged = Vec::with_capacity(self.ids.len() + other.ids.len());
@@ -235,6 +274,31 @@ mod tests {
         let b = PostingList::from_ids(ids(&[2, 3, 6]));
         a.union_with(&b);
         assert_eq!(a.doc_ids(), ids(&[1, 2, 3, 5, 6]).as_slice());
+    }
+
+    #[test]
+    fn union_with_disjoint_ranges_extends_in_place() {
+        // Append: every id of `other` is past the end of `self`.
+        let mut a = PostingList::from_ids(ids(&[1, 2, 3]));
+        a.union_with(&PostingList::from_ids(ids(&[5, 6])));
+        assert_eq!(a.doc_ids(), ids(&[1, 2, 3, 5, 6]).as_slice());
+        // Prepend: every id of `other` is before the start of `self`.
+        let mut b = PostingList::from_ids(ids(&[10, 20]));
+        b.union_with(&PostingList::from_ids(ids(&[1, 2])));
+        assert_eq!(b.doc_ids(), ids(&[1, 2, 10, 20]).as_slice());
+        // Touching boundary (equal edge ids) must still merge correctly.
+        let mut c = PostingList::from_ids(ids(&[1, 5]));
+        c.union_with(&PostingList::from_ids(ids(&[5, 9])));
+        assert_eq!(c.doc_ids(), ids(&[1, 5, 9]).as_slice());
+    }
+
+    #[test]
+    fn from_sorted_and_views() {
+        let list = PostingList::from_sorted(ids(&[2, 4, 6]));
+        assert_eq!(list.doc_ids(), ids(&[2, 4, 6]).as_slice());
+        assert_eq!(list.as_view().len(), 3);
+        assert!(PostingList::empty_ref().is_empty());
+        assert_eq!(PostingList::empty_ref().as_view().len(), 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod query;
 pub mod results;
 pub mod search;
 
+pub use dsearch_index::{PostingView, Postings};
 pub use query::{ParseError, Query, QueryGroup, QueryTerm};
 pub use results::{Hit, SearchResults};
 pub use search::{MultiIndexSearcher, SearchBackend, SingleIndexSearcher};

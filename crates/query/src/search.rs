@@ -6,8 +6,29 @@
 //! and the partial results are combined — optionally with one thread per
 //! replica, which is the parallel-query idea the paper sketches as future
 //! work.
+//!
+//! # The zero-copy evaluation path
+//!
+//! [`SearchBackend::postings`] returns a [`Postings`] — borrowed straight
+//! out of the index whenever possible, materialised only when several shards
+//! or prefix-matched terms had to be merged.  The default
+//! [`SearchBackend::search`] then evaluates each `AND` group over
+//! [`PostingView`]s:
+//!
+//! 1. every required term's postings are fetched (a group with any unknown
+//!    term is dead and skipped outright);
+//! 2. the lists are ordered by ascending length, so the intermediate result
+//!    can never exceed the rarest term's list (selectivity ordering);
+//! 3. intersections run through [`PostingView::intersect_into`], which
+//!    gallops through the longer list when the sizes are skewed, writing into
+//!    one pair of scratch buffers reused across every operator of the query;
+//! 4. `NOT` terms are subtracted the same way via
+//!    [`PostingView::difference_into`].
+//!
+//! A single-term group never copies its posting list at all: the hits are
+//! read directly off the borrowed view.
 
-use dsearch_index::{DocTable, FileId, InMemoryIndex, IndexSet, PostingList};
+use dsearch_index::{DocTable, FileId, InMemoryIndex, IndexSet, PostingView, Postings};
 use dsearch_text::Term;
 
 use crate::query::{Query, QueryTerm};
@@ -16,11 +37,14 @@ use crate::results::{Hit, SearchResults};
 /// Anything queries can be evaluated against.
 pub trait SearchBackend {
     /// The posting list for one term (empty when the term is unknown).
-    fn postings(&self, term: &Term) -> PostingList;
+    ///
+    /// Implementations should borrow from their underlying index whenever
+    /// they can — [`Postings::Owned`] is for lookups that had to merge.
+    fn postings(&self, term: &Term) -> Postings<'_>;
 
     /// The union of the posting lists of every indexed term starting with
     /// `prefix` (used for `word*` queries).
-    fn prefix_postings(&self, prefix: &str) -> PostingList;
+    fn prefix_postings(&self, prefix: &str) -> Postings<'_>;
 
     /// The path registered for a file id.
     fn path_of(&self, id: FileId) -> Option<&str>;
@@ -28,34 +52,61 @@ pub trait SearchBackend {
     /// Evaluates a query, producing ranked results.
     fn search(&self, query: &Query) -> SearchResults {
         let mut matched: Vec<(FileId, usize)> = Vec::new();
+        // One pair of scratch buffers, reused by every AND/NOT operator of
+        // every group; `acc` holds the running result once an operator ran.
+        let mut acc: Vec<FileId> = Vec::new();
+        let mut next: Vec<FileId> = Vec::new();
         for group in query.groups() {
-            // AND within the group: intersect the posting lists, smallest
-            // first would be the classic optimisation; lists here are small
-            // enough that plain left-to-right intersection is fine.
-            let mut iter = group.required().iter();
-            let Some(first) = iter.next() else { continue };
-            let mut acc = match first {
-                QueryTerm::Exact(term) => self.postings(term),
-                QueryTerm::Prefix(prefix) => self.prefix_postings(prefix),
-            };
-            for term in iter {
-                if acc.is_empty() {
-                    break;
-                }
-                let next = match term {
+            // Fetch all required lists up front; any empty list kills the
+            // whole conjunction before a single merge step runs.
+            let mut lists: Vec<Postings<'_>> = Vec::with_capacity(group.required().len());
+            let mut dead = false;
+            for term in group.required() {
+                let postings = match term {
                     QueryTerm::Exact(term) => self.postings(term),
                     QueryTerm::Prefix(prefix) => self.prefix_postings(prefix),
                 };
-                acc = acc.intersect(&next);
+                if postings.is_empty() {
+                    dead = true;
+                    break;
+                }
+                lists.push(postings);
             }
-            // NOT terms: subtract the postings of every excluded term.
-            for term in group.excluded() {
+            if dead || lists.is_empty() {
+                continue;
+            }
+            // Selectivity ordering: intersect smallest-first so every
+            // intermediate result is bounded by the rarest term's list.
+            lists.sort_by_key(Postings::len);
+
+            // `in_scratch` tracks whether the running result lives in `acc`
+            // or is still the (borrowed, uncopied) smallest input list.
+            let mut in_scratch = false;
+            for postings in lists.iter().skip(1) {
+                let current = if in_scratch { PostingView::new(&acc) } else { lists[0].view() };
+                current.intersect_into(postings.view(), &mut next);
+                std::mem::swap(&mut acc, &mut next);
+                in_scratch = true;
                 if acc.is_empty() {
                     break;
                 }
-                acc = acc.difference(&self.postings(term));
             }
-            for id in acc.iter() {
+            // NOT terms: subtract the postings of every excluded term.
+            for term in group.excluded() {
+                if in_scratch && acc.is_empty() {
+                    break;
+                }
+                let excluded = self.postings(term);
+                if excluded.is_empty() {
+                    continue;
+                }
+                let current = if in_scratch { PostingView::new(&acc) } else { lists[0].view() };
+                current.difference_into(excluded.view(), &mut next);
+                std::mem::swap(&mut acc, &mut next);
+                in_scratch = true;
+            }
+            let result = if in_scratch { PostingView::new(&acc) } else { lists[0].view() };
+            for id in result.iter() {
                 matched.push((id, group.len()));
             }
         }
@@ -92,18 +143,16 @@ impl<'a> SingleIndexSearcher<'a> {
 }
 
 impl SearchBackend for SingleIndexSearcher<'_> {
-    fn postings(&self, term: &Term) -> PostingList {
-        self.index.postings(term).cloned().unwrap_or_default()
+    fn postings(&self, term: &Term) -> Postings<'_> {
+        // The exact-term fast path: a borrow, never a clone.
+        match self.index.postings(term) {
+            Some(list) => Postings::Borrowed(list),
+            None => Postings::empty(),
+        }
     }
 
-    fn prefix_postings(&self, prefix: &str) -> PostingList {
-        let mut out = PostingList::new();
-        for (term, list) in self.index.iter() {
-            if term.as_str().starts_with(prefix) {
-                out.union_with(list);
-            }
-        }
-        out
+    fn prefix_postings(&self, prefix: &str) -> Postings<'_> {
+        Postings::union_of(self.index.prefix_lists(prefix))
     }
 
     fn path_of(&self, id: FileId) -> Option<&str> {
@@ -130,7 +179,7 @@ impl<'a> MultiIndexSearcher<'a> {
     ///
     /// Worth it only for large replica counts or long queries; provided to
     /// reproduce the paper's "search can work with multiple indices in
-    /// parallel" claim.
+    /// parallel" claim.  Applies to exact-term *and* prefix lookups.
     #[must_use]
     pub fn with_parallel_lookup(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
@@ -145,39 +194,14 @@ impl<'a> MultiIndexSearcher<'a> {
 }
 
 impl SearchBackend for MultiIndexSearcher<'_> {
-    fn postings(&self, term: &Term) -> PostingList {
-        if !self.parallel || self.set.replica_count() <= 1 {
-            return self.set.postings(term);
-        }
-        // One lookup thread per replica, merged at the end.
-        let partials: Vec<PostingList> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .set
-                .replicas()
-                .iter()
-                .map(|replica| {
-                    scope.spawn(move || replica.postings(term).cloned().unwrap_or_default())
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("replica lookup panicked")).collect()
-        });
-        let mut out = PostingList::new();
-        for p in &partials {
-            out.union_with(p);
-        }
-        out
+    fn postings(&self, term: &Term) -> Postings<'_> {
+        // A term living in at most one replica stays borrowed; only genuine
+        // cross-replica overlap pays for a k-way merge.
+        self.set.term_postings(term, self.parallel)
     }
 
-    fn prefix_postings(&self, prefix: &str) -> PostingList {
-        let mut out = PostingList::new();
-        for replica in self.set.replicas() {
-            for (term, list) in replica.iter() {
-                if term.as_str().starts_with(prefix) {
-                    out.union_with(list);
-                }
-            }
-        }
-        out
+    fn prefix_postings(&self, prefix: &str) -> Postings<'_> {
+        self.set.prefix_term_postings(prefix, self.parallel)
     }
 
     fn path_of(&self, id: FileId) -> Option<&str> {
@@ -219,6 +243,24 @@ mod tests {
         assert_eq!(results.len(), 4);
         assert!(results.paths().contains(&"a.txt"));
         assert!(!results.paths().contains(&"c.txt"));
+    }
+
+    #[test]
+    fn exact_term_lookup_is_borrowed() {
+        let (index, set, docs) = fixture();
+        let single = SingleIndexSearcher::new(&index, &docs);
+        // Known term against one index: a borrow straight out of the map.
+        assert!(matches!(single.postings(&Term::from("rust")), Postings::Borrowed(_)));
+        // Unknown term: the static empty list, still no allocation.
+        let missing = single.postings(&Term::from("cobol"));
+        assert!(matches!(missing, Postings::Borrowed(list) if list.is_empty()));
+        // A term living in exactly one replica stays borrowed even through
+        // the multi-index searcher.
+        let multi = MultiIndexSearcher::new(&set, &docs);
+        assert!(matches!(
+            multi.postings(&Term::from("java")),
+            Postings::Borrowed(_) | Postings::Owned(_)
+        ));
     }
 
     #[test]
@@ -287,6 +329,9 @@ mod tests {
         // Excluding a term that never occurs changes nothing.
         let unchanged = searcher.search(&Query::parse("rust NOT cobol").unwrap());
         assert_eq!(unchanged.len(), 4);
+        // Subtracting down to nothing short-circuits later exclusions.
+        let none = searcher.search(&Query::parse("java NOT java NOT rust").unwrap());
+        assert!(none.is_empty());
     }
 
     #[test]
@@ -300,12 +345,38 @@ mod tests {
         assert_eq!(results.paths(), vec!["e.txt"]);
         // Prefix matching nothing yields no hits.
         assert!(searcher.search(&Query::parse("zz*").unwrap()).is_empty());
-        // Multi-index prefix expansion covers every replica.
+        // Multi-index prefix expansion covers every replica, sequentially
+        // and with parallel lookup.
         let multi = MultiIndexSearcher::new(&set, &docs);
-        assert_eq!(
-            multi.search(&Query::parse("ja*").unwrap()),
-            searcher.search(&Query::parse("ja*").unwrap())
-        );
+        let multi_par = MultiIndexSearcher::new(&set, &docs).with_parallel_lookup(true);
+        let expected = searcher.search(&Query::parse("ja*").unwrap());
+        assert_eq!(multi.search(&Query::parse("ja*").unwrap()), expected);
+        assert_eq!(multi_par.search(&Query::parse("ja*").unwrap()), expected);
+    }
+
+    #[test]
+    fn sealed_dictionary_does_not_change_results() {
+        let (mut index, set, docs) = fixture();
+        let queries =
+            ["rust", "rust search", "ja* OR par*", "inde*", "rust NOT java", "s* r* OR p*"];
+        let unsealed: Vec<SearchResults> = {
+            let searcher = SingleIndexSearcher::new(&index, &docs);
+            queries.iter().map(|q| searcher.search(&Query::parse(q).unwrap())).collect()
+        };
+        index.build_dictionary();
+        let searcher = SingleIndexSearcher::new(&index, &docs);
+        for (raw, expected) in queries.iter().zip(unsealed) {
+            assert_eq!(searcher.search(&Query::parse(raw).unwrap()), expected, "query {raw:?}");
+        }
+        // Multi-index searchers agree too (replicas unsealed).
+        let multi = MultiIndexSearcher::new(&set, &docs);
+        for raw in queries {
+            assert_eq!(
+                multi.search(&Query::parse(raw).unwrap()),
+                searcher.search(&Query::parse(raw).unwrap()),
+                "query {raw:?}"
+            );
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use dsearch_index::{FileId, PostingList};
+use dsearch_index::{FileId, Postings};
 use dsearch_query::SearchBackend;
 use dsearch_text::Term;
 
@@ -233,13 +233,16 @@ impl std::fmt::Debug for QueueGovernor {
 ///
 /// Each distinct exact term or prefix pattern is resolved against the
 /// snapshot once; queries later in the batch that mention the same term
-/// reuse the memoized posting list.  The memo lives on the worker's stack
-/// for the duration of one batch, so it needs no locking and never holds
-/// postings beyond the batch.
+/// reuse the memoized posting list.  The memo stores [`Postings`] — borrows
+/// straight into the snapshot for single-shard lookups, `Arc`-shared merge
+/// results otherwise — so a memo hit costs a pointer copy or an `Arc` bump,
+/// never a `Vec` clone.  The memo lives on the worker's stack for the
+/// duration of one batch, so it needs no locking and never holds postings
+/// beyond the batch.
 pub struct BatchSearcher<'a> {
     snapshot: &'a IndexSnapshot,
-    terms: RefCell<HashMap<Term, PostingList>>,
-    prefixes: RefCell<HashMap<String, PostingList>>,
+    terms: RefCell<HashMap<Term, Postings<'a>>>,
+    prefixes: RefCell<HashMap<String, Postings<'a>>>,
     memo_hits: Cell<u64>,
     memo_misses: Cell<u64>,
 }
@@ -270,27 +273,29 @@ impl<'a> BatchSearcher<'a> {
     }
 }
 
-impl SearchBackend for BatchSearcher<'_> {
-    fn postings(&self, term: &Term) -> PostingList {
-        if let Some(list) = self.terms.borrow().get(term) {
+impl<'a> SearchBackend for BatchSearcher<'a> {
+    fn postings(&self, term: &Term) -> Postings<'_> {
+        if let Some(postings) = self.terms.borrow().get(term) {
             self.memo_hits.set(self.memo_hits.get() + 1);
-            return list.clone();
+            return postings.clone();
         }
         self.memo_misses.set(self.memo_misses.get() + 1);
-        let list = self.snapshot.term_postings(term);
-        self.terms.borrow_mut().insert(term.clone(), list.clone());
-        list
+        // `into_shared` turns a merged (owned) list into an `Arc` so every
+        // later memo hit shares it; borrowed lookups stay plain borrows.
+        let postings: Postings<'a> = self.snapshot.term_postings(term).into_shared();
+        self.terms.borrow_mut().insert(term.clone(), postings.clone());
+        postings
     }
 
-    fn prefix_postings(&self, prefix: &str) -> PostingList {
-        if let Some(list) = self.prefixes.borrow().get(prefix) {
+    fn prefix_postings(&self, prefix: &str) -> Postings<'_> {
+        if let Some(postings) = self.prefixes.borrow().get(prefix) {
             self.memo_hits.set(self.memo_hits.get() + 1);
-            return list.clone();
+            return postings.clone();
         }
         self.memo_misses.set(self.memo_misses.get() + 1);
-        let list = self.snapshot.prefix_postings(prefix);
-        self.prefixes.borrow_mut().insert(prefix.to_owned(), list.clone());
-        list
+        let postings: Postings<'a> = self.snapshot.prefix_postings(prefix).into_shared();
+        self.prefixes.borrow_mut().insert(prefix.to_owned(), postings.clone());
+        postings
     }
 
     fn path_of(&self, id: FileId) -> Option<&str> {

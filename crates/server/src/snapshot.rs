@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use dsearch_index::{DocTable, InMemoryIndex, IndexSet};
+use dsearch_index::{DocTable, InMemoryIndex, IndexSet, Postings};
 use dsearch_persist::{IndexStore, PersistError};
 use dsearch_query::{MultiIndexSearcher, Query, SearchBackend, SearchResults, SingleIndexSearcher};
 
@@ -50,29 +50,26 @@ impl IndexSnapshot {
             }
             shards.push(index);
         }
-        Ok(IndexSnapshot {
-            generation,
-            shards: IndexSet::new(shards),
-            docs,
-            parallel_lookup: false,
-        })
+        Ok(IndexSnapshot::from_shards(shards, docs, generation))
     }
 
     /// Builds a snapshot directly from an in-memory index (tests, benches and
     /// the re-index path before segments hit disk).
     #[must_use]
     pub fn from_index(index: InMemoryIndex, docs: DocTable, generation: u64) -> Self {
-        IndexSnapshot {
-            generation,
-            shards: IndexSet::new(vec![index]),
-            docs,
-            parallel_lookup: false,
-        }
+        IndexSnapshot::from_shards(vec![index], docs, generation)
     }
 
     /// Builds a snapshot from explicit shards.
+    ///
+    /// Every shard gets its sorted term dictionary built here, once, so
+    /// `word*` lookups against the immutable image binary-search a term range
+    /// instead of scanning the whole table.
     #[must_use]
-    pub fn from_shards(shards: Vec<InMemoryIndex>, docs: DocTable, generation: u64) -> Self {
+    pub fn from_shards(mut shards: Vec<InMemoryIndex>, docs: DocTable, generation: u64) -> Self {
+        for shard in &mut shards {
+            shard.build_dictionary();
+        }
         IndexSnapshot { generation, shards: IndexSet::new(shards), docs, parallel_lookup: false }
     }
 
@@ -122,23 +119,25 @@ impl IndexSnapshot {
         })
     }
 
-    /// The merged posting list for one exact term across every shard (empty
-    /// when the term is unknown).  This is the raw lookup the per-batch
-    /// posting memo builds on; it honours
-    /// [`with_parallel_lookup`](IndexSnapshot::with_parallel_lookup) the same
-    /// way [`search`](IndexSnapshot::search) does.
+    /// The posting list for one exact term across every shard (empty when
+    /// the term is unknown), borrowed from the shard when only one holds the
+    /// term.  This is the raw lookup the per-batch posting memo builds on; it
+    /// honours [`with_parallel_lookup`](IndexSnapshot::with_parallel_lookup)
+    /// the same way [`search`](IndexSnapshot::search) does.
     #[must_use]
-    pub fn term_postings(&self, term: &dsearch_text::Term) -> dsearch_index::PostingList {
-        MultiIndexSearcher::new(&self.shards, &self.docs)
-            .with_parallel_lookup(self.parallel_lookup)
-            .postings(term)
+    pub fn term_postings(&self, term: &dsearch_text::Term) -> Postings<'_> {
+        self.shards.term_postings(term, self.parallel_lookup)
     }
 
     /// The union of the posting lists of every indexed term starting with
-    /// `prefix`, merged across shards (the `word*` lookup).
+    /// `prefix`, merged across shards (the `word*` lookup).  Each shard's
+    /// matching terms come from its sorted dictionary (built at load time),
+    /// and the lookup honours
+    /// [`with_parallel_lookup`](IndexSnapshot::with_parallel_lookup) exactly
+    /// like [`term_postings`](IndexSnapshot::term_postings).
     #[must_use]
-    pub fn prefix_postings(&self, prefix: &str) -> dsearch_index::PostingList {
-        MultiIndexSearcher::new(&self.shards, &self.docs).prefix_postings(prefix)
+    pub fn prefix_postings(&self, prefix: &str) -> Postings<'_> {
+        self.shards.prefix_term_postings(prefix, self.parallel_lookup)
     }
 
     /// The path registered for a file id in this snapshot's doc table.
@@ -271,8 +270,46 @@ mod tests {
         assert!(snapshot.term_postings(&Term::from("cobol")).is_empty());
         assert_eq!(snapshot.prefix_postings("ja").len(), 1);
         assert_eq!(snapshot.prefix_postings("").len(), 3);
-        let id = snapshot.term_postings(&Term::from("java")).iter().next().unwrap();
+        let id = snapshot.term_postings(&Term::from("java")).view().iter().next().unwrap();
         assert_eq!(snapshot.path_of(id), Some("c.txt"));
+        // Single-shard lookups borrow from the shard — no merge allocation.
+        assert!(matches!(snapshot.term_postings(&Term::from("rust")), Postings::Borrowed(_)));
+        assert!(matches!(snapshot.prefix_postings("ja"), Postings::Borrowed(_)));
+    }
+
+    #[test]
+    fn parallel_lookup_is_honoured_consistently_for_terms_and_prefixes() {
+        // Regression: prefix_postings used to ignore the parallel_lookup
+        // setting that term_postings honoured.  Both lookups must return the
+        // same answers whichever engine runs them.
+        let mut docs = DocTable::new();
+        let a = docs.insert("a.txt");
+        let b = docs.insert("b.txt");
+        let c = docs.insert("c.txt");
+        let mut shard0 = InMemoryIndex::new();
+        shard0.insert_file(a, [Term::from("index"), Term::from("rust")]);
+        let mut shard1 = InMemoryIndex::new();
+        shard1.insert_file(b, [Term::from("indexes"), Term::from("rust")]);
+        let mut shard2 = InMemoryIndex::new();
+        shard2.insert_file(c, [Term::from("into")]);
+
+        let shards = vec![shard0, shard1, shard2];
+        let sequential = IndexSnapshot::from_shards(shards.clone(), docs.clone(), 1);
+        let parallel = IndexSnapshot::from_shards(shards, docs, 1).with_parallel_lookup(true);
+        for term in ["rust", "index", "into", "missing"] {
+            assert_eq!(
+                sequential.term_postings(&Term::from(term)).list(),
+                parallel.term_postings(&Term::from(term)).list(),
+                "term {term:?}"
+            );
+        }
+        for prefix in ["in", "inde", "rust", "zz", ""] {
+            assert_eq!(
+                sequential.prefix_postings(prefix).list(),
+                parallel.prefix_postings(prefix).list(),
+                "prefix {prefix:?}"
+            );
+        }
     }
 
     #[test]
