@@ -16,13 +16,24 @@
 //! The `query_eval` group proves the end-to-end win: the pre-PR-3 evaluation
 //! strategy (clone every posting list, intersect left-to-right in query
 //! order) re-implemented here as the baseline, against
-//! `SingleIndexSearcher::search`'s zero-copy, selectivity-ordered path.
+//! `SingleIndexSearcher::search`'s zero-copy, selectivity-ordered path and
+//! (since PR 4) a sealed snapshot's block-compressed skip-seek path.
+//!
+//! PR 4 adds compressed counterparts to every primitive: `intersect` and
+//! `union` over `BlockCursor`s (skip-seek through compressed blocks) next to
+//! the borrowed-view numbers, so the cost/benefit of compression is measured
+//! in the same group it changes.  Bytes/posting is reported by the
+//! `bench_summary` binary (it is a size, not a time).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use dsearch::index::{union_into, DocTable, FileId, InMemoryIndex, PostingList, PostingView};
+use dsearch::index::{
+    intersect_cursors_into, union_cursors_into, union_into, CompressedPostings, DocTable, FileId,
+    InMemoryIndex, PostingList, PostingView, PostingsCursor,
+};
 use dsearch::query::{Query, QueryTerm, SearchBackend, SingleIndexSearcher};
+use dsearch::server::IndexSnapshot;
 use dsearch::text::Term;
 
 fn list_of(range: impl Iterator<Item = u32>) -> PostingList {
@@ -47,6 +58,23 @@ fn bench_intersect(c: &mut Criterion) {
         });
     });
 
+    // The same skewed shape over block-compressed lists: the cursor seeks
+    // through the 100k-id list's skip table, decoding only the ~100 blocks
+    // that can contain a match candidate.
+    let small_compressed = CompressedPostings::from_list(&small);
+    let large_compressed = CompressedPostings::from_list(&large);
+    group.bench_function("intersect/block_skip_seek/skewed_100_vs_100k", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            intersect_cursors_into(
+                PostingsCursor::Block(small_compressed.cursor()),
+                PostingsCursor::Block(large_compressed.cursor()),
+                &mut out,
+            );
+            black_box(out.len())
+        });
+    });
+
     // Balanced: two 10k lists with 50 % overlap — the linear-merge case,
     // where the win is the reused scratch buffer, not the gallop.
     let even = list_of((0..10_000).map(|i| i * 2));
@@ -58,6 +86,19 @@ fn bench_intersect(c: &mut Criterion) {
         let mut out = Vec::new();
         b.iter(|| {
             even.as_view().intersect_into(all.as_view(), &mut out);
+            black_box(out.len())
+        });
+    });
+    let even_compressed = CompressedPostings::from_list(&even);
+    let all_compressed = CompressedPostings::from_list(&all);
+    group.bench_function("intersect/block_leapfrog/balanced_10k_vs_10k", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            intersect_cursors_into(
+                PostingsCursor::Block(even_compressed.cursor()),
+                PostingsCursor::Block(all_compressed.cursor()),
+                &mut out,
+            );
             black_box(out.len())
         });
     });
@@ -100,6 +141,17 @@ fn bench_union(c: &mut Criterion) {
             let mut out = Vec::new();
             b.iter(|| {
                 union_into(&views, &mut out);
+                black_box(out.len())
+            });
+        });
+        let compressed: Vec<CompressedPostings> =
+            lists.iter().map(CompressedPostings::from_list).collect();
+        group.bench_function(format!("union/block_cursor_heap/{name}"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                let cursors: Vec<PostingsCursor<'_>> =
+                    compressed.iter().map(|cp| PostingsCursor::Block(cp.cursor())).collect();
+                union_cursors_into(cursors, &mut out);
                 black_box(out.len())
             });
         });
@@ -208,12 +260,20 @@ fn bench_query_eval(c: &mut Criterion) {
     .map(|(name, raw)| (name, Query::parse(raw).expect("bench query parses")))
     .collect();
 
+    // The same corpus sealed into a compressed serving snapshot: queries run
+    // through block cursors (skip-seek on skewed ANDs, one decode for
+    // single-term results) instead of borrowed slices.
+    let snapshot = IndexSnapshot::from_index(index.clone(), docs.clone(), 1);
+
     for (name, query) in &queries {
         group.bench_function(format!("cloned_left_to_right/{name}"), |b| {
             b.iter(|| black_box(eval_cloned_left_to_right(&index, query)));
         });
         group.bench_function(format!("zero_copy/{name}"), |b| {
             b.iter(|| black_box(searcher.search(query).len()));
+        });
+        group.bench_function(format!("sealed_compressed/{name}"), |b| {
+            b.iter(|| black_box(snapshot.search(query).len()));
         });
     }
     group.finish();

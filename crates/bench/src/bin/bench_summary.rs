@@ -1,0 +1,165 @@
+//! `bench_summary` — machine-readable perf trajectory for CI.
+//!
+//! Re-runs the key `posting_ops`/`query_eval` measurements with plain
+//! `Instant` timing (median of N runs) and emits them, together with the
+//! compressed-index size metrics, as one JSON object — `BENCH_PR4.json` by
+//! default — so the perf trajectory of the posting layer is diffable
+//! PR-over-PR without scraping bench output.
+//!
+//! ```text
+//! bench_summary [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` (used by CI's compile-and-smoke step) cuts the sample count so
+//! the whole run stays in the low seconds; absolute numbers are then noisy,
+//! but the file's shape and the size metrics (which do not depend on timing)
+//! stay exact.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use dsearch::index::{
+    intersect_cursors_into, union_cursors_into, union_into, CompressedPostings, DocTable, FileId,
+    InMemoryIndex, PostingList, PostingView, PostingsCursor, SealedShard,
+};
+use dsearch::query::{Query, SearchBackend, SingleIndexSearcher};
+use dsearch::server::IndexSnapshot;
+use dsearch::text::Term;
+use serde::Value;
+
+fn median_ns<F: FnMut()>(samples: usize, mut routine: F) -> u64 {
+    routine(); // warm-up, untimed
+    let mut times: Vec<u64> = (0..samples.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// The `posting_ops` synthetic corpus: one ubiquitous term, 200 mid-frequency
+/// terms, one rare term per document, plus "even" on every second document.
+fn synthetic_index(docs: u32) -> (InMemoryIndex, DocTable) {
+    let mut index = InMemoryIndex::new();
+    let mut table = DocTable::new();
+    for d in 0..docs {
+        let id = table.insert(format!("doc{d:06}.txt"));
+        let mut terms = vec![
+            Term::from("common"),
+            Term::from(format!("mid{:03}", d % 200)),
+            Term::from(format!("rare{d:06}")),
+        ];
+        if d % 2 == 0 {
+            terms.push(Term::from("even"));
+        }
+        index.insert_file(id, terms);
+    }
+    (index, table)
+}
+
+fn list_of(range: impl Iterator<Item = u32>) -> PostingList {
+    PostingList::from_ids(range.map(FileId))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
+    let samples = if quick { 5 } else { 25 };
+
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    let mut record = |key: &str, value: Value| fields.push((key.to_owned(), value));
+
+    // ---- Size: bytes/posting on the bench corpus -------------------------
+    let (mut index, docs) = synthetic_index(20_000);
+    let shard = SealedShard::from_index(&index);
+    let compressed_bytes = shard.posting_bytes();
+    let raw_bytes = shard.uncompressed_posting_bytes();
+    let postings = shard.posting_count();
+    let bytes_per_posting = compressed_bytes as f64 / postings as f64;
+    record("corpus_docs", Value::UInt(20_000));
+    record("corpus_postings", Value::UInt(postings));
+    record("posting_bytes_compressed", Value::UInt(compressed_bytes as u64));
+    record("posting_bytes_raw", Value::UInt(raw_bytes as u64));
+    record("bytes_per_posting_compressed", Value::Float(bytes_per_posting));
+    record("bytes_per_posting_raw", Value::Float(4.0));
+    record("compression_ratio", Value::Float(raw_bytes as f64 / compressed_bytes as f64));
+    // The interning satellite: dictionary text the sealed shard *shares*
+    // with the vocabulary instead of duplicating (the pre-PR-4 dictionary
+    // cloned every term string at snapshot build).
+    let vocab_bytes: u64 = shard.terms().iter().map(|t| t.len() as u64).sum();
+    record("dictionary_bytes_shared_not_copied", Value::UInt(vocab_bytes));
+
+    // ---- Primitive: skewed intersect (100 ids vs 100k ids) ---------------
+    let small = list_of((0..100).map(|i| i * 1_000));
+    let large = list_of(0..100_000);
+    let mut out: Vec<FileId> = Vec::new();
+    let view_ns = median_ns(samples, || {
+        small.as_view().intersect_into(large.as_view(), &mut out);
+        black_box(out.len());
+    });
+    let small_cp = CompressedPostings::from_list(&small);
+    let large_cp = CompressedPostings::from_list(&large);
+    let block_ns = median_ns(samples, || {
+        intersect_cursors_into(
+            PostingsCursor::Block(small_cp.cursor()),
+            PostingsCursor::Block(large_cp.cursor()),
+            &mut out,
+        );
+        black_box(out.len());
+    });
+    record("intersect_skewed_100_vs_100k_view_ns", Value::UInt(view_ns));
+    record("intersect_skewed_100_vs_100k_block_ns", Value::UInt(block_ns));
+
+    // ---- Primitive: 16-way union of 2k-id interleaved lists --------------
+    let union_lists: Vec<PostingList> =
+        (0..16u32).map(|j| list_of((0..2_000u32).map(move |i| i * 16 + j))).collect();
+    let views: Vec<PostingView<'_>> = union_lists.iter().map(PostingList::as_view).collect();
+    let union_view_ns = median_ns(samples, || {
+        union_into(&views, &mut out);
+        black_box(out.len());
+    });
+    let union_compressed: Vec<CompressedPostings> =
+        union_lists.iter().map(CompressedPostings::from_list).collect();
+    let union_block_ns = median_ns(samples, || {
+        let cursors: Vec<PostingsCursor<'_>> =
+            union_compressed.iter().map(|cp| PostingsCursor::Block(cp.cursor())).collect();
+        union_cursors_into(cursors, &mut out);
+        black_box(out.len());
+    });
+    record("union_16x2k_view_ns", Value::UInt(union_view_ns));
+    record("union_16x2k_block_ns", Value::UInt(union_block_ns));
+
+    // ---- End to end: query_eval over borrowed vs sealed-compressed -------
+    index.build_dictionary();
+    let searcher = SingleIndexSearcher::new(&index, &docs);
+    let snapshot = IndexSnapshot::from_index(index.clone(), docs.clone(), 1);
+    for (name, raw) in [
+        ("skewed_and", "rare012345 common"),
+        ("three_term_and", "mid042 even common"),
+        ("prefix", "mid04* even"),
+        ("or_groups", "mid001 common OR mid002 even"),
+    ] {
+        let query = Query::parse(raw).expect("bench query parses");
+        let zero_copy_ns = median_ns(samples, || {
+            black_box(searcher.search(&query).len());
+        });
+        let sealed_ns = median_ns(samples, || {
+            black_box(snapshot.search(&query).len());
+        });
+        record(&format!("query_{name}_zero_copy_ns"), Value::UInt(zero_copy_ns));
+        record(&format!("query_{name}_sealed_ns"), Value::UInt(sealed_ns));
+    }
+
+    let json = serde_json::to_string_pretty(&Value::Object(fields)).expect("summary serialises");
+    std::fs::write(&out_path, format!("{json}\n")).expect("summary written");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -28,6 +28,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "table",
     // serve / loadgen
     "tcp",
+    "idle-timeout-secs",
+    "max-conns",
     "workers",
     "cache",
     "cache-shards",

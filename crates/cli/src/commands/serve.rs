@@ -9,7 +9,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use dsearch::persist::IndexStore;
-use dsearch::server::{EngineConfig, IndexSnapshot, QueryEngine, Service, TcpServer};
+use dsearch::server::{
+    EngineConfig, IndexSnapshot, QueryEngine, Service, TcpServer, TcpServerConfig,
+};
 
 use crate::args::ParsedArgs;
 use crate::CliError;
@@ -44,6 +46,19 @@ pub(crate) fn engine_config(args: &ParsedArgs) -> Result<EngineConfig, CliError>
         config.batch.overload = policy.parse().map_err(CliError::Usage)?;
     }
     config.validate().map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
+    Ok(config)
+}
+
+/// Builds the TCP connection policy from `--idle-timeout-secs` /
+/// `--max-conns` (0 disables either).
+pub(crate) fn tcp_config(args: &ParsedArgs) -> Result<TcpServerConfig, CliError> {
+    let mut config = TcpServerConfig::default();
+    if let Some(secs) = args.number_of::<u64>("idle-timeout-secs")? {
+        config.idle_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+    }
+    if let Some(cap) = args.number_of::<usize>("max-conns")? {
+        config.max_conns = cap;
+    }
     Ok(config)
 }
 
@@ -96,8 +111,18 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
 
     let tcp_server = match args.value_of("tcp") {
         Some(addr) => {
-            let server = TcpServer::bind(Arc::clone(&service), addr).map_err(CliError::failed)?;
-            eprintln!("listening on {}", server.local_addr());
+            let tcp_config = tcp_config(args)?;
+            let server = TcpServer::bind_with(Arc::clone(&service), addr, tcp_config)
+                .map_err(CliError::failed)?;
+            let idle = match tcp_config.idle_timeout {
+                Some(timeout) => format!("{}s", timeout.as_secs()),
+                None => "off".to_owned(),
+            };
+            let cap = match tcp_config.max_conns {
+                0 => "unlimited".to_owned(),
+                cap => cap.to_string(),
+            };
+            eprintln!("listening on {} (idle_timeout={idle} max_conns={cap})", server.local_addr());
             Some(server)
         }
         None => None,
@@ -147,6 +172,20 @@ mod tests {
         let err = run(&args).unwrap_err();
         assert!(err.to_string().contains("empty"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_config_parses_overrides() {
+        let args =
+            ParsedArgs::parse(["serve", "--idle-timeout-secs", "30", "--max-conns", "64"]).unwrap();
+        let config = tcp_config(&args).unwrap();
+        assert_eq!(config.idle_timeout, Some(std::time::Duration::from_secs(30)));
+        assert_eq!(config.max_conns, 64);
+        // Zero disables the timeout; omitted flags keep the defaults.
+        let args = ParsedArgs::parse(["serve", "--idle-timeout-secs", "0"]).unwrap();
+        let config = tcp_config(&args).unwrap();
+        assert_eq!(config.idle_timeout, None);
+        assert_eq!(config.max_conns, 0);
     }
 
     #[test]

@@ -1,0 +1,848 @@
+//! Block-compressed posting lists with skip-aware cursors.
+//!
+//! A [`CompressedPostings`] stores a sorted, duplicate-free sequence of file
+//! ids in fixed [`BLOCK_SIZE`]-id blocks.  Within a block the ids are
+//! delta-encoded (gaps between consecutive ids) and each block is written in
+//! whichever of two encodings is smaller:
+//!
+//! * **varint** — LEB128 per gap, best for sparse lists with occasional big
+//!   jumps;
+//! * **bitpacked** — every gap in the block packed at the bit width of the
+//!   block's largest gap, best for dense lists (a run of consecutive ids
+//!   packs at 1 bit per id).
+//!
+//! Each block carries a [`SkipEntry`] — `(first_id, last_id, byte offset)` —
+//! so a reader can decide whether a block can possibly contain a target id
+//! *without decoding it*.  That is what makes skewed intersections cheap:
+//! [`BlockCursor::seek`] binary-searches the skip table, decodes at most one
+//! block, and skips every block in between untouched.
+//!
+//! The [`PostingCursor`] trait abstracts "a sorted stream of ids supporting
+//! `seek`"; it is implemented both by [`BlockCursor`] (decoding one block at
+//! a time into a reusable scratch buffer) and by [`SliceCursor`] (a galloping
+//! cursor over an uncompressed `&[FileId]` slice), so the query evaluator's
+//! set operations run unchanged over compressed and raw posting lists — and
+//! over mixes of the two.
+
+use crate::doc_table::FileId;
+use crate::posting::PostingList;
+
+/// Number of ids per compressed block (the classic inverted-index choice:
+/// big enough to amortise the skip entry, small enough that decoding one
+/// block on a seek stays cheap).
+pub const BLOCK_SIZE: usize = 128;
+
+/// Per-block encoding tag stored in the block's first payload byte.
+const ENC_VARINT: u8 = 0xff;
+/// All gaps in the block are equal; one varint holds the gap.  Covers dense
+/// runs (gap 1), strided lists and uniformly spread mid-frequency terms —
+/// the cheapest blocks to store *and* to decode (pure arithmetic, no bit
+/// stream).
+const ENC_CONSTANT: u8 = 0x00;
+// Any other header byte value `w` in `1..=32` means "bitpacked, width w".
+
+/// Skip metadata for one block: enough to route a `seek` without decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipEntry {
+    /// First (smallest) id stored in the block.
+    pub first: FileId,
+    /// Last (largest) id stored in the block.
+    pub last: FileId,
+    /// Byte offset of the block's payload in the data buffer.
+    pub offset: u32,
+}
+
+/// A sorted, duplicate-free posting list in block-compressed form.
+///
+/// `data` is self-contained — every block opens with a varint of its first
+/// (absolute) id, so a block decodes without consulting anything else.  The
+/// skip table is pure acceleration and is only materialised for lists
+/// spanning more than one block: a singleton term (the long tail of every
+/// real vocabulary) costs one varint, typically 1–3 bytes against 4 raw.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressedPostings {
+    len: usize,
+    /// One entry per block when there are 2+ blocks; empty otherwise.
+    skips: Vec<SkipEntry>,
+    data: Vec<u8>,
+}
+
+/// Structural validation failure when rebuilding a [`CompressedPostings`]
+/// from externally supplied parts (a persisted segment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockFormatError(pub String);
+
+impl std::fmt::Display for BlockFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid compressed postings: {}", self.0)
+    }
+}
+
+impl std::error::Error for BlockFormatError {}
+
+fn varint_len(mut value: u32) -> usize {
+    let mut len = 1;
+    while value >= 0x80 {
+        value >>= 7;
+        len += 1;
+    }
+    len
+}
+
+fn write_varint(out: &mut Vec<u8>, mut value: u32) {
+    while value >= 0x80 {
+        out.push((value & 0x7f) as u8 | 0x80);
+        value >>= 7;
+    }
+    out.push(value as u8);
+}
+
+/// Reads one LEB128 value, defensively: truncated input yields what was read
+/// so far (segment checksums catch real corruption before decode).
+fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    while *pos < data.len() && shift < 35 {
+        let byte = data[*pos];
+        *pos += 1;
+        value |= u32::from(byte & 0x7f) << shift.min(31);
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    value
+}
+
+fn bits_needed(value: u32) -> u32 {
+    32 - value.leading_zeros()
+}
+
+impl CompressedPostings {
+    /// Compresses a sorted, duplicate-free slice of ids.
+    ///
+    /// The invariant is the same one [`PostingList`] maintains; it is checked
+    /// in debug builds only.
+    #[must_use]
+    pub fn from_sorted(ids: &[FileId]) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "compressed postings require sorted, duplicate-free ids"
+        );
+        let block_count = ids.len().div_ceil(BLOCK_SIZE);
+        let mut skips = Vec::with_capacity(if block_count > 1 { block_count } else { 0 });
+        let mut data = Vec::new();
+        for block in ids.chunks(BLOCK_SIZE) {
+            if block_count > 1 {
+                let offset = u32::try_from(data.len()).expect("posting data under 4 GiB");
+                skips.push(SkipEntry { first: block[0], last: block[block.len() - 1], offset });
+            }
+            encode_block(block, &mut data);
+        }
+        CompressedPostings { len: ids.len(), skips, data }
+    }
+
+    /// Compresses a [`PostingList`].
+    #[must_use]
+    pub fn from_list(list: &PostingList) -> Self {
+        CompressedPostings::from_sorted(list.doc_ids())
+    }
+
+    /// Rebuilds from persisted parts, validating the skip-table structure
+    /// (monotonic blocks, in-bounds ascending offsets, consistent length).
+    /// Payload integrity is the storage layer's checksum's job.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the parts cannot describe a well-formed posting list.
+    pub fn from_parts(
+        len: usize,
+        skips: Vec<SkipEntry>,
+        data: Vec<u8>,
+    ) -> Result<Self, BlockFormatError> {
+        let block_count = len.div_ceil(BLOCK_SIZE);
+        let expected_skips = if block_count > 1 { block_count } else { 0 };
+        if skips.len() != expected_skips {
+            return Err(BlockFormatError(format!(
+                "{} skip entries cannot cover {len} ids (expected {expected_skips})",
+                skips.len()
+            )));
+        }
+        if len > 0 && data.is_empty() {
+            return Err(BlockFormatError("non-empty list with empty payload".to_owned()));
+        }
+        let mut previous_last: Option<FileId> = None;
+        let mut previous_offset = 0u32;
+        for (i, skip) in skips.iter().enumerate() {
+            if skip.first > skip.last {
+                return Err(BlockFormatError(format!("block {i} has first > last")));
+            }
+            if let Some(prev) = previous_last {
+                if skip.first <= prev {
+                    return Err(BlockFormatError(format!("block {i} overlaps its predecessor")));
+                }
+            }
+            if i > 0 && skip.offset < previous_offset {
+                return Err(BlockFormatError(format!("block {i} offset goes backwards")));
+            }
+            if (skip.offset as usize) > data.len() {
+                return Err(BlockFormatError(format!("block {i} offset past payload end")));
+            }
+            previous_last = Some(skip.last);
+            previous_offset = skip.offset;
+        }
+        Ok(CompressedPostings { len, skips, data })
+    }
+
+    /// Number of ids stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no ids are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The skip table (one entry per block).
+    #[must_use]
+    pub fn skips(&self) -> &[SkipEntry] {
+        &self.skips
+    }
+
+    /// The concatenated encoded block payloads.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Bytes this list occupies: payload plus skip table (12 bytes per
+    /// block).  Compare with `len() * 4` for the raw `Vec<FileId>` form.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.data.len() + self.skips.len() * std::mem::size_of::<SkipEntry>()
+    }
+
+    /// A skip-aware cursor positioned on the first id.
+    #[must_use]
+    pub fn cursor(&self) -> BlockCursor<'_> {
+        BlockCursor::new(self)
+    }
+
+    /// Number of blocks the ids span.
+    fn block_count(&self) -> usize {
+        self.len.div_ceil(BLOCK_SIZE)
+    }
+
+    /// Number of ids in block `index` (every block is full except the last).
+    fn block_len(&self, index: usize) -> usize {
+        if index + 1 < self.block_count() {
+            BLOCK_SIZE
+        } else {
+            self.len - index * BLOCK_SIZE
+        }
+    }
+
+    /// Byte offset of block `index` in the payload.
+    fn block_offset(&self, index: usize) -> usize {
+        if self.skips.is_empty() {
+            0
+        } else {
+            self.skips[index].offset as usize
+        }
+    }
+
+    /// Reads the cheap part of a block: its first id and, when the block is
+    /// an arithmetic progression, its constant gap — letting cursors serve
+    /// such blocks without materialising a single id.
+    fn block_shape(&self, index: usize) -> BlockShape {
+        let count = self.block_len(index);
+        let mut pos = self.block_offset(index);
+        let first = read_varint(&self.data, &mut pos);
+        if count == 1 {
+            return BlockShape::Constant { first, gap: 0 };
+        }
+        if self.data.get(pos).copied() == Some(ENC_CONSTANT) {
+            pos += 1;
+            let gap = read_varint(&self.data, &mut pos);
+            return BlockShape::Constant { first, gap };
+        }
+        BlockShape::Packed
+    }
+
+    /// Decodes block `index` into `out[..count]`, returning `count`.
+    /// `out` must hold at least [`BLOCK_SIZE`] slots.
+    fn decode_block(&self, index: usize, out: &mut [FileId]) -> usize {
+        let count = self.block_len(index);
+        let mut pos = self.block_offset(index);
+        let mut previous = read_varint(&self.data, &mut pos);
+        out[0] = FileId(previous);
+        if count == 1 {
+            return 1;
+        }
+        let header = if pos < self.data.len() {
+            let h = self.data[pos];
+            pos += 1;
+            h
+        } else {
+            ENC_VARINT
+        };
+        if header == ENC_VARINT {
+            for slot in out.iter_mut().take(count).skip(1) {
+                let gap = read_varint(&self.data, &mut pos);
+                previous = previous.saturating_add(gap);
+                *slot = FileId(previous);
+            }
+        } else if header == ENC_CONSTANT {
+            let gap = read_varint(&self.data, &mut pos);
+            for slot in out.iter_mut().take(count).skip(1) {
+                previous = previous.saturating_add(gap);
+                *slot = FileId(previous);
+            }
+        } else {
+            // Streaming bit buffer: bytes enter a u64 accumulator and gaps
+            // leave it `width` bits at a time — a handful of shifts per gap
+            // instead of a per-bit loop.  `width <= 32` and at most 7 stale
+            // bits carry over, so the accumulator never overflows.
+            let width = u32::from(header).min(32);
+            let mask = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
+            let mut acc = 0u64;
+            let mut acc_bits = 0u32;
+            for slot in out.iter_mut().take(count).skip(1) {
+                while acc_bits < width {
+                    let byte = self.data.get(pos).copied().unwrap_or(0);
+                    acc |= u64::from(byte) << acc_bits;
+                    acc_bits += 8;
+                    pos += 1;
+                }
+                let gap = (acc & mask) as u32;
+                acc >>= width;
+                acc_bits -= width;
+                previous = previous.saturating_add(gap);
+                *slot = FileId(previous);
+            }
+        }
+        count
+    }
+
+    /// Decodes the whole list into `out` (cleared first): the "single-term
+    /// result" path, one pass, no intermediate allocation.
+    pub fn decode_into(&self, out: &mut Vec<FileId>) {
+        out.clear();
+        out.reserve(self.len);
+        let mut scratch = [FileId(0); BLOCK_SIZE];
+        for index in 0..self.block_count() {
+            let count = self.decode_block(index, &mut scratch);
+            out.extend_from_slice(&scratch[..count]);
+        }
+    }
+
+    /// Decodes into an owned [`PostingList`].
+    #[must_use]
+    pub fn to_list(&self) -> PostingList {
+        let mut ids = Vec::new();
+        self.decode_into(&mut ids);
+        PostingList::from_sorted(ids)
+    }
+}
+
+fn encode_block(block: &[FileId], data: &mut Vec<u8>) {
+    write_varint(data, block[0].as_u32());
+    if block.len() == 1 {
+        return;
+    }
+    let mut max_gap = 0u32;
+    let mut min_gap = u32::MAX;
+    let mut varint_bytes = 0usize;
+    let mut previous = block[0].as_u32();
+    for id in &block[1..] {
+        let gap = id.as_u32() - previous;
+        previous = id.as_u32();
+        max_gap = max_gap.max(gap);
+        min_gap = min_gap.min(gap);
+        varint_bytes += varint_len(gap);
+    }
+    if min_gap == max_gap {
+        // Every gap is the same: store it once.  This is both the smallest
+        // and the fastest-to-decode block shape.
+        data.push(ENC_CONSTANT);
+        write_varint(data, max_gap);
+        return;
+    }
+    let width = bits_needed(max_gap).max(1);
+    let packed_bytes = ((block.len() - 1) * width as usize).div_ceil(8);
+    if packed_bytes < varint_bytes {
+        data.push(width as u8);
+        // Streaming bit buffer, mirror of the decoder: gaps enter a u64
+        // accumulator `width` bits at a time and leave it as whole bytes.
+        let mut acc = 0u64;
+        let mut acc_bits = 0u32;
+        let mut previous = block[0].as_u32();
+        for id in &block[1..] {
+            let gap = id.as_u32() - previous;
+            previous = id.as_u32();
+            acc |= u64::from(gap) << acc_bits;
+            acc_bits += width;
+            while acc_bits >= 8 {
+                data.push(acc as u8);
+                acc >>= 8;
+                acc_bits -= 8;
+            }
+        }
+        if acc_bits > 0 {
+            data.push(acc as u8);
+        }
+    } else {
+        data.push(ENC_VARINT);
+        let mut previous = block[0].as_u32();
+        for id in &block[1..] {
+            let gap = id.as_u32() - previous;
+            previous = id.as_u32();
+            write_varint(data, gap);
+        }
+    }
+}
+
+/// A sorted stream of file ids supporting forward `seek` — the abstraction
+/// the query evaluator's set operations are written against.
+///
+/// Invariants: ids come out strictly ascending; `seek` and `advance` never
+/// move backwards; after `None` the cursor stays exhausted.
+pub trait PostingCursor {
+    /// The id the cursor is positioned on, or `None` when exhausted.
+    fn current(&self) -> Option<FileId>;
+
+    /// Moves to the next id.
+    fn advance(&mut self);
+
+    /// Moves to the first id `>= target` (a no-op when already there) and
+    /// returns it, or `None` when every remaining id is smaller.
+    fn seek(&mut self, target: FileId) -> Option<FileId>;
+
+    /// Total ids in the underlying list (used to pick intersection drivers).
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the underlying list is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`PostingCursor`] over an uncompressed sorted slice; `seek` gallops
+/// (exponential probe + binary search) from the current position.
+#[derive(Debug, Clone)]
+pub struct SliceCursor<'a> {
+    ids: &'a [FileId],
+    pos: usize,
+}
+
+impl<'a> SliceCursor<'a> {
+    /// Wraps a sorted, duplicate-free slice.
+    #[must_use]
+    pub fn new(ids: &'a [FileId]) -> Self {
+        SliceCursor { ids, pos: 0 }
+    }
+
+    /// The ids at and after the cursor (set operations use this to fall back
+    /// to the tuned slice algorithms when both sides are uncompressed).
+    #[must_use]
+    pub fn remaining(&self) -> &'a [FileId] {
+        &self.ids[self.pos.min(self.ids.len())..]
+    }
+}
+
+impl PostingCursor for SliceCursor<'_> {
+    fn current(&self) -> Option<FileId> {
+        self.ids.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn seek(&mut self, target: FileId) -> Option<FileId> {
+        let current = self.current()?;
+        if current >= target {
+            return Some(current);
+        }
+        // Exponential probe from the current position, then binary search
+        // the bracketed window — the same gallop the view intersection uses.
+        let mut offset = 1usize;
+        while self.pos + offset < self.ids.len() && self.ids[self.pos + offset] < target {
+            offset <<= 1;
+        }
+        let lo = self.pos + (offset >> 1);
+        let hi = (self.pos + offset + 1).min(self.ids.len());
+        self.pos = lo + self.ids[lo..hi].partition_point(|&id| id < target);
+        self.current()
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// How the cursor's current block is represented.
+#[derive(Debug, Clone, Copy)]
+enum BlockShape {
+    /// `id(pos) = first + pos * gap`: served arithmetically, never decoded.
+    Constant {
+        /// First id of the block.
+        first: u32,
+        /// The (uniform) gap; 0 only for single-id blocks.
+        gap: u32,
+    },
+    /// Varint or bitpacked payload: materialised into the scratch buffer.
+    Packed,
+}
+
+/// A [`PostingCursor`] over a [`CompressedPostings`].  `seek` routes
+/// through the skip table, so blocks between the current position and the
+/// target are never touched; arithmetic-progression blocks are served
+/// without materialising any ids, and packed blocks decode one at a time
+/// into a reusable scratch buffer.
+#[derive(Debug, Clone)]
+pub struct BlockCursor<'a> {
+    postings: &'a CompressedPostings,
+    /// Index of the current block; `== block_count()` when exhausted.
+    block: usize,
+    /// Position within the current block.
+    pos: usize,
+    /// Ids in the current block (0 when exhausted).
+    len_in_block: usize,
+    /// Representation of the current block.
+    shape: BlockShape,
+    /// Decode buffer for `Packed` blocks, allocated on first use and reused
+    /// across every block the cursor visits.  Cursors over lists whose
+    /// blocks are all arithmetic progressions never allocate at all.
+    scratch: Vec<FileId>,
+}
+
+impl<'a> BlockCursor<'a> {
+    /// Creates a cursor positioned on the first id.
+    #[must_use]
+    pub fn new(postings: &'a CompressedPostings) -> Self {
+        let mut cursor = BlockCursor {
+            postings,
+            block: 0,
+            pos: 0,
+            len_in_block: 0,
+            shape: BlockShape::Packed,
+            scratch: Vec::new(),
+        };
+        cursor.enter_block(0);
+        cursor
+    }
+
+    fn exhausted(&self) -> bool {
+        self.block >= self.postings.block_count()
+    }
+
+    fn enter_block(&mut self, block: usize) {
+        self.block = block;
+        self.pos = 0;
+        if block >= self.postings.block_count() {
+            self.len_in_block = 0;
+            return;
+        }
+        self.len_in_block = self.postings.block_len(block);
+        self.shape = self.postings.block_shape(block);
+        if matches!(self.shape, BlockShape::Packed) {
+            if self.scratch.len() < BLOCK_SIZE {
+                self.scratch.resize(BLOCK_SIZE, FileId(0));
+            }
+            let decoded = self.postings.decode_block(block, &mut self.scratch);
+            debug_assert_eq!(decoded, self.len_in_block);
+        }
+    }
+
+    fn id_at(&self, pos: usize) -> FileId {
+        match self.shape {
+            BlockShape::Constant { first, gap } => {
+                FileId(first.wrapping_add(gap.wrapping_mul(pos as u32)))
+            }
+            BlockShape::Packed => self.scratch[pos],
+        }
+    }
+
+    fn block_last(&self) -> FileId {
+        self.id_at(self.len_in_block - 1)
+    }
+
+    /// First in-block position at or past `from` whose id is `>= target`.
+    fn position_in_block(&self, from: usize, target: u32) -> usize {
+        match self.shape {
+            BlockShape::Constant { first, gap } => {
+                if target <= first || gap == 0 {
+                    from
+                } else {
+                    from.max(((target - first).div_ceil(gap)) as usize)
+                }
+            }
+            BlockShape::Packed => {
+                from + self.scratch[from..self.len_in_block].partition_point(|&id| id.0 < target)
+            }
+        }
+    }
+}
+
+impl PostingCursor for BlockCursor<'_> {
+    fn current(&self) -> Option<FileId> {
+        (self.pos < self.len_in_block).then(|| self.id_at(self.pos))
+    }
+
+    fn advance(&mut self) {
+        if self.exhausted() {
+            return;
+        }
+        self.pos += 1;
+        if self.pos >= self.len_in_block {
+            self.enter_block(self.block + 1);
+        }
+    }
+
+    fn seek(&mut self, target: FileId) -> Option<FileId> {
+        let current = self.current()?;
+        if current >= target {
+            return Some(current);
+        }
+        if self.block_last() < target {
+            // The whole current block is behind the target.  Gallop the skip
+            // table forward from the current block (seeks usually land a few
+            // blocks ahead, so an exponential probe beats a full binary
+            // search of the table), touching nothing in between (a skip-less
+            // list is one block, so it is simply exhausted).
+            let skips = &self.postings.skips;
+            let next = if skips.is_empty() {
+                1
+            } else {
+                let rest = &skips[self.block + 1..];
+                let mut offset = 1usize;
+                while offset < rest.len() && rest[offset].last < target {
+                    offset <<= 1;
+                }
+                let lo = offset >> 1;
+                let hi = (offset + 1).min(rest.len());
+                self.block + 1 + lo + rest[lo..hi].partition_point(|skip| skip.last < target)
+            };
+            self.enter_block(next);
+            if self.exhausted() {
+                return None;
+            }
+            if self.block_last() < target {
+                // Only possible when a (corrupt) skip table lies about a
+                // block's last id; exhaust instead of asserting.
+                self.enter_block(self.postings.block_count());
+                return None;
+            }
+        }
+        self.pos = self.position_in_block(self.pos, target.as_u32());
+        debug_assert!(self.pos < self.len_in_block, "skip table guaranteed containment");
+        self.current()
+    }
+
+    fn len(&self) -> usize {
+        self.postings.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<FileId> {
+        v.iter().map(|&i| FileId(i)).collect()
+    }
+
+    fn decode(cp: &CompressedPostings) -> Vec<FileId> {
+        let mut out = Vec::new();
+        cp.decode_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn empty_list_compresses_to_nothing() {
+        let cp = CompressedPostings::from_sorted(&[]);
+        assert!(cp.is_empty());
+        assert_eq!(cp.len(), 0);
+        assert_eq!(cp.byte_size(), 0);
+        assert!(decode(&cp).is_empty());
+        let mut cursor = cp.cursor();
+        assert_eq!(cursor.current(), None);
+        assert_eq!(cursor.seek(FileId(0)), None);
+        cursor.advance();
+        assert_eq!(cursor.current(), None);
+    }
+
+    #[test]
+    fn dense_runs_bitpack_below_one_byte_per_id() {
+        let dense: Vec<FileId> = (0..10_000).map(FileId).collect();
+        let cp = CompressedPostings::from_sorted(&dense);
+        assert_eq!(decode(&cp), dense);
+        // Consecutive ids pack at 1 bit each plus skip/header overhead.
+        assert!(
+            cp.byte_size() * 2 < dense.len(),
+            "dense run should beat 0.5 bytes/id, got {} bytes for {} ids",
+            cp.byte_size(),
+            dense.len()
+        );
+    }
+
+    #[test]
+    fn sparse_lists_choose_varint() {
+        let sparse: Vec<FileId> = (0..500).map(|i| FileId(i * 100_003)).collect();
+        let cp = CompressedPostings::from_sorted(&sparse);
+        assert_eq!(decode(&cp), sparse);
+        // Still far below the 4 bytes/id raw form.
+        assert!(cp.byte_size() < sparse.len() * 4);
+    }
+
+    #[test]
+    fn singleton_lists_cost_one_varint_and_no_skip_entry() {
+        let cp = CompressedPostings::from_sorted(&ids(&[42]));
+        assert_eq!(cp.data().len(), 1, "one varint byte for id 42");
+        assert!(cp.skips().is_empty(), "single-block lists carry no skip table");
+        assert_eq!(cp.byte_size(), 1);
+        assert_eq!(decode(&cp), ids(&[42]));
+        let mut cursor = cp.cursor();
+        assert_eq!(cursor.seek(FileId(41)), Some(FileId(42)));
+        assert_eq!(cursor.seek(FileId(43)), None);
+    }
+
+    #[test]
+    fn cursor_walks_and_seeks_across_blocks() {
+        let all: Vec<FileId> = (0..1000).map(|i| FileId(i * 3)).collect();
+        let cp = CompressedPostings::from_sorted(&all);
+        assert_eq!(cp.skips().len(), 1000usize.div_ceil(BLOCK_SIZE));
+
+        // Full walk equals decode.
+        let mut cursor = cp.cursor();
+        let mut walked = Vec::new();
+        while let Some(id) = cursor.current() {
+            walked.push(id);
+            cursor.advance();
+        }
+        assert_eq!(walked, all);
+
+        // Seeks: exact hit, between ids, across many blocks, past the end.
+        let mut cursor = cp.cursor();
+        assert_eq!(cursor.seek(FileId(300)), Some(FileId(300)));
+        assert_eq!(cursor.seek(FileId(301)), Some(FileId(303)));
+        assert_eq!(cursor.seek(FileId(2500)), Some(FileId(2502)));
+        assert_eq!(cursor.seek(FileId(2997)), Some(FileId(2997)));
+        assert_eq!(cursor.seek(FileId(3000)), None);
+        assert_eq!(cursor.current(), None);
+    }
+
+    #[test]
+    fn seek_to_block_boundaries() {
+        let all: Vec<FileId> = (0..(BLOCK_SIZE as u32 * 3)).map(FileId).collect();
+        let cp = CompressedPostings::from_sorted(&all);
+        let mut cursor = cp.cursor();
+        let boundary = FileId(BLOCK_SIZE as u32);
+        assert_eq!(cursor.seek(boundary), Some(boundary));
+        let last = FileId(BLOCK_SIZE as u32 * 3 - 1);
+        assert_eq!(cursor.seek(last), Some(last));
+        cursor.advance();
+        assert_eq!(cursor.current(), None);
+    }
+
+    #[test]
+    fn slice_cursor_matches_block_cursor() {
+        let all: Vec<FileId> = (0..600).map(|i| FileId(i * 7 + i % 5)).collect();
+        let cp = CompressedPostings::from_sorted(&all);
+        let mut slice = SliceCursor::new(&all);
+        let mut block = cp.cursor();
+        assert_eq!(slice.len(), block.len());
+        for target in [0u32, 70, 71, 400, 4000, 4194] {
+            assert_eq!(slice.seek(FileId(target)), block.seek(FileId(target)), "seek {target}");
+            assert_eq!(slice.current(), block.current());
+            slice.advance();
+            block.advance();
+            assert_eq!(slice.current(), block.current(), "after advance past {target}");
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_structure() {
+        let cp = CompressedPostings::from_sorted(&ids(&[1, 2, 3, 200]));
+        let rebuilt =
+            CompressedPostings::from_parts(cp.len(), cp.skips().to_vec(), cp.data().to_vec())
+                .unwrap();
+        assert_eq!(rebuilt, cp);
+
+        // Wrong skip count for the length.
+        assert!(
+            CompressedPostings::from_parts(300, cp.skips().to_vec(), cp.data().to_vec()).is_err()
+        );
+        // first > last.
+        let bad = vec![SkipEntry { first: FileId(9), last: FileId(1), offset: 0 }];
+        assert!(CompressedPostings::from_parts(2, bad, vec![0u8]).is_err());
+        // Overlapping blocks.
+        let bad = vec![
+            SkipEntry { first: FileId(0), last: FileId(500), offset: 0 },
+            SkipEntry { first: FileId(400), last: FileId(900), offset: 1 },
+        ];
+        assert!(CompressedPostings::from_parts(BLOCK_SIZE + 1, bad, vec![0u8; 8]).is_err());
+        // Offset past the payload.
+        let bad = vec![SkipEntry { first: FileId(0), last: FileId(5), offset: 99 }];
+        assert!(CompressedPostings::from_parts(2, bad, vec![0u8]).is_err());
+        let err = CompressedPostings::from_parts(300, cp.skips().to_vec(), vec![]).unwrap_err();
+        assert!(err.to_string().contains("invalid compressed postings"), "{err}");
+    }
+
+    proptest! {
+        /// Arbitrary sorted id sets round-trip through compression exactly,
+        /// and the byte size never exceeds a small multiple of the raw form.
+        #[test]
+        fn roundtrip_arbitrary_sorted_sets(
+            raw in proptest::collection::vec(0u32..2_000_000, 0..700)
+        ) {
+            let mut sorted = raw;
+            sorted.sort_unstable();
+            sorted.dedup();
+            let all: Vec<FileId> = sorted.into_iter().map(FileId).collect();
+            let cp = CompressedPostings::from_sorted(&all);
+            prop_assert_eq!(cp.len(), all.len());
+            prop_assert_eq!(decode(&cp), all.clone());
+            prop_assert_eq!(cp.to_list().doc_ids(), all.as_slice());
+            // Round-trip again through raw parts (the persist path).
+            let rebuilt = CompressedPostings::from_parts(
+                cp.len(), cp.skips().to_vec(), cp.data().to_vec()).unwrap();
+            prop_assert_eq!(decode(&rebuilt), all);
+        }
+
+        /// Seeking to arbitrary targets agrees between the block cursor and
+        /// a naive scan, from arbitrary interleavings of seeks and advances.
+        #[test]
+        fn cursor_seek_matches_naive(
+            raw in proptest::collection::vec(0u32..50_000, 1..600),
+            ops in proptest::collection::vec((any::<bool>(), 0u32..60_000), 1..60),
+        ) {
+            let mut sorted = raw;
+            sorted.sort_unstable();
+            sorted.dedup();
+            let all: Vec<FileId> = sorted.into_iter().map(FileId).collect();
+            let cp = CompressedPostings::from_sorted(&all);
+            let mut cursor = cp.cursor();
+            let mut naive_pos = 0usize;
+            for (advance, target) in ops {
+                if advance {
+                    cursor.advance();
+                    naive_pos = (naive_pos + 1).min(all.len());
+                } else {
+                    let got = cursor.seek(FileId(target));
+                    // seek never moves backwards from the naive position.
+                    while naive_pos < all.len() && all[naive_pos] < FileId(target) {
+                        naive_pos += 1;
+                    }
+                    prop_assert_eq!(got, all.get(naive_pos).copied());
+                }
+                prop_assert_eq!(cursor.current(), all.get(naive_pos).copied());
+            }
+        }
+    }
+}

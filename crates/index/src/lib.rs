@@ -20,8 +20,14 @@
 //!   synchronisation to name files;
 //! * [`view`] — borrowed [`PostingView`]s over posting lists plus the
 //!   allocation-free set operations (galloping intersection, k-way heap
-//!   union) and the [`Postings`] borrow-or-owned wrapper the query layer
-//!   evaluates with.
+//!   union), the [`Postings`] borrow-or-owned wrapper the query layer
+//!   evaluates with, and the cursor-based set operations that run over
+//!   compressed and raw lists alike;
+//! * [`block`] — block-compressed posting lists ([`CompressedPostings`]:
+//!   128-id delta blocks with per-block skip metadata) and the skip-aware
+//!   [`BlockCursor`]/[`SliceCursor`] cursors;
+//! * [`sealed`] — [`SealedShard`], the immutable serving form: a sorted
+//!   interned term dictionary aligned with compressed postings.
 //!
 //! # Example
 //!
@@ -44,22 +50,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod doc_table;
 pub mod join;
 pub mod memory_index;
 pub mod posting;
+pub mod sealed;
 pub mod serialize;
 pub mod sharded;
 pub mod shared;
 pub mod stats;
 pub mod view;
 
+pub use block::{
+    BlockCursor, BlockFormatError, CompressedPostings, PostingCursor, SkipEntry, SliceCursor,
+    BLOCK_SIZE,
+};
 pub use doc_table::{DocTable, FileId};
 pub use join::{join_all, join_into, parallel_join, JoinPlan};
 pub use memory_index::InMemoryIndex;
 pub use posting::PostingList;
+pub use sealed::SealedShard;
 pub use serialize::{IndexSnapshot, SerializeError};
 pub use sharded::ShardedIndex;
 pub use shared::{IndexSet, SharedIndex};
 pub use stats::IndexStats;
-pub use view::{union_into, PostingView, Postings};
+pub use view::{
+    difference_cursors_into, intersect_cursors_into, union_cursors_into, union_into, PostingView,
+    Postings, PostingsCursor,
+};

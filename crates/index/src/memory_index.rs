@@ -87,6 +87,29 @@ impl InMemoryIndex {
         self.files_indexed += 1;
     }
 
+    /// Inserts one term's complete posting list in bulk, unioning with any
+    /// existing list for the term.
+    ///
+    /// This is the reconstruction path for segment loading and snapshot
+    /// restore: one map operation and one merge per term, instead of the
+    /// per-id `add` loop those paths used to run (which degrades to O(n²)
+    /// element shifts when ids arrive out of order).  The file counter is
+    /// not touched; callers restore it via [`InMemoryIndex::note_file_done`].
+    pub fn insert_term_list(&mut self, term: Term, list: PostingList) {
+        if list.is_empty() {
+            return;
+        }
+        self.dictionary_valid = false;
+        if let Some(mine) = self.terms.get_mut(term.as_str()) {
+            let before = mine.len();
+            mine.union_with(&list);
+            self.postings += (mine.len() - before) as u64;
+        } else {
+            self.postings += list.len() as u64;
+            self.terms.insert(term, list);
+        }
+    }
+
     /// The posting list for `term`, if the term occurs anywhere.
     #[must_use]
     pub fn postings(&self, term: &Term) -> Option<&PostingList> {

@@ -32,6 +32,19 @@ impl PostingList {
         PostingList { ids }
     }
 
+    /// Builds a list from an id vector in **any** order, reusing the
+    /// allocation: one sort + dedup instead of the per-element binary-search
+    /// insert a descending [`PostingList::add`] loop degrades to (O(n log n)
+    /// instead of O(n²) shifts).  Bulk build paths — segment loading,
+    /// snapshot reconstruction — should come through here or
+    /// [`PostingList::from_sorted`], never an `add` loop.
+    #[must_use]
+    pub fn from_unsorted(mut ids: Vec<FileId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        PostingList { ids }
+    }
+
     /// Wraps a vector that is **already** sorted and duplicate-free (the
     /// output shape of every set operation in [`crate::view`]), skipping the
     /// re-sort `from_ids` would pay.  The invariant is checked in debug

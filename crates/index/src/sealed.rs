@@ -1,0 +1,314 @@
+//! Sealed, immutable shards: the serving-side form of an index.
+//!
+//! An [`InMemoryIndex`] is the *build* structure — a hash map of mutable
+//! posting vectors.  A [`SealedShard`] is what a serving snapshot actually
+//! reads: a sorted term dictionary (`Arc<str>`-interned, so sealing bumps
+//! reference counts instead of copying the vocabulary) aligned with one
+//! [`CompressedPostings`] per term.  Sealing buys three things at once:
+//!
+//! * **memory** — block-compressed postings instead of 4 bytes per id, and
+//!   one shared copy of each term string;
+//! * **prefix lookups** — `word*` resolves to a contiguous dictionary range
+//!   (binary search twice, no hash-table scan, no per-term map lookups);
+//! * **skip-aware evaluation** — every posting list hands out a
+//!   [`BlockCursor`](crate::block::BlockCursor) whose `seek` hops the skip
+//!   table, so skewed intersections never decode the blocks they skip.
+//!
+//! Shards are plain data: build them once — from an index via
+//! [`SealedShard::from_index`], or decode-free from a persisted segment via
+//! [`SealedShard::from_entries`] — and share them behind an `Arc` for
+//! serving.
+
+use dsearch_text::hashtable::FnvHashMap;
+use dsearch_text::Term;
+
+use crate::block::CompressedPostings;
+use crate::memory_index::InMemoryIndex;
+
+/// One immutable, compressed shard: sorted terms + compressed postings.
+#[derive(Debug, Clone, Default)]
+pub struct SealedShard {
+    /// Sorted ascending; the dictionary prefix lookups range over.
+    terms: Vec<Term>,
+    /// `postings[i]` belongs to `terms[i]`.
+    postings: Vec<CompressedPostings>,
+    /// Exact-term fast path: term → dictionary slot.  The keys are `Arc`
+    /// clones of the dictionary entries, so the map costs pointers, not a
+    /// second vocabulary.
+    lookup: FnvHashMap<Term, u32>,
+    files: u64,
+    posting_count: u64,
+    /// Cached sum of `CompressedPostings::byte_size` (shards are immutable,
+    /// so `!stats` reporting need not re-sweep the vocabulary).
+    posting_bytes: usize,
+}
+
+impl PartialEq for SealedShard {
+    fn eq(&self, other: &Self) -> bool {
+        // The lookup map is derived from the dictionary; comparing it would
+        // be redundant (and hash maps have no canonical order anyway).
+        self.terms == other.terms
+            && self.postings == other.postings
+            && self.files == other.files
+            && self.posting_count == other.posting_count
+    }
+}
+
+impl Eq for SealedShard {}
+
+impl SealedShard {
+    /// Seals an index: sorts its vocabulary and compresses every posting
+    /// list.  Terms are interned, so the dictionary shares the index's
+    /// string storage instead of duplicating it.
+    #[must_use]
+    pub fn from_index(index: &InMemoryIndex) -> Self {
+        let mut entries: Vec<(&Term, &crate::posting::PostingList)> = index.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut terms = Vec::with_capacity(entries.len());
+        let mut postings = Vec::with_capacity(entries.len());
+        let mut posting_count = 0u64;
+        for (term, list) in entries {
+            terms.push(term.clone());
+            posting_count += list.len() as u64;
+            postings.push(CompressedPostings::from_list(list));
+        }
+        let lookup = build_lookup(&terms);
+        let posting_bytes = postings.iter().map(CompressedPostings::byte_size).sum();
+        SealedShard {
+            terms,
+            postings,
+            lookup,
+            files: index.file_count(),
+            posting_count,
+            posting_bytes,
+        }
+    }
+
+    /// Rebuilds a shard from already-compressed parts (the decode-free load
+    /// path from a persisted segment).  `entries` must be sorted by term;
+    /// checked here so a corrupt segment cannot produce a shard whose binary
+    /// searches silently miss.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the terms are not strictly ascending.
+    pub fn from_entries(
+        entries: Vec<(Term, CompressedPostings)>,
+        files: u64,
+    ) -> Result<Self, String> {
+        if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err("sealed shard entries must be sorted by term".to_owned());
+        }
+        let mut terms = Vec::with_capacity(entries.len());
+        let mut postings = Vec::with_capacity(entries.len());
+        let mut posting_count = 0u64;
+        for (term, list) in entries {
+            posting_count += list.len() as u64;
+            terms.push(term);
+            postings.push(list);
+        }
+        let lookup = build_lookup(&terms);
+        let posting_bytes = postings.iter().map(CompressedPostings::byte_size).sum();
+        Ok(SealedShard { terms, postings, lookup, files, posting_count, posting_bytes })
+    }
+
+    /// Number of distinct terms.
+    #[must_use]
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when the shard holds no terms.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of `(term, file)` postings.
+    #[must_use]
+    pub fn posting_count(&self) -> u64 {
+        self.posting_count
+    }
+
+    /// Number of files this shard indexed.
+    #[must_use]
+    pub fn file_count(&self) -> u64 {
+        self.files
+    }
+
+    /// The sorted term dictionary.
+    #[must_use]
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// The compressed postings of one exact term (one hash lookup, no
+    /// string binary search).
+    #[must_use]
+    pub fn postings(&self, term: &Term) -> Option<&CompressedPostings> {
+        let index = *self.lookup.get(term.as_str())?;
+        Some(&self.postings[index as usize])
+    }
+
+    /// The compressed postings of every term starting with `prefix`, as one
+    /// contiguous dictionary range (two binary searches, zero allocation).
+    #[must_use]
+    pub fn prefix_postings(&self, prefix: &str) -> &[CompressedPostings] {
+        let start = self.terms.partition_point(|term| term.as_str() < prefix);
+        let count =
+            self.terms[start..].iter().take_while(|term| term.as_str().starts_with(prefix)).count();
+        &self.postings[start..start + count]
+    }
+
+    /// Iterates `(term, compressed postings)` pairs in dictionary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Term, &CompressedPostings)> {
+        self.terms.iter().zip(self.postings.iter())
+    }
+
+    /// Bytes the compressed postings occupy (payload + skip tables).
+    /// Computed once at seal time — shards are immutable.
+    #[must_use]
+    pub fn posting_bytes(&self) -> usize {
+        self.posting_bytes
+    }
+
+    /// Bytes the same postings would occupy as raw `Vec<FileId>` storage
+    /// (4 bytes per id), for compression-ratio reporting.
+    #[must_use]
+    pub fn uncompressed_posting_bytes(&self) -> usize {
+        self.posting_count as usize * std::mem::size_of::<crate::doc_table::FileId>()
+    }
+}
+
+fn build_lookup(terms: &[Term]) -> FnvHashMap<Term, u32> {
+    let mut lookup = FnvHashMap::with_capacity(terms.len());
+    for (slot, term) in terms.iter().enumerate() {
+        lookup.insert(term.clone(), u32::try_from(slot).expect("under 4G terms per shard"));
+    }
+    lookup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc_table::FileId;
+    use proptest::prelude::*;
+
+    fn t(s: &str) -> Term {
+        Term::from(s)
+    }
+
+    fn sample_index() -> InMemoryIndex {
+        let mut index = InMemoryIndex::new();
+        index.insert_file(FileId(0), [t("index"), t("indexes"), t("rust")]);
+        index.insert_file(FileId(1), [t("index"), t("into")]);
+        index.insert_file(FileId(2), [t("rust"), t("zebra")]);
+        index
+    }
+
+    #[test]
+    fn sealing_preserves_lookups() {
+        let index = sample_index();
+        let shard = SealedShard::from_index(&index);
+        assert_eq!(shard.term_count(), 5);
+        assert_eq!(shard.posting_count(), 7);
+        assert_eq!(shard.file_count(), 3);
+        assert!(!shard.is_empty());
+
+        let rust = shard.postings(&t("rust")).unwrap();
+        assert_eq!(rust.to_list().doc_ids(), &[FileId(0), FileId(2)]);
+        assert!(shard.postings(&t("cobol")).is_none());
+
+        // Dictionary order and alignment.
+        let terms: Vec<&str> = shard.terms().iter().map(Term::as_str).collect();
+        assert_eq!(terms, ["index", "indexes", "into", "rust", "zebra"]);
+        let via_iter: Vec<&str> = shard.iter().map(|(term, _)| term.as_str()).collect();
+        assert_eq!(via_iter, terms);
+    }
+
+    #[test]
+    fn prefix_ranges_match_linear_expectations() {
+        let shard = SealedShard::from_index(&sample_index());
+        assert_eq!(shard.prefix_postings("inde").len(), 2);
+        assert_eq!(shard.prefix_postings("in").len(), 3);
+        assert_eq!(shard.prefix_postings("").len(), 5);
+        assert!(shard.prefix_postings("zz").is_empty());
+        assert!(shard.prefix_postings("zzzz").is_empty());
+        assert_eq!(shard.prefix_postings("zebra").len(), 1);
+    }
+
+    #[test]
+    fn sealing_interns_rather_than_copies_terms() {
+        let index = sample_index();
+        let shard = SealedShard::from_index(&index);
+        // Each dictionary entry shares its text with the source index's key
+        // (2+ owners) instead of holding a private copy.
+        assert!(shard.terms().iter().all(|term| term.shared_count() >= 2));
+    }
+
+    #[test]
+    fn compression_beats_raw_storage_on_real_shapes() {
+        let mut index = InMemoryIndex::new();
+        for i in 0..5_000u32 {
+            index.insert_file(FileId(i), [t("common"), Term::from(format!("rare{i:05}"))]);
+        }
+        let shard = SealedShard::from_index(&index);
+        assert!(
+            shard.posting_bytes() * 2 <= shard.uncompressed_posting_bytes(),
+            "expected >= 2x compression, got {} vs {}",
+            shard.posting_bytes(),
+            shard.uncompressed_posting_bytes()
+        );
+    }
+
+    #[test]
+    fn from_entries_validates_order() {
+        let a = CompressedPostings::from_sorted(&[FileId(0)]);
+        let ok =
+            SealedShard::from_entries(vec![(t("alpha"), a.clone()), (t("beta"), a.clone())], 1)
+                .unwrap();
+        assert_eq!(ok.term_count(), 2);
+        let err = SealedShard::from_entries(vec![(t("beta"), a.clone()), (t("alpha"), a)], 1);
+        assert!(err.is_err());
+    }
+
+    proptest! {
+        /// A sealed shard answers exactly what the source index answers, for
+        /// every term and prefix.
+        #[test]
+        fn sealed_lookups_match_index(
+            docs in proptest::collection::vec(
+                (0u32..64, proptest::collection::vec("[a-c]{1,4}", 1..6)),
+                1..30,
+            ),
+            probe in "[a-c]{0,3}",
+        ) {
+            let mut index = InMemoryIndex::new();
+            for (file, words) in &docs {
+                let mut uniq = words.clone();
+                uniq.sort();
+                uniq.dedup();
+                index.insert_file(FileId(*file), uniq.iter().map(|w| Term::from(w.as_str())));
+            }
+            let shard = SealedShard::from_index(&index);
+            prop_assert_eq!(shard.term_count(), index.term_count());
+            prop_assert_eq!(shard.posting_count(), index.posting_count());
+
+            // Exact lookups agree for the probe and for every indexed term.
+            let probe_term = Term::from(probe.as_str());
+            match (index.postings(&probe_term), shard.postings(&probe_term)) {
+                (Some(list), Some(cp)) => prop_assert_eq!(&cp.to_list(), list),
+                (None, None) => {}
+                other => prop_assert!(false, "lookup mismatch: {other:?}"),
+            }
+            // Prefix ranges cover the same multiset of lists the scan finds.
+            let mut scanned: Vec<Vec<FileId>> = index.prefix_lists(&probe)
+                .iter().map(|l| l.doc_ids().to_vec()).collect();
+            scanned.sort();
+            let mut ranged: Vec<Vec<FileId>> = shard.prefix_postings(&probe)
+                .iter().map(|cp| cp.to_list().doc_ids().to_vec()).collect();
+            ranged.sort();
+            prop_assert_eq!(ranged, scanned);
+        }
+    }
+}

@@ -77,12 +77,11 @@ impl IndexSnapshot {
     #[must_use]
     pub fn into_index(self) -> (InMemoryIndex, DocTable) {
         let mut index = InMemoryIndex::with_capacity(self.entries.len());
-        // Rebuild via per-term inserts; file counters are restored from the
-        // doc table size.
+        // Bulk-insert each term's whole list (sorting defensively: snapshots
+        // written by this code are sorted, but the JSON may come from
+        // elsewhere); file counters are restored from the doc table size.
         for (term, ids) in self.entries {
-            for id in ids {
-                index.insert_occurrence(id, term.clone());
-            }
+            index.insert_term_list(term, crate::posting::PostingList::from_unsorted(ids));
         }
         for _ in 0..self.docs.len() {
             index.note_file_done();

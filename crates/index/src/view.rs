@@ -21,6 +21,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use crate::block::{BlockCursor, CompressedPostings, PostingCursor, SliceCursor};
 use crate::doc_table::FileId;
 use crate::posting::PostingList;
 
@@ -239,10 +240,13 @@ fn linear_union(a: &[FileId], b: &[FileId], out: &mut Vec<FileId>) {
 }
 
 /// A posting list that is borrowed when possible and owned only when a merge
-/// had to materialise (the query layer's three-way `Cow`).
+/// had to materialise (the query layer's `Cow`, grown a compressed arm).
 ///
 /// * `Borrowed` — a direct reference into an index: the zero-copy fast path
 ///   for exact-term lookups against a single shard.
+/// * `Compressed` — a direct reference into a sealed shard's
+///   block-compressed postings; evaluated through cursors, decoded only when
+///   a result must materialise.
 /// * `Shared` — an `Arc`-counted merge result, used by batch memos so that
 ///   every query of a batch reuses one materialised list.
 /// * `Owned` — a freshly merged list nobody else holds yet.
@@ -250,6 +254,8 @@ fn linear_union(a: &[FileId], b: &[FileId], out: &mut Vec<FileId>) {
 pub enum Postings<'a> {
     /// A borrow straight out of an index structure.
     Borrowed(&'a PostingList),
+    /// A borrow of a sealed shard's block-compressed list.
+    Compressed(&'a CompressedPostings),
     /// A merge result shared behind an `Arc` (cloning bumps the count).
     Shared(Arc<PostingList>),
     /// A merge result owned by the caller.
@@ -280,52 +286,272 @@ impl<'a> Postings<'a> {
         }
     }
 
-    /// Borrows the underlying list, whichever variant holds it.
+    /// The union of any number of compressed lists, staying a zero-copy
+    /// `Compressed` borrow for one input and streaming a k-way cursor merge
+    /// otherwise (each block decoded exactly once).
+    #[must_use]
+    pub fn union_of_compressed(lists: Vec<&'a CompressedPostings>) -> Postings<'a> {
+        match lists.as_slice() {
+            [] => Postings::empty(),
+            [only] => Postings::Compressed(only),
+            _ => {
+                let cursors: Vec<PostingsCursor<'_>> =
+                    lists.iter().map(|cp| PostingsCursor::Block(cp.cursor())).collect();
+                let mut out = Vec::new();
+                union_cursors_into(cursors, &mut out);
+                Postings::Owned(PostingList::from_sorted(out))
+            }
+        }
+    }
+
+    /// Borrows the underlying uncompressed list.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the `Compressed` arm, which has no materialised id slice to
+    /// borrow — evaluate through [`Postings::cursor`] or materialise with
+    /// [`Postings::into_owned`] instead.
     #[must_use]
     pub fn list(&self) -> &PostingList {
         match self {
             Postings::Borrowed(list) => list,
             Postings::Shared(list) => list,
             Postings::Owned(list) => list,
+            Postings::Compressed(_) => {
+                panic!("compressed postings have no borrowed list; use cursor() or into_owned()")
+            }
         }
     }
 
-    /// A borrowed view of the ids.
+    /// A borrowed view of the ids (same restriction as [`Postings::list`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for the `Compressed` arm.
     #[must_use]
     pub fn view(&self) -> PostingView<'_> {
         self.list().as_view()
     }
 
+    /// A borrowed view of the ids when an uncompressed slice exists, `None`
+    /// for block-compressed postings.
+    #[must_use]
+    pub fn try_view(&self) -> Option<PostingView<'_>> {
+        match self {
+            Postings::Compressed(_) => None,
+            other => Some(other.list().as_view()),
+        }
+    }
+
+    /// A cursor over the ids, whatever the representation: the uniform way
+    /// the query evaluator walks, seeks and intersects postings.
+    #[must_use]
+    pub fn cursor(&self) -> PostingsCursor<'_> {
+        match self {
+            Postings::Compressed(cp) => PostingsCursor::Block(cp.cursor()),
+            other => PostingsCursor::Slice(SliceCursor::new(other.list().doc_ids())),
+        }
+    }
+
     /// Number of files in the list.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.list().len()
+        match self {
+            Postings::Compressed(cp) => cp.len(),
+            other => other.list().len(),
+        }
     }
 
     /// Returns `true` when the list is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.list().is_empty()
+        self.len() == 0
     }
 
-    /// Converts into an owned [`PostingList`], cloning only when borrowed or
-    /// still shared with another holder.
+    /// Writes every id into `out` (cleared first): the single-term result
+    /// path — a borrowed list copies, a compressed list decodes exactly once.
+    pub fn copy_into(&self, out: &mut Vec<FileId>) {
+        match self {
+            Postings::Compressed(cp) => cp.decode_into(out),
+            other => {
+                out.clear();
+                out.extend_from_slice(other.list().doc_ids());
+            }
+        }
+    }
+
+    /// Converts into an owned [`PostingList`], cloning (or decoding) only
+    /// when the ids are not already exclusively owned.
     #[must_use]
     pub fn into_owned(self) -> PostingList {
         match self {
             Postings::Borrowed(list) => list.clone(),
+            Postings::Compressed(cp) => cp.to_list(),
             Postings::Shared(list) => Arc::try_unwrap(list).unwrap_or_else(|arc| (*arc).clone()),
             Postings::Owned(list) => list,
         }
     }
 
     /// Converts the `Owned` variant into `Shared` so later clones bump an
-    /// `Arc` instead of copying the ids; borrows pass through untouched.
+    /// `Arc` instead of copying the ids; borrows (compressed or not) pass
+    /// through untouched.
     #[must_use]
     pub fn into_shared(self) -> Postings<'a> {
         match self {
             Postings::Owned(list) => Postings::Shared(Arc::new(list)),
             other => other,
+        }
+    }
+}
+
+/// A [`PostingCursor`] over either representation a [`Postings`] can hold:
+/// the query evaluator's set operations take these, so raw slices, memoized
+/// merges and block-compressed lists all evaluate through one code path.
+#[derive(Debug, Clone)]
+pub enum PostingsCursor<'a> {
+    /// Galloping cursor over an uncompressed sorted slice.
+    Slice(SliceCursor<'a>),
+    /// Skip-aware cursor over block-compressed postings.
+    Block(BlockCursor<'a>),
+}
+
+impl PostingCursor for PostingsCursor<'_> {
+    fn current(&self) -> Option<FileId> {
+        match self {
+            PostingsCursor::Slice(c) => c.current(),
+            PostingsCursor::Block(c) => c.current(),
+        }
+    }
+
+    fn advance(&mut self) {
+        match self {
+            PostingsCursor::Slice(c) => c.advance(),
+            PostingsCursor::Block(c) => c.advance(),
+        }
+    }
+
+    fn seek(&mut self, target: FileId) -> Option<FileId> {
+        match self {
+            PostingsCursor::Slice(c) => c.seek(target),
+            PostingsCursor::Block(c) => c.seek(target),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PostingsCursor::Slice(c) => c.len(),
+            PostingsCursor::Block(c) => c.len(),
+        }
+    }
+}
+
+/// Writes the intersection of two cursors into `out` (cleared first).
+///
+/// Two uncompressed cursors fall back to the tuned slice path (linear merge
+/// or gallop); any pair involving a compressed side leapfrogs through
+/// `seek`, so a skewed `AND` skips whole blocks of the longer list without
+/// decoding them.
+pub fn intersect_cursors_into(a: PostingsCursor<'_>, b: PostingsCursor<'_>, out: &mut Vec<FileId>) {
+    match (a, b) {
+        (PostingsCursor::Slice(a), PostingsCursor::Slice(b)) => {
+            PostingView::new(a.remaining()).intersect_into(PostingView::new(b.remaining()), out);
+        }
+        (mut a, mut b) => {
+            out.clear();
+            leapfrog_intersect(&mut a, &mut b, out);
+        }
+    }
+}
+
+fn leapfrog_intersect<A: PostingCursor, B: PostingCursor>(
+    a: &mut A,
+    b: &mut B,
+    out: &mut Vec<FileId>,
+) {
+    let (Some(mut x), Some(mut y)) = (a.current(), b.current()) else { return };
+    loop {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Equal => {
+                out.push(x);
+                a.advance();
+                b.advance();
+                match (a.current(), b.current()) {
+                    (Some(nx), Some(ny)) => {
+                        x = nx;
+                        y = ny;
+                    }
+                    _ => return,
+                }
+            }
+            std::cmp::Ordering::Less => match a.seek(y) {
+                Some(nx) => x = nx,
+                None => return,
+            },
+            std::cmp::Ordering::Greater => match b.seek(x) {
+                Some(ny) => y = ny,
+                None => return,
+            },
+        }
+    }
+}
+
+/// Writes `a` minus `b` into `out` (cleared first): every id of `a` that does
+/// not occur in `b`.  `b` is only ever `seek`-ed forward, so compressed
+/// blocks of `b` that cannot contain ids of `a` are never decoded.
+pub fn difference_cursors_into(
+    a: PostingsCursor<'_>,
+    b: PostingsCursor<'_>,
+    out: &mut Vec<FileId>,
+) {
+    match (a, b) {
+        (PostingsCursor::Slice(a), PostingsCursor::Slice(b)) => {
+            PostingView::new(a.remaining()).difference_into(PostingView::new(b.remaining()), out);
+        }
+        (mut a, mut b) => {
+            out.clear();
+            while let Some(x) = a.current() {
+                match b.seek(x) {
+                    Some(y) if y == x => {}
+                    _ => out.push(x),
+                }
+                a.advance();
+            }
+        }
+    }
+}
+
+/// Writes the k-way union of `cursors` into `out` (cleared first).  All-slice
+/// inputs reuse the run-consuming heap merge of [`union_into`]; any
+/// compressed input streams through a cursor heap, decoding each block
+/// exactly once.
+pub fn union_cursors_into(cursors: Vec<PostingsCursor<'_>>, out: &mut Vec<FileId>) {
+    out.clear();
+    if cursors.iter().all(|c| matches!(c, PostingsCursor::Slice(_))) {
+        let views: Vec<PostingView<'_>> = cursors
+            .iter()
+            .map(|c| match c {
+                PostingsCursor::Slice(s) => PostingView::new(s.remaining()),
+                PostingsCursor::Block(_) => unreachable!("all slices checked above"),
+            })
+            .collect();
+        union_into(&views, out);
+        return;
+    }
+    let mut cursors = cursors;
+    let mut heap: BinaryHeap<Reverse<(FileId, usize)>> = BinaryHeap::with_capacity(cursors.len());
+    for (i, cursor) in cursors.iter().enumerate() {
+        if let Some(id) = cursor.current() {
+            heap.push(Reverse((id, i)));
+        }
+    }
+    while let Some(Reverse((id, i))) = heap.pop() {
+        if out.last().copied() != Some(id) {
+            out.push(id);
+        }
+        let cursor = &mut cursors[i];
+        cursor.advance();
+        if let Some(next) = cursor.current() {
+            heap.push(Reverse((next, i)));
         }
     }
 }

@@ -50,5 +50,5 @@ pub mod varint;
 
 pub use error::PersistError;
 pub use incremental::{ChangeSet, FileSignature, IncrementalIndexer, SignatureDb, UpdateReport};
-pub use segment::{read_segment, write_segment, SegmentInfo};
+pub use segment::{read_segment, read_segment_sealed, write_segment, SegmentInfo};
 pub use store::{IndexStore, StoreManifest};

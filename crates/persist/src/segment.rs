@@ -1,7 +1,7 @@
 //! The binary segment format.
 //!
-//! One segment stores one complete index (terms, delta-encoded posting lists)
-//! together with its document table.  The layout is:
+//! One segment stores one complete index (terms, block-compressed posting
+//! lists) together with its document table.  The version-2 layout is:
 //!
 //! ```text
 //! magic   "DSG1"                            4 bytes
@@ -11,18 +11,28 @@
 //!   doc count                               varint
 //!   per doc: path                           length-prefixed bytes
 //!   term count                              varint
-//!   per term: term bytes, posting count,    length-prefixed bytes + varints
-//!             postings as ascending deltas
+//!   per term (sorted ascending):
+//!     term                                  length-prefixed bytes
+//!     posting count                         varint
+//!     skip entries (only when > 1 block):   per block: first, last, offset
+//!                                           as varints
+//!     block payload                         length-prefixed bytes
 //! ```
 //!
-//! Posting lists are ascending file-id sequences, so delta encoding keeps
-//! most entries to a single byte — the standard inverted-index trick.  The
-//! checksum makes a truncated or bit-flipped segment a clean
-//! [`PersistError::Corrupt`] instead of a garbage index.
+//! The per-term payload is **exactly** the in-memory
+//! [`CompressedPostings`] representation (delta blocks, varint or bitpacked,
+//! see `dsearch_index::block`), so serving a segment is decode-free: the
+//! bytes are lifted straight into a [`SealedShard`] without touching a
+//! single posting.  Version-1 segments (per-id ascending varint deltas) are
+//! still readable.  The checksum makes a truncated or bit-flipped segment a
+//! clean [`PersistError::Corrupt`] instead of a garbage index.
 
 use std::io::{Read, Write};
 
-use dsearch_index::{DocTable, FileId, InMemoryIndex};
+use dsearch_index::{
+    CompressedPostings, DocTable, FileId, InMemoryIndex, PostingList, SealedShard, SkipEntry,
+    BLOCK_SIZE,
+};
 use dsearch_text::fnv::fnv1a_64;
 use dsearch_text::Term;
 
@@ -32,8 +42,11 @@ use crate::varint;
 /// Magic bytes identifying a segment file.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"DSG1";
 
-/// Current segment format version.
-pub const SEGMENT_VERSION: u32 = 1;
+/// Current segment format version (2 = block-compressed postings).
+pub const SEGMENT_VERSION: u32 = 2;
+
+/// Oldest version [`read_segment`] still understands.
+pub const MIN_SEGMENT_VERSION: u32 = 1;
 
 /// Longest path or term (in bytes) a segment will accept when reading;
 /// protects against corrupt length prefixes.
@@ -74,15 +87,8 @@ pub fn write_segment<W: Write>(
     varint::write_u64(&mut payload, entries.len() as u64)?;
     let mut posting_count = 0u64;
     for (term, ids) in &entries {
-        varint::write_bytes(&mut payload, term.as_str().as_bytes())?;
-        varint::write_u64(&mut payload, ids.len() as u64)?;
-        let mut previous = 0u64;
-        for (i, id) in ids.iter().enumerate() {
-            let value = u64::from(id.as_u32());
-            let delta = if i == 0 { value } else { value - previous };
-            varint::write_u64(&mut payload, delta)?;
-            previous = value;
-        }
+        let compressed = CompressedPostings::from_sorted(ids);
+        write_term_postings(&mut payload, term, &compressed)?;
         posting_count += ids.len() as u64;
     }
 
@@ -99,13 +105,82 @@ pub fn write_segment<W: Write>(
     })
 }
 
-/// Reads one segment, reconstructing the index and its document table.
-///
-/// # Errors
-///
-/// Fails on I/O errors, a wrong magic number, a checksum mismatch, an
-/// unsupported version or any malformed length/delta.
-pub fn read_segment<R: Read>(mut reader: R) -> Result<(InMemoryIndex, DocTable), PersistError> {
+fn write_term_postings(
+    payload: &mut Vec<u8>,
+    term: &Term,
+    compressed: &CompressedPostings,
+) -> Result<(), PersistError> {
+    varint::write_bytes(payload, term.as_str().as_bytes())?;
+    varint::write_u64(payload, compressed.len() as u64)?;
+    for skip in compressed.skips() {
+        varint::write_u32(payload, skip.first.as_u32())?;
+        varint::write_u32(payload, skip.last.as_u32())?;
+        varint::write_u32(payload, skip.offset)?;
+    }
+    varint::write_bytes(payload, compressed.data())?;
+    Ok(())
+}
+
+fn read_term_postings(
+    cursor: &mut &[u8],
+    version: u32,
+) -> Result<(Term, CompressedPostings), PersistError> {
+    let term = varint::read_bytes(cursor, MAX_STRING_LEN)?;
+    let term = String::from_utf8(term)
+        .map_err(|_| PersistError::Corrupt("term is not valid UTF-8".into()))?;
+    let term = Term::from(term);
+    let posting_count = varint::read_u64(cursor)? as usize;
+    if version == 1 {
+        // Legacy per-id ascending deltas: decode, then compress.
+        let mut ids = Vec::with_capacity(posting_count.min(1 << 20));
+        let mut previous = 0u64;
+        for i in 0..posting_count {
+            let delta = varint::read_u64(cursor)?;
+            let value = if i == 0 { delta } else { previous + delta };
+            let id = u32::try_from(value)
+                .map_err(|_| PersistError::Corrupt("file id does not fit in u32".into()))?;
+            ids.push(FileId(id));
+            previous = value;
+        }
+        return Ok((term, CompressedPostings::from_sorted(&ids)));
+    }
+    let block_count = posting_count.div_ceil(BLOCK_SIZE);
+    let skip_count = if block_count > 1 { block_count } else { 0 };
+    let mut skips = Vec::with_capacity(skip_count);
+    for _ in 0..skip_count {
+        let first = FileId(varint::read_u32(cursor)?);
+        let last = FileId(varint::read_u32(cursor)?);
+        let offset = varint::read_u32(cursor)?;
+        skips.push(SkipEntry { first, last, offset });
+    }
+    // Encoded blocks never exceed ~5 bytes/id plus per-block headers.
+    let data_bound = 6 * posting_count as u64 + 2 * block_count as u64 + 16;
+    let data = varint::read_bytes(cursor, data_bound)?;
+    let compressed = CompressedPostings::from_parts(posting_count, skips, data)
+        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+    Ok((term, compressed))
+}
+
+/// Shared front matter: magic, checksum verification, version, doc table.
+/// Returns the doc table, the remaining payload cursor and the version.
+fn read_segment_header(payload: &[u8]) -> Result<(DocTable, &[u8], u32), PersistError> {
+    let mut cursor = payload;
+    let version = varint::read_u32(&mut cursor)?;
+    if !(MIN_SEGMENT_VERSION..=SEGMENT_VERSION).contains(&version) {
+        return Err(PersistError::UnsupportedVersion { found: version, expected: SEGMENT_VERSION });
+    }
+    let doc_count = varint::read_u64(&mut cursor)?;
+    let mut docs = DocTable::with_capacity(doc_count as usize);
+    for _ in 0..doc_count {
+        let path = varint::read_bytes(&mut cursor, MAX_STRING_LEN)?;
+        let path = String::from_utf8(path)
+            .map_err(|_| PersistError::Corrupt("document path is not valid UTF-8".into()))?;
+        docs.insert(path);
+    }
+    Ok((docs, cursor, version))
+}
+
+fn read_payload<R: Read>(mut reader: R) -> Result<Vec<u8>, PersistError> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if magic != SEGMENT_MAGIC {
@@ -120,52 +195,74 @@ pub fn read_segment<R: Read>(mut reader: R) -> Result<(InMemoryIndex, DocTable),
     if fnv1a_64(&payload) != expected_checksum {
         return Err(PersistError::Corrupt("segment checksum mismatch".into()));
     }
+    Ok(payload)
+}
 
-    let mut cursor = &payload[..];
-    let version = varint::read_u32(&mut cursor)?;
-    if version != SEGMENT_VERSION {
-        return Err(PersistError::UnsupportedVersion { found: version, expected: SEGMENT_VERSION });
-    }
-
-    let doc_count = varint::read_u64(&mut cursor)?;
-    let mut docs = DocTable::with_capacity(doc_count as usize);
-    for _ in 0..doc_count {
-        let path = varint::read_bytes(&mut cursor, MAX_STRING_LEN)?;
-        let path = String::from_utf8(path)
-            .map_err(|_| PersistError::Corrupt("document path is not valid UTF-8".into()))?;
-        docs.insert(path);
-    }
+/// Reads one segment, reconstructing the mutable index and its document
+/// table (the incremental re-indexing path; serving should prefer
+/// [`read_segment_sealed`]).
+///
+/// # Errors
+///
+/// Fails on I/O errors, a wrong magic number, a checksum mismatch, an
+/// unsupported version or any malformed length/delta.
+pub fn read_segment<R: Read>(reader: R) -> Result<(InMemoryIndex, DocTable), PersistError> {
+    let payload = read_payload(reader)?;
+    let (docs, mut cursor, version) = read_segment_header(&payload)?;
 
     let term_count = varint::read_u64(&mut cursor)?;
     let mut index = InMemoryIndex::with_capacity(term_count as usize);
     for _ in 0..term_count {
-        let term = varint::read_bytes(&mut cursor, MAX_STRING_LEN)?;
-        let term = String::from_utf8(term)
-            .map_err(|_| PersistError::Corrupt("term is not valid UTF-8".into()))?;
-        let term = Term::from(term);
-        let posting_count = varint::read_u64(&mut cursor)?;
-        let mut previous = 0u64;
-        for i in 0..posting_count {
-            let delta = varint::read_u64(&mut cursor)?;
-            let value = if i == 0 { delta } else { previous + delta };
-            let id = u32::try_from(value)
-                .map_err(|_| PersistError::Corrupt("file id does not fit in u32".into()))?;
-            index.insert_occurrence(FileId(id), term.clone());
-            previous = value;
-        }
+        let (term, compressed) = read_term_postings(&mut cursor, version)?;
+        // Bulk insert: one map operation per term, never a per-id add loop.
+        index.insert_term_list(term, decompress_list(&compressed)?);
     }
     // Restore the file counter from the doc table, as the JSON snapshot does.
-    for _ in 0..doc_count {
+    for _ in 0..docs.len() {
         index.note_file_done();
     }
 
-    if !cursor.is_empty() {
-        return Err(PersistError::Corrupt(format!(
-            "{} trailing bytes after segment payload",
-            cursor.len()
-        )));
-    }
+    ensure_drained(cursor)?;
     Ok((index, docs))
+}
+
+/// Reads one segment straight into a [`SealedShard`] — the decode-free
+/// serving path: version-2 block payloads are lifted as-is, no posting is
+/// ever decompressed.
+///
+/// # Errors
+///
+/// Fails like [`read_segment`].
+pub fn read_segment_sealed<R: Read>(reader: R) -> Result<(SealedShard, DocTable), PersistError> {
+    let payload = read_payload(reader)?;
+    let (docs, mut cursor, version) = read_segment_header(&payload)?;
+
+    let term_count = varint::read_u64(&mut cursor)?;
+    let mut entries = Vec::with_capacity(term_count as usize);
+    for _ in 0..term_count {
+        entries.push(read_term_postings(&mut cursor, version)?);
+    }
+    ensure_drained(cursor)?;
+    let shard =
+        SealedShard::from_entries(entries, docs.len() as u64).map_err(PersistError::Corrupt)?;
+    Ok((shard, docs))
+}
+
+fn decompress_list(compressed: &CompressedPostings) -> Result<PostingList, PersistError> {
+    let mut ids = Vec::new();
+    compressed.decode_into(&mut ids);
+    if ids.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(PersistError::Corrupt("posting ids are not strictly ascending".into()));
+    }
+    Ok(PostingList::from_sorted(ids))
+}
+
+fn ensure_drained(cursor: &[u8]) -> Result<(), PersistError> {
+    if cursor.is_empty() {
+        Ok(())
+    } else {
+        Err(PersistError::Corrupt(format!("{} trailing bytes after segment payload", cursor.len())))
+    }
 }
 
 #[cfg(test)]

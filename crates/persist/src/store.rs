@@ -21,10 +21,10 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use dsearch_index::{join_all, DocTable, InMemoryIndex};
+use dsearch_index::{join_all, DocTable, InMemoryIndex, SealedShard};
 
 use crate::error::PersistError;
-use crate::segment::{read_segment, write_segment, SegmentInfo};
+use crate::segment::{read_segment, read_segment_sealed, write_segment, SegmentInfo};
 
 /// Current manifest format version.
 pub const MANIFEST_VERSION: u32 = 1;
@@ -183,6 +183,36 @@ impl IndexStore {
     /// Fails when any segment is missing or corrupt.
     pub fn load_all(&self) -> Result<Vec<(InMemoryIndex, DocTable)>, PersistError> {
         (0..self.segment_count()).map(|i| self.load_segment(i)).collect()
+    }
+
+    /// Loads one segment straight into its sealed (block-compressed) serving
+    /// form — no posting is decompressed on the way.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `position` is out of range or the segment file is missing
+    /// or corrupt.
+    pub fn load_segment_sealed(
+        &self,
+        position: usize,
+    ) -> Result<(SealedShard, DocTable), PersistError> {
+        let entry = self.manifest.segments.get(position).ok_or_else(|| {
+            PersistError::Corrupt(format!(
+                "segment index {position} out of range ({} segments)",
+                self.manifest.segments.len()
+            ))
+        })?;
+        let file = fs::File::open(self.root.join(&entry.file_name))?;
+        read_segment_sealed(std::io::BufReader::new(file))
+    }
+
+    /// Loads every live segment in sealed form (the snapshot reload path).
+    ///
+    /// # Errors
+    ///
+    /// Fails when any segment is missing or corrupt.
+    pub fn load_all_sealed(&self) -> Result<Vec<(SealedShard, DocTable)>, PersistError> {
+        (0..self.segment_count()).map(|i| self.load_segment_sealed(i)).collect()
     }
 
     /// Loads all segments and joins them into one index.

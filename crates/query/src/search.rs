@@ -7,28 +7,36 @@
 //! replica, which is the parallel-query idea the paper sketches as future
 //! work.
 //!
-//! # The zero-copy evaluation path
+//! # The cursor evaluation path
 //!
 //! [`SearchBackend::postings`] returns a [`Postings`] — borrowed straight
-//! out of the index whenever possible, materialised only when several shards
-//! or prefix-matched terms had to be merged.  The default
-//! [`SearchBackend::search`] then evaluates each `AND` group over
-//! [`PostingView`]s:
+//! out of the index whenever possible (a raw slice *or* a block-compressed
+//! list of a sealed shard), materialised only when several shards or
+//! prefix-matched terms had to be merged.  The default
+//! [`SearchBackend::search`] evaluates each `AND` group over
+//! [`PostingsCursor`]s:
 //!
 //! 1. every required term's postings are fetched (a group with any unknown
 //!    term is dead and skipped outright);
 //! 2. the lists are ordered by ascending length, so the intermediate result
 //!    can never exceed the rarest term's list (selectivity ordering);
-//! 3. intersections run through [`PostingView::intersect_into`], which
-//!    gallops through the longer list when the sizes are skewed, writing into
-//!    one pair of scratch buffers reused across every operator of the query;
+//! 3. intersections run through [`intersect_cursors_into`]: two uncompressed
+//!    lists take the tuned slice path (linear merge or gallop), while any
+//!    compressed operand leapfrogs by `seek`, skipping whole blocks of the
+//!    longer list via its skip table without decoding them;
 //! 4. `NOT` terms are subtracted the same way via
-//!    [`PostingView::difference_into`].
+//!    [`difference_cursors_into`];
+//! 5. everything writes into one pair of scratch buffers reused across every
+//!    operator of the query.
 //!
-//! A single-term group never copies its posting list at all: the hits are
-//! read directly off the borrowed view.
+//! A single-term group never copies an uncompressed posting list at all (the
+//! hits are read directly off the borrowed slice); a compressed single-term
+//! result is decoded exactly once, straight into the scratch buffer.
 
-use dsearch_index::{DocTable, FileId, InMemoryIndex, IndexSet, PostingView, Postings};
+use dsearch_index::{
+    difference_cursors_into, intersect_cursors_into, DocTable, FileId, InMemoryIndex, IndexSet,
+    Postings, PostingsCursor, SliceCursor,
+};
 use dsearch_text::Term;
 
 use crate::query::{Query, QueryTerm};
@@ -80,11 +88,15 @@ pub trait SearchBackend {
             lists.sort_by_key(Postings::len);
 
             // `in_scratch` tracks whether the running result lives in `acc`
-            // or is still the (borrowed, uncopied) smallest input list.
+            // or is still the (borrowed, undecoded) smallest input list.
             let mut in_scratch = false;
             for postings in lists.iter().skip(1) {
-                let current = if in_scratch { PostingView::new(&acc) } else { lists[0].view() };
-                current.intersect_into(postings.view(), &mut next);
+                let current = if in_scratch {
+                    PostingsCursor::Slice(SliceCursor::new(&acc))
+                } else {
+                    lists[0].cursor()
+                };
+                intersect_cursors_into(current, postings.cursor(), &mut next);
                 std::mem::swap(&mut acc, &mut next);
                 in_scratch = true;
                 if acc.is_empty() {
@@ -100,15 +112,28 @@ pub trait SearchBackend {
                 if excluded.is_empty() {
                     continue;
                 }
-                let current = if in_scratch { PostingView::new(&acc) } else { lists[0].view() };
-                current.difference_into(excluded.view(), &mut next);
+                let current = if in_scratch {
+                    PostingsCursor::Slice(SliceCursor::new(&acc))
+                } else {
+                    lists[0].cursor()
+                };
+                difference_cursors_into(current, excluded.cursor(), &mut next);
                 std::mem::swap(&mut acc, &mut next);
                 in_scratch = true;
             }
-            let result = if in_scratch { PostingView::new(&acc) } else { lists[0].view() };
-            for id in result.iter() {
-                matched.push((id, group.len()));
+            if !in_scratch {
+                // Single required term, no operator ran.  A borrowed slice is
+                // read in place; a compressed list decodes exactly once into
+                // the reused scratch buffer.
+                match lists[0].try_view() {
+                    Some(view) => {
+                        matched.extend(view.iter().map(|id| (id, group.len())));
+                        continue;
+                    }
+                    None => lists[0].copy_into(&mut acc),
+                }
             }
+            matched.extend(acc.iter().map(|&id| (id, group.len())));
         }
         // A document matching several OR groups keeps its best (highest
         // matched-term) group.

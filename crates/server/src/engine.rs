@@ -188,10 +188,21 @@ impl QueryEngine {
         self.cache.counters()
     }
 
-    /// The rendered stats report (the `!stats` protocol answer).
+    /// The rendered stats report (the `!stats` protocol answer), including
+    /// the served snapshot's compressed-index footprint.
     #[must_use]
     pub fn stats_report(&self) -> String {
-        self.stats.render(self.cache.counters(), self.snapshot.generation())
+        let snapshot = self.snapshot.load();
+        let compressed = snapshot.posting_bytes();
+        let raw = snapshot.uncompressed_posting_bytes();
+        let ratio = if compressed == 0 { 1.0 } else { raw as f64 / compressed as f64 };
+        format!(
+            "{} index[shards={} postings={} posting_bytes={compressed} raw_bytes={raw} \
+             compression={ratio:.2}x]",
+            self.stats.render(self.cache.counters(), snapshot.generation()),
+            snapshot.shard_count(),
+            snapshot.posting_count(),
+        )
     }
 
     /// Serves one query synchronously (a batch of one).

@@ -69,6 +69,6 @@ pub use engine::{
     ConfigError, EngineConfig, PendingResponse, QueryEngine, QueryResponse, ServerError, WorkerPool,
 };
 pub use loadgen::{LoadConfig, LoadMode, LoadReport, Workload};
-pub use serve::{Handled, Service, SessionEnd, TcpServer};
+pub use serve::{Handled, Service, SessionEnd, TcpServer, TcpServerConfig};
 pub use snapshot::{IndexSnapshot, SnapshotCell};
 pub use stats::ServerStats;

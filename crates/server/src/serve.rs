@@ -46,6 +46,22 @@ pub enum SessionEnd {
     Eof,
     /// The client sent `!quit`.
     Quit,
+    /// The connection sat idle past the server's idle timeout and was
+    /// disconnected (TCP sessions only).
+    IdleTimeout,
+}
+
+/// Connection policy for the TCP front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpServerConfig {
+    /// Disconnect a connection that sends nothing for this long (the
+    /// application-level keep-alive policy); `None` lets idle clients sit
+    /// forever.
+    pub idle_timeout: Option<std::time::Duration>,
+    /// Most simultaneous connections accepted; `0` means unlimited.  Excess
+    /// connections are answered `ERR too many connections` and closed at
+    /// accept time, counted as `conns_rejected` in `!stats`.
+    pub max_conns: usize,
 }
 
 impl Service {
@@ -153,14 +169,31 @@ pub struct TcpServer {
 }
 
 impl TcpServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting.
-    /// Each connection is served on its own thread; queries run on the shared
-    /// worker pool.
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
+    /// with the default connection policy (no idle timeout, no cap).
     ///
     /// # Errors
     ///
     /// Fails when the address cannot be bound.
     pub fn bind(service: Arc<Service>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        TcpServer::bind_with(service, addr, TcpServerConfig::default())
+    }
+
+    /// Binds `addr` and starts accepting under `config`.  Each connection is
+    /// served on its own thread; queries run on the shared worker pool.
+    /// Idle connections are disconnected after `config.idle_timeout`, and
+    /// connections past `config.max_conns` are refused at accept time with
+    /// `ERR too many connections`; both outcomes show up in `!stats`
+    /// (`idle_closed=`, `conns_rejected=`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn bind_with(
+        service: Arc<Service>,
+        addr: impl ToSocketAddrs,
+        config: TcpServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -174,13 +207,31 @@ impl TcpServer {
                     break;
                 }
                 match stream {
-                    Ok(stream) => {
+                    Ok(mut stream) => {
+                        let stats = service.engine().stats();
+                        if config.max_conns > 0
+                            && stats.active_conn_count() >= config.max_conns as u64
+                        {
+                            // Accept-time rejection: answer, count, close.
+                            stats.record_conn_rejected();
+                            let _ = stream
+                                .write_all(render_error_text("too many connections").as_bytes());
+                            continue;
+                        }
+                        // The gauge is bumped *before* the thread spawns so
+                        // the cap check above can never over-admit.
+                        stats.record_conn_open();
                         // A clone of the socket stays behind so `stop` can
                         // shut it down and unblock the connection's read.
                         let socket = stream.try_clone().ok();
                         let service = Arc::clone(&service);
                         let handle = std::thread::spawn(move || {
-                            let _ = serve_connection(&service, stream);
+                            let end = serve_connection(&service, stream, config.idle_timeout);
+                            let stats = service.engine().stats();
+                            if matches!(end, Ok(SessionEnd::IdleTimeout)) {
+                                stats.record_idle_disconnect();
+                            }
+                            stats.record_conn_close();
                         });
                         let mut connections = accept_connections.lock();
                         // Drop finished connections so a long-lived server
@@ -248,9 +299,29 @@ impl Drop for TcpServer {
     }
 }
 
-fn serve_connection(service: &Service, stream: TcpStream) -> io::Result<SessionEnd> {
+fn serve_connection(
+    service: &Service,
+    stream: TcpStream,
+    idle_timeout: Option<std::time::Duration>,
+) -> io::Result<SessionEnd> {
+    if idle_timeout.is_some() {
+        stream.set_read_timeout(idle_timeout)?;
+    }
     let reader = BufReader::new(stream.try_clone()?);
-    service.serve_lines(reader, stream)
+    let end = match service.serve_lines(reader, &stream) {
+        // A read timeout is the idle-disconnect policy firing, not an error:
+        // close the connection cleanly.  (No write timeout is ever set, so
+        // these kinds can only come from the read side.)
+        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+            Ok(SessionEnd::IdleTimeout)
+        }
+        other => other,
+    };
+    // Shut the socket down explicitly: the accept loop keeps a clone of the
+    // stream for its own disconnect sweep, so merely dropping ours would
+    // leave the client's read blocked on a half-alive connection.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    end
 }
 
 #[cfg(test)]
@@ -334,6 +405,91 @@ mod tests {
         assert_eq!(response.generation(), Some(1));
         writeln!(stream, "!quit").unwrap();
         drop(stream);
+        server.stop();
+    }
+
+    /// Reads one full protocol response (through its END line) and returns
+    /// the status line.
+    fn drain_response<R: BufRead>(reader: &mut R) -> String {
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut line = String::new();
+        while line.trim_end() != crate::protocol::END {
+            line.clear();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "EOF before END");
+        }
+        status
+    }
+
+    #[test]
+    fn idle_connections_are_disconnected_and_counted() {
+        let service = Arc::new(service());
+        let config = TcpServerConfig {
+            idle_timeout: Some(std::time::Duration::from_millis(60)),
+            max_conns: 0,
+        };
+        let server = TcpServer::bind_with(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // An active client is served normally...
+        writeln!(stream, "rust").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = drain_response(&mut reader);
+        assert!(line.starts_with("OK 2"), "{line}");
+        // ...then goes idle: the server disconnects it (EOF on our side).
+        line.clear();
+        let n = reader.read_line(&mut line).unwrap();
+        assert_eq!(n, 0, "idle connection should be closed by the server");
+
+        // The disconnect shows up in the stats the `!stats` report renders.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while service.engine().stats().idle_disconnect_count() == 0 {
+            assert!(std::time::Instant::now() < deadline, "idle disconnect never counted");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(service.engine().stats_report().contains("idle_closed=1"));
+        server.stop();
+    }
+
+    #[test]
+    fn connection_cap_rejects_at_accept_time() {
+        let service = Arc::new(service());
+        let config = TcpServerConfig { idle_timeout: None, max_conns: 1 };
+        let server = TcpServer::bind_with(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+
+        // First connection occupies the single slot.
+        let mut first = TcpStream::connect(addr).unwrap();
+        writeln!(first, "rust").unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        let mut line = drain_response(&mut first_reader);
+        assert!(line.starts_with("OK 2"), "{line}");
+
+        // Second connection is refused with a protocol error and closed.
+        let second = TcpStream::connect(addr).unwrap();
+        let mut second_reader = BufReader::new(second);
+        line.clear();
+        second_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR too many connections"), "{line}");
+        assert_eq!(service.engine().stats().rejected_conn_count(), 1);
+        assert!(service.engine().stats_report().contains("conns_rejected=1"));
+
+        // Releasing the slot admits a new connection.
+        writeln!(first, "!quit").unwrap();
+        drop(first);
+        drop(first_reader);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while service.engine().stats().active_conn_count() > 0 {
+            assert!(std::time::Instant::now() < deadline, "slot never released");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let mut third = TcpStream::connect(addr).unwrap();
+        writeln!(third, "rust").unwrap();
+        let mut third_reader = BufReader::new(third.try_clone().unwrap());
+        line.clear();
+        third_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK 2"), "{line}");
         server.stop();
     }
 

@@ -13,28 +13,35 @@
 //! exactly the "search can work with multiple indices in parallel" future
 //! work the paper sketches.  A compacted (single-segment) store loads as one
 //! shard.
+//!
+//! Shards are **sealed**: at construction every shard's postings are
+//! compressed into fixed-size delta blocks behind a sorted, interned term
+//! dictionary ([`SealedShard`]).  Loading from a version-2 store is
+//! decode-free — the on-disk block payloads are lifted as-is — and queries
+//! evaluate through skip-aware cursors, so a reload costs I/O plus
+//! dictionary wiring, not a posting-by-posting rebuild.
 
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use dsearch_index::{DocTable, InMemoryIndex, IndexSet, Postings};
+use dsearch_index::{CompressedPostings, DocTable, FileId, InMemoryIndex, Postings, SealedShard};
 use dsearch_persist::{IndexStore, PersistError};
-use dsearch_query::{MultiIndexSearcher, Query, SearchBackend, SearchResults, SingleIndexSearcher};
+use dsearch_query::{Query, SearchBackend, SearchResults};
 
 /// One immutable in-memory image of an index store.
 #[derive(Debug)]
 pub struct IndexSnapshot {
     generation: u64,
-    shards: IndexSet,
+    shards: Vec<SealedShard>,
     docs: DocTable,
     /// Evaluate term lookups with one thread per shard.
     parallel_lookup: bool,
 }
 
 impl IndexSnapshot {
-    /// Loads every live segment of `store` as one shard each, tagging the
-    /// image with `generation`.
+    /// Loads every live segment of `store` as one sealed shard each, tagging
+    /// the image with `generation`.  Version-2 segments load decode-free.
     ///
     /// # Errors
     ///
@@ -42,15 +49,15 @@ impl IndexSnapshot {
     pub fn load(store: &IndexStore, generation: u64) -> Result<Self, PersistError> {
         let mut docs = DocTable::new();
         let mut shards = Vec::with_capacity(store.segment_count());
-        for (index, segment_docs) in store.load_all()? {
+        for (shard, segment_docs) in store.load_all_sealed()? {
             // Segments written from one run share a doc table; keep the most
             // complete copy (mirrors the CLI's multi-segment search).
             if segment_docs.len() > docs.len() {
                 docs = segment_docs;
             }
-            shards.push(index);
+            shards.push(shard);
         }
-        Ok(IndexSnapshot::from_shards(shards, docs, generation))
+        Ok(IndexSnapshot::from_sealed(shards, docs, generation))
     }
 
     /// Builds a snapshot directly from an in-memory index (tests, benches and
@@ -60,17 +67,20 @@ impl IndexSnapshot {
         IndexSnapshot::from_shards(vec![index], docs, generation)
     }
 
-    /// Builds a snapshot from explicit shards.
-    ///
-    /// Every shard gets its sorted term dictionary built here, once, so
-    /// `word*` lookups against the immutable image binary-search a term range
-    /// instead of scanning the whole table.
+    /// Builds a snapshot from explicit in-memory shards, **sealing** each
+    /// one: the vocabulary becomes a sorted interned dictionary and every
+    /// posting list is block-compressed with skip metadata.
     #[must_use]
-    pub fn from_shards(mut shards: Vec<InMemoryIndex>, docs: DocTable, generation: u64) -> Self {
-        for shard in &mut shards {
-            shard.build_dictionary();
-        }
-        IndexSnapshot { generation, shards: IndexSet::new(shards), docs, parallel_lookup: false }
+    pub fn from_shards(shards: Vec<InMemoryIndex>, docs: DocTable, generation: u64) -> Self {
+        let sealed = shards.iter().map(SealedShard::from_index).collect();
+        IndexSnapshot::from_sealed(sealed, docs, generation)
+    }
+
+    /// Builds a snapshot from already-sealed shards (the decode-free load
+    /// path).
+    #[must_use]
+    pub fn from_sealed(shards: Vec<SealedShard>, docs: DocTable, generation: u64) -> Self {
+        IndexSnapshot { generation, shards, docs, parallel_lookup: false }
     }
 
     /// Makes term lookups fan out with one thread per shard (worth it only
@@ -90,7 +100,7 @@ impl IndexSnapshot {
     /// Number of shards (loaded segments).
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards.replica_count()
+        self.shards.len()
     }
 
     /// Total documents in the snapshot's doc table.
@@ -102,7 +112,25 @@ impl IndexSnapshot {
     /// Total files indexed across shards.
     #[must_use]
     pub fn file_count(&self) -> u64 {
-        self.shards.file_count()
+        self.shards.iter().map(SealedShard::file_count).sum()
+    }
+
+    /// Total `(term, file)` postings across shards.
+    #[must_use]
+    pub fn posting_count(&self) -> u64 {
+        self.shards.iter().map(SealedShard::posting_count).sum()
+    }
+
+    /// Bytes the block-compressed postings occupy across shards.
+    #[must_use]
+    pub fn posting_bytes(&self) -> usize {
+        self.shards.iter().map(SealedShard::posting_bytes).sum()
+    }
+
+    /// Bytes the same postings would occupy as raw `Vec<FileId>` storage.
+    #[must_use]
+    pub fn uncompressed_posting_bytes(&self) -> usize {
+        self.shards.iter().map(SealedShard::uncompressed_posting_bytes).sum()
     }
 
     /// The document table backing this snapshot.
@@ -114,51 +142,101 @@ impl IndexSnapshot {
     /// Iterates `(term text, document frequency)` pairs across every shard.
     /// A term living in several shards appears once per shard; callers merge.
     pub fn terms(&self) -> impl Iterator<Item = (String, usize)> + '_ {
-        self.shards.replicas().iter().flat_map(|replica| {
-            replica.iter().map(|(term, postings)| (term.as_str().to_owned(), postings.len()))
+        self.shards.iter().flat_map(|shard| {
+            shard.iter().map(|(term, postings)| (term.as_str().to_owned(), postings.len()))
         })
     }
 
+    /// The compressed posting lists for `term`, one per shard that knows it.
+    fn shard_postings(&self, term: &dsearch_text::Term) -> Vec<&CompressedPostings> {
+        if self.parallel_lookup && self.shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || shard.postings(term)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .filter_map(|h| h.join().expect("shard lookup panicked"))
+                    .collect()
+            })
+        } else {
+            self.shards.iter().filter_map(|shard| shard.postings(term)).collect()
+        }
+    }
+
     /// The posting list for one exact term across every shard (empty when
-    /// the term is unknown), borrowed from the shard when only one holds the
-    /// term.  This is the raw lookup the per-batch posting memo builds on; it
-    /// honours [`with_parallel_lookup`](IndexSnapshot::with_parallel_lookup)
-    /// the same way [`search`](IndexSnapshot::search) does.
+    /// the term is unknown).  A term living in exactly one shard stays a
+    /// zero-copy `Postings::Compressed` borrow; only genuine cross-shard
+    /// overlap merges (and therefore decodes).  This is the raw lookup the
+    /// per-batch posting memo builds on; it honours
+    /// [`with_parallel_lookup`](IndexSnapshot::with_parallel_lookup) the same
+    /// way [`search`](IndexSnapshot::search) does.
     #[must_use]
     pub fn term_postings(&self, term: &dsearch_text::Term) -> Postings<'_> {
-        self.shards.term_postings(term, self.parallel_lookup)
+        Postings::union_of_compressed(self.shard_postings(term))
     }
 
     /// The union of the posting lists of every indexed term starting with
-    /// `prefix`, merged across shards (the `word*` lookup).  Each shard's
-    /// matching terms come from its sorted dictionary (built at load time),
-    /// and the lookup honours
-    /// [`with_parallel_lookup`](IndexSnapshot::with_parallel_lookup) exactly
-    /// like [`term_postings`](IndexSnapshot::term_postings).
+    /// `prefix`, merged across shards (the `word*` lookup).  Each shard
+    /// resolves the prefix to a contiguous dictionary range; the union
+    /// streams through block cursors, decoding each block exactly once.
+    /// Honours [`with_parallel_lookup`](IndexSnapshot::with_parallel_lookup)
+    /// exactly like [`term_postings`](IndexSnapshot::term_postings).
     #[must_use]
     pub fn prefix_postings(&self, prefix: &str) -> Postings<'_> {
-        self.shards.prefix_term_postings(prefix, self.parallel_lookup)
+        let lists: Vec<&CompressedPostings> = if self.parallel_lookup && self.shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || shard.prefix_postings(prefix)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard prefix lookup panicked"))
+                    .collect()
+            })
+        } else {
+            self.shards.iter().flat_map(|shard| shard.prefix_postings(prefix)).collect()
+        };
+        Postings::union_of_compressed(lists)
     }
 
     /// The path registered for a file id in this snapshot's doc table.
     #[must_use]
-    pub fn path_of(&self, id: dsearch_index::FileId) -> Option<&str> {
+    pub fn path_of(&self, id: FileId) -> Option<&str> {
         self.docs.path(id)
     }
 
-    /// Evaluates `query` against this image.
-    ///
-    /// Single-shard snapshots use the direct searcher; multi-shard snapshots
-    /// fan the query out across shards like `MultiIndexSearcher`.
+    /// Evaluates `query` against this image through the sealed shards'
+    /// skip-aware cursors (single- and multi-shard snapshots share the path;
+    /// per-shard lookups merge before the boolean operators run).
     #[must_use]
     pub fn search(&self, query: &Query) -> SearchResults {
-        if self.shards.replica_count() == 1 {
-            SingleIndexSearcher::new(&self.shards.replicas()[0], &self.docs).search(query)
-        } else {
-            MultiIndexSearcher::new(&self.shards, &self.docs)
-                .with_parallel_lookup(self.parallel_lookup)
-                .search(query)
-        }
+        SnapshotSearcher { snapshot: self }.search(query)
+    }
+}
+
+/// [`SearchBackend`] over a snapshot's sealed shards: lookups stay
+/// compressed borrows whenever one shard answers, and the generic
+/// cursor-based evaluator does the rest.
+struct SnapshotSearcher<'a> {
+    snapshot: &'a IndexSnapshot,
+}
+
+impl SearchBackend for SnapshotSearcher<'_> {
+    fn postings(&self, term: &dsearch_text::Term) -> Postings<'_> {
+        self.snapshot.term_postings(term)
+    }
+
+    fn prefix_postings(&self, prefix: &str) -> Postings<'_> {
+        self.snapshot.prefix_postings(prefix)
+    }
+
+    fn path_of(&self, id: FileId) -> Option<&str> {
+        self.snapshot.path_of(id)
     }
 }
 
@@ -270,11 +348,15 @@ mod tests {
         assert!(snapshot.term_postings(&Term::from("cobol")).is_empty());
         assert_eq!(snapshot.prefix_postings("ja").len(), 1);
         assert_eq!(snapshot.prefix_postings("").len(), 3);
-        let id = snapshot.term_postings(&Term::from("java")).view().iter().next().unwrap();
+        let id = snapshot.term_postings(&Term::from("java")).into_owned().iter().next().unwrap();
         assert_eq!(snapshot.path_of(id), Some("c.txt"));
-        // Single-shard lookups borrow from the shard — no merge allocation.
-        assert!(matches!(snapshot.term_postings(&Term::from("rust")), Postings::Borrowed(_)));
-        assert!(matches!(snapshot.prefix_postings("ja"), Postings::Borrowed(_)));
+        // Single-shard lookups stay zero-copy compressed borrows — no merge,
+        // no decode.
+        assert!(matches!(snapshot.term_postings(&Term::from("rust")), Postings::Compressed(_)));
+        assert!(matches!(snapshot.prefix_postings("ja"), Postings::Compressed(_)));
+        // Sealed snapshots report their compression win.
+        assert!(snapshot.posting_count() > 0);
+        assert!(snapshot.posting_bytes() < snapshot.uncompressed_posting_bytes());
     }
 
     #[test]
@@ -298,15 +380,15 @@ mod tests {
         let parallel = IndexSnapshot::from_shards(shards, docs, 1).with_parallel_lookup(true);
         for term in ["rust", "index", "into", "missing"] {
             assert_eq!(
-                sequential.term_postings(&Term::from(term)).list(),
-                parallel.term_postings(&Term::from(term)).list(),
+                sequential.term_postings(&Term::from(term)).into_owned(),
+                parallel.term_postings(&Term::from(term)).into_owned(),
                 "term {term:?}"
             );
         }
         for prefix in ["in", "inde", "rust", "zz", ""] {
             assert_eq!(
-                sequential.prefix_postings(prefix).list(),
-                parallel.prefix_postings(prefix).list(),
+                sequential.prefix_postings(prefix).into_owned(),
+                parallel.prefix_postings(prefix).into_owned(),
                 "prefix {prefix:?}"
             );
         }

@@ -29,6 +29,12 @@ pub struct ServerStats {
     batched: AtomicU64,
     /// Queries answered by an identical query in the same batch.
     dedup_hits: AtomicU64,
+    /// TCP connections currently open (gauge).
+    conns_active: AtomicU64,
+    /// TCP connections refused at accept time by the connection cap.
+    conns_rejected: AtomicU64,
+    /// TCP connections closed by the idle timeout.
+    idle_disconnects: AtomicU64,
     /// Ring buffer of recent latencies (window for percentile reporting).
     latencies: Mutex<LatencyRing>,
 }
@@ -49,6 +55,9 @@ impl Default for ServerStats {
             batches: AtomicU64::new(0),
             batched: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+            idle_disconnects: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing { samples: Vec::new(), next: 0 }),
         }
     }
@@ -136,6 +145,48 @@ impl ServerStats {
         self.dedup_hits.load(Ordering::Relaxed)
     }
 
+    /// Records a TCP connection opening.
+    pub fn record_conn_open(&self) {
+        self.conns_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a TCP connection closing (for any reason).
+    pub fn record_conn_close(&self) {
+        // A saturating decrement: close without open would underflow only on
+        // a caller bug, and a huge bogus gauge is worse than a clamped one.
+        let _ = self
+            .conns_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Records a connection refused by the `--max-conns` cap.
+    pub fn record_conn_rejected(&self) {
+        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed by the idle timeout.
+    pub fn record_idle_disconnect(&self) {
+        self.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// TCP connections currently open.
+    #[must_use]
+    pub fn active_conn_count(&self) -> u64 {
+        self.conns_active.load(Ordering::Relaxed)
+    }
+
+    /// TCP connections refused by the connection cap so far.
+    #[must_use]
+    pub fn rejected_conn_count(&self) -> u64 {
+        self.conns_rejected.load(Ordering::Relaxed)
+    }
+
+    /// TCP connections closed by the idle timeout so far.
+    #[must_use]
+    pub fn idle_disconnect_count(&self) -> u64 {
+        self.idle_disconnects.load(Ordering::Relaxed)
+    }
+
     /// Wall-clock time since the stats were created.
     #[must_use]
     pub fn uptime(&self) -> Duration {
@@ -166,7 +217,7 @@ impl ServerStats {
         format!(
             "queries={} errors={} shed={} batched={} dedup_hits={} qps={:.1} generation={} \
              cache_hit_rate={:.3} cache_hits={} cache_misses={} cache_evictions={} \
-             latency[{latency}]",
+             conns={} conns_rejected={} idle_closed={} latency[{latency}]",
             self.query_count(),
             self.error_count(),
             self.shed_count(),
@@ -178,6 +229,9 @@ impl ServerStats {
             cache.hits,
             cache.misses,
             cache.evictions,
+            self.active_conn_count(),
+            self.rejected_conn_count(),
+            self.idle_disconnect_count(),
         )
     }
 }

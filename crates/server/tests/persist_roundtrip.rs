@@ -8,11 +8,14 @@ use std::path::PathBuf;
 
 use dsearch_core::{Configuration, Implementation, IndexGenerator};
 use dsearch_corpus::{materialize_to_memfs, CorpusSpec};
+use dsearch_index::{DocTable, InMemoryIndex};
 use dsearch_persist::segment::{read_segment, write_segment};
 use dsearch_persist::IndexStore;
 use dsearch_query::{Query, SearchBackend, SingleIndexSearcher};
 use dsearch_server::IndexSnapshot;
+use dsearch_text::Term;
 use dsearch_vfs::VPath;
+use proptest::prelude::*;
 
 struct TempDir(PathBuf);
 
@@ -84,4 +87,66 @@ fn snapshot_from_store_matches_in_memory_searcher() {
         }
     }
     assert!(checked >= 50, "too few queries exercised: {checked}");
+
+    // The disk-loaded snapshot was lifted decode-free into the same sealed
+    // form that sealing the in-memory index produces: byte-identical
+    // compressed postings, and a real compression win on a real corpus.
+    let from_memory = IndexSnapshot::from_index(index, docs, 1);
+    assert_eq!(snapshot.posting_count(), from_memory.posting_count());
+    assert_eq!(snapshot.posting_bytes(), from_memory.posting_bytes());
+    assert!(
+        snapshot.posting_bytes() * 2 <= snapshot.uncompressed_posting_bytes(),
+        "expected >= 2x posting compression on the corpus, got {} vs {}",
+        snapshot.posting_bytes(),
+        snapshot.uncompressed_posting_bytes()
+    );
+}
+
+proptest! {
+    /// persist → load → serve answers exactly like serving the in-memory
+    /// index directly, for arbitrary little corpora: the compressed on-disk
+    /// form and the sealed in-memory form are interchangeable.
+    #[test]
+    fn persisted_and_in_memory_snapshots_agree(
+        corpus in proptest::collection::vec(
+            proptest::collection::vec("[a-d]{1,4}", 1..8), 1..25),
+        seed in 0u32..1000,
+    ) {
+        let mut docs = DocTable::new();
+        let mut index = InMemoryIndex::new();
+        for (i, words) in corpus.iter().enumerate() {
+            let id = docs.insert(format!("doc{i}.txt"));
+            let mut uniq = words.clone();
+            uniq.sort();
+            uniq.dedup();
+            index.insert_file(id, uniq.iter().map(|w| Term::from(w.as_str())));
+        }
+        let dir = TempDir::new(&format!("prop-{seed}-{}", corpus.len()));
+        let mut store = IndexStore::open(dir.0.join("store")).unwrap();
+        store.commit(&index, &docs).unwrap();
+
+        let loaded = IndexSnapshot::load(&store, 1).unwrap();
+        let in_memory = IndexSnapshot::from_index(index, docs, 1);
+        prop_assert_eq!(loaded.posting_count(), in_memory.posting_count());
+        prop_assert_eq!(loaded.posting_bytes(), in_memory.posting_bytes());
+
+        for raw in [
+            "a", "b", "ab", "a b", "a OR b", "a NOT b", "a*", "ab*", "c d", "d*", "a b OR c",
+        ] {
+            let query = Query::parse(raw).unwrap();
+            prop_assert_eq!(
+                loaded.search(&query),
+                in_memory.search(&query),
+                "loaded and in-memory snapshots disagree on {:?}", raw
+            );
+        }
+        // Raw posting lookups agree too (what the batch memo consumes).
+        for term in ["a", "ab", "abcd", "zz"] {
+            prop_assert_eq!(
+                loaded.term_postings(&Term::from(term)).into_owned(),
+                in_memory.term_postings(&Term::from(term)).into_owned(),
+                "term_postings disagree on {:?}", term
+            );
+        }
+    }
 }

@@ -16,10 +16,14 @@ use serde::{Deserialize, Serialize};
 
 /// A single extracted term.
 ///
-/// Terms are plain `String` newtypes so the rest of the system cannot confuse
-/// them with file names or raw text.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Term(String);
+/// Terms are interned behind an `Arc<str>`: cloning one — which the index
+/// does constantly when building dictionaries, sealing snapshots and merging
+/// replicas — bumps a reference count instead of copying the text.  A sealed
+/// shard's sorted dictionary therefore *shares* the vocabulary's string
+/// storage rather than duplicating it.  The newtype also keeps terms from
+/// being confused with file names or raw text.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term(std::sync::Arc<str>);
 
 impl Term {
     /// Wraps an already-normalised string as a term.
@@ -27,7 +31,7 @@ impl Term {
     /// Most code should obtain terms from the [`Tokenizer`] instead.
     #[must_use]
     pub fn new(s: impl Into<String>) -> Self {
-        Term(s.into())
+        Term(std::sync::Arc::from(s.into()))
     }
 
     /// Borrows the term's text.
@@ -48,10 +52,30 @@ impl Term {
         self.0.is_empty()
     }
 
-    /// Consumes the term, returning the underlying string.
+    /// Consumes the term, returning the underlying string.  Always copies:
+    /// an `Arc<str>` cannot be unwrapped into a `String` without one.
     #[must_use]
     pub fn into_string(self) -> String {
-        self.0
+        String::from(&*self.0)
+    }
+
+    /// Number of live clones sharing this term's text (diagnostics for the
+    /// interning win: a dictionary entry sharing its map key reports 2+).
+    #[must_use]
+    pub fn shared_count(&self) -> usize {
+        std::sync::Arc::strong_count(&self.0)
+    }
+}
+
+impl Serialize for Term {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for Term {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        v.as_str().map(Term::from).ok_or_else(|| serde::DeError::new("expected term string"))
     }
 }
 
@@ -63,13 +87,13 @@ impl std::fmt::Display for Term {
 
 impl From<&str> for Term {
     fn from(s: &str) -> Self {
-        Term(s.to_owned())
+        Term(std::sync::Arc::from(s))
     }
 }
 
 impl From<String> for Term {
     fn from(s: String) -> Self {
-        Term(s)
+        Term(std::sync::Arc::from(s))
     }
 }
 
@@ -176,7 +200,7 @@ impl Tokenizer {
             s.push(c as char);
         }
         stats.terms_emitted += 1;
-        Some(Term(s))
+        Some(Term::new(s))
     }
 
     /// Tokenises a byte slice, returning the terms and scan statistics.
