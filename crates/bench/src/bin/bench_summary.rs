@@ -2,9 +2,10 @@
 //!
 //! Re-runs the key `posting_ops`/`query_eval` measurements with plain
 //! `Instant` timing (median of N runs) and emits them, together with the
-//! compressed-index size metrics, as one JSON object — `BENCH_PR4.json` by
-//! default — so the perf trajectory of the posting layer is diffable
-//! PR-over-PR without scraping bench output.
+//! compressed-index size metrics and a router scatter-gather group (direct
+//! engine vs routed over 1 and 2 local shards), as one JSON object —
+//! `BENCH_PR5.json` by default — so the perf trajectory of the serving
+//! stack is diffable PR-over-PR without scraping bench output.
 //!
 //! ```text
 //! bench_summary [--quick] [--out PATH]
@@ -23,7 +24,9 @@ use dsearch::index::{
     InMemoryIndex, PostingList, PostingView, PostingsCursor, SealedShard,
 };
 use dsearch::query::{Query, SearchBackend, SingleIndexSearcher};
-use dsearch::server::IndexSnapshot;
+use dsearch::server::{
+    EngineConfig, IndexSnapshot, LocalShards, QueryEngine, Router, RouterConfig, ShardBackend,
+};
 use dsearch::text::Term;
 use serde::Value;
 
@@ -64,6 +67,47 @@ fn list_of(range: impl Iterator<Item = u32>) -> PostingList {
     PostingList::from_ids(range.map(FileId))
 }
 
+/// The same synthetic corpus split into `shards` independent engines, each
+/// with its own doc table (shard-local file ids, like separate `dsearch
+/// serve` processes).
+fn sharded_engines(docs: u32, shards: u32) -> Vec<std::sync::Arc<QueryEngine>> {
+    (0..shards)
+        .map(|s| {
+            let mut index = InMemoryIndex::new();
+            let mut table = DocTable::new();
+            for d in (0..docs).filter(|d| d % shards == s) {
+                let id = table.insert(format!("doc{d:06}.txt"));
+                let mut terms = vec![
+                    Term::from("common"),
+                    Term::from(format!("mid{:03}", d % 200)),
+                    Term::from(format!("rare{d:06}")),
+                ];
+                if d % 2 == 0 {
+                    terms.push(Term::from("even"));
+                }
+                index.insert_file(id, terms);
+            }
+            QueryEngine::new(
+                IndexSnapshot::from_index(index, table, 1),
+                EngineConfig { workers: 1, ..EngineConfig::default() },
+            )
+            .expect("bench engine config is valid")
+        })
+        .collect()
+}
+
+fn router_over(shards: u32) -> std::sync::Arc<Router> {
+    let backends: Vec<Box<dyn ShardBackend>> = sharded_engines(20_000, shards)
+        .into_iter()
+        .enumerate()
+        .map(|(i, engine)| {
+            Box::new(LocalShards::new(engine).with_id(format!("shard-{i}")))
+                as Box<dyn ShardBackend>
+        })
+        .collect();
+    Router::new(backends, RouterConfig::default()).expect("bench router config is valid")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -71,7 +115,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_owned());
     let samples = if quick { 5 } else { 25 };
 
     let mut fields: Vec<(String, Value)> = Vec::new();
@@ -156,6 +200,32 @@ fn main() {
         });
         record(&format!("query_{name}_zero_copy_ns"), Value::UInt(zero_copy_ns));
         record(&format!("query_{name}_sealed_ns"), Value::UInt(sealed_ns));
+    }
+
+    // ---- Router: scatter-gather overhead, direct vs 1 vs 2 local shards --
+    // Steady-state serving comparison (caches warm on every side): the
+    // routed paths add scatter, per-shard result cloning and the k-way
+    // ranked merge on top of the same engine execution.
+    let direct = sharded_engines(20_000, 1).pop().expect("one engine");
+    let router_one = router_over(1);
+    let router_two = router_over(2);
+    for (name, raw) in [
+        ("skewed_and", "rare012345 common"),
+        ("three_term_and", "mid042 even common"),
+        ("prefix", "mid04* even"),
+    ] {
+        let direct_ns = median_ns(samples, || {
+            black_box(direct.execute(raw).expect("bench query serves").results.len());
+        });
+        let one_ns = median_ns(samples, || {
+            black_box(router_one.route(raw).expect("routed query serves").hits.len());
+        });
+        let two_ns = median_ns(samples, || {
+            black_box(router_two.route(raw).expect("routed query serves").hits.len());
+        });
+        record(&format!("route_{name}_direct_ns"), Value::UInt(direct_ns));
+        record(&format!("route_{name}_1shard_ns"), Value::UInt(one_ns));
+        record(&format!("route_{name}_2shard_ns"), Value::UInt(two_ns));
     }
 
     let json = serde_json::to_string_pretty(&Value::Object(fields)).expect("summary serialises");

@@ -26,7 +26,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "platform",
     "max-threads",
     "table",
-    // serve / loadgen
+    // serve / loadgen / route
     "tcp",
     "idle-timeout-secs",
     "max-conns",
@@ -42,6 +42,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "batch-wait-us",
     "queue-bound",
     "overload",
+    "shard",
+    "shard-timeout-ms",
+    "connect-timeout-ms",
 ];
 
 /// Parsed command-line arguments.
@@ -51,7 +54,9 @@ pub struct ParsedArgs {
     pub command: Option<String>,
     /// Positional arguments after the subcommand.
     pub positionals: Vec<String>,
-    options: BTreeMap<String, String>,
+    /// Every value given for each option, in order — options like `--shard`
+    /// repeat; single-valued options read the last occurrence.
+    options: BTreeMap<String, Vec<String>>,
     flags: BTreeSet<String>,
 }
 
@@ -71,14 +76,14 @@ impl ParsedArgs {
         while let Some(token) = iter.next() {
             if let Some(name) = token.strip_prefix("--") {
                 if let Some((name, value)) = name.split_once('=') {
-                    parsed.options.insert(name.to_owned(), value.to_owned());
+                    parsed.options.entry(name.to_owned()).or_default().push(value.to_owned());
                     continue;
                 }
                 if VALUE_OPTIONS.contains(&name) {
                     match iter.peek() {
                         Some(next) if !next.starts_with("--") => {
                             let value = iter.next().expect("peeked");
-                            parsed.options.insert(name.to_owned(), value);
+                            parsed.options.entry(name.to_owned()).or_default().push(value);
                         }
                         _ => {
                             return Err(CliError::Usage(format!(
@@ -98,10 +103,20 @@ impl ParsedArgs {
         Ok(parsed)
     }
 
-    /// The value of `--name`, if given.
+    /// The value of `--name`, if given (the last occurrence when repeated).
     #[must_use]
     pub fn value_of(&self, name: &str) -> Option<&str> {
-        self.options.get(name).map(String::as_str)
+        self.options.get(name).and_then(|values| values.last()).map(String::as_str)
+    }
+
+    /// Every value given for `--name`, in order (empty when absent) — for
+    /// options like `--shard` that repeat.
+    #[must_use]
+    pub fn values_of(&self, name: &str) -> Vec<&str> {
+        self.options
+            .get(name)
+            .map(|values| values.iter().map(String::as_str).collect())
+            .unwrap_or_default()
     }
 
     /// Whether `--name` appeared as a boolean flag.
@@ -163,6 +178,27 @@ mod tests {
         assert_eq!(args.value_of("extractors"), Some("4"));
         assert_eq!(args.number_of::<usize>("extractors").unwrap(), Some(4));
         assert_eq!(args.value_of("missing"), None);
+        assert!(args.values_of("missing").is_empty());
+    }
+
+    #[test]
+    fn repeated_options_keep_every_value_in_order() {
+        let args = parse(&[
+            "route",
+            "--shard",
+            "h1:7878",
+            "--shard=h2:7878",
+            "--shard",
+            "h3:7878",
+            "--workers",
+            "2",
+            "--workers",
+            "4",
+        ]);
+        assert_eq!(args.values_of("shard"), ["h1:7878", "h2:7878", "h3:7878"]);
+        // Single-valued reads see the last occurrence.
+        assert_eq!(args.value_of("shard"), Some("h3:7878"));
+        assert_eq!(args.number_of::<usize>("workers").unwrap(), Some(4));
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub mod corpus;
 pub mod curves;
 pub mod index;
 pub mod loadgen;
+pub mod route;
 pub mod search;
 pub mod serve;
 pub mod tables;

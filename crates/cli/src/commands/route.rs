@@ -1,0 +1,210 @@
+//! `dsearch route` — the scatter-gather coordinator over shard servers.
+//!
+//! Points the [`Router`](dsearch::server::Router) at one `--shard
+//! host:port` per `dsearch serve` process.  Every query read from stdin (or
+//! TCP, with `--tcp`) is fanned out to all shards concurrently over the
+//! existing line protocol, the per-shard rankings are merged, and a shard
+//! that is down or times out degrades the answer to `partial=true` instead
+//! of failing it.  `!stats` aggregates the shards' own stats under the
+//! router's counters; `!reload` forwards to every shard.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsearch::server::{
+    LineHandler, RemoteShard, RemoteShardConfig, RouteService, Router, RouterConfig, ShardBackend,
+    TcpServer,
+};
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+
+/// Builds the router configuration from the shared serve/route options.
+pub(crate) fn router_config(args: &ParsedArgs) -> Result<RouterConfig, CliError> {
+    let mut config = RouterConfig::default();
+    if let Some(workers) = args.number_of::<usize>("workers")? {
+        config.workers = workers;
+    }
+    if let Some(limit) = args.number_of::<usize>("limit")? {
+        config.result_limit = limit;
+    }
+    if let Some(max_batch) = args.number_of::<usize>("max-batch")? {
+        config.batch.max_batch = max_batch;
+    }
+    super::serve::apply_batch_wait(args, &mut config.batch)?;
+    if let Some(bound) = args.number_of::<usize>("queue-bound")? {
+        config.batch.queue_bound = bound;
+    }
+    if let Some(policy) = args.value_of("overload") {
+        config.batch.overload = policy.parse().map_err(CliError::Usage)?;
+    }
+    config.validate().map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
+    Ok(config)
+}
+
+/// Builds the per-shard connection policy from `--shard-timeout-ms` /
+/// `--connect-timeout-ms`.
+pub(crate) fn shard_config(args: &ParsedArgs) -> Result<RemoteShardConfig, CliError> {
+    let mut config = RemoteShardConfig::default();
+    if let Some(ms) = args.number_of::<u64>("connect-timeout-ms")? {
+        config.connect_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.number_of::<u64>("shard-timeout-ms")? {
+        config.io_timeout = Duration::from_millis(ms);
+    }
+    Ok(config)
+}
+
+/// Builds the router over one [`RemoteShard`] per `--shard` address.
+pub(crate) fn build_router(args: &ParsedArgs) -> Result<Arc<Router>, CliError> {
+    let addrs = args.values_of("shard");
+    if addrs.is_empty() {
+        return Err(CliError::Usage(
+            "this command requires at least one --shard <host:port>".into(),
+        ));
+    }
+    let shard_config = shard_config(args)?;
+    let backends: Vec<Box<dyn ShardBackend>> = addrs
+        .iter()
+        .map(|addr| {
+            Box::new(RemoteShard::with_config(*addr, shard_config)) as Box<dyn ShardBackend>
+        })
+        .collect();
+    Router::new(backends, router_config(args)?)
+        .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))
+}
+
+/// Runs the `route` command.
+///
+/// # Errors
+///
+/// Fails on usage errors (no shards, malformed options) or when the TCP
+/// listener cannot bind.  Unreachable shards are *not* a startup error —
+/// they come and go at runtime and show as `partial=true` / `shard
+/// <addr> DOWN` until they return.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    let router = build_router(args)?;
+    let shard_list: Vec<String> = router.backends().iter().map(|b| b.id()).collect();
+    let batch = &router.config().batch;
+    let wait = if batch.adaptive { "auto".to_owned() } else { format!("{:?}", batch.max_wait) };
+    let banner = format!(
+        "routing over {} shard(s): {} ({} workers, limit {})\n\
+         batching: max_batch={} max_wait={wait} queue_bound={} overload={}\n\
+         protocol: one query per line; !stats aggregates shards, !reload fans out, !quit\n",
+        shard_list.len(),
+        shard_list.join(", "),
+        router.config().workers,
+        router.config().result_limit,
+        batch.max_batch,
+        match batch.queue_bound {
+            0 => "unbounded".to_owned(),
+            bound => bound.to_string(),
+        },
+        batch.overload,
+    );
+    let service = Arc::new(RouteService::start(router));
+
+    let tcp_server = match args.value_of("tcp") {
+        Some(addr) => {
+            let tcp_config = super::serve::tcp_config(args)?;
+            let server = TcpServer::bind_with(Arc::clone(&service), addr, tcp_config)
+                .map_err(CliError::failed)?;
+            eprintln!("listening on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+
+    eprint!("{banner}");
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let end = service.serve_lines(stdin.lock(), stdout.lock()).map_err(CliError::failed)?;
+
+    if let Some(server) = tcp_server {
+        // Same daemon semantics as `dsearch serve`: stdin EOF keeps the TCP
+        // front end routing, stdin `!quit` stops everything.
+        if end == dsearch::server::SessionEnd::Eof {
+            eprintln!("stdin closed; continuing to route TCP (Ctrl-C to stop)");
+            loop {
+                std::thread::park();
+            }
+        }
+        server.stop();
+    }
+    let report = service.stats_report();
+    Ok(format!("{report}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_requires_shards() {
+        let args = ParsedArgs::parse(["route"]).unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("--shard")), "{err}");
+    }
+
+    #[test]
+    fn router_config_parses_overrides() {
+        let args = ParsedArgs::parse([
+            "route",
+            "--shard",
+            "127.0.0.1:7878",
+            "--workers",
+            "2",
+            "--limit",
+            "7",
+            "--max-batch",
+            "8",
+            "--batch-wait-us",
+            "auto",
+            "--queue-bound",
+            "32",
+            "--overload",
+            "drop",
+        ])
+        .unwrap();
+        let config = router_config(&args).unwrap();
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.result_limit, 7);
+        assert_eq!(config.batch.max_batch, 8);
+        assert!(config.batch.adaptive);
+        assert_eq!(config.batch.queue_bound, 32);
+        assert_eq!(config.batch.overload, dsearch::server::OverloadPolicy::DropOldest);
+    }
+
+    #[test]
+    fn shard_config_parses_timeouts() {
+        let args = ParsedArgs::parse([
+            "route",
+            "--shard",
+            "a:1",
+            "--connect-timeout-ms",
+            "250",
+            "--shard-timeout-ms",
+            "1500",
+        ])
+        .unwrap();
+        let config = shard_config(&args).unwrap();
+        assert_eq!(config.connect_timeout, Duration::from_millis(250));
+        assert_eq!(config.io_timeout, Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn build_router_wires_one_backend_per_shard_flag() {
+        let args =
+            ParsedArgs::parse(["route", "--shard", "h1:7878", "--shard", "h2:7878"]).unwrap();
+        let router = build_router(&args).unwrap();
+        let ids: Vec<String> = router.backends().iter().map(|b| b.id()).collect();
+        assert_eq!(ids, ["h1:7878", "h2:7878"]);
+    }
+
+    #[test]
+    fn invalid_router_configs_are_usage_errors() {
+        let args = ParsedArgs::parse(["route", "--shard", "h1:7878", "--workers", "0"]).unwrap();
+        let err = build_router(&args).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("invalid")), "{err}");
+    }
+}

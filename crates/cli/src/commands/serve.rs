@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use dsearch::persist::IndexStore;
 use dsearch::server::{
-    EngineConfig, IndexSnapshot, QueryEngine, Service, TcpServer, TcpServerConfig,
+    EngineConfig, IndexSnapshot, LineHandler, QueryEngine, Service, TcpServer, TcpServerConfig,
 };
 
 use crate::args::ParsedArgs;
@@ -36,9 +36,7 @@ pub(crate) fn engine_config(args: &ParsedArgs) -> Result<EngineConfig, CliError>
     if let Some(max_batch) = args.number_of::<usize>("max-batch")? {
         config.batch.max_batch = max_batch;
     }
-    if let Some(wait_us) = args.number_of::<u64>("batch-wait-us")? {
-        config.batch.max_wait = std::time::Duration::from_micros(wait_us);
-    }
+    apply_batch_wait(args, &mut config.batch)?;
     if let Some(bound) = args.number_of::<usize>("queue-bound")? {
         config.batch.queue_bound = bound;
     }
@@ -47,6 +45,32 @@ pub(crate) fn engine_config(args: &ParsedArgs) -> Result<EngineConfig, CliError>
     }
     config.validate().map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
     Ok(config)
+}
+
+/// Applies `--batch-wait-us`: a number arms a fixed fill window, `auto`
+/// turns on adaptive batching (wait for the default window only when the
+/// arrival rate suggests the batch will fill).
+pub(crate) fn apply_batch_wait(
+    args: &ParsedArgs,
+    batch: &mut dsearch::server::BatchConfig,
+) -> Result<(), CliError> {
+    match args.value_of("batch-wait-us") {
+        None => {}
+        Some("auto") => {
+            batch.adaptive = true;
+            batch.max_wait = dsearch::server::DEFAULT_AUTO_WAIT;
+        }
+        Some(raw) => {
+            let wait_us: u64 = raw.parse().map_err(|e| {
+                CliError::Usage(format!(
+                    "option --batch-wait-us: invalid value {raw:?} ({e}); \
+                     expected a duration in microseconds or \"auto\""
+                ))
+            })?;
+            batch.max_wait = std::time::Duration::from_micros(wait_us);
+        }
+    }
+    Ok(())
 }
 
 /// Builds the TCP connection policy from `--idle-timeout-secs` /
@@ -217,8 +241,21 @@ mod tests {
         assert_eq!(config.result_limit, 5);
         assert_eq!(config.batch.max_batch, 16);
         assert_eq!(config.batch.max_wait, std::time::Duration::from_micros(250));
+        assert!(!config.batch.adaptive);
         assert_eq!(config.batch.queue_bound, 64);
         assert_eq!(config.batch.overload, dsearch::server::OverloadPolicy::DropOldest);
+    }
+
+    #[test]
+    fn batch_wait_auto_arms_adaptive_batching() {
+        let args = ParsedArgs::parse(["serve", "--batch-wait-us", "auto"]).unwrap();
+        let config = engine_config(&args).unwrap();
+        assert!(config.batch.adaptive);
+        assert_eq!(config.batch.max_wait, dsearch::server::DEFAULT_AUTO_WAIT);
+        // Anything that is neither a number nor "auto" is a usage error.
+        let args = ParsedArgs::parse(["serve", "--batch-wait-us", "sometimes"]).unwrap();
+        let err = engine_config(&args).unwrap_err();
+        assert!(err.to_string().contains("auto"), "{err}");
     }
 
     #[test]

@@ -70,8 +70,8 @@ COMMANDS:
         Query a persisted index.  Supports AND/OR/NOT and trailing-* prefixes.
 
     serve --store <path> [--tcp ADDR] [--workers N] [--cache N]
-          [--cache-shards N] [--limit N] [--max-batch N] [--batch-wait-us N]
-          [--queue-bound N] [--overload reject|drop]
+          [--cache-shards N] [--limit N] [--max-batch N]
+          [--batch-wait-us N|auto] [--queue-bound N] [--overload reject|drop]
         Run the query service: line protocol on stdin (and ADDR when --tcp is
         given).  One query per line; !stats reports metrics, !reload republishes
         the store as a new snapshot generation, !quit disconnects.  With --tcp,
@@ -80,6 +80,17 @@ COMMANDS:
         per wakeup (waiting up to --batch-wait-us for a fuller batch); with a
         nonzero --queue-bound, excess load is shed per --overload (reject the
         new request, or drop the oldest queued one).
+
+    route --shard HOST:PORT [--shard HOST:PORT …] [--tcp ADDR] [--limit N]
+          [--workers N] [--max-batch N] [--batch-wait-us N|auto]
+          [--queue-bound N] [--overload reject|drop]
+          [--shard-timeout-ms N] [--connect-timeout-ms N]
+        Run the scatter-gather coordinator over one or more `dsearch serve`
+        shard servers.  Every query fans out to all shards concurrently over
+        the line protocol and the per-shard rankings are merged; a shard that
+        is down or times out degrades the answer to partial=true instead of
+        failing it (shard_errors= in !stats).  !stats aggregates the shards'
+        metrics; !reload fans out to every shard.
 
     loadgen --store <path> [--requests N] [--queries N] [--seed N]
             [--mode closed|open] [--clients N] [--rate QPS] [--workers N]
@@ -125,6 +136,7 @@ where
         Some("index") => commands::index::run(&args),
         Some("search") => commands::search::run(&args),
         Some("serve") => commands::serve::run(&args),
+        Some("route") => commands::route::run(&args),
         Some("loadgen") => commands::loadgen::run(&args),
         Some("corpus") => commands::corpus::run(&args),
         Some("tables") => commands::tables::run(&args),

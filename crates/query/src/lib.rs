@@ -42,5 +42,5 @@ pub mod search;
 
 pub use dsearch_index::{PostingView, Postings};
 pub use query::{ParseError, Query, QueryGroup, QueryTerm};
-pub use results::{Hit, SearchResults};
+pub use results::{merge_ranked, Hit, RankedHit, SearchResults};
 pub use search::{MultiIndexSearcher, SearchBackend, SingleIndexSearcher};

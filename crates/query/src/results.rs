@@ -1,4 +1,8 @@
-//! Search results.
+//! Search results, and the cross-shard merge of per-shard result sets.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +72,16 @@ impl SearchResults {
     pub fn truncate(&mut self, n: usize) {
         self.hits.truncate(n);
     }
+
+    /// Converts the hits into the path-keyed form that crosses shard
+    /// boundaries (shard-local file ids do not survive the wire).
+    #[must_use]
+    pub fn ranked(&self) -> Vec<RankedHit> {
+        self.hits
+            .iter()
+            .map(|h| RankedHit { path: h.path.clone(), matched_terms: h.matched_terms })
+            .collect()
+    }
 }
 
 impl IntoIterator for SearchResults {
@@ -77,6 +91,71 @@ impl IntoIterator for SearchResults {
     fn into_iter(self) -> Self::IntoIter {
         self.hits.into_iter()
     }
+}
+
+/// A ranked hit as it travels between shards.
+///
+/// File ids are shard-local (two `dsearch serve` processes both start at id
+/// 0), so cross-shard results are keyed on the path instead.  The merge order
+/// is descending `matched_terms` with ties broken by ascending path, which is
+/// deterministic whatever order the shards assigned their ids in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankedHit {
+    /// The matching file's path.
+    pub path: String,
+    /// Number of query terms the file matched (the ranking key).
+    pub matched_terms: usize,
+}
+
+impl RankedHit {
+    /// The cross-shard merge key: descending `matched_terms`, ties broken by
+    /// ascending path.
+    #[must_use]
+    pub fn merge_key(&self) -> (Reverse<usize>, &str) {
+        (Reverse(self.matched_terms), self.path.as_str())
+    }
+}
+
+/// Merges per-shard ranked result lists into one list in merge-key order
+/// (descending `matched_terms`, path ascending within a rank), keeping at
+/// most `limit` hits.
+///
+/// This is the scatter-gather counterpart of the k-way posting-list union in
+/// `dsearch_index::union_into`: a min-heap over one cursor per shard, so each
+/// output hit costs `O(log k)`.  Shard inputs need not be pre-sorted (each
+/// list is normalised first).  A path reported by several shards — replicated
+/// shards, or a re-routed query racing a rebalance — is kept once with its
+/// highest `matched_terms`: the heap yields hits best-first, so the first
+/// occurrence of a path is the one to keep.  Best-first also means the merge
+/// can stop as soon as `limit` hits are out, instead of materialising
+/// everything and truncating (pass `usize::MAX` for an unbounded merge).
+#[must_use]
+pub fn merge_ranked(mut parts: Vec<Vec<RankedHit>>, limit: usize) -> Vec<RankedHit> {
+    /// Heap entry: the hit's merge key plus its (shard, position) cursor.
+    type Cursor<'a> = Reverse<((Reverse<usize>, &'a str), usize, usize)>;
+
+    for part in &mut parts {
+        part.sort_by(|a, b| a.merge_key().cmp(&b.merge_key()));
+    }
+    let mut heap: BinaryHeap<Cursor<'_>> = BinaryHeap::with_capacity(parts.len());
+    for (shard, part) in parts.iter().enumerate() {
+        if let Some(first) = part.first() {
+            heap.push(Reverse((first.merge_key(), shard, 0)));
+        }
+    }
+    let mut out: Vec<RankedHit> = Vec::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    while out.len() < limit {
+        let Some(Reverse((_, shard, pos))) = heap.pop() else { break };
+        let hit = &parts[shard][pos];
+        if seen.insert(hit.path.as_str()) {
+            out.push(hit.clone());
+        }
+        if let Some(next) = parts[shard].get(pos + 1) {
+            heap.push(Reverse((next.merge_key(), shard, pos + 1)));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -116,5 +195,64 @@ mod tests {
         let results = SearchResults::new(vec![hit(2, 1), hit(1, 5)]);
         let collected: Vec<Hit> = results.into_iter().collect();
         assert_eq!(collected[0].file_id, FileId(1));
+    }
+
+    fn ranked(path: &str, matched: usize) -> RankedHit {
+        RankedHit { path: path.to_owned(), matched_terms: matched }
+    }
+
+    #[test]
+    fn ranked_conversion_preserves_order() {
+        let results = SearchResults::new(vec![hit(3, 1), hit(1, 2)]);
+        assert_eq!(results.ranked(), vec![ranked("f1.txt", 2), ranked("f3.txt", 1)]);
+    }
+
+    #[test]
+    fn merge_ranked_interleaves_shards_best_first() {
+        let merged = merge_ranked(
+            vec![
+                vec![ranked("a.txt", 2), ranked("c.txt", 1)],
+                vec![ranked("b.txt", 2), ranked("d.txt", 1)],
+            ],
+            usize::MAX,
+        );
+        assert_eq!(
+            merged,
+            vec![ranked("a.txt", 2), ranked("b.txt", 2), ranked("c.txt", 1), ranked("d.txt", 1)]
+        );
+    }
+
+    #[test]
+    fn merge_ranked_dedupes_by_path_keeping_best_rank() {
+        // The same path reported by two shards (replication) keeps its
+        // highest matched-term count, whichever shard reported it.
+        let merged = merge_ranked(
+            vec![vec![ranked("a.txt", 1), ranked("b.txt", 1)], vec![ranked("a.txt", 3)]],
+            usize::MAX,
+        );
+        assert_eq!(merged, vec![ranked("a.txt", 3), ranked("b.txt", 1)]);
+    }
+
+    #[test]
+    fn merge_ranked_stops_at_the_limit() {
+        let merged = merge_ranked(
+            vec![
+                vec![ranked("a.txt", 3), ranked("c.txt", 1)],
+                vec![ranked("b.txt", 2), ranked("d.txt", 1)],
+            ],
+            2,
+        );
+        assert_eq!(merged, vec![ranked("a.txt", 3), ranked("b.txt", 2)]);
+        assert!(merge_ranked(vec![vec![ranked("a.txt", 1)]], 0).is_empty());
+    }
+
+    #[test]
+    fn merge_ranked_normalises_unsorted_inputs() {
+        // Per-shard inputs sorted by shard-local file id (the wire order) may
+        // have path ties in any order; the merge re-sorts each part.
+        let merged = merge_ranked(vec![vec![ranked("z.txt", 1), ranked("a.txt", 2)], vec![]], 8);
+        assert_eq!(merged, vec![ranked("a.txt", 2), ranked("z.txt", 1)]);
+        assert!(merge_ranked(vec![], usize::MAX).is_empty());
+        assert!(merge_ranked(vec![vec![], vec![]], usize::MAX).is_empty());
     }
 }

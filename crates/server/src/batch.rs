@@ -33,7 +33,7 @@ use dsearch_index::{FileId, Postings};
 use dsearch_query::SearchBackend;
 use dsearch_text::Term;
 
-use crate::engine::{Job, ServerError};
+use crate::engine::ServerError;
 use crate::snapshot::IndexSnapshot;
 use crate::stats::ServerStats;
 
@@ -70,6 +70,18 @@ impl std::fmt::Display for OverloadPolicy {
     }
 }
 
+/// The fill window `--batch-wait-us auto` arms (the adaptive controller
+/// decides per batch whether lingering that long is worth it).
+pub const DEFAULT_AUTO_WAIT: Duration = Duration::from_micros(200);
+
+/// How far back the adaptive controller looks when estimating the arrival
+/// rate.  Arrivals older than this say nothing about whether the *next* fill
+/// window will see traffic.
+const ARRIVAL_LOOKBACK: Duration = Duration::from_millis(100);
+
+/// Most arrival timestamps the governor retains for rate estimation.
+const ARRIVAL_SAMPLES: usize = 64;
+
 /// Batching and admission-control parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
@@ -80,6 +92,12 @@ pub struct BatchConfig {
     /// latency is added when the server is idle, and batches form naturally
     /// from backlog under load.
     pub max_wait: Duration,
+    /// Adaptive batching (`--batch-wait-us auto`): linger for `max_wait`
+    /// only when the recent arrival rate suggests the partially filled
+    /// batch would actually fill within the window; otherwise drain
+    /// immediately, skipping the idle-latency tax.  Every decision is
+    /// counted (`adaptive_waits=` / `adaptive_skips=` in `!stats`).
+    pub adaptive: bool,
     /// Queue-depth bound; `0` disables admission control (unbounded queue).
     pub queue_bound: usize,
     /// What to shed when the queue is at its bound.
@@ -91,15 +109,27 @@ impl Default for BatchConfig {
         BatchConfig {
             max_batch: 32,
             max_wait: Duration::ZERO,
+            adaptive: false,
             queue_bound: 0,
             overload: OverloadPolicy::RejectNew,
         }
     }
 }
 
-struct GovernorState {
-    queue: VecDeque<Job>,
+/// Anything the governor can queue.  Shedding consumes the job; the
+/// implementation must answer the job's waiter with an overload error so a
+/// dropped request is a fast failure, never a hang.
+pub trait QueueJob: Send {
+    /// Consumes the job, answering its waiter with "overloaded".
+    fn shed(self);
+}
+
+struct GovernorState<J> {
+    queue: VecDeque<J>,
     closed: bool,
+    /// Timestamps of the most recent submissions (newest at the back), the
+    /// adaptive controller's arrival-rate window.
+    arrivals: VecDeque<Instant>,
 }
 
 /// The admission-controlled MPMC queue between submitters and workers.
@@ -107,19 +137,25 @@ struct GovernorState {
 /// Submitters [`submit`](QueueGovernor::submit) jobs; workers drain them in
 /// batches via [`next_batch`](QueueGovernor::next_batch).  The governor
 /// enforces [`BatchConfig::queue_bound`] at admission time and records every
-/// shed request in the shared [`ServerStats`].
-pub struct QueueGovernor {
-    state: Mutex<GovernorState>,
+/// shed request in the shared [`ServerStats`].  It is generic over the job
+/// type so the query engine's worker pool and the scatter-gather router pool
+/// share one scheduling layer.
+pub struct QueueGovernor<J: QueueJob> {
+    state: Mutex<GovernorState<J>>,
     available: Condvar,
     config: BatchConfig,
 }
 
-impl QueueGovernor {
+impl<J: QueueJob> QueueGovernor<J> {
     /// Creates an open governor enforcing `config`.
     #[must_use]
     pub fn new(config: BatchConfig) -> Self {
         QueueGovernor {
-            state: Mutex::new(GovernorState { queue: VecDeque::new(), closed: false }),
+            state: Mutex::new(GovernorState {
+                queue: VecDeque::new(),
+                closed: false,
+                arrivals: VecDeque::new(),
+            }),
             available: Condvar::new(),
             config,
         }
@@ -145,7 +181,7 @@ impl QueueGovernor {
     /// Returns [`ServerError::Overloaded`] when the job is rejected under
     /// [`OverloadPolicy::RejectNew`], and [`ServerError::ShuttingDown`] after
     /// [`close`](QueueGovernor::close).
-    pub(crate) fn submit(&self, job: Job, stats: &ServerStats) -> Result<(), ServerError> {
+    pub(crate) fn submit(&self, job: J, stats: &ServerStats) -> Result<(), ServerError> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.closed {
             return Err(ServerError::ShuttingDown);
@@ -161,13 +197,19 @@ impl QueueGovernor {
                     while state.queue.len() >= bound {
                         let victim = state.queue.pop_front().expect("len >= bound >= 1");
                         // The waiter may have given up; that is not an error.
-                        let _ = victim.respond.send(Err(ServerError::Overloaded));
+                        victim.shed();
                         stats.record_shed();
                     }
                 }
             }
         }
         state.queue.push_back(job);
+        if self.config.adaptive {
+            if state.arrivals.len() == ARRIVAL_SAMPLES {
+                state.arrivals.pop_front();
+            }
+            state.arrivals.push_back(Instant::now());
+        }
         drop(state);
         self.available.notify_one();
         Ok(())
@@ -176,11 +218,13 @@ impl QueueGovernor {
     /// Blocks until at least one job is available (or the governor closes),
     /// then drains up to `max_batch` jobs.  With a nonzero `max_wait` the
     /// worker lingers for late arrivals until the batch fills or the window
-    /// expires.
+    /// expires; in [`adaptive`](BatchConfig::adaptive) mode it lingers only
+    /// when the recent arrival rate suggests the batch would actually fill,
+    /// recording every decision in `stats`.
     ///
     /// Returns `None` only when the governor is closed *and* drained, so
     /// shutdown never discards admitted work.
-    pub(crate) fn next_batch(&self) -> Option<Vec<Job>> {
+    pub(crate) fn next_batch(&self, stats: &ServerStats) -> Option<Vec<J>> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if !state.queue.is_empty() {
@@ -193,9 +237,19 @@ impl QueueGovernor {
         }
         let drained = Instant::now();
         let take = self.config.max_batch.min(state.queue.len());
-        let mut batch: Vec<Job> = state.queue.drain(..take).collect();
+        let mut batch: Vec<J> = state.queue.drain(..take).collect();
 
-        if !self.config.max_wait.is_zero() && batch.len() < self.config.max_batch {
+        let mut linger = !self.config.max_wait.is_zero() && batch.len() < self.config.max_batch;
+        if linger && self.config.adaptive {
+            // Wait only when the batch is likely to fill: project the recent
+            // arrival rate over the fill window and compare against the
+            // number of free slots.
+            let needed = self.config.max_batch - batch.len();
+            let expected = expected_arrivals(&state.arrivals, drained, self.config.max_wait);
+            linger = expected >= needed as f64;
+            stats.record_adaptive_decision(linger);
+        }
+        if linger {
             let deadline = drained + self.config.max_wait;
             while batch.len() < self.config.max_batch && !state.closed {
                 let Some(left) = deadline.checked_duration_since(Instant::now()) else { break };
@@ -220,13 +274,32 @@ impl QueueGovernor {
     }
 }
 
-impl std::fmt::Debug for QueueGovernor {
+impl<J: QueueJob> std::fmt::Debug for QueueGovernor<J> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueueGovernor")
             .field("config", &self.config)
             .field("depth", &self.depth())
             .finish()
     }
+}
+
+/// Projects the recent arrival rate over `window`: how many submissions the
+/// fill window can be expected to see, judged from the arrivals inside
+/// [`ARRIVAL_LOOKBACK`].  The rate is *intervals* over the span from the
+/// oldest recent arrival to now — silence since the last arrival drags the
+/// estimate down — and fewer than three recent arrivals estimate zero: one
+/// stray pair of back-to-back queries on an idle server is no evidence of
+/// traffic and must not buy a fill-window linger.
+fn expected_arrivals(arrivals: &VecDeque<Instant>, now: Instant, window: Duration) -> f64 {
+    let horizon = now.checked_sub(ARRIVAL_LOOKBACK);
+    let recent: Vec<Instant> =
+        arrivals.iter().copied().filter(|&t| horizon.is_none_or(|h| t >= h) && t <= now).collect();
+    if recent.len() < 3 {
+        return 0.0;
+    }
+    let span = now.duration_since(recent[0]).max(Duration::from_micros(1));
+    let rate = (recent.len() - 1) as f64 / span.as_secs_f64();
+    rate * window.as_secs_f64()
 }
 
 /// A memoizing [`SearchBackend`] over one snapshot, scoped to one batch.
@@ -315,7 +388,7 @@ impl std::fmt::Debug for BatchSearcher<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::PendingResponse;
+    use crate::engine::{Job, PendingResponse};
     use dsearch_index::{DocTable, InMemoryIndex};
     use dsearch_query::Query;
     use std::sync::mpsc;
@@ -328,7 +401,7 @@ mod tests {
         )
     }
 
-    fn governor(config: BatchConfig) -> (QueueGovernor, ServerStats) {
+    fn governor(config: BatchConfig) -> (QueueGovernor<Job>, ServerStats) {
         (QueueGovernor::new(config), ServerStats::new())
     }
 
@@ -375,7 +448,7 @@ mod tests {
         // The dropped job's waiter got the overload answer.
         assert_eq!(pa.wait().unwrap_err(), ServerError::Overloaded);
         // The surviving queue is b, c.
-        let batch = governor.next_batch().unwrap();
+        let batch = governor.next_batch(&stats).unwrap();
         let raws: Vec<&str> = batch.iter().map(|j| j.raw.as_str()).collect();
         assert_eq!(raws, ["b", "c"]);
     }
@@ -389,10 +462,10 @@ mod tests {
             governor.submit(j, &stats).unwrap();
             pendings.push(p);
         }
-        assert_eq!(governor.next_batch().unwrap().len(), 3);
-        assert_eq!(governor.next_batch().unwrap().len(), 2);
+        assert_eq!(governor.next_batch(&stats).unwrap().len(), 3);
+        assert_eq!(governor.next_batch(&stats).unwrap().len(), 2);
         governor.close();
-        assert!(governor.next_batch().is_none());
+        assert!(governor.next_batch(&stats).is_none());
     }
 
     #[test]
@@ -404,8 +477,8 @@ mod tests {
         let (b, _pb) = job("b");
         assert_eq!(governor.submit(b, &stats).unwrap_err(), ServerError::ShuttingDown);
         // Admitted work survives the close.
-        assert_eq!(governor.next_batch().unwrap().len(), 1);
-        assert!(governor.next_batch().is_none());
+        assert_eq!(governor.next_batch(&stats).unwrap().len(), 1);
+        assert!(governor.next_batch(&stats).is_none());
     }
 
     #[test]
@@ -429,10 +502,96 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(20));
                 governor.submit(b, &stats).unwrap();
             });
-            let batch = governor.next_batch().unwrap();
+            let batch = governor.next_batch(&stats).unwrap();
             assert_eq!(batch.len(), 2, "late arrival joined the waiting batch");
             submitter.join().unwrap();
         });
+    }
+
+    #[test]
+    fn adaptive_governor_skips_the_window_when_idle() {
+        let (governor, stats) = governor(BatchConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(250),
+            adaptive: true,
+            ..BatchConfig::default()
+        });
+        // A single queued job with no recent arrival history: the controller
+        // must drain immediately instead of sitting out the fill window.
+        let (a, _pa) = job("a");
+        governor.submit(a, &stats).unwrap();
+        let started = Instant::now();
+        let batch = governor.next_batch(&stats).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            started.elapsed() < Duration::from_millis(200),
+            "idle adaptive drain waited {:?}",
+            started.elapsed()
+        );
+        assert_eq!(stats.adaptive_skip_count(), 1);
+        assert_eq!(stats.adaptive_wait_count(), 0);
+    }
+
+    #[test]
+    fn adaptive_governor_ignores_a_lone_pair_of_arrivals() {
+        let (governor, stats) = governor(BatchConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(250),
+            adaptive: true,
+            ..BatchConfig::default()
+        });
+        // Two back-to-back queries on an otherwise idle server: too little
+        // evidence of traffic to pay the fill-window linger for.
+        for raw in ["a", "b"] {
+            let (j, _p) = job(raw);
+            governor.submit(j, &stats).unwrap();
+        }
+        let started = Instant::now();
+        let batch = governor.next_batch(&stats).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(
+            started.elapsed() < Duration::from_millis(200),
+            "a lone pair bought a linger: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(stats.adaptive_skip_count(), 1);
+    }
+
+    #[test]
+    fn adaptive_governor_waits_when_arrivals_suggest_a_fill() {
+        let (governor, stats) = governor(BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(20),
+            adaptive: true,
+            ..BatchConfig::default()
+        });
+        // A burst of arrivals: the measured rate projects far more than the
+        // free slots over the window, so the worker lingers.
+        let mut pendings = Vec::new();
+        for i in 0..40 {
+            let (j, p) = job(&format!("q{i}"));
+            governor.submit(j, &stats).unwrap();
+            pendings.push(p);
+        }
+        let batch = governor.next_batch(&stats).unwrap();
+        // All 40 drain at once (< max_batch), and the decision to linger for
+        // more was taken and counted.
+        assert_eq!(batch.len(), 40);
+        assert_eq!(stats.adaptive_wait_count(), 1);
+        assert_eq!(stats.adaptive_skip_count(), 0);
+    }
+
+    #[test]
+    fn fixed_window_governors_never_record_adaptive_decisions() {
+        let (governor, stats) = governor(BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+            ..BatchConfig::default()
+        });
+        let (a, _pa) = job("a");
+        governor.submit(a, &stats).unwrap();
+        let _ = governor.next_batch(&stats).unwrap();
+        assert_eq!(stats.adaptive_wait_count() + stats.adaptive_skip_count(), 0);
     }
 
     #[test]
@@ -441,7 +600,9 @@ mod tests {
         assert_eq!("drop-oldest".parse::<OverloadPolicy>().unwrap(), OverloadPolicy::DropOldest);
         assert!("sideways".parse::<OverloadPolicy>().is_err());
         assert_eq!(OverloadPolicy::DropOldest.to_string(), "drop-oldest");
-        assert!(format!("{:?}", QueueGovernor::new(BatchConfig::default())).contains("depth"));
+        assert!(
+            format!("{:?}", QueueGovernor::<Job>::new(BatchConfig::default())).contains("depth")
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use dsearch_query::{ParseError, Query, SearchBackend, SearchResults};
 
-use crate::batch::{BatchConfig, BatchSearcher, QueueGovernor};
+use crate::batch::{BatchConfig, BatchSearcher, QueueGovernor, QueueJob};
 use crate::cache::{CacheCounters, CacheKey, QueryCache};
 use crate::snapshot::{IndexSnapshot, SnapshotCell};
 use crate::stats::ServerStats;
@@ -59,6 +59,8 @@ pub enum ConfigError {
     NoCacheShards,
     /// `batch.max_batch == 0`: a worker would drain nothing per wakeup.
     EmptyBatch,
+    /// A router was built with no shard backends to scatter to.
+    NoShards,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -67,6 +69,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NoWorkers => f.write_str("workers must be at least 1"),
             ConfigError::NoCacheShards => f.write_str("cache_shards must be at least 1"),
             ConfigError::EmptyBatch => f.write_str("max_batch must be at least 1"),
+            ConfigError::NoShards => f.write_str("at least one shard backend is required"),
         }
     }
 }
@@ -103,6 +106,9 @@ pub enum ServerError {
     Overloaded,
     /// The worker pool is shutting down.
     ShuttingDown,
+    /// Every shard failed for a scatter-gathered query: there is no partial
+    /// result left to serve.
+    AllShardsFailed,
 }
 
 impl std::fmt::Display for ServerError {
@@ -111,6 +117,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Parse(e) => write!(f, "invalid query: {e}"),
             ServerError::Overloaded => f.write_str("server overloaded: request shed"),
             ServerError::ShuttingDown => f.write_str("server is shutting down"),
+            ServerError::AllShardsFailed => f.write_str("all shards failed"),
         }
     }
 }
@@ -340,11 +347,18 @@ pub(crate) struct Job {
     pub(crate) submitted: std::time::Instant,
 }
 
+impl QueueJob for Job {
+    fn shed(self) {
+        // The waiter may have given up; that is not an error.
+        let _ = self.respond.send(Err(ServerError::Overloaded));
+    }
+}
+
 /// A fixed pool of worker threads draining query batches from an
 /// admission-controlled queue.
 pub struct WorkerPool {
     engine: Arc<QueryEngine>,
-    governor: Arc<QueueGovernor>,
+    governor: Arc<QueueGovernor<Job>>,
     handles: Vec<std::thread::JoinHandle<u64>>,
 }
 
@@ -354,14 +368,14 @@ impl WorkerPool {
     #[must_use]
     pub fn start(engine: Arc<QueryEngine>) -> Self {
         let workers = engine.config().workers;
-        let governor = Arc::new(QueueGovernor::new(engine.config().batch));
+        let governor = Arc::new(QueueGovernor::<Job>::new(engine.config().batch));
         let handles = (0..workers)
             .map(|_| {
                 let governor = Arc::clone(&governor);
                 let engine = Arc::clone(&engine);
                 std::thread::spawn(move || {
                     let mut served = 0u64;
-                    while let Some(batch) = governor.next_batch() {
+                    while let Some(batch) = governor.next_batch(engine.stats()) {
                         // Time the batch from its earliest submission, so
                         // queueing delay and the fill window both land in
                         // the recorded latency.

@@ -24,7 +24,11 @@
 //! * [`stats`] — [`ServerStats`]: QPS, p50/p95/p99 latency (shared
 //!   percentile code from `dsearch_core::timing`), error counts;
 //! * [`protocol`] / [`serve`] — the line protocol and the stdin/TCP front
-//!   ends behind `dsearch serve`;
+//!   ends behind `dsearch serve` (generic over a [`serve::LineHandler`]);
+//! * [`route`] — distributed scatter-gather serving behind `dsearch route`:
+//!   the [`route::ShardBackend`] seam ([`route::LocalShards`] in-process,
+//!   [`route::RemoteShard`] over TCP) and the [`route::Router`] that fans
+//!   queries out, merges rankings and tolerates missing shards;
 //! * [`loadgen`] — closed- and open-loop load generation behind
 //!   `dsearch loadgen`.
 //!
@@ -59,16 +63,23 @@ pub mod cache;
 pub mod engine;
 pub mod loadgen;
 pub mod protocol;
+pub mod route;
 pub mod serve;
 pub mod snapshot;
 pub mod stats;
 
-pub use batch::{BatchConfig, BatchSearcher, OverloadPolicy, QueueGovernor};
+pub use batch::{
+    BatchConfig, BatchSearcher, OverloadPolicy, QueueGovernor, QueueJob, DEFAULT_AUTO_WAIT,
+};
 pub use cache::{CacheCounters, CacheKey, QueryCache};
 pub use engine::{
     ConfigError, EngineConfig, PendingResponse, QueryEngine, QueryResponse, ServerError, WorkerPool,
 };
 pub use loadgen::{LoadConfig, LoadMode, LoadReport, Workload};
-pub use serve::{Handled, Service, SessionEnd, TcpServer, TcpServerConfig};
+pub use route::{
+    LocalShards, RemoteShard, RemoteShardConfig, RouteService, RoutedResponse, Router,
+    RouterConfig, RouterPool, ShardBackend, ShardError, ShardReply,
+};
+pub use serve::{Handled, LineHandler, Service, SessionEnd, TcpServer, TcpServerConfig};
 pub use snapshot::{IndexSnapshot, SnapshotCell};
 pub use stats::ServerStats;

@@ -19,7 +19,10 @@
 //! Errors answer `ERR <message>` followed by `END`, so a client can always
 //! resynchronise on `END`.
 
+use dsearch_query::RankedHit;
+
 use crate::engine::{QueryResponse, ServerError};
+use crate::route::RoutedResponse;
 
 /// Terminator line of every response.
 pub const END: &str = "END";
@@ -70,6 +73,40 @@ pub fn render_response(response: &QueryResponse) -> String {
     out
 }
 
+/// Renders a scatter-gathered query response.  The status line carries the
+/// shard health of the answer instead of a single generation:
+/// `shards=<answered>/<total>` and `partial=true` when at least one shard
+/// failed or timed out, so clients can tell a complete answer from a
+/// degraded one.
+#[must_use]
+pub fn render_routed_response(response: &RoutedResponse) -> String {
+    let mut out = format!(
+        "OK {} shards={}/{} partial={} micros={}\n",
+        response.hits.len(),
+        response.shards_ok(),
+        response.shards_total,
+        response.partial(),
+        response.latency.as_micros()
+    );
+    for hit in &response.hits {
+        out.push_str(&format!("{} ({} terms)\n", hit.path, hit.matched_terms));
+    }
+    out.push_str(END);
+    out.push('\n');
+    out
+}
+
+/// Parses one response body line of the `<path> (<n> terms)` form back into
+/// a ranked hit (the client side of [`render_response`]'s body, used by the
+/// router's remote-shard client).  Returns `None` for lines of any other
+/// shape.
+#[must_use]
+pub fn parse_hit_line(line: &str) -> Option<RankedHit> {
+    let rest = line.strip_suffix(" terms)")?;
+    let (path, count) = rest.rsplit_once(" (")?;
+    Some(RankedHit { path: path.to_owned(), matched_terms: count.parse().ok()? })
+}
+
 /// Renders an error response.
 #[must_use]
 pub fn render_error(error: &ServerError) -> String {
@@ -87,6 +124,24 @@ pub fn render_error_text(message: &str) -> String {
 #[must_use]
 pub fn render_info(info: &str) -> String {
     format!("OK {info}\n{END}\n")
+}
+
+/// Renders an informational response with body lines (the router's `!stats`
+/// answer: one aggregate status line, one body line per shard).
+#[must_use]
+pub fn render_info_with_body<I, S>(info: &str, body: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = format!("OK {info}\n");
+    for line in body {
+        out.push_str(line.as_ref());
+        out.push('\n');
+    }
+    out.push_str(END);
+    out.push('\n');
+    out
 }
 
 /// A client-side parse of one protocol response (used by the TCP load
@@ -199,6 +254,48 @@ mod tests {
         assert_eq!(parsed.generation(), Some(5));
         assert_eq!(parsed.cached(), Some(true));
         assert_eq!(parsed.body, vec!["a.txt (2 terms)"]);
+    }
+
+    #[test]
+    fn hit_lines_round_trip_through_the_client_parser() {
+        let hit = parse_hit_line("docs/a (1).txt (2 terms)").unwrap();
+        assert_eq!(hit.path, "docs/a (1).txt");
+        assert_eq!(hit.matched_terms, 2);
+        assert!(parse_hit_line("queries=3 qps=1.0").is_none());
+        assert!(parse_hit_line("x (many terms)").is_none());
+        assert!(parse_hit_line("").is_none());
+    }
+
+    #[test]
+    fn routed_responses_render_shard_health_and_parse_back() {
+        let response = crate::route::RoutedResponse {
+            query: "rust".into(),
+            hits: vec![RankedHit { path: "a.txt".into(), matched_terms: 2 }],
+            shards_total: 2,
+            shard_failures: vec![(
+                "127.0.0.1:7472".into(),
+                crate::route::ShardError::Unavailable("gone".into()),
+            )],
+            latency: Duration::from_micros(88),
+        };
+        let text = render_routed_response(&response);
+        let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
+        let parsed = read_response(&mut lines).unwrap().unwrap();
+        assert!(parsed.ok);
+        assert_eq!(parsed.hit_count(), 1);
+        assert_eq!(parsed.field("shards"), Some("1/2"));
+        assert_eq!(parsed.field("partial"), Some("true"));
+        assert_eq!(parse_hit_line(&parsed.body[0]).unwrap().path, "a.txt");
+    }
+
+    #[test]
+    fn info_with_body_renders_every_line_before_end() {
+        let text = render_info_with_body("router shards=2", ["shard a ok", "shard b DOWN"]);
+        let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
+        let parsed = read_response(&mut lines).unwrap().unwrap();
+        assert!(parsed.ok);
+        assert_eq!(parsed.field("shards"), Some("2"));
+        assert_eq!(parsed.body, vec!["shard a ok", "shard b DOWN"]);
     }
 
     #[test]

@@ -1,0 +1,1295 @@
+//! Distributed scatter-gather serving: the [`ShardBackend`] seam and the
+//! [`Router`] behind `dsearch route`.
+//!
+//! PRs 1–4 built a single-process serving stack: one `IndexSnapshot`, one
+//! worker pool, one line-protocol front end.  This module makes query
+//! execution generic over *where the shards live*:
+//!
+//! * [`ShardBackend`] — anything that can answer a canonical query with
+//!   ranked hits and report a stats line.  Two implementations:
+//!   [`LocalShards`] (today's sealed-snapshot path through a
+//!   [`QueryEngine`], unchanged semantics) and [`RemoteShard`] (a pooled TCP
+//!   client speaking the existing line protocol to a `dsearch serve`
+//!   process — the same bytes a human types at the prompt).
+//! * [`Router`] — fans each query (and each drained batch) out to every
+//!   backend concurrently, merges the per-shard rankings through the k-way
+//!   machinery in [`dsearch_query::merge_ranked`], and degrades gracefully:
+//!   a shard that is down or times out costs its hits, not the response —
+//!   the answer is flagged `partial=true` and the failure is counted as
+//!   `shard_errors=` in `!stats`.  Only when *every* shard fails does the
+//!   client see an error.
+//! * [`RouterPool`] / [`RouteService`] — the same admission-controlled
+//!   batch-draining front end the single-store engine uses (shared
+//!   [`QueueGovernor`]), so `--queue-bound`, `--overload`, `--max-batch` and
+//!   adaptive batching all apply to the coordinator too, and `dsearch
+//!   route` plugs into the stdin/TCP front ends through
+//!   [`LineHandler`](crate::serve::LineHandler).
+//!
+//! Shard-local file ids do not survive the wire (every `dsearch serve`
+//! process numbers its own documents from zero), so cross-shard merging keys
+//! on paths — see [`RankedHit`].
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use dsearch_persist::IndexStore;
+use dsearch_query::{merge_ranked, Query, RankedHit};
+
+use crate::batch::{BatchConfig, QueueGovernor, QueueJob};
+use crate::engine::{ConfigError, QueryEngine, ServerError};
+use crate::protocol::{
+    parse_hit_line, parse_request, read_response, render_error, render_error_text,
+    render_info_with_body, render_routed_response, Request,
+};
+use crate::serve::{Handled, LineHandler};
+use crate::stats::ServerStats;
+
+/// Why a shard could not answer a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The shard could not be reached, timed out, or died mid-exchange.
+    Unavailable(String),
+    /// The shard answered with a protocol-level `ERR` (overloaded, shutting
+    /// down, …).
+    Rejected(String),
+    /// The shard answered bytes that did not parse as a protocol response.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            ShardError::Rejected(msg) => write!(f, "rejected: {msg}"),
+            ShardError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One shard's answer to one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReply {
+    /// Ranked hits, already truncated to the shard's own result limit.
+    pub hits: Vec<RankedHit>,
+    /// The shard-local snapshot generation that answered (shards reload
+    /// independently, so generations are not comparable across shards).
+    pub generation: u64,
+}
+
+/// Where a set of index shards lives and how to query it.
+///
+/// The router treats every backend identically: queries are sent in
+/// canonical form (already parsed and re-rendered, so shards never see
+/// malformed input), answers come back as path-keyed ranked hits.
+pub trait ShardBackend: Send + Sync {
+    /// A stable identifier for error reports and `!stats` (an address for
+    /// remote shards).
+    fn id(&self) -> String;
+
+    /// Answers one canonical query.
+    ///
+    /// # Errors
+    ///
+    /// Reports transport failures as [`ShardError::Unavailable`] and
+    /// shard-side refusals as [`ShardError::Rejected`].
+    fn search(&self, canonical: &str) -> Result<ShardReply, ShardError>;
+
+    /// Answers a batch of canonical queries, one result per input in order.
+    /// The default fans out one call per query; remote shards override this
+    /// to pipeline the whole batch over one connection.
+    fn search_batch(&self, canonicals: &[String]) -> Vec<Result<ShardReply, ShardError>> {
+        canonicals.iter().map(|c| self.search(c)).collect()
+    }
+
+    /// The shard's one-line stats report (the `!stats` status line).
+    ///
+    /// # Errors
+    ///
+    /// Reports transport failures as [`ShardError::Unavailable`].
+    fn stats_line(&self) -> Result<String, ShardError>;
+
+    /// Asks the shard to republish its snapshot from its store.
+    ///
+    /// # Errors
+    ///
+    /// Reports transport failures and shard-side refusals.
+    fn reload(&self) -> Result<String, ShardError>;
+}
+
+/// Today's in-process serving path as a [`ShardBackend`]: a sealed
+/// [`IndexSnapshot`](crate::snapshot::IndexSnapshot) behind a
+/// [`QueryEngine`], searched with unchanged semantics.
+pub struct LocalShards {
+    engine: Arc<QueryEngine>,
+    /// Store directory `reload` re-reads; `None` disables reloads.
+    store_path: Option<PathBuf>,
+    id: String,
+}
+
+impl LocalShards {
+    /// Wraps `engine` as the backend named `"local"`.
+    #[must_use]
+    pub fn new(engine: Arc<QueryEngine>) -> Self {
+        LocalShards { engine, store_path: None, id: "local".to_owned() }
+    }
+
+    /// Sets the backend id (useful when several local backends coexist).
+    #[must_use]
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = id.into();
+        self
+    }
+
+    /// Enables `reload` from `path`.
+    #[must_use]
+    pub fn with_store_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    /// The engine this backend searches.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.engine
+    }
+
+    fn convert(
+        result: Result<crate::engine::QueryResponse, ServerError>,
+    ) -> Result<ShardReply, ShardError> {
+        match result {
+            Ok(response) => {
+                Ok(ShardReply { hits: response.results.ranked(), generation: response.generation })
+            }
+            // The router pre-parses queries, so a parse error here means the
+            // two sides disagree about the grammar: a protocol-level fault.
+            Err(ServerError::Parse(e)) => Err(ShardError::Protocol(e.to_string())),
+            Err(e) => Err(ShardError::Rejected(e.to_string())),
+        }
+    }
+}
+
+impl ShardBackend for LocalShards {
+    fn id(&self) -> String {
+        self.id.clone()
+    }
+
+    fn search(&self, canonical: &str) -> Result<ShardReply, ShardError> {
+        LocalShards::convert(self.engine.execute(canonical))
+    }
+
+    fn search_batch(&self, canonicals: &[String]) -> Vec<Result<ShardReply, ShardError>> {
+        let raws: Vec<&str> = canonicals.iter().map(String::as_str).collect();
+        self.engine.execute_batch(&raws).into_iter().map(LocalShards::convert).collect()
+    }
+
+    fn stats_line(&self) -> Result<String, ShardError> {
+        Ok(self.engine.stats_report())
+    }
+
+    fn reload(&self) -> Result<String, ShardError> {
+        let Some(path) = &self.store_path else {
+            return Err(ShardError::Rejected("reload unavailable: no store path".to_owned()));
+        };
+        let result =
+            IndexStore::open(path).and_then(|store| self.engine.snapshot_cell().reload(&store));
+        match result {
+            Ok(generation) => Ok(format!("reloaded generation={generation}")),
+            Err(e) => Err(ShardError::Rejected(format!("reload failed: {e}"))),
+        }
+    }
+}
+
+impl std::fmt::Debug for LocalShards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalShards").field("id", &self.id).finish()
+    }
+}
+
+/// Connection policy for a [`RemoteShard`] client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteShardConfig {
+    /// How long a connection attempt may take before the shard counts as
+    /// down for this query.
+    pub connect_timeout: Duration,
+    /// Read/write timeout per exchange: a shard that stops answering
+    /// mid-response is treated as down rather than hanging the router.
+    pub io_timeout: Duration,
+    /// Most idle connections kept for reuse (the pool); `0` disables
+    /// pooling (one fresh connection per exchange).
+    pub max_pooled: usize,
+}
+
+impl Default for RemoteShardConfig {
+    fn default() -> Self {
+        RemoteShardConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(2),
+            max_pooled: 2,
+        }
+    }
+}
+
+/// Why one wire exchange failed, and whether the failure is the signature
+/// of a stale pooled connection (safe to retry on a fresh one) rather than
+/// of a shard that may have received the request (never re-send).
+struct ExchangeFailure {
+    error: ShardError,
+    stale_connection: bool,
+}
+
+/// A pooled TCP client for one `dsearch serve` process, speaking the
+/// existing line protocol.
+///
+/// Connections are checked out per exchange and returned on success; a
+/// transport error drops the connection, and the next exchange dials
+/// fresh.  An exchange on a pooled connection that fails before anything
+/// was delivered — the write errored, or the server closed cleanly before
+/// the first response (its idle timeout fired between queries) — retries
+/// once on a fresh connection.  Timeouts never retry: a slow shard would
+/// execute everything twice.
+pub struct RemoteShard {
+    addr: String,
+    config: RemoteShardConfig,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl RemoteShard {
+    /// A client for the shard server at `addr` (`host:port`) with default
+    /// timeouts.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        RemoteShard::with_config(addr, RemoteShardConfig::default())
+    }
+
+    /// A client with explicit connection policy.
+    #[must_use]
+    pub fn with_config(addr: impl Into<String>, config: RemoteShardConfig) -> Self {
+        RemoteShard { addr: addr.into(), config, pool: Mutex::new(Vec::new()) }
+    }
+
+    /// The address this client dials.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&self) -> Result<TcpStream, ShardError> {
+        let addrs = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| ShardError::Unavailable(format!("{}: {e}", self.addr)))?;
+        let mut last: Option<std::io::Error> = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+                    let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ShardError::Unavailable(match last {
+            Some(e) => format!("{}: {e}", self.addr),
+            None => format!("{}: no addresses resolved", self.addr),
+        }))
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.config.max_pooled {
+            pool.push(stream);
+        }
+    }
+
+    /// Sends `lines` down one connection and reads one response per line.
+    fn exchange(
+        &self,
+        lines: &[String],
+    ) -> Result<Vec<crate::protocol::ParsedResponse>, ShardError> {
+        let pooled = self.pool.lock().pop();
+        let had_pooled = pooled.is_some();
+        let stream = match pooled {
+            Some(stream) => stream,
+            None => self.connect()?,
+        };
+        match self.exchange_on(stream, lines) {
+            Ok(responses) => Ok(responses),
+            // A pooled connection may have been closed server-side (idle
+            // timeout, restart): that shows as a write failure or a clean
+            // EOF before any response, and only then is a fresh retry safe.
+            // A *timeout* means a live shard still chewing on the request —
+            // re-sending would double its load exactly when it is slow.
+            Err(failure) if had_pooled && failure.stale_connection => {
+                self.exchange_on(self.connect()?, lines).map_err(|f| f.error)
+            }
+            Err(failure) => Err(failure.error),
+        }
+    }
+
+    fn exchange_on(
+        &self,
+        mut stream: TcpStream,
+        lines: &[String],
+    ) -> Result<Vec<crate::protocol::ParsedResponse>, ExchangeFailure> {
+        let unavailable = |msg: String| ShardError::Unavailable(msg);
+        let mut payload = String::new();
+        for line in lines {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+        stream.write_all(payload.as_bytes()).map_err(|e| ExchangeFailure {
+            error: unavailable(format!("{}: write: {e}", self.addr)),
+            // Nothing was delivered: retrying cannot duplicate work.
+            stale_connection: true,
+        })?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| ExchangeFailure {
+            error: unavailable(format!("{}: {e}", self.addr)),
+            stale_connection: false,
+        })?);
+        let mut line_iter = reader.lines();
+        let mut responses = Vec::with_capacity(lines.len());
+        for _ in lines {
+            match read_response(&mut line_iter) {
+                Some(Ok(response)) => responses.push(response),
+                Some(Err(e)) => {
+                    return Err(ExchangeFailure {
+                        error: unavailable(format!("{}: read: {e}", self.addr)),
+                        // Timeouts and resets mean the shard may be (or have
+                        // been) processing the request: never re-send.
+                        stale_connection: false,
+                    });
+                }
+                None => {
+                    return Err(ExchangeFailure {
+                        error: unavailable(format!(
+                            "{}: connection closed before responding",
+                            self.addr
+                        )),
+                        // A clean close before the *first* response is the
+                        // idle-timeout signature; mid-batch EOF means some
+                        // requests were served and must not run twice.
+                        stale_connection: responses.is_empty(),
+                    });
+                }
+            }
+        }
+        self.checkin(stream);
+        Ok(responses)
+    }
+
+    fn reply_from(
+        &self,
+        response: crate::protocol::ParsedResponse,
+    ) -> Result<ShardReply, ShardError> {
+        if !response.ok {
+            return Err(ShardError::Rejected(response.status));
+        }
+        let mut hits = Vec::with_capacity(response.body.len());
+        for line in &response.body {
+            match parse_hit_line(line) {
+                Some(hit) => hits.push(hit),
+                None => {
+                    return Err(ShardError::Protocol(format!(
+                        "{}: unparseable hit line {line:?}",
+                        self.addr
+                    )))
+                }
+            }
+        }
+        Ok(ShardReply { hits, generation: response.generation().unwrap_or(0) })
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn id(&self) -> String {
+        self.addr.clone()
+    }
+
+    fn search(&self, canonical: &str) -> Result<ShardReply, ShardError> {
+        self.search_batch(std::slice::from_ref(&canonical.to_owned()))
+            .pop()
+            .expect("one query in, one reply out")
+    }
+
+    fn search_batch(&self, canonicals: &[String]) -> Vec<Result<ShardReply, ShardError>> {
+        match self.exchange(canonicals) {
+            Ok(responses) => responses.into_iter().map(|r| self.reply_from(r)).collect(),
+            Err(e) => canonicals.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    fn stats_line(&self) -> Result<String, ShardError> {
+        let response =
+            self.exchange(&["!stats".to_owned()])?.pop().expect("one request in, one response out");
+        if response.ok {
+            Ok(response.status)
+        } else {
+            Err(ShardError::Rejected(response.status))
+        }
+    }
+
+    fn reload(&self) -> Result<String, ShardError> {
+        let response = self
+            .exchange(&["!reload".to_owned()])?
+            .pop()
+            .expect("one request in, one response out");
+        if response.ok {
+            Ok(response.status)
+        } else {
+            Err(ShardError::Rejected(response.status))
+        }
+    }
+}
+
+impl std::fmt::Debug for RemoteShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShard")
+            .field("addr", &self.addr)
+            .field("pooled", &self.pool.lock().len())
+            .finish()
+    }
+}
+
+/// Router construction parameters.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Cap on merged hits kept per response.
+    pub result_limit: usize,
+    /// Router worker threads draining the admission queue.
+    pub workers: usize,
+    /// Batching and admission control for the router's queue (the same
+    /// knobs `dsearch serve` exposes).
+    pub batch: BatchConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { result_limit: 20, workers: 4, batch: BatchConfig::default() }
+    }
+}
+
+impl RouterConfig {
+    /// Checks the configuration for values that would disable routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::NoWorkers);
+        }
+        if self.batch.max_batch == 0 {
+            return Err(ConfigError::EmptyBatch);
+        }
+        Ok(())
+    }
+}
+
+/// One scatter-gathered answer.
+#[derive(Debug, Clone)]
+pub struct RoutedResponse {
+    /// Canonical (parsed-and-rendered) query text.
+    pub query: String,
+    /// Merged ranked hits, truncated to the router's result limit.
+    pub hits: Vec<RankedHit>,
+    /// How many backends were asked.
+    pub shards_total: usize,
+    /// Backends that failed this query, with why.
+    pub shard_failures: Vec<(String, ShardError)>,
+    /// Wall-clock service time (queue wait included for pool-served
+    /// queries, exactly like [`QueryResponse`](crate::engine::QueryResponse)).
+    pub latency: Duration,
+}
+
+impl RoutedResponse {
+    /// Backends that answered.
+    #[must_use]
+    pub fn shards_ok(&self) -> usize {
+        self.shards_total - self.shard_failures.len()
+    }
+
+    /// `true` when at least one backend failed and its hits are missing
+    /// from the answer.
+    #[must_use]
+    pub fn partial(&self) -> bool {
+        !self.shard_failures.is_empty()
+    }
+}
+
+/// One batch handed to a fan-out worker: the canonical queries plus the
+/// channel the per-shard results travel back on, tagged with the backend's
+/// position so the gather can line results up.
+struct FanoutTask {
+    canonicals: Arc<Vec<String>>,
+    respond: mpsc::Sender<(usize, Vec<Result<ShardReply, ShardError>>)>,
+    backend_index: usize,
+}
+
+/// A persistent worker thread owning the calls to one backend.  Spawning a
+/// thread per scatter would cost tens of microseconds per query; a
+/// long-lived worker per backend makes the fan-out a channel send.
+struct FanoutWorker {
+    /// `None` only while dropping (closing the channel ends the thread).
+    tasks: Option<mpsc::Sender<FanoutTask>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FanoutWorker {
+    fn spawn(backend: Arc<dyn ShardBackend>) -> Self {
+        let (tasks, receiver) = mpsc::channel::<FanoutTask>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(task) = receiver.recv() {
+                let replies = backend.search_batch(&task.canonicals);
+                // The router may have given up on this scatter; fine.
+                let _ = task.respond.send((task.backend_index, replies));
+            }
+        });
+        FanoutWorker { tasks: Some(tasks), handle: Some(handle) }
+    }
+
+    /// Queues one scatter; `false` when the worker has died (its backend
+    /// panicked mid-batch).
+    fn send(&self, task: FanoutTask) -> bool {
+        self.tasks.as_ref().is_some_and(|tasks| tasks.send(task).is_ok())
+    }
+}
+
+impl Drop for FanoutWorker {
+    fn drop(&mut self) {
+        // Close the channel first so the thread observes the end of the
+        // stream, then join it.
+        self.tasks.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The scatter-gather coordinator: fans queries out to every
+/// [`ShardBackend`], merges the rankings, and tolerates missing shards.
+pub struct Router {
+    backends: Vec<Arc<dyn ShardBackend>>,
+    /// One persistent fan-out worker per backend (same order).
+    fanout: Vec<FanoutWorker>,
+    config: RouterConfig,
+    stats: ServerStats,
+}
+
+impl Router {
+    /// Builds a router over `backends`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `backends` is empty or the configuration is invalid.
+    pub fn new(
+        backends: Vec<Box<dyn ShardBackend>>,
+        config: RouterConfig,
+    ) -> Result<Arc<Self>, ConfigError> {
+        config.validate()?;
+        if backends.is_empty() {
+            return Err(ConfigError::NoShards);
+        }
+        let backends: Vec<Arc<dyn ShardBackend>> = backends.into_iter().map(Arc::from).collect();
+        let fanout = backends.iter().map(|b| FanoutWorker::spawn(Arc::clone(b))).collect();
+        Ok(Arc::new(Router { backends, fanout, config, stats: ServerStats::new() }))
+    }
+
+    /// The configured backends.
+    #[must_use]
+    pub fn backends(&self) -> &[Arc<dyn ShardBackend>] {
+        &self.backends
+    }
+
+    /// The router's configuration.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The router's own serving counters (`shard_errors=`, `partial=`,
+    /// latency percentiles, …).
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Routes one query (a batch of one).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the query does not parse or every shard failed.
+    pub fn route(&self, raw: &str) -> Result<RoutedResponse, ServerError> {
+        self.route_batch(&[raw]).pop().expect("one query in, one response out")
+    }
+
+    /// Routes a batch of queries: one scatter per backend for the whole
+    /// batch (remote backends pipeline it over one connection), identical
+    /// canonical queries deduplicated exactly like the single-store engine.
+    #[must_use]
+    pub fn route_batch(&self, raws: &[&str]) -> Vec<Result<RoutedResponse, ServerError>> {
+        self.route_batch_since(raws, Instant::now())
+    }
+
+    pub(crate) fn route_batch_since(
+        &self,
+        raws: &[&str],
+        started: Instant,
+    ) -> Vec<Result<RoutedResponse, ServerError>> {
+        let mut slots: Vec<Option<Result<RoutedResponse, ServerError>>> =
+            raws.iter().map(|_| None).collect();
+
+        // Parse once at the router: shards only ever see canonical queries,
+        // and identical spellings collapse to one scatter.
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut executed = 0u64;
+        for (i, raw) in raws.iter().enumerate() {
+            match Query::parse(raw) {
+                Ok(query) => {
+                    groups.entry(query.to_string()).or_default().push(i);
+                    executed += 1;
+                }
+                Err(e) => {
+                    self.stats.record_error();
+                    slots[i] = Some(Err(ServerError::Parse(e)));
+                }
+            }
+        }
+        let canonicals: Vec<String> = groups.keys().cloned().collect();
+        if !canonicals.is_empty() {
+            let mut per_backend = self.scatter(&canonicals);
+            // Walk the groups back-to-front so each backend's reply for the
+            // current query can be popped (moved, not cloned) off its vec.
+            for (canonical, positions) in groups.iter().rev() {
+                let mut parts: Vec<Vec<RankedHit>> = Vec::with_capacity(self.backends.len());
+                let mut failures: Vec<(String, ShardError)> = Vec::new();
+                for (backend, replies) in self.backends.iter().zip(&mut per_backend) {
+                    match replies.pop().expect("one reply per canonical per backend") {
+                        Ok(reply) => parts.push(reply.hits),
+                        Err(e) => failures.push((backend.id(), e)),
+                    }
+                }
+                self.stats.record_shard_errors(failures.len() as u64);
+                self.stats.record_dedup_hits((positions.len() - 1) as u64);
+                let result = if failures.len() == self.backends.len() {
+                    self.stats.record_error();
+                    Err(ServerError::AllShardsFailed)
+                } else {
+                    Ok(RoutedResponse {
+                        query: canonical.clone(),
+                        hits: merge_ranked(parts, self.config.result_limit),
+                        shards_total: self.backends.len(),
+                        shard_failures: failures,
+                        latency: Duration::ZERO,
+                    })
+                };
+                for &i in positions {
+                    slots[i] = Some(result.clone());
+                }
+            }
+        }
+        self.stats.record_batch(executed);
+        let latency = started.elapsed();
+        slots
+            .into_iter()
+            .map(|slot| {
+                let mut result = slot.expect("every position answered");
+                if let Ok(response) = &mut result {
+                    response.latency = latency;
+                    self.stats.record_query(latency);
+                    if response.partial() {
+                        self.stats.record_partial_response();
+                    }
+                }
+                result
+            })
+            .collect()
+    }
+
+    /// One `search_batch` per backend, concurrently: the scatter.  Each
+    /// backend's persistent fan-out worker receives the batch over a
+    /// channel; a worker that died (its backend panicked) counts as
+    /// unavailable for the whole batch.
+    fn scatter(&self, canonicals: &[String]) -> Vec<Vec<Result<ShardReply, ShardError>>> {
+        if self.backends.len() == 1 {
+            return vec![self.backends[0].search_batch(canonicals)];
+        }
+        let canonicals = Arc::new(canonicals.to_vec());
+        let (respond, gathered) = mpsc::channel();
+        let mut pending = 0usize;
+        let mut replies: Vec<Option<Vec<Result<ShardReply, ShardError>>>> =
+            self.backends.iter().map(|_| None).collect();
+        for (backend_index, worker) in self.fanout.iter().enumerate() {
+            let task = FanoutTask {
+                canonicals: Arc::clone(&canonicals),
+                respond: respond.clone(),
+                backend_index,
+            };
+            if worker.send(task) {
+                pending += 1;
+            }
+        }
+        drop(respond);
+        for _ in 0..pending {
+            let Ok((backend_index, reply)) = gathered.recv() else { break };
+            replies[backend_index] = Some(reply);
+        }
+        replies
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    canonicals
+                        .iter()
+                        .map(|_| Err(ShardError::Unavailable("shard worker died".to_owned())))
+                        .collect()
+                })
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("backends", &self.backends.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A queued routed query plus its answer channel.
+pub(crate) struct RouteJob {
+    raw: String,
+    respond: mpsc::Sender<Result<RoutedResponse, ServerError>>,
+    submitted: Instant,
+}
+
+impl QueueJob for RouteJob {
+    fn shed(self) {
+        // The waiter may have given up; that is not an error.
+        let _ = self.respond.send(Err(ServerError::Overloaded));
+    }
+}
+
+/// A submitted routed query waiting for its worker.
+pub struct PendingRoutedResponse {
+    receiver: mpsc::Receiver<Result<RoutedResponse, ServerError>>,
+}
+
+impl PendingRoutedResponse {
+    /// Blocks until the worker answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker's error; reports `ShuttingDown` when the pool
+    /// died before answering.
+    pub fn wait(self) -> Result<RoutedResponse, ServerError> {
+        self.receiver.recv().unwrap_or(Err(ServerError::ShuttingDown))
+    }
+}
+
+/// A fixed pool of router workers draining query batches from the same
+/// admission-controlled [`QueueGovernor`] the single-store engine uses:
+/// queries arriving on many connections coalesce into batches, and each
+/// batch costs one scatter per backend instead of one per query.
+pub struct RouterPool {
+    router: Arc<Router>,
+    governor: Arc<QueueGovernor<RouteJob>>,
+    handles: Vec<std::thread::JoinHandle<u64>>,
+}
+
+impl RouterPool {
+    /// Spawns `router.config().workers` workers behind a governor
+    /// configured from `router.config().batch`.
+    #[must_use]
+    pub fn start(router: Arc<Router>) -> Self {
+        let workers = router.config().workers;
+        let governor = Arc::new(QueueGovernor::<RouteJob>::new(router.config().batch));
+        let handles = (0..workers)
+            .map(|_| {
+                let governor = Arc::clone(&governor);
+                let router = Arc::clone(&router);
+                std::thread::spawn(move || {
+                    let mut served = 0u64;
+                    while let Some(batch) = governor.next_batch(router.stats()) {
+                        let started = batch
+                            .iter()
+                            .map(|job| job.submitted)
+                            .min()
+                            .expect("batches are never empty");
+                        let raws: Vec<&str> = batch.iter().map(|job| job.raw.as_str()).collect();
+                        let responses = router.route_batch_since(&raws, started);
+                        for (job, response) in batch.iter().zip(responses) {
+                            // A client that gave up is not an error.
+                            let _ = job.respond.send(response);
+                            served += 1;
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+        RouterPool { router, governor, handles }
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.governor.depth()
+    }
+
+    /// Enqueues a query; the result is collected through the returned
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ServerError::Overloaded`] when admission control rejects
+    /// the request, and [`ServerError::ShuttingDown`] when the pool is
+    /// stopping.
+    pub fn submit(&self, raw: impl Into<String>) -> Result<PendingRoutedResponse, ServerError> {
+        let (respond, receiver) = mpsc::channel();
+        let job = RouteJob { raw: raw.into(), respond, submitted: Instant::now() };
+        self.governor.submit(job, self.router.stats())?;
+        Ok(PendingRoutedResponse { receiver })
+    }
+
+    /// Submits and waits: the closed-loop client path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submit and routing errors.
+    pub fn execute(&self, raw: &str) -> Result<RoutedResponse, ServerError> {
+        self.submit(raw)?.wait()
+    }
+
+    /// Drains the queue and joins every worker, returning the total number
+    /// of jobs served.
+    pub fn shutdown(mut self) -> u64 {
+        self.governor.close();
+        self.handles.drain(..).map(|h| h.join().unwrap_or(0)).sum()
+    }
+}
+
+impl Drop for RouterPool {
+    fn drop(&mut self) {
+        self.governor.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The stats-line fields summed across shards into the router's `!stats`
+/// report.
+const AGGREGATED_FIELDS: &[&str] = &["queries", "errors", "shed", "batched", "dedup_hits"];
+
+/// The routed counterpart of [`Service`](crate::serve::Service): answers the
+/// line protocol by scatter-gathering over the router's backends, so
+/// `dsearch route` plugs into the same stdin/TCP front ends as
+/// `dsearch serve`.
+pub struct RouteService {
+    router: Arc<Router>,
+    pool: RouterPool,
+    requests: AtomicU64,
+}
+
+impl RouteService {
+    /// Starts the router pool for `router`.
+    #[must_use]
+    pub fn start(router: Arc<Router>) -> Self {
+        let pool = RouterPool::start(Arc::clone(&router));
+        RouteService { router, pool, requests: AtomicU64::new(0) }
+    }
+
+    /// The router this service fronts.
+    #[must_use]
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// The router pool this service executes queries on.
+    #[must_use]
+    pub fn pool(&self) -> &RouterPool {
+        &self.pool
+    }
+
+    /// Total request lines handled (all connections).
+    #[must_use]
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// One control-plane call per backend, concurrently: a down shard costs
+    /// the report one connect timeout, not one per shard in sequence.
+    fn fanout_control(
+        &self,
+        call: impl Fn(&dyn ShardBackend) -> Result<String, ShardError> + Sync,
+    ) -> Vec<(String, Result<String, ShardError>)> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .router
+                .backends()
+                .iter()
+                .map(|backend| {
+                    let call = &call;
+                    scope.spawn(move || (backend.id(), call(&**backend)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|_| {
+                        (
+                            "unknown".to_owned(),
+                            Err(ShardError::Unavailable("shard backend panicked".to_owned())),
+                        )
+                    })
+                })
+                .collect()
+        })
+    }
+
+    /// The rendered `!stats` answer: the router's own counters on the
+    /// status line (including `shard_errors=` and `partial=`), per-shard
+    /// stats aggregated into `shards_*=` sums, and one body line per shard
+    /// (`shard <id> <stats>` or `shard <id> DOWN <why>`).
+    #[must_use]
+    pub fn stats_report(&self) -> String {
+        let stats = self.router.stats();
+        let mut sums: BTreeMap<&str, u64> = AGGREGATED_FIELDS.iter().map(|f| (*f, 0)).collect();
+        let mut down = 0usize;
+        let mut body = Vec::with_capacity(self.router.backends().len());
+        for (id, result) in self.fanout_control(|backend| backend.stats_line()) {
+            match result {
+                Ok(line) => {
+                    for token in line.split_whitespace() {
+                        let Some((name, value)) = token.split_once('=') else { continue };
+                        if let (Some(sum), Ok(value)) = (sums.get_mut(name), value.parse::<u64>()) {
+                            *sum += value;
+                        }
+                    }
+                    body.push(format!("shard {id} {line}"));
+                }
+                Err(e) => {
+                    down += 1;
+                    body.push(format!("shard {id} DOWN {e}"));
+                }
+            }
+        }
+        let aggregated: Vec<String> = AGGREGATED_FIELDS
+            .iter()
+            .map(|field| format!("shards_{field}={}", sums[*field]))
+            .collect();
+        let status = format!(
+            "router queries={} errors={} shed={} dedup_hits={} shard_errors={} partial={} \
+             qps={:.1} shards={} shards_down={down} {} latency[{}]",
+            stats.query_count(),
+            stats.error_count(),
+            stats.shed_count(),
+            stats.dedup_hit_count(),
+            stats.shard_error_count(),
+            stats.partial_response_count(),
+            stats.qps(),
+            self.router.backends().len(),
+            aggregated.join(" "),
+            stats.latency_summary(),
+        );
+        render_info_with_body(&status, body)
+    }
+
+    fn reload_report(&self) -> String {
+        let mut body = Vec::with_capacity(self.router.backends().len());
+        let mut failed = 0usize;
+        for (id, result) in self.fanout_control(|backend| backend.reload()) {
+            match result {
+                Ok(line) => body.push(format!("shard {id} {line}")),
+                Err(e) => {
+                    failed += 1;
+                    body.push(format!("shard {id} FAILED {e}"));
+                }
+            }
+        }
+        let total = self.router.backends().len();
+        if failed == total {
+            return render_error_text("reload failed on every shard");
+        }
+        render_info_with_body(&format!("reloaded shards={}/{total}", total - failed), body)
+    }
+
+    /// Shuts the pool down, returning how many queries the workers served.
+    pub fn shutdown(self) -> u64 {
+        self.pool.shutdown()
+    }
+}
+
+impl LineHandler for RouteService {
+    fn handle(&self, line: &str) -> Handled {
+        match parse_request(line) {
+            Request::Empty => Handled::Ignore,
+            Request::Quit => Handled::Close,
+            Request::Stats => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(self.stats_report())
+            }
+            Request::Reload => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(self.reload_report())
+            }
+            Request::Query(raw) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                match self.pool.execute(&raw) {
+                    Ok(response) => Handled::Respond(render_routed_response(&response)),
+                    Err(e) => Handled::Respond(render_error(&e)),
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &ServerStats {
+        self.router.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::snapshot::IndexSnapshot;
+    use dsearch_index::{DocTable, InMemoryIndex};
+    use dsearch_text::Term;
+
+    fn engine_over(files: &[(&str, &[&str])]) -> Arc<QueryEngine> {
+        let mut docs = DocTable::new();
+        let mut index = InMemoryIndex::new();
+        for (path, words) in files {
+            let id = docs.insert(*path);
+            index.insert_file(id, words.iter().map(|w| Term::from(*w)));
+        }
+        QueryEngine::new(
+            IndexSnapshot::from_index(index, docs, 1),
+            EngineConfig { workers: 1, ..EngineConfig::default() },
+        )
+        .unwrap()
+    }
+
+    fn local(files: &[(&str, &[&str])], id: &str) -> Box<dyn ShardBackend> {
+        Box::new(LocalShards::new(engine_over(files)).with_id(id))
+    }
+
+    /// A backend that always fails, for degradation tests.
+    struct DeadShard;
+
+    impl ShardBackend for DeadShard {
+        fn id(&self) -> String {
+            "dead".to_owned()
+        }
+
+        fn search(&self, _canonical: &str) -> Result<ShardReply, ShardError> {
+            Err(ShardError::Unavailable("always down".to_owned()))
+        }
+
+        fn stats_line(&self) -> Result<String, ShardError> {
+            Err(ShardError::Unavailable("always down".to_owned()))
+        }
+
+        fn reload(&self) -> Result<String, ShardError> {
+            Err(ShardError::Unavailable("always down".to_owned()))
+        }
+    }
+
+    fn two_shard_router() -> Arc<Router> {
+        Router::new(
+            vec![
+                local(&[("a.txt", &["rust", "index"]), ("b.txt", &["rust"])], "shard-0"),
+                local(&[("c.txt", &["rust", "search"]), ("d.txt", &["java"])], "shard-1"),
+            ],
+            RouterConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn router_requires_backends_and_valid_config() {
+        assert_eq!(
+            Router::new(vec![], RouterConfig::default()).unwrap_err(),
+            ConfigError::NoShards
+        );
+        let config = RouterConfig { workers: 0, ..RouterConfig::default() };
+        assert_eq!(
+            Router::new(vec![Box::new(DeadShard)], config).unwrap_err(),
+            ConfigError::NoWorkers
+        );
+        let config = RouterConfig {
+            batch: BatchConfig { max_batch: 0, ..BatchConfig::default() },
+            ..RouterConfig::default()
+        };
+        assert_eq!(
+            Router::new(vec![Box::new(DeadShard)], config).unwrap_err(),
+            ConfigError::EmptyBatch
+        );
+    }
+
+    #[test]
+    fn router_merges_hits_across_shards() {
+        let router = two_shard_router();
+        let response = router.route("rust").unwrap();
+        assert_eq!(response.query, "rust");
+        assert_eq!(response.shards_total, 2);
+        assert!(!response.partial());
+        let paths: Vec<&str> = response.hits.iter().map(|h| h.path.as_str()).collect();
+        assert_eq!(paths, vec!["a.txt", "b.txt", "c.txt"]);
+        assert_eq!(router.stats().query_count(), 1);
+        assert_eq!(router.stats().shard_error_count(), 0);
+    }
+
+    #[test]
+    fn router_canonicalizes_and_dedups_spellings() {
+        let router = two_shard_router();
+        let responses = router.route_batch(&["RUST  index", "rust AND index", "rust search"]);
+        let first = responses[0].as_ref().unwrap();
+        assert_eq!(first.query, "rust AND index");
+        assert_eq!(first.hits.len(), 1);
+        assert_eq!(first.hits[0].path, "a.txt");
+        assert_eq!(first.hits[0].matched_terms, 2);
+        let second = responses[1].as_ref().unwrap();
+        assert_eq!(second.hits, first.hits);
+        let third = responses[2].as_ref().unwrap();
+        assert_eq!(third.hits[0].path, "c.txt");
+        assert_eq!(router.stats().dedup_hit_count(), 1);
+    }
+
+    #[test]
+    fn router_reports_parse_errors_without_touching_shards() {
+        let engine = engine_over(&[("a.txt", &["rust"])]);
+        let router = Router::new(
+            vec![Box::new(LocalShards::new(Arc::clone(&engine)))],
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let err = router.route("AND").unwrap_err();
+        assert!(matches!(err, ServerError::Parse(_)));
+        assert_eq!(router.stats().error_count(), 1);
+        // The malformed query never reached the shard.
+        assert_eq!(engine.stats().query_count(), 0);
+        assert_eq!(engine.stats().error_count(), 0);
+    }
+
+    #[test]
+    fn router_degrades_to_partial_results_when_a_shard_is_down() {
+        let router = Router::new(
+            vec![local(&[("a.txt", &["rust"])], "alive"), Box::new(DeadShard)],
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let response = router.route("rust").unwrap();
+        assert!(response.partial());
+        assert_eq!(response.shards_ok(), 1);
+        assert_eq!(response.shard_failures.len(), 1);
+        assert_eq!(response.shard_failures[0].0, "dead");
+        assert_eq!(response.hits.len(), 1);
+        assert_eq!(router.stats().shard_error_count(), 1);
+        assert_eq!(router.stats().partial_response_count(), 1);
+    }
+
+    #[test]
+    fn router_fails_the_query_only_when_every_shard_is_down() {
+        let router =
+            Router::new(vec![Box::new(DeadShard), Box::new(DeadShard)], RouterConfig::default())
+                .unwrap();
+        let err = router.route("rust").unwrap_err();
+        assert_eq!(err, ServerError::AllShardsFailed);
+        assert!(err.to_string().contains("all shards"));
+        assert_eq!(router.stats().shard_error_count(), 2);
+        assert_eq!(router.stats().error_count(), 1);
+        assert_eq!(router.stats().query_count(), 0);
+    }
+
+    #[test]
+    fn router_result_limit_truncates_merged_hits() {
+        let router = Router::new(
+            vec![
+                local(&[("a.txt", &["rust"]), ("b.txt", &["rust"])], "shard-0"),
+                local(&[("c.txt", &["rust"]), ("d.txt", &["rust"])], "shard-1"),
+            ],
+            RouterConfig { result_limit: 3, ..RouterConfig::default() },
+        )
+        .unwrap();
+        let response = router.route("rust").unwrap();
+        assert_eq!(response.hits.len(), 3);
+    }
+
+    #[test]
+    fn route_service_speaks_the_line_protocol() {
+        use std::io::Cursor;
+
+        let service = RouteService::start(two_shard_router());
+        let input = "rust\n\n!stats\nAND\n!quit\n";
+        let mut output = Vec::new();
+        let end = service.serve_lines(Cursor::new(input), &mut output).unwrap();
+        assert_eq!(end, crate::serve::SessionEnd::Quit);
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("OK 3 shards=2/2 partial=false"), "{text}");
+        assert!(text.contains("a.txt (1 terms)"), "{text}");
+        assert!(text.contains("shard_errors=0"), "{text}");
+        assert!(text.contains("shard shard-0 queries="), "{text}");
+        // One routed query fanned out to both shards: the aggregate sums 2.
+        assert!(text.contains("shards_queries=2"), "{text}");
+        assert!(text.contains("ERR invalid query"), "{text}");
+        assert_eq!(service.request_count(), 3);
+        assert_eq!(service.shutdown(), 2);
+    }
+
+    #[test]
+    fn route_service_stats_marks_down_shards() {
+        let router = Router::new(
+            vec![local(&[("a.txt", &["rust"])], "alive"), Box::new(DeadShard)],
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let service = RouteService::start(router);
+        let Handled::Respond(response) = service.handle("!stats") else {
+            panic!("stats should respond");
+        };
+        assert!(response.contains("shards=2 shards_down=1"), "{response}");
+        assert!(response.contains("shard dead DOWN"), "{response}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn route_service_reload_forwards_to_backends() {
+        let service = RouteService::start(two_shard_router());
+        let Handled::Respond(response) = service.handle("!reload") else {
+            panic!("reload should respond");
+        };
+        // LocalShards without a store path refuse the reload.
+        assert!(response.starts_with("ERR reload failed on every shard"), "{response}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn remote_shard_reports_unreachable_addresses_as_unavailable() {
+        // A port nothing listens on: connect fails fast.
+        let shard = RemoteShard::with_config(
+            "127.0.0.1:1",
+            RemoteShardConfig {
+                connect_timeout: Duration::from_millis(200),
+                ..RemoteShardConfig::default()
+            },
+        );
+        assert_eq!(shard.addr(), "127.0.0.1:1");
+        let err = shard.search("rust").unwrap_err();
+        assert!(matches!(err, ShardError::Unavailable(_)), "{err}");
+        let err = shard.stats_line().unwrap_err();
+        assert!(matches!(err, ShardError::Unavailable(_)), "{err}");
+        assert!(format!("{shard:?}").contains("pooled"));
+    }
+}

@@ -1,8 +1,12 @@
 //! Serving front ends: a line loop for stdin/tests and a TCP listener.
 //!
-//! Both front ends funnel every query through the same [`WorkerPool`], so a
-//! single `Service` can serve stdin and many TCP connections at once while
-//! the pool bounds the actual query concurrency.
+//! The front ends are generic over a [`LineHandler`]: anything that can
+//! answer protocol lines and expose serving stats.  [`Service`] (a single
+//! store behind a [`WorkerPool`]) and
+//! [`RouteService`](crate::route::RouteService) (the scatter-gather
+//! coordinator over many shards) both serve stdin and TCP through the same
+//! code, so every front-end feature — idle timeouts, connection caps,
+//! connection accounting — applies to single-store and routed serving alike.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -18,6 +22,39 @@ use crate::engine::{QueryEngine, WorkerPool};
 use crate::protocol::{
     parse_request, render_error, render_error_text, render_info, render_response, Request,
 };
+use crate::stats::ServerStats;
+
+/// Anything that answers protocol lines: the seam between the stdin/TCP
+/// front ends and whatever executes queries behind them.
+pub trait LineHandler: Send + Sync + 'static {
+    /// Handles one protocol line.
+    fn handle(&self, line: &str) -> Handled;
+
+    /// The serving counters the front ends record connection events in (and
+    /// `!stats` reports from).
+    fn stats(&self) -> &ServerStats;
+
+    /// Serves one line-oriented connection (stdin, a socket, a test buffer)
+    /// until EOF or `!quit`, reporting which of the two ended it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures on the output side.
+    fn serve_lines<R: BufRead, W: Write>(&self, input: R, mut output: W) -> io::Result<SessionEnd> {
+        for line in input.lines() {
+            let line = line?;
+            match self.handle(&line) {
+                Handled::Respond(response) => {
+                    output.write_all(response.as_bytes())?;
+                    output.flush()?;
+                }
+                Handled::Ignore => {}
+                Handled::Close => return Ok(SessionEnd::Quit),
+            }
+        }
+        Ok(SessionEnd::Eof)
+    }
+}
 
 /// A running service: engine + worker pool + optional reload source.
 pub struct Service {
@@ -91,9 +128,28 @@ impl Service {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Handles one protocol line.
-    #[must_use]
-    pub fn handle(&self, line: &str) -> Handled {
+    fn reload(&self) -> String {
+        let Some(path) = &self.store_path else {
+            return render_error_text(
+                "reload unavailable: service was started without a store path",
+            );
+        };
+        let result =
+            IndexStore::open(path).and_then(|store| self.engine.snapshot_cell().reload(&store));
+        match result {
+            Ok(generation) => render_info(&format!("reloaded generation={generation}")),
+            Err(e) => render_error_text(&format!("reload failed: {e}")),
+        }
+    }
+
+    /// Shuts the pool down, returning how many queries the workers served.
+    pub fn shutdown(self) -> u64 {
+        self.pool.shutdown()
+    }
+}
+
+impl LineHandler for Service {
+    fn handle(&self, line: &str) -> Handled {
         match parse_request(line) {
             Request::Empty => Handled::Ignore,
             Request::Quit => Handled::Close,
@@ -115,48 +171,8 @@ impl Service {
         }
     }
 
-    fn reload(&self) -> String {
-        let Some(path) = &self.store_path else {
-            return render_error_text(
-                "reload unavailable: service was started without a store path",
-            );
-        };
-        let result =
-            IndexStore::open(path).and_then(|store| self.engine.snapshot_cell().reload(&store));
-        match result {
-            Ok(generation) => render_info(&format!("reloaded generation={generation}")),
-            Err(e) => render_error_text(&format!("reload failed: {e}")),
-        }
-    }
-
-    /// Serves one line-oriented connection (stdin, a socket, a test buffer)
-    /// until EOF or `!quit`, reporting which of the two ended it.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O failures on the output side.
-    pub fn serve_lines<R: BufRead, W: Write>(
-        &self,
-        input: R,
-        mut output: W,
-    ) -> io::Result<SessionEnd> {
-        for line in input.lines() {
-            let line = line?;
-            match self.handle(&line) {
-                Handled::Respond(response) => {
-                    output.write_all(response.as_bytes())?;
-                    output.flush()?;
-                }
-                Handled::Ignore => {}
-                Handled::Close => return Ok(SessionEnd::Quit),
-            }
-        }
-        Ok(SessionEnd::Eof)
-    }
-
-    /// Shuts the pool down, returning how many queries the workers served.
-    pub fn shutdown(self) -> u64 {
-        self.pool.shutdown()
+    fn stats(&self) -> &ServerStats {
+        self.engine.stats()
     }
 }
 
@@ -175,7 +191,7 @@ impl TcpServer {
     /// # Errors
     ///
     /// Fails when the address cannot be bound.
-    pub fn bind(service: Arc<Service>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+    pub fn bind<S: LineHandler>(service: Arc<S>, addr: impl ToSocketAddrs) -> io::Result<Self> {
         TcpServer::bind_with(service, addr, TcpServerConfig::default())
     }
 
@@ -189,8 +205,8 @@ impl TcpServer {
     /// # Errors
     ///
     /// Fails when the address cannot be bound.
-    pub fn bind_with(
-        service: Arc<Service>,
+    pub fn bind_with<S: LineHandler>(
+        service: Arc<S>,
         addr: impl ToSocketAddrs,
         config: TcpServerConfig,
     ) -> io::Result<Self> {
@@ -208,7 +224,7 @@ impl TcpServer {
                 }
                 match stream {
                     Ok(mut stream) => {
-                        let stats = service.engine().stats();
+                        let stats = service.stats();
                         if config.max_conns > 0
                             && stats.active_conn_count() >= config.max_conns as u64
                         {
@@ -226,8 +242,8 @@ impl TcpServer {
                         let socket = stream.try_clone().ok();
                         let service = Arc::clone(&service);
                         let handle = std::thread::spawn(move || {
-                            let end = serve_connection(&service, stream, config.idle_timeout);
-                            let stats = service.engine().stats();
+                            let end = serve_connection(&*service, stream, config.idle_timeout);
+                            let stats = service.stats();
                             if matches!(end, Ok(SessionEnd::IdleTimeout)) {
                                 stats.record_idle_disconnect();
                             }
@@ -299,8 +315,8 @@ impl Drop for TcpServer {
     }
 }
 
-fn serve_connection(
-    service: &Service,
+fn serve_connection<S: LineHandler>(
+    service: &S,
     stream: TcpStream,
     idle_timeout: Option<std::time::Duration>,
 ) -> io::Result<SessionEnd> {

@@ -29,6 +29,14 @@ pub struct ServerStats {
     batched: AtomicU64,
     /// Queries answered by an identical query in the same batch.
     dedup_hits: AtomicU64,
+    /// Adaptive-batching decisions to linger for the fill window.
+    adaptive_waits: AtomicU64,
+    /// Adaptive-batching decisions to skip the fill window.
+    adaptive_skips: AtomicU64,
+    /// Per-query per-shard failures observed by the scatter-gather router.
+    shard_errors: AtomicU64,
+    /// Routed responses served with at least one shard missing.
+    partial_responses: AtomicU64,
     /// TCP connections currently open (gauge).
     conns_active: AtomicU64,
     /// TCP connections refused at accept time by the connection cap.
@@ -55,6 +63,10 @@ impl Default for ServerStats {
             batches: AtomicU64::new(0),
             batched: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
+            adaptive_waits: AtomicU64::new(0),
+            adaptive_skips: AtomicU64::new(0),
+            shard_errors: AtomicU64::new(0),
+            partial_responses: AtomicU64::new(0),
             conns_active: AtomicU64::new(0),
             conns_rejected: AtomicU64::new(0),
             idle_disconnects: AtomicU64::new(0),
@@ -109,6 +121,28 @@ impl ServerStats {
         }
     }
 
+    /// Records one adaptive-batching decision: `waited` says whether the
+    /// worker lingered for the fill window or drained immediately.
+    pub fn record_adaptive_decision(&self, waited: bool) {
+        if waited {
+            self.adaptive_waits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.adaptive_skips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `count` per-query shard failures seen by the router.
+    pub fn record_shard_errors(&self, count: u64) {
+        if count > 0 {
+            self.shard_errors.fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one routed response served with at least one shard missing.
+    pub fn record_partial_response(&self) {
+        self.partial_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of queries answered so far.
     #[must_use]
     pub fn query_count(&self) -> u64 {
@@ -143,6 +177,30 @@ impl ServerStats {
     #[must_use]
     pub fn dedup_hit_count(&self) -> u64 {
         self.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Adaptive-batching decisions to wait for the fill window so far.
+    #[must_use]
+    pub fn adaptive_wait_count(&self) -> u64 {
+        self.adaptive_waits.load(Ordering::Relaxed)
+    }
+
+    /// Adaptive-batching decisions to skip the fill window so far.
+    #[must_use]
+    pub fn adaptive_skip_count(&self) -> u64 {
+        self.adaptive_skips.load(Ordering::Relaxed)
+    }
+
+    /// Per-query shard failures observed by the router so far.
+    #[must_use]
+    pub fn shard_error_count(&self) -> u64 {
+        self.shard_errors.load(Ordering::Relaxed)
+    }
+
+    /// Routed responses served with at least one shard missing so far.
+    #[must_use]
+    pub fn partial_response_count(&self) -> u64 {
+        self.partial_responses.load(Ordering::Relaxed)
     }
 
     /// Records a TCP connection opening.
@@ -215,7 +273,8 @@ impl ServerStats {
     pub fn render(&self, cache: CacheCounters, generation: u64) -> String {
         let latency = self.latency_summary();
         format!(
-            "queries={} errors={} shed={} batched={} dedup_hits={} qps={:.1} generation={} \
+            "queries={} errors={} shed={} batched={} dedup_hits={} adaptive_waits={} \
+             adaptive_skips={} shard_errors={} partial={} qps={:.1} generation={} \
              cache_hit_rate={:.3} cache_hits={} cache_misses={} cache_evictions={} \
              conns={} conns_rejected={} idle_closed={} latency[{latency}]",
             self.query_count(),
@@ -223,6 +282,10 @@ impl ServerStats {
             self.shed_count(),
             self.batched_count(),
             self.dedup_hit_count(),
+            self.adaptive_wait_count(),
+            self.adaptive_skip_count(),
+            self.shard_error_count(),
+            self.partial_response_count(),
             self.qps(),
             generation,
             cache.hit_rate(),
@@ -278,6 +341,26 @@ mod tests {
         assert!(report.contains("shed=2"), "{report}");
         assert!(report.contains("batched=7"), "{report}");
         assert!(report.contains("dedup_hits=5"), "{report}");
+    }
+
+    #[test]
+    fn adaptive_and_router_counters_accumulate_and_render() {
+        let stats = ServerStats::new();
+        stats.record_adaptive_decision(true);
+        stats.record_adaptive_decision(false);
+        stats.record_adaptive_decision(false);
+        stats.record_shard_errors(0);
+        stats.record_shard_errors(2);
+        stats.record_partial_response();
+        assert_eq!(stats.adaptive_wait_count(), 1);
+        assert_eq!(stats.adaptive_skip_count(), 2);
+        assert_eq!(stats.shard_error_count(), 2);
+        assert_eq!(stats.partial_response_count(), 1);
+        let report = stats.render(CacheCounters::default(), 1);
+        assert!(report.contains("adaptive_waits=1"), "{report}");
+        assert!(report.contains("adaptive_skips=2"), "{report}");
+        assert!(report.contains("shard_errors=2"), "{report}");
+        assert!(report.contains("partial=1"), "{report}");
     }
 
     #[test]

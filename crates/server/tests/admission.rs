@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use dsearch_index::{DocTable, InMemoryIndex};
 use dsearch_server::protocol::read_response;
+use dsearch_server::LineHandler;
 use dsearch_server::{
     loadgen, BatchConfig, EngineConfig, Handled, IndexSnapshot, LoadConfig, LoadMode,
     OverloadPolicy, QueryEngine, Service, Workload,

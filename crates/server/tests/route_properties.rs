@@ -1,0 +1,105 @@
+//! Property: scatter-gather routing is invisible to clients.  For any
+//! document set partitioned into any number of shards — each shard a fully
+//! independent engine with its *own* doc table (so shard-local file ids
+//! collide across shards, exactly like separate `dsearch serve` processes) —
+//! merging the per-shard results through the [`Router`] equals searching one
+//! combined [`IndexSnapshot`] over the union corpus.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dsearch_index::{DocTable, InMemoryIndex};
+use dsearch_query::Query;
+use dsearch_server::{
+    EngineConfig, IndexSnapshot, LocalShards, QueryEngine, Router, RouterConfig, ShardBackend,
+};
+use dsearch_text::Term;
+
+/// A small vocabulary so generated documents overlap on terms (otherwise
+/// every query would match at most one document and merges would be
+/// trivial).
+const VOCAB: &[&str] = &["rust", "index", "search", "parallel", "java", "shard", "inverted"];
+
+fn term_subset(mask: u8) -> Vec<Term> {
+    VOCAB
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, w)| Term::from(*w))
+        .collect()
+}
+
+fn engine_over(files: &[(String, Vec<Term>)]) -> Arc<QueryEngine> {
+    let mut docs = DocTable::new();
+    let mut index = InMemoryIndex::new();
+    for (path, terms) in files {
+        let id = docs.insert(path.clone());
+        index.insert_file(id, terms.iter().cloned());
+    }
+    QueryEngine::new(
+        IndexSnapshot::from_index(index, docs, 1),
+        // Per-shard truncation must not hide hits from the comparison.
+        EngineConfig { workers: 1, result_limit: 1000, ..EngineConfig::default() },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any partition of any corpus, routed, equals the unified snapshot.
+    #[test]
+    fn routed_search_equals_combined_snapshot(
+        masks in proptest::collection::vec(1u8..128, 1..24),
+        shards in 1usize..4,
+        query_index in 0usize..8,
+    ) {
+        // Paths ascend with insertion order in the combined snapshot, so its
+        // file-id tie order equals the router's path tie order.
+        let corpus: Vec<(String, Vec<Term>)> = masks
+            .iter()
+            .enumerate()
+            .map(|(i, &mask)| (format!("doc{i:03}.txt"), term_subset(mask)))
+            .collect();
+
+        // Shard i holds every document with index ≡ i (mod shards); each
+        // shard numbers its documents from zero, like a real process would.
+        let backends: Vec<Box<dyn ShardBackend>> = (0..shards)
+            .map(|s| {
+                let slice: Vec<(String, Vec<Term>)> = corpus
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % shards == s)
+                    .map(|(_, doc)| doc.clone())
+                    .collect();
+                Box::new(LocalShards::new(engine_over(&slice)).with_id(format!("shard-{s}")))
+                    as Box<dyn ShardBackend>
+            })
+            .collect();
+        let router = Router::new(
+            backends,
+            RouterConfig { result_limit: 1000, ..RouterConfig::default() },
+        )
+        .unwrap();
+
+        let combined = engine_over(&corpus);
+        let snapshot = combined.snapshot_cell().load();
+
+        let queries = [
+            "rust",
+            "rust index",
+            "search OR java",
+            "par*",
+            "rust NOT java",
+            "inver* shard OR index",
+            "java search parallel",
+            "s* r*",
+        ];
+        let raw = queries[query_index];
+        let routed = router.route(raw).unwrap();
+        prop_assert!(!routed.partial(), "local shards never fail");
+        let expected = snapshot.search(&Query::parse(raw).unwrap()).ranked();
+        prop_assert_eq!(routed.hits, expected, "query {:?} over {} shard(s)", raw, shards);
+    }
+}
