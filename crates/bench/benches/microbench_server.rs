@@ -80,6 +80,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
                     &LoadConfig {
                         requests: REQUESTS_PER_ITER,
                         mode: LoadMode::Closed { clients: workers.max(2) },
+                        stage_report: false,
                     },
                 );
                 assert_eq!(report.errors, 0);
@@ -100,6 +101,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
                     &LoadConfig {
                         requests: REQUESTS_PER_ITER,
                         mode: LoadMode::Closed { clients: workers.max(2) },
+                        stage_report: false,
                     },
                 );
                 assert_eq!(report.errors, 0);
@@ -126,7 +128,11 @@ fn bench_cache_effect(c: &mut Criterion) {
             loadgen::run(
                 &warm_pool,
                 &warm,
-                &LoadConfig { requests: REQUESTS_PER_ITER, mode: LoadMode::Closed { clients: 4 } },
+                &LoadConfig {
+                    requests: REQUESTS_PER_ITER,
+                    mode: LoadMode::Closed { clients: 4 },
+                    stage_report: false,
+                },
             )
             .qps
         });
@@ -139,7 +145,11 @@ fn bench_cache_effect(c: &mut Criterion) {
             loadgen::run(
                 &cold_pool,
                 &warm,
-                &LoadConfig { requests: REQUESTS_PER_ITER, mode: LoadMode::Closed { clients: 4 } },
+                &LoadConfig {
+                    requests: REQUESTS_PER_ITER,
+                    mode: LoadMode::Closed { clients: 4 },
+                    stage_report: false,
+                },
             )
             .qps
         });
@@ -196,7 +206,11 @@ fn bench_batching(c: &mut Criterion) {
         let report = loadgen::run(
             &pool,
             &shared_term_workload(),
-            &LoadConfig { requests: 8192, mode: LoadMode::Closed { clients: 8 } },
+            &LoadConfig {
+                requests: 8192,
+                mode: LoadMode::Closed { clients: 8 },
+                stage_report: false,
+            },
         );
         let stats = engine.stats();
         println!(
@@ -225,6 +239,7 @@ fn bench_batching(c: &mut Criterion) {
                     &LoadConfig {
                         requests: REQUESTS_PER_ITER,
                         mode: LoadMode::Closed { clients: 8 },
+                        stage_report: false,
                     },
                 );
                 assert_eq!(report.errors, 0);

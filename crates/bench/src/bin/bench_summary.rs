@@ -2,10 +2,12 @@
 //!
 //! Re-runs the key `posting_ops`/`query_eval` measurements with plain
 //! `Instant` timing (median of N runs) and emits them, together with the
-//! compressed-index size metrics and a router scatter-gather group (direct
-//! engine vs routed over 1 and 2 local shards), as one JSON object —
-//! `BENCH_PR5.json` by default — so the perf trajectory of the serving
-//! stack is diffable PR-over-PR without scraping bench output.
+//! compressed-index size metrics, a router scatter-gather group (direct
+//! engine vs routed over 1 and 2 local shards) and the traced router stage
+//! breakdown (scatter vs shard round trip vs merge medians, harvested from
+//! the responses' own query traces), as one JSON object — `BENCH_PR6.json`
+//! by default — so the perf trajectory of the serving stack is diffable
+//! PR-over-PR without scraping bench output.
 //!
 //! ```text
 //! bench_summary [--quick] [--out PATH]
@@ -23,6 +25,7 @@ use dsearch::index::{
     intersect_cursors_into, union_cursors_into, union_into, CompressedPostings, DocTable, FileId,
     InMemoryIndex, PostingList, PostingView, PostingsCursor, SealedShard,
 };
+use dsearch::obs::Stage;
 use dsearch::query::{Query, SearchBackend, SingleIndexSearcher};
 use dsearch::server::{
     EngineConfig, IndexSnapshot, LocalShards, QueryEngine, Router, RouterConfig, ShardBackend,
@@ -115,7 +118,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR5.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_owned());
     let samples = if quick { 5 } else { 25 };
 
     let mut fields: Vec<(String, Value)> = Vec::new();
@@ -227,6 +230,37 @@ fn main() {
         record(&format!("route_{name}_1shard_ns"), Value::UInt(one_ns));
         record(&format!("route_{name}_2shard_ns"), Value::UInt(two_ns));
     }
+
+    // ---- Router: traced stage breakdown over 2 shards --------------------
+    // Where a routed query's wall time goes, from the responses' own query
+    // traces (`@id`-prefixed, so the traced path is exercised): the scatter
+    // (fan-out plus shard execution), the critical-path shard round trip
+    // inside it, and the k-way ranked merge.
+    let mut scatter_ns: Vec<u64> = Vec::new();
+    let mut shard_rtt_ns: Vec<u64> = Vec::new();
+    let mut merge_ns: Vec<u64> = Vec::new();
+    for _ in 0..samples.max(3) {
+        let response = router_two.route("@1 mid042 even common").expect("traced query serves");
+        for span in response.trace.spans() {
+            let ns = u64::try_from(span.dur.as_nanos()).unwrap_or(u64::MAX);
+            match span.stage {
+                Stage::Scatter => scatter_ns.push(ns),
+                Stage::Merge => merge_ns.push(ns),
+                _ => {}
+            }
+        }
+        if let Some(worst) = response.trace.shards().iter().map(|shard| shard.rtt).max() {
+            shard_rtt_ns.push(u64::try_from(worst.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+    let median_of = |mut ns: Vec<u64>| -> u64 {
+        assert!(!ns.is_empty(), "traced responses carry the stage");
+        ns.sort_unstable();
+        ns[ns.len() / 2]
+    };
+    record("route_stage_scatter_2shard_ns", Value::UInt(median_of(scatter_ns)));
+    record("route_stage_shard_rtt_2shard_ns", Value::UInt(median_of(shard_rtt_ns)));
+    record("route_stage_merge_2shard_ns", Value::UInt(median_of(merge_ns)));
 
     let json = serde_json::to_string_pretty(&Value::Object(fields)).expect("summary serialises");
     std::fs::write(&out_path, format!("{json}\n")).expect("summary written");

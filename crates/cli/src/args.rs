@@ -45,6 +45,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "shard",
     "shard-timeout-ms",
     "connect-timeout-ms",
+    "trace-us",
 ];
 
 /// Parsed command-line arguments.

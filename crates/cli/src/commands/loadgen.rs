@@ -8,7 +8,8 @@
 //! combined with `--queue-bound`/`--overload` this is how load shedding is
 //! observed (the report's `shed` column and the server's `shed=` counter).
 //! `--max-batch`/`--batch-wait-us` control how aggressively workers batch
-//! the backlog.
+//! the backlog.  `--stage-report` adds per-stage latency percentiles from
+//! the servers' query traces: where the wall time of a query actually went.
 
 use std::sync::Arc;
 
@@ -46,7 +47,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     drop(snapshot);
 
     let pool = WorkerPool::start(Arc::clone(&engine));
-    let report = loadgen::run(&pool, &workload, &LoadConfig { requests, mode });
+    let stage_report = args.flag("stage-report");
+    let report = loadgen::run(&pool, &workload, &LoadConfig { requests, mode, stage_report });
     pool.shutdown();
 
     let mode_text = match mode {

@@ -90,7 +90,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let banner = format!(
         "routing over {} shard(s): {} ({} workers, limit {})\n\
          batching: max_batch={} max_wait={wait} queue_bound={} overload={}\n\
-         protocol: one query per line; !stats aggregates shards, !reload fans out, !quit\n",
+         protocol: one query per line (prefix @<hex-id> to trace); !stats aggregates shards, \
+         !metrics, !trace <us>, !slow, !reload fans out, !quit\n",
         shard_list.len(),
         shard_list.join(", "),
         router.config().workers,
@@ -103,6 +104,12 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         batch.overload,
     );
     let service = Arc::new(RouteService::start(router));
+    // `--trace-us <n>` arms the router's slow-query log from the start; slow
+    // entries carry the per-shard stage breakdown of the routed query.
+    if let Some(us) = args.number_of::<u64>("trace-us")? {
+        service.router().stats().slow_log().arm(Duration::from_micros(us));
+        eprintln!("slow-query log armed at {us}us (!slow to dump)");
+    }
 
     let tcp_server = match args.value_of("tcp") {
         Some(addr) => {

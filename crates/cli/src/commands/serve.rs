@@ -120,7 +120,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "serving {} document(s), {} shard(s), generation {} \
          ({} workers, cache {} entries / {} shards)\n\
          batching: max_batch={} max_wait={:?} queue_bound={queue_bound} overload={}\n\
-         protocol: one query per line; !stats, !reload, !quit\n",
+         protocol: one query per line (prefix @<hex-id> to trace); \
+         !stats, !metrics, !trace <us>, !slow, !reload, !quit\n",
         engine.snapshot_cell().load().doc_count(),
         engine.snapshot_cell().load().shard_count(),
         engine.snapshot_cell().generation(),
@@ -132,6 +133,12 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         batch.overload,
     );
     let service = Arc::new(Service::start(engine, Some(store_path)));
+    // `--trace-us <n>` arms the slow-query log from the start (equivalent to
+    // a client sending `!trace <n>`).
+    if let Some(us) = args.number_of::<u64>("trace-us")? {
+        service.engine().stats().slow_log().arm(std::time::Duration::from_micros(us));
+        eprintln!("slow-query log armed at {us}us (!slow to dump)");
+    }
 
     let tcp_server = match args.value_of("tcp") {
         Some(addr) => {

@@ -72,8 +72,12 @@ COMMANDS:
     serve --store <path> [--tcp ADDR] [--workers N] [--cache N]
           [--cache-shards N] [--limit N] [--max-batch N]
           [--batch-wait-us N|auto] [--queue-bound N] [--overload reject|drop]
+          [--trace-us N]
         Run the query service: line protocol on stdin (and ADDR when --tcp is
-        given).  One query per line; !stats reports metrics, !reload republishes
+        given).  One query per line (prefix @<hex-id> for a traced response
+        with its stage breakdown); !stats reports counters, !metrics the full
+        Prometheus-style exposition, !trace <µs>|on|off arms the slow-query
+        log (--trace-us arms it at boot), !slow dumps it, !reload republishes
         the store as a new snapshot generation, !quit disconnects.  With --tcp,
         closing stdin leaves the TCP listener serving (daemon mode); !quit on
         stdin stops everything.  Workers drain up to --max-batch queued queries
@@ -84,20 +88,25 @@ COMMANDS:
     route --shard HOST:PORT [--shard HOST:PORT …] [--tcp ADDR] [--limit N]
           [--workers N] [--max-batch N] [--batch-wait-us N|auto]
           [--queue-bound N] [--overload reject|drop]
-          [--shard-timeout-ms N] [--connect-timeout-ms N]
+          [--shard-timeout-ms N] [--connect-timeout-ms N] [--trace-us N]
         Run the scatter-gather coordinator over one or more `dsearch serve`
         shard servers.  Every query fans out to all shards concurrently over
         the line protocol and the per-shard rankings are merged; a shard that
         is down or times out degrades the answer to partial=true instead of
         failing it (shard_errors= in !stats).  !stats aggregates the shards'
-        metrics; !reload fans out to every shard.
+        metrics; !reload fans out to every shard.  Traced responses (@<hex-id>
+        prefix, or !trace / --trace-us for the slow-query log) carry one
+        `# shard <addr> rtt= stages=` line per shard; !metrics exposes the
+        per-shard round-trip histograms.
 
     loadgen --store <path> [--requests N] [--queries N] [--seed N]
             [--mode closed|open] [--clients N] [--rate QPS] [--workers N]
             [--max-batch N] [--batch-wait-us N] [--queue-bound N]
-            [--overload reject|drop]
+            [--overload reject|drop] [--stage-report]
         Replay a query workload derived from the indexed terms and report QPS,
-        p50/p95/p99 latency and shed/batched/dedup counts.
+        p50/p95/p99/p99.9 latency and shed/batched/dedup counts; with
+        --stage-report, also per-stage latency percentiles from the servers'
+        query traces.
 
     corpus <dir> [--scale F] [--seed N]
         Materialise a synthetic benchmark corpus with the paper's shape.

@@ -12,6 +12,7 @@
 //! | [`index`] | `dsearch-index` | inverted index: shared/locked, replicated, joined, sharded |
 //! | [`core`] | `dsearch-core` | the three-stage parallel index generator and its three implementations |
 //! | [`query`] | `dsearch-query` | boolean search over single or replicated indices |
+//! | [`obs`] | `dsearch-obs` | observability: metrics registry, query tracing, slow-query log |
 //! | [`server`] | `dsearch-server` | concurrent query serving: snapshots, worker pool, cache, load generator |
 //! | [`sim`] | `dsearch-sim` | calibrated models of the paper's 4-, 8- and 32-core platforms |
 //! | [`autotune`] | `dsearch-autotune` | configuration auto-tuner (exhaustive, hill-climbing, random) |
@@ -85,6 +86,12 @@ pub mod query {
     pub use dsearch_query::*;
 }
 
+/// Observability: the process-wide metrics registry behind `!metrics`,
+/// per-query stage traces, and the slow-query log behind `!trace`/`!slow`.
+pub mod obs {
+    pub use dsearch_obs::*;
+}
+
 /// Concurrent query serving: snapshots with atomic reload, the worker-pool
 /// query engine, the sharded result cache and the load generator.
 pub mod server {
@@ -114,6 +121,7 @@ mod tests {
         let _ = crate::persist::FileSignature::from_bytes(b"smoke");
         let _ = crate::core::Configuration::new(1, 0, 0);
         let _ = crate::query::Query::parse("smoke").unwrap();
+        let _ = crate::obs::Stage::Parse.as_str();
         let _ = crate::server::EngineConfig::default();
         let _ = crate::sim::PlatformModel::four_core();
         let _ = crate::autotune::ConfigSpace::for_cores(4);

@@ -1,0 +1,150 @@
+//! The slow-query log behind `!trace` / `!slow`.
+//!
+//! A [`SlowLog`] holds a threshold and a bounded ring of rendered trace
+//! reports.  Checking whether a finished query is slow costs one relaxed
+//! atomic load — the mutex-guarded ring is only touched for queries that
+//! actually exceed the threshold (and for `!slow` dumps).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default ring capacity: the last 32 slow queries.
+pub const DEFAULT_SLOW_CAPACITY: usize = 32;
+
+/// Sentinel meaning "tracing disarmed".
+const OFF: u64 = u64::MAX;
+
+/// A threshold-armed ring buffer of slow-query reports.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_ns: AtomicU64,
+    entries: Mutex<VecDeque<String>>,
+    capacity: usize,
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        SlowLog::new(DEFAULT_SLOW_CAPACITY)
+    }
+}
+
+impl SlowLog {
+    /// Creates a disarmed log keeping the last `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SlowLog {
+            threshold_ns: AtomicU64::new(OFF),
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Arms the log: queries taking at least `threshold` get recorded.
+    /// `Duration::ZERO` records every query (`!trace on`).
+    pub fn arm(&self, threshold: Duration) {
+        let ns = u64::try_from(threshold.as_nanos()).unwrap_or(OFF - 1).min(OFF - 1);
+        self.threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Disarms the log (`!trace off`).  Existing entries are kept.
+    pub fn disarm(&self) {
+        self.threshold_ns.store(OFF, Ordering::Relaxed);
+    }
+
+    /// The current threshold, or `None` when disarmed.
+    #[must_use]
+    pub fn threshold(&self) -> Option<Duration> {
+        match self.threshold_ns.load(Ordering::Relaxed) {
+            OFF => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Whether a query of this total duration should be logged.  This is the
+    /// hot-path check: one atomic load, no lock.
+    #[must_use]
+    pub fn should_log(&self, total: Duration) -> bool {
+        let threshold = self.threshold_ns.load(Ordering::Relaxed);
+        threshold != OFF && u64::try_from(total.as_nanos()).unwrap_or(u64::MAX) >= threshold
+    }
+
+    /// Logs a pre-rendered report line, evicting the oldest entry when full.
+    pub fn push(&self, entry: String) {
+        let mut entries = self.entries.lock().expect("slow log poisoned");
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// Renders and logs a report only if `total` exceeds the threshold; the
+    /// render closure runs only on the slow path.
+    pub fn observe(&self, total: Duration, render: impl FnOnce() -> String) {
+        if self.should_log(total) {
+            self.push(render());
+        }
+    }
+
+    /// Copies out the retained entries, oldest first (`!slow`).
+    #[must_use]
+    pub fn dump(&self) -> Vec<String> {
+        self.entries.lock().expect("slow log poisoned").iter().cloned().collect()
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slow log poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_log_records_nothing() {
+        let log = SlowLog::new(4);
+        assert_eq!(log.threshold(), None);
+        assert!(!log.should_log(Duration::from_secs(100)));
+        log.observe(Duration::from_secs(100), || unreachable!("render on cold path"));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn armed_log_applies_the_threshold() {
+        let log = SlowLog::new(4);
+        log.arm(Duration::from_micros(100));
+        assert_eq!(log.threshold(), Some(Duration::from_micros(100)));
+        assert!(!log.should_log(Duration::from_micros(99)));
+        assert!(log.should_log(Duration::from_micros(100)));
+        log.observe(Duration::from_micros(50), || unreachable!("below threshold"));
+        log.observe(Duration::from_micros(150), || "slow one".to_string());
+        assert_eq!(log.dump(), vec!["slow one"]);
+        // Zero threshold records everything (`!trace on`).
+        log.arm(Duration::ZERO);
+        assert!(log.should_log(Duration::ZERO));
+        // Disarming keeps the history for later `!slow` inspection.
+        log.disarm();
+        assert!(!log.should_log(Duration::from_secs(1)));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let log = SlowLog::new(3);
+        log.arm(Duration::ZERO);
+        for i in 0..5 {
+            log.push(format!("q{i}"));
+        }
+        assert_eq!(log.dump(), vec!["q2", "q3", "q4"]);
+    }
+}

@@ -124,6 +124,21 @@ pub trait QueueJob: Send {
     fn shed(self);
 }
 
+/// One drained batch plus the timing facts a worker needs to attribute
+/// latency: when the drain happened (each job's `queue_wait` is the span
+/// from its submission to this instant) and how long the worker then
+/// lingered for late arrivals (the batch's shared `batch_fill` span).
+#[derive(Debug)]
+pub struct DrainedBatch<J> {
+    /// The drained jobs, oldest first.
+    pub jobs: Vec<J>,
+    /// When the worker drained the queue.
+    pub drained_at: Instant,
+    /// How long the worker lingered for the batch to fill (zero unless a
+    /// fill window was armed and taken).
+    pub fill_wait: Duration,
+}
+
 struct GovernorState<J> {
     queue: VecDeque<J>,
     closed: bool,
@@ -224,7 +239,7 @@ impl<J: QueueJob> QueueGovernor<J> {
     ///
     /// Returns `None` only when the governor is closed *and* drained, so
     /// shutdown never discards admitted work.
-    pub(crate) fn next_batch(&self, stats: &ServerStats) -> Option<Vec<J>> {
+    pub(crate) fn next_batch(&self, stats: &ServerStats) -> Option<DrainedBatch<J>> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if !state.queue.is_empty() {
@@ -249,6 +264,7 @@ impl<J: QueueJob> QueueGovernor<J> {
             linger = expected >= needed as f64;
             stats.record_adaptive_decision(linger);
         }
+        let mut fill_wait = Duration::ZERO;
         if linger {
             let deadline = drained + self.config.max_wait;
             while batch.len() < self.config.max_batch && !state.closed {
@@ -262,8 +278,9 @@ impl<J: QueueJob> QueueGovernor<J> {
                     break;
                 }
             }
+            fill_wait = drained.elapsed();
         }
-        Some(batch)
+        Some(DrainedBatch { jobs: batch, drained_at: drained, fill_wait })
     }
 
     /// Closes the governor: subsequent submissions fail, workers drain what
@@ -318,6 +335,7 @@ pub struct BatchSearcher<'a> {
     prefixes: RefCell<HashMap<String, Postings<'a>>>,
     memo_hits: Cell<u64>,
     memo_misses: Cell<u64>,
+    lookup_time: Cell<Duration>,
 }
 
 impl<'a> BatchSearcher<'a> {
@@ -330,6 +348,7 @@ impl<'a> BatchSearcher<'a> {
             prefixes: RefCell::new(HashMap::new()),
             memo_hits: Cell::new(0),
             memo_misses: Cell::new(0),
+            lookup_time: Cell::new(Duration::ZERO),
         }
     }
 
@@ -344,6 +363,13 @@ impl<'a> BatchSearcher<'a> {
     pub fn memo_misses(&self) -> u64 {
         self.memo_misses.get()
     }
+
+    /// Wall time spent resolving posting lists (the batch's `postings` trace
+    /// stage; whatever remains of evaluation time is intersect/merge work).
+    #[must_use]
+    pub fn lookup_time(&self) -> Duration {
+        self.lookup_time.get()
+    }
 }
 
 impl<'a> SearchBackend for BatchSearcher<'a> {
@@ -353,9 +379,11 @@ impl<'a> SearchBackend for BatchSearcher<'a> {
             return postings.clone();
         }
         self.memo_misses.set(self.memo_misses.get() + 1);
+        let started = Instant::now();
         // `into_shared` turns a merged (owned) list into an `Arc` so every
         // later memo hit shares it; borrowed lookups stay plain borrows.
         let postings: Postings<'a> = self.snapshot.term_postings(term).into_shared();
+        self.lookup_time.set(self.lookup_time.get() + started.elapsed());
         self.terms.borrow_mut().insert(term.clone(), postings.clone());
         postings
     }
@@ -366,7 +394,9 @@ impl<'a> SearchBackend for BatchSearcher<'a> {
             return postings.clone();
         }
         self.memo_misses.set(self.memo_misses.get() + 1);
+        let started = Instant::now();
         let postings: Postings<'a> = self.snapshot.prefix_postings(prefix).into_shared();
+        self.lookup_time.set(self.lookup_time.get() + started.elapsed());
         self.prefixes.borrow_mut().insert(prefix.to_owned(), postings.clone());
         postings
     }
@@ -449,7 +479,7 @@ mod tests {
         assert_eq!(pa.wait().unwrap_err(), ServerError::Overloaded);
         // The surviving queue is b, c.
         let batch = governor.next_batch(&stats).unwrap();
-        let raws: Vec<&str> = batch.iter().map(|j| j.raw.as_str()).collect();
+        let raws: Vec<&str> = batch.jobs.iter().map(|j| j.raw.as_str()).collect();
         assert_eq!(raws, ["b", "c"]);
     }
 
@@ -462,8 +492,12 @@ mod tests {
             governor.submit(j, &stats).unwrap();
             pendings.push(p);
         }
-        assert_eq!(governor.next_batch(&stats).unwrap().len(), 3);
-        assert_eq!(governor.next_batch(&stats).unwrap().len(), 2);
+        let first = governor.next_batch(&stats).unwrap();
+        assert_eq!(first.jobs.len(), 3);
+        // No fill window armed: the drain reports no batch-fill linger.
+        assert_eq!(first.fill_wait, Duration::ZERO);
+        assert!(first.drained_at.elapsed() < Duration::from_secs(5));
+        assert_eq!(governor.next_batch(&stats).unwrap().jobs.len(), 2);
         governor.close();
         assert!(governor.next_batch(&stats).is_none());
     }
@@ -477,7 +511,7 @@ mod tests {
         let (b, _pb) = job("b");
         assert_eq!(governor.submit(b, &stats).unwrap_err(), ServerError::ShuttingDown);
         // Admitted work survives the close.
-        assert_eq!(governor.next_batch(&stats).unwrap().len(), 1);
+        assert_eq!(governor.next_batch(&stats).unwrap().jobs.len(), 1);
         assert!(governor.next_batch(&stats).is_none());
     }
 
@@ -503,7 +537,8 @@ mod tests {
                 governor.submit(b, &stats).unwrap();
             });
             let batch = governor.next_batch(&stats).unwrap();
-            assert_eq!(batch.len(), 2, "late arrival joined the waiting batch");
+            assert_eq!(batch.jobs.len(), 2, "late arrival joined the waiting batch");
+            assert!(batch.fill_wait > Duration::ZERO, "linger time was recorded");
             submitter.join().unwrap();
         });
     }
@@ -522,7 +557,7 @@ mod tests {
         governor.submit(a, &stats).unwrap();
         let started = Instant::now();
         let batch = governor.next_batch(&stats).unwrap();
-        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.jobs.len(), 1);
         assert!(
             started.elapsed() < Duration::from_millis(200),
             "idle adaptive drain waited {:?}",
@@ -548,7 +583,7 @@ mod tests {
         }
         let started = Instant::now();
         let batch = governor.next_batch(&stats).unwrap();
-        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.jobs.len(), 2);
         assert!(
             started.elapsed() < Duration::from_millis(200),
             "a lone pair bought a linger: {:?}",
@@ -576,7 +611,7 @@ mod tests {
         let batch = governor.next_batch(&stats).unwrap();
         // All 40 drain at once (< max_batch), and the decision to linger for
         // more was taken and counted.
-        assert_eq!(batch.len(), 40);
+        assert_eq!(batch.jobs.len(), 40);
         assert_eq!(stats.adaptive_wait_count(), 1);
         assert_eq!(stats.adaptive_skip_count(), 0);
     }

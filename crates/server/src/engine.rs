@@ -13,12 +13,14 @@
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use dsearch_obs::{QueryTrace, Stage};
 use dsearch_query::{ParseError, Query, SearchBackend, SearchResults};
 
 use crate::batch::{BatchConfig, BatchSearcher, QueueGovernor, QueueJob};
 use crate::cache::{CacheCounters, CacheKey, QueryCache};
+use crate::protocol::split_trace_id;
 use crate::snapshot::{IndexSnapshot, SnapshotCell};
 use crate::stats::ServerStats;
 
@@ -143,6 +145,11 @@ pub struct QueryResponse {
     /// query's share of the evaluation work.  Direct
     /// [`QueryEngine::execute`] calls time only the engine itself.
     pub latency: Duration,
+    /// The query's stage timing record.  Spans are shared by the whole batch
+    /// (one parse/snapshot/eval pass serves every query in it); the id is
+    /// per query when the request carried a `@<hex>` trace-id prefix and
+    /// zero otherwise.
+    pub trace: Arc<QueryTrace>,
 }
 
 /// The shared serving state.
@@ -241,18 +248,53 @@ impl QueryEngine {
     pub(crate) fn execute_batch_since(
         &self,
         raws: &[&str],
-        started: std::time::Instant,
+        started: Instant,
     ) -> Vec<Result<QueryResponse, ServerError>> {
-        let mut slots: Vec<Option<Result<QueryResponse, ServerError>>> =
+        self.execute_batch_timed(raws, started, Duration::ZERO)
+    }
+
+    /// The full serving path with queue timing attached: `started` is when
+    /// the batch's oldest job was submitted, `fill_wait` how long the worker
+    /// lingered for the batch to fill.  Everything between submission and
+    /// execution that is not the fill window — queueing plus the dispatch
+    /// hop to this worker — is attributed to the `queue_wait` stage, so the
+    /// recorded stages tile the measured latency without holes.
+    pub(crate) fn execute_batch_timed(
+        &self,
+        raws: &[&str],
+        started: Instant,
+        fill_wait: Duration,
+    ) -> Vec<Result<QueryResponse, ServerError>> {
+        struct Answered {
+            query: String,
+            results: Arc<SearchResults>,
+            cached: bool,
+        }
+        let exec_started = Instant::now();
+        let queue_wait = exec_started.saturating_duration_since(started).saturating_sub(fill_wait);
+        let mut trace = QueryTrace::default();
+        if !queue_wait.is_zero() {
+            trace.record(Stage::QueueWait, queue_wait);
+        }
+        if !fill_wait.is_zero() {
+            trace.record(Stage::BatchFill, fill_wait);
+        }
+
+        let mut slots: Vec<Option<Result<Answered, ServerError>>> =
             raws.iter().map(|_| None).collect();
         let mut parsed: Vec<Option<Query>> = raws.iter().map(|_| None).collect();
+        let mut trace_ids: Vec<u64> = Vec::with_capacity(raws.len());
 
         // Group positions by canonical query text: "RUST  search" and
-        // "rust AND search" are one evaluation.
+        // "rust AND search" are one evaluation.  A `@<hex>` prefix is the
+        // router's trace id: it rides along per slot, outside the canonical
+        // grouping.
         let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut executed = 0u64;
         for (i, raw) in raws.iter().enumerate() {
-            match Query::parse(raw) {
+            let (trace_id, query_text) = split_trace_id(raw);
+            trace_ids.push(trace_id);
+            match Query::parse(query_text) {
                 Ok(query) => {
                     groups.entry(query.to_string()).or_default().push(i);
                     parsed[i] = Some(query);
@@ -264,12 +306,16 @@ impl QueryEngine {
                 }
             }
         }
+        let parse_done = Instant::now();
+        trace.record(Stage::Parse, parse_done.saturating_duration_since(exec_started));
 
         // One snapshot load for the whole batch: every query in it shares a
         // generation, and a concurrent publish cannot tear the image.
         let snapshot = self.snapshot.load();
         let generation = snapshot.generation();
         let searcher = BatchSearcher::new(&snapshot);
+        let snapshot_done = Instant::now();
+        trace.record(Stage::SnapshotLoad, snapshot_done.saturating_duration_since(parse_done));
 
         for (canonical, positions) in groups {
             let key = CacheKey { query: canonical.clone(), generation };
@@ -286,29 +332,51 @@ impl QueryEngine {
             };
             self.stats.record_dedup_hits((positions.len() - 1) as u64);
             for &i in &positions {
-                slots[i] = Some(Ok(QueryResponse {
+                slots[i] = Some(Ok(Answered {
                     query: canonical.clone(),
                     results: Arc::clone(&results),
-                    generation,
                     cached,
-                    latency: Duration::ZERO,
                 }));
             }
         }
+        // Evaluation splits into posting-list resolution (timed inside the
+        // searcher) and everything else: intersect/union/rank plus cache
+        // probes.
+        let eval = snapshot_done.elapsed();
+        let lookups = searcher.lookup_time();
+        trace.record(Stage::Postings, lookups);
+        trace.record(Stage::IntersectMerge, eval.saturating_sub(lookups));
 
         // Only queries that actually executed count toward the batching
-        // stats; parse-error slots never shared any work.
+        // stats; parse-error slots never shared any work.  The trace is
+        // recorded once per batch: its spans describe the shared pass.
         self.stats.record_batch(executed);
+        self.stats.record_trace(&trace);
         let latency = started.elapsed();
+        let shared_trace = Arc::new(trace);
         slots
             .into_iter()
-            .map(|slot| {
-                let mut result = slot.expect("every position answered");
-                if let Ok(response) = &mut result {
-                    response.latency = latency;
+            .zip(trace_ids)
+            .map(|(slot, trace_id)| match slot.expect("every position answered") {
+                Ok(answered) => {
                     self.stats.record_query(latency);
+                    let trace = if trace_id == 0 {
+                        Arc::clone(&shared_trace)
+                    } else {
+                        let mut own = (*shared_trace).clone();
+                        own.set_id(trace_id);
+                        Arc::new(own)
+                    };
+                    Ok(QueryResponse {
+                        query: answered.query,
+                        results: answered.results,
+                        generation,
+                        cached: answered.cached,
+                        latency,
+                        trace,
+                    })
                 }
-                result
+                Err(e) => Err(e),
             })
             .collect()
     }
@@ -378,15 +446,18 @@ impl WorkerPool {
                     while let Some(batch) = governor.next_batch(engine.stats()) {
                         // Time the batch from its earliest submission, so
                         // queueing delay and the fill window both land in
-                        // the recorded latency.
+                        // the recorded latency (and in the trace, as the
+                        // queue_wait and batch_fill stages).
                         let started = batch
+                            .jobs
                             .iter()
                             .map(|job| job.submitted)
                             .min()
                             .expect("batches are never empty");
-                        let raws: Vec<&str> = batch.iter().map(|job| job.raw.as_str()).collect();
-                        let responses = engine.execute_batch_since(&raws, started);
-                        for (job, response) in batch.iter().zip(responses) {
+                        let raws: Vec<&str> =
+                            batch.jobs.iter().map(|job| job.raw.as_str()).collect();
+                        let responses = engine.execute_batch_timed(&raws, started, batch.fill_wait);
+                        for (job, response) in batch.jobs.iter().zip(responses) {
                             // A client that gave up is not an error.
                             let _ = job.respond.send(response);
                             served += 1;

@@ -21,10 +21,14 @@
 //! * [`cache`] — [`QueryCache`], a sharded LRU keyed by
 //!   `(normalised query, snapshot generation)` with hit/miss/eviction
 //!   counters;
-//! * [`stats`] — [`ServerStats`]: QPS, p50/p95/p99 latency (shared
-//!   percentile code from `dsearch_core::timing`), error counts;
-//! * [`protocol`] / [`serve`] — the line protocol and the stdin/TCP front
-//!   ends behind `dsearch serve` (generic over a [`serve::LineHandler`]);
+//! * [`stats`] — [`ServerStats`]: a facade over the `dsearch_obs` metrics
+//!   registry — counters, the connection gauge, p50/p95/p99/p99.9 latency
+//!   from atomic histograms, per-stage trace recording, the slow-query log
+//!   and the `!metrics` exposition;
+//! * [`protocol`] / [`serve`] — the line protocol (queries, `@id` trace
+//!   prefixes, `stages=` breakdowns, `!stats`/`!metrics`/`!trace`/`!slow`)
+//!   and the stdin/TCP front ends behind `dsearch serve` (generic over a
+//!   [`serve::LineHandler`]);
 //! * [`route`] — distributed scatter-gather serving behind `dsearch route`:
 //!   the [`route::ShardBackend`] seam ([`route::LocalShards`] in-process,
 //!   [`route::RemoteShard`] over TCP) and the [`route::Router`] that fans
@@ -69,7 +73,8 @@ pub mod snapshot;
 pub mod stats;
 
 pub use batch::{
-    BatchConfig, BatchSearcher, OverloadPolicy, QueueGovernor, QueueJob, DEFAULT_AUTO_WAIT,
+    BatchConfig, BatchSearcher, DrainedBatch, OverloadPolicy, QueueGovernor, QueueJob,
+    DEFAULT_AUTO_WAIT,
 };
 pub use cache::{CacheCounters, CacheKey, QueryCache};
 pub use engine::{

@@ -8,12 +8,13 @@
 //! rate regardless of completions, which is how tail latency under overload
 //! is measured.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dsearch_core::timing::LatencySummary;
+use dsearch_obs::Stage;
 
 use crate::engine::{ServerError, WorkerPool};
 use crate::snapshot::IndexSnapshot;
@@ -144,6 +145,9 @@ pub struct LoadConfig {
     pub requests: usize,
     /// Closed- or open-loop behaviour.
     pub mode: LoadMode,
+    /// Collect per-stage latency histograms from each response's trace
+    /// (`--stage-report`): where did the wall time of a query actually go?
+    pub stage_report: bool,
 }
 
 /// What a load run measured.
@@ -165,6 +169,14 @@ pub struct LoadReport {
     pub generations: BTreeSet<u64>,
     /// Responses served from the query cache.
     pub cache_hits: usize,
+    /// Per-stage latency summaries (empty unless
+    /// [`stage_report`](LoadConfig::stage_report) was set).  Spans are
+    /// batch-shared server-side, so each stage summarises the batches the
+    /// client's queries rode in.
+    pub stages: Vec<(Stage, LatencySummary)>,
+    /// Share of total client-observed latency the traces attribute to named
+    /// stages, in percent (zero without a stage report).
+    pub attributed_pct: f64,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -181,7 +193,15 @@ impl std::fmt::Display for LoadReport {
             self.cache_hits,
             100.0 * self.cache_hits as f64 / self.requests.max(1) as f64,
             self.generations
-        )
+        )?;
+        if !self.stages.is_empty() {
+            writeln!(f)?;
+            for (stage, summary) in &self.stages {
+                writeln!(f, "stage {:<15} {summary}", stage.as_str())?;
+            }
+            write!(f, "stages attribute {:.1}% of client-observed latency", self.attributed_pct)?;
+        }
+        Ok(())
     }
 }
 
@@ -189,8 +209,12 @@ impl std::fmt::Display for LoadReport {
 #[must_use]
 pub fn run(pool: &WorkerPool, workload: &Workload, config: &LoadConfig) -> LoadReport {
     match config.mode {
-        LoadMode::Closed { clients } => run_closed(pool, workload, config.requests, clients),
-        LoadMode::Open { rate_qps } => run_open(pool, workload, config.requests, rate_qps),
+        LoadMode::Closed { clients } => {
+            run_closed(pool, workload, config.requests, clients, config.stage_report)
+        }
+        LoadMode::Open { rate_qps } => {
+            run_open(pool, workload, config.requests, rate_qps, config.stage_report)
+        }
     }
 }
 
@@ -199,6 +223,7 @@ fn run_closed(
     workload: &Workload,
     requests: usize,
     clients: usize,
+    stage_report: bool,
 ) -> LoadReport {
     let clients = clients.max(1);
     let issued = AtomicUsize::new(0);
@@ -221,6 +246,9 @@ fn run_closed(
                             local.latencies.push(sent.elapsed());
                             local.generations.insert(response.generation);
                             local.cache_hits += usize::from(response.cached);
+                            if stage_report {
+                                local.collect_stages(&response.trace);
+                            }
                         }
                         Err(ServerError::Overloaded) => local.shed += 1,
                         Err(_) => local.errors += 1,
@@ -235,7 +263,13 @@ fn run_closed(
     collected.into_inner().unwrap_or_else(|e| e.into_inner()).into_report(requests, elapsed)
 }
 
-fn run_open(pool: &WorkerPool, workload: &Workload, requests: usize, rate_qps: f64) -> LoadReport {
+fn run_open(
+    pool: &WorkerPool,
+    workload: &Workload,
+    requests: usize,
+    rate_qps: f64,
+    stage_report: bool,
+) -> LoadReport {
     let rate = rate_qps.max(1.0);
     let interval = Duration::from_secs_f64(1.0 / rate);
     let started = Instant::now();
@@ -253,6 +287,9 @@ fn run_open(pool: &WorkerPool, workload: &Workload, requests: usize, rate_qps: f
                         collected.latencies.push(sent.elapsed());
                         collected.generations.insert(response.generation);
                         collected.cache_hits += usize::from(response.cached);
+                        if stage_report {
+                            collected.collect_stages(&response.trace);
+                        }
                     }
                     Err(ServerError::Overloaded) => collected.shed += 1,
                     Err(_) => collected.errors += 1,
@@ -293,15 +330,29 @@ struct Collected {
     cache_hits: usize,
     errors: usize,
     shed: usize,
+    stages: BTreeMap<Stage, Vec<Duration>>,
+    /// Sum of every collected trace's attributed time (stage-report runs).
+    attributed: Duration,
 }
 
 impl Collected {
+    fn collect_stages(&mut self, trace: &dsearch_obs::QueryTrace) {
+        for span in trace.spans() {
+            self.stages.entry(span.stage).or_default().push(span.dur);
+        }
+        self.attributed = self.attributed.saturating_add(trace.attributed());
+    }
+
     fn merge(&mut self, other: Collected) {
         self.latencies.extend(other.latencies);
         self.generations.extend(other.generations);
         self.cache_hits += other.cache_hits;
         self.errors += other.errors;
         self.shed += other.shed;
+        for (stage, samples) in other.stages {
+            self.stages.entry(stage).or_default().extend(samples);
+        }
+        self.attributed = self.attributed.saturating_add(other.attributed);
     }
 
     fn into_report(self, requests: usize, elapsed: Duration) -> LoadReport {
@@ -309,6 +360,13 @@ impl Collected {
             self.latencies.len() as f64 / elapsed.as_secs_f64()
         } else {
             0.0
+        };
+        let total: Duration =
+            self.latencies.iter().fold(Duration::ZERO, |a, d| a.saturating_add(*d));
+        let attributed_pct = if self.stages.is_empty() || total.is_zero() {
+            0.0
+        } else {
+            100.0 * self.attributed.as_secs_f64() / total.as_secs_f64()
         };
         LoadReport {
             requests,
@@ -319,6 +377,12 @@ impl Collected {
             latency: LatencySummary::from_samples(&self.latencies),
             generations: self.generations,
             cache_hits: self.cache_hits,
+            stages: self
+                .stages
+                .into_iter()
+                .map(|(stage, samples)| (stage, LatencySummary::from_samples(&samples)))
+                .collect(),
+            attributed_pct,
         }
     }
 }
@@ -375,7 +439,11 @@ mod tests {
         let report = run(
             &pool,
             &workload,
-            &LoadConfig { requests: 120, mode: LoadMode::Closed { clients: 4 } },
+            &LoadConfig {
+                requests: 120,
+                mode: LoadMode::Closed { clients: 4 },
+                stage_report: false,
+            },
         );
         assert_eq!(report.requests, 120);
         assert_eq!(report.errors, 0);
@@ -395,7 +463,11 @@ mod tests {
         let report = run(
             &pool,
             &workload,
-            &LoadConfig { requests: 50, mode: LoadMode::Open { rate_qps: 2000.0 } },
+            &LoadConfig {
+                requests: 50,
+                mode: LoadMode::Open { rate_qps: 2000.0 },
+                stage_report: false,
+            },
         );
         assert_eq!(report.errors, 0);
         assert_eq!(report.latency.samples, 50);
@@ -410,7 +482,11 @@ mod tests {
         let report = run(
             &pool,
             &workload,
-            &LoadConfig { requests: 10, mode: LoadMode::Closed { clients: 2 } },
+            &LoadConfig {
+                requests: 10,
+                mode: LoadMode::Closed { clients: 2 },
+                stage_report: false,
+            },
         );
         assert_eq!(report.errors, 5);
         assert_eq!(report.latency.samples, 5);

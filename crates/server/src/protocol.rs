@@ -2,23 +2,35 @@
 //!
 //! Requests are single lines:
 //!
-//! * any ordinary line is a query (`rust AND search`, `inde*`, …);
+//! * any ordinary line is a query (`rust AND search`, `inde*`, …); a
+//!   `@<hex id> ` prefix attaches a trace id (the router uses this to join
+//!   its trace with the shard's);
 //! * `!stats` returns the server's metrics line;
+//! * `!metrics` returns the Prometheus-style text exposition;
+//! * `!trace on|off|<n>` arms/disarms the slow-query log (threshold in µs);
+//! * `!slow` dumps the retained slow-query traces;
 //! * `!reload` is answered by the serving front end (snapshot reload);
 //! * `!quit` closes the connection.
 //!
 //! Responses are line-oriented and end with a lone `END` line:
 //!
 //! ```text
-//! OK 2 generation=3 cached=false micros=184
+//! OK 2 generation=3 cached=false micros=184 stages=parse:412;postings:9123;serialize:804
 //! b.txt (2 terms)
 //! e.txt (2 terms)
 //! END
 //! ```
 //!
-//! Errors answer `ERR <message>` followed by `END`, so a client can always
-//! resynchronise on `END`.
+//! The `stages=` field is the query's stage breakdown in integer
+//! nanoseconds; traced queries also carry `trace=<hex id>`.  Routed
+//! responses append one `# shard <id> rtt=<ns> stages=…` comment line per
+//! answering shard after the hits (comment lines are ignored by the hit
+//! parser).  Errors answer `ERR <message>` followed by `END`, so a client
+//! can always resynchronise on `END`.
 
+use std::time::{Duration, Instant};
+
+use dsearch_obs::QueryTrace;
 use dsearch_query::RankedHit;
 
 use crate::engine::{QueryResponse, ServerError};
@@ -34,6 +46,13 @@ pub enum Request {
     Query(String),
     /// Report serving metrics.
     Stats,
+    /// Report the Prometheus-style metrics exposition.
+    Metrics,
+    /// Arm or disarm the slow-query log: the argument is `on`, `off` or a
+    /// threshold in microseconds.
+    Trace(String),
+    /// Dump the retained slow-query traces.
+    Slow,
     /// Reload the snapshot from the store.
     Reload,
     /// Close the connection.
@@ -46,28 +65,88 @@ pub enum Request {
 #[must_use]
 pub fn parse_request(line: &str) -> Request {
     let trimmed = line.trim();
+    if let Some(arg) = trimmed.strip_prefix("!trace") {
+        if arg.is_empty() || arg.starts_with(' ') {
+            return Request::Trace(arg.trim().to_string());
+        }
+    }
     match trimmed {
         "" => Request::Empty,
         "!stats" => Request::Stats,
+        "!metrics" => Request::Metrics,
+        "!slow" => Request::Slow,
         "!reload" => Request::Reload,
         "!quit" => Request::Quit,
         query => Request::Query(query.to_string()),
     }
 }
 
-/// Renders a successful query response.
+/// Splits an optional `@<hex id> ` trace-id prefix off a query line.  Lines
+/// without a well-formed prefix come back whole with id zero ("untraced"),
+/// so no query text is ever lost to a parse guess.
+#[must_use]
+pub fn split_trace_id(raw: &str) -> (u64, &str) {
+    let Some(rest) = raw.strip_prefix('@') else { return (0, raw) };
+    let Some((id_text, query)) = rest.split_once(' ') else { return (0, raw) };
+    match u64::from_str_radix(id_text, 16) {
+        Ok(id) if id != 0 && !query.trim().is_empty() => (id, query.trim_start()),
+        _ => (0, raw),
+    }
+}
+
+/// Prepends a trace id to a query in the wire form [`split_trace_id`]
+/// understands (a no-op for id zero).
+#[must_use]
+pub fn prefix_trace_id(id: u64, query: &str) -> String {
+    if id == 0 {
+        query.to_string()
+    } else {
+        format!("@{id:x} {query}")
+    }
+}
+
+fn trace_field(id: u64) -> String {
+    if id == 0 {
+        String::new()
+    } else {
+        format!(" trace={id:x}")
+    }
+}
+
+/// Renders the ` stages=…` status-line field: the trace's spans plus the
+/// `serialize` span measured by the caller while formatting the body (the
+/// one stage that cannot be inside the trace, because the status line that
+/// reports it is built after it).
+fn stages_field(trace: &QueryTrace, serialize: Duration) -> String {
+    let mut stages = trace.render_compact();
+    if !stages.is_empty() {
+        stages.push(';');
+    }
+    stages.push_str("serialize:");
+    stages.push_str(&u64::try_from(serialize.as_nanos()).unwrap_or(u64::MAX).to_string());
+    format!(" stages={stages}")
+}
+
+/// Renders a successful query response.  The body formatting is timed and
+/// reported as the `serialize` span of the `stages=` field.
 #[must_use]
 pub fn render_response(response: &QueryResponse) -> String {
+    let serialize_started = Instant::now();
+    let mut body = String::new();
+    for hit in response.results.hits() {
+        body.push_str(&format!("{} ({} terms)\n", hit.path, hit.matched_terms));
+    }
+    let serialize = serialize_started.elapsed();
     let mut out = format!(
-        "OK {} generation={} cached={} micros={}\n",
+        "OK {} generation={} cached={} micros={}{}{}\n",
         response.results.len(),
         response.generation,
         response.cached,
-        response.latency.as_micros()
+        response.latency.as_micros(),
+        trace_field(response.trace.id()),
+        stages_field(&response.trace, serialize),
     );
-    for hit in response.results.hits() {
-        out.push_str(&format!("{} ({} terms)\n", hit.path, hit.matched_terms));
-    }
+    out.push_str(&body);
     out.push_str(END);
     out.push('\n');
     out
@@ -77,20 +156,35 @@ pub fn render_response(response: &QueryResponse) -> String {
 /// shard health of the answer instead of a single generation:
 /// `shards=<answered>/<total>` and `partial=true` when at least one shard
 /// failed or timed out, so clients can tell a complete answer from a
-/// degraded one.
+/// degraded one.  After the hits, one `# shard <id> rtt=<ns> stages=…`
+/// comment line per answering shard reports where the scatter's time went.
 #[must_use]
 pub fn render_routed_response(response: &RoutedResponse) -> String {
+    let serialize_started = Instant::now();
+    let mut body = String::new();
+    for hit in &response.hits {
+        body.push_str(&format!("{} ({} terms)\n", hit.path, hit.matched_terms));
+    }
+    for shard in response.trace.shards() {
+        body.push_str(&format!(
+            "# shard {} rtt={} stages={}\n",
+            shard.shard,
+            u64::try_from(shard.rtt.as_nanos()).unwrap_or(u64::MAX),
+            dsearch_obs::trace::render_spans_compact(shard.stages.iter().copied()),
+        ));
+    }
+    let serialize = serialize_started.elapsed();
     let mut out = format!(
-        "OK {} shards={}/{} partial={} micros={}\n",
+        "OK {} shards={}/{} partial={} micros={}{}{}\n",
         response.hits.len(),
         response.shards_ok(),
         response.shards_total,
         response.partial(),
-        response.latency.as_micros()
+        response.latency.as_micros(),
+        trace_field(response.trace.id()),
+        stages_field(&response.trace, serialize),
     );
-    for hit in &response.hits {
-        out.push_str(&format!("{} ({} terms)\n", hit.path, hit.matched_terms));
-    }
+    out.push_str(&body);
     out.push_str(END);
     out.push('\n');
     out
@@ -105,6 +199,26 @@ pub fn parse_hit_line(line: &str) -> Option<RankedHit> {
     let rest = line.strip_suffix(" terms)")?;
     let (path, count) = rest.rsplit_once(" (")?;
     Some(RankedHit { path: path.to_owned(), matched_terms: count.parse().ok()? })
+}
+
+/// Parses one `# shard <id> rtt=<ns> stages=…` body comment line of a
+/// routed response back into a shard timing block (the client side of
+/// [`render_routed_response`]'s per-shard breakdown).  Returns `None` for
+/// lines of any other shape.
+#[must_use]
+pub fn parse_shard_line(line: &str) -> Option<dsearch_obs::ShardSpan> {
+    let rest = line.strip_prefix("# shard ")?;
+    let mut fields = rest.split_whitespace();
+    let shard = fields.next()?.to_owned();
+    let mut span = dsearch_obs::ShardSpan { shard, ..Default::default() };
+    for field in fields {
+        if let Some(ns) = field.strip_prefix("rtt=") {
+            span.rtt = Duration::from_nanos(ns.parse().ok()?);
+        } else if let Some(stages) = field.strip_prefix("stages=") {
+            span.stages = dsearch_obs::parse_compact_stages(stages);
+        }
+    }
+    Some(span)
 }
 
 /// Renders an error response.
@@ -181,6 +295,25 @@ impl ParsedResponse {
     pub fn cached(&self) -> Option<bool> {
         self.field("cached")?.parse().ok()
     }
+
+    /// The `trace=<hex>` id of the status line, if present.
+    #[must_use]
+    pub fn trace_id(&self) -> Option<u64> {
+        u64::from_str_radix(self.field("trace")?, 16).ok()
+    }
+
+    /// The parsed `stages=` breakdown of the status line (empty when the
+    /// server predates tracing).
+    #[must_use]
+    pub fn stages(&self) -> Vec<dsearch_obs::Span> {
+        self.field("stages").map(dsearch_obs::parse_compact_stages).unwrap_or_default()
+    }
+
+    /// The parsed `# shard …` timing blocks of a routed response's body.
+    #[must_use]
+    pub fn shard_spans(&self) -> Vec<dsearch_obs::ShardSpan> {
+        self.body.iter().filter_map(|line| parse_shard_line(line)).collect()
+    }
 }
 
 /// Reads one full response (through `END`) from a line iterator.
@@ -229,6 +362,38 @@ mod tests {
         assert_eq!(parse_request("!reload"), Request::Reload);
         assert_eq!(parse_request("!quit"), Request::Quit);
         assert_eq!(parse_request("   "), Request::Empty);
+        assert_eq!(parse_request("!metrics"), Request::Metrics);
+        assert_eq!(parse_request("!slow"), Request::Slow);
+        assert_eq!(parse_request("!trace"), Request::Trace(String::new()));
+        assert_eq!(parse_request("!trace on"), Request::Trace("on".into()));
+        assert_eq!(parse_request("!trace 1500"), Request::Trace("1500".into()));
+        // `!tracer` is not a `!trace` with an argument; unknown bangs stay
+        // queries (and fail parse downstream like any bad query).
+        assert_eq!(parse_request("!tracer"), Request::Query("!tracer".into()));
+        // Traced queries keep their prefix: the engine strips it.
+        assert_eq!(parse_request("@a3f rust"), Request::Query("@a3f rust".into()));
+    }
+
+    #[test]
+    fn trace_id_prefixes_round_trip_and_reject_garbage() {
+        assert_eq!(prefix_trace_id(0x2a, "rust AND search"), "@2a rust AND search");
+        assert_eq!(prefix_trace_id(0, "rust"), "rust");
+        assert_eq!(split_trace_id("@2a rust AND search"), (0x2a, "rust AND search"));
+        assert_eq!(split_trace_id("rust"), (0, "rust"));
+        // Malformed ids, zero ids and empty queries fall back to the whole
+        // line, which then fails query parsing with a normal error.
+        assert_eq!(split_trace_id("@zz rust"), (0, "@zz rust"));
+        assert_eq!(split_trace_id("@0 rust"), (0, "@0 rust"));
+        assert_eq!(split_trace_id("@2a "), (0, "@2a "));
+        assert_eq!(split_trace_id("@2a"), (0, "@2a"));
+    }
+
+    fn traced(id: u64) -> Arc<dsearch_obs::QueryTrace> {
+        use dsearch_obs::{QueryTrace, Stage};
+        let mut trace = QueryTrace::new(id);
+        trace.record(Stage::Parse, Duration::from_nanos(400));
+        trace.record(Stage::Postings, Duration::from_micros(9));
+        Arc::new(trace)
     }
 
     #[test]
@@ -243,6 +408,7 @@ mod tests {
             generation: 5,
             cached: true,
             latency: Duration::from_micros(123),
+            trace: traced(0x1f),
         };
         let text = render_response(&response);
         assert!(text.ends_with("END\n"));
@@ -253,7 +419,28 @@ mod tests {
         assert_eq!(parsed.hit_count(), 1);
         assert_eq!(parsed.generation(), Some(5));
         assert_eq!(parsed.cached(), Some(true));
+        assert_eq!(parsed.trace_id(), Some(0x1f));
+        let stages = parsed.stages();
+        // parse + postings from the trace, plus the measured serialize span.
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[0].stage, dsearch_obs::Stage::Parse);
+        assert_eq!(stages[2].stage, dsearch_obs::Stage::Serialize);
         assert_eq!(parsed.body, vec!["a.txt (2 terms)"]);
+    }
+
+    #[test]
+    fn untraced_responses_omit_the_trace_field() {
+        let response = QueryResponse {
+            query: "rust".into(),
+            results: Arc::new(SearchResults::new(vec![])),
+            generation: 1,
+            cached: false,
+            latency: Duration::from_micros(10),
+            trace: Arc::new(dsearch_obs::QueryTrace::default()),
+        };
+        let text = render_response(&response);
+        assert!(!text.contains("trace="), "{text}");
+        assert!(text.contains("stages=serialize:"), "{text}");
     }
 
     #[test]
@@ -268,6 +455,14 @@ mod tests {
 
     #[test]
     fn routed_responses_render_shard_health_and_parse_back() {
+        use dsearch_obs::{ShardSpan, Span, Stage};
+        let mut trace = dsearch_obs::QueryTrace::new(0xbeef);
+        trace.record(Stage::Scatter, Duration::from_micros(40));
+        trace.push_shard(ShardSpan {
+            shard: "127.0.0.1:7471".into(),
+            rtt: Duration::from_micros(39),
+            stages: vec![Span { stage: Stage::Postings, dur: Duration::from_micros(12) }],
+        });
         let response = crate::route::RoutedResponse {
             query: "rust".into(),
             hits: vec![RankedHit { path: "a.txt".into(), matched_terms: 2 }],
@@ -277,6 +472,7 @@ mod tests {
                 crate::route::ShardError::Unavailable("gone".into()),
             )],
             latency: Duration::from_micros(88),
+            trace: Arc::new(trace),
         };
         let text = render_routed_response(&response);
         let mut lines = text.lines().map(|l| Ok::<_, std::io::Error>(l.to_string()));
@@ -285,7 +481,21 @@ mod tests {
         assert_eq!(parsed.hit_count(), 1);
         assert_eq!(parsed.field("shards"), Some("1/2"));
         assert_eq!(parsed.field("partial"), Some("true"));
+        assert_eq!(parsed.trace_id(), Some(0xbeef));
         assert_eq!(parse_hit_line(&parsed.body[0]).unwrap().path, "a.txt");
+        // The shard timing block renders as a comment line the hit parser
+        // ignores and the shard-span parser reads back.
+        assert!(parsed.body[1].starts_with("# shard 127.0.0.1:7471 rtt="), "{}", parsed.body[1]);
+        assert!(parse_hit_line(&parsed.body[1]).is_none());
+        let shards = parsed.shard_spans();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].shard, "127.0.0.1:7471");
+        assert_eq!(shards[0].rtt, Duration::from_micros(39));
+        assert_eq!(
+            shards[0].stages,
+            vec![Span { stage: Stage::Postings, dur: Duration::from_micros(12) }]
+        );
+        assert!(parse_shard_line("a.txt (2 terms)").is_none());
     }
 
     #[test]

@@ -39,16 +39,19 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use dsearch_obs::{next_trace_id, Histogram, QueryTrace, ShardSpan, Span, Stage};
 use dsearch_persist::IndexStore;
 use dsearch_query::{merge_ranked, Query, RankedHit};
 
 use crate::batch::{BatchConfig, QueueGovernor, QueueJob};
 use crate::engine::{ConfigError, QueryEngine, ServerError};
 use crate::protocol::{
-    parse_hit_line, parse_request, read_response, render_error, render_error_text,
-    render_info_with_body, render_routed_response, Request,
+    parse_hit_line, parse_request, prefix_trace_id, read_response, render_error, render_error_text,
+    render_info_with_body, render_routed_response, split_trace_id, Request,
 };
-use crate::serve::{Handled, LineHandler};
+use crate::serve::{
+    metrics_report, observe_slow, slow_report, trace_control, Handled, LineHandler,
+};
 use crate::stats::ServerStats;
 
 /// Why a shard could not answer a query.
@@ -83,6 +86,9 @@ pub struct ShardReply {
     /// The shard-local snapshot generation that answered (shards reload
     /// independently, so generations are not comparable across shards).
     pub generation: u64,
+    /// The shard's own stage breakdown for the batch that answered (empty on
+    /// the untraced fast path, or when the shard predates tracing).
+    pub stages: Vec<Span>,
 }
 
 /// Where a set of index shards lives and how to query it.
@@ -108,6 +114,21 @@ pub trait ShardBackend: Send + Sync {
     /// to pipeline the whole batch over one connection.
     fn search_batch(&self, canonicals: &[String]) -> Vec<Result<ShardReply, ShardError>> {
         canonicals.iter().map(|c| self.search(c)).collect()
+    }
+
+    /// Answers a batch of canonical queries carrying trace ids — `ids[i]`
+    /// belongs to `canonicals[i]`, zero meaning untraced — so a distributed
+    /// trace can be joined across the router's and the shard's slow-query
+    /// logs.  The default ignores the ids and delegates to
+    /// [`search_batch`](ShardBackend::search_batch); backends that understand
+    /// tracing also return their stage breakdowns in the replies.
+    fn search_batch_traced(
+        &self,
+        canonicals: &[String],
+        ids: &[u64],
+    ) -> Vec<Result<ShardReply, ShardError>> {
+        let _ = ids;
+        self.search_batch(canonicals)
     }
 
     /// The shard's one-line stats report (the `!stats` status line).
@@ -164,11 +185,16 @@ impl LocalShards {
 
     fn convert(
         result: Result<crate::engine::QueryResponse, ServerError>,
+        with_stages: bool,
     ) -> Result<ShardReply, ShardError> {
         match result {
-            Ok(response) => {
-                Ok(ShardReply { hits: response.results.ranked(), generation: response.generation })
-            }
+            Ok(response) => Ok(ShardReply {
+                hits: response.results.ranked(),
+                generation: response.generation,
+                // Collecting the spans allocates; the untraced fast path
+                // skips it since nobody reads shard stages there.
+                stages: if with_stages { response.trace.spans().collect() } else { Vec::new() },
+            }),
             // The router pre-parses queries, so a parse error here means the
             // two sides disagree about the grammar: a protocol-level fault.
             Err(ServerError::Parse(e)) => Err(ShardError::Protocol(e.to_string())),
@@ -183,12 +209,34 @@ impl ShardBackend for LocalShards {
     }
 
     fn search(&self, canonical: &str) -> Result<ShardReply, ShardError> {
-        LocalShards::convert(self.engine.execute(canonical))
+        LocalShards::convert(self.engine.execute(canonical), false)
     }
 
     fn search_batch(&self, canonicals: &[String]) -> Vec<Result<ShardReply, ShardError>> {
         let raws: Vec<&str> = canonicals.iter().map(String::as_str).collect();
-        self.engine.execute_batch(&raws).into_iter().map(LocalShards::convert).collect()
+        self.engine
+            .execute_batch(&raws)
+            .into_iter()
+            .map(|r| LocalShards::convert(r, false))
+            .collect()
+    }
+
+    fn search_batch_traced(
+        &self,
+        canonicals: &[String],
+        ids: &[u64],
+    ) -> Vec<Result<ShardReply, ShardError>> {
+        if ids.iter().all(|&id| id == 0) {
+            return self.search_batch(canonicals);
+        }
+        let lines: Vec<String> =
+            canonicals.iter().zip(ids).map(|(c, &id)| prefix_trace_id(id, c)).collect();
+        let raws: Vec<&str> = lines.iter().map(String::as_str).collect();
+        self.engine
+            .execute_batch(&raws)
+            .into_iter()
+            .map(|r| LocalShards::convert(r, true))
+            .collect()
     }
 
     fn stats_line(&self) -> Result<String, ShardError> {
@@ -394,8 +442,14 @@ impl RemoteShard {
         if !response.ok {
             return Err(ShardError::Rejected(response.status));
         }
+        let stages = response.stages();
         let mut hits = Vec::with_capacity(response.body.len());
         for line in &response.body {
+            // `#`-prefixed body lines are comments (per-shard timing blocks
+            // when the backend is itself a router), not hits.
+            if line.starts_with('#') {
+                continue;
+            }
             match parse_hit_line(line) {
                 Some(hit) => hits.push(hit),
                 None => {
@@ -406,7 +460,7 @@ impl RemoteShard {
                 }
             }
         }
-        Ok(ShardReply { hits, generation: response.generation().unwrap_or(0) })
+        Ok(ShardReply { hits, generation: response.generation().unwrap_or(0), stages })
     }
 }
 
@@ -423,6 +477,22 @@ impl ShardBackend for RemoteShard {
 
     fn search_batch(&self, canonicals: &[String]) -> Vec<Result<ShardReply, ShardError>> {
         match self.exchange(canonicals) {
+            Ok(responses) => responses.into_iter().map(|r| self.reply_from(r)).collect(),
+            Err(e) => canonicals.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    fn search_batch_traced(
+        &self,
+        canonicals: &[String],
+        ids: &[u64],
+    ) -> Vec<Result<ShardReply, ShardError>> {
+        if ids.iter().all(|&id| id == 0) {
+            return self.search_batch(canonicals);
+        }
+        let lines: Vec<String> =
+            canonicals.iter().zip(ids).map(|(c, &id)| prefix_trace_id(id, c)).collect();
+        match self.exchange(&lines) {
             Ok(responses) => responses.into_iter().map(|r| self.reply_from(r)).collect(),
             Err(e) => canonicals.iter().map(|_| Err(e.clone())).collect(),
         }
@@ -509,6 +579,11 @@ pub struct RoutedResponse {
     /// Wall-clock service time (queue wait included for pool-served
     /// queries, exactly like [`QueryResponse`](crate::engine::QueryResponse)).
     pub latency: Duration,
+    /// Router-side stage breakdown for the batch that answered.  Shared by
+    /// every response of the batch; carries a nonzero id (and per-shard
+    /// timing blocks) only when the query was traced — the client sent an
+    /// `@<hex id>` prefix or the router's slow-query log is armed.
+    pub trace: Arc<QueryTrace>,
 }
 
 impl RoutedResponse {
@@ -526,12 +601,18 @@ impl RoutedResponse {
     }
 }
 
+/// One backend's answers for a whole scatter, plus the round trip the
+/// fan-out worker observed around the call.
+type TimedReplies = (Vec<Result<ShardReply, ShardError>>, Duration);
+
 /// One batch handed to a fan-out worker: the canonical queries plus the
 /// channel the per-shard results travel back on, tagged with the backend's
 /// position so the gather can line results up.
 struct FanoutTask {
     canonicals: Arc<Vec<String>>,
-    respond: mpsc::Sender<(usize, Vec<Result<ShardReply, ShardError>>)>,
+    /// One trace id per canonical (zeroes on the untraced path).
+    ids: Arc<Vec<u64>>,
+    respond: mpsc::Sender<(usize, TimedReplies)>,
     backend_index: usize,
 }
 
@@ -549,9 +630,10 @@ impl FanoutWorker {
         let (tasks, receiver) = mpsc::channel::<FanoutTask>();
         let handle = std::thread::spawn(move || {
             while let Ok(task) = receiver.recv() {
-                let replies = backend.search_batch(&task.canonicals);
+                let sent = Instant::now();
+                let replies = backend.search_batch_traced(&task.canonicals, &task.ids);
                 // The router may have given up on this scatter; fine.
-                let _ = task.respond.send((task.backend_index, replies));
+                let _ = task.respond.send((task.backend_index, (replies, sent.elapsed())));
             }
         });
         FanoutWorker { tasks: Some(tasks), handle: Some(handle) }
@@ -581,6 +663,10 @@ pub struct Router {
     backends: Vec<Arc<dyn ShardBackend>>,
     /// One persistent fan-out worker per backend (same order).
     fanout: Vec<FanoutWorker>,
+    /// One `dsearch_shard_rtt_ns{shard=…}` histogram per backend (same
+    /// order), interned once so the scatter hot path never touches the
+    /// registry lock.
+    rtt_hists: Vec<Arc<Histogram>>,
     config: RouterConfig,
     stats: ServerStats,
 }
@@ -601,7 +687,9 @@ impl Router {
         }
         let backends: Vec<Arc<dyn ShardBackend>> = backends.into_iter().map(Arc::from).collect();
         let fanout = backends.iter().map(|b| FanoutWorker::spawn(Arc::clone(b))).collect();
-        Ok(Arc::new(Router { backends, fanout, config, stats: ServerStats::new() }))
+        let stats = ServerStats::new();
+        let rtt_hists = backends.iter().map(|b| stats.shard_rtt_histogram(&b.id())).collect();
+        Ok(Arc::new(Router { backends, fanout, rtt_hists, config, stats }))
     }
 
     /// The configured backends.
@@ -645,15 +733,44 @@ impl Router {
         raws: &[&str],
         started: Instant,
     ) -> Vec<Result<RoutedResponse, ServerError>> {
+        self.route_batch_timed(raws, started, Duration::ZERO)
+    }
+
+    /// The full routing path with queue timing attached — same stage
+    /// accounting as [`QueryEngine::execute_batch_timed`]: everything
+    /// between `started` and execution that is not the fill window lands in
+    /// `queue_wait`, so the stages tile the measured latency without holes.
+    pub(crate) fn route_batch_timed(
+        &self,
+        raws: &[&str],
+        started: Instant,
+        fill_wait: Duration,
+    ) -> Vec<Result<RoutedResponse, ServerError>> {
+        let exec_started = Instant::now();
+        let queue_wait = exec_started.saturating_duration_since(started).saturating_sub(fill_wait);
+        let mut trace = QueryTrace::default();
+        if !queue_wait.is_zero() {
+            trace.record(Stage::QueueWait, queue_wait);
+        }
+        if !fill_wait.is_zero() {
+            trace.record(Stage::BatchFill, fill_wait);
+        }
         let mut slots: Vec<Option<Result<RoutedResponse, ServerError>>> =
             raws.iter().map(|_| None).collect();
+        let mut client_ids: Vec<u64> = Vec::with_capacity(raws.len());
+        // RoutedResponse needs a trace at construction time, but the batch
+        // trace is only complete after the merge; slots start on this
+        // placeholder and are re-pointed at the finished trace below.
+        let placeholder: Arc<QueryTrace> = Arc::new(QueryTrace::default());
 
         // Parse once at the router: shards only ever see canonical queries,
         // and identical spellings collapse to one scatter.
         let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut executed = 0u64;
         for (i, raw) in raws.iter().enumerate() {
-            match Query::parse(raw) {
+            let (client_id, query_text) = split_trace_id(raw);
+            client_ids.push(client_id);
+            match Query::parse(query_text) {
                 Ok(query) => {
                     groups.entry(query.to_string()).or_default().push(i);
                     executed += 1;
@@ -664,15 +781,41 @@ impl Router {
                 }
             }
         }
+        let parse_done = Instant::now();
+        trace.record(Stage::Parse, parse_done.saturating_duration_since(exec_started));
         let canonicals: Vec<String> = groups.keys().cloned().collect();
         if !canonicals.is_empty() {
-            let mut per_backend = self.scatter(&canonicals);
+            // Trace ids travel to the shards only when someone will read
+            // them — the client sent an `@<hex id>` prefix or the router's
+            // slow-query log is armed — so the untraced hot path never pays
+            // for id generation or per-shard span collection.
+            let traced =
+                client_ids.iter().any(|&id| id != 0) || self.stats.slow_log().threshold().is_some();
+            let shard_ids: Vec<u64> = if traced {
+                canonicals.iter().map(|_| next_trace_id()).collect()
+            } else {
+                vec![0; canonicals.len()]
+            };
+            let mut per_backend = self.scatter(&canonicals, &shard_ids);
+            let scatter_done = Instant::now();
+            trace.record(Stage::Scatter, scatter_done.saturating_duration_since(parse_done));
+            if traced {
+                // One timing block per backend.  Shard-side stage spans are
+                // batch-shared, so the first reply represents the batch.
+                for (backend, (replies, rtt)) in self.backends.iter().zip(&per_backend) {
+                    let stages = match replies.first() {
+                        Some(Ok(reply)) => reply.stages.clone(),
+                        _ => Vec::new(),
+                    };
+                    trace.push_shard(ShardSpan { shard: backend.id(), rtt: *rtt, stages });
+                }
+            }
             // Walk the groups back-to-front so each backend's reply for the
             // current query can be popped (moved, not cloned) off its vec.
             for (canonical, positions) in groups.iter().rev() {
                 let mut parts: Vec<Vec<RankedHit>> = Vec::with_capacity(self.backends.len());
                 let mut failures: Vec<(String, ShardError)> = Vec::new();
-                for (backend, replies) in self.backends.iter().zip(&mut per_backend) {
+                for (backend, (replies, _)) in self.backends.iter().zip(&mut per_backend) {
                     match replies.pop().expect("one reply per canonical per backend") {
                         Ok(reply) => parts.push(reply.hits),
                         Err(e) => failures.push((backend.id(), e)),
@@ -690,21 +833,35 @@ impl Router {
                         shards_total: self.backends.len(),
                         shard_failures: failures,
                         latency: Duration::ZERO,
+                        trace: Arc::clone(&placeholder),
                     })
                 };
                 for &i in positions {
                     slots[i] = Some(result.clone());
                 }
             }
+            trace.record(Stage::Merge, scatter_done.elapsed());
         }
         self.stats.record_batch(executed);
+        self.stats.record_trace(&trace);
         let latency = started.elapsed();
+        let shared_trace = Arc::new(trace);
         slots
             .into_iter()
-            .map(|slot| {
+            .zip(client_ids)
+            .map(|(slot, client_id)| {
                 let mut result = slot.expect("every position answered");
                 if let Ok(response) = &mut result {
                     response.latency = latency;
+                    // Traced responses get their own copy branded with the
+                    // client's id; untraced ones share the batch trace.
+                    response.trace = if client_id == 0 {
+                        Arc::clone(&shared_trace)
+                    } else {
+                        let mut own = (*shared_trace).clone();
+                        own.set_id(client_id);
+                        Arc::new(own)
+                    };
                     self.stats.record_query(latency);
                     if response.partial() {
                         self.stats.record_partial_response();
@@ -715,22 +872,28 @@ impl Router {
             .collect()
     }
 
-    /// One `search_batch` per backend, concurrently: the scatter.  Each
-    /// backend's persistent fan-out worker receives the batch over a
-    /// channel; a worker that died (its backend panicked) counts as
-    /// unavailable for the whole batch.
-    fn scatter(&self, canonicals: &[String]) -> Vec<Vec<Result<ShardReply, ShardError>>> {
+    /// One `search_batch_traced` per backend, concurrently: the scatter.
+    /// Each backend's persistent fan-out worker receives the batch over a
+    /// channel and reports its round trip; a worker that died (its backend
+    /// panicked) counts as unavailable for the whole batch.  Every observed
+    /// round trip feeds the backend's `dsearch_shard_rtt_ns` histogram.
+    fn scatter(&self, canonicals: &[String], ids: &[u64]) -> Vec<TimedReplies> {
         if self.backends.len() == 1 {
-            return vec![self.backends[0].search_batch(canonicals)];
+            let sent = Instant::now();
+            let replies = self.backends[0].search_batch_traced(canonicals, ids);
+            let rtt = sent.elapsed();
+            self.rtt_hists[0].record(rtt);
+            return vec![(replies, rtt)];
         }
         let canonicals = Arc::new(canonicals.to_vec());
+        let ids = Arc::new(ids.to_vec());
         let (respond, gathered) = mpsc::channel();
         let mut pending = 0usize;
-        let mut replies: Vec<Option<Vec<Result<ShardReply, ShardError>>>> =
-            self.backends.iter().map(|_| None).collect();
+        let mut replies: Vec<Option<TimedReplies>> = self.backends.iter().map(|_| None).collect();
         for (backend_index, worker) in self.fanout.iter().enumerate() {
             let task = FanoutTask {
                 canonicals: Arc::clone(&canonicals),
+                ids: Arc::clone(&ids),
                 respond: respond.clone(),
                 backend_index,
             };
@@ -740,17 +903,19 @@ impl Router {
         }
         drop(respond);
         for _ in 0..pending {
-            let Ok((backend_index, reply)) = gathered.recv() else { break };
-            replies[backend_index] = Some(reply);
+            let Ok((backend_index, (reply, rtt))) = gathered.recv() else { break };
+            self.rtt_hists[backend_index].record(rtt);
+            replies[backend_index] = Some((reply, rtt));
         }
         replies
             .into_iter()
             .map(|slot| {
                 slot.unwrap_or_else(|| {
-                    canonicals
+                    let failed = canonicals
                         .iter()
                         .map(|_| Err(ShardError::Unavailable("shard worker died".to_owned())))
-                        .collect()
+                        .collect();
+                    (failed, Duration::ZERO)
                 })
             })
             .collect()
@@ -822,13 +987,15 @@ impl RouterPool {
                     let mut served = 0u64;
                     while let Some(batch) = governor.next_batch(router.stats()) {
                         let started = batch
+                            .jobs
                             .iter()
                             .map(|job| job.submitted)
                             .min()
                             .expect("batches are never empty");
-                        let raws: Vec<&str> = batch.iter().map(|job| job.raw.as_str()).collect();
-                        let responses = router.route_batch_since(&raws, started);
-                        for (job, response) in batch.iter().zip(responses) {
+                        let raws: Vec<&str> =
+                            batch.jobs.iter().map(|job| job.raw.as_str()).collect();
+                        let responses = router.route_batch_timed(&raws, started, batch.fill_wait);
+                        for (job, response) in batch.jobs.iter().zip(responses) {
                             // A client that gave up is not an error.
                             let _ = job.respond.send(response);
                             served += 1;
@@ -1044,10 +1211,31 @@ impl LineHandler for RouteService {
                 self.requests.fetch_add(1, Ordering::Relaxed);
                 Handled::Respond(self.reload_report())
             }
+            Request::Metrics => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(metrics_report(self.router.stats()))
+            }
+            Request::Trace(arg) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(trace_control(self.router.stats(), &arg))
+            }
+            Request::Slow => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(slow_report(self.router.stats()))
+            }
             Request::Query(raw) => {
                 self.requests.fetch_add(1, Ordering::Relaxed);
                 match self.pool.execute(&raw) {
-                    Ok(response) => Handled::Respond(render_routed_response(&response)),
+                    Ok(response) => {
+                        let text = render_routed_response(&response);
+                        observe_slow(
+                            self.router.stats(),
+                            &response.query,
+                            response.latency,
+                            &response.trace,
+                        );
+                        Handled::Respond(text)
+                    }
                     Err(e) => Handled::Respond(render_error(&e)),
                 }
             }

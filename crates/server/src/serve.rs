@@ -13,16 +13,101 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use dsearch_obs::{trace::render_spans_compact, QueryTrace};
 use dsearch_persist::IndexStore;
 
 use crate::engine::{QueryEngine, WorkerPool};
 use crate::protocol::{
-    parse_request, render_error, render_error_text, render_info, render_response, Request,
+    parse_request, render_error, render_error_text, render_info, render_info_with_body,
+    render_response, Request,
 };
 use crate::stats::ServerStats;
+
+/// The rendered `!metrics` answer: the Prometheus-style exposition as the
+/// response body, one metric sample (or `# TYPE` comment) per line.
+pub(crate) fn metrics_report(stats: &ServerStats) -> String {
+    let body: Vec<String> = stats.render_metrics().lines().map(str::to_owned).collect();
+    render_info_with_body(&format!("metrics lines={}", body.len()), body)
+}
+
+/// Handles a `!trace` control line: `on` arms the slow-query log for every
+/// query, `off` disarms it, `<n>` / `<n>us` / `<n>µs` arms it at a microsecond
+/// threshold, and an empty argument reports the current state.
+pub(crate) fn trace_control(stats: &ServerStats, arg: &str) -> String {
+    let slow = stats.slow_log();
+    let armed = |threshold: Duration| {
+        render_info(&format!(
+            "trace armed threshold_us={} entries={}",
+            threshold.as_micros(),
+            stats.slow_log().len()
+        ))
+    };
+    match arg {
+        "" => match slow.threshold() {
+            Some(threshold) => armed(threshold),
+            None => render_info("trace off"),
+        },
+        "off" => {
+            slow.disarm();
+            render_info("trace off")
+        }
+        "on" => {
+            slow.arm(Duration::ZERO);
+            armed(Duration::ZERO)
+        }
+        micros => {
+            let digits = micros.trim_end_matches("µs").trim_end_matches("us");
+            match digits.parse::<u64>() {
+                Ok(n) => {
+                    let threshold = Duration::from_micros(n);
+                    slow.arm(threshold);
+                    armed(threshold)
+                }
+                Err(_) => render_error_text("usage: !trace on|off|<micros>"),
+            }
+        }
+    }
+}
+
+/// The rendered `!slow` answer: retained slow-query reports, oldest first.
+pub(crate) fn slow_report(stats: &ServerStats) -> String {
+    let entries = stats.slow_log().dump();
+    let status = match stats.slow_log().threshold() {
+        Some(threshold) => {
+            format!("slow entries={} threshold_us={}", entries.len(), threshold.as_micros())
+        }
+        None => format!("slow entries={} trace=off", entries.len()),
+    };
+    render_info_with_body(&status, entries)
+}
+
+/// Feeds one finished query to the slow-query log.  The report renders only
+/// when `total` exceeds the armed threshold, so the fast path costs one
+/// atomic load.
+pub(crate) fn observe_slow(stats: &ServerStats, query: &str, total: Duration, trace: &QueryTrace) {
+    stats.slow_log().observe(total, || {
+        let mut entry = format!(
+            "{}us query={:?} trace={:x} stages={}",
+            total.as_micros(),
+            query,
+            trace.id(),
+            trace.render_compact()
+        );
+        for shard in trace.shards() {
+            entry.push_str(&format!(
+                " | shard {} rtt={} stages={}",
+                shard.shard,
+                shard.rtt.as_nanos(),
+                render_spans_compact(shard.stages.iter().copied())
+            ));
+        }
+        entry
+    });
+}
 
 /// Anything that answers protocol lines: the seam between the stdin/TCP
 /// front ends and whatever executes queries behind them.
@@ -161,10 +246,31 @@ impl LineHandler for Service {
                 self.requests.fetch_add(1, Ordering::Relaxed);
                 Handled::Respond(self.reload())
             }
+            Request::Metrics => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(metrics_report(self.engine.stats()))
+            }
+            Request::Trace(arg) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(trace_control(self.engine.stats(), &arg))
+            }
+            Request::Slow => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Handled::Respond(slow_report(self.engine.stats()))
+            }
             Request::Query(raw) => {
                 self.requests.fetch_add(1, Ordering::Relaxed);
                 match self.pool.execute(&raw) {
-                    Ok(response) => Handled::Respond(render_response(&response)),
+                    Ok(response) => {
+                        let text = render_response(&response);
+                        observe_slow(
+                            self.engine.stats(),
+                            &response.query,
+                            response.latency,
+                            &response.trace,
+                        );
+                        Handled::Respond(text)
+                    }
                     Err(e) => Handled::Respond(render_error(&e)),
                 }
             }
@@ -235,19 +341,20 @@ impl TcpServer {
                             continue;
                         }
                         // The gauge is bumped *before* the thread spawns so
-                        // the cap check above can never over-admit.
-                        stats.record_conn_open();
+                        // the cap check above can never over-admit; the guard
+                        // releases it on every exit path — EOF, `!quit`, idle
+                        // timeout, I/O error, even a panicking handler.
+                        let guard = ConnGuard::open(&service);
                         // A clone of the socket stays behind so `stop` can
                         // shut it down and unblock the connection's read.
                         let socket = stream.try_clone().ok();
                         let service = Arc::clone(&service);
                         let handle = std::thread::spawn(move || {
+                            let _guard = guard;
                             let end = serve_connection(&*service, stream, config.idle_timeout);
-                            let stats = service.stats();
                             if matches!(end, Ok(SessionEnd::IdleTimeout)) {
-                                stats.record_idle_disconnect();
+                                service.stats().record_idle_disconnect();
                             }
-                            stats.record_conn_close();
                         });
                         let mut connections = accept_connections.lock();
                         // Drop finished connections so a long-lived server
@@ -307,6 +414,27 @@ impl TcpServer {
 struct Connection {
     handle: std::thread::JoinHandle<()>,
     socket: Option<TcpStream>,
+}
+
+/// RAII release of the `dsearch_conns_active` gauge: one open connection per
+/// live guard.  Dropping the guard — on any exit path of the connection
+/// thread, unwinding included — brings the gauge back down, so the gauge can
+/// never leak a disconnect and drift away from reality.
+struct ConnGuard<S: LineHandler> {
+    service: Arc<S>,
+}
+
+impl<S: LineHandler> ConnGuard<S> {
+    fn open(service: &Arc<S>) -> Self {
+        service.stats().record_conn_open();
+        ConnGuard { service: Arc::clone(service) }
+    }
+}
+
+impl<S: LineHandler> Drop for ConnGuard<S> {
+    fn drop(&mut self) {
+        self.service.stats().record_conn_close();
+    }
 }
 
 impl Drop for TcpServer {

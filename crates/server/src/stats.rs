@@ -1,76 +1,100 @@
 //! Serving metrics: QPS, latency percentiles, cache hit rate, generation.
 //!
-//! Latency percentiles come from `dsearch_core::timing` so the server, the
-//! load generator and the benches all agree on one percentile definition.
+//! `ServerStats` is a thin facade over a `dsearch_obs::MetricsRegistry`:
+//! every counter, gauge and latency histogram it reports is a registered
+//! metric, so the same numbers back the human-readable `!stats` line, the
+//! Prometheus-style `!metrics` exposition and any future subsystem that
+//! wants to hang its own series off the shared registry.  Latency
+//! percentiles come from `dsearch_core::timing::LatencySummary` so the
+//! server, the load generator and the benches all agree on one percentile
+//! definition; here they are derived from a lock-free log₂-bucketed
+//! histogram (never an underestimate, at most 2× over — see
+//! `dsearch_obs::metrics`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-
 use dsearch_core::timing::LatencySummary;
+use dsearch_obs::{Counter, Gauge, Histogram, MetricsRegistry, QueryTrace, SlowLog, Stage};
 
 use crate::cache::CacheCounters;
 
-/// How many of the most recent request latencies the percentile window keeps.
-pub const LATENCY_WINDOW: usize = 8192;
+/// Metric name of the end-to-end query latency histogram.
+pub const QUERY_LATENCY_METRIC: &str = "dsearch_query_latency_ns";
+/// Metric name of the per-stage latency histogram family (`stage` label).
+pub const STAGE_LATENCY_METRIC: &str = "dsearch_stage_latency_ns";
+/// Metric name of the per-shard round-trip histogram family (`shard` label).
+pub const SHARD_RTT_METRIC: &str = "dsearch_shard_rtt_ns";
 
-/// Live counters, updated by every worker.
+fn stage_slot(stage: Stage) -> usize {
+    match stage {
+        Stage::Parse => 0,
+        Stage::QueueWait => 1,
+        Stage::BatchFill => 2,
+        Stage::SnapshotLoad => 3,
+        Stage::Postings => 4,
+        Stage::IntersectMerge => 5,
+        Stage::Serialize => 6,
+        Stage::Scatter => 7,
+        Stage::ShardRtt => 8,
+        Stage::Merge => 9,
+    }
+}
+
+/// Live serving metrics, updated by every worker.
+///
+/// All mutation paths are lock-free (relaxed atomics in the underlying
+/// registry metrics); the registry's mutex is only taken at construction and
+/// by cold readers (`!metrics`, lazy per-shard registration).
 #[derive(Debug)]
 pub struct ServerStats {
     started: Instant,
-    queries: AtomicU64,
-    errors: AtomicU64,
-    /// Requests refused or dropped by admission control.
-    shed: AtomicU64,
-    /// Batches of at least two queries executed together.
-    batches: AtomicU64,
-    /// Queries served as part of a multi-query batch.
-    batched: AtomicU64,
-    /// Queries answered by an identical query in the same batch.
-    dedup_hits: AtomicU64,
-    /// Adaptive-batching decisions to linger for the fill window.
-    adaptive_waits: AtomicU64,
-    /// Adaptive-batching decisions to skip the fill window.
-    adaptive_skips: AtomicU64,
-    /// Per-query per-shard failures observed by the scatter-gather router.
-    shard_errors: AtomicU64,
-    /// Routed responses served with at least one shard missing.
-    partial_responses: AtomicU64,
-    /// TCP connections currently open (gauge).
-    conns_active: AtomicU64,
-    /// TCP connections refused at accept time by the connection cap.
-    conns_rejected: AtomicU64,
-    /// TCP connections closed by the idle timeout.
-    idle_disconnects: AtomicU64,
-    /// Ring buffer of recent latencies (window for percentile reporting).
-    latencies: Mutex<LatencyRing>,
-}
-
-#[derive(Debug)]
-struct LatencyRing {
-    samples: Vec<Duration>,
-    next: usize,
+    registry: Arc<MetricsRegistry>,
+    slow: SlowLog,
+    queries: Arc<Counter>,
+    errors: Arc<Counter>,
+    shed: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched: Arc<Counter>,
+    dedup_hits: Arc<Counter>,
+    adaptive_waits: Arc<Counter>,
+    adaptive_skips: Arc<Counter>,
+    shard_errors: Arc<Counter>,
+    partial_responses: Arc<Counter>,
+    conns_active: Arc<Gauge>,
+    conns_rejected: Arc<Counter>,
+    idle_disconnects: Arc<Counter>,
+    latency: Arc<Histogram>,
+    stages: [Arc<Histogram>; Stage::ALL.len()],
 }
 
 impl Default for ServerStats {
     fn default() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        // Every stage histogram is registered eagerly so `!metrics` exposes
+        // the full family from the first scrape, traffic or not.
+        let stages = std::array::from_fn(|i| {
+            registry.labeled_histogram(STAGE_LATENCY_METRIC, "stage", Stage::ALL[i].as_str())
+        });
         ServerStats {
             started: Instant::now(),
-            queries: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched: AtomicU64::new(0),
-            dedup_hits: AtomicU64::new(0),
-            adaptive_waits: AtomicU64::new(0),
-            adaptive_skips: AtomicU64::new(0),
-            shard_errors: AtomicU64::new(0),
-            partial_responses: AtomicU64::new(0),
-            conns_active: AtomicU64::new(0),
-            conns_rejected: AtomicU64::new(0),
-            idle_disconnects: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing { samples: Vec::new(), next: 0 }),
+            slow: SlowLog::default(),
+            queries: registry.counter("dsearch_queries_total"),
+            errors: registry.counter("dsearch_errors_total"),
+            shed: registry.counter("dsearch_shed_total"),
+            batches: registry.counter("dsearch_batches_total"),
+            batched: registry.counter("dsearch_batched_queries_total"),
+            dedup_hits: registry.counter("dsearch_dedup_hits_total"),
+            adaptive_waits: registry.counter("dsearch_adaptive_waits_total"),
+            adaptive_skips: registry.counter("dsearch_adaptive_skips_total"),
+            shard_errors: registry.counter("dsearch_shard_errors_total"),
+            partial_responses: registry.counter("dsearch_partial_responses_total"),
+            conns_active: registry.gauge("dsearch_conns_active"),
+            conns_rejected: registry.counter("dsearch_conns_rejected_total"),
+            idle_disconnects: registry.counter("dsearch_idle_disconnects_total"),
+            latency: registry.histogram(QUERY_LATENCY_METRIC),
+            stages,
+            registry,
         }
     }
 }
@@ -82,42 +106,70 @@ impl ServerStats {
         ServerStats::default()
     }
 
+    /// The metrics registry behind these stats.  Other subsystems register
+    /// their own series here so one `!metrics` scrape covers the process.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The slow-query log (`!trace` / `!slow`).
+    #[must_use]
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow
+    }
+
     /// Records one successfully answered query.
     pub fn record_query(&self, latency: Duration) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self.latencies.lock();
-        if ring.samples.len() < LATENCY_WINDOW {
-            ring.samples.push(latency);
-        } else {
-            let slot = ring.next;
-            ring.samples[slot] = latency;
+        self.queries.inc();
+        self.latency.record(latency);
+    }
+
+    /// Records every stage span of a finished trace into the per-stage
+    /// histogram family.
+    pub fn record_trace(&self, trace: &QueryTrace) {
+        for span in trace.spans() {
+            self.stages[stage_slot(span.stage)].record(span.dur);
         }
-        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// The histogram of one pipeline stage.
+    #[must_use]
+    pub fn stage_histogram(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage_slot(stage)]
+    }
+
+    /// Registers (or looks up) the round-trip histogram of one shard.
+    /// Callers on the fan-out path should hold on to the returned `Arc`
+    /// rather than re-resolving per query.
+    #[must_use]
+    pub fn shard_rtt_histogram(&self, shard: &str) -> Arc<Histogram> {
+        self.registry.labeled_histogram(SHARD_RTT_METRIC, "shard", shard)
     }
 
     /// Records one failed request (parse error, protocol error).
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Records one request shed by admission control.
     pub fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
     }
 
     /// Records one executed batch of `size` queries.  Batches of one are the
     /// unbatched fast path and are not counted.
     pub fn record_batch(&self, size: u64) {
         if size >= 2 {
-            self.batches.fetch_add(1, Ordering::Relaxed);
-            self.batched.fetch_add(size, Ordering::Relaxed);
+            self.batches.inc();
+            self.batched.add(size);
         }
     }
 
     /// Records `count` queries answered by deduplication inside one batch.
     pub fn record_dedup_hits(&self, count: u64) {
         if count > 0 {
-            self.dedup_hits.fetch_add(count, Ordering::Relaxed);
+            self.dedup_hits.add(count);
         }
     }
 
@@ -125,124 +177,122 @@ impl ServerStats {
     /// worker lingered for the fill window or drained immediately.
     pub fn record_adaptive_decision(&self, waited: bool) {
         if waited {
-            self.adaptive_waits.fetch_add(1, Ordering::Relaxed);
+            self.adaptive_waits.inc();
         } else {
-            self.adaptive_skips.fetch_add(1, Ordering::Relaxed);
+            self.adaptive_skips.inc();
         }
     }
 
     /// Records `count` per-query shard failures seen by the router.
     pub fn record_shard_errors(&self, count: u64) {
         if count > 0 {
-            self.shard_errors.fetch_add(count, Ordering::Relaxed);
+            self.shard_errors.add(count);
         }
     }
 
     /// Records one routed response served with at least one shard missing.
     pub fn record_partial_response(&self) {
-        self.partial_responses.fetch_add(1, Ordering::Relaxed);
+        self.partial_responses.inc();
     }
 
     /// Number of queries answered so far.
     #[must_use]
     pub fn query_count(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+        self.queries.value()
     }
 
     /// Number of failed requests so far.
     #[must_use]
     pub fn error_count(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.errors.value()
     }
 
     /// Number of requests shed by admission control so far.
     #[must_use]
     pub fn shed_count(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.value()
     }
 
     /// Number of multi-query batches executed so far.
     #[must_use]
     pub fn batch_count(&self) -> u64 {
-        self.batches.load(Ordering::Relaxed)
+        self.batches.value()
     }
 
     /// Number of queries served inside multi-query batches so far.
     #[must_use]
     pub fn batched_count(&self) -> u64 {
-        self.batched.load(Ordering::Relaxed)
+        self.batched.value()
     }
 
     /// Number of queries answered by in-batch deduplication so far.
     #[must_use]
     pub fn dedup_hit_count(&self) -> u64 {
-        self.dedup_hits.load(Ordering::Relaxed)
+        self.dedup_hits.value()
     }
 
     /// Adaptive-batching decisions to wait for the fill window so far.
     #[must_use]
     pub fn adaptive_wait_count(&self) -> u64 {
-        self.adaptive_waits.load(Ordering::Relaxed)
+        self.adaptive_waits.value()
     }
 
     /// Adaptive-batching decisions to skip the fill window so far.
     #[must_use]
     pub fn adaptive_skip_count(&self) -> u64 {
-        self.adaptive_skips.load(Ordering::Relaxed)
+        self.adaptive_skips.value()
     }
 
     /// Per-query shard failures observed by the router so far.
     #[must_use]
     pub fn shard_error_count(&self) -> u64 {
-        self.shard_errors.load(Ordering::Relaxed)
+        self.shard_errors.value()
     }
 
     /// Routed responses served with at least one shard missing so far.
     #[must_use]
     pub fn partial_response_count(&self) -> u64 {
-        self.partial_responses.load(Ordering::Relaxed)
+        self.partial_responses.value()
     }
 
     /// Records a TCP connection opening.
     pub fn record_conn_open(&self) {
-        self.conns_active.fetch_add(1, Ordering::Relaxed);
+        self.conns_active.inc();
     }
 
-    /// Records a TCP connection closing (for any reason).
+    /// Records a TCP connection closing (for any reason).  The gauge
+    /// saturates at zero: close without open would underflow only on a
+    /// caller bug, and a huge bogus gauge is worse than a clamped one.
     pub fn record_conn_close(&self) {
-        // A saturating decrement: close without open would underflow only on
-        // a caller bug, and a huge bogus gauge is worse than a clamped one.
-        let _ = self
-            .conns_active
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+        self.conns_active.dec();
     }
 
     /// Records a connection refused by the `--max-conns` cap.
     pub fn record_conn_rejected(&self) {
-        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+        self.conns_rejected.inc();
     }
 
     /// Records a connection closed by the idle timeout.
     pub fn record_idle_disconnect(&self) {
-        self.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+        self.idle_disconnects.inc();
     }
 
     /// TCP connections currently open.
     #[must_use]
     pub fn active_conn_count(&self) -> u64 {
-        self.conns_active.load(Ordering::Relaxed)
+        self.conns_active.value()
     }
 
     /// TCP connections refused by the connection cap so far.
     #[must_use]
     pub fn rejected_conn_count(&self) -> u64 {
-        self.conns_rejected.load(Ordering::Relaxed)
+        self.conns_rejected.value()
     }
 
     /// TCP connections closed by the idle timeout so far.
     #[must_use]
     pub fn idle_disconnect_count(&self) -> u64 {
-        self.idle_disconnects.load(Ordering::Relaxed)
+        self.idle_disconnects.value()
     }
 
     /// Wall-clock time since the stats were created.
@@ -262,10 +312,18 @@ impl ServerStats {
         }
     }
 
-    /// Percentile summary over the recent-latency window.
+    /// Percentile summary (p50/p95/p99/p99.9) of every query latency
+    /// recorded so far, derived from the atomic histogram.
     #[must_use]
     pub fn latency_summary(&self) -> LatencySummary {
-        LatencySummary::from_samples(&self.latencies.lock().samples)
+        self.latency.summary()
+    }
+
+    /// Renders the Prometheus-style text exposition of every registered
+    /// metric (the `!metrics` protocol command).
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        self.registry.render_prometheus()
     }
 
     /// Renders a one-stop report (used by the `!stats` protocol command).
@@ -314,13 +372,52 @@ mod tests {
         assert_eq!(stats.error_count(), 1);
         let summary = stats.latency_summary();
         assert_eq!(summary.samples, 100);
-        assert_eq!(summary.p50, Duration::from_micros(50));
-        assert_eq!(summary.p99, Duration::from_micros(99));
+        // Histogram percentiles report bucket upper bounds: never below the
+        // exact percentile, at most 2x over.
+        assert!(summary.p50 >= Duration::from_micros(50), "p50 {:?}", summary.p50);
+        assert!(summary.p50 <= Duration::from_micros(100), "p50 {:?}", summary.p50);
+        assert!(summary.p99 >= Duration::from_micros(99), "p99 {:?}", summary.p99);
+        assert_eq!(summary.max, Duration::from_micros(100));
         assert!(stats.qps() > 0.0);
         let report = stats.render(CacheCounters::default(), 7);
         assert!(report.contains("generation=7"), "{report}");
         assert!(report.contains("queries=100"), "{report}");
         assert!(report.contains("shed=0"), "{report}");
+        assert!(report.contains("p99.9"), "{report}");
+    }
+
+    #[test]
+    fn histogram_percentiles_match_exact_ring_within_bucket_error() {
+        // The old implementation kept an exact ring of recent samples; the
+        // histogram replaces it.  Cross-check: for a busy, skewed window the
+        // histogram-derived percentiles stay within one log2 bucket of the
+        // exact nearest-rank percentiles (exact <= histogram <= 2 * exact).
+        let stats = ServerStats::new();
+        let mut exact_ring: Vec<Duration> = Vec::new();
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        for _ in 0..5000 {
+            // xorshift: a long-tailed mix of sub-µs to ~100ms samples.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let sample = Duration::from_nanos(200 + state % 100_000_000);
+            stats.record_query(sample);
+            exact_ring.push(sample);
+        }
+        exact_ring.sort_unstable();
+        let summary = stats.latency_summary();
+        let exact = LatencySummary::from_samples(&exact_ring);
+        for (name, hist, exact) in [
+            ("p50", summary.p50, exact.p50),
+            ("p95", summary.p95, exact.p95),
+            ("p99", summary.p99, exact.p99),
+            ("p99.9", summary.p999, exact.p999),
+        ] {
+            assert!(hist >= exact, "{name}: histogram {hist:?} < exact {exact:?}");
+            assert!(hist <= exact * 2, "{name}: histogram {hist:?} > 2x exact {exact:?}");
+        }
+        assert_eq!(summary.max, exact.max);
+        assert_eq!(summary.samples, 5000);
     }
 
     #[test]
@@ -364,11 +461,36 @@ mod tests {
     }
 
     #[test]
-    fn latency_window_wraps_instead_of_growing() {
+    fn traces_feed_the_stage_histogram_family() {
         let stats = ServerStats::new();
-        for i in 0..(LATENCY_WINDOW as u64 + 100) {
-            stats.record_query(Duration::from_nanos(i));
+        let mut trace = QueryTrace::new(1);
+        trace.record(Stage::Parse, Duration::from_nanos(400));
+        trace.record(Stage::Postings, Duration::from_micros(9));
+        stats.record_trace(&trace);
+        stats.record_trace(&trace);
+        assert_eq!(stats.stage_histogram(Stage::Parse).count(), 2);
+        assert_eq!(stats.stage_histogram(Stage::Postings).count(), 2);
+        assert_eq!(stats.stage_histogram(Stage::Merge).count(), 0);
+        // Every stage family member is registered eagerly, so the exposition
+        // lists them all even without traffic.
+        let text = stats.render_metrics();
+        for stage in Stage::ALL {
+            assert!(
+                text.contains(&format!("stage=\"{stage}\"")),
+                "missing stage {stage} in exposition"
+            );
         }
-        assert_eq!(stats.latency_summary().samples, LATENCY_WINDOW);
+        assert!(text.contains("# TYPE dsearch_queries_total counter"), "{text}");
+    }
+
+    #[test]
+    fn shard_rtt_histograms_register_lazily_per_shard() {
+        let stats = ServerStats::new();
+        let rtt = stats.shard_rtt_histogram("127.0.0.1:7471");
+        rtt.record(Duration::from_micros(12));
+        // Same shard resolves to the same histogram.
+        assert_eq!(stats.shard_rtt_histogram("127.0.0.1:7471").count(), 1);
+        let text = stats.render_metrics();
+        assert!(text.contains("shard=\"127.0.0.1:7471\""), "{text}");
     }
 }

@@ -76,7 +76,11 @@ fn open_loop_overload_sheds_and_reports_via_stats() {
     let report = loadgen::run(
         service.pool(),
         &scan_workload(500),
-        &LoadConfig { requests: 500, mode: LoadMode::Open { rate_qps: 200_000.0 } },
+        &LoadConfig {
+            requests: 500,
+            mode: LoadMode::Open { rate_qps: 200_000.0 },
+            stage_report: false,
+        },
     );
 
     assert!(report.shed > 0, "an overrun bounded queue must shed: {report}");
@@ -101,7 +105,11 @@ fn drop_oldest_sheds_queued_waiters_not_submitters() {
     let report = loadgen::run(
         service.pool(),
         &scan_workload(400),
-        &LoadConfig { requests: 400, mode: LoadMode::Open { rate_qps: 200_000.0 } },
+        &LoadConfig {
+            requests: 400,
+            mode: LoadMode::Open { rate_qps: 200_000.0 },
+            stage_report: false,
+        },
     );
 
     // Under drop-oldest the submission always succeeds; the overload answer
@@ -121,7 +129,7 @@ fn closed_loop_under_the_bound_sheds_nothing() {
     let report = loadgen::run(
         service.pool(),
         &scan_workload(64),
-        &LoadConfig { requests: 200, mode: LoadMode::Closed { clients: 2 } },
+        &LoadConfig { requests: 200, mode: LoadMode::Closed { clients: 2 }, stage_report: false },
     );
 
     assert_eq!(report.shed, 0, "closed-loop under the bound must not shed: {report}");

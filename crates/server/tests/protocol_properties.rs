@@ -50,6 +50,7 @@ fn response_strategy() -> impl Strategy<Value = QueryResponse> {
                 generation,
                 cached,
                 latency: Duration::from_micros(micros),
+                trace: Arc::new(dsearch_obs::QueryTrace::new(micros)),
             }
         })
 }
@@ -70,6 +71,12 @@ proptest! {
                 Request::Stats => prop_assert_eq!(line.trim(), "!stats"),
                 Request::Reload => prop_assert_eq!(line.trim(), "!reload"),
                 Request::Quit => prop_assert_eq!(line.trim(), "!quit"),
+                Request::Metrics => prop_assert_eq!(line.trim(), "!metrics"),
+                Request::Slow => prop_assert_eq!(line.trim(), "!slow"),
+                Request::Trace(arg) => {
+                    prop_assert!(line.trim().starts_with("!trace"));
+                    prop_assert_eq!(arg.as_str(), line.trim().strip_prefix("!trace").unwrap().trim());
+                }
                 Request::Query(q) => prop_assert_eq!(q.as_str(), line.trim()),
             }
         }
