@@ -3,11 +3,13 @@
 //! Re-runs the key `posting_ops`/`query_eval` measurements with plain
 //! `Instant` timing (median of N runs) and emits them, together with the
 //! compressed-index size metrics, a router scatter-gather group (direct
-//! engine vs routed over 1 and 2 local shards) and the traced router stage
+//! engine vs routed over 1 and 2 local shards), the traced router stage
 //! breakdown (scatter vs shard round trip vs merge medians, harvested from
-//! the responses' own query traces), as one JSON object — `BENCH_PR6.json`
-//! by default — so the perf trajectory of the serving stack is diffable
-//! PR-over-PR without scraping bench output.
+//! the responses' own query traces) and a `route_replicated` group (2
+//! logical shards × 2 replicas: healthy vs one-replica-down vs hedged
+//! p50/p99), as one JSON object — `BENCH_PR7.json` by default — so the perf
+//! trajectory of the serving stack is diffable PR-over-PR without scraping
+//! bench output.
 //!
 //! ```text
 //! bench_summary [--quick] [--out PATH]
@@ -19,7 +21,7 @@
 //! stay exact.
 
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dsearch::index::{
     intersect_cursors_into, union_cursors_into, union_into, CompressedPostings, DocTable, FileId,
@@ -28,7 +30,8 @@ use dsearch::index::{
 use dsearch::obs::Stage;
 use dsearch::query::{Query, SearchBackend, SingleIndexSearcher};
 use dsearch::server::{
-    EngineConfig, IndexSnapshot, LocalShards, QueryEngine, Router, RouterConfig, ShardBackend,
+    EngineConfig, IndexSnapshot, LocalShards, QueryEngine, RemoteShard, RemoteShardConfig,
+    ReplicaSet, ReplicaSetConfig, Router, RouterConfig, ShardBackend,
 };
 use dsearch::text::Term;
 use serde::Value;
@@ -99,6 +102,13 @@ fn sharded_engines(docs: u32, shards: u32) -> Vec<std::sync::Arc<QueryEngine>> {
         .collect()
 }
 
+/// Router config for the timing groups: result cache off, so repeated
+/// identical bench queries measure the scatter path PR-over-PR instead of a
+/// cache lookup.
+fn scatter_config() -> RouterConfig {
+    RouterConfig { cache_capacity: 0, ..RouterConfig::default() }
+}
+
 fn router_over(shards: u32) -> std::sync::Arc<Router> {
     let backends: Vec<Box<dyn ShardBackend>> = sharded_engines(20_000, shards)
         .into_iter()
@@ -108,7 +118,84 @@ fn router_over(shards: u32) -> std::sync::Arc<Router> {
                 as Box<dyn ShardBackend>
         })
         .collect();
-    Router::new(backends, RouterConfig::default()).expect("bench router config is valid")
+    Router::new(backends, scatter_config()).expect("bench router config is valid")
+}
+
+/// The `route_replicated` scenarios: every logical shard sits behind a
+/// 2-replica [`ReplicaSet`].
+enum ReplicaScenario {
+    /// Both replicas healthy; no hedging pressure.
+    Healthy,
+    /// One replica of each set is a dead address — the breaker must open it
+    /// and route around for near-healthy latency.
+    OneReplicaDown,
+    /// Both healthy, but the hedge deadline is tiny so nearly every query
+    /// races two replicas.
+    Hedged,
+}
+
+fn replicated_router(scenario: &ReplicaScenario) -> std::sync::Arc<Router> {
+    let breaker = ReplicaSetConfig {
+        // No probes mid-measurement: the dead replica opens during warm-up
+        // and stays open, which is the steady state being measured.
+        probe_backoff: Duration::from_secs(120),
+        hedge_after: match scenario {
+            ReplicaScenario::Hedged => Some(Duration::from_micros(20)),
+            _ => None,
+        },
+        adaptive_hedge: false,
+        ..ReplicaSetConfig::default()
+    };
+    let dead = || -> Box<dyn ShardBackend> {
+        // Connection refused on loopback is immediate; the timeout only
+        // bounds pathological environments.
+        Box::new(RemoteShard::with_config(
+            "127.0.0.1:1",
+            RemoteShardConfig {
+                connect_timeout: Duration::from_millis(50),
+                ..RemoteShardConfig::default()
+            },
+        ))
+    };
+    let backends: Vec<Box<dyn ShardBackend>> = sharded_engines(20_000, 2)
+        .into_iter()
+        .enumerate()
+        .map(|(i, engine)| {
+            // Two replicas per logical shard; in the down scenario replica 0
+            // is a dead address, so the idle-tie pick tries it first — the
+            // worst case for the health gating being measured.
+            let first: Box<dyn ShardBackend> = match scenario {
+                ReplicaScenario::OneReplicaDown => dead(),
+                _ => Box::new(
+                    LocalShards::new(std::sync::Arc::clone(&engine))
+                        .with_id(format!("shard-{i}-a")),
+                ),
+            };
+            let second: Box<dyn ShardBackend> =
+                Box::new(LocalShards::new(engine).with_id(format!("shard-{i}-b")));
+            let replicas = vec![first, second];
+            Box::new(
+                ReplicaSet::new(format!("shard-{i}"), replicas, breaker)
+                    .expect("bench replica config is valid"),
+            ) as Box<dyn ShardBackend>
+        })
+        .collect();
+    Router::new(backends, scatter_config()).expect("bench router config is valid")
+}
+
+/// p50/p99 over `samples` timed runs (plus an untimed warm-up — which for
+/// the one-replica-down scenario also absorbs the breaker opening).
+fn percentiles_ns<F: FnMut()>(samples: usize, mut routine: F) -> (u64, u64) {
+    routine(); // warm-up, untimed
+    let mut times: Vec<u64> = (0..samples.max(10))
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], times[times.len() * 99 / 100])
 }
 
 fn main() {
@@ -118,7 +205,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR6.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_owned());
     let samples = if quick { 5 } else { 25 };
 
     let mut fields: Vec<(String, Value)> = Vec::new();
@@ -261,6 +348,26 @@ fn main() {
     record("route_stage_scatter_2shard_ns", Value::UInt(median_of(scatter_ns)));
     record("route_stage_shard_rtt_2shard_ns", Value::UInt(median_of(shard_rtt_ns)));
     record("route_stage_merge_2shard_ns", Value::UInt(median_of(merge_ns)));
+
+    // ---- Router: replicated shard sets, healthy / one-down / hedged ------
+    // Two logical shards, each a 2-replica ReplicaSet over local engines.
+    // The acceptance bar: losing one replica per set must cost near nothing
+    // once the breaker opens (one_replica_down p99 within 2x of healthy).
+    let replica_samples = if quick { 40 } else { 400 };
+    for (name, scenario) in [
+        ("healthy", ReplicaScenario::Healthy),
+        ("one_replica_down", ReplicaScenario::OneReplicaDown),
+        ("hedged", ReplicaScenario::Hedged),
+    ] {
+        let router = replicated_router(&scenario);
+        let (p50, p99) = percentiles_ns(replica_samples, || {
+            black_box(
+                router.route("mid042 even common").expect("replicated query serves").hits.len(),
+            );
+        });
+        record(&format!("route_replicated_{name}_p50_ns"), Value::UInt(p50));
+        record(&format!("route_replicated_{name}_p99_ns"), Value::UInt(p99));
+    }
 
     let json = serde_json::to_string_pretty(&Value::Object(fields)).expect("summary serialises");
     std::fs::write(&out_path, format!("{json}\n")).expect("summary written");

@@ -46,6 +46,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "shard-timeout-ms",
     "connect-timeout-ms",
     "trace-us",
+    "hedge-ms",
+    "probe-ms",
 ];
 
 /// Parsed command-line arguments.

@@ -1,19 +1,26 @@
 //! `dsearch route` — the scatter-gather coordinator over shard servers.
 //!
-//! Points the [`Router`](dsearch::server::Router) at one `--shard
-//! host:port` per `dsearch serve` process.  Every query read from stdin (or
-//! TCP, with `--tcp`) is fanned out to all shards concurrently over the
-//! existing line protocol, the per-shard rankings are merged, and a shard
-//! that is down or times out degrades the answer to `partial=true` instead
-//! of failing it.  `!stats` aggregates the shards' own stats under the
-//! router's counters; `!reload` forwards to every shard.
+//! Points the [`Router`](dsearch::server::Router) at one `--shard` per
+//! logical shard.  A `--shard` value is a comma-separated replica group:
+//! `--shard a:7878` is a single `dsearch serve` process, `--shard
+//! a:7878,b:7878` a [`ReplicaSet`](dsearch::server::ReplicaSet) routing each
+//! query to the least-loaded healthy replica, with circuit breaking
+//! (`--probe-ms` controls the half-open probe backoff) and hedged requests
+//! (`--hedge-ms` fixes the hedge deadline; `0` disables hedging; unset
+//! derives it from the rolling round-trip p99).  Every query read from
+//! stdin (or TCP, with `--tcp`) is fanned out to all shards concurrently
+//! over the existing line protocol, the per-shard rankings are merged, and
+//! a shard that is down or times out degrades the answer to `partial=true`
+//! instead of failing it.  `!stats` aggregates the shards' own stats under
+//! the router's counters; `!reload` fans out and reports each backend
+//! individually.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use dsearch::server::{
-    LineHandler, RemoteShard, RemoteShardConfig, RouteService, Router, RouterConfig, ShardBackend,
-    TcpServer,
+    LineHandler, RemoteShard, RemoteShardConfig, ReplicaSet, ReplicaSetConfig, RouteService,
+    Router, RouterConfig, ShardBackend, TcpServer,
 };
 
 use crate::args::ParsedArgs;
@@ -38,7 +45,30 @@ pub(crate) fn router_config(args: &ParsedArgs) -> Result<RouterConfig, CliError>
     if let Some(policy) = args.value_of("overload") {
         config.batch.overload = policy.parse().map_err(CliError::Usage)?;
     }
+    if let Some(capacity) = args.number_of::<usize>("cache")? {
+        config.cache_capacity = capacity;
+    }
+    if let Some(shards) = args.number_of::<usize>("cache-shards")? {
+        config.cache_shards = shards;
+    }
     config.validate().map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
+    Ok(config)
+}
+
+/// Builds the replica-set policy from `--hedge-ms` / `--probe-ms`.
+pub(crate) fn replica_config(args: &ParsedArgs) -> Result<ReplicaSetConfig, CliError> {
+    let mut config = ReplicaSetConfig::default();
+    if let Some(ms) = args.number_of::<u64>("hedge-ms")? {
+        if ms == 0 {
+            config.hedge_after = None;
+            config.adaptive_hedge = false;
+        } else {
+            config.hedge_after = Some(Duration::from_millis(ms));
+        }
+    }
+    if let Some(ms) = args.number_of::<u64>("probe-ms")? {
+        config.probe_backoff = Duration::from_millis(ms.max(1));
+    }
     Ok(config)
 }
 
@@ -55,21 +85,40 @@ pub(crate) fn shard_config(args: &ParsedArgs) -> Result<RemoteShardConfig, CliEr
     Ok(config)
 }
 
-/// Builds the router over one [`RemoteShard`] per `--shard` address.
+/// Builds the router over one backend per `--shard` value: a single
+/// [`RemoteShard`] for a plain address, a [`ReplicaSet`] of remote shards
+/// for a comma-separated replica group.
 pub(crate) fn build_router(args: &ParsedArgs) -> Result<Arc<Router>, CliError> {
-    let addrs = args.values_of("shard");
-    if addrs.is_empty() {
+    let groups = args.values_of("shard");
+    if groups.is_empty() {
         return Err(CliError::Usage(
-            "this command requires at least one --shard <host:port>".into(),
+            "this command requires at least one --shard <host:port>[,<host:port>...]".into(),
         ));
     }
     let shard_config = shard_config(args)?;
-    let backends: Vec<Box<dyn ShardBackend>> = addrs
-        .iter()
-        .map(|addr| {
-            Box::new(RemoteShard::with_config(*addr, shard_config)) as Box<dyn ShardBackend>
-        })
-        .collect();
+    let replica_config = replica_config(args)?;
+    let mut backends: Vec<Box<dyn ShardBackend>> = Vec::with_capacity(groups.len());
+    for group in &groups {
+        let addrs: Vec<&str> = group.split(',').map(str::trim).filter(|a| !a.is_empty()).collect();
+        match addrs.as_slice() {
+            [] => {
+                return Err(CliError::Usage(format!("--shard {group:?} names no addresses")));
+            }
+            [addr] => backends.push(Box::new(RemoteShard::with_config(*addr, shard_config))),
+            many => {
+                let replicas: Vec<Box<dyn ShardBackend>> = many
+                    .iter()
+                    .map(|addr| {
+                        Box::new(RemoteShard::with_config(*addr, shard_config))
+                            as Box<dyn ShardBackend>
+                    })
+                    .collect();
+                let set = ReplicaSet::new(*group, replicas, replica_config)
+                    .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
+                backends.push(Box::new(set));
+            }
+        }
+    }
     Router::new(backends, router_config(args)?)
         .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))
 }
@@ -206,6 +255,48 @@ mod tests {
         let router = build_router(&args).unwrap();
         let ids: Vec<String> = router.backends().iter().map(|b| b.id()).collect();
         assert_eq!(ids, ["h1:7878", "h2:7878"]);
+    }
+
+    #[test]
+    fn comma_separated_shard_values_become_replica_sets() {
+        let args = ParsedArgs::parse(["route", "--shard", "h1:7878,h2:7878", "--shard", "h3:7878"])
+            .unwrap();
+        let router = build_router(&args).unwrap();
+        let ids: Vec<String> = router.backends().iter().map(|b| b.id()).collect();
+        assert_eq!(ids, ["h1:7878,h2:7878", "h3:7878"]);
+        // The replica group reports per-replica status lines; the plain
+        // shard has none.
+        assert_eq!(router.backends()[0].replica_status().len(), 2);
+        assert!(router.backends()[1].replica_status().is_empty());
+    }
+
+    #[test]
+    fn replica_config_parses_hedge_and_probe_overrides() {
+        let args = ParsedArgs::parse([
+            "route",
+            "--shard",
+            "a:1,b:1",
+            "--hedge-ms",
+            "25",
+            "--probe-ms",
+            "200",
+        ])
+        .unwrap();
+        let config = replica_config(&args).unwrap();
+        assert_eq!(config.hedge_after, Some(Duration::from_millis(25)));
+        assert_eq!(config.probe_backoff, Duration::from_millis(200));
+        // `--hedge-ms 0` disables hedging entirely (fixed and adaptive).
+        let args = ParsedArgs::parse(["route", "--shard", "a:1,b:1", "--hedge-ms", "0"]).unwrap();
+        let config = replica_config(&args).unwrap();
+        assert_eq!(config.hedge_after, None);
+        assert!(!config.adaptive_hedge);
+    }
+
+    #[test]
+    fn empty_replica_group_is_a_usage_error() {
+        let args = ParsedArgs::parse(["route", "--shard", ","]).unwrap();
+        let err = build_router(&args).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("no addresses")), "{err}");
     }
 
     #[test]

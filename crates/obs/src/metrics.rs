@@ -309,10 +309,30 @@ impl MetricsRegistry {
         intern(&self.counters, Key { name: name.to_owned(), label: None })
     }
 
+    /// Registers (or looks up) one member of a labeled counter family,
+    /// e.g. `replica_opens_total{replica="127.0.0.1:7471"}`.
+    #[must_use]
+    pub fn labeled_counter(&self, name: &str, label: &str, value: &str) -> Arc<Counter> {
+        intern(
+            &self.counters,
+            Key { name: name.to_owned(), label: Some((label.to_owned(), value.to_owned())) },
+        )
+    }
+
     /// Registers (or looks up) a gauge.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         intern(&self.gauges, Key { name: name.to_owned(), label: None })
+    }
+
+    /// Registers (or looks up) one member of a labeled gauge family,
+    /// e.g. `replica_state{replica="127.0.0.1:7471"}`.
+    #[must_use]
+    pub fn labeled_gauge(&self, name: &str, label: &str, value: &str) -> Arc<Gauge> {
+        intern(
+            &self.gauges,
+            Key { name: name.to_owned(), label: Some((label.to_owned(), value.to_owned())) },
+        )
     }
 
     /// Registers (or looks up) an unlabeled histogram.
@@ -390,6 +410,30 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn gauge(&self, name: &str) -> u64 {
         self.gauges.iter().find(|(k, _)| k.name == name && k.label.is_none()).map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of one member of a labeled counter family (zero when absent).
+    #[must_use]
+    pub fn labeled_counter(&self, name: &str, label: (&str, &str)) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| {
+                k.name == name
+                    && k.label.as_ref().map(|(lk, lv)| (lk.as_str(), lv.as_str())) == Some(label)
+            })
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of one member of a labeled gauge family (zero when absent).
+    #[must_use]
+    pub fn labeled_gauge(&self, name: &str, label: (&str, &str)) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(k, _)| {
+                k.name == name
+                    && k.label.as_ref().map(|(lk, lv)| (lk.as_str(), lv.as_str())) == Some(label)
+            })
+            .map_or(0, |(_, v)| *v)
     }
 
     /// Snapshot of a named histogram, honouring an optional label pair.
@@ -602,6 +646,28 @@ mod tests {
         assert!(second.histogram("stage_ns", Some(("stage", "merge"))).is_none());
         assert!(second.histogram("stage_ns", None).is_none());
         assert_eq!(second.counter("missing"), 0);
+    }
+
+    #[test]
+    fn labeled_counters_and_gauges_intern_per_label_value() {
+        let registry = MetricsRegistry::new();
+        registry.labeled_counter("replica_opens_total", "replica", "a").add(2);
+        registry.labeled_counter("replica_opens_total", "replica", "b").inc();
+        registry.labeled_gauge("replica_state", "replica", "a").set(2);
+        registry.labeled_gauge("replica_state", "replica", "b").set(0);
+        // Idempotent per (name, label value); distinct values are distinct.
+        assert_eq!(registry.labeled_counter("replica_opens_total", "replica", "a").value(), 2);
+        assert_eq!(registry.labeled_counter("replica_opens_total", "replica", "b").value(), 1);
+        // The unlabeled member is a different metric entirely.
+        assert_eq!(registry.counter("replica_opens_total").value(), 0);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.labeled_counter("replica_opens_total", ("replica", "a")), 2);
+        assert_eq!(snapshot.labeled_gauge("replica_state", ("replica", "a")), 2);
+        assert_eq!(snapshot.labeled_gauge("replica_state", ("replica", "missing")), 0);
+        let text = registry.render_prometheus();
+        assert!(text.contains("replica_opens_total{replica=\"a\"} 2\n"), "{text}");
+        assert!(text.contains("replica_state{replica=\"b\"} 0\n"), "{text}");
+        assert_eq!(text.matches("# TYPE replica_state gauge").count(), 1);
     }
 
     #[test]

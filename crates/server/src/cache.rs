@@ -5,6 +5,10 @@
 //! old generation stop being requested and age out through normal LRU
 //! eviction.  Sharding by key hash keeps lock contention low when many worker
 //! threads hit the cache at once.
+//!
+//! The cache is generic over its value type: the single-store engine caches
+//! `Arc<SearchResults>` (the default), the router caches merged
+//! `Arc<Vec<RankedHit>>` responses keyed by its own reload epoch.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,26 +56,32 @@ impl CacheCounters {
 
 /// One LRU shard: a key map plus a recency index ordered by a monotonically
 /// increasing tick.
-#[derive(Debug, Default)]
-struct Shard {
-    entries: HashMap<CacheKey, (Arc<SearchResults>, u64)>,
+#[derive(Debug)]
+struct Shard<V> {
+    entries: HashMap<CacheKey, (V, u64)>,
     recency: BTreeMap<u64, CacheKey>,
     tick: u64,
 }
 
-impl Shard {
-    fn touch(&mut self, key: &CacheKey) -> Option<Arc<SearchResults>> {
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard { entries: HashMap::new(), recency: BTreeMap::new(), tick: 0 }
+    }
+}
+
+impl<V: Clone> Shard<V> {
+    fn touch(&mut self, key: &CacheKey) -> Option<V> {
         let tick = self.tick;
         self.tick += 1;
         let (value, old_tick) = self.entries.get_mut(key)?;
-        let value = Arc::clone(value);
+        let value = value.clone();
         let previous = std::mem::replace(old_tick, tick);
         self.recency.remove(&previous);
         self.recency.insert(tick, key.clone());
         Some(value)
     }
 
-    fn insert(&mut self, key: CacheKey, value: Arc<SearchResults>, capacity: usize) -> u64 {
+    fn insert(&mut self, key: CacheKey, value: V, capacity: usize) -> u64 {
         let tick = self.tick;
         self.tick += 1;
         if let Some((_, old_tick)) = self.entries.remove(&key) {
@@ -89,10 +99,11 @@ impl Shard {
     }
 }
 
-/// A sharded LRU query-result cache.
+/// A sharded LRU query-result cache, generic over the cached value (cheap
+/// to clone — in practice an `Arc`).
 #[derive(Debug)]
-pub struct QueryCache {
-    shards: Vec<Mutex<Shard>>,
+pub struct QueryCache<V = Arc<SearchResults>> {
+    shards: Vec<Mutex<Shard<V>>>,
     capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -100,7 +111,7 @@ pub struct QueryCache {
     insertions: AtomicU64,
 }
 
-impl QueryCache {
+impl<V: Clone> QueryCache<V> {
     /// Creates a cache with `capacity` total entries spread over `shards`
     /// locks.  Both values are clamped to at least 1.
     #[must_use]
@@ -117,7 +128,7 @@ impl QueryCache {
         }
     }
 
-    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard<V>> {
         use std::hash::Hasher;
         // FNV-1a (the system-wide hash) over the query text, continued over
         // the generation so the same query maps to fresh shards per image.
@@ -129,7 +140,7 @@ impl QueryCache {
 
     /// Looks up a cached result, refreshing its recency on hit.
     #[must_use]
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<SearchResults>> {
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
         let result = self.shard_for(key).lock().touch(key);
         match &result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -139,7 +150,7 @@ impl QueryCache {
     }
 
     /// Inserts a result, evicting least-recently-used entries past capacity.
-    pub fn insert(&self, key: CacheKey, value: Arc<SearchResults>) {
+    pub fn insert(&self, key: CacheKey, value: V) {
         let evicted = self.shard_for(&key).lock().insert(key, value, self.capacity_per_shard);
         self.insertions.fetch_add(1, Ordering::Relaxed);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);

@@ -33,6 +33,10 @@
 //!   the [`route::ShardBackend`] seam ([`route::LocalShards`] in-process,
 //!   [`route::RemoteShard`] over TCP) and the [`route::Router`] that fans
 //!   queries out, merges rankings and tolerates missing shards;
+//! * [`replica`] — [`replica::ReplicaSet`]: N replicas behind one logical
+//!   shard, with a least-loaded healthy pick, a per-replica circuit breaker
+//!   (closed → open → half-open probe with backoff), and hedged requests
+//!   against the set's rolling round-trip p99;
 //! * [`loadgen`] — closed- and open-loop load generation behind
 //!   `dsearch loadgen`.
 //!
@@ -67,6 +71,7 @@ pub mod cache;
 pub mod engine;
 pub mod loadgen;
 pub mod protocol;
+pub mod replica;
 pub mod route;
 pub mod serve;
 pub mod snapshot;
@@ -81,6 +86,7 @@ pub use engine::{
     ConfigError, EngineConfig, PendingResponse, QueryEngine, QueryResponse, ServerError, WorkerPool,
 };
 pub use loadgen::{LoadConfig, LoadMode, LoadReport, Workload};
+pub use replica::{ReplicaSet, ReplicaSetConfig, ReplicaState};
 pub use route::{
     LocalShards, RemoteShard, RemoteShardConfig, RouteService, RoutedResponse, Router,
     RouterConfig, RouterPool, ShardBackend, ShardError, ShardReply,

@@ -39,11 +39,12 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use dsearch_obs::{next_trace_id, Histogram, QueryTrace, ShardSpan, Span, Stage};
+use dsearch_obs::{next_trace_id, Histogram, MetricsRegistry, QueryTrace, ShardSpan, Span, Stage};
 use dsearch_persist::IndexStore;
 use dsearch_query::{merge_ranked, Query, RankedHit};
 
 use crate::batch::{BatchConfig, QueueGovernor, QueueJob};
+use crate::cache::{CacheCounters, CacheKey, QueryCache};
 use crate::engine::{ConfigError, QueryEngine, ServerError};
 use crate::protocol::{
     parse_hit_line, parse_request, prefix_trace_id, read_response, render_error, render_error_text,
@@ -144,6 +145,29 @@ pub trait ShardBackend: Send + Sync {
     ///
     /// Reports transport failures and shard-side refusals.
     fn reload(&self) -> Result<String, ShardError>;
+
+    /// Per-member reload outcomes, one per underlying backend, so a member
+    /// whose reload fails is never indistinguishable from success in an
+    /// aggregate line.  The default reports the backend as its own single
+    /// member; composite backends (a replica set) fan out.
+    fn reload_detailed(&self) -> Vec<(String, Result<String, ShardError>)> {
+        vec![(self.id(), self.reload())]
+    }
+
+    /// Extra `!stats` body lines describing this backend's internal members
+    /// (one line per replica, with breaker state, for a replica set).  The
+    /// default has none.
+    fn replica_status(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Interns this backend's own metrics — replica health gauges, hedge
+    /// counters — into `registry`, the router's, so they surface through the
+    /// router's `!metrics`.  Called once at router construction; the default
+    /// does nothing.
+    fn bind_metrics(&self, registry: &MetricsRegistry) {
+        let _ = registry;
+    }
 }
 
 /// Today's in-process serving path as a [`ShardBackend`]: a sealed
@@ -540,11 +564,24 @@ pub struct RouterConfig {
     /// Batching and admission control for the router's queue (the same
     /// knobs `dsearch serve` exposes).
     pub batch: BatchConfig,
+    /// Total entries in the router's merged-result cache; `0` disables it
+    /// (every query scatters).  Only complete (non-partial) answers are
+    /// cached — a degraded merge must never outlive the fault that caused
+    /// it.
+    pub cache_capacity: usize,
+    /// Lock shards for the result cache.
+    pub cache_shards: usize,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { result_limit: 20, workers: 4, batch: BatchConfig::default() }
+        RouterConfig {
+            result_limit: 20,
+            workers: 4,
+            batch: BatchConfig::default(),
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
     }
 }
 
@@ -560,6 +597,9 @@ impl RouterConfig {
         }
         if self.batch.max_batch == 0 {
             return Err(ConfigError::EmptyBatch);
+        }
+        if self.cache_capacity > 0 && self.cache_shards == 0 {
+            return Err(ConfigError::NoCacheShards);
         }
         Ok(())
     }
@@ -667,6 +707,13 @@ pub struct Router {
     /// order), interned once so the scatter hot path never touches the
     /// registry lock.
     rtt_hists: Vec<Arc<Histogram>>,
+    /// Merged complete answers keyed by canonical query and the router's
+    /// reload epoch; `None` when disabled.  Partial answers are never
+    /// inserted, so a recovered shard is always re-asked.
+    cache: Option<QueryCache<Arc<Vec<RankedHit>>>>,
+    /// Bumped by `!reload` so cached merges from before the reload stop
+    /// being served and age out.
+    epoch: AtomicU64,
     config: RouterConfig,
     stats: ServerStats,
 }
@@ -688,8 +735,39 @@ impl Router {
         let backends: Vec<Arc<dyn ShardBackend>> = backends.into_iter().map(Arc::from).collect();
         let fanout = backends.iter().map(|b| FanoutWorker::spawn(Arc::clone(b))).collect();
         let stats = ServerStats::new();
+        for backend in &backends {
+            backend.bind_metrics(stats.registry());
+        }
         let rtt_hists = backends.iter().map(|b| stats.shard_rtt_histogram(&b.id())).collect();
-        Ok(Arc::new(Router { backends, fanout, rtt_hists, config, stats }))
+        let cache = (config.cache_capacity > 0)
+            .then(|| QueryCache::new(config.cache_capacity, config.cache_shards));
+        Ok(Arc::new(Router {
+            backends,
+            fanout,
+            rtt_hists,
+            cache,
+            epoch: AtomicU64::new(1),
+            config,
+            stats,
+        }))
+    }
+
+    /// The current reload epoch (part of every cache key).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Invalidates the result cache by moving to a fresh epoch (after a
+    /// reload changed what the shards would answer).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Result-cache counters (zeros when the cache is disabled).
+    #[must_use]
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.as_ref().map(QueryCache::counters).unwrap_or_default()
     }
 
     /// The configured backends.
@@ -783,6 +861,34 @@ impl Router {
         }
         let parse_done = Instant::now();
         trace.record(Stage::Parse, parse_done.saturating_duration_since(exec_started));
+        // Serve whole groups from the result cache before scattering: a
+        // cached group costs no shard traffic at all.  Only complete merges
+        // ever enter the cache, so a hit is never a stale partial answer.
+        let epoch = self.epoch();
+        if let Some(cache) = &self.cache {
+            let mut cached: Vec<(String, Arc<Vec<RankedHit>>)> = Vec::new();
+            for canonical in groups.keys() {
+                let key = CacheKey { query: canonical.clone(), generation: epoch };
+                if let Some(hits) = cache.get(&key) {
+                    cached.push((canonical.clone(), hits));
+                }
+            }
+            for (canonical, hits) in cached {
+                let positions = groups.remove(&canonical).expect("key came from groups");
+                self.stats.record_dedup_hits((positions.len() - 1) as u64);
+                let result = Ok(RoutedResponse {
+                    query: canonical,
+                    hits: (*hits).clone(),
+                    shards_total: self.backends.len(),
+                    shard_failures: Vec::new(),
+                    latency: Duration::ZERO,
+                    trace: Arc::clone(&placeholder),
+                });
+                for &i in &positions {
+                    slots[i] = Some(result.clone());
+                }
+            }
+        }
         let canonicals: Vec<String> = groups.keys().cloned().collect();
         if !canonicals.is_empty() {
             // Trace ids travel to the shards only when someone will read
@@ -827,9 +933,21 @@ impl Router {
                     self.stats.record_error();
                     Err(ServerError::AllShardsFailed)
                 } else {
+                    let hits = merge_ranked(parts, self.config.result_limit);
+                    // Cache complete answers only: a partial merge cached
+                    // here would keep serving the degraded answer after the
+                    // failed shard recovered.
+                    if failures.is_empty() {
+                        if let Some(cache) = &self.cache {
+                            cache.insert(
+                                CacheKey { query: canonical.clone(), generation: epoch },
+                                Arc::new(hits.clone()),
+                            );
+                        }
+                    }
                     Ok(RoutedResponse {
                         query: canonical.clone(),
-                        hits: merge_ranked(parts, self.config.result_limit),
+                        hits,
                         shards_total: self.backends.len(),
                         shard_failures: failures,
                         latency: Duration::ZERO,
@@ -1097,10 +1215,12 @@ impl RouteService {
 
     /// One control-plane call per backend, concurrently: a down shard costs
     /// the report one connect timeout, not one per shard in sequence.
-    fn fanout_control(
+    /// `on_panic` supplies the result for a backend that panicked mid-call.
+    fn fanout_control<R: Send>(
         &self,
-        call: impl Fn(&dyn ShardBackend) -> Result<String, ShardError> + Sync,
-    ) -> Vec<(String, Result<String, ShardError>)> {
+        call: impl Fn(&dyn ShardBackend) -> R + Sync,
+        on_panic: impl Fn() -> R,
+    ) -> Vec<(String, R)> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .router
@@ -1113,14 +1233,7 @@ impl RouteService {
                 .collect();
             handles
                 .into_iter()
-                .map(|handle| {
-                    handle.join().unwrap_or_else(|_| {
-                        (
-                            "unknown".to_owned(),
-                            Err(ShardError::Unavailable("shard backend panicked".to_owned())),
-                        )
-                    })
-                })
+                .map(|handle| handle.join().unwrap_or_else(|_| ("unknown".to_owned(), on_panic())))
                 .collect()
         })
     }
@@ -1135,7 +1248,11 @@ impl RouteService {
         let mut sums: BTreeMap<&str, u64> = AGGREGATED_FIELDS.iter().map(|f| (*f, 0)).collect();
         let mut down = 0usize;
         let mut body = Vec::with_capacity(self.router.backends().len());
-        for (id, result) in self.fanout_control(|backend| backend.stats_line()) {
+        let reports = self.fanout_control(
+            |backend| (backend.stats_line(), backend.replica_status()),
+            || (Err(ShardError::Unavailable("shard backend panicked".to_owned())), Vec::new()),
+        );
+        for (id, (result, replicas)) in reports {
             match result {
                 Ok(line) => {
                     for token in line.split_whitespace() {
@@ -1151,20 +1268,26 @@ impl RouteService {
                     body.push(format!("shard {id} DOWN {e}"));
                 }
             }
+            for line in replicas {
+                body.push(format!("shard {id} {line}"));
+            }
         }
         let aggregated: Vec<String> = AGGREGATED_FIELDS
             .iter()
             .map(|field| format!("shards_{field}={}", sums[*field]))
             .collect();
+        let cache = self.router.cache_counters();
         let status = format!(
             "router queries={} errors={} shed={} dedup_hits={} shard_errors={} partial={} \
-             qps={:.1} shards={} shards_down={down} {} latency[{}]",
+             cache_hits={} cache_misses={} qps={:.1} shards={} shards_down={down} {} latency[{}]",
             stats.query_count(),
             stats.error_count(),
             stats.shed_count(),
             stats.dedup_hit_count(),
             stats.shard_error_count(),
             stats.partial_response_count(),
+            cache.hits,
+            cache.misses,
             stats.qps(),
             self.router.backends().len(),
             aggregated.join(" "),
@@ -1173,23 +1296,47 @@ impl RouteService {
         render_info_with_body(&status, body)
     }
 
+    /// The rendered `!reload` answer: one `# shard <id> reload ok|err=` body
+    /// line per underlying backend (replica-set members individually), and a
+    /// summary counting both sides — a member whose reload was refused is
+    /// never folded into an aggregate success.
     fn reload_report(&self) -> String {
         let mut body = Vec::with_capacity(self.router.backends().len());
+        let mut ok = 0usize;
         let mut failed = 0usize;
-        for (id, result) in self.fanout_control(|backend| backend.reload()) {
-            match result {
-                Ok(line) => body.push(format!("shard {id} {line}")),
-                Err(e) => {
-                    failed += 1;
-                    body.push(format!("shard {id} FAILED {e}"));
+        let outcomes = self.fanout_control(
+            |backend| backend.reload_detailed(),
+            || {
+                vec![(
+                    "unknown".to_owned(),
+                    Err(ShardError::Unavailable("shard backend panicked".to_owned())),
+                )]
+            },
+        );
+        for (_, members) in outcomes {
+            for (id, result) in members {
+                match result {
+                    Ok(line) => {
+                        ok += 1;
+                        body.push(format!("# shard {id} reload ok: {line}"));
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        body.push(format!("# shard {id} reload err={e}"));
+                    }
                 }
             }
         }
-        let total = self.router.backends().len();
-        if failed == total {
+        if ok == 0 {
             return render_error_text("reload failed on every shard");
         }
-        render_info_with_body(&format!("reloaded shards={}/{total}", total - failed), body)
+        // What the shards would answer may have changed: retire cached
+        // merges from before the reload.
+        self.router.bump_epoch();
+        render_info_with_body(
+            &format!("reloaded shards={ok}/{} failed={failed}", ok + failed),
+            body,
+        )
     }
 
     /// Shuts the pool down, returning how many queries the workers served.

@@ -1,0 +1,290 @@
+//! Fault injection for [`ReplicaSet`]: a scripted `FlakyBackend` drives
+//! every health-state transition (closed → open → half-open → closed, probe
+//! failure re-opens with doubled backoff) and the hedge path (a
+//! slow-but-alive replica loses to the hedge; with every replica slow the
+//! first answer wins).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dsearch_obs::MetricsRegistry;
+use dsearch_query::RankedHit;
+use dsearch_server::{
+    ReplicaSet, ReplicaSetConfig, ReplicaState, ShardBackend, ShardError, ShardReply,
+};
+
+/// What one scripted call does.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// Answer normally.
+    Ok,
+    /// Fail immediately (connection refused, shard rejected, …).
+    Fail,
+    /// Answer normally after sleeping — a slow-but-alive replica.
+    Delay(Duration),
+    /// Sleep, then fail — a hung call that eventually times out.
+    Hang(Duration),
+}
+
+/// A backend that plays back a script of [`Action`]s, one per search call;
+/// an exhausted script answers normally.
+struct FlakyBackend {
+    id: String,
+    path: String,
+    script: Arc<Mutex<VecDeque<Action>>>,
+}
+
+impl FlakyBackend {
+    fn new(id: &str) -> (Self, Arc<Mutex<VecDeque<Action>>>) {
+        let script = Arc::new(Mutex::new(VecDeque::new()));
+        let backend = FlakyBackend {
+            id: id.to_owned(),
+            path: format!("{id}.txt"),
+            script: Arc::clone(&script),
+        };
+        (backend, script)
+    }
+}
+
+fn push(script: &Arc<Mutex<VecDeque<Action>>>, actions: &[Action]) {
+    script.lock().unwrap().extend(actions.iter().copied());
+}
+
+impl ShardBackend for FlakyBackend {
+    fn id(&self) -> String {
+        self.id.clone()
+    }
+
+    fn search(&self, _canonical: &str) -> Result<ShardReply, ShardError> {
+        let action = self.script.lock().unwrap().pop_front().unwrap_or(Action::Ok);
+        match action {
+            Action::Ok => {}
+            Action::Fail => return Err(ShardError::Unavailable("scripted failure".to_owned())),
+            Action::Delay(d) => std::thread::sleep(d),
+            Action::Hang(d) => {
+                std::thread::sleep(d);
+                return Err(ShardError::Unavailable("scripted hang".to_owned()));
+            }
+        }
+        Ok(ShardReply {
+            hits: vec![RankedHit { path: self.path.clone(), matched_terms: 1 }],
+            generation: 1,
+            stages: Vec::new(),
+        })
+    }
+
+    fn stats_line(&self) -> Result<String, ShardError> {
+        Ok("queries=0".to_owned())
+    }
+
+    fn reload(&self) -> Result<String, ShardError> {
+        Ok("reloaded generation=1".to_owned())
+    }
+}
+
+/// Polls `check` until it holds or `deadline` passes (probes complete on
+/// worker threads, so transitions land asynchronously).
+fn wait_for(deadline: Duration, check: impl Fn() -> bool) -> bool {
+    let started = Instant::now();
+    while started.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    check()
+}
+
+fn state_of(set: &ReplicaSet, id: &str) -> ReplicaState {
+    set.replica_states().into_iter().find(|(rid, _)| rid == id).expect("replica exists").1
+}
+
+fn breaker_config() -> ReplicaSetConfig {
+    ReplicaSetConfig {
+        failure_threshold: 2,
+        probe_backoff: Duration::from_millis(40),
+        max_backoff: Duration::from_secs(2),
+        hedge_after: None,
+        adaptive_hedge: false,
+        hedge_min_samples: 32,
+    }
+}
+
+#[test]
+fn breaker_walks_closed_open_half_open_closed() {
+    let (flaky, script) = FlakyBackend::new("flaky");
+    let (healthy, _) = FlakyBackend::new("healthy");
+    let set =
+        ReplicaSet::new("s", vec![Box::new(flaky), Box::new(healthy)], breaker_config()).unwrap();
+    let registry = MetricsRegistry::new();
+    set.bind_metrics(&registry);
+
+    assert_eq!(state_of(&set, "flaky"), ReplicaState::Closed);
+    assert_eq!(registry.snapshot().labeled_gauge("dsearch_replica_state", ("replica", "flaky")), 0);
+
+    // Two scripted failures cross the threshold: closed → open.  Each failed
+    // call fails over to the healthy replica, so no query is lost.
+    push(&script, &[Action::Fail, Action::Fail]);
+    for _ in 0..2 {
+        let reply = set.search("rust").expect("failover absorbs the fault");
+        assert_eq!(reply.hits[0].path, "healthy.txt");
+    }
+    assert!(
+        wait_for(Duration::from_secs(2), || state_of(&set, "flaky") == ReplicaState::Open),
+        "two consecutive failures must open the breaker"
+    );
+    assert_eq!(set.open_count(), 1);
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.labeled_gauge("dsearch_replica_state", ("replica", "flaky")), 2);
+    assert_eq!(snapshot.labeled_counter("dsearch_replica_opens_total", ("replica", "flaky")), 1);
+
+    // While open, queries route around the dead replica without trying it.
+    let reply = set.search("rust").unwrap();
+    assert_eq!(reply.hits[0].path, "healthy.txt");
+
+    // Past the backoff the next query mirrors a probe (open → half-open);
+    // the script is exhausted, so the probe succeeds: half-open → closed.
+    std::thread::sleep(Duration::from_millis(60));
+    set.search("rust").unwrap();
+    assert!(
+        wait_for(Duration::from_secs(2), || state_of(&set, "flaky") == ReplicaState::Closed),
+        "successful probe must close the breaker"
+    );
+    assert_eq!(set.recovery_count(), 1);
+    assert_eq!(set.probe_count(), 1);
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.labeled_gauge("dsearch_replica_state", ("replica", "flaky")), 0);
+    assert_eq!(
+        snapshot.labeled_counter("dsearch_replica_recoveries_total", ("replica", "flaky")),
+        1
+    );
+
+    // Closed again means back in rotation: the least-loaded pick will reach
+    // it once the healthy replica is busier (both idle ties toward index 0,
+    // the flaky one).
+    let reply = set.search("rust").unwrap();
+    assert_eq!(reply.hits[0].path, "flaky.txt");
+}
+
+#[test]
+fn failed_probe_reopens_with_doubled_backoff() {
+    let (flaky, script) = FlakyBackend::new("flaky");
+    let (healthy, _) = FlakyBackend::new("healthy");
+    let set =
+        ReplicaSet::new("s", vec![Box::new(flaky), Box::new(healthy)], breaker_config()).unwrap();
+
+    // Open the breaker, then script one more failure for the probe itself.
+    push(&script, &[Action::Fail, Action::Fail, Action::Fail]);
+    for _ in 0..2 {
+        set.search("rust").unwrap();
+    }
+    assert!(wait_for(Duration::from_secs(2), || state_of(&set, "flaky") == ReplicaState::Open));
+
+    // First probe window: the probe fails, re-opening the breaker.
+    std::thread::sleep(Duration::from_millis(60));
+    set.search("rust").unwrap();
+    assert!(
+        wait_for(Duration::from_secs(2), || set.open_count() == 2),
+        "failed probe must re-open"
+    );
+    assert_eq!(state_of(&set, "flaky"), ReplicaState::Open);
+    assert_eq!(set.recovery_count(), 0);
+
+    // The backoff doubled to 80ms: a query at ~50ms is too early to probe.
+    std::thread::sleep(Duration::from_millis(50));
+    set.search("rust").unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    assert_eq!(set.probe_count(), 1, "doubled backoff must delay the second probe");
+
+    // Past the doubled backoff the probe fires and succeeds (script is
+    // exhausted).
+    std::thread::sleep(Duration::from_millis(60));
+    set.search("rust").unwrap();
+    assert!(
+        wait_for(Duration::from_secs(2), || state_of(&set, "flaky") == ReplicaState::Closed),
+        "probe after doubled backoff must close the breaker"
+    );
+    assert_eq!(set.probe_count(), 2);
+    assert_eq!(set.recovery_count(), 1);
+}
+
+#[test]
+fn slow_but_alive_replica_loses_to_the_hedge() {
+    let (slow, script) = FlakyBackend::new("slow");
+    let (fast, _) = FlakyBackend::new("fast");
+    let set = ReplicaSet::new(
+        "s",
+        vec![Box::new(slow), Box::new(fast)],
+        ReplicaSetConfig { hedge_after: Some(Duration::from_millis(20)), ..breaker_config() },
+    )
+    .unwrap();
+    let registry = MetricsRegistry::new();
+    set.bind_metrics(&registry);
+
+    // Both replicas idle: the pick ties toward index 0, the slow one.
+    push(&script, &[Action::Delay(Duration::from_millis(250))]);
+    let started = Instant::now();
+    let reply = set.search("rust").unwrap();
+    assert_eq!(reply.hits[0].path, "fast.txt", "hedge answer must win");
+    assert!(started.elapsed() < Duration::from_millis(200), "winner returns before the loser");
+    assert_eq!(set.hedge_count(), 1);
+    assert_eq!(set.hedge_win_count(), 1);
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("dsearch_hedges_total"), 1);
+    assert_eq!(snapshot.counter("dsearch_hedge_wins_total"), 1);
+
+    // The loser stays healthy: a slow answer is not a failure.
+    assert!(wait_for(Duration::from_secs(2), || {
+        state_of(&set, "slow") == ReplicaState::Closed && set.open_count() == 0
+    }));
+}
+
+#[test]
+fn with_every_replica_slow_the_first_answer_wins() {
+    let (a, script_a) = FlakyBackend::new("a");
+    let (b, script_b) = FlakyBackend::new("b");
+    let set = ReplicaSet::new(
+        "s",
+        vec![Box::new(a), Box::new(b)],
+        ReplicaSetConfig { hedge_after: Some(Duration::from_millis(15)), ..breaker_config() },
+    )
+    .unwrap();
+
+    // The primary (a) answers at ~60ms, the hedge (b) at ~200ms after its
+    // ~15ms head start is spent: the primary's answer comes back first.
+    push(&script_a, &[Action::Delay(Duration::from_millis(60))]);
+    push(&script_b, &[Action::Delay(Duration::from_millis(200))]);
+    let reply = set.search("rust").unwrap();
+    assert_eq!(reply.hits[0].path, "a.txt", "first answer wins when everyone is slow");
+    assert_eq!(set.hedge_count(), 1, "the hedge still fired");
+    assert_eq!(set.hedge_win_count(), 0, "but did not win");
+}
+
+#[test]
+fn hung_replica_is_absorbed_by_the_hedge_and_opens_later() {
+    let (hung, script) = FlakyBackend::new("hung");
+    let (healthy, _) = FlakyBackend::new("healthy");
+    let set = ReplicaSet::new(
+        "s",
+        vec![Box::new(hung), Box::new(healthy)],
+        ReplicaSetConfig {
+            failure_threshold: 1,
+            hedge_after: Some(Duration::from_millis(15)),
+            ..breaker_config()
+        },
+    )
+    .unwrap();
+
+    // The hung call sleeps past the hedge deadline and then fails (an io
+    // timeout).  The client still gets a good answer from the hedge, and
+    // the eventual failure opens the breaker.
+    push(&script, &[Action::Hang(Duration::from_millis(120))]);
+    let reply = set.search("rust").unwrap();
+    assert_eq!(reply.hits[0].path, "healthy.txt");
+    assert_eq!(set.hedge_count(), 1);
+    assert!(
+        wait_for(Duration::from_secs(2), || state_of(&set, "hung") == ReplicaState::Open),
+        "the drained hang must still count against the breaker"
+    );
+}

@@ -1,0 +1,120 @@
+//! Regression: partial (degraded) routed responses must never enter the
+//! router's result cache.
+//!
+//! The failure mode this pins down: a shard dies, a query is answered
+//! `partial=true`, the shard comes back — and the router keeps serving the
+//! degraded answer from cache until the next reload bumps the epoch.  The
+//! fix skips cache insertion whenever any shard failed, so the first query
+//! after recovery scatters again and the answer is complete.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dsearch_query::RankedHit;
+use dsearch_server::{Router, RouterConfig, ShardBackend, ShardError, ShardReply};
+
+/// A backend that can be taken down and brought back mid-test (the
+/// in-process equivalent of killing and restarting a `dsearch serve`
+/// process), counting how many search calls actually reach it.
+struct FlippableShard {
+    id: String,
+    path: String,
+    down: Arc<AtomicBool>,
+    calls: Arc<AtomicU64>,
+}
+
+impl ShardBackend for FlippableShard {
+    fn id(&self) -> String {
+        self.id.clone()
+    }
+
+    fn search(&self, _canonical: &str) -> Result<ShardReply, ShardError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.down.load(Ordering::Relaxed) {
+            return Err(ShardError::Unavailable("killed".to_owned()));
+        }
+        Ok(ShardReply {
+            hits: vec![RankedHit { path: self.path.clone(), matched_terms: 1 }],
+            generation: 1,
+            stages: Vec::new(),
+        })
+    }
+
+    fn stats_line(&self) -> Result<String, ShardError> {
+        Ok("queries=0".to_owned())
+    }
+
+    fn reload(&self) -> Result<String, ShardError> {
+        Ok("reloaded generation=1".to_owned())
+    }
+}
+
+fn shard(id: &str) -> (Box<dyn ShardBackend>, Arc<AtomicBool>, Arc<AtomicU64>) {
+    let down = Arc::new(AtomicBool::new(false));
+    let calls = Arc::new(AtomicU64::new(0));
+    let backend = FlippableShard {
+        id: id.to_owned(),
+        path: format!("{id}.txt"),
+        down: Arc::clone(&down),
+        calls: Arc::clone(&calls),
+    };
+    (Box::new(backend), down, calls)
+}
+
+#[test]
+fn partial_responses_are_not_cached_and_recovery_serves_complete_answers() {
+    let (alive, _, _) = shard("alive");
+    let (flaky, flaky_down, _) = shard("flaky");
+    let router = Router::new(vec![alive, flaky], RouterConfig::default()).unwrap();
+
+    // Kill the shard, query: degraded, and — the fix — not cached.
+    flaky_down.store(true, Ordering::Relaxed);
+    let degraded = router.route("rust").unwrap();
+    assert!(degraded.partial());
+    assert_eq!(degraded.hits.len(), 1);
+
+    // Restart the shard: the next identical query must scatter again and
+    // come back complete.  Before the fix it hit the cached partial merge.
+    flaky_down.store(false, Ordering::Relaxed);
+    let recovered = router.route("rust").unwrap();
+    assert!(!recovered.partial(), "cached partial answer served after recovery");
+    let paths: Vec<&str> = recovered.hits.iter().map(|h| h.path.as_str()).collect();
+    assert_eq!(paths, ["alive.txt", "flaky.txt"]);
+    assert_eq!(router.cache_counters().insertions, 1, "only the complete merge is cached");
+}
+
+#[test]
+fn complete_responses_are_cached_until_the_epoch_bumps() {
+    let (alive, _, alive_calls) = shard("alive");
+    let (other, _, _) = shard("other");
+    let router = Router::new(vec![alive, other], RouterConfig::default()).unwrap();
+
+    let first = router.route("rust").unwrap();
+    assert!(!first.partial());
+    assert_eq!(alive_calls.load(Ordering::Relaxed), 1);
+
+    // Same canonical query: served from cache, no shard traffic.
+    let cached = router.route("RUST").unwrap();
+    assert_eq!(cached.hits, first.hits);
+    assert!(!cached.partial());
+    assert_eq!(alive_calls.load(Ordering::Relaxed), 1, "cache hit must not scatter");
+    assert_eq!(router.cache_counters().hits, 1);
+
+    // A reload-driven epoch bump retires the cached merge.
+    router.bump_epoch();
+    let fresh = router.route("rust").unwrap();
+    assert_eq!(fresh.hits, first.hits);
+    assert_eq!(alive_calls.load(Ordering::Relaxed), 2, "new epoch must scatter again");
+}
+
+#[test]
+fn disabling_the_cache_scatters_every_query() {
+    let (alive, _, alive_calls) = shard("alive");
+    let router =
+        Router::new(vec![alive], RouterConfig { cache_capacity: 0, ..RouterConfig::default() })
+            .unwrap();
+    router.route("rust").unwrap();
+    router.route("rust").unwrap();
+    assert_eq!(alive_calls.load(Ordering::Relaxed), 2);
+    assert_eq!(router.cache_counters(), dsearch_server::CacheCounters::default());
+}

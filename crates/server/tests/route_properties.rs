@@ -10,7 +10,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use dsearch_index::{DocTable, InMemoryIndex};
-use dsearch_query::Query;
+use dsearch_query::{merge_ranked, Query, RankedHit};
 use dsearch_server::{
     EngineConfig, IndexSnapshot, LocalShards, QueryEngine, Router, RouterConfig, ShardBackend,
 };
@@ -101,5 +101,51 @@ proptest! {
         prop_assert!(!routed.partial(), "local shards never fail");
         let expected = snapshot.search(&Query::parse(raw).unwrap()).ranked();
         prop_assert_eq!(routed.hits, expected, "query {:?} over {} shard(s)", raw, shards);
+    }
+
+    /// `merge_ranked` dedupes by path keeping the best `(matched_terms,
+    /// path)` rank, in merge-key order, truncated to `limit` — for any shard
+    /// lists, including replicas of overlapping shards answering with the
+    /// same documents at different ranks.
+    #[test]
+    fn merge_ranked_dedupes_by_path_keeping_best_rank(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(("[a-h]", 1usize..6), 0..10),
+            0..5,
+        ),
+        limit in 1usize..12,
+    ) {
+        let parts: Vec<Vec<RankedHit>> = shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .iter()
+                    .map(|(path, terms)| {
+                        RankedHit { path: format!("{path}.txt"), matched_terms: *terms }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // The naive model: sort everything by merge key, keep the first
+        // (best-ranked) occurrence of each path, truncate.
+        let mut all: Vec<RankedHit> = parts.iter().flatten().cloned().collect();
+        all.sort_by(|a, b| a.merge_key().cmp(&b.merge_key()));
+        let mut expected: Vec<RankedHit> = Vec::new();
+        for hit in all {
+            if expected.len() == limit {
+                break;
+            }
+            if expected.iter().all(|kept| kept.path != hit.path) {
+                expected.push(hit);
+            }
+        }
+
+        let merged = merge_ranked(parts, limit);
+        let mut paths: Vec<&str> = merged.iter().map(|h| h.path.as_str()).collect();
+        let total = paths.len();
+        paths.dedup();
+        prop_assert_eq!(paths.len(), total, "merged paths must be unique");
+        prop_assert_eq!(merged, expected);
     }
 }

@@ -123,8 +123,11 @@ fn shard_going_down_mid_run_degrades_to_partial_results() {
     let (_svc0, server0, addr0) = shard_server(&first);
     let (_svc1, server1, addr1) = shard_server(&second);
 
-    let router =
-        Router::new(vec![remote(&addr0), remote(&addr1)], RouterConfig::default()).unwrap();
+    // Cache off: this test re-asks the same query across the fault, and a
+    // cached complete answer would (correctly) keep serving instead of
+    // degrading — the cache-path behaviour has its own regression test.
+    let no_cache = RouterConfig { cache_capacity: 0, ..RouterConfig::default() };
+    let router = Router::new(vec![remote(&addr0), remote(&addr1)], no_cache.clone()).unwrap();
     let service = RouteService::start(Arc::clone(&router));
 
     // Healthy run first: both shards answer.
@@ -164,8 +167,7 @@ fn shard_going_down_mid_run_degrades_to_partial_results() {
     // A shard coming back is picked up without router restarts: bind a new
     // server for the same corpus and a new router at its address.
     let (_svc2, server2, addr2) = shard_server(&second);
-    let revived =
-        Router::new(vec![remote(&addr0), remote(&addr2)], RouterConfig::default()).unwrap();
+    let revived = Router::new(vec![remote(&addr0), remote(&addr2)], no_cache).unwrap();
     let healed = revived.route("rust").unwrap();
     assert!(!healed.partial());
     assert_eq!(healed.hits.len(), 5);
