@@ -5,11 +5,13 @@
 //! compressed-index size metrics, a router scatter-gather group (direct
 //! engine vs routed over 1 and 2 local shards), the traced router stage
 //! breakdown (scatter vs shard round trip vs merge medians, harvested from
-//! the responses' own query traces) and a `route_replicated` group (2
+//! the responses' own query traces), a `route_replicated` group (2
 //! logical shards × 2 replicas: healthy vs one-replica-down vs hedged
-//! p50/p99), as one JSON object — `BENCH_PR7.json` by default — so the perf
-//! trajectory of the serving stack is diffable PR-over-PR without scraping
-//! bench output.
+//! p50/p99) and a `build_pipeline` group (cold checkpointed build vs a
+//! build resumed at 50 %, plus the wall-time cost of per-item / 1 s / 10 s
+//! checkpoint intervals), as one JSON object — `BENCH_PR8.json` by default —
+//! so the perf trajectory of the serving stack is diffable PR-over-PR
+//! without scraping bench output.
 //!
 //! ```text
 //! bench_summary [--quick] [--out PATH]
@@ -23,6 +25,8 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use dsearch::core::{BuildOptions, BuildPipeline};
+use dsearch::corpus::{materialize_to_memfs, CorpusSpec};
 use dsearch::index::{
     intersect_cursors_into, union_cursors_into, union_into, CompressedPostings, DocTable, FileId,
     InMemoryIndex, PostingList, PostingView, PostingsCursor, SealedShard,
@@ -34,7 +38,31 @@ use dsearch::server::{
     ReplicaSet, ReplicaSetConfig, Router, RouterConfig, ShardBackend,
 };
 use dsearch::text::Term;
+use dsearch::vfs::VPath;
 use serde::Value;
+
+/// A self-cleaning store directory for the build-pipeline group.
+struct BenchStoreDir(std::path::PathBuf);
+
+impl BenchStoreDir {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("dsearch-bench-build-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("bench store dir");
+        BenchStoreDir(path)
+    }
+
+    fn path(&self) -> std::path::PathBuf {
+        self.0.clone()
+    }
+}
+
+impl Drop for BenchStoreDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 fn median_ns<F: FnMut()>(samples: usize, mut routine: F) -> u64 {
     routine(); // warm-up, untimed
@@ -205,7 +233,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR7.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_owned());
     let samples = if quick { 5 } else { 25 };
 
     let mut fields: Vec<(String, Value)> = Vec::new();
@@ -367,6 +395,86 @@ fn main() {
         });
         record(&format!("route_replicated_{name}_p50_ns"), Value::UInt(p50));
         record(&format!("route_replicated_{name}_p99_ns"), Value::UInt(p99));
+    }
+
+    // ---- Build pipeline: cold vs resumed, checkpoint-interval overhead ---
+    // A fixed synthetic corpus in memory (so only the pipeline and the store
+    // writes are measured).  "Resumed at 50 %" interrupts a build via
+    // stop_after at half the corpus, then times the --resume run alone — the
+    // crash-recovery cost the checkpoint exists to bound.
+    let build_corpus = {
+        let spec = CorpusSpec { small_files: 240, directories: 8, ..CorpusSpec::tiny() };
+        let (fs, _) = materialize_to_memfs(&spec, 97);
+        std::sync::Arc::new(fs)
+    };
+    let build_files = {
+        let probe = BuildPipeline::new(BuildOptions { extractors: 2, ..BuildOptions::default() });
+        let dir = BenchStoreDir::new("probe");
+        probe.build(build_corpus.as_ref(), &VPath::root(), &dir.path()).expect("probe build").files
+    };
+    record("build_corpus_files", Value::UInt(build_files));
+    let build_options = |checkpoint_every: Duration| BuildOptions {
+        extractors: 2,
+        checkpoint_every,
+        ..BuildOptions::default()
+    };
+    let build_samples = samples.min(9);
+    for (name, interval) in
+        [("0s", Duration::ZERO), ("1s", Duration::from_secs(1)), ("10s", Duration::from_secs(10))]
+    {
+        let dir = BenchStoreDir::new(name);
+        let pipeline = BuildPipeline::new(build_options(interval));
+        let ns = median_ns(build_samples, || {
+            black_box(
+                pipeline
+                    .build(build_corpus.as_ref(), &VPath::root(), &dir.path())
+                    .expect("bench build completes")
+                    .counters
+                    .items_ok,
+            );
+        });
+        record(&format!("build_cold_checkpoint_every_{name}_ns"), Value::UInt(ns));
+    }
+    {
+        let dir = BenchStoreDir::new("resume");
+        let half = build_files / 2;
+        let mut interrupted = build_options(Duration::ZERO);
+        interrupted.stop_after = Some(half);
+        let interrupted = BuildPipeline::new(interrupted);
+        let mut resumed = build_options(Duration::ZERO);
+        resumed.resume = true;
+        let resumed = BuildPipeline::new(resumed);
+        let ns = median_ns(build_samples, || {
+            // Each sample replays the full crash story: fresh build killed at
+            // 50 %, then the timed resume finishes the other half.
+            let report = interrupted
+                .build(build_corpus.as_ref(), &VPath::root(), &dir.path())
+                .expect("interrupted build runs");
+            assert!(report.interrupted, "stop_after fired");
+            let start = Instant::now();
+            let report = resumed
+                .build(build_corpus.as_ref(), &VPath::root(), &dir.path())
+                .expect("resumed build completes");
+            black_box(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            assert!(report.complete && report.skipped >= half, "resume skipped sealed work");
+        });
+        // median_ns times interrupted+resume together; re-time just the
+        // resume leg for the headline number.
+        record("build_interrupt_plus_resume_at_50pct_ns", Value::UInt(ns));
+        let mut resume_only: Vec<u64> = (0..build_samples.max(3))
+            .map(|_| {
+                interrupted
+                    .build(build_corpus.as_ref(), &VPath::root(), &dir.path())
+                    .expect("interrupted build runs");
+                let start = Instant::now();
+                resumed
+                    .build(build_corpus.as_ref(), &VPath::root(), &dir.path())
+                    .expect("resumed build completes");
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            })
+            .collect();
+        resume_only.sort_unstable();
+        record("build_resumed_at_50pct_ns", Value::UInt(resume_only[resume_only.len() / 2]));
     }
 
     let json = serde_json::to_string_pretty(&Value::Object(fields)).expect("summary serialises");

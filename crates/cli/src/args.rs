@@ -48,6 +48,10 @@ const VALUE_OPTIONS: &[&str] = &[
     "trace-us",
     "hedge-ms",
     "probe-ms",
+    // build / dlq
+    "max-retries",
+    "checkpoint-every",
+    "throttle-ms",
 ];
 
 /// Parsed command-line arguments.

@@ -3,8 +3,10 @@
 //! Each command takes the parsed arguments and returns its printable output,
 //! so the commands can be tested without spawning the binary.
 
+pub mod build;
 pub mod corpus;
 pub mod curves;
+pub mod dlq;
 pub mod index;
 pub mod loadgen;
 pub mod route;

@@ -6,6 +6,8 @@
 //! | command | purpose |
 //! |---|---|
 //! | `index <dir> --store <path>` | index a directory with one of the paper's three parallel implementations and persist the result |
+//! | `build <dir> --store <path>` | checkpointed fault-tolerant build: leased work items, retries with backoff, dead-letter queue, `--resume` |
+//! | `dlq list\|replay --store <path>` | inspect the dead-letter queue or re-run its quarantined files |
 //! | `search --store <path> <query…>` | run a boolean/prefix query against a persisted index |
 //! | `serve --store <path> [--tcp addr]` | run the concurrent query service (line protocol, snapshot reloads) |
 //! | `loadgen --store <path>` | replay a derived query workload and report QPS + latency percentiles |
@@ -64,7 +66,25 @@ USAGE:
 COMMANDS:
     index <dir> --store <path> [--extractors N] [--updaters N] [--joiners N]
           [--implementation 1|2|3] [--formats] [--incremental]
-        Index the files under <dir> and persist the result in <path>.
+        Index the files under <dir> and persist the result in <path>
+        (the paper's batch pipeline; see `build` for the fault-tolerant,
+        resumable variant).
+
+    build <dir> --store <path> [--resume] [--extractors N] [--max-retries N]
+          [--checkpoint-every SECS] [--throttle-ms N] [--formats]
+        Fault-tolerant, checkpointed build of <dir> into <path>.  Work items
+        are leased (a dead worker's lease is reclaimed), transient read
+        failures retry with exponential backoff, and files that keep failing
+        are quarantined in the dead-letter queue instead of failing the
+        build.  Progress checkpoints atomically every SECS seconds (0 =
+        after every file); a killed build rerun with --resume skips the
+        files already sealed into segments.
+
+    dlq list --store <path>
+    dlq replay <dir> --store <path> [--extractors N] [--max-retries N]
+        Inspect the dead-letter queue, or re-run the quarantined files
+        through the pipeline once the underlying fault is fixed; recovered
+        files join the index and leave the queue.
 
     search --store <path> <query words…> [--limit N]
         Query a persisted index.  Supports AND/OR/NOT and trailing-* prefixes.
@@ -143,6 +163,8 @@ where
     match args.command.as_deref() {
         None | Some("help") => Ok(usage()),
         Some("index") => commands::index::run(&args),
+        Some("build") => commands::build::run(&args),
+        Some("dlq") => commands::dlq::run(&args),
         Some("search") => commands::search::run(&args),
         Some("serve") => commands::serve::run(&args),
         Some("route") => commands::route::run(&args),

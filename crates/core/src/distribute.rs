@@ -173,20 +173,41 @@ pub fn balance_metrics(parts: &[Vec<WorkItem>]) -> (u64, u64, f64) {
     (max, min, imbalance)
 }
 
+/// How many times a queue item is re-leased after panic reclaims before the
+/// queue refuses to hand it out again and counts it as poisoned.
+pub const MAX_LEASE_ATTEMPTS: u32 = 3;
+
 /// A shared FIFO work queue for the dynamic distribution strategy.
 ///
 /// Every `pop` takes the lock once — exactly the per-filename synchronisation
 /// cost the paper measured when running Stage 1 concurrently with Stage 2.
+///
+/// Plain `pop` hands the item over unconditionally: a consumer that panics
+/// between the pop and the index insert silently loses the file.  The
+/// lease/ack protocol ([`WorkQueue::lease`]) closes that hole — a
+/// [`QueueLease`] dropped without [`QueueLease::ack`] (a panic unwinding
+/// through the extractor, or the extractor thread dying outright) puts the
+/// item back at the front of the queue for another worker, up to
+/// [`MAX_LEASE_ATTEMPTS`] attempts per item.
 #[derive(Debug, Clone)]
 pub struct WorkQueue {
-    inner: Arc<Mutex<VecDeque<WorkItem>>>,
+    inner: Arc<Mutex<QueueInner>>,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    items: VecDeque<(WorkItem, u32)>,
+    reclaims: u64,
+    poisoned: Vec<WorkItem>,
 }
 
 impl WorkQueue {
     /// Creates a queue pre-filled with `items`.
     #[must_use]
     pub fn new(items: Vec<WorkItem>) -> Self {
-        WorkQueue { inner: Arc::new(Mutex::new(items.into())) }
+        let inner =
+            QueueInner { items: items.into_iter().map(|i| (i, 0)).collect(), ..Default::default() };
+        WorkQueue { inner: Arc::new(Mutex::new(inner)) }
     }
 
     /// Creates an empty queue (for the concurrent Stage 1 ablation, where the
@@ -198,25 +219,89 @@ impl WorkQueue {
 
     /// Adds an item to the back of the queue.
     pub fn push(&self, item: WorkItem) {
-        self.inner.lock().push_back(item);
+        self.inner.lock().items.push_back((item, 0));
     }
 
     /// Removes and returns the item at the front of the queue.
     #[must_use]
     pub fn pop(&self) -> Option<WorkItem> {
-        self.inner.lock().pop_front()
+        self.inner.lock().items.pop_front().map(|(item, _)| item)
+    }
+
+    /// Takes the front item under a lease: the item is only consumed once the
+    /// lease is [`QueueLease::ack`]ed.  Dropping the lease un-acked returns
+    /// the item to the front of the queue.
+    #[must_use]
+    pub fn lease(&self) -> Option<QueueLease> {
+        self.inner.lock().items.pop_front().map(|(item, attempts)| QueueLease {
+            queue: self.clone(),
+            slot: Some((item, attempts)),
+        })
     }
 
     /// Number of items currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().items.len()
     }
 
     /// Returns `true` when the queue is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().items.is_empty()
+    }
+
+    /// Times a lease was returned to the queue instead of being acked.
+    #[must_use]
+    pub fn reclaims(&self) -> u64 {
+        self.inner.lock().reclaims
+    }
+
+    /// Items that were reclaimed [`MAX_LEASE_ATTEMPTS`] times and refused
+    /// further leases — work that could not be completed by any consumer.
+    #[must_use]
+    pub fn poisoned(&self) -> Vec<WorkItem> {
+        self.inner.lock().poisoned.clone()
+    }
+
+    fn reclaim(&self, item: WorkItem, attempts: u32) {
+        let mut inner = self.inner.lock();
+        inner.reclaims += 1;
+        if attempts + 1 >= MAX_LEASE_ATTEMPTS {
+            inner.poisoned.push(item);
+        } else {
+            inner.items.push_front((item, attempts + 1));
+        }
+    }
+}
+
+/// A leased [`WorkItem`]: the holder must [`QueueLease::ack`] after the item
+/// has been fully processed.  Dropping the lease — including a panic
+/// unwinding through the holder — puts the item back on the queue.
+#[derive(Debug)]
+pub struct QueueLease {
+    queue: WorkQueue,
+    slot: Option<(WorkItem, u32)>,
+}
+
+impl QueueLease {
+    /// The leased item.
+    #[must_use]
+    pub fn item(&self) -> &WorkItem {
+        &self.slot.as_ref().expect("lease not yet resolved").0
+    }
+
+    /// Marks the item as fully processed, consuming the lease.
+    pub fn ack(mut self) {
+        self.slot = None;
+    }
+}
+
+impl Drop for QueueLease {
+    fn drop(&mut self) {
+        if let Some((item, attempts)) = self.slot.take() {
+            self.queue.reclaim(item, attempts);
+        }
     }
 }
 
@@ -467,6 +552,75 @@ mod tests {
         assert!(empty.pop().is_none());
         empty.push(WorkItem { file_id: FileId(42), path: VPath::new("x"), size: 1 });
         assert_eq!(empty.pop().unwrap().file_id, FileId(42));
+    }
+
+    #[test]
+    fn dropped_lease_returns_the_item_to_the_front() {
+        let queue = WorkQueue::new(items(&[1, 2]));
+        {
+            let lease = queue.lease().unwrap();
+            assert_eq!(lease.item().file_id, FileId(0));
+            assert_eq!(queue.len(), 1);
+            // Dropped without ack — e.g. a panic unwound through the holder.
+        }
+        assert_eq!(queue.reclaims(), 1);
+        assert_eq!(queue.len(), 2, "the item is back");
+        let lease = queue.lease().unwrap();
+        assert_eq!(lease.item().file_id, FileId(0), "reclaimed item keeps its place at the front");
+        lease.ack();
+        assert_eq!(queue.lease().unwrap().item().file_id, FileId(1));
+    }
+
+    #[test]
+    fn acked_lease_consumes_the_item() {
+        let queue = WorkQueue::new(items(&[1]));
+        queue.lease().unwrap().ack();
+        assert!(queue.is_empty());
+        assert!(queue.lease().is_none());
+        assert_eq!(queue.reclaims(), 0);
+        assert!(queue.poisoned().is_empty());
+    }
+
+    #[test]
+    fn repeatedly_reclaimed_item_is_poisoned_not_looped() {
+        let queue = WorkQueue::new(items(&[7]));
+        for _ in 0..MAX_LEASE_ATTEMPTS {
+            let lease = queue.lease().expect("item still leasable");
+            drop(lease);
+        }
+        assert!(queue.lease().is_none(), "poisoned item is not handed out again");
+        assert_eq!(queue.reclaims(), u64::from(MAX_LEASE_ATTEMPTS));
+        let poisoned = queue.poisoned();
+        assert_eq!(poisoned.len(), 1);
+        assert_eq!(poisoned[0].file_id, FileId(0));
+    }
+
+    #[test]
+    fn panicking_lease_holder_does_not_lose_the_item() {
+        let queue = WorkQueue::new(items(&[1, 2, 3]));
+        let consumed = Arc::new(Mutex::new(Vec::new()));
+        let mut first = true;
+        // One consumer panics on the first item; the catch_unwind drops the
+        // lease, which reclaims it — draining afterwards still sees all 3.
+        while let Some(lease) = queue.lease() {
+            let panics = first && lease.item().file_id == FileId(0);
+            first = false;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                assert!(!panics, "scripted panic");
+                lease.item().file_id.as_u32()
+            }));
+            match result {
+                Ok(id) => {
+                    consumed.lock().push(id);
+                    lease.ack();
+                }
+                Err(_) => drop(lease),
+            }
+        }
+        let mut seen = consumed.lock().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(queue.reclaims(), 1);
     }
 
     proptest! {

@@ -1,5 +1,6 @@
 //! Pipeline error type.
 
+use dsearch_persist::PersistError;
 use dsearch_vfs::VfsError;
 
 /// Errors produced while generating an index.
@@ -18,6 +19,12 @@ pub enum PipelineError {
     },
     /// A worker thread panicked.
     WorkerPanicked(&'static str),
+    /// The checkpointed build could not persist a segment, checkpoint or
+    /// dead-letter queue.
+    Persist(PersistError),
+    /// A resume or DLQ replay was refused (no checkpoint, or the corpus
+    /// changed since it was written).
+    ResumeRejected(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -27,6 +34,8 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Walk(e) => write!(f, "filename generation failed: {e}"),
             PipelineError::Read { path, source } => write!(f, "failed to read {path}: {source}"),
             PipelineError::WorkerPanicked(stage) => write!(f, "a {stage} worker thread panicked"),
+            PipelineError::Persist(e) => write!(f, "build persistence failed: {e}"),
+            PipelineError::ResumeRejected(msg) => write!(f, "resume rejected: {msg}"),
         }
     }
 }
@@ -36,6 +45,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Walk(e) => Some(e),
             PipelineError::Read { source, .. } => Some(source),
+            PipelineError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -44,6 +54,12 @@ impl std::error::Error for PipelineError {
 impl From<VfsError> for PipelineError {
     fn from(e: VfsError) -> Self {
         PipelineError::Walk(e)
+    }
+}
+
+impl From<PersistError> for PipelineError {
+    fn from(e: PersistError) -> Self {
+        PipelineError::Persist(e)
     }
 }
 

@@ -50,6 +50,7 @@
 pub mod config;
 pub mod distribute;
 pub mod error;
+pub mod pipeline;
 pub mod report;
 pub mod runner;
 pub mod stage1;
@@ -59,6 +60,10 @@ pub mod timing;
 
 pub use config::{Configuration, FormatMode, GeneratorOptions, Implementation};
 pub use error::PipelineError;
+pub use pipeline::{
+    corpus_fingerprint, BuildCounters, BuildOptions, BuildPipeline, BuildReport, CancelToken,
+    CounterSnapshot, ReplayReport,
+};
 pub use report::{IndexOutcome, ParallelRun, RunReport, SequentialRun};
 pub use runner::IndexGenerator;
 pub use timing::{percentile, LatencySummary, StageTimings, Stopwatch};

@@ -160,6 +160,7 @@ impl IndexGenerator {
         let y = configuration.update_threads;
 
         // Build the per-extractor work sources.
+        let mut queue_handle: Option<WorkQueue> = None;
         let sources: Vec<WorkSource> = match (self.options.stage1, self.options.distribution) {
             (Stage1Mode::Concurrent, _) => {
                 // The producer re-sends the already generated filenames one by
@@ -178,6 +179,7 @@ impl IndexGenerator {
             }
             (Stage1Mode::UpFront, DistributionStrategy::WorkQueue) => {
                 let queue = WorkQueue::new(items.clone());
+                queue_handle = Some(queue.clone());
                 (0..x).map(|_| WorkSource::Queue(queue.clone())).collect()
             }
             (Stage1Mode::UpFront, DistributionStrategy::WorkStealing) => {
@@ -281,9 +283,28 @@ impl IndexGenerator {
                                         }
                                     }
                                     WorkSource::Queue(queue) => {
-                                        while let Some(item) = queue.pop() {
-                                            let ft = extractor.extract_file(fs, &item)?;
-                                            handle_file(ft);
+                                        // Lease/ack instead of pop: a panic
+                                        // unwinding out of the extractor
+                                        // reclaims the item for another
+                                        // worker instead of silently
+                                        // dropping the file.
+                                        while let Some(lease) = queue.lease() {
+                                            let extracted = std::panic::catch_unwind(
+                                                std::panic::AssertUnwindSafe(|| {
+                                                    extractor.extract_file(fs, lease.item())
+                                                }),
+                                            );
+                                            match extracted {
+                                                Ok(Ok(ft)) => {
+                                                    handle_file(ft);
+                                                    lease.ack();
+                                                }
+                                                Ok(Err(e)) => {
+                                                    lease.ack();
+                                                    return Err(e);
+                                                }
+                                                Err(_) => drop(lease),
+                                            }
                                         }
                                     }
                                     WorkSource::Stealing(worker) => {
@@ -335,6 +356,12 @@ impl IndexGenerator {
             }
         });
 
+        // An item every lease holder panicked on is permanently lost work —
+        // surface it as the panic it is instead of an index missing a file.
+        if worker_panic.is_none() && queue_handle.as_ref().is_some_and(|q| !q.poisoned().is_empty())
+        {
+            worker_panic = Some("extraction");
+        }
         if let Some(stage) = worker_panic {
             return Err(PipelineError::WorkerPanicked(stage));
         }
@@ -390,7 +417,7 @@ mod tests {
     use crate::config::{DedupMode, InsertGranularity};
     use dsearch_corpus::{materialize_to_memfs, CorpusSpec};
     use dsearch_text::Term;
-    use dsearch_vfs::MemFs;
+    use dsearch_vfs::{FlakyFs, MemFs};
 
     fn corpus() -> MemFs {
         let (fs, _) = materialize_to_memfs(&CorpusSpec::tiny(), 11);
@@ -533,6 +560,49 @@ mod tests {
             let (index, _) = run.outcome.into_single_index();
             assert_eq!(index, reference.index, "options {options:?}");
         }
+    }
+
+    #[test]
+    fn work_queue_survives_a_panicking_extractor_read() {
+        // Regression test for the lease/ack queue: a read that panics once
+        // must not lose its work item.  The dropped lease returns the file to
+        // the queue, another pop retries it, and the final index is complete.
+        let flaky = FlakyFs::new(hand_built());
+        flaky.panic_reads("d1/a.txt", 1);
+
+        let mut options = GeneratorOptions::paper_defaults();
+        options.distribution = DistributionStrategy::WorkQueue;
+        let generator = IndexGenerator::new(options);
+        let run = generator
+            .run(&flaky, &VPath::root(), Implementation::ReplicateJoin, Configuration::new(3, 0, 0))
+            .unwrap();
+
+        assert_eq!(run.stage2.files, 4, "all four files extracted despite the panic");
+        assert_eq!(flaky.read_attempts("d1/a.txt"), 2, "panicked once, retried once");
+        let reference =
+            IndexGenerator::default().run_sequential(&hand_built(), &VPath::root()).unwrap();
+        let (index, docs) = run.outcome.into_single_index();
+        assert_eq!(index, reference.index);
+        assert_eq!(docs, reference.docs);
+    }
+
+    #[test]
+    fn work_queue_poisons_an_item_that_always_panics() {
+        // A file whose extraction panics on every attempt must not wedge the
+        // run: after MAX_LEASE_ATTEMPTS the queue quarantines it and the run
+        // reports the extraction-stage failure instead of hanging or silently
+        // dropping the file.
+        let flaky = FlakyFs::new(hand_built());
+        flaky.panic_reads("d1/a.txt", u32::MAX);
+
+        let mut options = GeneratorOptions::paper_defaults();
+        options.distribution = DistributionStrategy::WorkQueue;
+        let generator = IndexGenerator::new(options);
+        let err = generator
+            .run(&flaky, &VPath::root(), Implementation::ReplicateJoin, Configuration::new(2, 0, 0))
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::WorkerPanicked("extraction")), "{err}");
+        assert_eq!(flaky.read_attempts("d1/a.txt"), crate::distribute::MAX_LEASE_ATTEMPTS);
     }
 
     #[test]

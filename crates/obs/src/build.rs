@@ -1,0 +1,70 @@
+//! Build-pipeline metrics: publishing a [`CounterSnapshot`] from a
+//! checkpointed build into a [`MetricsRegistry`].
+//!
+//! The build counters (items extracted, retried, dead-lettered; checkpoint
+//! writes; lease reclaims) are accumulated lock-free inside
+//! `dsearch_core::pipeline` while the build runs.  Serving processes that
+//! also build — or a `!metrics`-style exposition after `dsearch build` —
+//! publish them under the `dsearch_build_*` family with this adapter, so
+//! one scrape shows query and build health side by side.
+
+use dsearch_core::pipeline::CounterSnapshot;
+
+use crate::metrics::MetricsRegistry;
+
+/// Metric names of the build-counter family, in snapshot-field order.
+pub const BUILD_METRICS: [&str; 5] = [
+    "dsearch_build_items_ok",
+    "dsearch_build_items_retried",
+    "dsearch_build_items_dead",
+    "dsearch_build_checkpoint_writes",
+    "dsearch_build_lease_reclaims",
+];
+
+/// Adds a build's counter totals to the registry's `dsearch_build_*`
+/// counters.  Counters are monotone: publishing two builds sums them, the
+/// Prometheus convention for restart-free accumulation.
+pub fn publish_build_counters(registry: &MetricsRegistry, snapshot: &CounterSnapshot) {
+    let values = [
+        snapshot.items_ok,
+        snapshot.items_retried,
+        snapshot.items_dead,
+        snapshot.checkpoint_writes,
+        snapshot.lease_reclaims,
+    ];
+    for (name, value) in BUILD_METRICS.iter().zip(values) {
+        registry.counter(name).add(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishes_every_counter_under_the_build_family() {
+        let registry = MetricsRegistry::new();
+        let snapshot = CounterSnapshot {
+            items_ok: 10,
+            items_retried: 3,
+            items_dead: 1,
+            checkpoint_writes: 4,
+            lease_reclaims: 2,
+        };
+        publish_build_counters(&registry, &snapshot);
+        assert_eq!(registry.counter("dsearch_build_items_ok").value(), 10);
+        assert_eq!(registry.counter("dsearch_build_items_retried").value(), 3);
+        assert_eq!(registry.counter("dsearch_build_items_dead").value(), 1);
+        assert_eq!(registry.counter("dsearch_build_checkpoint_writes").value(), 4);
+        assert_eq!(registry.counter("dsearch_build_lease_reclaims").value(), 2);
+
+        // A second build accumulates instead of resetting.
+        publish_build_counters(&registry, &snapshot);
+        assert_eq!(registry.counter("dsearch_build_items_ok").value(), 20);
+
+        let text = registry.render_prometheus();
+        for name in BUILD_METRICS {
+            assert!(text.contains(name), "exposition missing {name}");
+        }
+    }
+}

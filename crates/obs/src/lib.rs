@@ -20,10 +20,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod build;
 pub mod metrics;
 pub mod slowlog;
 pub mod trace;
 
+pub use build::{publish_build_counters, BUILD_METRICS};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use slowlog::{SlowLog, DEFAULT_SLOW_CAPACITY};
 pub use trace::{next_trace_id, parse_compact_stages, QueryTrace, ShardSpan, Span, Stage};

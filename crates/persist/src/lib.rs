@@ -42,12 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod incremental;
 pub mod segment;
 pub mod store;
 pub mod varint;
 
+pub use checkpoint::{BuildCheckpoint, DeadLetter, DeadLetterQueue, CHECKPOINT_FILE, DLQ_FILE};
 pub use error::PersistError;
 pub use incremental::{ChangeSet, FileSignature, IncrementalIndexer, SignatureDb, UpdateReport};
 pub use segment::{read_segment, read_segment_sealed, write_segment, SegmentInfo};

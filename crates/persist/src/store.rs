@@ -148,15 +148,65 @@ impl IndexStore {
         index: &InMemoryIndex,
         docs: &DocTable,
     ) -> Result<SegmentInfo, PersistError> {
+        self.commit_named(index, docs).map(|(_, info)| info)
+    }
+
+    /// Commits `index` as a new segment and also returns the segment's file
+    /// name — the handle a build checkpoint records so crash recovery can
+    /// tell this build's segments from orphans.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the segment or the updated manifest cannot be written.
+    pub fn commit_named(
+        &mut self,
+        index: &InMemoryIndex,
+        docs: &DocTable,
+    ) -> Result<(String, SegmentInfo), PersistError> {
         let file_name = format!("segment-{:06}.dsg", self.manifest.next_segment);
         let path = self.root.join(&file_name);
         let mut file = fs::File::create(&path)?;
         let info = write_segment(index, docs, &mut file)?;
         file.sync_all()?;
         self.manifest.next_segment += 1;
-        self.manifest.segments.push(ManifestSegment { file_name, info });
+        self.manifest.segments.push(ManifestSegment { file_name: file_name.clone(), info });
         self.write_manifest()?;
-        Ok(info)
+        Ok((file_name, info))
+    }
+
+    /// Keeps only the segments whose file name satisfies `keep`; the rest are
+    /// dropped from the manifest and their files deleted (best effort).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pruned manifest cannot be written; the manifest is left
+    /// unchanged in that case.
+    pub fn retain_segments(&mut self, keep: impl Fn(&str) -> bool) -> Result<usize, PersistError> {
+        let (kept, dropped): (Vec<_>, Vec<_>) = std::mem::take(&mut self.manifest.segments)
+            .into_iter()
+            .partition(|s| keep(&s.file_name));
+        let removed = dropped.len();
+        self.manifest.segments = kept;
+        if removed > 0 {
+            if let Err(e) = self.write_manifest() {
+                self.manifest.segments.extend(dropped);
+                return Err(e);
+            }
+            for entry in dropped {
+                let _ = fs::remove_file(self.root.join(&entry.file_name));
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Removes every live segment (a fresh build taking ownership of the
+    /// store).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the emptied manifest cannot be written.
+    pub fn clear_segments(&mut self) -> Result<usize, PersistError> {
+        self.retain_segments(|_| false)
     }
 
     /// Loads one segment by its position in the manifest.

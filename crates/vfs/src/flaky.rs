@@ -1,0 +1,179 @@
+//! A scripted fault-injection file system for testing retry and
+//! fault-tolerance paths.
+//!
+//! [`FlakyFs`] wraps any inner [`FileSystem`] and lets a test script per-path
+//! read behaviour: fail the first *n* reads with an I/O error, fail every
+//! read, or panic on the first *n* reads (modelling an extractor bug a
+//! poison document triggers).  Metadata and directory listings always pass
+//! through, so Stage 1 walks succeed and the faults land exactly where the
+//! build pipeline's retry logic must handle them — in Stage 2 reads.
+//!
+//! The script is deterministic: behaviour depends only on the per-path read
+//! count, never on wall-clock time or thread scheduling.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::VfsError;
+use crate::path::VPath;
+use crate::{DirEntry, FileMeta, FileSystem};
+
+/// What a scripted path does when read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Fail the first `n` reads with [`VfsError::Io`], then succeed.
+    FailReads(u32),
+    /// Fail every read with [`VfsError::Io`].
+    AlwaysFail,
+    /// Panic on the first `n` reads, then succeed.
+    PanicReads(u32),
+}
+
+#[derive(Debug, Default)]
+struct Script {
+    faults: HashMap<String, Fault>,
+    reads: HashMap<String, u32>,
+}
+
+/// A [`FileSystem`] decorator that injects scripted read faults.
+#[derive(Debug, Clone)]
+pub struct FlakyFs<F> {
+    inner: Arc<F>,
+    script: Arc<Mutex<Script>>,
+}
+
+impl<F: FileSystem> FlakyFs<F> {
+    /// Wraps `inner` with an empty fault script (all reads pass through).
+    #[must_use]
+    pub fn new(inner: F) -> Self {
+        FlakyFs { inner: Arc::new(inner), script: Arc::new(Mutex::new(Script::default())) }
+    }
+
+    /// Scripts the first `n` reads of `path` to fail with an I/O error.
+    pub fn fail_reads(&self, path: &str, n: u32) {
+        self.script.lock().faults.insert(path.to_owned(), Fault::FailReads(n));
+    }
+
+    /// Scripts every read of `path` to fail with an I/O error.
+    pub fn always_fail(&self, path: &str) {
+        self.script.lock().faults.insert(path.to_owned(), Fault::AlwaysFail);
+    }
+
+    /// Scripts the first `n` reads of `path` to panic.
+    pub fn panic_reads(&self, path: &str, n: u32) {
+        self.script.lock().faults.insert(path.to_owned(), Fault::PanicReads(n));
+    }
+
+    /// Clears any scripted fault on `path` (reads pass through again).
+    pub fn heal(&self, path: &str) {
+        self.script.lock().faults.remove(path);
+    }
+
+    /// Number of read attempts made against `path` (successful or not).
+    #[must_use]
+    pub fn read_attempts(&self, path: &str) -> u32 {
+        self.script.lock().reads.get(path).copied().unwrap_or(0)
+    }
+
+    /// The wrapped file system.
+    #[must_use]
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    fn io_error(path: &VPath) -> VfsError {
+        VfsError::Io(Arc::new(std::io::Error::other(format!(
+            "injected transient failure reading {path}"
+        ))))
+    }
+}
+
+impl<F: FileSystem> FileSystem for FlakyFs<F> {
+    fn read(&self, path: &VPath) -> Result<Vec<u8>, VfsError> {
+        let key = path.as_str().to_owned();
+        let fault = {
+            let mut script = self.script.lock();
+            let count = script.reads.entry(key.clone()).or_insert(0);
+            *count += 1;
+            let attempt = *count;
+            match script.faults.get(&key) {
+                Some(Fault::FailReads(n)) if attempt <= *n => Some(Fault::FailReads(*n)),
+                Some(Fault::AlwaysFail) => Some(Fault::AlwaysFail),
+                Some(Fault::PanicReads(n)) if attempt <= *n => Some(Fault::PanicReads(*n)),
+                _ => None,
+            }
+        };
+        match fault {
+            Some(Fault::FailReads(_) | Fault::AlwaysFail) => Err(Self::io_error(path)),
+            Some(Fault::PanicReads(_)) => panic!("injected panic reading {path}"),
+            None => self.inner.read(path),
+        }
+    }
+
+    fn metadata(&self, path: &VPath) -> Result<FileMeta, VfsError> {
+        self.inner.metadata(path)
+    }
+
+    fn read_dir(&self, path: &VPath) -> Result<Vec<DirEntry>, VfsError> {
+        self.inner.read_dir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemFs;
+
+    fn fixture() -> FlakyFs<MemFs> {
+        let fs = MemFs::new();
+        fs.add_file(&VPath::new("a.txt"), b"alpha".to_vec()).unwrap();
+        fs.add_file(&VPath::new("b.txt"), b"beta".to_vec()).unwrap();
+        FlakyFs::new(fs)
+    }
+
+    #[test]
+    fn unscripted_paths_pass_through() {
+        let fs = fixture();
+        assert_eq!(fs.read(&VPath::new("a.txt")).unwrap(), b"alpha");
+        assert_eq!(fs.metadata(&VPath::new("a.txt")).unwrap().size, 5);
+        assert_eq!(fs.read_dir(&VPath::root()).unwrap().len(), 2);
+        assert_eq!(fs.read_attempts("a.txt"), 1);
+        assert_eq!(fs.read_attempts("b.txt"), 0);
+        assert!(fs.inner().exists(&VPath::new("b.txt")));
+    }
+
+    #[test]
+    fn fail_reads_recovers_after_n_attempts() {
+        let fs = fixture();
+        fs.fail_reads("a.txt", 2);
+        assert!(matches!(fs.read(&VPath::new("a.txt")), Err(VfsError::Io(_))));
+        assert!(matches!(fs.read(&VPath::new("a.txt")), Err(VfsError::Io(_))));
+        assert_eq!(fs.read(&VPath::new("a.txt")).unwrap(), b"alpha");
+        assert_eq!(fs.read_attempts("a.txt"), 3);
+    }
+
+    #[test]
+    fn always_fail_never_recovers_until_healed() {
+        let fs = fixture();
+        fs.always_fail("b.txt");
+        for _ in 0..5 {
+            let err = fs.read(&VPath::new("b.txt")).unwrap_err();
+            assert!(err.to_string().contains("injected"), "{err}");
+        }
+        fs.heal("b.txt");
+        assert_eq!(fs.read(&VPath::new("b.txt")).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn panic_reads_panics_then_recovers() {
+        let fs = fixture();
+        fs.panic_reads("a.txt", 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = fs.read(&VPath::new("a.txt"));
+        }));
+        assert!(result.is_err(), "first read panics");
+        assert_eq!(fs.read(&VPath::new("a.txt")).unwrap(), b"alpha", "second read succeeds");
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod counting;
 pub mod error;
+pub mod flaky;
 pub mod mem;
 pub mod os;
 pub mod path;
@@ -40,6 +41,7 @@ pub mod walker;
 
 pub use counting::{CountingFs, IoCounters};
 pub use error::VfsError;
+pub use flaky::FlakyFs;
 pub use mem::MemFs;
 pub use os::OsFs;
 pub use path::VPath;
