@@ -81,6 +81,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
                         requests: REQUESTS_PER_ITER,
                         mode: LoadMode::Closed { clients: workers.max(2) },
                         stage_report: false,
+                        deadline_ms: None,
                     },
                 );
                 assert_eq!(report.errors, 0);
@@ -102,6 +103,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
                         requests: REQUESTS_PER_ITER,
                         mode: LoadMode::Closed { clients: workers.max(2) },
                         stage_report: false,
+                        deadline_ms: None,
                     },
                 );
                 assert_eq!(report.errors, 0);
@@ -132,6 +134,7 @@ fn bench_cache_effect(c: &mut Criterion) {
                     requests: REQUESTS_PER_ITER,
                     mode: LoadMode::Closed { clients: 4 },
                     stage_report: false,
+                    deadline_ms: None,
                 },
             )
             .qps
@@ -149,6 +152,7 @@ fn bench_cache_effect(c: &mut Criterion) {
                     requests: REQUESTS_PER_ITER,
                     mode: LoadMode::Closed { clients: 4 },
                     stage_report: false,
+                    deadline_ms: None,
                 },
             )
             .qps
@@ -181,6 +185,7 @@ fn batching_engine(max_batch: usize) -> Arc<QueryEngine> {
             cache_shards: 1,
             result_limit: 20,
             batch: BatchConfig { max_batch, ..BatchConfig::default() },
+            ..EngineConfig::default()
         },
     )
     .expect("bench config is valid")
@@ -210,6 +215,7 @@ fn bench_batching(c: &mut Criterion) {
                 requests: 8192,
                 mode: LoadMode::Closed { clients: 8 },
                 stage_report: false,
+                deadline_ms: None,
             },
         );
         let stats = engine.stats();
@@ -240,6 +246,7 @@ fn bench_batching(c: &mut Criterion) {
                         requests: REQUESTS_PER_ITER,
                         mode: LoadMode::Closed { clients: 8 },
                         stage_report: false,
+                        deadline_ms: None,
                     },
                 );
                 assert_eq!(report.errors, 0);

@@ -48,6 +48,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "trace-us",
     "hedge-ms",
     "probe-ms",
+    "default-deadline-ms",
+    "retry-budget-pct",
+    "deadline-ms",
     // build / dlq
     "max-retries",
     "checkpoint-every",

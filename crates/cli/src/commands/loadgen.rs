@@ -10,6 +10,9 @@
 //! `--max-batch`/`--batch-wait-us` control how aggressively workers batch
 //! the backlog.  `--stage-report` adds per-stage latency percentiles from
 //! the servers' query traces: where the wall time of a query actually went.
+//! `--deadline-ms` stamps every request with a `@d=<ms>` budget; the report
+//! then separates goodput (on-time completions) from raw throughput and
+//! counts `deadline_exceeded` answers apart from errors.
 
 use std::sync::Arc;
 
@@ -48,15 +51,22 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
 
     let pool = WorkerPool::start(Arc::clone(&engine));
     let stage_report = args.flag("stage-report");
-    let report = loadgen::run(&pool, &workload, &LoadConfig { requests, mode, stage_report });
+    // `--deadline-ms 0` means "no deadline", mirroring `--default-deadline-ms`.
+    let deadline_ms = args.number_of::<u64>("deadline-ms")?.filter(|&ms| ms > 0);
+    let report =
+        loadgen::run(&pool, &workload, &LoadConfig { requests, mode, stage_report, deadline_ms });
     pool.shutdown();
 
     let mode_text = match mode {
         LoadMode::Closed { clients } => format!("closed-loop, {clients} client(s)"),
         LoadMode::Open { rate_qps } => format!("open-loop, {rate_qps:.0} qps target"),
     };
+    let deadline_text = match deadline_ms {
+        Some(ms) => format!(", {ms}ms deadline"),
+        None => String::new(),
+    };
     Ok(format!(
-        "workload: {} distinct queries (seed {seed}), {mode_text}, {} worker(s)\n{report}\nserver: {}\n",
+        "workload: {} distinct queries (seed {seed}), {mode_text}{deadline_text}, {} worker(s)\n{report}\nserver: {}\n",
         workload.len(),
         engine.config().workers,
         engine.stats_report(),

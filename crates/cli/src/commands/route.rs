@@ -51,6 +51,9 @@ pub(crate) fn router_config(args: &ParsedArgs) -> Result<RouterConfig, CliError>
     if let Some(shards) = args.number_of::<usize>("cache-shards")? {
         config.cache_shards = shards;
     }
+    if let Some(ms) = args.number_of::<u64>("default-deadline-ms")? {
+        config.default_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+    }
     config.validate().map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
     Ok(config)
 }
@@ -68,6 +71,9 @@ pub(crate) fn replica_config(args: &ParsedArgs) -> Result<ReplicaSetConfig, CliE
     }
     if let Some(ms) = args.number_of::<u64>("probe-ms")? {
         config.probe_backoff = Duration::from_millis(ms.max(1));
+    }
+    if let Some(pct) = args.number_of::<u32>("retry-budget-pct")? {
+        config.retry_budget_pct = pct;
     }
     Ok(config)
 }
@@ -139,7 +145,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let banner = format!(
         "routing over {} shard(s): {} ({} workers, limit {})\n\
          batching: max_batch={} max_wait={wait} queue_bound={} overload={}\n\
-         protocol: one query per line (prefix @<hex-id> to trace); !stats aggregates shards, \
+         protocol: one query per line (prefix @<hex-id> to trace, @d=<ms> for a deadline); \
+         !stats aggregates shards, \
          !metrics, !trace <us>, !slow, !reload fans out, !quit\n",
         shard_list.len(),
         shard_list.join(", "),
@@ -220,6 +227,8 @@ mod tests {
             "32",
             "--overload",
             "drop",
+            "--default-deadline-ms",
+            "75",
         ])
         .unwrap();
         let config = router_config(&args).unwrap();
@@ -229,6 +238,7 @@ mod tests {
         assert!(config.batch.adaptive);
         assert_eq!(config.batch.queue_bound, 32);
         assert_eq!(config.batch.overload, dsearch::server::OverloadPolicy::DropOldest);
+        assert_eq!(config.default_deadline, Some(Duration::from_millis(75)));
     }
 
     #[test]
@@ -290,6 +300,15 @@ mod tests {
         let config = replica_config(&args).unwrap();
         assert_eq!(config.hedge_after, None);
         assert!(!config.adaptive_hedge);
+    }
+
+    #[test]
+    fn replica_config_parses_retry_budget_override() {
+        let args =
+            ParsedArgs::parse(["route", "--shard", "a:1,b:1", "--retry-budget-pct", "25"]).unwrap();
+        let config = replica_config(&args).unwrap();
+        assert_eq!(config.retry_budget_pct, 25);
+        assert_eq!(ReplicaSetConfig::default().retry_budget_pct, 10);
     }
 
     #[test]

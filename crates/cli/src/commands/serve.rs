@@ -43,6 +43,9 @@ pub(crate) fn engine_config(args: &ParsedArgs) -> Result<EngineConfig, CliError>
     if let Some(policy) = args.value_of("overload") {
         config.batch.overload = policy.parse().map_err(CliError::Usage)?;
     }
+    if let Some(ms) = args.number_of::<u64>("default-deadline-ms")? {
+        config.default_deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
     config.validate().map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
     Ok(config)
 }
@@ -120,7 +123,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "serving {} document(s), {} shard(s), generation {} \
          ({} workers, cache {} entries / {} shards)\n\
          batching: max_batch={} max_wait={:?} queue_bound={queue_bound} overload={}\n\
-         protocol: one query per line (prefix @<hex-id> to trace); \
+         protocol: one query per line (prefix @<hex-id> to trace, @d=<ms> for a deadline); \
          !stats, !metrics, !trace <us>, !slow, !reload, !quit\n",
         engine.snapshot_cell().load().doc_count(),
         engine.snapshot_cell().load().shard_count(),
@@ -239,6 +242,8 @@ mod tests {
             "64",
             "--overload",
             "drop-oldest",
+            "--default-deadline-ms",
+            "40",
         ])
         .unwrap();
         let config = engine_config(&args).unwrap();
@@ -251,6 +256,14 @@ mod tests {
         assert!(!config.batch.adaptive);
         assert_eq!(config.batch.queue_bound, 64);
         assert_eq!(config.batch.overload, dsearch::server::OverloadPolicy::DropOldest);
+        assert_eq!(config.default_deadline, Some(std::time::Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn default_deadline_of_zero_disables_the_budget() {
+        let args = ParsedArgs::parse(["serve", "--default-deadline-ms", "0"]).unwrap();
+        let config = engine_config(&args).unwrap();
+        assert_eq!(config.default_deadline, None);
     }
 
     #[test]

@@ -64,6 +64,16 @@ pub trait SearchBackend {
     /// The path registered for a file id.
     fn path_of(&self, id: FileId) -> Option<&str>;
 
+    /// Cooperative cancellation checkpoint, consulted by the default
+    /// evaluator between query groups and between posting-cursor operator
+    /// passes.  A backend with a deadline returns `true` to stop evaluation
+    /// mid-flight (a huge `OR` over cold postings must not run to completion
+    /// after its budget is gone); the partial result it yields is the
+    /// caller's to discard.  The default never cancels.
+    fn should_cancel(&self) -> bool {
+        false
+    }
+
     /// Evaluates a query, producing ranked results.
     fn search(&self, query: &Query) -> SearchResults {
         let mut matched: Vec<(FileId, usize)> = Vec::new();
@@ -71,7 +81,10 @@ pub trait SearchBackend {
         // every group; `acc` holds the running result once an operator ran.
         let mut acc: Vec<FileId> = Vec::new();
         let mut next: Vec<FileId> = Vec::new();
-        for group in query.groups() {
+        'groups: for group in query.groups() {
+            if self.should_cancel() {
+                break 'groups;
+            }
             // Fetch all required lists up front; any empty list kills the
             // whole conjunction before a single merge step runs.
             let mut lists: Vec<Postings<'_>> = Vec::with_capacity(group.required().len());
@@ -112,6 +125,12 @@ pub trait SearchBackend {
                 }
             } else {
                 for postings in lists.iter().skip(1) {
+                    // Each pass is a full posting-cursor sweep: check the
+                    // budget between them so a long conjunction stops as
+                    // soon as it is dead work.
+                    if self.should_cancel() {
+                        break 'groups;
+                    }
                     let current = if in_scratch {
                         PostingsCursor::Slice(SliceCursor::new(&acc))
                     } else {
@@ -129,6 +148,9 @@ pub trait SearchBackend {
             for term in group.excluded() {
                 if in_scratch && acc.is_empty() {
                     break;
+                }
+                if self.should_cancel() {
+                    break 'groups;
                 }
                 let excluded = self.postings(term);
                 if excluded.is_empty() {
@@ -470,6 +492,52 @@ mod tests {
         let generic = searcher.search(&Query::parse("mid even common").unwrap());
         assert!(generic.paths().contains(&"doc0000.txt"));
         assert_eq!(generic.len(), 9, "mid ∩ even: d % 62 == 0");
+    }
+
+    #[test]
+    fn cancellation_stops_evaluation_between_groups() {
+        use std::cell::Cell;
+        struct CancellingSearcher<'a> {
+            inner: SingleIndexSearcher<'a>,
+            budget: Cell<usize>,
+        }
+        impl SearchBackend for CancellingSearcher<'_> {
+            fn postings(&self, term: &Term) -> Postings<'_> {
+                self.inner.postings(term)
+            }
+            fn prefix_postings(&self, prefix: &str) -> Postings<'_> {
+                self.inner.prefix_postings(prefix)
+            }
+            fn path_of(&self, id: FileId) -> Option<&str> {
+                self.inner.path_of(id)
+            }
+            fn should_cancel(&self) -> bool {
+                let left = self.budget.get();
+                if left == 0 {
+                    return true;
+                }
+                self.budget.set(left - 1);
+                false
+            }
+        }
+        let (index, _, docs) = fixture();
+        let query = Query::parse("rust OR java").unwrap();
+        // Budget 0: cancelled before the first group, nothing evaluates.
+        let searcher = CancellingSearcher {
+            inner: SingleIndexSearcher::new(&index, &docs),
+            budget: Cell::new(0),
+        };
+        assert!(searcher.search(&query).is_empty());
+        // Budget 1: the first OR group evaluates, the second is cut off —
+        // the caller sees a strict subset it knows to discard.
+        let searcher = CancellingSearcher {
+            inner: SingleIndexSearcher::new(&index, &docs),
+            budget: Cell::new(1),
+        };
+        let partial = searcher.search(&query);
+        assert_eq!(partial.len(), 4, "only the rust group ran");
+        // A backend that never cancels is unaffected.
+        assert_eq!(SingleIndexSearcher::new(&index, &docs).search(&query).len(), 5);
     }
 
     #[test]

@@ -122,6 +122,23 @@ impl Default for BatchConfig {
 pub trait QueueJob: Send {
     /// Consumes the job, answering its waiter with "overloaded".
     fn shed(self);
+
+    /// The absolute instant the job's answer stops being useful (`None`:
+    /// no deadline).  The governor sheds already-expired jobs at dequeue
+    /// time — executing dead work is strictly worse than dropping it — and
+    /// never lingers a fill window past the earliest deadline in the batch.
+    fn deadline(&self) -> Option<Instant> {
+        None
+    }
+
+    /// Consumes the job, answering its waiter with "deadline exceeded".
+    /// Defaults to the overload answer for job types without deadlines.
+    fn expire(self)
+    where
+        Self: Sized,
+    {
+        self.shed();
+    }
 }
 
 /// One drained batch plus the timing facts a worker needs to attribute
@@ -241,46 +258,63 @@ impl<J: QueueJob> QueueGovernor<J> {
     /// shutdown never discards admitted work.
     pub(crate) fn next_batch(&self, stats: &ServerStats) -> Option<DrainedBatch<J>> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if !state.queue.is_empty() {
-                break;
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.available.wait(state).unwrap_or_else(|e| e.into_inner());
-        }
-        let drained = Instant::now();
-        let take = self.config.max_batch.min(state.queue.len());
-        let mut batch: Vec<J> = state.queue.drain(..take).collect();
-
-        let mut linger = !self.config.max_wait.is_zero() && batch.len() < self.config.max_batch;
-        if linger && self.config.adaptive {
-            // Wait only when the batch is likely to fill: project the recent
-            // arrival rate over the fill window and compare against the
-            // number of free slots.
-            let needed = self.config.max_batch - batch.len();
-            let expected = expected_arrivals(&state.arrivals, drained, self.config.max_wait);
-            linger = expected >= needed as f64;
-            stats.record_adaptive_decision(linger);
-        }
-        let mut fill_wait = Duration::ZERO;
-        if linger {
-            let deadline = drained + self.config.max_wait;
-            while batch.len() < self.config.max_batch && !state.closed {
-                let Some(left) = deadline.checked_duration_since(Instant::now()) else { break };
-                let (next, timeout) =
-                    self.available.wait_timeout(state, left).unwrap_or_else(|e| e.into_inner());
-                state = next;
-                let take = (self.config.max_batch - batch.len()).min(state.queue.len());
-                batch.extend(state.queue.drain(..take));
-                if timeout.timed_out() {
+        'refill: loop {
+            loop {
+                if !state.queue.is_empty() {
                     break;
                 }
+                if state.closed {
+                    return None;
+                }
+                state = self.available.wait(state).unwrap_or_else(|e| e.into_inner());
             }
-            fill_wait = drained.elapsed();
+            let drained = Instant::now();
+            let take = self.config.max_batch.min(state.queue.len());
+            let mut batch: Vec<J> = Vec::with_capacity(take);
+            admit_live(state.queue.drain(..take), drained, &mut batch, stats);
+            if batch.is_empty() {
+                // Everything drained had already expired; go back to waiting
+                // rather than hand a worker an empty batch.
+                continue 'refill;
+            }
+
+            let mut linger = !self.config.max_wait.is_zero() && batch.len() < self.config.max_batch;
+            if linger && self.config.adaptive {
+                // Wait only when the batch is likely to fill: project the recent
+                // arrival rate over the fill window and compare against the
+                // number of free slots.
+                let needed = self.config.max_batch - batch.len();
+                let expected = expected_arrivals(&state.arrivals, drained, self.config.max_wait);
+                linger = expected >= needed as f64;
+                stats.record_adaptive_decision(linger);
+            }
+            let mut fill_wait = Duration::ZERO;
+            if linger {
+                let window_end = drained + self.config.max_wait;
+                while batch.len() < self.config.max_batch && !state.closed {
+                    // The window never outlives the most urgent job already
+                    // in the batch: lingering past its deadline would turn
+                    // the whole batch's answers into dead work.
+                    let cap = batch
+                        .iter()
+                        .filter_map(QueueJob::deadline)
+                        .min()
+                        .map_or(window_end, |d| window_end.min(d));
+                    let Some(left) = cap.checked_duration_since(Instant::now()) else { break };
+                    let (next, timeout) =
+                        self.available.wait_timeout(state, left).unwrap_or_else(|e| e.into_inner());
+                    state = next;
+                    let take = (self.config.max_batch - batch.len()).min(state.queue.len());
+                    let now = Instant::now();
+                    admit_live(state.queue.drain(..take), now, &mut batch, stats);
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                fill_wait = drained.elapsed();
+            }
+            return Some(DrainedBatch { jobs: batch, drained_at: drained, fill_wait });
         }
-        Some(DrainedBatch { jobs: batch, drained_at: drained, fill_wait })
     }
 
     /// Closes the governor: subsequent submissions fail, workers drain what
@@ -297,6 +331,33 @@ impl<J: QueueJob> std::fmt::Debug for QueueGovernor<J> {
             .field("config", &self.config)
             .field("depth", &self.depth())
             .finish()
+    }
+}
+
+/// Moves drained jobs into `batch`, shedding the ones whose deadline has
+/// already passed (answered with "deadline exceeded" and counted as
+/// `expired=` sheds).  Surviving deadline-carrying jobs record their
+/// remaining budget at dequeue — the queue-pressure signal an operator tunes
+/// deadlines against.
+fn admit_live<J: QueueJob>(
+    jobs: impl Iterator<Item = J>,
+    now: Instant,
+    batch: &mut Vec<J>,
+    stats: &ServerStats,
+) {
+    for job in jobs {
+        match job.deadline() {
+            Some(deadline) if deadline <= now => {
+                job.expire();
+                stats.record_expired_shed();
+            }
+            deadline => {
+                if let Some(deadline) = deadline {
+                    stats.record_remaining_budget(deadline.duration_since(now));
+                }
+                batch.push(job);
+            }
+        }
     }
 }
 
@@ -336,6 +397,12 @@ pub struct BatchSearcher<'a> {
     memo_hits: Cell<u64>,
     memo_misses: Cell<u64>,
     lookup_time: Cell<Duration>,
+    /// Cooperative-cancellation deadline for the evaluation in flight (set
+    /// per canonical group by the engine; `None` evaluates to completion).
+    deadline: Cell<Option<Instant>>,
+    /// Latched when an evaluation was cut off by the deadline, so the engine
+    /// knows the returned results are partial and must be discarded.
+    cancelled: Cell<bool>,
 }
 
 impl<'a> BatchSearcher<'a> {
@@ -349,7 +416,21 @@ impl<'a> BatchSearcher<'a> {
             memo_hits: Cell::new(0),
             memo_misses: Cell::new(0),
             lookup_time: Cell::new(Duration::ZERO),
+            deadline: Cell::new(None),
+            cancelled: Cell::new(false),
         }
+    }
+
+    /// Arms (or disarms, with `None`) the cooperative-cancellation deadline
+    /// for the next evaluation.
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        self.deadline.set(deadline);
+    }
+
+    /// Returns whether the last evaluation was cut off by its deadline,
+    /// clearing the latch for the next one.
+    pub fn take_cancelled(&self) -> bool {
+        self.cancelled.replace(false)
     }
 
     /// Posting lookups answered from the memo.
@@ -404,6 +485,15 @@ impl<'a> SearchBackend for BatchSearcher<'a> {
     fn path_of(&self, id: FileId) -> Option<&str> {
         self.snapshot.path_of(id)
     }
+
+    fn should_cancel(&self) -> bool {
+        let Some(deadline) = self.deadline.get() else { return false };
+        if Instant::now() >= deadline {
+            self.cancelled.set(true);
+            return true;
+        }
+        false
+    }
 }
 
 impl std::fmt::Debug for BatchSearcher<'_> {
@@ -424,9 +514,13 @@ mod tests {
     use std::sync::mpsc;
 
     fn job(raw: &str) -> (Job, PendingResponse) {
+        job_with_deadline(raw, None)
+    }
+
+    fn job_with_deadline(raw: &str, deadline: Option<Instant>) -> (Job, PendingResponse) {
         let (respond, receiver) = mpsc::channel();
         (
-            Job { raw: raw.to_owned(), respond, submitted: Instant::now() },
+            Job { raw: raw.to_owned(), respond, submitted: Instant::now(), deadline },
             PendingResponse::from_receiver(receiver),
         )
     }
@@ -627,6 +721,61 @@ mod tests {
         governor.submit(a, &stats).unwrap();
         let _ = governor.next_batch(&stats).unwrap();
         assert_eq!(stats.adaptive_wait_count() + stats.adaptive_skip_count(), 0);
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_at_dequeue_with_a_distinct_count() {
+        let (governor, stats) = governor(BatchConfig::default());
+        let (dead, dead_pending) = job_with_deadline("dead", Some(Instant::now()));
+        let (live, _live_pending) =
+            job_with_deadline("live", Some(Instant::now() + Duration::from_secs(60)));
+        let (plain, _plain_pending) = job("plain");
+        governor.submit(dead, &stats).unwrap();
+        governor.submit(live, &stats).unwrap();
+        governor.submit(plain, &stats).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        let batch = governor.next_batch(&stats).unwrap();
+        let raws: Vec<&str> = batch.jobs.iter().map(|j| j.raw.as_str()).collect();
+        assert_eq!(raws, ["live", "plain"]);
+        // The expired job's waiter got a deadline answer, not a hang, and
+        // the shed was attributed to expiry.
+        assert_eq!(dead_pending.wait().unwrap_err(), ServerError::DeadlineExceeded);
+        assert_eq!(stats.expired_count(), 1);
+        assert_eq!(stats.shed_count(), 1);
+    }
+
+    #[test]
+    fn all_expired_batch_keeps_the_worker_waiting() {
+        let (governor, stats) = governor(BatchConfig::default());
+        let (dead, _p) = job_with_deadline("dead", Some(Instant::now()));
+        governor.submit(dead, &stats).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        governor.close();
+        // The only queued job expires at drain: the worker sees the closed
+        // end of the stream, never an empty batch.
+        assert!(governor.next_batch(&stats).is_none());
+        assert_eq!(stats.expired_count(), 1);
+    }
+
+    #[test]
+    fn fill_window_never_lingers_past_the_earliest_deadline() {
+        let (governor, stats) = governor(BatchConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(400),
+            ..BatchConfig::default()
+        });
+        // One job due in 30ms: the 400ms fill window must be cut short.
+        let (urgent, _p) =
+            job_with_deadline("urgent", Some(Instant::now() + Duration::from_millis(30)));
+        governor.submit(urgent, &stats).unwrap();
+        let started = Instant::now();
+        let batch = governor.next_batch(&stats).unwrap();
+        assert_eq!(batch.jobs.len(), 1);
+        assert!(
+            started.elapsed() < Duration::from_millis(200),
+            "linger outlived the deadline: {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

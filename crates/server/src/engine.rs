@@ -20,9 +20,9 @@ use dsearch_query::{ParseError, Query, SearchBackend, SearchResults};
 
 use crate::batch::{BatchConfig, BatchSearcher, QueueGovernor, QueueJob};
 use crate::cache::{CacheCounters, CacheKey, QueryCache};
-use crate::protocol::split_trace_id;
+use crate::protocol::split_request_meta;
 use crate::snapshot::{IndexSnapshot, SnapshotCell};
-use crate::stats::ServerStats;
+use crate::stats::{DeadlineStage, ServerStats};
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -37,6 +37,9 @@ pub struct EngineConfig {
     pub result_limit: usize,
     /// Batching and admission-control parameters for the worker pool.
     pub batch: BatchConfig,
+    /// Deadline applied to queries that carry no `@d=<ms>` budget of their
+    /// own (`--default-deadline-ms`).  `None`: no implicit deadline.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +50,7 @@ impl Default for EngineConfig {
             cache_shards: 8,
             result_limit: 20,
             batch: BatchConfig::default(),
+            default_deadline: None,
         }
     }
 }
@@ -111,6 +115,10 @@ pub enum ServerError {
     /// Every shard failed for a scatter-gathered query: there is no partial
     /// result left to serve.
     AllShardsFailed,
+    /// The query's deadline budget ran out before an answer was produced.
+    /// Reported distinctly from errors: the server was healthy, the caller's
+    /// time budget was not.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServerError {
@@ -120,6 +128,9 @@ impl std::fmt::Display for ServerError {
             ServerError::Overloaded => f.write_str("server overloaded: request shed"),
             ServerError::ShuttingDown => f.write_str("server is shutting down"),
             ServerError::AllShardsFailed => f.write_str("all shards failed"),
+            ServerError::DeadlineExceeded => {
+                f.write_str("deadline_exceeded: query budget exhausted")
+            }
         }
     }
 }
@@ -284,16 +295,24 @@ impl QueryEngine {
             raws.iter().map(|_| None).collect();
         let mut parsed: Vec<Option<Query>> = raws.iter().map(|_| None).collect();
         let mut trace_ids: Vec<u64> = Vec::with_capacity(raws.len());
+        let mut deadlines: Vec<Option<Instant>> = Vec::with_capacity(raws.len());
 
         // Group positions by canonical query text: "RUST  search" and
         // "rust AND search" are one evaluation.  A `@<hex>` prefix is the
-        // router's trace id: it rides along per slot, outside the canonical
-        // grouping.
+        // router's trace id, a `@d=<ms>` prefix the query's deadline budget
+        // (anchored at the batch's submission instant): both ride along per
+        // slot, outside the canonical grouping.
         let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut executed = 0u64;
         for (i, raw) in raws.iter().enumerate() {
-            let (trace_id, query_text) = split_trace_id(raw);
-            trace_ids.push(trace_id);
+            let (meta, query_text) = split_request_meta(raw);
+            trace_ids.push(meta.trace_id);
+            deadlines.push(
+                meta.deadline_ms
+                    .map(Duration::from_millis)
+                    .or(self.config.default_deadline)
+                    .map(|budget| started + budget),
+            );
             match Query::parse(query_text) {
                 Ok(query) => {
                     groups.entry(query.to_string()).or_default().push(i);
@@ -318,20 +337,57 @@ impl QueryEngine {
         trace.record(Stage::SnapshotLoad, snapshot_done.saturating_duration_since(parse_done));
 
         for (canonical, positions) in groups {
+            // Deadline checkpoint between batch members: positions whose
+            // budget is already gone answer `DeadlineExceeded` without
+            // touching the cache — a cache hit cannot resurrect a dead
+            // query, and a dead query never pollutes the cache.
+            let now = Instant::now();
+            let mut live: Vec<usize> = Vec::with_capacity(positions.len());
+            for &i in &positions {
+                match deadlines[i] {
+                    Some(deadline) if deadline <= now => {
+                        self.stats.record_deadline_exceeded(DeadlineStage::Exec);
+                        slots[i] = Some(Err(ServerError::DeadlineExceeded));
+                    }
+                    _ => live.push(i),
+                }
+            }
+            if live.is_empty() {
+                continue;
+            }
             let key = CacheKey { query: canonical.clone(), generation };
             let (results, cached) = match self.cache.get(&key) {
                 Some(results) => (results, true),
                 None => {
                     let query = parsed[positions[0]].take().expect("grouped position parsed");
+                    // The most patient live position drives cancellation: any
+                    // position that can still use the answer justifies
+                    // finishing the evaluation.
+                    let group_deadline = if live.iter().any(|&i| deadlines[i].is_none()) {
+                        None
+                    } else {
+                        live.iter().filter_map(|&i| deadlines[i]).max()
+                    };
+                    searcher.set_deadline(group_deadline);
                     let mut results = searcher.search(&query);
+                    searcher.set_deadline(None);
+                    if searcher.take_cancelled() {
+                        // The evaluation was stopped mid-flight: the partial
+                        // result is dead work — never cached, never served.
+                        for &i in &live {
+                            self.stats.record_deadline_exceeded(DeadlineStage::Exec);
+                            slots[i] = Some(Err(ServerError::DeadlineExceeded));
+                        }
+                        continue;
+                    }
                     results.truncate(self.config.result_limit);
                     let results = Arc::new(results);
                     self.cache.insert(key, Arc::clone(&results));
                     (results, false)
                 }
             };
-            self.stats.record_dedup_hits((positions.len() - 1) as u64);
-            for &i in &positions {
+            self.stats.record_dedup_hits((live.len() - 1) as u64);
+            for &i in &live {
                 slots[i] = Some(Ok(Answered {
                     query: canonical.clone(),
                     results: Arc::clone(&results),
@@ -413,12 +469,23 @@ pub(crate) struct Job {
     /// When the job entered the queue; served queries are timed from here so
     /// queueing delay shows up in the latency percentiles.
     pub(crate) submitted: std::time::Instant,
+    /// Absolute deadline from the request's `@d=<ms>` prefix (or the
+    /// engine's default), anchored at submission.
+    pub(crate) deadline: Option<std::time::Instant>,
 }
 
 impl QueueJob for Job {
     fn shed(self) {
         // The waiter may have given up; that is not an error.
         let _ = self.respond.send(Err(ServerError::Overloaded));
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    fn expire(self) {
+        let _ = self.respond.send(Err(ServerError::DeadlineExceeded));
     }
 }
 
@@ -490,8 +557,16 @@ impl WorkerPool {
     /// the request, and [`ServerError::ShuttingDown`] when the pool is
     /// stopping.
     pub fn submit(&self, raw: impl Into<String>) -> Result<PendingResponse, ServerError> {
+        let raw = raw.into();
         let (respond, receiver) = mpsc::channel();
-        let job = Job { raw: raw.into(), respond, submitted: std::time::Instant::now() };
+        let submitted = std::time::Instant::now();
+        let (meta, _) = split_request_meta(&raw);
+        let deadline = meta
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.engine.config().default_deadline)
+            .map(|budget| submitted + budget);
+        let job = Job { raw, respond, submitted, deadline };
         self.governor.submit(job, self.engine.stats())?;
         Ok(PendingResponse::from_receiver(receiver))
     }
@@ -674,6 +749,59 @@ mod tests {
         assert!(!after.cached, "old generation's cache entry must not serve generation 2");
         assert_eq!(after.results.paths(), vec!["d.txt"]);
         assert!(engine.stats_report().contains("generation=2"));
+    }
+
+    #[test]
+    fn expired_queries_answer_deadline_exceeded_and_never_cache() {
+        let engine = engine(EngineConfig::default());
+        // A zero budget is expired by the time the group checkpoint runs.
+        let err = engine.execute("@d=0 rust").unwrap_err();
+        assert_eq!(err, ServerError::DeadlineExceeded);
+        assert!(err.to_string().starts_with("deadline_exceeded"), "{err}");
+        assert_eq!(engine.cache_counters().insertions, 0, "dead work must not be cached");
+        assert_eq!(
+            engine.stats().deadline_exceeded_stage_count(crate::stats::DeadlineStage::Exec),
+            1
+        );
+        // Deadline misses are not errors.
+        assert_eq!(engine.stats().error_count(), 0);
+        // A generous budget answers normally and caches.
+        let ok = engine.execute("@d=60000 rust").unwrap();
+        assert_eq!(ok.results.len(), 2);
+        assert_eq!(engine.cache_counters().insertions, 1);
+    }
+
+    #[test]
+    fn cache_hits_still_honor_the_callers_deadline() {
+        let engine = engine(EngineConfig::default());
+        assert!(engine.execute("rust").is_ok());
+        assert_eq!(engine.cache_counters().insertions, 1);
+        // The answer is cached, but this caller's budget is already gone: a
+        // hit cannot resurrect a dead query.
+        let err = engine.execute("@d=0 rust").unwrap_err();
+        assert_eq!(err, ServerError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn default_deadline_applies_to_plain_queries() {
+        let engine = engine(EngineConfig {
+            default_deadline: Some(Duration::ZERO),
+            ..EngineConfig::default()
+        });
+        assert_eq!(engine.execute("rust").unwrap_err(), ServerError::DeadlineExceeded);
+        // An explicit budget overrides the default.
+        assert!(engine.execute("@d=60000 rust").is_ok());
+    }
+
+    #[test]
+    fn mixed_deadline_batch_answers_live_positions_only() {
+        let engine = engine(EngineConfig::default());
+        let responses = engine.execute_batch(&["@d=0 rust", "rust", "@d=60000 rust"]);
+        assert!(matches!(responses[0], Err(ServerError::DeadlineExceeded)));
+        assert!(responses[1].is_ok());
+        assert!(responses[2].is_ok());
+        // The live positions shared one evaluation.
+        assert_eq!(engine.stats().dedup_hit_count(), 1);
     }
 
     #[test]

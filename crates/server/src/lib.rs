@@ -26,7 +26,8 @@
 //!   from atomic histograms, per-stage trace recording, the slow-query log
 //!   and the `!metrics` exposition;
 //! * [`protocol`] / [`serve`] — the line protocol (queries, `@id` trace
-//!   prefixes, `stages=` breakdowns, `!stats`/`!metrics`/`!trace`/`!slow`)
+//!   prefixes, `@d=<ms>` deadline budgets, `stages=` breakdowns,
+//!   `!stats`/`!metrics`/`!trace`/`!slow`)
 //!   and the stdin/TCP front ends behind `dsearch serve` (generic over a
 //!   [`serve::LineHandler`]);
 //! * [`route`] — distributed scatter-gather serving behind `dsearch route`:
@@ -35,8 +36,9 @@
 //!   queries out, merges rankings and tolerates missing shards;
 //! * [`replica`] — [`replica::ReplicaSet`]: N replicas behind one logical
 //!   shard, with a least-loaded healthy pick, a per-replica circuit breaker
-//!   (closed → open → half-open probe with backoff), and hedged requests
-//!   against the set's rolling round-trip p99;
+//!   (closed → open → half-open probe with backoff), hedged requests
+//!   against the set's rolling round-trip p99, and a token-bucket retry
+//!   budget that keeps hedges and failovers a bounded fraction of traffic;
 //! * [`loadgen`] — closed- and open-loop load generation behind
 //!   `dsearch loadgen`.
 //!
@@ -86,6 +88,7 @@ pub use engine::{
     ConfigError, EngineConfig, PendingResponse, QueryEngine, QueryResponse, ServerError, WorkerPool,
 };
 pub use loadgen::{LoadConfig, LoadMode, LoadReport, Workload};
+pub use protocol::{prefix_deadline_ms, split_request_meta, RequestMeta};
 pub use replica::{ReplicaSet, ReplicaSetConfig, ReplicaState};
 pub use route::{
     LocalShards, RemoteShard, RemoteShardConfig, RouteService, RoutedResponse, Router,
@@ -93,4 +96,4 @@ pub use route::{
 };
 pub use serve::{Handled, LineHandler, Service, SessionEnd, TcpServer, TcpServerConfig};
 pub use snapshot::{IndexSnapshot, SnapshotCell};
-pub use stats::ServerStats;
+pub use stats::{DeadlineStage, ServerStats};

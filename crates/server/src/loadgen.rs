@@ -148,6 +148,10 @@ pub struct LoadConfig {
     /// Collect per-stage latency histograms from each response's trace
     /// (`--stage-report`): where did the wall time of a query actually go?
     pub stage_report: bool,
+    /// Optional per-request deadline, forwarded on the wire as `@d=<ms>`.
+    /// Completions slower than this stop counting toward goodput even when
+    /// the server races past its own budget check and still answers.
+    pub deadline_ms: Option<u64>,
 }
 
 /// What a load run measured.
@@ -159,10 +163,16 @@ pub struct LoadReport {
     pub errors: usize,
     /// Requests shed by the server's admission control.
     pub shed: usize,
+    /// Requests the server gave up on because their budget ran out
+    /// (`deadline_exceeded` responses) — distinct from `errors`.
+    pub deadline_exceeded: usize,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
-    /// Achieved throughput.
+    /// Achieved throughput (completions per second, on time or not).
     pub qps: f64,
+    /// On-time completions per second: answers whose client-observed latency
+    /// met the deadline.  Equals `qps` when no deadline is set.
+    pub goodput: f64,
     /// Client-observed latency percentiles (includes queueing).
     pub latency: LatencySummary,
     /// Snapshot generations observed in responses.
@@ -183,8 +193,14 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests {}  errors {}  shed {}  elapsed {:.3?}  qps {:.1}",
-            self.requests, self.errors, self.shed, self.elapsed, self.qps
+            "requests {}  errors {}  shed {}  deadline_exceeded {}  elapsed {:.3?}  qps {:.1}  goodput {:.1}",
+            self.requests,
+            self.errors,
+            self.shed,
+            self.deadline_exceeded,
+            self.elapsed,
+            self.qps,
+            self.goodput
         )?;
         writeln!(f, "latency  {}", self.latency)?;
         write!(
@@ -208,22 +224,32 @@ impl std::fmt::Display for LoadReport {
 /// Runs `config.requests` queries from `workload` against `pool`.
 #[must_use]
 pub fn run(pool: &WorkerPool, workload: &Workload, config: &LoadConfig) -> LoadReport {
+    let lines: Vec<String> = match config.deadline_ms {
+        Some(ms) => workload
+            .queries()
+            .iter()
+            .map(|raw| crate::protocol::prefix_deadline_ms(ms, raw))
+            .collect(),
+        None => workload.queries().to_vec(),
+    };
+    let deadline = config.deadline_ms.map(Duration::from_millis);
     match config.mode {
         LoadMode::Closed { clients } => {
-            run_closed(pool, workload, config.requests, clients, config.stage_report)
+            run_closed(pool, &lines, config.requests, clients, config.stage_report, deadline)
         }
         LoadMode::Open { rate_qps } => {
-            run_open(pool, workload, config.requests, rate_qps, config.stage_report)
+            run_open(pool, &lines, config.requests, rate_qps, config.stage_report, deadline)
         }
     }
 }
 
 fn run_closed(
     pool: &WorkerPool,
-    workload: &Workload,
+    lines: &[String],
     requests: usize,
     clients: usize,
     stage_report: bool,
+    deadline: Option<Duration>,
 ) -> LoadReport {
     let clients = clients.max(1);
     let issued = AtomicUsize::new(0);
@@ -239,11 +265,13 @@ fn run_closed(
                     if slot >= requests {
                         break;
                     }
-                    let raw = &workload.queries()[slot % workload.len()];
+                    let raw = &lines[slot % lines.len()];
                     let sent = Instant::now();
                     match pool.execute(raw) {
                         Ok(response) => {
-                            local.latencies.push(sent.elapsed());
+                            let latency = sent.elapsed();
+                            local.on_time += usize::from(deadline.is_none_or(|d| latency <= d));
+                            local.latencies.push(latency);
                             local.generations.insert(response.generation);
                             local.cache_hits += usize::from(response.cached);
                             if stage_report {
@@ -251,6 +279,7 @@ fn run_closed(
                             }
                         }
                         Err(ServerError::Overloaded) => local.shed += 1,
+                        Err(ServerError::DeadlineExceeded) => local.deadline_exceeded += 1,
                         Err(_) => local.errors += 1,
                     }
                 }
@@ -265,10 +294,11 @@ fn run_closed(
 
 fn run_open(
     pool: &WorkerPool,
-    workload: &Workload,
+    lines: &[String],
     requests: usize,
     rate_qps: f64,
     stage_report: bool,
+    deadline: Option<Duration>,
 ) -> LoadReport {
     let rate = rate_qps.max(1.0);
     let interval = Duration::from_secs_f64(1.0 / rate);
@@ -284,7 +314,9 @@ fn run_open(
             for (sent, pending) in rx {
                 match pending.wait() {
                     Ok(response) => {
-                        collected.latencies.push(sent.elapsed());
+                        let latency = sent.elapsed();
+                        collected.on_time += usize::from(deadline.is_none_or(|d| latency <= d));
+                        collected.latencies.push(latency);
                         collected.generations.insert(response.generation);
                         collected.cache_hits += usize::from(response.cached);
                         if stage_report {
@@ -292,6 +324,7 @@ fn run_open(
                         }
                     }
                     Err(ServerError::Overloaded) => collected.shed += 1,
+                    Err(ServerError::DeadlineExceeded) => collected.deadline_exceeded += 1,
                     Err(_) => collected.errors += 1,
                 }
             }
@@ -303,7 +336,7 @@ fn run_open(
             if let Some(wait) = due.checked_duration_since(Instant::now()) {
                 std::thread::sleep(wait);
             }
-            let raw = &workload.queries()[i % workload.len()];
+            let raw = &lines[i % lines.len()];
             let sent = Instant::now();
             match pool.submit(raw.as_str()) {
                 Ok(pending) => {
@@ -330,6 +363,9 @@ struct Collected {
     cache_hits: usize,
     errors: usize,
     shed: usize,
+    deadline_exceeded: usize,
+    /// Completions that met the client's deadline (all of them without one).
+    on_time: usize,
     stages: BTreeMap<Stage, Vec<Duration>>,
     /// Sum of every collected trace's attributed time (stage-report runs).
     attributed: Duration,
@@ -349,6 +385,8 @@ impl Collected {
         self.cache_hits += other.cache_hits;
         self.errors += other.errors;
         self.shed += other.shed;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.on_time += other.on_time;
         for (stage, samples) in other.stages {
             self.stages.entry(stage).or_default().extend(samples);
         }
@@ -356,10 +394,13 @@ impl Collected {
     }
 
     fn into_report(self, requests: usize, elapsed: Duration) -> LoadReport {
-        let qps = if elapsed.as_secs_f64() > 0.0 {
-            self.latencies.len() as f64 / elapsed.as_secs_f64()
+        let (qps, goodput) = if elapsed.as_secs_f64() > 0.0 {
+            (
+                self.latencies.len() as f64 / elapsed.as_secs_f64(),
+                self.on_time as f64 / elapsed.as_secs_f64(),
+            )
         } else {
-            0.0
+            (0.0, 0.0)
         };
         let total: Duration =
             self.latencies.iter().fold(Duration::ZERO, |a, d| a.saturating_add(*d));
@@ -372,8 +413,10 @@ impl Collected {
             requests,
             errors: self.errors,
             shed: self.shed,
+            deadline_exceeded: self.deadline_exceeded,
             elapsed,
             qps,
+            goodput,
             latency: LatencySummary::from_samples(&self.latencies),
             generations: self.generations,
             cache_hits: self.cache_hits,
@@ -443,6 +486,7 @@ mod tests {
                 requests: 120,
                 mode: LoadMode::Closed { clients: 4 },
                 stage_report: false,
+                deadline_ms: None,
             },
         );
         assert_eq!(report.requests, 120);
@@ -467,6 +511,7 @@ mod tests {
                 requests: 50,
                 mode: LoadMode::Open { rate_qps: 2000.0 },
                 stage_report: false,
+                deadline_ms: None,
             },
         );
         assert_eq!(report.errors, 0);
@@ -486,9 +531,52 @@ mod tests {
                 requests: 10,
                 mode: LoadMode::Closed { clients: 2 },
                 stage_report: false,
+                deadline_ms: None,
             },
         );
         assert_eq!(report.errors, 5);
         assert_eq!(report.latency.samples, 5);
+    }
+
+    #[test]
+    fn expired_deadlines_count_as_misses_not_errors() {
+        let (_engine, pool) = pool(2);
+        let workload = Workload::from_queries(vec!["common".into()]);
+        // A zero-millisecond budget is already spent by the time a worker
+        // dequeues the job, so every request is a deadline miss.
+        let report = run(
+            &pool,
+            &workload,
+            &LoadConfig {
+                requests: 20,
+                mode: LoadMode::Closed { clients: 2 },
+                stage_report: false,
+                deadline_ms: Some(0),
+            },
+        );
+        assert_eq!(report.deadline_exceeded, 20);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.samples, 0);
+        assert_eq!(report.goodput, 0.0);
+        assert!(report.to_string().contains("deadline_exceeded 20"), "{report}");
+    }
+
+    #[test]
+    fn generous_deadlines_keep_goodput_equal_to_throughput() {
+        let (_engine, pool) = pool(2);
+        let workload = Workload::from_queries(vec!["common".into()]);
+        let report = run(
+            &pool,
+            &workload,
+            &LoadConfig {
+                requests: 30,
+                mode: LoadMode::Closed { clients: 2 },
+                stage_report: false,
+                deadline_ms: Some(10_000),
+            },
+        );
+        assert_eq!(report.deadline_exceeded, 0);
+        assert_eq!(report.latency.samples, 30);
+        assert!((report.goodput - report.qps).abs() < 1e-9, "{} vs {}", report.goodput, report.qps);
     }
 }

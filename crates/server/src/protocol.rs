@@ -4,7 +4,10 @@
 //!
 //! * any ordinary line is a query (`rust AND search`, `inde*`, …); a
 //!   `@<hex id> ` prefix attaches a trace id (the router uses this to join
-//!   its trace with the shard's);
+//!   its trace with the shard's); a `@d=<ms> ` prefix attaches a deadline
+//!   budget in milliseconds — the two compose in either order
+//!   (`@d=50 @2a rust` ≡ `@2a @d=50 rust`), and the router forwards the
+//!   *remaining* budget to each shard via the same prefix;
 //! * `!stats` returns the server's metrics line;
 //! * `!metrics` returns the Prometheus-style text exposition;
 //! * `!trace on|off|<n>` arms/disarms the slow-query log (threshold in µs);
@@ -27,6 +30,11 @@
 //! answering shard after the hits (comment lines are ignored by the hit
 //! parser).  Errors answer `ERR <message>` followed by `END`, so a client
 //! can always resynchronise on `END`.
+//!
+//! A query whose budget runs out answers distinctly from other errors:
+//! single-store responses use `ERR deadline_exceeded …`, while a routed
+//! scatter that ran out of budget degrades to a normal `OK` status carrying
+//! `partial=true deadline=exceeded` with whatever shards answered in time.
 
 use std::time::{Duration, Instant};
 
@@ -105,6 +113,64 @@ pub fn prefix_trace_id(id: u64, query: &str) -> String {
     }
 }
 
+/// Per-request metadata carried as `@`-prefixes on a query line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestMeta {
+    /// Trace id from a `@<hex id>` prefix (zero: untraced).
+    pub trace_id: u64,
+    /// Deadline budget in milliseconds from a `@d=<ms>` prefix.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Splits the optional `@<hex id>` trace and `@d=<ms>` deadline prefixes off
+/// a query line, in either order.  Like [`split_trace_id`], malformed
+/// prefixes come back as part of the query text with default metadata, so no
+/// query text is ever lost to a parse guess.
+#[must_use]
+pub fn split_request_meta(raw: &str) -> (RequestMeta, &str) {
+    let mut meta = RequestMeta::default();
+    let mut rest = raw;
+    loop {
+        if meta.deadline_ms.is_none() {
+            if let Some(split) = split_deadline_prefix(rest) {
+                meta.deadline_ms = Some(split.0);
+                rest = split.1;
+                continue;
+            }
+        }
+        if meta.trace_id == 0 {
+            let (id, after) = split_trace_id(rest);
+            if id != 0 {
+                meta.trace_id = id;
+                rest = after;
+                continue;
+            }
+        }
+        return (meta, rest);
+    }
+}
+
+/// Splits a leading `@d=<ms> ` deadline prefix, requiring a non-empty
+/// remainder (so a bare `@d=50` line stays a query and fails parsing with a
+/// normal error, mirroring [`split_trace_id`]'s fallback).
+fn split_deadline_prefix(raw: &str) -> Option<(u64, &str)> {
+    let rest = raw.strip_prefix("@d=")?;
+    let (ms_text, query) = rest.split_once(' ')?;
+    let ms = ms_text.parse::<u64>().ok()?;
+    if query.trim().is_empty() {
+        return None;
+    }
+    Some((ms, query.trim_start()))
+}
+
+/// Prepends a `@d=<ms>` deadline-budget prefix in the wire form
+/// [`split_request_meta`] understands (the router uses this to forward the
+/// remaining budget to each shard).
+#[must_use]
+pub fn prefix_deadline_ms(ms: u64, query: &str) -> String {
+    format!("@d={ms} {query}")
+}
+
 fn trace_field(id: u64) -> String {
     if id == 0 {
         String::new()
@@ -174,12 +240,14 @@ pub fn render_routed_response(response: &RoutedResponse) -> String {
         ));
     }
     let serialize = serialize_started.elapsed();
+    let deadline = if response.deadline_exceeded { " deadline=exceeded" } else { "" };
     let mut out = format!(
-        "OK {} shards={}/{} partial={} micros={}{}{}\n",
+        "OK {} shards={}/{} partial={}{} micros={}{}{}\n",
         response.hits.len(),
         response.shards_ok(),
         response.shards_total,
         response.partial(),
+        deadline,
         response.latency.as_micros(),
         trace_field(response.trace.id()),
         stages_field(&response.trace, serialize),
@@ -302,6 +370,15 @@ impl ParsedResponse {
         u64::from_str_radix(self.field("trace")?, 16).ok()
     }
 
+    /// Whether the response reports a blown deadline — either an
+    /// `ERR deadline_exceeded …` status or a routed `deadline=exceeded`
+    /// status field.
+    #[must_use]
+    pub fn deadline_exceeded(&self) -> bool {
+        (!self.ok && self.status.starts_with("deadline_exceeded"))
+            || self.field("deadline") == Some("exceeded")
+    }
+
     /// The parsed `stages=` breakdown of the status line (empty when the
     /// server predates tracing).
     #[must_use]
@@ -372,6 +449,37 @@ mod tests {
         assert_eq!(parse_request("!tracer"), Request::Query("!tracer".into()));
         // Traced queries keep their prefix: the engine strips it.
         assert_eq!(parse_request("@a3f rust"), Request::Query("@a3f rust".into()));
+    }
+
+    #[test]
+    fn request_meta_prefixes_compose_in_either_order() {
+        let (meta, query) = split_request_meta("@d=50 @2a rust AND search");
+        assert_eq!(meta, RequestMeta { trace_id: 0x2a, deadline_ms: Some(50) });
+        assert_eq!(query, "rust AND search");
+        let (meta, query) = split_request_meta("@2a @d=50 rust AND search");
+        assert_eq!(meta, RequestMeta { trace_id: 0x2a, deadline_ms: Some(50) });
+        assert_eq!(query, "rust AND search");
+        // Each prefix alone.
+        let (meta, query) = split_request_meta("@d=5 rust");
+        assert_eq!(meta, RequestMeta { trace_id: 0, deadline_ms: Some(5) });
+        assert_eq!(query, "rust");
+        let (meta, query) = split_request_meta("@2a rust");
+        assert_eq!(meta, RequestMeta { trace_id: 0x2a, deadline_ms: None });
+        assert_eq!(query, "rust");
+        // A zero budget is well-formed (already expired on arrival).
+        assert_eq!(split_request_meta("@d=0 rust").0.deadline_ms, Some(0));
+        // Malformed or queryless prefixes fall back to plain query text.
+        assert_eq!(split_request_meta("rust"), (RequestMeta::default(), "rust"));
+        assert_eq!(split_request_meta("@d=abc rust"), (RequestMeta::default(), "@d=abc rust"));
+        assert_eq!(split_request_meta("@d=50"), (RequestMeta::default(), "@d=50"));
+        assert_eq!(split_request_meta("@d=50 "), (RequestMeta::default(), "@d=50 "));
+        // Round trip through the renderer.
+        assert_eq!(prefix_deadline_ms(50, "rust"), "@d=50 rust");
+        let forwarded = prefix_deadline_ms(7, &prefix_trace_id(0x2a, "rust"));
+        assert_eq!(
+            split_request_meta(&forwarded).0,
+            RequestMeta { trace_id: 0x2a, deadline_ms: Some(7) }
+        );
     }
 
     #[test]
@@ -472,6 +580,7 @@ mod tests {
                 crate::route::ShardError::Unavailable("gone".into()),
             )],
             latency: Duration::from_micros(88),
+            deadline_exceeded: false,
             trace: Arc::new(trace),
         };
         let text = render_routed_response(&response);

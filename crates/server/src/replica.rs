@@ -36,6 +36,14 @@
 //! see an error — so with one of two replicas down, zero queries fail and
 //! none are `partial=true`.
 //!
+//! Hedges and failovers both draw from a **retry budget** — a token bucket
+//! deposited [`retry_budget_pct`](ReplicaSetConfig::retry_budget_pct)
+//! percent of a token per primary request and charged one token per extra
+//! dispatch.  Under a correlated failure (every replica slow or down) the
+//! budget drains and further calls fail fast instead of multiplying load by
+//! the replica count exactly when the shard is least able to absorb it;
+//! each refused dispatch increments `dsearch_retry_budget_exhausted_total`.
+//!
 //! Metrics surface through [`ShardBackend::bind_metrics`]: a
 //! `dsearch_replica_state{replica=…}` gauge (0 = closed, 1 = half-open,
 //! 2 = open), `dsearch_replica_opens_total` / `dsearch_replica_recoveries_total`
@@ -125,6 +133,12 @@ pub struct ReplicaSetConfig {
     /// Round trips observed before the adaptive deadline arms — hedging off
     /// a handful of samples would fire on noise.
     pub hedge_min_samples: u64,
+    /// Percent of the primary request rate that hedges and failovers may
+    /// add: each request deposits `retry_budget_pct`% of a token, each
+    /// extra dispatch withdraws a whole one (the bucket starts, and caps,
+    /// at `max(1, retry_budget_pct)` tokens).  `10` bounds retry traffic at
+    /// roughly 10% of recent request volume.
+    pub retry_budget_pct: u32,
 }
 
 impl Default for ReplicaSetConfig {
@@ -136,7 +150,45 @@ impl Default for ReplicaSetConfig {
             hedge_after: None,
             adaptive_hedge: true,
             hedge_min_samples: 32,
+            retry_budget_pct: 10,
         }
+    }
+}
+
+/// The retry token bucket: deposits are fractional (a percentage of each
+/// primary request), withdrawals are whole tokens, and the balance is a
+/// single atomic in milli-tokens so the hot path never takes a lock.
+struct RetryBudget {
+    /// Balance in milli-tokens (1 token = 1000).
+    balance: AtomicU64,
+    /// Milli-tokens deposited per primary request (`pct * 10`).
+    deposit: u64,
+    /// Bucket capacity in milli-tokens; also the starting balance, so a
+    /// cold set can still hedge before any history accumulates.
+    cap: u64,
+}
+
+impl RetryBudget {
+    fn new(pct: u32) -> Self {
+        let cap = u64::from(pct.max(1)) * 1000;
+        RetryBudget { balance: AtomicU64::new(cap), deposit: u64::from(pct) * 10, cap }
+    }
+
+    /// Credits one primary request.
+    fn deposit(&self) {
+        let cap = self.cap;
+        let deposit = self.deposit;
+        let _ = self.balance.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |balance| {
+            Some((balance + deposit).min(cap))
+        });
+    }
+
+    /// Withdraws one token for an extra dispatch; `false` when the budget
+    /// is exhausted (the dispatch must not happen).
+    fn withdraw(&self) -> bool {
+        self.balance
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |balance| balance.checked_sub(1000))
+            .is_ok()
     }
 }
 
@@ -334,6 +386,14 @@ impl Drop for ReplicaWorker {
     }
 }
 
+/// Registry-bound set-wide counters, attached on
+/// [`ShardBackend::bind_metrics`].
+struct BoundSet {
+    hedges: Arc<Counter>,
+    hedge_wins: Arc<Counter>,
+    retry_exhausted: Arc<Counter>,
+}
+
 /// N replicas behind one logical shard: least-loaded healthy pick, circuit
 /// breaking, and hedged requests.  See the module docs for the full model.
 pub struct ReplicaSet {
@@ -345,7 +405,10 @@ pub struct ReplicaSet {
     set_rtt: Arc<Histogram>,
     hedges: Counter,
     hedge_wins: Counter,
-    bound: Mutex<Option<(Arc<Counter>, Arc<Counter>)>>,
+    /// Token bucket bounding hedge + failover traffic.
+    retry_budget: RetryBudget,
+    retry_exhausted: Counter,
+    bound: Mutex<Option<BoundSet>>,
 }
 
 impl ReplicaSet {
@@ -396,6 +459,8 @@ impl ReplicaSet {
             set_rtt,
             hedges: Counter::new(),
             hedge_wins: Counter::new(),
+            retry_budget: RetryBudget::new(config.retry_budget_pct),
+            retry_exhausted: Counter::new(),
             bound: Mutex::new(None),
         })
     }
@@ -422,6 +487,13 @@ impl ReplicaSet {
     #[must_use]
     pub fn hedge_win_count(&self) -> u64 {
         self.hedge_wins.value()
+    }
+
+    /// Hedge or failover dispatches refused because the retry budget was
+    /// empty.
+    #[must_use]
+    pub fn retry_exhausted_count(&self) -> u64 {
+        self.retry_exhausted.value()
     }
 
     /// Closed→open transitions across all replicas.
@@ -514,16 +586,29 @@ impl ReplicaSet {
 
     fn record_hedge(&self) {
         self.hedges.inc();
-        if let Some((hedges, _)) = &*self.bound.lock() {
-            hedges.inc();
+        if let Some(bound) = &*self.bound.lock() {
+            bound.hedges.inc();
         }
     }
 
     fn record_hedge_win(&self) {
         self.hedge_wins.inc();
-        if let Some((_, wins)) = &*self.bound.lock() {
-            wins.inc();
+        if let Some(bound) = &*self.bound.lock() {
+            bound.hedge_wins.inc();
         }
+    }
+
+    /// Charges the retry budget for one extra dispatch; on an empty bucket
+    /// records the refusal and returns `false` — the caller fails fast.
+    fn charge_retry(&self) -> bool {
+        if self.retry_budget.withdraw() {
+            return true;
+        }
+        self.retry_exhausted.inc();
+        if let Some(bound) = &*self.bound.lock() {
+            bound.retry_exhausted.inc();
+        }
+        false
     }
 
     /// The serving path: probe, pick, dispatch, hedge, fail over.
@@ -548,6 +633,9 @@ impl ReplicaSet {
         if dispatched == 0 {
             return self.all_unavailable(&canonicals, "no replica worker available");
         }
+        // The primary dispatch funds future retries; hedges and failovers
+        // below each cost a whole token.
+        self.retry_budget.deposit();
 
         // The hedge timer arms only while a second candidate exists; once the
         // hedge fires (or there is nothing to hedge to) waits are plain
@@ -565,12 +653,17 @@ impl ReplicaSet {
                     match gathered.recv_timeout(at.saturating_duration_since(Instant::now())) {
                         Ok(reply) => Some(reply),
                         Err(mpsc::RecvTimeoutError::Timeout) => {
-                            while let Some(Reverse((_, next))) = heap.pop() {
-                                if self.dispatch(next, &canonicals, &ids, Some(&respond)) {
-                                    hedge_index = Some(next);
-                                    dispatched += 1;
-                                    self.record_hedge();
-                                    break;
+                            // A hedge is an extra dispatch: it must be paid
+                            // for.  An empty budget disarms the timer and
+                            // the call simply keeps waiting on the primary.
+                            if self.charge_retry() {
+                                while let Some(Reverse((_, next))) = heap.pop() {
+                                    if self.dispatch(next, &canonicals, &ids, Some(&respond)) {
+                                        hedge_index = Some(next);
+                                        dispatched += 1;
+                                        self.record_hedge();
+                                        break;
+                                    }
                                 }
                             }
                             if hedge_index.is_none() {
@@ -598,11 +691,15 @@ impl ReplicaSet {
             }
             last_failure = Some(replies);
             // Fast failover: an error needs no deadline, just the next
-            // untried replica.
-            while let Some(Reverse((_, next))) = heap.pop() {
-                if self.dispatch(next, &canonicals, &ids, Some(&respond)) {
-                    dispatched += 1;
-                    break;
+            // untried replica — if the retry budget can still fund one.
+            // An empty budget fails the call fast with the failure in hand
+            // instead of walking every remaining replica.
+            if !heap.is_empty() && self.charge_retry() {
+                while let Some(Reverse((_, next))) = heap.pop() {
+                    if self.dispatch(next, &canonicals, &ids, Some(&respond)) {
+                        dispatched += 1;
+                        break;
+                    }
                 }
             }
             if completed == dispatched {
@@ -650,13 +747,14 @@ impl ShardBackend for ReplicaSet {
         let healthy = self.replicas.iter().filter(|r| r.state() == ReplicaState::Closed).count();
         Ok(format!(
             "replicas={} healthy={healthy} opens={} recoveries={} probes={} hedges={} \
-             hedge_wins={}",
+             hedge_wins={} retry_exhausted={}",
             self.replicas.len(),
             self.open_count(),
             self.recovery_count(),
             self.probe_count(),
             self.hedge_count(),
             self.hedge_win_count(),
+            self.retry_exhausted_count(),
         ))
     }
 
@@ -723,8 +821,14 @@ impl ShardBackend for ReplicaSet {
             bound.state.set(replica.state().as_gauge());
             *replica.bound.lock() = Some(bound);
         }
-        *self.bound.lock() =
-            Some((registry.counter(HEDGES_METRIC), registry.counter(HEDGE_WINS_METRIC)));
+        // The registry dedupes by name, so this resolves to the same
+        // counter the router's `ServerStats` registered eagerly: replica-set
+        // refusals surface in the router's `!stats` and `!metrics` directly.
+        *self.bound.lock() = Some(BoundSet {
+            hedges: registry.counter(HEDGES_METRIC),
+            hedge_wins: registry.counter(HEDGE_WINS_METRIC),
+            retry_exhausted: registry.counter(crate::stats::RETRY_BUDGET_METRIC),
+        });
     }
 }
 
@@ -879,6 +983,39 @@ mod tests {
         assert_eq!(reply.hits[0].path, "fast.txt");
         assert_eq!(set.hedge_count(), 1);
         assert_eq!(set.hedge_win_count(), 1);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_stops_failover_and_is_counted() {
+        // `retry_budget_pct: 0` banks exactly one token and never refills:
+        // the first failover spends it, the second is refused, so the third
+        // replica is never tried.
+        let set = ReplicaSet::new(
+            "s",
+            vec![Box::new(DownShard), Box::new(DownShard), Box::new(DownShard)],
+            ReplicaSetConfig { retry_budget_pct: 0, ..no_hedge() },
+        )
+        .unwrap();
+        let err = set.search("rust").unwrap_err();
+        assert!(matches!(err, ShardError::Unavailable(_)), "{err}");
+        assert_eq!(set.retry_exhausted_count(), 1);
+        let line = set.stats_line().unwrap();
+        assert!(line.contains("retry_exhausted=1"), "{line}");
+    }
+
+    #[test]
+    fn primary_requests_refill_the_retry_budget() {
+        let budget = RetryBudget::new(50);
+        // Drain the 50-token starting balance.
+        for _ in 0..50 {
+            assert!(budget.withdraw());
+        }
+        assert!(!budget.withdraw());
+        // Two primary requests at 50% fund one retry.
+        budget.deposit();
+        budget.deposit();
+        assert!(budget.withdraw());
+        assert!(!budget.withdraw());
     }
 
     #[test]

@@ -47,13 +47,14 @@ use crate::batch::{BatchConfig, QueueGovernor, QueueJob};
 use crate::cache::{CacheCounters, CacheKey, QueryCache};
 use crate::engine::{ConfigError, QueryEngine, ServerError};
 use crate::protocol::{
-    parse_hit_line, parse_request, prefix_trace_id, read_response, render_error, render_error_text,
-    render_info_with_body, render_routed_response, split_trace_id, Request,
+    parse_hit_line, parse_request, prefix_deadline_ms, prefix_trace_id, read_response,
+    render_error, render_error_text, render_info_with_body, render_routed_response,
+    split_request_meta, Request,
 };
 use crate::serve::{
     metrics_report, observe_slow, slow_report, trace_control, Handled, LineHandler,
 };
-use crate::stats::ServerStats;
+use crate::stats::{DeadlineStage, ServerStats};
 
 /// Why a shard could not answer a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -354,17 +355,28 @@ impl RemoteShard {
         &self.addr
     }
 
-    fn connect(&self) -> Result<TcpStream, ShardError> {
+    /// Caps a configured timeout at the caller's remaining budget: waiting
+    /// longer than the deadline allows cannot produce a usable answer.
+    fn clamp(configured: Duration, budget: Option<Duration>) -> Duration {
+        match budget {
+            Some(budget) => configured.min(budget.max(Duration::from_millis(1))),
+            None => configured,
+        }
+    }
+
+    fn connect(&self, budget: Option<Duration>) -> Result<TcpStream, ShardError> {
         let addrs = self
             .addr
             .to_socket_addrs()
             .map_err(|e| ShardError::Unavailable(format!("{}: {e}", self.addr)))?;
+        let connect_timeout = RemoteShard::clamp(self.config.connect_timeout, budget);
+        let io_timeout = RemoteShard::clamp(self.config.io_timeout, budget);
         let mut last: Option<std::io::Error> = None;
         for addr in addrs {
-            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+            match TcpStream::connect_timeout(&addr, connect_timeout) {
                 Ok(stream) => {
-                    let _ = stream.set_read_timeout(Some(self.config.io_timeout));
-                    let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+                    let _ = stream.set_read_timeout(Some(io_timeout));
+                    let _ = stream.set_write_timeout(Some(io_timeout));
                     return Ok(stream);
                 }
                 Err(e) => last = Some(e),
@@ -384,15 +396,30 @@ impl RemoteShard {
     }
 
     /// Sends `lines` down one connection and reads one response per line.
+    /// Lines carrying an `@d=<ms>` deadline prefix clamp the connect and io
+    /// timeouts for the exchange to the tightest budget in the batch: a
+    /// query whose caller gives up in 5ms must not hold a 2s socket timeout.
     fn exchange(
         &self,
         lines: &[String],
     ) -> Result<Vec<crate::protocol::ParsedResponse>, ShardError> {
+        let budget = lines
+            .iter()
+            .filter_map(|line| split_request_meta(line).0.deadline_ms)
+            .min()
+            .map(Duration::from_millis);
         let pooled = self.pool.lock().pop();
         let had_pooled = pooled.is_some();
         let stream = match pooled {
-            Some(stream) => stream,
-            None => self.connect()?,
+            Some(stream) => {
+                // Pooled streams keep the previous exchange's timeouts;
+                // re-arm them for this batch's budget.
+                let io_timeout = RemoteShard::clamp(self.config.io_timeout, budget);
+                let _ = stream.set_read_timeout(Some(io_timeout));
+                let _ = stream.set_write_timeout(Some(io_timeout));
+                stream
+            }
+            None => self.connect(budget)?,
         };
         match self.exchange_on(stream, lines) {
             Ok(responses) => Ok(responses),
@@ -402,7 +429,7 @@ impl RemoteShard {
             // A *timeout* means a live shard still chewing on the request —
             // re-sending would double its load exactly when it is slow.
             Err(failure) if had_pooled && failure.stale_connection => {
-                self.exchange_on(self.connect()?, lines).map_err(|f| f.error)
+                self.exchange_on(self.connect(budget)?, lines).map_err(|f| f.error)
             }
             Err(failure) => Err(failure.error),
         }
@@ -571,6 +598,9 @@ pub struct RouterConfig {
     pub cache_capacity: usize,
     /// Lock shards for the result cache.
     pub cache_shards: usize,
+    /// Deadline applied to queries that do not carry their own `@d=<ms>`
+    /// prefix; `None` (the default) leaves plain queries unlimited.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -581,6 +611,7 @@ impl Default for RouterConfig {
             batch: BatchConfig::default(),
             cache_capacity: 4096,
             cache_shards: 8,
+            default_deadline: None,
         }
     }
 }
@@ -616,6 +647,11 @@ pub struct RoutedResponse {
     pub shards_total: usize,
     /// Backends that failed this query, with why.
     pub shard_failures: Vec<(String, ShardError)>,
+    /// `true` when the query's deadline expired mid-scatter: backends that
+    /// had not answered by the deadline are missing from the merge and the
+    /// response is flagged `deadline=exceeded` on the wire, distinctly from
+    /// ordinary shard failures.
+    pub deadline_exceeded: bool,
     /// Wall-clock service time (queue wait included for pool-served
     /// queries, exactly like [`QueryResponse`](crate::engine::QueryResponse)).
     pub latency: Duration,
@@ -842,12 +878,21 @@ impl Router {
         let placeholder: Arc<QueryTrace> = Arc::new(QueryTrace::default());
 
         // Parse once at the router: shards only ever see canonical queries,
-        // and identical spellings collapse to one scatter.
+        // and identical spellings collapse to one scatter.  Deadlines are
+        // anchored at the batch's earliest submission — conservative for
+        // later arrivals, and it keeps the whole batch on one clock.
         let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut deadlines: Vec<Option<Instant>> = Vec::with_capacity(raws.len());
         let mut executed = 0u64;
         for (i, raw) in raws.iter().enumerate() {
-            let (client_id, query_text) = split_trace_id(raw);
-            client_ids.push(client_id);
+            let (meta, query_text) = split_request_meta(raw);
+            client_ids.push(meta.trace_id);
+            deadlines.push(
+                meta.deadline_ms
+                    .map(Duration::from_millis)
+                    .or(self.config.default_deadline)
+                    .map(|budget| started + budget),
+            );
             match Query::parse(query_text) {
                 Ok(query) => {
                     groups.entry(query.to_string()).or_default().push(i);
@@ -861,6 +906,20 @@ impl Router {
         }
         let parse_done = Instant::now();
         trace.record(Stage::Parse, parse_done.saturating_duration_since(exec_started));
+        // Answer already-expired positions before the cache probe: an
+        // expired query must observe its deadline even when the answer would
+        // have been free, and must never influence what gets cached.
+        groups.retain(|_, positions| {
+            positions.retain(|&i| {
+                let expired = deadlines[i].is_some_and(|deadline| deadline <= parse_done);
+                if expired {
+                    self.stats.record_deadline_exceeded(DeadlineStage::Scatter);
+                    slots[i] = Some(Err(ServerError::DeadlineExceeded));
+                }
+                !expired
+            });
+            !positions.is_empty()
+        });
         // Serve whole groups from the result cache before scattering: a
         // cached group costs no shard traffic at all.  Only complete merges
         // ever enter the cache, so a hit is never a stale partial answer.
@@ -881,6 +940,7 @@ impl Router {
                     hits: (*hits).clone(),
                     shards_total: self.backends.len(),
                     shard_failures: Vec::new(),
+                    deadline_exceeded: false,
                     latency: Duration::ZERO,
                     trace: Arc::clone(&placeholder),
                 });
@@ -902,7 +962,36 @@ impl Router {
             } else {
                 vec![0; canonicals.len()]
             };
-            let mut per_backend = self.scatter(&canonicals, &shard_ids);
+            // The deadline a group travels under is its most patient live
+            // position's (an unlimited position lifts the whole group); the
+            // gather waits until the most patient group's deadline.
+            let group_deadlines: Vec<Option<Instant>> =
+                groups.values().map(|positions| group_deadline(&deadlines, positions)).collect();
+            let batch_deadline = group_deadlines
+                .iter()
+                .try_fold(None::<Instant>, |latest, gd| {
+                    gd.map(|d| Some(latest.map_or(d, |l| l.max(d))))
+                })
+                .flatten();
+            // Forward each group's *remaining* budget to the shards as the
+            // same `@d=<ms>` wire prefix the client used, so a shard sheds
+            // or cancels work the router would discard anyway.
+            let forward_from = Instant::now();
+            let wire_lines: Vec<String> = canonicals
+                .iter()
+                .zip(&group_deadlines)
+                .map(|(canonical, gd)| match gd {
+                    Some(deadline) => {
+                        let remaining = deadline.saturating_duration_since(forward_from);
+                        #[allow(clippy::cast_possible_truncation)]
+                        let ms = remaining.as_millis().max(1) as u64;
+                        prefix_deadline_ms(ms, canonical)
+                    }
+                    None => canonical.clone(),
+                })
+                .collect();
+            let (mut per_backend, scatter_expired) =
+                self.scatter(&wire_lines, &shard_ids, batch_deadline);
             let scatter_done = Instant::now();
             trace.record(Stage::Scatter, scatter_done.saturating_duration_since(parse_done));
             if traced {
@@ -918,7 +1007,9 @@ impl Router {
             }
             // Walk the groups back-to-front so each backend's reply for the
             // current query can be popped (moved, not cloned) off its vec.
-            for (canonical, positions) in groups.iter().rev() {
+            for ((canonical, positions), group_deadline) in
+                groups.iter().rev().zip(group_deadlines.iter().rev())
+            {
                 let mut parts: Vec<Vec<RankedHit>> = Vec::with_capacity(self.backends.len());
                 let mut failures: Vec<(String, ShardError)> = Vec::new();
                 for (backend, (replies, _)) in self.backends.iter().zip(&mut per_backend) {
@@ -929,14 +1020,27 @@ impl Router {
                 }
                 self.stats.record_shard_errors(failures.len() as u64);
                 self.stats.record_dedup_hits((positions.len() - 1) as u64);
+                let deadline_expired = scatter_expired && group_deadline.is_some();
                 let result = if failures.len() == self.backends.len() {
-                    self.stats.record_error();
-                    Err(ServerError::AllShardsFailed)
+                    if deadline_expired {
+                        // No shard made the budget: the deadline, not the
+                        // shards, is what failed the query.
+                        self.stats.record_deadline_exceeded(DeadlineStage::Scatter);
+                        Err(ServerError::DeadlineExceeded)
+                    } else {
+                        self.stats.record_error();
+                        Err(ServerError::AllShardsFailed)
+                    }
                 } else {
+                    let deadline_exceeded = deadline_expired && !failures.is_empty();
+                    if deadline_exceeded {
+                        self.stats.record_deadline_exceeded(DeadlineStage::Scatter);
+                    }
                     let hits = merge_ranked(parts, self.config.result_limit);
                     // Cache complete answers only: a partial merge cached
                     // here would keep serving the degraded answer after the
-                    // failed shard recovered.
+                    // failed shard recovered — and a deadline-truncated
+                    // merge must never outlive the budget that shaped it.
                     if failures.is_empty() {
                         if let Some(cache) = &self.cache {
                             cache.insert(
@@ -950,6 +1054,7 @@ impl Router {
                         hits,
                         shards_total: self.backends.len(),
                         shard_failures: failures,
+                        deadline_exceeded,
                         latency: Duration::ZERO,
                         trace: Arc::clone(&placeholder),
                     })
@@ -995,22 +1100,34 @@ impl Router {
     /// channel and reports its round trip; a worker that died (its backend
     /// panicked) counts as unavailable for the whole batch.  Every observed
     /// round trip feeds the backend's `dsearch_shard_rtt_ns` histogram.
-    fn scatter(&self, canonicals: &[String], ids: &[u64]) -> Vec<TimedReplies> {
-        if self.backends.len() == 1 {
+    ///
+    /// With a `deadline`, the gather never waits past it: backends that
+    /// have not answered by then count as unavailable and the second return
+    /// value is `true` — the scatter degraded instead of hanging.  The
+    /// abandoned worker finishes (and discards) its reply in the
+    /// background, so a stalled shard delays its own next scatter, never
+    /// this one.
+    fn scatter(
+        &self,
+        lines: &[String],
+        ids: &[u64],
+        deadline: Option<Instant>,
+    ) -> (Vec<TimedReplies>, bool) {
+        if self.backends.len() == 1 && deadline.is_none() {
             let sent = Instant::now();
-            let replies = self.backends[0].search_batch_traced(canonicals, ids);
+            let replies = self.backends[0].search_batch_traced(lines, ids);
             let rtt = sent.elapsed();
             self.rtt_hists[0].record(rtt);
-            return vec![(replies, rtt)];
+            return (vec![(replies, rtt)], false);
         }
-        let canonicals = Arc::new(canonicals.to_vec());
+        let lines = Arc::new(lines.to_vec());
         let ids = Arc::new(ids.to_vec());
         let (respond, gathered) = mpsc::channel();
         let mut pending = 0usize;
         let mut replies: Vec<Option<TimedReplies>> = self.backends.iter().map(|_| None).collect();
         for (backend_index, worker) in self.fanout.iter().enumerate() {
             let task = FanoutTask {
-                canonicals: Arc::clone(&canonicals),
+                canonicals: Arc::clone(&lines),
                 ids: Arc::clone(&ids),
                 respond: respond.clone(),
                 backend_index,
@@ -1020,24 +1137,59 @@ impl Router {
             }
         }
         drop(respond);
+        let mut expired = false;
         for _ in 0..pending {
-            let Ok((backend_index, (reply, rtt))) = gathered.recv() else { break };
+            let received = match deadline {
+                None => gathered.recv().ok(),
+                Some(deadline) => {
+                    let budget = deadline.saturating_duration_since(Instant::now());
+                    if budget.is_zero() {
+                        expired = true;
+                        break;
+                    }
+                    match gathered.recv_timeout(budget) {
+                        Ok(received) => Some(received),
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            expired = true;
+                            break;
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                    }
+                }
+            };
+            let Some((backend_index, (reply, rtt))) = received else { break };
             self.rtt_hists[backend_index].record(rtt);
             replies[backend_index] = Some((reply, rtt));
         }
-        replies
+        let missing =
+            if expired { "deadline exceeded waiting for shard" } else { "shard worker died" };
+        let replies = replies
             .into_iter()
             .map(|slot| {
                 slot.unwrap_or_else(|| {
-                    let failed = canonicals
+                    let failed = lines
                         .iter()
-                        .map(|_| Err(ShardError::Unavailable("shard worker died".to_owned())))
+                        .map(|_| Err(ShardError::Unavailable(missing.to_owned())))
                         .collect();
                     (failed, Duration::ZERO)
                 })
             })
-            .collect()
+            .collect();
+        (replies, expired)
     }
+}
+
+/// The deadline a deduplicated query group travels under: its most patient
+/// live position's.  Any position without a deadline lifts the whole
+/// group's — cancelling the scatter would fail a query that was promised
+/// unlimited time.
+fn group_deadline(deadlines: &[Option<Instant>], positions: &[usize]) -> Option<Instant> {
+    let mut latest: Option<Instant> = None;
+    for &i in positions {
+        let deadline = deadlines[i]?;
+        latest = Some(latest.map_or(deadline, |l| l.max(deadline)));
+    }
+    latest
 }
 
 impl std::fmt::Debug for Router {
@@ -1054,12 +1206,23 @@ pub(crate) struct RouteJob {
     raw: String,
     respond: mpsc::Sender<Result<RoutedResponse, ServerError>>,
     submitted: Instant,
+    /// Absolute deadline parsed at submission, so the governor can shed the
+    /// job without re-parsing the request line.
+    deadline: Option<Instant>,
 }
 
 impl QueueJob for RouteJob {
     fn shed(self) {
         // The waiter may have given up; that is not an error.
         let _ = self.respond.send(Err(ServerError::Overloaded));
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    fn expire(self) {
+        let _ = self.respond.send(Err(ServerError::DeadlineExceeded));
     }
 }
 
@@ -1142,7 +1305,15 @@ impl RouterPool {
     /// stopping.
     pub fn submit(&self, raw: impl Into<String>) -> Result<PendingRoutedResponse, ServerError> {
         let (respond, receiver) = mpsc::channel();
-        let job = RouteJob { raw: raw.into(), respond, submitted: Instant::now() };
+        let raw = raw.into();
+        let submitted = Instant::now();
+        let (meta, _) = split_request_meta(&raw);
+        let deadline = meta
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.router.config().default_deadline)
+            .map(|budget| submitted + budget);
+        let job = RouteJob { raw, respond, submitted, deadline };
         self.governor.submit(job, self.router.stats())?;
         Ok(PendingRoutedResponse { receiver })
     }
@@ -1278,11 +1449,15 @@ impl RouteService {
             .collect();
         let cache = self.router.cache_counters();
         let status = format!(
-            "router queries={} errors={} shed={} dedup_hits={} shard_errors={} partial={} \
+            "router queries={} errors={} shed={} expired={} deadline_exceeded={} \
+             retry_exhausted={} dedup_hits={} shard_errors={} partial={} \
              cache_hits={} cache_misses={} qps={:.1} shards={} shards_down={down} {} latency[{}]",
             stats.query_count(),
             stats.error_count(),
             stats.shed_count(),
+            stats.expired_count(),
+            stats.deadline_exceeded_count(),
+            stats.retry_budget_exhausted_count(),
             stats.dedup_hit_count(),
             stats.shard_error_count(),
             stats.partial_response_count(),
@@ -1418,6 +1593,34 @@ mod tests {
 
     fn local(files: &[(&str, &[&str])], id: &str) -> Box<dyn ShardBackend> {
         Box::new(LocalShards::new(engine_over(files)).with_id(id))
+    }
+
+    /// A backend that sleeps before answering, for deadline tests.
+    struct SlowShard {
+        delay: Duration,
+    }
+
+    impl ShardBackend for SlowShard {
+        fn id(&self) -> String {
+            "slow".to_owned()
+        }
+
+        fn search(&self, _canonical: &str) -> Result<ShardReply, ShardError> {
+            std::thread::sleep(self.delay);
+            Ok(ShardReply {
+                hits: vec![RankedHit { path: "slow.txt".to_owned(), matched_terms: 1 }],
+                generation: 1,
+                stages: Vec::new(),
+            })
+        }
+
+        fn stats_line(&self) -> Result<String, ShardError> {
+            Ok("queries=0".to_owned())
+        }
+
+        fn reload(&self) -> Result<String, ShardError> {
+            Ok("ok".to_owned())
+        }
     }
 
     /// A backend that always fails, for degradation tests.
@@ -1608,6 +1811,94 @@ mod tests {
         // LocalShards without a store path refuse the reload.
         assert!(response.starts_with("ERR reload failed on every shard"), "{response}");
         service.shutdown();
+    }
+
+    #[test]
+    fn expired_scatter_degrades_to_partial_with_deadline_flag() {
+        let router = Router::new(
+            vec![
+                local(&[("a.txt", &["rust"])], "fast"),
+                Box::new(SlowShard { delay: Duration::from_millis(500) }),
+            ],
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let started = Instant::now();
+        let response = router.route("@d=25 rust").unwrap();
+        let elapsed = started.elapsed();
+        assert!(elapsed < Duration::from_millis(250), "took {elapsed:?}, should stop at ~25ms");
+        assert!(response.partial());
+        assert!(response.deadline_exceeded);
+        assert_eq!(response.shards_ok(), 1);
+        assert_eq!(response.hits.len(), 1, "the fast shard's hits survive");
+        assert_eq!(router.stats().deadline_exceeded_count(), 1);
+        assert_eq!(
+            router.stats().deadline_exceeded_stage_count(crate::stats::DeadlineStage::Scatter),
+            1
+        );
+        // The degraded merge must not have been cached.
+        assert_eq!(router.cache_counters().insertions, 0);
+    }
+
+    #[test]
+    fn all_shards_past_deadline_reports_deadline_not_shard_failure() {
+        let router = Router::new(
+            vec![
+                Box::new(SlowShard { delay: Duration::from_millis(400) }),
+                Box::new(SlowShard { delay: Duration::from_millis(400) }),
+            ],
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let started = Instant::now();
+        let err = router.route("@d=20 rust").unwrap_err();
+        assert!(started.elapsed() < Duration::from_millis(250));
+        assert!(matches!(err, ServerError::DeadlineExceeded), "{err}");
+        assert_eq!(router.stats().deadline_exceeded_count(), 1);
+        // The deadline miss is not counted as an ordinary error.
+        assert_eq!(router.stats().error_count(), 0);
+    }
+
+    #[test]
+    fn already_expired_queries_answer_without_touching_shards_or_cache() {
+        let router = two_shard_router();
+        // Warm the cache so a hit would be possible.
+        router.route("rust").unwrap();
+        assert_eq!(router.cache_counters().insertions, 1);
+        let err = router.route("@d=0 rust").unwrap_err();
+        assert!(matches!(err, ServerError::DeadlineExceeded), "{err}");
+        // The expired query neither probed nor repopulated the cache.
+        assert_eq!(router.cache_counters().hits, 0);
+        assert_eq!(router.cache_counters().insertions, 1);
+    }
+
+    #[test]
+    fn default_deadline_applies_to_plain_routed_queries() {
+        let router = Router::new(
+            vec![Box::new(SlowShard { delay: Duration::from_millis(400) })],
+            RouterConfig {
+                default_deadline: Some(Duration::from_millis(20)),
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        let started = Instant::now();
+        let err = router.route("rust").unwrap_err();
+        assert!(started.elapsed() < Duration::from_millis(250));
+        assert!(matches!(err, ServerError::DeadlineExceeded), "{err}");
+    }
+
+    #[test]
+    fn unlimited_queries_still_wait_for_slow_shards() {
+        let router = Router::new(
+            vec![Box::new(SlowShard { delay: Duration::from_millis(50) })],
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let response = router.route("rust").unwrap();
+        assert!(!response.partial());
+        assert!(!response.deadline_exceeded);
+        assert_eq!(response.hits.len(), 1);
     }
 
     #[test]

@@ -25,6 +25,51 @@ pub const QUERY_LATENCY_METRIC: &str = "dsearch_query_latency_ns";
 pub const STAGE_LATENCY_METRIC: &str = "dsearch_stage_latency_ns";
 /// Metric name of the per-shard round-trip histogram family (`shard` label).
 pub const SHARD_RTT_METRIC: &str = "dsearch_shard_rtt_ns";
+/// Metric name of the blown-deadline counter family (`stage` label:
+/// where in the request lifecycle the budget ran out).
+pub const DEADLINE_EXCEEDED_METRIC: &str = "dsearch_deadline_exceeded_total";
+/// Metric name of the retry-budget exhaustion counter (hedges/failovers
+/// suppressed because the token bucket was empty).
+pub const RETRY_BUDGET_METRIC: &str = "dsearch_retry_budget_exhausted_total";
+/// Metric name of the remaining-budget-at-dequeue histogram: how much of its
+/// deadline a query still had when a worker picked it up.
+pub const REMAINING_BUDGET_METRIC: &str = "dsearch_remaining_budget_ns";
+
+/// Where in the request lifecycle a deadline was exceeded (the `stage` label
+/// of [`DEADLINE_EXCEEDED_METRIC`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineStage {
+    /// Expired while waiting in the admission queue (shed at dequeue).
+    Queue,
+    /// Expired during query evaluation (cancelled mid-execution).
+    Exec,
+    /// Expired while waiting on the scatter-gather fan-out.
+    Scatter,
+}
+
+impl DeadlineStage {
+    /// Every stage, in slot order.
+    pub const ALL: [DeadlineStage; 3] =
+        [DeadlineStage::Queue, DeadlineStage::Exec, DeadlineStage::Scatter];
+
+    /// The `stage` label value.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeadlineStage::Queue => "queue",
+            DeadlineStage::Exec => "exec",
+            DeadlineStage::Scatter => "scatter",
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            DeadlineStage::Queue => 0,
+            DeadlineStage::Exec => 1,
+            DeadlineStage::Scatter => 2,
+        }
+    }
+}
 
 fn stage_slot(stage: Stage) -> usize {
     match stage {
@@ -66,6 +111,9 @@ pub struct ServerStats {
     idle_disconnects: Arc<Counter>,
     latency: Arc<Histogram>,
     stages: [Arc<Histogram>; Stage::ALL.len()],
+    deadline_exceeded: [Arc<Counter>; DeadlineStage::ALL.len()],
+    retry_budget_exhausted: Arc<Counter>,
+    remaining_budget: Arc<Histogram>,
 }
 
 impl Default for ServerStats {
@@ -75,6 +123,13 @@ impl Default for ServerStats {
         // the full family from the first scrape, traffic or not.
         let stages = std::array::from_fn(|i| {
             registry.labeled_histogram(STAGE_LATENCY_METRIC, "stage", Stage::ALL[i].as_str())
+        });
+        let deadline_exceeded = std::array::from_fn(|i| {
+            registry.labeled_counter(
+                DEADLINE_EXCEEDED_METRIC,
+                "stage",
+                DeadlineStage::ALL[i].as_str(),
+            )
         });
         ServerStats {
             started: Instant::now(),
@@ -94,6 +149,9 @@ impl Default for ServerStats {
             idle_disconnects: registry.counter("dsearch_idle_disconnects_total"),
             latency: registry.histogram(QUERY_LATENCY_METRIC),
             stages,
+            deadline_exceeded,
+            retry_budget_exhausted: registry.counter(RETRY_BUDGET_METRIC),
+            remaining_budget: registry.histogram(REMAINING_BUDGET_METRIC),
             registry,
         }
     }
@@ -193,6 +251,61 @@ impl ServerStats {
     /// Records one routed response served with at least one shard missing.
     pub fn record_partial_response(&self) {
         self.partial_responses.inc();
+    }
+
+    /// Records one blown deadline, attributed to the lifecycle stage where
+    /// the budget ran out.
+    pub fn record_deadline_exceeded(&self, stage: DeadlineStage) {
+        self.deadline_exceeded[stage.slot()].inc();
+    }
+
+    /// Records one job shed at dequeue because its deadline had already
+    /// passed: an `expired=` shed, counted both as a shed and as a
+    /// queue-stage deadline miss.
+    pub fn record_expired_shed(&self) {
+        self.shed.inc();
+        self.record_deadline_exceeded(DeadlineStage::Queue);
+    }
+
+    /// Records how much of its budget a deadline-carrying job still had when
+    /// a worker dequeued it.
+    pub fn record_remaining_budget(&self, remaining: Duration) {
+        self.remaining_budget.record(remaining);
+    }
+
+    /// Records one hedge or failover suppressed by an empty retry budget.
+    pub fn record_retry_budget_exhausted(&self) {
+        self.retry_budget_exhausted.inc();
+    }
+
+    /// Deadline misses attributed to one lifecycle stage so far.
+    #[must_use]
+    pub fn deadline_exceeded_stage_count(&self, stage: DeadlineStage) -> u64 {
+        self.deadline_exceeded[stage.slot()].value()
+    }
+
+    /// Deadline misses across every lifecycle stage so far.
+    #[must_use]
+    pub fn deadline_exceeded_count(&self) -> u64 {
+        self.deadline_exceeded.iter().map(|c| c.value()).sum()
+    }
+
+    /// Jobs shed at dequeue because their deadline had already passed.
+    #[must_use]
+    pub fn expired_count(&self) -> u64 {
+        self.deadline_exceeded_stage_count(DeadlineStage::Queue)
+    }
+
+    /// Hedges/failovers suppressed by an empty retry budget so far.
+    #[must_use]
+    pub fn retry_budget_exhausted_count(&self) -> u64 {
+        self.retry_budget_exhausted.value()
+    }
+
+    /// The remaining-budget-at-dequeue histogram.
+    #[must_use]
+    pub fn remaining_budget_histogram(&self) -> &Histogram {
+        &self.remaining_budget
     }
 
     /// Number of queries answered so far.
@@ -331,13 +444,17 @@ impl ServerStats {
     pub fn render(&self, cache: CacheCounters, generation: u64) -> String {
         let latency = self.latency_summary();
         format!(
-            "queries={} errors={} shed={} batched={} dedup_hits={} adaptive_waits={} \
+            "queries={} errors={} shed={} expired={} deadline_exceeded={} retry_exhausted={} \
+             batched={} dedup_hits={} adaptive_waits={} \
              adaptive_skips={} shard_errors={} partial={} qps={:.1} generation={} \
              cache_hit_rate={:.3} cache_hits={} cache_misses={} cache_evictions={} \
              conns={} conns_rejected={} idle_closed={} latency[{latency}]",
             self.query_count(),
             self.error_count(),
             self.shed_count(),
+            self.expired_count(),
+            self.deadline_exceeded_count(),
+            self.retry_budget_exhausted_count(),
             self.batched_count(),
             self.dedup_hit_count(),
             self.adaptive_wait_count(),
@@ -458,6 +575,40 @@ mod tests {
         assert!(report.contains("adaptive_skips=2"), "{report}");
         assert!(report.contains("shard_errors=2"), "{report}");
         assert!(report.contains("partial=1"), "{report}");
+    }
+
+    #[test]
+    fn deadline_counters_accumulate_and_render() {
+        let stats = ServerStats::new();
+        stats.record_expired_shed();
+        stats.record_deadline_exceeded(DeadlineStage::Exec);
+        stats.record_deadline_exceeded(DeadlineStage::Scatter);
+        stats.record_deadline_exceeded(DeadlineStage::Scatter);
+        stats.record_retry_budget_exhausted();
+        stats.record_remaining_budget(Duration::from_millis(3));
+        assert_eq!(stats.expired_count(), 1);
+        assert_eq!(stats.shed_count(), 1, "an expired shed is still a shed");
+        assert_eq!(stats.deadline_exceeded_stage_count(DeadlineStage::Exec), 1);
+        assert_eq!(stats.deadline_exceeded_stage_count(DeadlineStage::Scatter), 2);
+        assert_eq!(stats.deadline_exceeded_count(), 4);
+        assert_eq!(stats.retry_budget_exhausted_count(), 1);
+        assert_eq!(stats.remaining_budget_histogram().count(), 1);
+        let report = stats.render(CacheCounters::default(), 1);
+        assert!(report.contains("expired=1"), "{report}");
+        assert!(report.contains("deadline_exceeded=4"), "{report}");
+        assert!(report.contains("retry_exhausted=1"), "{report}");
+        // The full stage family and the budget metrics are registered
+        // eagerly, traffic or not.
+        let text = ServerStats::new().render_metrics();
+        for stage in DeadlineStage::ALL {
+            assert!(
+                text.contains(&format!("stage=\"{}\"", stage.as_str())),
+                "missing deadline stage {} in exposition",
+                stage.as_str()
+            );
+        }
+        assert!(text.contains(RETRY_BUDGET_METRIC), "{text}");
+        assert!(text.contains(REMAINING_BUDGET_METRIC), "{text}");
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn bounded_engine(queue_bound: usize, overload: OverloadPolicy) -> Arc<QueryEngi
             cache_shards: 1,
             result_limit: 10,
             batch: BatchConfig { max_batch: 1, queue_bound, overload, ..BatchConfig::default() },
+            ..EngineConfig::default()
         },
     )
     .unwrap()
@@ -80,6 +81,7 @@ fn open_loop_overload_sheds_and_reports_via_stats() {
             requests: 500,
             mode: LoadMode::Open { rate_qps: 200_000.0 },
             stage_report: false,
+            deadline_ms: None,
         },
     );
 
@@ -109,6 +111,7 @@ fn drop_oldest_sheds_queued_waiters_not_submitters() {
             requests: 400,
             mode: LoadMode::Open { rate_qps: 200_000.0 },
             stage_report: false,
+            deadline_ms: None,
         },
     );
 
@@ -129,7 +132,12 @@ fn closed_loop_under_the_bound_sheds_nothing() {
     let report = loadgen::run(
         service.pool(),
         &scan_workload(64),
-        &LoadConfig { requests: 200, mode: LoadMode::Closed { clients: 2 }, stage_report: false },
+        &LoadConfig {
+            requests: 200,
+            mode: LoadMode::Closed { clients: 2 },
+            stage_report: false,
+            deadline_ms: None,
+        },
     );
 
     assert_eq!(report.shed, 0, "closed-loop under the bound must not shed: {report}");

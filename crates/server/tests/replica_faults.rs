@@ -21,8 +21,10 @@ enum Action {
     Ok,
     /// Fail immediately (connection refused, shard rejected, …).
     Fail,
-    /// Answer normally after sleeping — a slow-but-alive replica.
-    Delay(Duration),
+    /// Answer normally after sleeping — a slow-but-alive replica.  Distinct
+    /// from [`Action::Hang`]: a slow call eventually succeeds and must not
+    /// count against the breaker.
+    Slow(Duration),
     /// Sleep, then fail — a hung call that eventually times out.
     Hang(Duration),
 }
@@ -61,7 +63,7 @@ impl ShardBackend for FlakyBackend {
         match action {
             Action::Ok => {}
             Action::Fail => return Err(ShardError::Unavailable("scripted failure".to_owned())),
-            Action::Delay(d) => std::thread::sleep(d),
+            Action::Slow(d) => std::thread::sleep(d),
             Action::Hang(d) => {
                 std::thread::sleep(d);
                 return Err(ShardError::Unavailable("scripted hang".to_owned()));
@@ -108,6 +110,7 @@ fn breaker_config() -> ReplicaSetConfig {
         hedge_after: None,
         adaptive_hedge: false,
         hedge_min_samples: 32,
+        retry_budget_pct: 10,
     }
 }
 
@@ -223,7 +226,7 @@ fn slow_but_alive_replica_loses_to_the_hedge() {
     set.bind_metrics(&registry);
 
     // Both replicas idle: the pick ties toward index 0, the slow one.
-    push(&script, &[Action::Delay(Duration::from_millis(250))]);
+    push(&script, &[Action::Slow(Duration::from_millis(250))]);
     let started = Instant::now();
     let reply = set.search("rust").unwrap();
     assert_eq!(reply.hits[0].path, "fast.txt", "hedge answer must win");
@@ -253,12 +256,50 @@ fn with_every_replica_slow_the_first_answer_wins() {
 
     // The primary (a) answers at ~60ms, the hedge (b) at ~200ms after its
     // ~15ms head start is spent: the primary's answer comes back first.
-    push(&script_a, &[Action::Delay(Duration::from_millis(60))]);
-    push(&script_b, &[Action::Delay(Duration::from_millis(200))]);
+    push(&script_a, &[Action::Slow(Duration::from_millis(60))]);
+    push(&script_b, &[Action::Slow(Duration::from_millis(200))]);
     let reply = set.search("rust").unwrap();
     assert_eq!(reply.hits[0].path, "a.txt", "first answer wins when everyone is slow");
     assert_eq!(set.hedge_count(), 1, "the hedge still fired");
     assert_eq!(set.hedge_win_count(), 0, "but did not win");
+}
+
+#[test]
+fn hedge_with_empty_retry_budget_fails_fast_to_the_primary() {
+    let (slow, script) = FlakyBackend::new("slow");
+    let (fast, _) = FlakyBackend::new("fast");
+    // `retry_budget_pct: 0` banks exactly one token and never refills.
+    let set = ReplicaSet::new(
+        "s",
+        vec![Box::new(slow), Box::new(fast)],
+        ReplicaSetConfig {
+            hedge_after: Some(Duration::from_millis(15)),
+            retry_budget_pct: 0,
+            ..breaker_config()
+        },
+    )
+    .unwrap();
+
+    // First slow call: the hedge fires on the banked token and wins.
+    push(&script, &[Action::Slow(Duration::from_millis(120))]);
+    let reply = set.search("rust").unwrap();
+    assert_eq!(reply.hits[0].path, "fast.txt");
+    assert_eq!(set.hedge_count(), 1);
+    assert_eq!(set.retry_exhausted_count(), 0);
+
+    // Wait out the loser so the slow replica is idle (and still the
+    // least-loaded tie toward index 0) for the second call.
+    assert!(wait_for(Duration::from_secs(2), || set.replica_states().len() == 2));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Second slow call: the hedge timer fires but the budget is empty — no
+    // second dispatch happens, the refusal is counted, and the answer comes
+    // from the slow primary once it finishes.
+    push(&script, &[Action::Slow(Duration::from_millis(80))]);
+    let reply = set.search("rust").unwrap();
+    assert_eq!(reply.hits[0].path, "slow.txt", "no hedge: the primary's answer is the only one");
+    assert_eq!(set.hedge_count(), 1, "the refused hedge must not count as fired");
+    assert!(set.retry_exhausted_count() >= 1, "the refusal must be counted");
 }
 
 #[test]

@@ -1,0 +1,120 @@
+//! Property: a routed query's deadline is an upper bound on its wall time.
+//!
+//! For any scripted per-shard latency profile, `route` returns no later than
+//! the deadline plus one poll granularity of scheduling slack — the gather
+//! loop is bounded by `recv_timeout`, so a stalled shard can delay the merge
+//! but never the client.  And the degraded path is never taken spuriously: a
+//! query whose shards all answer within the budget is complete, not partial.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use dsearch_query::RankedHit;
+use dsearch_server::{Router, RouterConfig, ServerError, ShardBackend, ShardError, ShardReply};
+
+/// A healthy backend with a scripted response latency.
+struct ScriptedShard {
+    id: String,
+    delay: Duration,
+}
+
+impl ShardBackend for ScriptedShard {
+    fn id(&self) -> String {
+        self.id.clone()
+    }
+
+    fn search(&self, _canonical: &str) -> Result<ShardReply, ShardError> {
+        std::thread::sleep(self.delay);
+        Ok(ShardReply {
+            hits: vec![RankedHit { path: format!("{}.txt", self.id), matched_terms: 1 }],
+            generation: 1,
+            stages: Vec::new(),
+        })
+    }
+
+    fn stats_line(&self) -> Result<String, ShardError> {
+        Ok("queries=0".to_owned())
+    }
+
+    fn reload(&self) -> Result<String, ShardError> {
+        Ok("reloaded generation=1".to_owned())
+    }
+}
+
+fn router_over(delays_ms: &[u64]) -> std::sync::Arc<Router> {
+    let backends: Vec<Box<dyn ShardBackend>> = delays_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &ms)| {
+            Box::new(ScriptedShard { id: format!("shard-{i}"), delay: Duration::from_millis(ms) })
+                as Box<dyn ShardBackend>
+        })
+        .collect();
+    Router::new(backends, RouterConfig::default()).unwrap()
+}
+
+/// Slack allowed past the deadline: one `recv_timeout` wakeup plus merge and
+/// scheduling overhead.  Generous so a loaded CI machine stays green; the
+/// shard stalls below are an order of magnitude larger.
+const GRACE: Duration = Duration::from_millis(40);
+
+/// The headline number: a shard stalling for 500ms cannot hold a query with
+/// a 5ms budget past roughly 10ms of wall time.
+#[test]
+fn stalled_shard_cannot_hold_a_five_millisecond_budget() {
+    let router = router_over(&[500]);
+    let started = Instant::now();
+    let result = router.route("@d=5 rust");
+    let elapsed = started.elapsed();
+    assert!(elapsed <= Duration::from_millis(15), "5ms budget took {elapsed:?}");
+    assert!(matches!(result, Err(ServerError::DeadlineExceeded)), "{result:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// No latency profile can hold a routed query past its deadline.
+    #[test]
+    fn routed_queries_return_by_their_deadline(
+        delays in proptest::collection::vec(0u64..120, 1..5),
+        deadline_ms in 5u64..60,
+    ) {
+        let router = router_over(&delays);
+        let started = Instant::now();
+        let result = router.route(&format!("@d={deadline_ms} rust"));
+        let elapsed = started.elapsed();
+        prop_assert!(
+            elapsed <= Duration::from_millis(deadline_ms) + GRACE,
+            "query with a {}ms budget took {:?} over shards {:?}",
+            deadline_ms, elapsed, delays
+        );
+        match result {
+            Ok(response) => {
+                // Whatever arrived in time was merged; a shortfall must be
+                // flagged as a degraded answer, never silently dropped.
+                prop_assert!(response.hits.len() <= delays.len());
+                if response.hits.len() < delays.len() {
+                    prop_assert!(response.partial());
+                    prop_assert!(response.deadline_exceeded);
+                }
+            }
+            // Nothing answered in time: a deadline miss, not a shard fault.
+            Err(e) => prop_assert!(
+                matches!(e, ServerError::DeadlineExceeded), "unexpected error {}", e
+            ),
+        }
+    }
+
+    /// The degraded path never fires when every shard answers in budget.
+    #[test]
+    fn fast_shards_never_yield_partial_answers(
+        delays in proptest::collection::vec(0u64..8, 1..5),
+    ) {
+        let router = router_over(&delays);
+        let response = router.route("@d=500 rust").unwrap();
+        prop_assert!(!response.partial(), "all shards answered within the budget");
+        prop_assert!(!response.deadline_exceeded);
+        prop_assert_eq!(response.hits.len(), delays.len());
+    }
+}

@@ -107,6 +107,87 @@ fn complete_responses_are_cached_until_the_epoch_bumps() {
     assert_eq!(alive_calls.load(Ordering::Relaxed), 2, "new epoch must scatter again");
 }
 
+/// A healthy backend that answers only after `delay` — long enough past the
+/// test deadlines that waiting for it would blow the query budget.
+struct SluggishShard {
+    id: String,
+    delay: std::time::Duration,
+}
+
+impl ShardBackend for SluggishShard {
+    fn id(&self) -> String {
+        self.id.clone()
+    }
+
+    fn search(&self, _canonical: &str) -> Result<ShardReply, ShardError> {
+        std::thread::sleep(self.delay);
+        Ok(ShardReply {
+            hits: vec![RankedHit { path: format!("{}.txt", self.id), matched_terms: 1 }],
+            generation: 1,
+            stages: Vec::new(),
+        })
+    }
+
+    fn stats_line(&self) -> Result<String, ShardError> {
+        Ok("queries=0".to_owned())
+    }
+
+    fn reload(&self) -> Result<String, ShardError> {
+        Ok("reloaded generation=1".to_owned())
+    }
+}
+
+#[test]
+fn deadline_degraded_responses_are_not_cached() {
+    let (alive, _, _) = shard("alive");
+    let sluggish = Box::new(SluggishShard {
+        id: "sluggish".to_owned(),
+        delay: std::time::Duration::from_millis(300),
+    });
+    let router = Router::new(vec![alive, sluggish], RouterConfig::default()).unwrap();
+
+    // The budget expires while the sluggish shard is still thinking: the
+    // answer degrades to partial and — the point of this test — must not be
+    // admitted to the cache, exactly like a shard-failure partial.
+    let degraded = router.route("@d=30 rust").unwrap();
+    assert!(degraded.partial());
+    assert!(degraded.deadline_exceeded);
+    let paths: Vec<&str> = degraded.hits.iter().map(|h| h.path.as_str()).collect();
+    assert_eq!(paths, ["alive.txt"]);
+    assert_eq!(router.cache_counters().insertions, 0, "degraded merge must not be cached");
+
+    // An unlimited retry of the same query waits the sluggish shard out and
+    // serves (and caches) the complete answer.
+    let complete = router.route("rust").unwrap();
+    assert!(!complete.partial(), "deadline-degraded answer leaked into the cache");
+    assert_eq!(complete.hits.len(), 2);
+    assert_eq!(router.cache_counters().insertions, 1);
+}
+
+#[test]
+fn cache_hits_honor_the_deadline() {
+    let (alive, _, alive_calls) = shard("alive");
+    let router = Router::new(vec![alive], RouterConfig::default()).unwrap();
+
+    // Warm the cache with an unlimited query.
+    router.route("rust").unwrap();
+    assert_eq!(router.cache_counters().insertions, 1);
+
+    // An already-expired query is answered `deadline_exceeded` without being
+    // served from (or counted against) the cache — a client that has given
+    // up must not receive a stale-but-fast answer it can no longer use.
+    let expired = router.route("@d=0 rust").unwrap_err();
+    assert!(matches!(expired, dsearch_server::ServerError::DeadlineExceeded), "{expired}");
+    assert_eq!(router.cache_counters().hits, 0);
+    assert_eq!(alive_calls.load(Ordering::Relaxed), 1, "expired query must not scatter");
+
+    // A live budget is happily served from cache without scattering.
+    let fresh = router.route("@d=5000 rust").unwrap();
+    assert_eq!(fresh.hits.len(), 1);
+    assert_eq!(router.cache_counters().hits, 1);
+    assert_eq!(alive_calls.load(Ordering::Relaxed), 1);
+}
+
 #[test]
 fn disabling_the_cache_scatters_every_query() {
     let (alive, _, alive_calls) = shard("alive");
