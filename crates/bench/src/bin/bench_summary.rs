@@ -2,16 +2,19 @@
 //!
 //! Re-runs the key `posting_ops`/`query_eval` measurements with plain
 //! `Instant` timing (median of N runs) and emits them, together with the
-//! compressed-index size metrics, a router scatter-gather group (direct
-//! engine vs routed over 1 and 2 local shards), the traced router stage
-//! breakdown (scatter vs shard round trip vs merge medians, harvested from
-//! the responses' own query traces), a `route_replicated` group (2
-//! logical shards × 2 replicas: healthy vs one-replica-down vs hedged
-//! p50/p99) and a `build_pipeline` group (cold checkpointed build vs a
-//! build resumed at 50 %, plus the wall-time cost of per-item / 1 s / 10 s
-//! checkpoint intervals), as one JSON object — `BENCH_PR8.json` by default —
-//! so the perf trajectory of the serving stack is diffable PR-over-PR
-//! without scraping bench output.
+//! compressed-index size metrics, a `query_topk` group (BM25 block-max
+//! WAND top-k vs an exhaustive scoring of every posting, at k=10/100 over
+//! a skewed and a dense-OR shape, with the prune counters), a router
+//! scatter-gather group (direct engine vs routed over 1 and 2 local
+//! shards), the traced router stage breakdown (scatter vs shard round
+//! trip vs merge medians, harvested from the responses' own query
+//! traces), a `route_replicated` group (2 logical shards × 2 replicas:
+//! healthy vs one-replica-down vs hedged p50/p99) and a `build_pipeline`
+//! group (cold checkpointed build vs a build resumed at 50 %, plus the
+//! wall-time cost of per-item / 1 s / 10 s checkpoint intervals), as one
+//! JSON object — `BENCH_PR10.json` by default — so the perf trajectory of
+//! the serving stack is diffable PR-over-PR without scraping bench
+//! output.
 //!
 //! ```text
 //! bench_summary [--quick] [--out PATH]
@@ -32,7 +35,7 @@ use dsearch::index::{
     InMemoryIndex, PostingList, PostingView, PostingsCursor, SealedShard,
 };
 use dsearch::obs::Stage;
-use dsearch::query::{Query, SearchBackend, SingleIndexSearcher};
+use dsearch::query::{search_topk, Query, SearchBackend, SingleIndexSearcher};
 use dsearch::server::{
     EngineConfig, IndexSnapshot, LocalShards, QueryEngine, RemoteShard, RemoteShardConfig,
     ReplicaSet, ReplicaSetConfig, Router, RouterConfig, ShardBackend,
@@ -233,7 +236,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR8.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_owned());
     let samples = if quick { 5 } else { 25 };
 
     let mut fields: Vec<(String, Value)> = Vec::new();
@@ -318,6 +321,74 @@ fn main() {
         });
         record(&format!("query_{name}_zero_copy_ns"), Value::UInt(zero_copy_ns));
         record(&format!("query_{name}_sealed_ns"), Value::UInt(sealed_ns));
+    }
+
+    // ---- Ranked retrieval: block-max WAND vs exhaustive top-k ------------
+    // Two pure-OR shapes over a 100k-document corpus.  "skewed": a term on
+    // every document plus a rare high-tf term that owns the top ranks — the
+    // case block-max pruning exists for.  "dense_or": three overlapping
+    // lists that keep the WAND frontier aligned — pruning's worst case, kept
+    // honest next to the win.  The exhaustive baseline is the same evaluator
+    // with an unbounded k, which can never prune (the heap threshold never
+    // rises), so it scores every posting block.
+    let topk_corpora: Vec<(&str, &str, SealedShard, DocTable)> = {
+        let mut skewed = InMemoryIndex::new();
+        let mut skewed_docs = DocTable::new();
+        for d in 0..100_000u32 {
+            let id = skewed_docs.insert(format!("doc{d:06}.txt"));
+            let mut words = vec![(Term::from("common"), 1u32)];
+            if d % 1_000 == 0 {
+                words.push((Term::from("rare"), 8));
+            }
+            skewed.insert_file_counted(id, words);
+        }
+        let mut dense = InMemoryIndex::new();
+        let mut dense_docs = DocTable::new();
+        for d in 0..100_000u32 {
+            let id = dense_docs.insert(format!("doc{d:06}.txt"));
+            let mut words = vec![(Term::from("alpha"), 1 + d % 4)];
+            if d % 2 == 0 {
+                words.push((Term::from("beta"), 1 + d % 3));
+            }
+            if d % 3 == 0 {
+                words.push((Term::from("gamma"), 1));
+            }
+            dense.insert_file_counted(id, words);
+        }
+        vec![
+            ("skewed", "common OR rare", SealedShard::from_index(&skewed), skewed_docs),
+            ("dense_or", "alpha OR beta OR gamma", SealedShard::from_index(&dense), dense_docs),
+        ]
+    };
+    let no_cancel = || false;
+    for (shape, raw, shard, topk_docs) in &topk_corpora {
+        let topk_shards = std::slice::from_ref(shard);
+        let query = Query::parse(raw).expect("bench query parses");
+        let exhaustive_ns = median_ns(samples, || {
+            let (results, _) = search_topk(topk_shards, topk_docs, &query, usize::MAX, &no_cancel)
+                .expect("pure-OR query is scorable");
+            black_box(results.len());
+        });
+        record(&format!("query_topk_{shape}_exhaustive_ns"), Value::UInt(exhaustive_ns));
+        for k in [10usize, 100] {
+            let ns = median_ns(samples, || {
+                let (results, _) = search_topk(topk_shards, topk_docs, &query, k, &no_cancel)
+                    .expect("pure-OR query is scorable");
+                black_box(results.len());
+            });
+            record(&format!("query_topk_{shape}_blockmax_k{k}_ns"), Value::UInt(ns));
+            record(
+                &format!("query_topk_{shape}_k{k}_speedup"),
+                Value::Float(exhaustive_ns as f64 / ns.max(1) as f64),
+            );
+        }
+        let (_, prune) = search_topk(topk_shards, topk_docs, &query, 10, &no_cancel)
+            .expect("pure-OR query is scorable");
+        record(&format!("query_topk_{shape}_k10_blocks_scored"), Value::UInt(prune.blocks_scored));
+        record(
+            &format!("query_topk_{shape}_k10_blocks_skipped"),
+            Value::UInt(prune.blocks_skipped),
+        );
     }
 
     // ---- Router: scatter-gather overhead, direct vs 1 vs 2 local shards --

@@ -33,6 +33,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "workers",
     "cache",
     "cache-shards",
+    "cache-admission",
     "requests",
     "clients",
     "rate",

@@ -30,6 +30,11 @@ pub(crate) fn engine_config(args: &ParsedArgs) -> Result<EngineConfig, CliError>
     if let Some(shards) = args.number_of::<usize>("cache-shards")? {
         config.cache_shards = shards;
     }
+    if let Some(policy) = args.value_of("cache-admission") {
+        config.cache_admission = policy
+            .parse()
+            .map_err(|e| CliError::Usage(format!("option --cache-admission: {e}")))?;
+    }
     if let Some(limit) = args.number_of::<usize>("limit")? {
         config.result_limit = limit;
     }
@@ -121,7 +126,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     };
     let banner = format!(
         "serving {} document(s), {} shard(s), generation {} \
-         ({} workers, cache {} entries / {} shards)\n\
+         ({} workers, cache {} entries / {} shards, admission={})\n\
          batching: max_batch={} max_wait={:?} queue_bound={queue_bound} overload={}\n\
          protocol: one query per line (prefix @<hex-id> to trace, @d=<ms> for a deadline); \
          !stats, !metrics, !trace <us>, !slow, !reload, !quit\n",
@@ -131,6 +136,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         engine.config().workers,
         engine.config().cache_capacity,
         engine.config().cache_shards,
+        engine.config().cache_admission,
         batch.max_batch,
         batch.max_wait,
         batch.overload,
@@ -232,6 +238,8 @@ mod tests {
             "128",
             "--cache-shards",
             "2",
+            "--cache-admission",
+            "lfu",
             "--limit",
             "5",
             "--max-batch",
@@ -250,6 +258,7 @@ mod tests {
         assert_eq!(config.workers, 3);
         assert_eq!(config.cache_capacity, 128);
         assert_eq!(config.cache_shards, 2);
+        assert_eq!(config.cache_admission, dsearch::server::AdmissionPolicy::TinyLfu);
         assert_eq!(config.result_limit, 5);
         assert_eq!(config.batch.max_batch, 16);
         assert_eq!(config.batch.max_wait, std::time::Duration::from_micros(250));
@@ -292,5 +301,8 @@ mod tests {
         let args = ParsedArgs::parse(["serve", "--overload", "sideways"]).unwrap();
         let err = engine_config(&args).unwrap_err();
         assert!(err.to_string().contains("sideways"), "{err}");
+        let args = ParsedArgs::parse(["serve", "--cache-admission", "clairvoyant"]).unwrap();
+        let err = engine_config(&args).unwrap_err();
+        assert!(err.to_string().contains("clairvoyant"), "{err}");
     }
 }

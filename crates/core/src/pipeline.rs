@@ -468,7 +468,11 @@ impl Sink {
         queue: &LeaseQueue,
     ) -> Result<(), PipelineError> {
         let mut s = self.state.lock();
-        s.pending.insert_file(terms.file_id, terms.terms);
+        if terms.counts.is_empty() {
+            s.pending.insert_file(terms.file_id, terms.terms);
+        } else {
+            s.pending.insert_file_counted(terms.file_id, terms.terms.into_iter().zip(terms.counts));
+        }
         s.pending_ids.push(terms.file_id.as_u32());
         s.bytes += terms.bytes;
         s.ok_total += 1;

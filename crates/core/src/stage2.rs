@@ -26,6 +26,10 @@ pub struct FileTerms {
     /// The terms to insert (de-duplicated when
     /// [`DedupMode::PerFileWordList`] is active).
     pub terms: Vec<Term>,
+    /// Per-term occurrence counts, parallel to `terms`. Empty means "each
+    /// term occurred once" (the ablation mode emits raw occurrences, so the
+    /// counts carry no extra information there).
+    pub counts: Vec<u32>,
     /// Raw term occurrences seen in the file (before de-duplication).
     pub occurrences: u64,
     /// Bytes read from the file.
@@ -109,17 +113,19 @@ impl Extractor {
         };
         let (raw_terms, stats) = self.tokenizer.tokenize(text);
         let occurrences = stats.terms_emitted;
-        let terms = match self.dedup {
+        let (terms, counts) = match self.dedup {
             DedupMode::PerFileWordList => {
                 let mut builder = WordListBuilder::with_capacity(raw_terms.len() / 2 + 1);
                 for t in raw_terms {
                     builder.push(t);
                 }
-                builder.finish().into_terms()
+                let list = builder.finish();
+                let counts = list.counts().to_vec();
+                (list.into_terms(), counts)
             }
-            DedupMode::InsertEveryOccurrence => raw_terms,
+            DedupMode::InsertEveryOccurrence => (raw_terms, Vec::new()),
         };
-        Ok(FileTerms { file_id: item.file_id, terms, occurrences, bytes })
+        Ok(FileTerms { file_id: item.file_id, terms, counts, occurrences, bytes })
     }
 
     /// Scans every item in `work`, calling `sink` for each file's terms.

@@ -74,7 +74,12 @@ impl UpdateSink for SharedSink {
         self.stats.terms += file.terms.len() as u64;
         match self.granularity {
             InsertGranularity::EnBloc => {
-                self.index.insert_file(file.file_id, file.terms);
+                if file.counts.is_empty() {
+                    self.index.insert_file(file.file_id, file.terms);
+                } else {
+                    self.index
+                        .insert_file_counted(file.file_id, file.terms.into_iter().zip(file.counts));
+                }
             }
             InsertGranularity::PerTerm => {
                 for term in file.terms {
@@ -124,7 +129,12 @@ impl UpdateSink for ReplicaSink {
         self.stats.terms += file.terms.len() as u64;
         match self.granularity {
             InsertGranularity::EnBloc => {
-                self.index.insert_file(file.file_id, file.terms);
+                if file.counts.is_empty() {
+                    self.index.insert_file(file.file_id, file.terms);
+                } else {
+                    self.index
+                        .insert_file_counted(file.file_id, file.terms.into_iter().zip(file.counts));
+                }
             }
             InsertGranularity::PerTerm => {
                 for term in file.terms {
@@ -150,6 +160,7 @@ mod tests {
         FileTerms {
             file_id: FileId(id),
             terms: words.iter().map(|w| Term::from(*w)).collect(),
+            counts: Vec::new(),
             occurrences: words.len() as u64,
             bytes: 100,
         }

@@ -59,12 +59,29 @@ pub struct SkipEntry {
 /// skip table is pure acceleration and is only materialised for lists
 /// spanning more than one block: a singleton term (the long tail of every
 /// real vocabulary) costs one varint, typically 1–3 bytes against 4 raw.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CompressedPostings {
     len: usize,
     /// One entry per block when there are 2+ blocks; empty otherwise.
     skips: Vec<SkipEntry>,
     data: Vec<u8>,
+    /// Block-encoded per-posting term frequencies.  Empty means every
+    /// frequency is 1 (then `freq_offsets` is empty too).  Each block opens
+    /// with a header byte: [`ENC_CONSTANT`] followed by one varint holding
+    /// the block's uniform frequency, or a width `w` in `1..=32` followed by
+    /// the block's frequencies bitpacked at `w` bits each.
+    freqs: Vec<u8>,
+    /// Byte offset of each block's frequency payload in `freqs`; one entry
+    /// per block iff `freqs` is non-empty.
+    freq_offsets: Vec<u32>,
+    /// Per-block upper bound on the posting score, quantized as
+    /// `ceil(bound / max_score * 255)` — one entry per block iff the list is
+    /// scored.  Quantizing with `ceil` keeps the dequantized bound
+    /// admissible (never below the true block maximum).
+    block_scores: Vec<u8>,
+    /// The true maximum posting score over the whole list (the quantization
+    /// scale).  `0.0` means the list is unscored.
+    max_score: f32,
 }
 
 /// Structural validation failure when rebuilding a [`CompressedPostings`]
@@ -139,13 +156,60 @@ impl CompressedPostings {
             }
             encode_block(block, &mut data);
         }
-        CompressedPostings { len: ids.len(), skips, data }
+        CompressedPostings {
+            len: ids.len(),
+            skips,
+            data,
+            freqs: Vec::new(),
+            freq_offsets: Vec::new(),
+            block_scores: Vec::new(),
+            max_score: 0.0,
+        }
     }
 
-    /// Compresses a [`PostingList`].
+    /// Compresses a sorted id slice together with its per-posting term
+    /// frequencies.  `tfs` must be parallel to `ids` or empty; an all-1
+    /// frequency vector is not materialised (the canonical empty form).
+    #[must_use]
+    pub fn from_counted(ids: &[FileId], tfs: &[u32]) -> Self {
+        debug_assert!(tfs.is_empty() || tfs.len() == ids.len());
+        let mut cp = CompressedPostings::from_sorted(ids);
+        if tfs.is_empty() || tfs.iter().all(|&tf| tf <= 1) {
+            return cp;
+        }
+        for block in tfs.chunks(BLOCK_SIZE) {
+            cp.freq_offsets.push(u32::try_from(cp.freqs.len()).expect("freq data under 4 GiB"));
+            encode_freq_block(block, &mut cp.freqs);
+        }
+        cp
+    }
+
+    /// Compresses a [`PostingList`], carrying its term frequencies.
     #[must_use]
     pub fn from_list(list: &PostingList) -> Self {
-        CompressedPostings::from_sorted(list.doc_ids())
+        CompressedPostings::from_counted(list.doc_ids(), list.tfs())
+    }
+
+    /// Records per-block score upper bounds from the per-posting scores
+    /// (parallel to the ids), quantized to a u8 ceiling against the list
+    /// maximum.  Non-positive maxima leave the list unscored.
+    pub fn score_blocks(&mut self, scores: &[f32]) {
+        debug_assert_eq!(scores.len(), self.len);
+        let list_max = scores.iter().fold(0.0f32, |acc, &s| acc.max(s));
+        if list_max <= 0.0 || !list_max.is_finite() {
+            self.block_scores.clear();
+            self.max_score = 0.0;
+            return;
+        }
+        self.max_score = list_max;
+        self.block_scores = scores
+            .chunks(BLOCK_SIZE)
+            .map(|chunk| {
+                let block_max = chunk.iter().fold(0.0f32, |acc, &s| acc.max(s));
+                let quantized = (f64::from(block_max) / f64::from(list_max) * 255.0).ceil();
+                quantized.clamp(1.0, 255.0) as u8
+            })
+            .collect();
     }
 
     /// Rebuilds from persisted parts, validating the skip-table structure
@@ -191,7 +255,73 @@ impl CompressedPostings {
             previous_last = Some(skip.last);
             previous_offset = skip.offset;
         }
-        Ok(CompressedPostings { len, skips, data })
+        Ok(CompressedPostings {
+            len,
+            skips,
+            data,
+            freqs: Vec::new(),
+            freq_offsets: Vec::new(),
+            block_scores: Vec::new(),
+            max_score: 0.0,
+        })
+    }
+
+    /// Rebuilds a scored list from persisted parts (the v3 segment path),
+    /// validating the frequency and score tables against the block count.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the parts cannot describe a well-formed scored list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_scored(
+        len: usize,
+        skips: Vec<SkipEntry>,
+        data: Vec<u8>,
+        freqs: Vec<u8>,
+        freq_offsets: Vec<u32>,
+        block_scores: Vec<u8>,
+        max_score: f32,
+    ) -> Result<Self, BlockFormatError> {
+        let mut cp = CompressedPostings::from_parts(len, skips, data)?;
+        let block_count = cp.block_count();
+        if freqs.is_empty() != freq_offsets.is_empty() {
+            return Err(BlockFormatError(
+                "frequency payload and offsets must be both present or both absent".to_owned(),
+            ));
+        }
+        if !freq_offsets.is_empty() {
+            if freq_offsets.len() != block_count {
+                return Err(BlockFormatError(format!(
+                    "{} frequency blocks cannot cover {block_count} posting blocks",
+                    freq_offsets.len()
+                )));
+            }
+            let mut previous = 0u32;
+            for (i, &offset) in freq_offsets.iter().enumerate() {
+                if i > 0 && offset < previous {
+                    return Err(BlockFormatError(format!("freq block {i} offset goes backwards")));
+                }
+                if (offset as usize) >= freqs.len() {
+                    return Err(BlockFormatError(format!("freq block {i} offset past payload")));
+                }
+                previous = offset;
+            }
+        }
+        if !max_score.is_finite() || max_score < 0.0 {
+            return Err(BlockFormatError("max score must be finite and non-negative".to_owned()));
+        }
+        let expected_scores = if max_score > 0.0 { block_count } else { 0 };
+        if block_scores.len() != expected_scores || (max_score > 0.0 && block_count == 0) {
+            return Err(BlockFormatError(format!(
+                "{} block scores with max score {max_score} cannot cover {block_count} blocks",
+                block_scores.len()
+            )));
+        }
+        cp.freqs = freqs;
+        cp.freq_offsets = freq_offsets;
+        cp.block_scores = block_scores;
+        cp.max_score = max_score;
+        Ok(cp)
     }
 
     /// Number of ids stored.
@@ -216,6 +346,42 @@ impl CompressedPostings {
     #[must_use]
     pub fn data(&self) -> &[u8] {
         &self.data
+    }
+
+    /// The encoded per-posting frequency payload (empty ⇒ every tf is 1).
+    #[must_use]
+    pub fn freqs(&self) -> &[u8] {
+        &self.freqs
+    }
+
+    /// Byte offsets of the per-block frequency payloads.
+    #[must_use]
+    pub fn freq_offsets(&self) -> &[u32] {
+        &self.freq_offsets
+    }
+
+    /// The quantized per-block score upper bounds (empty ⇒ unscored).
+    #[must_use]
+    pub fn block_scores(&self) -> &[u8] {
+        &self.block_scores
+    }
+
+    /// The true maximum posting score of the list (`0.0` ⇒ unscored).
+    #[must_use]
+    pub fn max_score(&self) -> f32 {
+        self.max_score
+    }
+
+    /// Dequantized score upper bound of block `index`; the list maximum when
+    /// no per-block table exists.  Admissible: never below the true block
+    /// maximum (callers still add a small slack before comparing against a
+    /// threshold to absorb float rounding).
+    #[must_use]
+    pub fn block_score_bound(&self, index: usize) -> f32 {
+        match self.block_scores.get(index) {
+            Some(&q) => (f64::from(self.max_score) * f64::from(q) / 255.0) as f32,
+            None => self.max_score,
+        }
     }
 
     /// Bytes this list occupies: payload plus skip table (12 bytes per
@@ -339,12 +505,93 @@ impl CompressedPostings {
         }
     }
 
-    /// Decodes into an owned [`PostingList`].
+    /// Decodes the frequency payload of block `index` into `out[..count]`,
+    /// returning `count`.  `out` must hold at least [`BLOCK_SIZE`] slots.
+    /// Untracked lists fill with 1.
+    fn decode_freq_block(&self, index: usize, out: &mut [u32]) -> usize {
+        let count = self.block_len(index);
+        if self.freqs.is_empty() {
+            out[..count].fill(1);
+            return count;
+        }
+        let mut pos = self.freq_offsets[index] as usize;
+        let header = self.freqs.get(pos).copied().unwrap_or(ENC_CONSTANT);
+        pos += 1;
+        if header == ENC_CONSTANT {
+            let value = read_varint(&self.freqs, &mut pos).max(1);
+            out[..count].fill(value);
+        } else {
+            let width = u32::from(header).min(32);
+            let mask = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
+            let mut acc = 0u64;
+            let mut acc_bits = 0u32;
+            for slot in out.iter_mut().take(count) {
+                while acc_bits < width {
+                    let byte = self.freqs.get(pos).copied().unwrap_or(0);
+                    acc |= u64::from(byte) << acc_bits;
+                    acc_bits += 8;
+                    pos += 1;
+                }
+                *slot = ((acc & mask) as u32).max(1);
+                acc >>= width;
+                acc_bits -= width;
+            }
+        }
+        count
+    }
+
+    /// Decodes every per-posting frequency into `out` (cleared first),
+    /// parallel to [`CompressedPostings::decode_into`]'s ids.
+    pub fn decode_freqs_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        if self.freqs.is_empty() {
+            return;
+        }
+        out.reserve(self.len);
+        let mut scratch = [0u32; BLOCK_SIZE];
+        for index in 0..self.block_count() {
+            let count = self.decode_freq_block(index, &mut scratch);
+            out.extend_from_slice(&scratch[..count]);
+        }
+    }
+
+    /// Decodes into an owned [`PostingList`] (frequencies included).
     #[must_use]
     pub fn to_list(&self) -> PostingList {
         let mut ids = Vec::new();
         self.decode_into(&mut ids);
-        PostingList::from_sorted(ids)
+        let mut tfs = Vec::new();
+        self.decode_freqs_into(&mut tfs);
+        PostingList::from_sorted_counted(ids, tfs)
+    }
+}
+
+/// Encodes one block of term frequencies: a constant block when every value
+/// is equal (the tf=1 ocean costs two bytes per block), bitpacked at the
+/// block's maximum width otherwise.
+fn encode_freq_block(tfs: &[u32], out: &mut Vec<u8>) {
+    let max = tfs.iter().copied().max().unwrap_or(1).max(1);
+    let min = tfs.iter().copied().min().unwrap_or(1);
+    if min == max {
+        out.push(ENC_CONSTANT);
+        write_varint(out, max);
+        return;
+    }
+    let width = bits_needed(max).max(1);
+    out.push(width as u8);
+    let mut acc = 0u64;
+    let mut acc_bits = 0u32;
+    for &tf in tfs {
+        acc |= u64::from(tf) << acc_bits;
+        acc_bits += width;
+        while acc_bits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+    }
+    if acc_bits > 0 {
+        out.push(acc as u8);
     }
 }
 
@@ -518,6 +765,15 @@ pub struct BlockCursor<'a> {
     /// across every block the cursor visits.  Cursors over lists whose
     /// blocks are all arithmetic progressions never allocate at all.
     scratch: Vec<FileId>,
+    /// Frequency decode buffer; filled lazily, only for blocks whose
+    /// frequencies are actually read.
+    freq_scratch: Vec<u32>,
+    /// Whether `freq_scratch` holds the current block's frequencies.
+    freqs_loaded: bool,
+    /// Blocks this cursor has entered (decoded or served arithmetically);
+    /// `block_count() - blocks_visited()` is the number the skip table let
+    /// it jump over entirely.
+    visited: u64,
 }
 
 impl<'a> BlockCursor<'a> {
@@ -531,6 +787,9 @@ impl<'a> BlockCursor<'a> {
             len_in_block: 0,
             shape: BlockShape::Packed,
             scratch: Vec::new(),
+            freq_scratch: Vec::new(),
+            freqs_loaded: false,
+            visited: 0,
         };
         cursor.enter_block(0);
         cursor
@@ -543,10 +802,12 @@ impl<'a> BlockCursor<'a> {
     fn enter_block(&mut self, block: usize) {
         self.block = block;
         self.pos = 0;
+        self.freqs_loaded = false;
         if block >= self.postings.block_count() {
             self.len_in_block = 0;
             return;
         }
+        self.visited += 1;
         self.len_in_block = self.postings.block_len(block);
         self.shape = self.postings.block_shape(block);
         if matches!(self.shape, BlockShape::Packed) {
@@ -556,6 +817,64 @@ impl<'a> BlockCursor<'a> {
             let decoded = self.postings.decode_block(block, &mut self.scratch);
             debug_assert_eq!(decoded, self.len_in_block);
         }
+    }
+
+    /// The term frequency of the posting the cursor is on (1 when the list
+    /// does not track frequencies).  Decodes the current block's frequency
+    /// payload on first access; blocks the skip table jumps over never pay.
+    #[must_use]
+    pub fn current_tf(&mut self) -> u32 {
+        if self.exhausted() || self.pos >= self.len_in_block {
+            return 1;
+        }
+        if self.postings.freqs.is_empty() {
+            return 1;
+        }
+        if !self.freqs_loaded {
+            if self.freq_scratch.len() < BLOCK_SIZE {
+                self.freq_scratch.resize(BLOCK_SIZE, 1);
+            }
+            self.postings.decode_freq_block(self.block, &mut self.freq_scratch);
+            self.freqs_loaded = true;
+        }
+        self.freq_scratch[self.pos]
+    }
+
+    /// The dequantized score upper bound of the block the cursor is on
+    /// (the list maximum when exhausted or unscored).
+    #[must_use]
+    pub fn current_block_bound(&self) -> f32 {
+        if self.exhausted() {
+            return 0.0;
+        }
+        self.postings.block_score_bound(self.block)
+    }
+
+    /// The true maximum posting score of the underlying list (`0.0` when
+    /// the list is unscored).
+    #[must_use]
+    pub fn list_max_score(&self) -> f32 {
+        self.postings.max_score
+    }
+
+    /// The last id of the block the cursor is on, or `None` when exhausted.
+    /// Block-max evaluation uses this as the boundary to seek past when the
+    /// current block's bound cannot reach the heap threshold.
+    #[must_use]
+    pub fn current_block_last(&self) -> Option<FileId> {
+        (!self.exhausted() && self.len_in_block > 0).then(|| self.block_last())
+    }
+
+    /// Blocks this cursor actually entered so far.
+    #[must_use]
+    pub fn blocks_visited(&self) -> u64 {
+        self.visited
+    }
+
+    /// Total blocks in the underlying list.
+    #[must_use]
+    pub fn total_blocks(&self) -> usize {
+        self.postings.block_count()
     }
 
     fn id_at(&self, pos: usize) -> FileId {
@@ -794,7 +1113,163 @@ mod tests {
         assert!(err.to_string().contains("invalid compressed postings"), "{err}");
     }
 
+    #[test]
+    fn freqs_roundtrip_and_lazy_cursor_access() {
+        let all: Vec<FileId> = (0..500).map(|i| FileId(i * 2)).collect();
+        let tfs: Vec<u32> = (0..500).map(|i| 1 + (i % 7)).collect();
+        let cp = CompressedPostings::from_counted(&all, &tfs);
+        let mut decoded = Vec::new();
+        cp.decode_freqs_into(&mut decoded);
+        assert_eq!(decoded, tfs);
+        assert_eq!(cp.freq_offsets().len(), 500usize.div_ceil(BLOCK_SIZE));
+
+        let mut cursor = cp.cursor();
+        assert_eq!(cursor.current_tf(), 1);
+        cursor.advance();
+        assert_eq!(cursor.current_tf(), 2);
+        assert_eq!(cursor.seek(FileId(260)), Some(FileId(260)));
+        assert_eq!(cursor.current_tf(), 1 + (130 % 7));
+
+        // All-1 frequencies stay in canonical (absent) form.
+        let flat = CompressedPostings::from_counted(&all, &vec![1; 500]);
+        assert!(flat.freqs().is_empty());
+        assert!(flat.freq_offsets().is_empty());
+        assert_eq!(flat.cursor().current_tf(), 1);
+        assert_eq!(cp.to_list().tf_of(FileId(2)), Some(2));
+    }
+
+    #[test]
+    fn constant_freq_blocks_cost_two_bytes() {
+        let all: Vec<FileId> = (0..256).map(FileId).collect();
+        let mut tfs = vec![3u32; 256];
+        tfs[200] = 9; // second block is non-constant
+        let cp = CompressedPostings::from_counted(&all, &tfs);
+        let first_block_bytes = (cp.freq_offsets()[1] - cp.freq_offsets()[0]) as usize;
+        assert_eq!(first_block_bytes, 2, "constant block: header + one varint");
+        let mut decoded = Vec::new();
+        cp.decode_freqs_into(&mut decoded);
+        assert_eq!(decoded, tfs);
+    }
+
+    #[test]
+    fn block_score_bounds_are_admissible() {
+        let all: Vec<FileId> = (0..300).map(FileId).collect();
+        let scores: Vec<f32> = (0..300).map(|i| 0.1 + (i % 50) as f32 * 0.03).collect();
+        let mut cp = CompressedPostings::from_counted(&all, &[]);
+        assert_eq!(cp.max_score(), 0.0);
+        assert_eq!(cp.block_score_bound(0), 0.0);
+        cp.score_blocks(&scores);
+        let list_max = scores.iter().fold(0.0f32, |a, &b| a.max(b));
+        assert_eq!(cp.max_score(), list_max);
+        assert_eq!(cp.block_scores().len(), 300usize.div_ceil(BLOCK_SIZE));
+        for (b, chunk) in scores.chunks(BLOCK_SIZE).enumerate() {
+            let true_max = chunk.iter().fold(0.0f32, |a, &s| a.max(s));
+            let bound = cp.block_score_bound(b);
+            assert!(bound >= true_max, "block {b}: bound {bound} below true max {true_max}");
+            assert!(bound <= list_max * 1.01, "block {b}: bound {bound} too loose");
+        }
+        let mut cursor = cp.cursor();
+        assert!(cursor.current_block_bound() > 0.0);
+        assert_eq!(cursor.current_block_last(), Some(FileId(BLOCK_SIZE as u32 - 1)));
+        assert_eq!(cursor.total_blocks(), 3);
+        assert_eq!(cursor.blocks_visited(), 1);
+        cursor.seek(FileId(299));
+        assert_eq!(cursor.blocks_visited(), 2, "middle block skipped untouched");
+    }
+
+    #[test]
+    fn scored_parts_roundtrip_and_validate() {
+        let all: Vec<FileId> = (0..300).map(|i| FileId(i * 5)).collect();
+        let tfs: Vec<u32> = (0..300).map(|i| 1 + i % 4).collect();
+        let scores: Vec<f32> = tfs.iter().map(|&tf| tf as f32 * 0.5).collect();
+        let mut cp = CompressedPostings::from_counted(&all, &tfs);
+        cp.score_blocks(&scores);
+
+        let rebuilt = CompressedPostings::from_parts_scored(
+            cp.len(),
+            cp.skips().to_vec(),
+            cp.data().to_vec(),
+            cp.freqs().to_vec(),
+            cp.freq_offsets().to_vec(),
+            cp.block_scores().to_vec(),
+            cp.max_score(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, cp);
+
+        // Offsets without payload, short tables, bad scores all fail.
+        assert!(CompressedPostings::from_parts_scored(
+            cp.len(),
+            cp.skips().to_vec(),
+            cp.data().to_vec(),
+            Vec::new(),
+            cp.freq_offsets().to_vec(),
+            Vec::new(),
+            0.0,
+        )
+        .is_err());
+        assert!(CompressedPostings::from_parts_scored(
+            cp.len(),
+            cp.skips().to_vec(),
+            cp.data().to_vec(),
+            cp.freqs().to_vec(),
+            vec![0],
+            Vec::new(),
+            0.0,
+        )
+        .is_err());
+        assert!(CompressedPostings::from_parts_scored(
+            cp.len(),
+            cp.skips().to_vec(),
+            cp.data().to_vec(),
+            Vec::new(),
+            Vec::new(),
+            vec![255],
+            1.0,
+        )
+        .is_err());
+        assert!(CompressedPostings::from_parts_scored(
+            cp.len(),
+            cp.skips().to_vec(),
+            cp.data().to_vec(),
+            Vec::new(),
+            Vec::new(),
+            cp.block_scores().to_vec(),
+            f32::NAN,
+        )
+        .is_err());
+    }
+
     proptest! {
+        /// Frequencies round-trip for arbitrary lists, and every decoded tf
+        /// matches what the cursor reports posting by posting.
+        #[test]
+        fn freq_roundtrip_arbitrary(
+            raw in proptest::collection::vec((0u32..100_000, 1u32..20), 1..500)
+        ) {
+            let mut sorted: Vec<(u32, u32)> = raw;
+            sorted.sort_unstable_by_key(|&(id, _)| id);
+            sorted.dedup_by_key(|&mut (id, _)| id);
+            let all: Vec<FileId> = sorted.iter().map(|&(id, _)| FileId(id)).collect();
+            let tfs: Vec<u32> = sorted.iter().map(|&(_, tf)| tf).collect();
+            let cp = CompressedPostings::from_counted(&all, &tfs);
+            let mut decoded = Vec::new();
+            cp.decode_freqs_into(&mut decoded);
+            let expect_tracked = tfs.iter().any(|&tf| tf > 1);
+            if expect_tracked {
+                prop_assert_eq!(&decoded, &tfs);
+            } else {
+                prop_assert!(decoded.is_empty());
+            }
+            let mut cursor = cp.cursor();
+            for (i, &(id, tf)) in sorted.iter().enumerate() {
+                prop_assert_eq!(cursor.current(), Some(FileId(id)), "pos {}", i);
+                prop_assert_eq!(cursor.current_tf(), if expect_tracked { tf } else { 1 });
+                cursor.advance();
+            }
+            prop_assert_eq!(cursor.current(), None);
+        }
+
         /// Arbitrary sorted id sets round-trip through compression exactly,
         /// and the byte size never exceeds a small multiple of the raw form.
         #[test]

@@ -23,6 +23,10 @@ pub struct InMemoryIndex {
     terms: FnvHashMap<Term, PostingList>,
     files_indexed: u64,
     postings: u64,
+    /// Total term occurrences per file (the BM25 document length).  Files
+    /// inserted through the uncounted path get their distinct-term count,
+    /// which is exact when every frequency is 1.
+    doc_lens: std::collections::HashMap<FileId, u32>,
     /// Sorted term dictionary for binary-searched prefix ranges; valid only
     /// while `dictionary_valid` (any mutation invalidates it).  Built by
     /// [`InMemoryIndex::build_dictionary`], typically once per serving
@@ -46,6 +50,7 @@ impl InMemoryIndex {
             terms: FnvHashMap::with_capacity(expected_terms),
             files_indexed: 0,
             postings: 0,
+            doc_lens: std::collections::HashMap::new(),
             dictionary: Vec::new(),
             dictionary_valid: false,
         }
@@ -54,18 +59,34 @@ impl InMemoryIndex {
     /// Inserts the (already de-duplicated) terms of one file.
     ///
     /// This is the en-bloc update of the paper: one call per file, no
-    /// duplicate checking inside the index.
+    /// duplicate checking inside the index.  Every term frequency is taken
+    /// as 1; extractors that track occurrence counts should use
+    /// [`InMemoryIndex::insert_file_counted`] instead.
     pub fn insert_file<I>(&mut self, file: FileId, terms: I)
     where
         I: IntoIterator<Item = Term>,
     {
+        self.insert_file_counted(file, terms.into_iter().map(|t| (t, 1)));
+    }
+
+    /// Inserts the de-duplicated terms of one file together with their
+    /// per-file occurrence counts, recording the document length (total
+    /// occurrences) for ranked retrieval.
+    pub fn insert_file_counted<I>(&mut self, file: FileId, terms: I)
+    where
+        I: IntoIterator<Item = (Term, u32)>,
+    {
         self.dictionary_valid = false;
-        for term in terms {
+        let mut doc_len: u64 = 0;
+        for (term, tf) in terms {
+            let tf = tf.max(1);
+            doc_len += u64::from(tf);
             let list = self.terms.entry_or_default(term);
-            if list.add(file) {
+            if list.add_with_tf(file, tf) {
                 self.postings += 1;
             }
         }
+        self.doc_lens.insert(file, u32::try_from(doc_len).unwrap_or(u32::MAX));
         self.files_indexed += 1;
     }
 
@@ -79,6 +100,33 @@ impl InMemoryIndex {
         if list.add(file) {
             self.postings += 1;
         }
+        let len = self.doc_lens.entry(file).or_insert(0);
+        *len = len.saturating_add(1);
+    }
+
+    /// Records (or restores) the document length of `file` directly — the
+    /// segment-load path uses this to rebuild lengths persisted in v3
+    /// segments.
+    pub fn note_doc_len(&mut self, file: FileId, len: u32) {
+        self.doc_lens.insert(file, len);
+    }
+
+    /// The recorded document length (total term occurrences) of `file`.
+    #[must_use]
+    pub fn doc_len(&self, file: FileId) -> Option<u32> {
+        self.doc_lens.get(&file).copied()
+    }
+
+    /// Iterates over `(file, document length)` pairs in unspecified order.
+    pub fn doc_lens(&self) -> impl Iterator<Item = (FileId, u32)> + '_ {
+        self.doc_lens.iter().map(|(&f, &l)| (f, l))
+    }
+
+    /// Sum of all recorded document lengths (for average-length scoring
+    /// statistics).
+    #[must_use]
+    pub fn total_doc_len(&self) -> u64 {
+        self.doc_lens.values().map(|&l| u64::from(l)).sum()
     }
 
     /// Records that one file has been fully processed via
@@ -212,6 +260,10 @@ impl InMemoryIndex {
             mine.union_with(list);
             self.postings += (mine.len() - before) as u64;
         }
+        for (&file, &len) in &other.doc_lens {
+            let mine = self.doc_lens.entry(file).or_insert(0);
+            *mine = (*mine).max(len);
+        }
         self.files_indexed += other.files_indexed;
     }
 
@@ -219,6 +271,10 @@ impl InMemoryIndex {
     /// lists where possible.
     pub fn absorb(&mut self, other: InMemoryIndex) {
         self.dictionary_valid = false;
+        for (file, len) in other.doc_lens {
+            let mine = self.doc_lens.entry(file).or_insert(0);
+            *mine = (*mine).max(len);
+        }
         for (term, list) in other.terms.into_iter_pairs() {
             if let Some(mine) = self.terms.get_mut(term.as_str()) {
                 let before = mine.len();
@@ -257,6 +313,7 @@ impl InMemoryIndex {
             }
         }
         self.postings -= removed;
+        self.doc_lens.remove(&file);
         if removed > 0 && self.files_indexed > 0 {
             self.files_indexed -= 1;
         }
@@ -324,6 +381,44 @@ mod tests {
         assert!(idx.postings(&t("delta")).is_none());
         assert!(idx.contains_term(&t("gamma")));
         assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn counted_insert_records_tfs_and_doc_lens() {
+        let mut idx = InMemoryIndex::new();
+        idx.insert_file_counted(FileId(0), [(t("alpha"), 3), (t("beta"), 1)]);
+        idx.insert_file(FileId(1), [t("beta")]);
+
+        assert_eq!(idx.postings(&t("alpha")).unwrap().tf_of(FileId(0)), Some(3));
+        assert_eq!(idx.postings(&t("beta")).unwrap().tf_of(FileId(0)), Some(1));
+        assert_eq!(idx.postings(&t("beta")).unwrap().tf_of(FileId(1)), Some(1));
+        assert_eq!(idx.doc_len(FileId(0)), Some(4));
+        assert_eq!(idx.doc_len(FileId(1)), Some(1));
+        assert_eq!(idx.total_doc_len(), 5);
+        assert_eq!(idx.doc_lens().count(), 2);
+
+        idx.remove_file(FileId(0));
+        assert_eq!(idx.doc_len(FileId(0)), None);
+        assert_eq!(idx.total_doc_len(), 1);
+    }
+
+    #[test]
+    fn merge_carries_doc_lens_and_tfs() {
+        let mut a = InMemoryIndex::new();
+        a.insert_file_counted(FileId(0), [(t("x"), 5)]);
+        let mut b = InMemoryIndex::new();
+        b.insert_file_counted(FileId(1), [(t("x"), 2), (t("y"), 1)]);
+
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(merged.doc_len(FileId(0)), Some(5));
+        assert_eq!(merged.doc_len(FileId(1)), Some(3));
+        assert_eq!(merged.postings(&t("x")).unwrap().tf_of(FileId(0)), Some(5));
+        assert_eq!(merged.postings(&t("x")).unwrap().tf_of(FileId(1)), Some(2));
+
+        a.absorb(b);
+        assert_eq!(a.doc_len(FileId(1)), Some(3));
+        assert_eq!(a.postings(&t("x")).unwrap().tf_of(FileId(1)), Some(2));
     }
 
     #[test]

@@ -15,6 +15,13 @@ use crate::view::PostingView;
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PostingList {
     ids: Vec<FileId>,
+    /// Per-posting term frequencies, parallel to `ids`.
+    ///
+    /// Canonical form: **empty means every frequency is 1** (the common case
+    /// for condensed word lists), and a non-empty vector always contains at
+    /// least one value > 1.  Every mutation re-establishes this, so the
+    /// derived equality stays set-correct.
+    tfs: Vec<u32>,
 }
 
 impl PostingList {
@@ -29,7 +36,7 @@ impl PostingList {
         let mut ids: Vec<FileId> = ids.into_iter().collect();
         ids.sort_unstable();
         ids.dedup();
-        PostingList { ids }
+        PostingList { ids, tfs: Vec::new() }
     }
 
     /// Builds a list from an id vector in **any** order, reusing the
@@ -42,7 +49,7 @@ impl PostingList {
     pub fn from_unsorted(mut ids: Vec<FileId>) -> Self {
         ids.sort_unstable();
         ids.dedup();
-        PostingList { ids }
+        PostingList { ids, tfs: Vec::new() }
     }
 
     /// Wraps a vector that is **already** sorted and duplicate-free (the
@@ -55,15 +62,64 @@ impl PostingList {
             ids.windows(2).all(|w| w[0] < w[1]),
             "from_sorted requires a sorted, duplicate-free vector"
         );
-        PostingList { ids }
+        PostingList { ids, tfs: Vec::new() }
+    }
+
+    /// Like [`PostingList::from_sorted`], but also records per-posting term
+    /// frequencies.  `tfs` must be parallel to `ids` (or empty for all-1);
+    /// an all-1 vector is normalised to the canonical empty form.
+    #[must_use]
+    pub fn from_sorted_counted(ids: Vec<FileId>, tfs: Vec<u32>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted_counted requires a sorted, duplicate-free vector"
+        );
+        debug_assert!(tfs.is_empty() || tfs.len() == ids.len());
+        let mut list = PostingList { ids, tfs };
+        list.canonicalize_tfs();
+        list
     }
 
     /// A static empty list, for lookup paths that must return a borrow even
     /// when the term is unknown (no allocation).
     #[must_use]
     pub fn empty_ref() -> &'static PostingList {
-        static EMPTY: PostingList = PostingList { ids: Vec::new() };
+        static EMPTY: PostingList = PostingList { ids: Vec::new(), tfs: Vec::new() };
         &EMPTY
+    }
+
+    /// Restores the canonical `tfs` form (empty ⇔ all frequencies are 1).
+    fn canonicalize_tfs(&mut self) {
+        if !self.tfs.is_empty() && self.tfs.iter().all(|&tf| tf <= 1) {
+            self.tfs.clear();
+        }
+    }
+
+    /// Materialises the `tfs` vector (one entry per id) prior to a mutation
+    /// that records a frequency other than 1.
+    fn materialize_tfs(&mut self) {
+        if self.tfs.is_empty() {
+            self.tfs = vec![1; self.ids.len()];
+        }
+    }
+
+    /// Raw per-posting frequencies, parallel to `doc_ids`.  Empty means every
+    /// frequency is 1.
+    #[must_use]
+    pub fn tfs(&self) -> &[u32] {
+        &self.tfs
+    }
+
+    /// The term frequency of the posting at `pos` (1 when untracked).
+    #[must_use]
+    pub fn tf_at(&self, pos: usize) -> u32 {
+        self.tfs.get(pos).copied().unwrap_or(1)
+    }
+
+    /// The term frequency recorded for `id`, or `None` when `id` is absent.
+    #[must_use]
+    pub fn tf_of(&self, id: FileId) -> Option<u32> {
+        self.ids.binary_search(&id).ok().map(|pos| self.tf_at(pos))
     }
 
     /// A borrowed [`PostingView`] of this list.
@@ -101,16 +157,47 @@ impl PostingList {
     /// Appending ids in increasing order (the common case when one extractor
     /// owns a contiguous slice of files) is O(1).
     pub fn add(&mut self, id: FileId) -> bool {
+        self.add_with_tf(id, 1)
+    }
+
+    /// Adds a file id with its term frequency, keeping the list sorted;
+    /// returns `true` when the id was new.  A duplicate id keeps the larger
+    /// of the stored and offered frequencies.
+    pub fn add_with_tf(&mut self, id: FileId, tf: u32) -> bool {
+        let tf = tf.max(1);
+        if tf > 1 {
+            self.materialize_tfs();
+        }
+        // `tf > 1` keeps tracking on when the list (and thus the freshly
+        // materialised vector) is still empty.
+        let tracked = tf > 1 || !self.tfs.is_empty();
         match self.ids.last() {
             Some(&last) if last < id => {
                 self.ids.push(id);
+                if tracked {
+                    self.tfs.push(tf.max(1));
+                }
                 true
             }
-            Some(&last) if last == id => false,
+            Some(&last) if last == id => {
+                if tracked {
+                    let end = self.tfs.len() - 1;
+                    self.tfs[end] = self.tfs[end].max(tf);
+                }
+                false
+            }
             _ => match self.ids.binary_search(&id) {
-                Ok(_) => false,
+                Ok(pos) => {
+                    if tracked {
+                        self.tfs[pos] = self.tfs[pos].max(tf);
+                    }
+                    false
+                }
                 Err(pos) => {
                     self.ids.insert(pos, id);
+                    if tracked {
+                        self.tfs.insert(pos, tf.max(1));
+                    }
                     true
                 }
             },
@@ -118,47 +205,86 @@ impl PostingList {
     }
 
     /// Merges `other` into `self` (set union). Linear in the combined length.
+    /// A file present in both lists keeps the larger term frequency.
     pub fn union_with(&mut self, other: &PostingList) {
         if other.is_empty() {
             return;
         }
         if self.is_empty() {
             self.ids = other.ids.clone();
+            self.tfs = other.tfs.clone();
             return;
         }
+        let untracked = self.tfs.is_empty() && other.tfs.is_empty();
         // Disjoint-range fast paths: shards and join stages usually own
         // contiguous file-id ranges, so one list often sits entirely before
         // the other and no element-wise merge is needed.
         if *self.ids.last().expect("non-empty") < other.ids[0] {
+            if !untracked {
+                self.materialize_tfs();
+                if other.tfs.is_empty() {
+                    self.tfs.extend(std::iter::repeat_n(1, other.ids.len()));
+                } else {
+                    self.tfs.extend_from_slice(&other.tfs);
+                }
+            }
             self.ids.extend_from_slice(&other.ids);
             return;
         }
         if *other.ids.last().expect("non-empty") < self.ids[0] {
+            if !untracked {
+                self.materialize_tfs();
+                if other.tfs.is_empty() {
+                    self.tfs.splice(0..0, std::iter::repeat_n(1, other.ids.len()));
+                } else {
+                    self.tfs.splice(0..0, other.tfs.iter().copied());
+                }
+            }
             self.ids.splice(0..0, other.ids.iter().copied());
             return;
         }
         let mut merged = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let mut merged_tfs = if untracked {
+            Vec::new()
+        } else {
+            Vec::with_capacity(self.ids.len() + other.ids.len())
+        };
         let (mut i, mut j) = (0, 0);
         while i < self.ids.len() && j < other.ids.len() {
             match self.ids[i].cmp(&other.ids[j]) {
                 std::cmp::Ordering::Less => {
                     merged.push(self.ids[i]);
+                    if !untracked {
+                        merged_tfs.push(self.tf_at(i));
+                    }
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
                     merged.push(other.ids[j]);
+                    if !untracked {
+                        merged_tfs.push(other.tf_at(j));
+                    }
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
                     merged.push(self.ids[i]);
+                    if !untracked {
+                        merged_tfs.push(self.tf_at(i).max(other.tf_at(j)));
+                    }
                     i += 1;
                     j += 1;
                 }
             }
         }
+        if !untracked {
+            merged_tfs.extend((i..self.ids.len()).map(|p| self.tf_at(p)));
+            merged_tfs.extend((j..other.ids.len()).map(|p| other.tf_at(p)));
+        }
         merged.extend_from_slice(&self.ids[i..]);
         merged.extend_from_slice(&other.ids[j..]);
         self.ids = merged;
+        self.tfs = merged_tfs;
+        self.canonicalize_tfs();
     }
 
     /// Returns the intersection of two lists (files containing both terms).
@@ -166,18 +292,25 @@ impl PostingList {
     pub fn intersect(&self, other: &PostingList) -> PostingList {
         let (mut i, mut j) = (0, 0);
         let mut out = Vec::new();
+        let mut out_tfs = Vec::new();
+        let tracked = !self.tfs.is_empty();
         while i < self.ids.len() && j < other.ids.len() {
             match self.ids[i].cmp(&other.ids[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
                     out.push(self.ids[i]);
+                    if tracked {
+                        out_tfs.push(self.tf_at(i));
+                    }
                     i += 1;
                     j += 1;
                 }
             }
         }
-        PostingList { ids: out }
+        let mut list = PostingList { ids: out, tfs: out_tfs };
+        list.canonicalize_tfs();
+        list
     }
 
     /// Removes a file id from the list; returns `true` when it was present.
@@ -188,6 +321,10 @@ impl PostingList {
         match self.ids.binary_search(&id) {
             Ok(pos) => {
                 self.ids.remove(pos);
+                if !self.tfs.is_empty() {
+                    self.tfs.remove(pos);
+                    self.canonicalize_tfs();
+                }
                 true
             }
             Err(_) => false,
@@ -206,7 +343,25 @@ impl PostingList {
     /// difference).  Used to evaluate `NOT` terms in queries.
     #[must_use]
     pub fn difference(&self, other: &PostingList) -> PostingList {
-        PostingList { ids: self.ids.iter().copied().filter(|id| !other.contains(*id)).collect() }
+        let mut ids = Vec::new();
+        let mut tfs = Vec::new();
+        let tracked = !self.tfs.is_empty();
+        for (pos, id) in self.ids.iter().copied().enumerate() {
+            if !other.contains(id) {
+                ids.push(id);
+                if tracked {
+                    tfs.push(self.tf_at(pos));
+                }
+            }
+        }
+        let mut list = PostingList { ids, tfs };
+        list.canonicalize_tfs();
+        list
+    }
+
+    /// Iterates over `(file id, term frequency)` pairs in ascending id order.
+    pub fn iter_counted(&self) -> impl Iterator<Item = (FileId, u32)> + '_ {
+        self.ids.iter().copied().enumerate().map(|(pos, id)| (id, self.tf_at(pos)))
     }
 
     /// Iterates over the file ids in ascending order.
@@ -331,6 +486,61 @@ mod tests {
         let b = PostingList::from_ids(ids(&[2, 3, 4, 9]));
         assert_eq!(a.intersect(&b).doc_ids(), ids(&[2, 4]).as_slice());
         assert!(a.intersect(&PostingList::new()).is_empty());
+    }
+
+    #[test]
+    fn tf_tracking_roundtrip() {
+        let mut p = PostingList::new();
+        assert!(p.add_with_tf(FileId(1), 3));
+        assert!(p.add_with_tf(FileId(0), 1));
+        assert!(p.add_with_tf(FileId(2), 2));
+        assert_eq!(p.tf_of(FileId(1)), Some(3));
+        assert_eq!(p.tf_of(FileId(0)), Some(1));
+        assert_eq!(p.tf_of(FileId(9)), None);
+        // A duplicate id keeps the larger frequency.
+        assert!(!p.add_with_tf(FileId(2), 7));
+        assert_eq!(p.tf_of(FileId(2)), Some(7));
+        let pairs: Vec<(FileId, u32)> = p.iter_counted().collect();
+        assert_eq!(pairs, [(FileId(0), 1), (FileId(1), 3), (FileId(2), 7)]);
+    }
+
+    #[test]
+    fn tf_canonical_form() {
+        let all_one = PostingList::from_sorted_counted(ids(&[1, 2]), vec![1, 1]);
+        assert!(all_one.tfs().is_empty());
+        assert_eq!(all_one, PostingList::from_sorted(ids(&[1, 2])));
+        assert_eq!(all_one.tf_at(0), 1);
+
+        let mut p = PostingList::from_sorted_counted(ids(&[1, 2]), vec![1, 5]);
+        assert_eq!(p.tfs(), [1, 5]);
+        p.remove(FileId(2));
+        assert!(p.tfs().is_empty(), "dropping the only tf>1 posting restores canonical form");
+    }
+
+    #[test]
+    fn union_keeps_larger_tf() {
+        let mut a = PostingList::from_sorted_counted(ids(&[1, 3]), vec![2, 1]);
+        let b = PostingList::from_sorted_counted(ids(&[1, 2]), vec![1, 4]);
+        a.union_with(&b);
+        assert_eq!(a.doc_ids(), ids(&[1, 2, 3]).as_slice());
+        assert_eq!(a.tfs(), [2, 4, 1]);
+
+        // Disjoint fast paths preserve frequencies on both sides.
+        let mut c = PostingList::from_sorted_counted(ids(&[1]), vec![3]);
+        c.union_with(&PostingList::from_sorted(ids(&[5, 6])));
+        assert_eq!(c.tfs(), [3, 1, 1]);
+        let mut d = PostingList::from_sorted(ids(&[10]));
+        d.union_with(&PostingList::from_sorted_counted(ids(&[2]), vec![9]));
+        assert_eq!(d.tfs(), [9, 1]);
+    }
+
+    #[test]
+    fn intersect_and_difference_carry_tfs() {
+        let a = PostingList::from_sorted_counted(ids(&[1, 2, 3]), vec![5, 1, 2]);
+        let b = PostingList::from_sorted(ids(&[1, 3]));
+        assert_eq!(a.intersect(&b).tfs(), [5, 2]);
+        assert_eq!(a.difference(&b).tfs(), &[] as &[u32], "all-1 remainder is canonical");
+        assert_eq!(a.difference(&PostingList::new()).tfs(), [5, 1, 2]);
     }
 
     #[test]

@@ -23,7 +23,41 @@ use dsearch_text::hashtable::FnvHashMap;
 use dsearch_text::Term;
 
 use crate::block::CompressedPostings;
+use crate::doc_table::FileId;
 use crate::memory_index::InMemoryIndex;
+
+/// BM25 term-frequency saturation constant.
+pub const BM25_K1: f32 = 1.2;
+/// BM25 length-normalisation strength.
+pub const BM25_B: f32 = 0.75;
+
+/// The BM25 inverse document frequency of a term with `doc_freq` postings in
+/// a shard of `total_docs` documents: `ln(1 + (N - df + 0.5)/(df + 0.5))`.
+/// Computed in f64 and truncated once so seal-time bounds and query-time
+/// scores agree bit for bit.
+#[must_use]
+pub fn bm25_idf(total_docs: u64, doc_freq: usize) -> f32 {
+    let n = total_docs as f64;
+    let df = doc_freq as f64;
+    ((1.0 + (n - df + 0.5).max(0.0) / (df + 0.5)).ln()) as f32
+}
+
+/// One posting's BM25 contribution: `idf · tf(k1+1)/(tf + norm)` where
+/// `norm = k1 · (1 - b + b · dl/avgdl)` is the document's precomputed
+/// length norm.  The single shared expression keeps seal-time block bounds
+/// and query-time scores identical.
+#[must_use]
+pub fn bm25_score(idf: f32, tf: u32, norm: f32) -> f32 {
+    let tf = tf as f32;
+    idf * (tf * (BM25_K1 + 1.0)) / (tf + norm)
+}
+
+/// The neutral length norm (`dl == avgdl`), used for documents without a
+/// recorded length — under it `tf = 1` scores exactly `idf`.
+#[must_use]
+pub fn bm25_neutral_norm() -> f32 {
+    BM25_K1
+}
 
 /// One immutable, compressed shard: sorted terms + compressed postings.
 #[derive(Debug, Clone, Default)]
@@ -41,6 +75,13 @@ pub struct SealedShard {
     /// Cached sum of `CompressedPostings::byte_size` (shards are immutable,
     /// so `!stats` reporting need not re-sweep the vocabulary).
     posting_bytes: usize,
+    /// Sum of recorded document lengths (term occurrences); 0 when the
+    /// build path carried no lengths and the shard is unscored.
+    total_doc_len: u64,
+    /// `norms[i]` is the BM25 length norm of `FileId(norm_base + i)`.
+    /// Empty ⇒ unscored shard (every norm reads as neutral).
+    norm_base: u32,
+    norms: Vec<f32>,
 }
 
 impl PartialEq for SealedShard {
@@ -51,6 +92,9 @@ impl PartialEq for SealedShard {
             && self.postings == other.postings
             && self.files == other.files
             && self.posting_count == other.posting_count
+            && self.total_doc_len == other.total_doc_len
+            && self.norm_base == other.norm_base
+            && self.norms == other.norms
     }
 }
 
@@ -62,25 +106,42 @@ impl SealedShard {
     /// string storage instead of duplicating it.
     #[must_use]
     pub fn from_index(index: &InMemoryIndex) -> Self {
+        let files = index.file_count();
+        let scoring = build_norms(index.doc_lens());
         let mut entries: Vec<(&Term, &crate::posting::PostingList)> = index.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
         let mut terms = Vec::with_capacity(entries.len());
         let mut postings = Vec::with_capacity(entries.len());
         let mut posting_count = 0u64;
+        let mut scores = Vec::new();
         for (term, list) in entries {
             terms.push(term.clone());
             posting_count += list.len() as u64;
-            postings.push(CompressedPostings::from_list(list));
+            let mut cp = CompressedPostings::from_list(list);
+            if let Some((base, norms, _)) = &scoring {
+                let idf = bm25_idf(files, list.len());
+                scores.clear();
+                scores.extend(
+                    list.iter_counted()
+                        .map(|(id, tf)| bm25_score(idf, tf, norm_at(*base, norms, id))),
+                );
+                cp.score_blocks(&scores);
+            }
+            postings.push(cp);
         }
         let lookup = build_lookup(&terms);
         let posting_bytes = postings.iter().map(CompressedPostings::byte_size).sum();
+        let (norm_base, norms, total_doc_len) = scoring.unwrap_or((0, Vec::new(), 0));
         SealedShard {
             terms,
             postings,
             lookup,
-            files: index.file_count(),
+            files,
             posting_count,
             posting_bytes,
+            total_doc_len,
+            norm_base,
+            norms,
         }
     }
 
@@ -96,6 +157,23 @@ impl SealedShard {
         entries: Vec<(Term, CompressedPostings)>,
         files: u64,
     ) -> Result<Self, String> {
+        Self::from_entries_scored(entries, files, Vec::new())
+    }
+
+    /// Like [`SealedShard::from_entries`], but restoring the scoring header:
+    /// `doc_lens` holds each document's recorded length (total term
+    /// occurrences), from which the BM25 length norms are rebuilt exactly as
+    /// [`SealedShard::from_index`] computes them.  An empty `doc_lens`
+    /// yields an unscored shard (the v1/v2 segment path).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the terms are not strictly ascending.
+    pub fn from_entries_scored(
+        entries: Vec<(Term, CompressedPostings)>,
+        files: u64,
+        doc_lens: Vec<(FileId, u32)>,
+    ) -> Result<Self, String> {
         if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
             return Err("sealed shard entries must be sorted by term".to_owned());
         }
@@ -109,7 +187,19 @@ impl SealedShard {
         }
         let lookup = build_lookup(&terms);
         let posting_bytes = postings.iter().map(CompressedPostings::byte_size).sum();
-        Ok(SealedShard { terms, postings, lookup, files, posting_count, posting_bytes })
+        let (norm_base, norms, total_doc_len) =
+            build_norms(doc_lens.into_iter()).unwrap_or((0, Vec::new(), 0));
+        Ok(SealedShard {
+            terms,
+            postings,
+            lookup,
+            files,
+            posting_count,
+            posting_bytes,
+            total_doc_len,
+            norm_base,
+            norms,
+        })
     }
 
     /// Number of distinct terms.
@@ -178,6 +268,67 @@ impl SealedShard {
     pub fn uncompressed_posting_bytes(&self) -> usize {
         self.posting_count as usize * std::mem::size_of::<crate::doc_table::FileId>()
     }
+
+    /// Whether the shard carries BM25 scoring state (document length norms
+    /// and per-block score bounds).  Unscored shards — sealed from indices
+    /// without recorded lengths, or loaded from v1/v2 segments — still
+    /// rank, degrading gracefully to pure-idf scores.
+    #[must_use]
+    pub fn has_scoring(&self) -> bool {
+        !self.norms.is_empty()
+    }
+
+    /// The BM25 length norm of `file`; neutral for unknown documents and on
+    /// unscored shards.
+    #[must_use]
+    pub fn doc_norm(&self, file: FileId) -> f32 {
+        norm_at(self.norm_base, &self.norms, file)
+    }
+
+    /// The shard-local BM25 inverse document frequency of a term appearing
+    /// in `doc_freq` of this shard's documents.
+    #[must_use]
+    pub fn idf(&self, doc_freq: usize) -> f32 {
+        bm25_idf(self.files, doc_freq)
+    }
+
+    /// Sum of recorded document lengths (0 on unscored shards).
+    #[must_use]
+    pub fn total_doc_len(&self) -> u64 {
+        self.total_doc_len
+    }
+}
+
+/// Builds the dense BM25 norm table from `(file, document length)` pairs:
+/// `(norm_base, norms, total_doc_len)`.  Returns `None` (unscored) when no
+/// lengths were recorded or they sum to zero.  Order-insensitive, so the
+/// seal path (hash-map iteration) and the segment-load path (sorted pairs)
+/// produce identical tables.  The table spans `[min_id ..= max_id]`; ids
+/// without a recorded length read as the neutral norm.
+fn build_norms<I: Iterator<Item = (FileId, u32)>>(lens: I) -> Option<(u32, Vec<f32>, u64)> {
+    let pairs: Vec<(FileId, u32)> = lens.collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    let total: u64 = pairs.iter().map(|&(_, len)| u64::from(len)).sum();
+    if total == 0 {
+        return None;
+    }
+    let avg = total as f64 / pairs.len() as f64;
+    let base = pairs.iter().map(|&(id, _)| id.as_u32()).min().expect("non-empty");
+    let top = pairs.iter().map(|&(id, _)| id.as_u32()).max().expect("non-empty");
+    let mut norms = vec![bm25_neutral_norm(); (top - base + 1) as usize];
+    for (id, len) in pairs {
+        let scale = 1.0 - f64::from(BM25_B) + f64::from(BM25_B) * (f64::from(len) / avg);
+        norms[(id.as_u32() - base) as usize] = (f64::from(BM25_K1) * scale) as f32;
+    }
+    Some((base, norms, total))
+}
+
+/// Norm lookup against a dense table rooted at `base`; out-of-table ids
+/// (no recorded length) read as the neutral norm.
+fn norm_at(base: u32, norms: &[f32], id: FileId) -> f32 {
+    norms.get(id.as_u32().wrapping_sub(base) as usize).copied().unwrap_or_else(bm25_neutral_norm)
 }
 
 fn build_lookup(terms: &[Term]) -> FnvHashMap<Term, u32> {
@@ -259,6 +410,67 @@ mod tests {
             shard.posting_bytes(),
             shard.uncompressed_posting_bytes()
         );
+    }
+
+    #[test]
+    fn counted_seal_scores_blocks() {
+        let mut index = InMemoryIndex::new();
+        index.insert_file_counted(FileId(3), [(t("rust"), 4u32), (t("search"), 1)]);
+        index.insert_file_counted(FileId(7), [(t("rust"), 1u32), (t("index"), 2)]);
+        let shard = SealedShard::from_index(&index);
+        assert!(shard.has_scoring());
+        assert_eq!(shard.total_doc_len(), 8);
+
+        let rust = shard.postings(&t("rust")).unwrap();
+        assert!(rust.max_score() > 0.0);
+        // The stored bound is admissible: at least the true best score.
+        let idf = shard.idf(2);
+        let best = bm25_score(idf, 4, shard.doc_norm(FileId(3))).max(bm25_score(
+            idf,
+            1,
+            shard.doc_norm(FileId(7)),
+        ));
+        assert!(rust.block_score_bound(0) >= best);
+        // tf survives sealing.
+        assert_eq!(rust.to_list().tf_of(FileId(3)), Some(4));
+
+        // Longer-than-average docs get a norm above neutral, shorter below.
+        assert!(shard.doc_norm(FileId(3)) > bm25_neutral_norm());
+        assert!(shard.doc_norm(FileId(7)) < bm25_neutral_norm());
+        // Unknown documents read as neutral.
+        assert_eq!(shard.doc_norm(FileId(999)).to_bits(), bm25_neutral_norm().to_bits());
+    }
+
+    #[test]
+    fn uncounted_seal_is_scored_with_tf_one() {
+        // insert_file records each distinct term once, so tf = 1 everywhere
+        // and the list max is the best tf=1 score across its documents.
+        let shard = SealedShard::from_index(&sample_index());
+        assert!(shard.has_scoring());
+        let rust = shard.postings(&t("rust")).unwrap();
+        let idf = shard.idf(2);
+        let expected = bm25_score(idf, 1, shard.doc_norm(FileId(0))).max(bm25_score(
+            idf,
+            1,
+            shard.doc_norm(FileId(2)),
+        ));
+        assert_eq!(rust.max_score().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn scored_entries_roundtrip_matches_from_index() {
+        let mut index = InMemoryIndex::new();
+        index.insert_file_counted(FileId(0), [(t("a"), 3u32), (t("b"), 1)]);
+        index.insert_file_counted(FileId(5), [(t("b"), 7u32)]);
+        let sealed = SealedShard::from_index(&index);
+        let entries: Vec<(Term, CompressedPostings)> =
+            sealed.iter().map(|(term, cp)| (term.clone(), cp.clone())).collect();
+        let mut lens: Vec<(FileId, u32)> = index.doc_lens().collect();
+        lens.sort_unstable_by_key(|&(id, _)| id);
+        let restored = SealedShard::from_entries_scored(entries, index.file_count(), lens).unwrap();
+        assert_eq!(restored, sealed);
+        assert!(restored.has_scoring());
+        assert_eq!(restored.doc_norm(FileId(5)).to_bits(), sealed.doc_norm(FileId(5)).to_bits());
     }
 
     #[test]

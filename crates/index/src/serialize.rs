@@ -57,20 +57,39 @@ pub struct IndexSnapshot {
     pub docs: DocTable,
     /// Sorted `(term, sorted file ids)` entries.
     pub entries: Vec<(Term, Vec<FileId>)>,
+    /// `counts[i]` holds `entries[i]`'s per-posting term frequencies; empty
+    /// means every occurrence count is 1 (the canonical tf form).
+    pub counts: Vec<Vec<u32>>,
+    /// `(file, document length)` pairs sorted by id; empty when the index
+    /// recorded no lengths (then restored documents score with neutral
+    /// norms).
+    pub doc_lens: Vec<(FileId, u32)>,
 }
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version-1 layout (ids only), still readable: restored postings get
+/// tf = 1 and no document lengths.
+#[derive(Deserialize)]
+struct LegacySnapshotV1 {
+    version: u32,
+    docs: DocTable,
+    entries: Vec<(Term, Vec<FileId>)>,
+}
+
+/// Current snapshot format version (2 = term frequencies + doc lengths).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 impl IndexSnapshot {
     /// Builds a snapshot from an index and its document table.
     #[must_use]
     pub fn from_index(index: &InMemoryIndex, docs: &DocTable) -> Self {
-        IndexSnapshot {
-            version: SNAPSHOT_VERSION,
-            docs: docs.clone(),
-            entries: index.to_sorted_entries(),
-        }
+        let entries = index.to_sorted_entries();
+        let counts = entries
+            .iter()
+            .map(|(term, _)| index.postings(term).map(|l| l.tfs().to_vec()).unwrap_or_default())
+            .collect();
+        let mut doc_lens: Vec<(FileId, u32)> = index.doc_lens().collect();
+        doc_lens.sort_unstable_by_key(|&(id, _)| id);
+        IndexSnapshot { version: SNAPSHOT_VERSION, docs: docs.clone(), entries, counts, doc_lens }
     }
 
     /// Reconstructs the index (and document table) from the snapshot.
@@ -80,8 +99,24 @@ impl IndexSnapshot {
         // Bulk-insert each term's whole list (sorting defensively: snapshots
         // written by this code are sorted, but the JSON may come from
         // elsewhere); file counters are restored from the doc table size.
+        let mut counts = self.counts.into_iter();
         for (term, ids) in self.entries {
-            index.insert_term_list(term, crate::posting::PostingList::from_unsorted(ids));
+            let tfs = counts.next().unwrap_or_default();
+            let list = if tfs.len() == ids.len() && !tfs.is_empty() {
+                let mut pairs: Vec<(FileId, u32)> = ids.into_iter().zip(tfs).collect();
+                pairs.sort_unstable_by_key(|&(id, _)| id);
+                let mut list = crate::posting::PostingList::default();
+                for (id, tf) in pairs {
+                    list.add_with_tf(id, tf);
+                }
+                list
+            } else {
+                crate::posting::PostingList::from_unsorted(ids)
+            };
+            index.insert_term_list(term, list);
+        }
+        for (file, len) in self.doc_lens {
+            index.note_doc_len(file, len);
         }
         for _ in 0..self.docs.len() {
             index.note_file_done();
@@ -101,7 +136,8 @@ impl IndexSnapshot {
         Ok(())
     }
 
-    /// Reads a snapshot from JSON.
+    /// Reads a snapshot from JSON.  Version-1 snapshots (no term
+    /// frequencies or document lengths) are upgraded on read.
     ///
     /// # Errors
     ///
@@ -109,15 +145,35 @@ impl IndexSnapshot {
     pub fn read_json<R: Read>(mut reader: R) -> Result<Self, SerializeError> {
         let mut buf = String::new();
         reader.read_to_string(&mut buf)?;
-        let snapshot: IndexSnapshot =
-            serde_json::from_str(&buf).map_err(|e| SerializeError::Format(e.to_string()))?;
-        if snapshot.version != SNAPSHOT_VERSION {
-            return Err(SerializeError::Format(format!(
-                "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
-                snapshot.version
-            )));
+        match serde_json::from_str::<IndexSnapshot>(&buf) {
+            Ok(snapshot) => {
+                if snapshot.version != SNAPSHOT_VERSION {
+                    return Err(SerializeError::Format(format!(
+                        "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                        snapshot.version
+                    )));
+                }
+                Ok(snapshot)
+            }
+            Err(current_err) => {
+                let legacy: LegacySnapshotV1 = serde_json::from_str(&buf)
+                    .map_err(|_| SerializeError::Format(current_err.to_string()))?;
+                if legacy.version != 1 {
+                    return Err(SerializeError::Format(format!(
+                        "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                        legacy.version
+                    )));
+                }
+                let term_count = legacy.entries.len();
+                Ok(IndexSnapshot {
+                    version: SNAPSHOT_VERSION,
+                    docs: legacy.docs,
+                    entries: legacy.entries,
+                    counts: vec![Vec::new(); term_count],
+                    doc_lens: Vec::new(),
+                })
+            }
         }
-        Ok(snapshot)
     }
 
     /// Number of distinct terms in the snapshot.
@@ -176,6 +232,42 @@ mod tests {
         s1.write_json(&mut b1).unwrap();
         s2.write_json(&mut b2).unwrap();
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn counted_roundtrip_preserves_tfs_and_doc_lens() {
+        let mut docs = DocTable::new();
+        let a = docs.insert("a.txt");
+        let b = docs.insert("b.txt");
+        let mut index = InMemoryIndex::new();
+        index.insert_file_counted(a, [(Term::from("alpha"), 3u32), (Term::from("shared"), 1)]);
+        index.insert_file_counted(b, [(Term::from("shared"), 5u32)]);
+
+        let snapshot = IndexSnapshot::from_index(&index, &docs);
+        let mut buf = Vec::new();
+        snapshot.write_json(&mut buf).unwrap();
+        let (restored, _) = IndexSnapshot::read_json(&buf[..]).unwrap().into_index();
+        assert_eq!(restored, index);
+        let shared = restored.postings(&Term::from("shared")).unwrap();
+        assert_eq!(shared.tf_of(b), Some(5));
+        assert_eq!(restored.doc_len(a), Some(4));
+        assert_eq!(restored.doc_len(b), Some(5));
+    }
+
+    #[test]
+    fn legacy_v1_json_is_upgraded_on_read() {
+        let json = r#"{"version":1,"docs":{"paths":["a.txt"]},"entries":[["alpha",[0]]]}"#;
+        match IndexSnapshot::read_json(json.as_bytes()) {
+            Ok(snapshot) => {
+                assert_eq!(snapshot.version, SNAPSHOT_VERSION);
+                assert_eq!(snapshot.term_count(), 1);
+                assert!(snapshot.doc_lens.is_empty());
+                let (index, docs) = snapshot.into_index();
+                assert_eq!(docs.len(), 1);
+                assert_eq!(index.postings(&Term::from("alpha")).unwrap().tf_of(FileId(0)), Some(1));
+            }
+            Err(e) => panic!("legacy snapshot should parse: {e}"),
+        }
     }
 
     #[test]

@@ -70,6 +70,16 @@ impl SharedIndex {
         idx.insert_file(file, terms);
     }
 
+    /// Inserts one file's terms with their occurrence counts under the lock
+    /// (the counted variant of [`SharedIndex::insert_file`]).
+    pub fn insert_file_counted<I>(&self, file: FileId, terms: I)
+    where
+        I: IntoIterator<Item = (Term, u32)>,
+    {
+        let mut idx = self.inner.lock();
+        idx.insert_file_counted(file, terms);
+    }
+
     /// Inserts a single `(term, file)` occurrence under the lock (ablation
     /// path: one lock acquisition per occurrence).
     pub fn insert_occurrence(&self, file: FileId, term: Term) {

@@ -1,7 +1,7 @@
 //! The binary segment format.
 //!
 //! One segment stores one complete index (terms, block-compressed posting
-//! lists) together with its document table.  The version-2 layout is:
+//! lists) together with its document table.  The version-3 layout is:
 //!
 //! ```text
 //! magic   "DSG1"                            4 bytes
@@ -10,6 +10,8 @@
 //!   version                                 varint
 //!   doc count                               varint
 //!   per doc: path                           length-prefixed bytes
+//!   doc-length count (v3)                   varint
+//!   per length (v3, id ascending):          file id, length as varints
 //!   term count                              varint
 //!   per term (sorted ascending):
 //!     term                                  length-prefixed bytes
@@ -17,15 +19,24 @@
 //!     skip entries (only when > 1 block):   per block: first, last, offset
 //!                                           as varints
 //!     block payload                         length-prefixed bytes
+//!     frequency payload (v3)                length-prefixed bytes
+//!     frequency offsets (v3, only when      per block: byte offset varint
+//!       the frequency payload is non-empty)
+//!     max score (v3)                        f32 bits as varint
+//!     block score bounds (v3, only when     one u8 per block, raw
+//!       max score > 0)
 //! ```
 //!
 //! The per-term payload is **exactly** the in-memory
 //! [`CompressedPostings`] representation (delta blocks, varint or bitpacked,
-//! see `dsearch_index::block`), so serving a segment is decode-free: the
-//! bytes are lifted straight into a [`SealedShard`] without touching a
-//! single posting.  Version-1 segments (per-id ascending varint deltas) are
-//! still readable.  The checksum makes a truncated or bit-flipped segment a
-//! clean [`PersistError::Corrupt`] instead of a garbage index.
+//! plus the v3 term-frequency payload and quantized per-block BM25 score
+//! bounds, see `dsearch_index::block`), so serving a segment is decode-free:
+//! the bytes are lifted straight into a [`SealedShard`] without touching a
+//! single posting, and ranked queries prune with the persisted bounds.
+//! Version-1 segments (per-id ascending varint deltas) and version-2
+//! segments (no frequencies or scores — served unscored) are still
+//! readable.  The checksum makes a truncated or bit-flipped segment a clean
+//! [`PersistError::Corrupt`] instead of a garbage index.
 
 use std::io::{Read, Write};
 
@@ -42,8 +53,9 @@ use crate::varint;
 /// Magic bytes identifying a segment file.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"DSG1";
 
-/// Current segment format version (2 = block-compressed postings).
-pub const SEGMENT_VERSION: u32 = 2;
+/// Current segment format version (3 = term frequencies, document lengths
+/// and block-max score bounds; 2 = block-compressed postings).
+pub const SEGMENT_VERSION: u32 = 3;
 
 /// Oldest version [`read_segment`] still understands.
 pub const MIN_SEGMENT_VERSION: u32 = 1;
@@ -83,13 +95,21 @@ pub fn write_segment<W: Write>(
         varint::write_bytes(&mut payload, path.as_bytes())?;
     }
 
-    let entries = index.to_sorted_entries();
-    varint::write_u64(&mut payload, entries.len() as u64)?;
-    let mut posting_count = 0u64;
-    for (term, ids) in &entries {
-        let compressed = CompressedPostings::from_sorted(ids);
-        write_term_postings(&mut payload, term, &compressed)?;
-        posting_count += ids.len() as u64;
+    let mut doc_lens: Vec<(FileId, u32)> = index.doc_lens().collect();
+    doc_lens.sort_unstable_by_key(|&(id, _)| id);
+    varint::write_u64(&mut payload, doc_lens.len() as u64)?;
+    for &(id, len) in &doc_lens {
+        varint::write_u32(&mut payload, id.as_u32())?;
+        varint::write_u32(&mut payload, len)?;
+    }
+
+    // Sealing computes the per-block BM25 score bounds exactly as the
+    // serving path would, so persisted bounds match in-memory seals bit for
+    // bit.
+    let shard = SealedShard::from_index(index);
+    varint::write_u64(&mut payload, shard.term_count() as u64)?;
+    for (term, compressed) in shard.iter() {
+        write_term_postings(&mut payload, term, compressed)?;
     }
 
     let checksum = fnv1a_64(&payload);
@@ -99,8 +119,8 @@ pub fn write_segment<W: Write>(
 
     Ok(SegmentInfo {
         doc_count: docs.len() as u64,
-        term_count: entries.len() as u64,
-        posting_count,
+        term_count: shard.term_count() as u64,
+        posting_count: shard.posting_count(),
         bytes: (SEGMENT_MAGIC.len() + 8 + payload.len()) as u64,
     })
 }
@@ -118,6 +138,12 @@ fn write_term_postings(
         varint::write_u32(payload, skip.offset)?;
     }
     varint::write_bytes(payload, compressed.data())?;
+    varint::write_bytes(payload, compressed.freqs())?;
+    for &offset in compressed.freq_offsets() {
+        varint::write_u32(payload, offset)?;
+    }
+    varint::write_u32(payload, compressed.max_score().to_bits())?;
+    payload.extend_from_slice(compressed.block_scores());
     Ok(())
 }
 
@@ -156,14 +182,52 @@ fn read_term_postings(
     // Encoded blocks never exceed ~5 bytes/id plus per-block headers.
     let data_bound = 6 * posting_count as u64 + 2 * block_count as u64 + 16;
     let data = varint::read_bytes(cursor, data_bound)?;
-    let compressed = CompressedPostings::from_parts(posting_count, skips, data)
-        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+    if version == 2 {
+        let compressed = CompressedPostings::from_parts(posting_count, skips, data)
+            .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+        return Ok((term, compressed));
+    }
+
+    // Version 3: term frequencies and block-max score bounds.
+    let freq_bound = 5 * posting_count as u64 + 2 * block_count as u64 + 16;
+    let freqs = varint::read_bytes(cursor, freq_bound)?;
+    let mut freq_offsets = Vec::new();
+    if !freqs.is_empty() {
+        freq_offsets.reserve(block_count);
+        for _ in 0..block_count {
+            freq_offsets.push(varint::read_u32(cursor)?);
+        }
+    }
+    let max_score = f32::from_bits(varint::read_u32(cursor)?);
+    let mut block_scores = Vec::new();
+    if max_score > 0.0 {
+        if cursor.len() < block_count {
+            return Err(PersistError::Corrupt("truncated block score bounds".into()));
+        }
+        block_scores.extend_from_slice(&cursor[..block_count]);
+        *cursor = &cursor[block_count..];
+    }
+    let compressed = CompressedPostings::from_parts_scored(
+        posting_count,
+        skips,
+        data,
+        freqs,
+        freq_offsets,
+        block_scores,
+        max_score,
+    )
+    .map_err(|e| PersistError::Corrupt(e.to_string()))?;
     Ok((term, compressed))
 }
 
-/// Shared front matter: magic, checksum verification, version, doc table.
-/// Returns the doc table, the remaining payload cursor and the version.
-fn read_segment_header(payload: &[u8]) -> Result<(DocTable, &[u8], u32), PersistError> {
+/// Shared front matter: magic, checksum verification, version, doc table,
+/// document lengths (v3).  Returns the doc table, the recorded lengths
+/// (empty for v1/v2 — those segments serve unscored), the remaining payload
+/// cursor and the version.
+#[allow(clippy::type_complexity)]
+fn read_segment_header(
+    payload: &[u8],
+) -> Result<(DocTable, Vec<(FileId, u32)>, &[u8], u32), PersistError> {
     let mut cursor = payload;
     let version = varint::read_u32(&mut cursor)?;
     if !(MIN_SEGMENT_VERSION..=SEGMENT_VERSION).contains(&version) {
@@ -177,7 +241,27 @@ fn read_segment_header(payload: &[u8]) -> Result<(DocTable, &[u8], u32), Persist
             .map_err(|_| PersistError::Corrupt("document path is not valid UTF-8".into()))?;
         docs.insert(path);
     }
-    Ok((docs, cursor, version))
+    let mut doc_lens = Vec::new();
+    if version >= 3 {
+        let len_count = varint::read_u64(&mut cursor)?;
+        if len_count > doc_count {
+            return Err(PersistError::Corrupt("more document lengths than documents".into()));
+        }
+        doc_lens.reserve(len_count as usize);
+        let mut previous: Option<u32> = None;
+        for _ in 0..len_count {
+            let id = varint::read_u32(&mut cursor)?;
+            let len = varint::read_u32(&mut cursor)?;
+            if previous.is_some_and(|p| p >= id) {
+                return Err(PersistError::Corrupt(
+                    "document lengths are not strictly ascending by id".into(),
+                ));
+            }
+            previous = Some(id);
+            doc_lens.push((FileId(id), len));
+        }
+    }
+    Ok((docs, doc_lens, cursor, version))
 }
 
 fn read_payload<R: Read>(mut reader: R) -> Result<Vec<u8>, PersistError> {
@@ -208,7 +292,7 @@ fn read_payload<R: Read>(mut reader: R) -> Result<Vec<u8>, PersistError> {
 /// unsupported version or any malformed length/delta.
 pub fn read_segment<R: Read>(reader: R) -> Result<(InMemoryIndex, DocTable), PersistError> {
     let payload = read_payload(reader)?;
-    let (docs, mut cursor, version) = read_segment_header(&payload)?;
+    let (docs, doc_lens, mut cursor, version) = read_segment_header(&payload)?;
 
     let term_count = varint::read_u64(&mut cursor)?;
     let mut index = InMemoryIndex::with_capacity(term_count as usize);
@@ -216,6 +300,9 @@ pub fn read_segment<R: Read>(reader: R) -> Result<(InMemoryIndex, DocTable), Per
         let (term, compressed) = read_term_postings(&mut cursor, version)?;
         // Bulk insert: one map operation per term, never a per-id add loop.
         index.insert_term_list(term, decompress_list(&compressed)?);
+    }
+    for (file, len) in doc_lens {
+        index.note_doc_len(file, len);
     }
     // Restore the file counter from the doc table, as the JSON snapshot does.
     for _ in 0..docs.len() {
@@ -235,7 +322,7 @@ pub fn read_segment<R: Read>(reader: R) -> Result<(InMemoryIndex, DocTable), Per
 /// Fails like [`read_segment`].
 pub fn read_segment_sealed<R: Read>(reader: R) -> Result<(SealedShard, DocTable), PersistError> {
     let payload = read_payload(reader)?;
-    let (docs, mut cursor, version) = read_segment_header(&payload)?;
+    let (docs, doc_lens, mut cursor, version) = read_segment_header(&payload)?;
 
     let term_count = varint::read_u64(&mut cursor)?;
     let mut entries = Vec::with_capacity(term_count as usize);
@@ -243,8 +330,8 @@ pub fn read_segment_sealed<R: Read>(reader: R) -> Result<(SealedShard, DocTable)
         entries.push(read_term_postings(&mut cursor, version)?);
     }
     ensure_drained(cursor)?;
-    let shard =
-        SealedShard::from_entries(entries, docs.len() as u64).map_err(PersistError::Corrupt)?;
+    let shard = SealedShard::from_entries_scored(entries, docs.len() as u64, doc_lens)
+        .map_err(PersistError::Corrupt)?;
     Ok((shard, docs))
 }
 
@@ -254,7 +341,9 @@ fn decompress_list(compressed: &CompressedPostings) -> Result<PostingList, Persi
     if ids.windows(2).any(|w| w[0] >= w[1]) {
         return Err(PersistError::Corrupt("posting ids are not strictly ascending".into()));
     }
-    Ok(PostingList::from_sorted(ids))
+    let mut tfs = Vec::new();
+    compressed.decode_freqs_into(&mut tfs);
+    Ok(PostingList::from_sorted_counted(ids, tfs))
 }
 
 fn ensure_drained(cursor: &[u8]) -> Result<(), PersistError> {
@@ -299,6 +388,64 @@ mod tests {
             assert_eq!(restored_docs.path(id), Some(path));
         }
         assert_eq!(restored.file_count(), 3);
+    }
+
+    #[test]
+    fn counted_round_trip_preserves_tfs_lens_and_scores() {
+        let mut docs = DocTable::new();
+        let a = docs.insert("a.txt");
+        let b = docs.insert("b.txt");
+        let mut index = InMemoryIndex::new();
+        index.insert_file_counted(a, [(Term::from("alpha"), 4u32), (Term::from("beta"), 1)]);
+        index.insert_file_counted(b, [(Term::from("alpha"), 1u32)]);
+
+        let mut buf = Vec::new();
+        write_segment(&index, &docs, &mut buf).unwrap();
+
+        // Mutable path: tfs and doc lens restored exactly.
+        let (restored, _) = read_segment(&buf[..]).unwrap();
+        assert_eq!(restored, index);
+        assert_eq!(restored.postings(&Term::from("alpha")).unwrap().tf_of(a), Some(4));
+        assert_eq!(restored.doc_len(a), Some(5));
+        assert_eq!(restored.doc_len(b), Some(1));
+
+        // Sealed path: identical to sealing the source index, including the
+        // persisted block-max score bounds and rebuilt norms.
+        let (shard, _) = read_segment_sealed(&buf[..]).unwrap();
+        assert_eq!(shard, SealedShard::from_index(&index));
+        assert!(shard.has_scoring());
+        assert!(shard.postings(&Term::from("alpha")).unwrap().max_score() > 0.0);
+    }
+
+    #[test]
+    fn v2_segments_are_still_readable_as_unscored() {
+        // Hand-build a version-2 payload: no doc-length section, no
+        // frequency or score sections after each term's block payload.
+        let mut payload = Vec::new();
+        crate::varint::write_u32(&mut payload, 2).unwrap();
+        crate::varint::write_u64(&mut payload, 2).unwrap();
+        crate::varint::write_bytes(&mut payload, b"a.txt").unwrap();
+        crate::varint::write_bytes(&mut payload, b"b.txt").unwrap();
+        crate::varint::write_u64(&mut payload, 1).unwrap();
+        let compressed = CompressedPostings::from_sorted(&[FileId(0), FileId(1)]);
+        crate::varint::write_bytes(&mut payload, b"alpha").unwrap();
+        crate::varint::write_u64(&mut payload, compressed.len() as u64).unwrap();
+        assert!(compressed.skips().is_empty());
+        crate::varint::write_bytes(&mut payload, compressed.data()).unwrap();
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SEGMENT_MAGIC);
+        buf.extend_from_slice(&fnv1a_64(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+
+        let (index, docs) = read_segment(&buf[..]).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(index.postings(&Term::from("alpha")).unwrap().tf_of(FileId(0)), Some(1));
+        assert_eq!(index.doc_len(FileId(0)), None);
+
+        let (shard, _) = read_segment_sealed(&buf[..]).unwrap();
+        assert!(!shard.has_scoring());
+        assert_eq!(shard.postings(&Term::from("alpha")).unwrap().max_score(), 0.0);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! let searcher = SingleIndexSearcher::new(&index, &docs);
 //! let results = searcher.search(&Query::parse("rust AND search").unwrap());
 //! assert_eq!(results.len(), 1);
-//! assert_eq!(results.hits()[0].path, "a.txt");
+//! assert_eq!(&*results.hits()[0].path, "a.txt");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -39,8 +39,10 @@
 pub mod query;
 pub mod results;
 pub mod search;
+pub mod topk;
 
 pub use dsearch_index::{PostingView, Postings};
 pub use query::{ParseError, Query, QueryGroup, QueryTerm};
 pub use results::{merge_ranked, Hit, RankedHit, SearchResults};
 pub use search::{MultiIndexSearcher, SearchBackend, SingleIndexSearcher};
+pub use topk::{scorable, search_topk, PruneStats};

@@ -3,26 +3,56 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use dsearch_index::FileId;
 
 /// One matching file.
+///
+/// The path is an `Arc<str>` so converting results to their cross-shard
+/// [`RankedHit`] form ([`SearchResults::ranked`]) is a reference-count bump
+/// per hit, not a string copy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hit {
     /// The matching file's id.
     pub file_id: FileId,
     /// The matching file's path.
-    pub path: String,
-    /// Number of query terms the file matched (the ranking key).
+    pub path: Arc<str>,
+    /// Number of query terms the file matched (the secondary ranking key).
     pub matched_terms: usize,
+    /// BM25 relevance score (`0.0` for unranked boolean evaluation).
+    pub score: f32,
+}
+
+/// Maps a score to a `u32` whose unsigned order equals [`f32::total_cmp`]
+/// order, so float-keyed heap entries and hash-map keys stay `Ord`/`Eq`.
+fn score_rank_bits(score: f32) -> u32 {
+    let bits = score.to_bits();
+    if bits & 0x8000_0000 == 0 {
+        bits | 0x8000_0000
+    } else {
+        !bits
+    }
+}
+
+/// The shared result order: descending score, then descending
+/// `matched_terms`, then ascending path (ids are shard-local, so the path is
+/// the tie-break that survives re-sharding), then ascending file id.
+fn rank_cmp(a: &Hit, b: &Hit) -> std::cmp::Ordering {
+    b.score
+        .total_cmp(&a.score)
+        .then_with(|| b.matched_terms.cmp(&a.matched_terms))
+        .then_with(|| a.path.cmp(&b.path))
+        .then_with(|| a.file_id.cmp(&b.file_id))
 }
 
 /// An ordered list of hits.
 ///
-/// Hits are sorted by descending `matched_terms`, ties broken by ascending
-/// file id so results are deterministic.
+/// Hits are sorted by descending score, then descending `matched_terms`,
+/// ties broken by ascending path (then file id) so results are deterministic
+/// and agree with the cross-shard [`merge_ranked`] order.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SearchResults {
     hits: Vec<Hit>,
@@ -32,9 +62,7 @@ impl SearchResults {
     /// Builds results from unsorted hits.
     #[must_use]
     pub fn new(mut hits: Vec<Hit>) -> Self {
-        hits.sort_by(|a, b| {
-            b.matched_terms.cmp(&a.matched_terms).then_with(|| a.file_id.cmp(&b.file_id))
-        });
+        hits.sort_by(rank_cmp);
         SearchResults { hits }
     }
 
@@ -65,7 +93,7 @@ impl SearchResults {
     /// The matching paths, best first.
     #[must_use]
     pub fn paths(&self) -> Vec<&str> {
-        self.hits.iter().map(|h| h.path.as_str()).collect()
+        self.hits.iter().map(|h| &*h.path).collect()
     }
 
     /// Truncates the results to the best `n` hits.
@@ -74,12 +102,17 @@ impl SearchResults {
     }
 
     /// Converts the hits into the path-keyed form that crosses shard
-    /// boundaries (shard-local file ids do not survive the wire).
+    /// boundaries (shard-local file ids do not survive the wire).  Paths are
+    /// shared `Arc<str>`s, so this clones no string data.
     #[must_use]
     pub fn ranked(&self) -> Vec<RankedHit> {
         self.hits
             .iter()
-            .map(|h| RankedHit { path: h.path.clone(), matched_terms: h.matched_terms })
+            .map(|h| RankedHit {
+                path: Arc::clone(&h.path),
+                matched_terms: h.matched_terms,
+                score: h.score,
+            })
             .collect()
     }
 }
@@ -97,42 +130,52 @@ impl IntoIterator for SearchResults {
 ///
 /// File ids are shard-local (two `dsearch serve` processes both start at id
 /// 0), so cross-shard results are keyed on the path instead.  The merge order
-/// is descending `matched_terms` with ties broken by ascending path, which is
-/// deterministic whatever order the shards assigned their ids in.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// is descending score, then descending `matched_terms`, with ties broken by
+/// ascending path — deterministic whatever order the shards assigned their
+/// ids in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RankedHit {
     /// The matching file's path.
-    pub path: String,
-    /// Number of query terms the file matched (the ranking key).
+    pub path: Arc<str>,
+    /// Number of query terms the file matched (the secondary ranking key).
     pub matched_terms: usize,
+    /// BM25 relevance score (`0.0` for unranked boolean evaluation).
+    pub score: f32,
 }
 
 impl RankedHit {
-    /// The cross-shard merge key: descending `matched_terms`, ties broken by
-    /// ascending path.
+    /// Builds a hit (convenience for tests and fixtures).
     #[must_use]
-    pub fn merge_key(&self) -> (Reverse<usize>, &str) {
-        (Reverse(self.matched_terms), self.path.as_str())
+    pub fn new(path: impl Into<Arc<str>>, matched_terms: usize, score: f32) -> Self {
+        RankedHit { path: path.into(), matched_terms, score }
+    }
+
+    /// The cross-shard merge key: descending score, then descending
+    /// `matched_terms`, ties broken by ascending path.  The score is mapped
+    /// to its total-order bits so the key is `Ord` despite the float.
+    #[must_use]
+    pub fn merge_key(&self) -> (Reverse<u32>, Reverse<usize>, &str) {
+        (Reverse(score_rank_bits(self.score)), Reverse(self.matched_terms), &*self.path)
     }
 }
 
 /// Merges per-shard ranked result lists into one list in merge-key order
-/// (descending `matched_terms`, path ascending within a rank), keeping at
-/// most `limit` hits.
+/// (descending score, then descending `matched_terms`, path ascending within
+/// a rank), keeping at most `limit` hits.
 ///
 /// This is the scatter-gather counterpart of the k-way posting-list union in
 /// `dsearch_index::union_into`: a min-heap over one cursor per shard, so each
 /// output hit costs `O(log k)`.  Shard inputs need not be pre-sorted (each
 /// list is normalised first).  A path reported by several shards — replicated
 /// shards, or a re-routed query racing a rebalance — is kept once with its
-/// highest `matched_terms`: the heap yields hits best-first, so the first
-/// occurrence of a path is the one to keep.  Best-first also means the merge
-/// can stop as soon as `limit` hits are out, instead of materialising
-/// everything and truncating (pass `usize::MAX` for an unbounded merge).
+/// best merge key: the heap yields hits best-first, so the first occurrence
+/// of a path is the one to keep.  Best-first also means the merge can stop as
+/// soon as `limit` hits are out, instead of materialising everything and
+/// truncating (pass `usize::MAX` for an unbounded merge).
 #[must_use]
 pub fn merge_ranked(mut parts: Vec<Vec<RankedHit>>, limit: usize) -> Vec<RankedHit> {
     /// Heap entry: the hit's merge key plus its (shard, position) cursor.
-    type Cursor<'a> = Reverse<((Reverse<usize>, &'a str), usize, usize)>;
+    type Cursor<'a> = Reverse<((Reverse<u32>, Reverse<usize>, &'a str), usize, usize)>;
 
     for part in &mut parts {
         part.sort_by(|a, b| a.merge_key().cmp(&b.merge_key()));
@@ -148,7 +191,7 @@ pub fn merge_ranked(mut parts: Vec<Vec<RankedHit>>, limit: usize) -> Vec<RankedH
     while out.len() < limit {
         let Some(Reverse((_, shard, pos))) = heap.pop() else { break };
         let hit = &parts[shard][pos];
-        if seen.insert(hit.path.as_str()) {
+        if seen.insert(&*hit.path) {
             out.push(hit.clone());
         }
         if let Some(next) = parts[shard].get(pos + 1) {
@@ -163,15 +206,40 @@ mod tests {
     use super::*;
 
     fn hit(id: u32, matched: usize) -> Hit {
-        Hit { file_id: FileId(id), path: format!("f{id}.txt"), matched_terms: matched }
+        Hit {
+            file_id: FileId(id),
+            path: format!("f{id}.txt").into(),
+            matched_terms: matched,
+            score: 0.0,
+        }
+    }
+
+    fn scored_hit(id: u32, matched: usize, score: f32) -> Hit {
+        Hit {
+            file_id: FileId(id),
+            path: format!("f{id}.txt").into(),
+            matched_terms: matched,
+            score,
+        }
     }
 
     #[test]
-    fn sorts_by_matched_terms_then_id() {
+    fn sorts_by_matched_terms_then_path() {
         let results = SearchResults::new(vec![hit(3, 1), hit(1, 2), hit(2, 2)]);
         assert_eq!(results.file_ids(), vec![FileId(1), FileId(2), FileId(3)]);
         assert_eq!(results.hits()[0].matched_terms, 2);
         assert_eq!(results.paths()[2], "f3.txt");
+    }
+
+    #[test]
+    fn score_dominates_matched_terms() {
+        let results = SearchResults::new(vec![
+            scored_hit(1, 3, 0.5),
+            scored_hit(2, 1, 2.5),
+            scored_hit(3, 2, 2.5),
+        ]);
+        // Highest score first; within a score tie, more matched terms first.
+        assert_eq!(results.file_ids(), vec![FileId(3), FileId(2), FileId(1)]);
     }
 
     #[test]
@@ -198,13 +266,19 @@ mod tests {
     }
 
     fn ranked(path: &str, matched: usize) -> RankedHit {
-        RankedHit { path: path.to_owned(), matched_terms: matched }
+        RankedHit::new(path, matched, 0.0)
     }
 
     #[test]
-    fn ranked_conversion_preserves_order() {
-        let results = SearchResults::new(vec![hit(3, 1), hit(1, 2)]);
-        assert_eq!(results.ranked(), vec![ranked("f1.txt", 2), ranked("f3.txt", 1)]);
+    fn ranked_conversion_preserves_order_and_shares_paths() {
+        let results = SearchResults::new(vec![scored_hit(3, 1, 0.25), scored_hit(1, 2, 1.5)]);
+        let ranked = results.ranked();
+        assert_eq!(
+            ranked,
+            vec![RankedHit::new("f1.txt", 2, 1.5), RankedHit::new("f3.txt", 1, 0.25)]
+        );
+        // The conversion shares the hit's path allocation instead of cloning.
+        assert!(Arc::ptr_eq(&ranked[0].path, &results.hits()[0].path));
     }
 
     #[test]
@@ -223,14 +297,38 @@ mod tests {
     }
 
     #[test]
+    fn merge_ranked_orders_by_score_before_matched_terms() {
+        let merged = merge_ranked(
+            vec![
+                vec![RankedHit::new("a.txt", 3, 0.5), RankedHit::new("c.txt", 1, 4.0)],
+                vec![RankedHit::new("b.txt", 1, 2.0)],
+            ],
+            usize::MAX,
+        );
+        assert_eq!(
+            merged,
+            vec![
+                RankedHit::new("c.txt", 1, 4.0),
+                RankedHit::new("b.txt", 1, 2.0),
+                RankedHit::new("a.txt", 3, 0.5)
+            ]
+        );
+    }
+
+    #[test]
     fn merge_ranked_dedupes_by_path_keeping_best_rank() {
         // The same path reported by two shards (replication) keeps its
-        // highest matched-term count, whichever shard reported it.
+        // highest-ranked occurrence, whichever shard reported it.
         let merged = merge_ranked(
             vec![vec![ranked("a.txt", 1), ranked("b.txt", 1)], vec![ranked("a.txt", 3)]],
             usize::MAX,
         );
         assert_eq!(merged, vec![ranked("a.txt", 3), ranked("b.txt", 1)]);
+        let scored = merge_ranked(
+            vec![vec![RankedHit::new("a.txt", 1, 0.5)], vec![RankedHit::new("a.txt", 1, 1.5)]],
+            usize::MAX,
+        );
+        assert_eq!(scored, vec![RankedHit::new("a.txt", 1, 1.5)]);
     }
 
     #[test]
@@ -254,5 +352,19 @@ mod tests {
         assert_eq!(merged, vec![ranked("a.txt", 2), ranked("z.txt", 1)]);
         assert!(merge_ranked(vec![], usize::MAX).is_empty());
         assert!(merge_ranked(vec![vec![], vec![]], usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn score_rank_bits_orders_like_total_cmp() {
+        let values = [f32::NEG_INFINITY, -1.5, -0.0, 0.0, 0.25, 1.0, f32::INFINITY];
+        for a in values {
+            for b in values {
+                assert_eq!(
+                    score_rank_bits(a).cmp(&score_rank_bits(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
     }
 }

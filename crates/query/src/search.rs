@@ -76,6 +76,24 @@ pub trait SearchBackend {
 
     /// Evaluates a query, producing ranked results.
     fn search(&self, query: &Query) -> SearchResults {
+        let hits = self
+            .matched_ids(query)
+            .into_iter()
+            .map(|(id, matched_terms)| Hit {
+                file_id: id,
+                path: self.path_of(id).map_or_else(|| "<unknown>".into(), std::sync::Arc::from),
+                matched_terms,
+                score: 0.0,
+            })
+            .collect();
+        SearchResults::new(hits)
+    }
+
+    /// Boolean query evaluation: the deduplicated matching file ids, sorted
+    /// ascending, each with the matched-term count of its best `OR` group.
+    /// This is the engine under [`SearchBackend::search`]; the BM25 scorer
+    /// reuses it to enumerate candidates without materialising paths.
+    fn matched_ids(&self, query: &Query) -> Vec<(FileId, usize)> {
         let mut matched: Vec<(FileId, usize)> = Vec::new();
         // One pair of scratch buffers, reused by every AND/NOT operator of
         // every group; `acc` holds the running result once an operator ran.
@@ -183,16 +201,7 @@ pub trait SearchBackend {
         // matched-term) group.
         matched.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
         matched.dedup_by_key(|(id, _)| *id);
-
-        let hits = matched
-            .into_iter()
-            .map(|(id, matched_terms)| Hit {
-                file_id: id,
-                path: self.path_of(id).unwrap_or("<unknown>").to_owned(),
-                matched_terms,
-            })
-            .collect();
-        SearchResults::new(hits)
+        matched
     }
 }
 
@@ -546,6 +555,6 @@ mod tests {
         let empty_docs = DocTable::new();
         let searcher = SingleIndexSearcher::new(&index, &empty_docs);
         let results = searcher.search(&Query::parse("rust").unwrap());
-        assert!(results.hits().iter().all(|h| h.path == "<unknown>"));
+        assert!(results.hits().iter().all(|h| &*h.path == "<unknown>"));
     }
 }

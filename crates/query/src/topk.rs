@@ -1,0 +1,628 @@
+//! BM25 top-k ranked retrieval with block-max (WAND) pruning.
+//!
+//! [`search_topk`] evaluates a scorable query against one or more
+//! [`SealedShard`]s and returns the `k` best-scoring documents.  Two
+//! evaluation strategies share one candidate heap:
+//!
+//! * **Block-max WAND** for pure disjunctions (every `OR` group is a single
+//!   exact term).  One [`BlockCursor`] per term forms a frontier sorted by
+//!   current document id.  Each round finds the *pivot*: the first document
+//!   whose per-list score upper bounds can sum past the heap threshold θ
+//!   (the k-th best score so far).  Documents before the pivot are provably
+//!   beaten and are skipped without touching their postings.  When the
+//!   frontier aligns on the pivot, the coarse per-list bounds are refined
+//!   with the quantized per-*block* maxima sealed next to the postings: if
+//!   even the block bounds cannot reach θ, every aligned cursor seeks past
+//!   the shortest of its current blocks — whole blocks are never decoded.
+//! * **Exhaustive scoring** for everything else scorable (multi-term `AND`
+//!   groups): the boolean evaluator enumerates matching ids, then one
+//!   forward-seeking cursor per distinct term scores each match.
+//!
+//! Both paths accumulate per-term contributions in ascending query-term
+//! order and sum them in `f64` before one final rounding to `f32`, so a
+//! pruned evaluation is bit-identical to an exhaustive one — the property
+//! the `topk_properties` suite checks.  Scoring is per shard (each shard has
+//! its own document count and average length), which makes a multi-shard
+//! snapshot score exactly like the same documents routed across separate
+//! shard processes.
+//!
+//! Queries with prefix terms or exclusions are not scorable (a prefix is
+//! many terms of wildly different rarity; `NOT` contributes no score) —
+//! [`search_topk`] returns `None` and the caller falls back to the unranked
+//! boolean path.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dsearch_index::{
+    bm25_score, BlockCursor, DocTable, FileId, PostingCursor, Postings, SealedShard, BM25_K1,
+};
+use dsearch_text::Term;
+
+use crate::query::Query;
+use crate::results::{Hit, SearchResults};
+use crate::search::SearchBackend;
+
+/// Comparison slack for the floating-point pruning threshold.  Upper bounds
+/// and scores are compared in `f64`; the slack absorbs the quantization of
+/// block maxima and the one `f32` rounding so pruning never drops a document
+/// the exhaustive path would keep.
+const SLACK: f64 = 1e-5;
+
+/// Counters describing how much work block-max pruning avoided.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Posting blocks entered (decoded or served arithmetically).
+    pub blocks_scored: u64,
+    /// Posting blocks the skip table and block-max bounds jumped over.
+    pub blocks_skipped: u64,
+    /// Time spent resolving dictionary entries and opening posting cursors —
+    /// the ranked path's share of the `postings` trace stage.
+    pub lookup: Duration,
+}
+
+impl PruneStats {
+    /// Accumulates another evaluation's counters into this one.
+    pub fn merge(&mut self, other: PruneStats) {
+        self.blocks_scored += other.blocks_scored;
+        self.blocks_skipped += other.blocks_skipped;
+        self.lookup += other.lookup;
+    }
+}
+
+/// Whether a query can be BM25-scored at all: at least one group, no prefix
+/// terms, no exclusions.
+#[must_use]
+pub fn scorable(query: &Query) -> bool {
+    !query.groups().is_empty() && !query.has_prefix_terms() && !query.has_exclusions()
+}
+
+/// A fully scored candidate document.  `Ord` is "greater = better": higher
+/// score, then more matched terms, then *smaller* path, then smaller id —
+/// the same order [`SearchResults`] sorts by.
+struct Scored<'a> {
+    score: f32,
+    matched: usize,
+    path: &'a str,
+    id: FileId,
+}
+
+impl PartialEq for Scored<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Scored<'_> {}
+
+impl PartialOrd for Scored<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scored<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| self.matched.cmp(&other.matched))
+            .then_with(|| other.path.cmp(self.path))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A bounded min-heap of the best `k` candidates seen so far.  The worst
+/// kept candidate sits at the top; its score is the pruning threshold θ.
+struct TopK<'a> {
+    heap: BinaryHeap<Reverse<Scored<'a>>>,
+    k: usize,
+}
+
+impl<'a> TopK<'a> {
+    fn new(k: usize) -> Self {
+        TopK { heap: BinaryHeap::with_capacity(k.saturating_add(1).min(1024)), k }
+    }
+
+    /// The score every further candidate has to beat (`-inf` until full).
+    fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::NEG_INFINITY
+        } else {
+            self.heap.peek().map_or(f64::NEG_INFINITY, |Reverse(worst)| f64::from(worst.score))
+        }
+    }
+
+    fn offer(&mut self, candidate: Scored<'a>) {
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(candidate));
+        } else if self.heap.peek().is_some_and(|Reverse(worst)| candidate > *worst) {
+            self.heap.pop();
+            self.heap.push(Reverse(candidate));
+        }
+    }
+}
+
+/// Evaluates `query` against `shards`, returning the `k` best-scoring hits
+/// and the pruning counters, or `None` when the query is not scorable (the
+/// caller then takes the unranked boolean path).  `should_cancel` is the
+/// cooperative deadline checkpoint; on cancellation the partial result is
+/// returned for the caller to discard.
+#[must_use]
+pub fn search_topk(
+    shards: &[SealedShard],
+    docs: &DocTable,
+    query: &Query,
+    k: usize,
+    should_cancel: &dyn Fn() -> bool,
+) -> Option<(SearchResults, PruneStats)> {
+    if !scorable(query) {
+        return None;
+    }
+    let mut stats = PruneStats::default();
+    if k == 0 {
+        return Some((SearchResults::default(), stats));
+    }
+    // Distinct exact query terms, sorted: contribution order is fixed by
+    // this list, which is what makes pruned and exhaustive sums identical.
+    let terms = query.terms();
+    let pure_or = query.groups().iter().all(|g| g.required().len() == 1);
+    let mut top = TopK::new(k);
+    for shard in shards {
+        if should_cancel() {
+            break;
+        }
+        if pure_or {
+            shard_wand(shard, docs, &terms, &mut top, &mut stats, should_cancel);
+        } else {
+            shard_scored(shard, docs, query, &terms, &mut top, &mut stats, should_cancel);
+        }
+    }
+    let mut hits: Vec<Hit> = top
+        .heap
+        .into_iter()
+        .map(|Reverse(c)| Hit {
+            file_id: c.id,
+            path: Arc::from(c.path),
+            matched_terms: c.matched,
+            score: c.score,
+        })
+        .collect();
+    // A document id served by several shards (replicated seals) keeps its
+    // best-scoring occurrence; partitioned snapshots never hit this.
+    hits.sort_by(|a, b| a.file_id.cmp(&b.file_id).then_with(|| b.score.total_cmp(&a.score)));
+    hits.dedup_by_key(|h| h.file_id);
+    let mut results = SearchResults::new(hits);
+    results.truncate(k);
+    Some((results, stats))
+}
+
+/// One term's posting cursor plus its score bounds.
+struct WandCursor<'a> {
+    /// Index into the sorted distinct-term list (fixes summation order).
+    term: usize,
+    idf: f32,
+    /// Admissible upper bound on any single posting's score in this list.
+    list_bound: f64,
+    /// Whether the list carries sealed per-block maxima.
+    scored: bool,
+    cursor: BlockCursor<'a>,
+}
+
+impl WandCursor<'_> {
+    /// Upper bound for the cursor's *current block* (falls back to the list
+    /// bound for unscored lists).
+    fn block_bound(&self) -> f64 {
+        if self.scored {
+            f64::from(self.cursor.current_block_bound())
+        } else {
+            self.list_bound
+        }
+    }
+}
+
+/// Folds a finished cursor's visit counters into the stats.
+fn retire(stats: &mut PruneStats, cursor: &BlockCursor<'_>) {
+    let visited = cursor.blocks_visited();
+    stats.blocks_scored += visited;
+    stats.blocks_skipped += (cursor.total_blocks() as u64).saturating_sub(visited);
+}
+
+/// Builds one scoring cursor per query term present in the shard.
+fn scoring_cursors<'a>(shard: &'a SealedShard, terms: &[&Term]) -> Vec<WandCursor<'a>> {
+    terms
+        .iter()
+        .enumerate()
+        .filter_map(|(term, t)| {
+            let postings = shard.postings(t)?;
+            if postings.is_empty() {
+                return None;
+            }
+            let idf = shard.idf(postings.len());
+            let max = postings.max_score();
+            let list_bound = if max > 0.0 {
+                f64::from(max)
+            } else if shard.has_scoring() {
+                // Scored shard but unscored list (shouldn't happen with v3
+                // seals): the analytic BM25 ceiling keeps pruning admissible.
+                f64::from(idf) * f64::from(1.0 + BM25_K1)
+            } else {
+                // Unscored shard: tf = 1 and neutral norms everywhere, so
+                // every posting scores exactly idf.
+                f64::from(idf)
+            };
+            Some(WandCursor { term, idf, list_bound, scored: max > 0.0, cursor: postings.cursor() })
+        })
+        .collect()
+}
+
+/// Sums per-term contributions in term order, in `f64`, rounding once.
+fn sum_contributions(scratch: &mut [(usize, f32)]) -> f32 {
+    scratch.sort_unstable_by_key(|&(term, _)| term);
+    let mut sum = 0.0f64;
+    for &(_, s) in scratch.iter() {
+        sum += f64::from(s);
+    }
+    sum as f32
+}
+
+/// Block-max WAND over one shard: every group is a single exact term, so the
+/// query is a disjunction and the document score is the sum over the terms
+/// that contain it.
+fn shard_wand<'a>(
+    shard: &SealedShard,
+    docs: &'a DocTable,
+    terms: &[&Term],
+    top: &mut TopK<'a>,
+    stats: &mut PruneStats,
+    should_cancel: &dyn Fn() -> bool,
+) {
+    let resolve_start = Instant::now();
+    let mut live = scoring_cursors(shard, terms);
+    stats.lookup += resolve_start.elapsed();
+    let mut scratch: Vec<(usize, f32)> = Vec::with_capacity(live.len());
+    loop {
+        if should_cancel() {
+            break;
+        }
+        live.retain(|c| {
+            let alive = c.cursor.current().is_some();
+            if !alive {
+                retire(stats, &c.cursor);
+            }
+            alive
+        });
+        if live.is_empty() {
+            return;
+        }
+        // Frontier order: ascending current document id.
+        live.sort_unstable_by_key(|c| c.cursor.current());
+        let threshold = top.threshold();
+        // Pivot: first frontier position where the prefix sum of list-level
+        // upper bounds can still beat θ.  Documents before the pivot doc are
+        // beaten by construction and are never visited.
+        let mut upper = 0.0f64;
+        let mut pivot = None;
+        for (i, c) in live.iter().enumerate() {
+            upper += c.list_bound;
+            if upper + SLACK > threshold {
+                pivot = Some(i);
+                break;
+            }
+        }
+        let Some(p) = pivot else { break };
+        let pivot_doc = live[p].cursor.current().expect("live cursor");
+        if live[0].cursor.current() == Some(pivot_doc) {
+            // The frontier is aligned: cursors 0..=p (plus any further ones
+            // parked on the same doc) all sit on the pivot doc.  Refine the
+            // coarse bound with the sealed per-block maxima before paying
+            // for a full evaluation.
+            let mut aligned = p;
+            while aligned + 1 < live.len() && live[aligned + 1].cursor.current() == Some(pivot_doc)
+            {
+                aligned += 1;
+            }
+            let block_upper: f64 = live[..=aligned].iter().map(WandCursor::block_bound).sum();
+            if block_upper + SLACK > threshold {
+                // Score the pivot doc exactly and advance past it.
+                scratch.clear();
+                let norm = shard.doc_norm(pivot_doc);
+                for c in &mut live[..=aligned] {
+                    let tf = c.cursor.current_tf();
+                    scratch.push((c.term, bm25_score(c.idf, tf, norm)));
+                    c.cursor.advance();
+                }
+                let matched = scratch.len();
+                let score = sum_contributions(&mut scratch);
+                let path = docs.path(pivot_doc).unwrap_or("<unknown>");
+                top.offer(Scored { score, matched, path, id: pivot_doc });
+            } else {
+                // Even the block maxima cannot reach θ: every aligned block
+                // is dead.  Jump past the shortest aligned block (or to the
+                // next frontier doc, whichever is closer) without decoding.
+                let boundary = live[..=aligned]
+                    .iter()
+                    .filter_map(|c| c.cursor.current_block_last())
+                    .min()
+                    .map_or(u32::MAX, |id| id.as_u32());
+                let mut target = boundary.saturating_add(1);
+                if let Some(next) = live.get(aligned + 1).and_then(|c| c.cursor.current()) {
+                    target = target.min(next.as_u32());
+                }
+                if target > pivot_doc.as_u32() {
+                    for c in &mut live[..=aligned] {
+                        c.cursor.seek(FileId(target));
+                    }
+                } else {
+                    // Only reachable when ids saturate at u32::MAX; step
+                    // forward to guarantee progress.
+                    for c in &mut live[..=aligned] {
+                        c.cursor.advance();
+                    }
+                }
+            }
+        } else {
+            // Not aligned: everything before the pivot doc cannot win, so
+            // leapfrog the leading cursors straight to it.
+            for c in &mut live {
+                match c.cursor.current() {
+                    Some(current) if current < pivot_doc => {
+                        c.cursor.seek(pivot_doc);
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+    for c in &live {
+        retire(stats, &c.cursor);
+    }
+}
+
+/// Boolean-match adapter over one sealed shard, used by the exhaustive
+/// scored path to enumerate matching ids without materialising paths.
+struct ShardBackend<'a> {
+    shard: &'a SealedShard,
+}
+
+impl SearchBackend for ShardBackend<'_> {
+    fn postings(&self, term: &Term) -> Postings<'_> {
+        match self.shard.postings(term) {
+            Some(list) => Postings::Compressed(list),
+            None => Postings::empty(),
+        }
+    }
+
+    fn prefix_postings(&self, prefix: &str) -> Postings<'_> {
+        // Unreachable through `search_topk` (prefix queries are not
+        // scorable), implemented for trait completeness.
+        Postings::union_of_compressed(self.shard.prefix_postings(prefix).iter().collect())
+    }
+
+    fn path_of(&self, _id: FileId) -> Option<&str> {
+        None
+    }
+}
+
+/// Exhaustive scored evaluation of one shard: boolean-match the query, then
+/// score every matching document with one forward-seeking cursor per term.
+fn shard_scored<'a>(
+    shard: &SealedShard,
+    docs: &'a DocTable,
+    query: &Query,
+    terms: &[&Term],
+    top: &mut TopK<'a>,
+    stats: &mut PruneStats,
+    should_cancel: &dyn Fn() -> bool,
+) {
+    // Matching ids come back ascending, so each term cursor only ever moves
+    // forward across the whole scoring sweep.
+    let matched = ShardBackend { shard }.matched_ids(query);
+    let resolve_start = Instant::now();
+    let mut cursors = scoring_cursors(shard, terms);
+    stats.lookup += resolve_start.elapsed();
+    let mut scratch: Vec<(usize, f32)> = Vec::with_capacity(cursors.len());
+    for (chunk, (id, _)) in matched.into_iter().enumerate() {
+        // The boolean pass already honoured the budget; re-check it every
+        // few hundred scored documents.
+        if chunk % 256 == 0 && should_cancel() {
+            break;
+        }
+        let norm = shard.doc_norm(id);
+        scratch.clear();
+        for c in &mut cursors {
+            if c.cursor.seek(id) == Some(id) {
+                scratch.push((c.term, bm25_score(c.idf, c.cursor.current_tf(), norm)));
+            }
+        }
+        let matched_terms = scratch.len();
+        let score = sum_contributions(&mut scratch);
+        let path = docs.path(id).unwrap_or("<unknown>");
+        top.offer(Scored { score, matched: matched_terms, path, id });
+    }
+    for c in &cursors {
+        retire(stats, &c.cursor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsearch_index::InMemoryIndex;
+
+    fn no_cancel() -> bool {
+        false
+    }
+
+    /// Three docs over two terms with distinct frequencies and lengths.
+    fn fixture() -> (Vec<SealedShard>, DocTable) {
+        let mut docs = DocTable::new();
+        let a = docs.insert("a.txt");
+        let b = docs.insert("b.txt");
+        let c = docs.insert("c.txt");
+        let mut index = InMemoryIndex::new();
+        index.insert_file_counted(a, [(Term::from("rust"), 4u32), (Term::from("index"), 1)]);
+        index.insert_file_counted(b, [(Term::from("rust"), 1u32)]);
+        index.insert_file_counted(c, [(Term::from("index"), 2u32), (Term::from("query"), 2)]);
+        (vec![SealedShard::from_index(&index)], docs)
+    }
+
+    #[test]
+    fn prefix_and_not_queries_are_not_scorable() {
+        let (shards, docs) = fixture();
+        for raw in ["rus*", "rust NOT index", "rust inde*"] {
+            let q = Query::parse(raw).unwrap();
+            assert!(!scorable(&q), "{raw}");
+            assert!(search_topk(&shards, &docs, &q, 10, &no_cancel).is_none(), "{raw}");
+        }
+        assert!(scorable(&Query::parse("rust index").unwrap()));
+    }
+
+    #[test]
+    fn single_term_ranks_by_term_frequency() {
+        let (shards, docs) = fixture();
+        let q = Query::parse("rust").unwrap();
+        let (results, _) = search_topk(&shards, &docs, &q, 10, &no_cancel).unwrap();
+        // a.txt has tf 4 (and is only slightly longer): it outranks b.txt.
+        assert_eq!(results.paths(), vec!["a.txt", "b.txt"]);
+        assert!(results.hits()[0].score > results.hits()[1].score);
+        assert!(results.hits().iter().all(|h| h.score > 0.0));
+    }
+
+    #[test]
+    fn or_query_sums_scores_and_respects_k() {
+        let (shards, docs) = fixture();
+        let q = Query::parse("rust OR index OR query").unwrap();
+        let (all, _) = search_topk(&shards, &docs, &q, 10, &no_cancel).unwrap();
+        assert_eq!(all.len(), 3);
+        let (top1, _) = search_topk(&shards, &docs, &q, 1, &no_cancel).unwrap();
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1.paths()[0], all.paths()[0]);
+        assert_eq!(top1.hits()[0].score.to_bits(), all.hits()[0].score.to_bits());
+    }
+
+    #[test]
+    fn and_query_scores_only_conjunctive_matches() {
+        let (shards, docs) = fixture();
+        let q = Query::parse("rust index").unwrap();
+        let (results, _) = search_topk(&shards, &docs, &q, 10, &no_cancel).unwrap();
+        assert_eq!(results.paths(), vec!["a.txt"]);
+        assert_eq!(results.hits()[0].matched_terms, 2);
+    }
+
+    #[test]
+    fn k_zero_and_unknown_terms_yield_empty_results() {
+        let (shards, docs) = fixture();
+        let q = Query::parse("rust").unwrap();
+        let (empty, _) = search_topk(&shards, &docs, &q, 0, &no_cancel).unwrap();
+        assert!(empty.is_empty());
+        let missing = Query::parse("cobol OR fortran").unwrap();
+        let (none, stats) = search_topk(&shards, &docs, &missing, 5, &no_cancel).unwrap();
+        assert!(none.is_empty());
+        // No cursors were opened, so no blocks were touched (the lookup
+        // timer still ran — only the counters are zero by construction).
+        assert_eq!((stats.blocks_scored, stats.blocks_skipped), (0, 0));
+    }
+
+    #[test]
+    fn cancellation_returns_partial_results() {
+        let (shards, docs) = fixture();
+        let q = Query::parse("rust OR index").unwrap();
+        let cancelled = search_topk(&shards, &docs, &q, 10, &(|| true)).unwrap();
+        assert!(cancelled.0.is_empty());
+    }
+
+    #[test]
+    fn multi_shard_snapshot_scores_like_separate_shards() {
+        // The same corpus sealed as one shard vs two: per-shard scoring
+        // statistics differ, but each document's score is computed from its
+        // own shard either way, so a combined evaluation must agree with
+        // evaluating the shards one at a time.
+        let mut docs = DocTable::new();
+        let ids: Vec<FileId> = (0..6).map(|i| docs.insert(format!("doc{i}.txt"))).collect();
+        let mut left = InMemoryIndex::new();
+        let mut right = InMemoryIndex::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let target = if i % 2 == 0 { &mut left } else { &mut right };
+            let tf = 1 + (i as u32 % 3);
+            target.insert_file_counted(id, [(Term::from("alpha"), tf), (Term::from("beta"), 1)]);
+        }
+        let shards = vec![SealedShard::from_index(&left), SealedShard::from_index(&right)];
+        let q = Query::parse("alpha OR beta").unwrap();
+        let (combined, _) = search_topk(&shards, &docs, &q, 10, &no_cancel).unwrap();
+        let (l, _) = search_topk(&shards[..1], &docs, &q, 10, &no_cancel).unwrap();
+        let (r, _) = search_topk(&shards[1..], &docs, &q, 10, &no_cancel).unwrap();
+        let mut separate: Vec<Hit> = l.into_iter().chain(r).collect();
+        separate.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| b.matched_terms.cmp(&a.matched_terms))
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        let combined_keys: Vec<(u32, &str)> =
+            combined.hits().iter().map(|h| (h.score.to_bits(), &*h.path)).collect();
+        let separate_keys: Vec<(u32, &str)> =
+            separate.iter().map(|h| (h.score.to_bits(), &*h.path)).collect();
+        assert_eq!(combined_keys, separate_keys);
+    }
+
+    #[test]
+    fn pruning_skips_blocks_on_skewed_lists() {
+        // A long common list where one rare term concentrates the top
+        // scores: WAND should skip most of the common list's blocks.
+        let mut docs = DocTable::new();
+        let mut index = InMemoryIndex::new();
+        for i in 0..20_000u32 {
+            let id = docs.insert(format!("doc{i:05}.txt"));
+            let mut words = vec![(Term::from("common"), 1u32)];
+            if i % 100 == 0 && i < 1_000 {
+                words.push((Term::from("rare"), 8));
+            }
+            index.insert_file_counted(id, words);
+        }
+        let shards = vec![SealedShard::from_index(&index)];
+        let q = Query::parse("common OR rare").unwrap();
+        let (results, stats) = search_topk(&shards, &docs, &q, 10, &no_cancel).unwrap();
+        assert_eq!(results.len(), 10);
+        // Every top hit contains the rare high-scoring term.
+        assert!(results.hits().iter().all(|h| h.matched_terms == 2));
+        assert!(
+            stats.blocks_skipped > stats.blocks_scored,
+            "expected pruning to skip most blocks: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn wand_matches_exhaustive_on_dense_overlap() {
+        // Dense overlapping lists keep the frontier aligned constantly —
+        // the worst case for pruning; results must still match the
+        // exhaustive evaluation exactly.
+        let mut docs = DocTable::new();
+        let mut index = InMemoryIndex::new();
+        for i in 0..3_000u32 {
+            let id = docs.insert(format!("doc{i:04}.txt"));
+            let mut words = vec![(Term::from("a"), 1 + i % 4)];
+            if i % 2 == 0 {
+                words.push((Term::from("b"), 1 + i % 3));
+            }
+            if i % 3 == 0 {
+                words.push((Term::from("c"), 1));
+            }
+            index.insert_file_counted(id, words);
+        }
+        let shards = vec![SealedShard::from_index(&index)];
+        let docs_ref = &docs;
+        let q = Query::parse("a OR b OR c").unwrap();
+        let (pruned, _) = search_topk(&shards, docs_ref, &q, 25, &no_cancel).unwrap();
+        // Exhaustive reference: force the non-WAND path through a
+        // conjunctive query shape that matches the same docs?  Simpler: use
+        // a huge k so nothing is ever pruned.
+        let (exhaustive, _) = search_topk(&shards, docs_ref, &q, usize::MAX, &no_cancel).unwrap();
+        for (p, e) in pruned.hits().iter().zip(exhaustive.hits().iter().take(25)) {
+            assert_eq!(p.score.to_bits(), e.score.to_bits());
+            assert_eq!(p.path, e.path);
+            assert_eq!(p.matched_terms, e.matched_terms);
+        }
+    }
+}

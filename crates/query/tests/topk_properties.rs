@@ -1,0 +1,164 @@
+//! Properties of BM25 top-k ranked retrieval: block-max (WAND) pruning is
+//! invisible.  For any corpus, any scorable query shape and any `k`, the
+//! pruned evaluation must return bit-identical scores, in the same order,
+//! as an exhaustive evaluation that scores every posting — including tie
+//! runs of exact duplicate documents and `k` values past the match count.
+
+use proptest::prelude::*;
+
+use dsearch_index::{DocTable, InMemoryIndex, SealedShard};
+use dsearch_query::{search_topk, Query, SearchResults};
+use dsearch_text::Term;
+
+/// A small vocabulary so generated documents overlap on terms and score
+/// ties are common.
+const VOCAB: &[&str] = &["alpha", "beta", "gamma", "delta", "omega"];
+
+fn term_subset(mask: u8) -> Vec<&'static str> {
+    VOCAB.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, w)| *w).collect()
+}
+
+/// A document's terms and frequencies are a pure function of its mask, so
+/// equal masks produce exact duplicates — documents that tie on score and
+/// matched terms and must be ordered by path alone.
+fn doc_terms(mask: u8) -> Vec<(Term, u32)> {
+    VOCAB
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(i, w)| (Term::from(*w), 1 + u32::from(mask.wrapping_mul(i as u8 + 3)) % 5))
+        .collect()
+}
+
+/// Seals the corpus as `shards` round-robin partitions of one doc table
+/// (paths ascend with insertion order, so path ties equal id ties).
+fn seal(masks: &[u8], shards: usize) -> (Vec<SealedShard>, DocTable) {
+    let mut docs = DocTable::new();
+    let mut indexes: Vec<InMemoryIndex> = (0..shards).map(|_| InMemoryIndex::new()).collect();
+    for (i, &mask) in masks.iter().enumerate() {
+        let id = docs.insert(format!("doc{i:03}.txt"));
+        indexes[i % shards].insert_file_counted(id, doc_terms(mask));
+    }
+    (indexes.iter().map(SealedShard::from_index).collect(), docs)
+}
+
+/// The observable ranking: exact score bits, path, matched terms.
+fn keys(results: &SearchResults) -> Vec<(u32, String, usize)> {
+    results
+        .hits()
+        .iter()
+        .map(|h| (h.score.to_bits(), h.path.to_string(), h.matched_terms))
+        .collect()
+}
+
+fn no_cancel() -> bool {
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Pure disjunctions take the block-max WAND path; pruning must be
+    /// invisible next to an exhaustive reference for every `k`.
+    #[test]
+    fn wand_pruned_topk_equals_exhaustive(
+        masks in proptest::collection::vec(1u8..32, 1..60),
+        qmask in 1u8..32,
+        k in 0usize..16,
+    ) {
+        let (shards, docs) = seal(&masks, 1);
+        let raw = term_subset(qmask).join(" OR ");
+        let query = Query::parse(&raw).unwrap();
+        let (pruned, _) = search_topk(&shards, &docs, &query, k, &no_cancel).unwrap();
+        let (full, full_stats) =
+            search_topk(&shards, &docs, &query, usize::MAX, &no_cancel).unwrap();
+        // With an unbounded k the threshold never rises, so the reference
+        // run provably skipped nothing: it is genuinely exhaustive.
+        prop_assert_eq!(full_stats.blocks_skipped, 0);
+        let mut expected = keys(&full);
+        expected.truncate(k);
+        prop_assert_eq!(keys(&pruned), expected, "query {:?} k={}", raw, k);
+    }
+
+    /// Multi-term `AND` groups take the exhaustive-scoring path (boolean
+    /// match, then forward-seeking score cursors); `k` must only truncate.
+    #[test]
+    fn and_scored_topk_equals_exhaustive(
+        masks in proptest::collection::vec(1u8..32, 1..60),
+        qmask in 1u8..32,
+        k in 0usize..16,
+    ) {
+        let (shards, docs) = seal(&masks, 1);
+        let raw = term_subset(qmask).join(" ");
+        let query = Query::parse(&raw).unwrap();
+        let (pruned, _) = search_topk(&shards, &docs, &query, k, &no_cancel).unwrap();
+        let (full, _) = search_topk(&shards, &docs, &query, usize::MAX, &no_cancel).unwrap();
+        let mut expected = keys(&full);
+        expected.truncate(k);
+        prop_assert_eq!(keys(&pruned), expected, "query {:?} k={}", raw, k);
+    }
+
+    /// Masks drawn from {1, 2, 3} make most documents exact duplicates:
+    /// long tie runs must come back sorted by score desc, matched desc,
+    /// path asc — strictly, since paths are unique.
+    #[test]
+    fn ties_break_deterministically_by_path(
+        masks in proptest::collection::vec(1u8..4, 2..60),
+        k in 1usize..20,
+    ) {
+        let (shards, docs) = seal(&masks, 1);
+        let query = Query::parse("alpha OR beta").unwrap();
+        let (results, _) = search_topk(&shards, &docs, &query, k, &no_cancel).unwrap();
+        for pair in results.hits().windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let ord = b
+                .score
+                .total_cmp(&a.score)
+                .then_with(|| b.matched_terms.cmp(&a.matched_terms))
+                .then_with(|| a.path.cmp(&b.path));
+            prop_assert_eq!(
+                ord,
+                std::cmp::Ordering::Less,
+                "hit {:?} must strictly outrank {:?}",
+                (&a.path, a.score),
+                (&b.path, b.score)
+            );
+        }
+    }
+
+    /// Scoring is per shard, so evaluating a partitioned snapshot in one
+    /// call equals evaluating each shard alone and merging by rank — the
+    /// invariant that lets scores survive scatter-gather routing.
+    #[test]
+    fn multi_shard_evaluation_equals_per_shard_merge(
+        masks in proptest::collection::vec(1u8..32, 1..40),
+        shard_count in 1usize..4,
+        qmask in 1u8..32,
+        k in 1usize..12,
+    ) {
+        let (shards, docs) = seal(&masks, shard_count);
+        let raw = term_subset(qmask).join(" OR ");
+        let query = Query::parse(&raw).unwrap();
+        let (combined, _) = search_topk(&shards, &docs, &query, k, &no_cancel).unwrap();
+        let mut merged: Vec<(u32, String, usize)> = Vec::new();
+        for s in 0..shard_count {
+            let (part, _) =
+                search_topk(&shards[s..=s], &docs, &query, usize::MAX, &no_cancel).unwrap();
+            merged.extend(keys(&part));
+        }
+        merged.sort_by(|a, b| {
+            f32::from_bits(b.0)
+                .total_cmp(&f32::from_bits(a.0))
+                .then_with(|| b.2.cmp(&a.2))
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        merged.truncate(k);
+        prop_assert_eq!(
+            keys(&combined),
+            merged,
+            "query {:?} over {} shard(s)",
+            raw,
+            shard_count
+        );
+    }
+}

@@ -1,10 +1,17 @@
-//! Sharded LRU cache for query results.
+//! Sharded LRU cache for query results, with optional TinyLFU admission.
 //!
 //! Keys are `(normalised query, snapshot generation)`, so a snapshot swap
 //! naturally invalidates the whole cache without any flush: entries for the
 //! old generation stop being requested and age out through normal LRU
 //! eviction.  Sharding by key hash keeps lock contention low when many worker
 //! threads hit the cache at once.
+//!
+//! Under [`AdmissionPolicy::TinyLfu`] each shard keeps a 4-bit count-min
+//! frequency sketch fed by every lookup.  When the shard is full, a new key
+//! is admitted only if its estimated frequency beats the LRU victim's — a
+//! burst of one-off queries (a scan) cannot wash a popular working set out
+//! of the cache.  Counters are halved once enough lookups accumulate, so the
+//! sketch tracks recent popularity, not all-time counts.
 //!
 //! The cache is generic over its value type: the single-store engine caches
 //! `Arc<SearchResults>` (the default), the router caches merged
@@ -28,6 +35,41 @@ pub struct CacheKey {
     pub generation: u64,
 }
 
+/// How the cache decides whether a freshly computed result may displace a
+/// cached one.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Every insert is admitted; a full shard evicts its LRU entry
+    /// unconditionally (the classic LRU cache).
+    #[default]
+    AdmitAll,
+    /// TinyLFU: a new key is admitted to a full shard only when the
+    /// frequency sketch estimates it is requested more often than the LRU
+    /// victim it would displace.
+    TinyLfu,
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionPolicy::AdmitAll => f.write_str("all"),
+            AdmissionPolicy::TinyLfu => f.write_str("lfu"),
+        }
+    }
+}
+
+impl std::str::FromStr for AdmissionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "all" => Ok(AdmissionPolicy::AdmitAll),
+            "lfu" => Ok(AdmissionPolicy::TinyLfu),
+            other => Err(format!("unknown admission policy {other:?} (expected lfu or all)")),
+        }
+    }
+}
+
 /// Counters describing cache behaviour since start-up.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheCounters {
@@ -39,6 +81,9 @@ pub struct CacheCounters {
     pub evictions: u64,
     /// Entries inserted.
     pub insertions: u64,
+    /// Inserts the TinyLFU admission filter turned away (always zero under
+    /// [`AdmissionPolicy::AdmitAll`]).
+    pub rejections: u64,
 }
 
 impl CacheCounters {
@@ -54,18 +99,97 @@ impl CacheCounters {
     }
 }
 
+/// A 4-bit count-min sketch estimating per-key request frequency: four
+/// hashed counter rows folded into one nibble array; an estimate is the
+/// minimum over a key's four counters, so collisions only ever over-count.
+/// Once `sample_size` increments accumulate, every counter is halved — the
+/// periodic "reset" that ages out stale popularity.
+#[derive(Debug)]
+struct FrequencySketch {
+    /// Packed counters, 16 four-bit nibbles per word.
+    table: Vec<u64>,
+    /// Nibble-index mask (`nibble count - 1`, a power of two).
+    mask: usize,
+    /// Increments since the last halving.
+    additions: u64,
+    /// Halving threshold: ~16 observations per tracked entry.
+    sample_size: u64,
+}
+
+impl FrequencySketch {
+    fn new(capacity: usize) -> Self {
+        // 8 nibbles per cached entry keeps the 4 rows sparse enough that
+        // the min-estimate rarely collides into an over-count.
+        let nibbles = (capacity.max(1) * 8).next_power_of_two().max(64);
+        FrequencySketch {
+            table: vec![0; nibbles / 16],
+            mask: nibbles - 1,
+            additions: 0,
+            sample_size: capacity.max(1) as u64 * 16,
+        }
+    }
+
+    /// The four counter positions for one key hash, derived by multiplying
+    /// with distinct odd constants and taking the high bits.
+    fn indexes(&self, hash: u64) -> [usize; 4] {
+        const SEEDS: [u64; 4] = [
+            0x9E37_79B9_7F4A_7C15,
+            0xC2B2_AE3D_27D4_EB4F,
+            0x1656_67B1_9E37_79F9,
+            0xFF51_AFD7_ED55_8CCD,
+        ];
+        SEEDS.map(|seed| (hash.wrapping_mul(seed) >> 32) as usize & self.mask)
+    }
+
+    fn nibble(&self, index: usize) -> u64 {
+        (self.table[index / 16] >> ((index % 16) * 4)) & 0xF
+    }
+
+    /// Records one observation of `hash` (counters saturate at 15).
+    fn record(&mut self, hash: u64) {
+        let mut added = false;
+        for index in self.indexes(hash) {
+            if self.nibble(index) < 15 {
+                self.table[index / 16] += 1 << ((index % 16) * 4);
+                added = true;
+            }
+        }
+        if added {
+            self.additions += 1;
+            if self.additions >= self.sample_size {
+                self.halve();
+            }
+        }
+    }
+
+    /// The estimated observation count for `hash`.
+    fn estimate(&self, hash: u64) -> u64 {
+        self.indexes(hash).into_iter().map(|i| self.nibble(i)).min().unwrap_or(0)
+    }
+
+    /// Halves every counter (clearing the bit that would shift across nibble
+    /// boundaries), so old popularity decays instead of pinning forever.
+    fn halve(&mut self) {
+        for word in &mut self.table {
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.additions /= 2;
+    }
+}
+
 /// One LRU shard: a key map plus a recency index ordered by a monotonically
-/// increasing tick.
+/// increasing tick, and (under TinyLFU) the shard's frequency sketch.
 #[derive(Debug)]
 struct Shard<V> {
     entries: HashMap<CacheKey, (V, u64)>,
     recency: BTreeMap<u64, CacheKey>,
     tick: u64,
+    sketch: Option<FrequencySketch>,
 }
 
 impl<V> Default for Shard<V> {
     fn default() -> Self {
-        Shard { entries: HashMap::new(), recency: BTreeMap::new(), tick: 0 }
+        Shard { entries: HashMap::new(), recency: BTreeMap::new(), tick: 0, sketch: None }
     }
 }
 
@@ -105,43 +229,83 @@ impl<V: Clone> Shard<V> {
 pub struct QueryCache<V = Arc<SearchResults>> {
     shards: Vec<Mutex<Shard<V>>>,
     capacity_per_shard: usize,
+    admission: AdmissionPolicy,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     insertions: AtomicU64,
+    rejections: AtomicU64,
+}
+
+/// FNV-1a (the system-wide hash) over the query text, continued over the
+/// generation so the same query maps to fresh shards per image.  The same
+/// hash indexes the frequency sketch.
+fn key_hash(key: &CacheKey) -> u64 {
+    use std::hash::Hasher;
+    let mut hasher = dsearch_text::fnv::FnvHasher::new();
+    hasher.write(key.query.as_bytes());
+    hasher.write(&key.generation.to_le_bytes());
+    hasher.finish()
 }
 
 impl<V: Clone> QueryCache<V> {
     /// Creates a cache with `capacity` total entries spread over `shards`
-    /// locks.  Both values are clamped to at least 1.
+    /// locks, admitting every insert.  Both values are clamped to at least 1.
     #[must_use]
     pub fn new(capacity: usize, shards: usize) -> Self {
+        QueryCache::with_admission(capacity, shards, AdmissionPolicy::AdmitAll)
+    }
+
+    /// Creates a cache with an explicit [`AdmissionPolicy`]; under
+    /// [`TinyLfu`](AdmissionPolicy::TinyLfu) each shard carries a frequency
+    /// sketch sized to its share of the capacity.
+    #[must_use]
+    pub fn with_admission(capacity: usize, shards: usize, admission: AdmissionPolicy) -> Self {
         let shards = shards.max(1);
         let capacity_per_shard = capacity.max(1).div_ceil(shards);
         QueryCache {
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..shards)
+                .map(|_| {
+                    let mut shard = Shard::default();
+                    if admission == AdmissionPolicy::TinyLfu {
+                        shard.sketch = Some(FrequencySketch::new(capacity_per_shard));
+                    }
+                    Mutex::new(shard)
+                })
+                .collect(),
             capacity_per_shard,
+            admission,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
         }
     }
 
-    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard<V>> {
-        use std::hash::Hasher;
-        // FNV-1a (the system-wide hash) over the query text, continued over
-        // the generation so the same query maps to fresh shards per image.
-        let mut hasher = dsearch_text::fnv::FnvHasher::new();
-        hasher.write(key.query.as_bytes());
-        hasher.write(&key.generation.to_le_bytes());
-        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
+    /// The admission policy this cache inserts under.
+    #[must_use]
+    pub fn admission(&self) -> AdmissionPolicy {
+        self.admission
     }
 
-    /// Looks up a cached result, refreshing its recency on hit.
+    fn shard_for(&self, hash: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a cached result, refreshing its recency on hit.  Every
+    /// lookup — hit or miss — feeds the frequency sketch, so the admission
+    /// filter sees how often a key is *requested*, not how often it is
+    /// cached.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<V> {
-        let result = self.shard_for(key).lock().touch(key);
+        let hash = key_hash(key);
+        let mut shard = self.shard_for(hash).lock();
+        if let Some(sketch) = &mut shard.sketch {
+            sketch.record(hash);
+        }
+        let result = shard.touch(key);
+        drop(shard);
         match &result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -150,8 +314,27 @@ impl<V: Clone> QueryCache<V> {
     }
 
     /// Inserts a result, evicting least-recently-used entries past capacity.
+    /// Under TinyLFU a new key offered to a full shard must out-score the
+    /// LRU victim in the frequency sketch or the insert is rejected (the
+    /// victim stays).
     pub fn insert(&self, key: CacheKey, value: V) {
-        let evicted = self.shard_for(&key).lock().insert(key, value, self.capacity_per_shard);
+        let hash = key_hash(&key);
+        let mut shard = self.shard_for(hash).lock();
+        if let Some(sketch) = &shard.sketch {
+            let challenging =
+                shard.entries.len() >= self.capacity_per_shard && !shard.entries.contains_key(&key);
+            if challenging {
+                if let Some((_, victim)) = shard.recency.first_key_value() {
+                    if sketch.estimate(hash) <= sketch.estimate(key_hash(victim)) {
+                        drop(shard);
+                        self.rejections.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        }
+        let evicted = shard.insert(key, value, self.capacity_per_shard);
+        drop(shard);
         self.insertions.fetch_add(1, Ordering::Relaxed);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
@@ -182,6 +365,7 @@ impl<V: Clone> QueryCache<V> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -197,8 +381,9 @@ mod tests {
             (0..n)
                 .map(|i| Hit {
                     file_id: FileId(i as u32),
-                    path: format!("f{i}.txt"),
+                    path: format!("f{i}.txt").into(),
                     matched_terms: 1,
+                    score: 0.0,
                 })
                 .collect(),
         ))
@@ -256,6 +441,92 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(&key("q", 1)).unwrap().len(), 5);
         assert_eq!(cache.counters().evictions, 0);
+    }
+
+    #[test]
+    fn admission_policy_round_trips_through_strings() {
+        assert_eq!("lfu".parse::<AdmissionPolicy>().unwrap(), AdmissionPolicy::TinyLfu);
+        assert_eq!("all".parse::<AdmissionPolicy>().unwrap(), AdmissionPolicy::AdmitAll);
+        assert!("sometimes".parse::<AdmissionPolicy>().is_err());
+        assert_eq!(AdmissionPolicy::TinyLfu.to_string(), "lfu");
+        assert_eq!(AdmissionPolicy::AdmitAll.to_string(), "all");
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::AdmitAll);
+    }
+
+    #[test]
+    fn tinylfu_rejects_one_hit_wonders_when_full() {
+        // Single shard, capacity 2.  Warm two keys and make them popular.
+        let cache = QueryCache::with_admission(2, 1, AdmissionPolicy::TinyLfu);
+        assert_eq!(cache.admission(), AdmissionPolicy::TinyLfu);
+        for hot in ["hot-a", "hot-b"] {
+            assert!(cache.get(&key(hot, 1)).is_none());
+            cache.insert(key(hot, 1), results(1));
+            for _ in 0..5 {
+                assert!(cache.get(&key(hot, 1)).is_some(), "{hot}");
+            }
+        }
+        // A scan of distinct once-seen queries: each is looked up once
+        // (frequency estimate 1) and must lose to the popular victims.
+        for i in 0..50 {
+            let k = key(&format!("scan-{i}"), 1);
+            assert!(cache.get(&k).is_none());
+            cache.insert(k, results(1));
+        }
+        let counters = cache.counters();
+        assert_eq!(counters.rejections, 50, "{counters:?}");
+        assert_eq!(counters.evictions, 0, "victims must survive the scan");
+        assert!(cache.get(&key("hot-a", 1)).is_some());
+        assert!(cache.get(&key("hot-b", 1)).is_some());
+    }
+
+    #[test]
+    fn tinylfu_admits_keys_that_outscore_the_victim() {
+        let cache = QueryCache::with_admission(2, 1, AdmissionPolicy::TinyLfu);
+        // Two cold residents (one lookup each), then a genuinely popular
+        // newcomer that has been requested more often than either.
+        for cold in ["cold-a", "cold-b"] {
+            assert!(cache.get(&key(cold, 1)).is_none());
+            cache.insert(key(cold, 1), results(1));
+        }
+        for _ in 0..4 {
+            assert!(cache.get(&key("popular", 1)).is_none());
+        }
+        cache.insert(key("popular", 1), results(1));
+        let counters = cache.counters();
+        assert_eq!(counters.rejections, 0, "{counters:?}");
+        assert_eq!(counters.evictions, 1, "the LRU cold entry is displaced");
+        assert!(cache.get(&key("popular", 1)).is_some());
+    }
+
+    #[test]
+    fn admit_all_caches_never_reject() {
+        let cache = QueryCache::new(2, 1);
+        assert_eq!(cache.admission(), AdmissionPolicy::AdmitAll);
+        for i in 0..20 {
+            cache.insert(key(&format!("q{i}"), 1), results(1));
+        }
+        let counters = cache.counters();
+        assert_eq!(counters.rejections, 0);
+        assert_eq!(counters.insertions, 20);
+        assert_eq!(counters.evictions, 18);
+    }
+
+    #[test]
+    fn frequency_sketch_counts_saturate_and_halve() {
+        let mut sketch = FrequencySketch::new(4);
+        assert_eq!(sketch.estimate(42), 0);
+        for _ in 0..200 {
+            sketch.record(42);
+        }
+        // 4-bit counters cap at 15 no matter how hot the key runs.
+        assert!(sketch.estimate(42) <= 15);
+        assert!(sketch.estimate(42) > 0);
+        let before = sketch.estimate(42);
+        sketch.halve();
+        assert_eq!(sketch.estimate(42), before / 2);
+        // Unrelated keys stay (near) zero: the min-of-rows estimate only
+        // over-counts when all four rows collide.
+        assert!(sketch.estimate(7) <= before);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use dsearch_obs::{QueryTrace, Stage};
 use dsearch_query::{ParseError, Query, SearchBackend, SearchResults};
 
 use crate::batch::{BatchConfig, BatchSearcher, QueueGovernor, QueueJob};
-use crate::cache::{CacheCounters, CacheKey, QueryCache};
+use crate::cache::{AdmissionPolicy, CacheCounters, CacheKey, QueryCache};
 use crate::protocol::split_request_meta;
 use crate::snapshot::{IndexSnapshot, SnapshotCell};
 use crate::stats::{DeadlineStage, ServerStats};
@@ -33,6 +33,9 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Number of cache shards (locks).
     pub cache_shards: usize,
+    /// Whether inserts into a full cache must pass the TinyLFU frequency
+    /// filter (`--cache-admission lfu|all`).
+    pub cache_admission: AdmissionPolicy,
     /// Cap on hits kept per response (and per cache entry).
     pub result_limit: usize,
     /// Batching and admission-control parameters for the worker pool.
@@ -48,6 +51,7 @@ impl Default for EngineConfig {
             workers: std::thread::available_parallelism().map_or(4, usize::from).min(16),
             cache_capacity: 4096,
             cache_shards: 8,
+            cache_admission: AdmissionPolicy::default(),
             result_limit: 20,
             batch: BatchConfig::default(),
             default_deadline: None,
@@ -183,7 +187,11 @@ impl QueryEngine {
         config.validate()?;
         Ok(Arc::new(QueryEngine {
             snapshot: SnapshotCell::new(snapshot),
-            cache: QueryCache::new(config.cache_capacity, config.cache_shards),
+            cache: QueryCache::with_admission(
+                config.cache_capacity,
+                config.cache_shards,
+                config.cache_admission,
+            ),
             stats: ServerStats::new(),
             config,
         }))
@@ -304,6 +312,7 @@ impl QueryEngine {
         // slot, outside the canonical grouping.
         let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut executed = 0u64;
+        let mut ranked_lookups = Duration::ZERO;
         for (i, raw) in raws.iter().enumerate() {
             let (meta, query_text) = split_request_meta(raw);
             trace_ids.push(meta.trace_id);
@@ -369,7 +378,23 @@ impl QueryEngine {
                         live.iter().filter_map(|&i| deadlines[i]).max()
                     };
                     searcher.set_deadline(group_deadline);
-                    let mut results = searcher.search(&query);
+                    // Ranked retrieval first: scorable queries evaluate as
+                    // BM25 top-k with block-max pruning, bounded at the
+                    // result limit the response would be truncated to anyway.
+                    // Unscorable shapes (prefix terms, exclusions) fall back
+                    // to the exhaustive boolean path.  Both poll the same
+                    // deadline, so cancellation semantics are identical.
+                    let ranked = snapshot.search_topk(&query, self.config.result_limit, &|| {
+                        searcher.should_cancel()
+                    });
+                    let mut results = match ranked {
+                        Some((results, prune)) => {
+                            ranked_lookups += prune.lookup;
+                            self.stats.record_prune(prune);
+                            results
+                        }
+                        None => searcher.search(&query),
+                    };
                     searcher.set_deadline(None);
                     if searcher.take_cancelled() {
                         // The evaluation was stopped mid-flight: the partial
@@ -395,11 +420,11 @@ impl QueryEngine {
                 }));
             }
         }
-        // Evaluation splits into posting-list resolution (timed inside the
-        // searcher) and everything else: intersect/union/rank plus cache
-        // probes.
+        // Evaluation splits into posting-list resolution — the boolean
+        // searcher's memo plus the ranked path's cursor/dictionary lookups —
+        // and everything else: intersect/union/rank plus cache probes.
         let eval = snapshot_done.elapsed();
-        let lookups = searcher.lookup_time();
+        let lookups = searcher.lookup_time() + ranked_lookups;
         trace.record(Stage::Postings, lookups);
         trace.record(Stage::IntersectMerge, eval.saturating_sub(lookups));
 

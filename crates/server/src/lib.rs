@@ -83,7 +83,7 @@ pub use batch::{
     BatchConfig, BatchSearcher, DrainedBatch, OverloadPolicy, QueueGovernor, QueueJob,
     DEFAULT_AUTO_WAIT,
 };
-pub use cache::{CacheCounters, CacheKey, QueryCache};
+pub use cache::{AdmissionPolicy, CacheCounters, CacheKey, QueryCache};
 pub use engine::{
     ConfigError, EngineConfig, PendingResponse, QueryEngine, QueryResponse, ServerError, WorkerPool,
 };

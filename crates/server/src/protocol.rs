@@ -200,7 +200,7 @@ pub fn render_response(response: &QueryResponse) -> String {
     let serialize_started = Instant::now();
     let mut body = String::new();
     for hit in response.results.hits() {
-        body.push_str(&format!("{} ({} terms)\n", hit.path, hit.matched_terms));
+        body.push_str(&hit_line(&hit.path, hit.matched_terms, hit.score));
     }
     let serialize = serialize_started.elapsed();
     let mut out = format!(
@@ -229,7 +229,7 @@ pub fn render_routed_response(response: &RoutedResponse) -> String {
     let serialize_started = Instant::now();
     let mut body = String::new();
     for hit in &response.hits {
-        body.push_str(&format!("{} ({} terms)\n", hit.path, hit.matched_terms));
+        body.push_str(&hit_line(&hit.path, hit.matched_terms, hit.score));
     }
     for shard in response.trace.shards() {
         body.push_str(&format!(
@@ -258,15 +258,38 @@ pub fn render_routed_response(response: &RoutedResponse) -> String {
     out
 }
 
-/// Parses one response body line of the `<path> (<n> terms)` form back into
-/// a ranked hit (the client side of [`render_response`]'s body, used by the
-/// router's remote-shard client).  Returns `None` for lines of any other
-/// shape.
+/// Renders one response body line: `<path> (<n> terms)`, with a trailing
+/// ` score=<s>` field when the hit is scored (unranked evaluation leaves
+/// scores at zero and the field off the wire, so pre-ranking shards and
+/// clients interoperate unchanged).  `f32` `Display` is shortest-roundtrip,
+/// so the score a shard prints is the score the router parses, bit for bit.
+fn hit_line(path: &str, matched_terms: usize, score: f32) -> String {
+    if score == 0.0 {
+        format!("{path} ({matched_terms} terms)\n")
+    } else {
+        format!("{path} ({matched_terms} terms) score={score}\n")
+    }
+}
+
+/// Parses one response body line of the `<path> (<n> terms)[ score=<s>]`
+/// form back into a ranked hit (the client side of [`render_response`]'s
+/// body, used by the router's remote-shard client).  Returns `None` for
+/// lines of any other shape.
 #[must_use]
 pub fn parse_hit_line(line: &str) -> Option<RankedHit> {
-    let rest = line.strip_suffix(" terms)")?;
+    let (rest, score) = match line.rsplit_once(" score=") {
+        // A path could itself contain " score=", in which case the suffix
+        // after the split won't parse as a float and the whole line is the
+        // unscored form.
+        Some((head, value)) => match value.parse::<f32>() {
+            Ok(score) => (head, score),
+            Err(_) => (line, 0.0),
+        },
+        None => (line, 0.0),
+    };
+    let rest = rest.strip_suffix(" terms)")?;
     let (path, count) = rest.rsplit_once(" (")?;
-    Some(RankedHit { path: path.to_owned(), matched_terms: count.parse().ok()? })
+    Some(RankedHit::new(path, count.parse().ok()?, score))
 }
 
 /// Parses one `# shard <id> rtt=<ns> stages=…` body comment line of a
@@ -512,6 +535,7 @@ mod tests {
                 file_id: dsearch_index::FileId(0),
                 path: "a.txt".into(),
                 matched_terms: 2,
+                score: 0.0,
             }])),
             generation: 5,
             cached: true,
@@ -554,11 +578,33 @@ mod tests {
     #[test]
     fn hit_lines_round_trip_through_the_client_parser() {
         let hit = parse_hit_line("docs/a (1).txt (2 terms)").unwrap();
-        assert_eq!(hit.path, "docs/a (1).txt");
+        assert_eq!(&*hit.path, "docs/a (1).txt");
         assert_eq!(hit.matched_terms, 2);
+        assert_eq!(hit.score, 0.0);
         assert!(parse_hit_line("queries=3 qps=1.0").is_none());
         assert!(parse_hit_line("x (many terms)").is_none());
         assert!(parse_hit_line("").is_none());
+    }
+
+    #[test]
+    fn scored_hit_lines_round_trip_bit_for_bit() {
+        for score in [3.5f32, 0.123_456_79, 17.0, f32::MIN_POSITIVE] {
+            let rendered = hit_line("docs/a.txt", 2, score);
+            let hit = parse_hit_line(rendered.trim_end()).unwrap();
+            assert_eq!(&*hit.path, "docs/a.txt");
+            assert_eq!(hit.matched_terms, 2);
+            assert_eq!(hit.score.to_bits(), score.to_bits(), "score {score} must round-trip");
+        }
+        // Unscored hits keep the score field off the wire entirely.
+        assert!(!hit_line("a.txt", 1, 0.0).contains("score="));
+        // A path containing " score=" only confuses nobody: the trailing
+        // field wins, and a non-float suffix falls back to the whole line.
+        let hit = parse_hit_line("odd score=x.txt (1 terms) score=2.5").unwrap();
+        assert_eq!(&*hit.path, "odd score=x.txt");
+        assert_eq!(hit.score, 2.5);
+        let hit = parse_hit_line("odd score=x.txt (1 terms)").unwrap();
+        assert_eq!(&*hit.path, "odd score=x.txt");
+        assert_eq!(hit.score, 0.0);
     }
 
     #[test]
@@ -573,7 +619,7 @@ mod tests {
         });
         let response = crate::route::RoutedResponse {
             query: "rust".into(),
-            hits: vec![RankedHit { path: "a.txt".into(), matched_terms: 2 }],
+            hits: vec![RankedHit::new("a.txt", 2, 1.25)],
             shards_total: 2,
             shard_failures: vec![(
                 "127.0.0.1:7472".into(),
@@ -591,7 +637,9 @@ mod tests {
         assert_eq!(parsed.field("shards"), Some("1/2"));
         assert_eq!(parsed.field("partial"), Some("true"));
         assert_eq!(parsed.trace_id(), Some(0xbeef));
-        assert_eq!(parse_hit_line(&parsed.body[0]).unwrap().path, "a.txt");
+        let parsed_hit = parse_hit_line(&parsed.body[0]).unwrap();
+        assert_eq!(&*parsed_hit.path, "a.txt");
+        assert_eq!(parsed_hit.score, 1.25, "scores survive the routed wire");
         // The shard timing block renders as a comment line the hit parser
         // ignores and the shard-span parser reads back.
         assert!(parsed.body[1].starts_with("# shard 127.0.0.1:7471 rtt="), "{}", parsed.body[1]);

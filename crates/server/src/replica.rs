@@ -875,7 +875,7 @@ mod tests {
                 std::thread::sleep(self.delay);
             }
             Ok(ShardReply {
-                hits: vec![RankedHit { path: self.path.clone(), matched_terms: 1 }],
+                hits: vec![RankedHit::new(self.path.clone(), 1, 0.0)],
                 generation: 1,
                 stages: Vec::new(),
             })
@@ -947,7 +947,7 @@ mod tests {
         .unwrap();
         for _ in 0..20 {
             let reply = set.search("rust").expect("healthy replica answers");
-            assert_eq!(reply.hits[0].path, "b.txt");
+            assert_eq!(&*reply.hits[0].path, "b.txt");
         }
         // The dead replica opened after its failure threshold and stopped
         // being tried.
@@ -980,7 +980,7 @@ mod tests {
         )
         .unwrap();
         let reply = set.search("rust").unwrap();
-        assert_eq!(reply.hits[0].path, "fast.txt");
+        assert_eq!(&*reply.hits[0].path, "fast.txt");
         assert_eq!(set.hedge_count(), 1);
         assert_eq!(set.hedge_win_count(), 1);
     }

@@ -81,7 +81,7 @@ impl std::fmt::Display for ShardError {
 impl std::error::Error for ShardError {}
 
 /// One shard's answer to one query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardReply {
     /// Ranked hits, already truncated to the shard's own result limit.
     pub hits: Vec<RankedHit>,
@@ -1608,7 +1608,7 @@ mod tests {
         fn search(&self, _canonical: &str) -> Result<ShardReply, ShardError> {
             std::thread::sleep(self.delay);
             Ok(ShardReply {
-                hits: vec![RankedHit { path: "slow.txt".to_owned(), matched_terms: 1 }],
+                hits: vec![RankedHit::new("slow.txt", 1, 0.0)],
                 generation: 1,
                 stages: Vec::new(),
             })
@@ -1683,8 +1683,17 @@ mod tests {
         assert_eq!(response.query, "rust");
         assert_eq!(response.shards_total, 2);
         assert!(!response.partial());
-        let paths: Vec<&str> = response.hits.iter().map(|h| h.path.as_str()).collect();
-        assert_eq!(paths, vec!["a.txt", "b.txt", "c.txt"]);
+        let paths: Vec<&str> = response.hits.iter().map(|h| &*h.path).collect();
+        // BM25 order, not path order: "rust" is rare in shard-1 (1 of 2
+        // docs) so c.txt outranks shard-0's hits, and b.txt is the shorter
+        // of shard-0's two matching docs.
+        assert_eq!(paths, vec!["c.txt", "b.txt", "a.txt"]);
+        assert!(
+            response.hits.windows(2).all(|w| w[0].score >= w[1].score),
+            "merged hits must be score-descending: {:?}",
+            response.hits
+        );
+        assert!(response.hits.iter().all(|h| h.score > 0.0), "local shards score their hits");
         assert_eq!(router.stats().query_count(), 1);
         assert_eq!(router.stats().shard_error_count(), 0);
     }
@@ -1696,12 +1705,12 @@ mod tests {
         let first = responses[0].as_ref().unwrap();
         assert_eq!(first.query, "rust AND index");
         assert_eq!(first.hits.len(), 1);
-        assert_eq!(first.hits[0].path, "a.txt");
+        assert_eq!(&*first.hits[0].path, "a.txt");
         assert_eq!(first.hits[0].matched_terms, 2);
         let second = responses[1].as_ref().unwrap();
         assert_eq!(second.hits, first.hits);
         let third = responses[2].as_ref().unwrap();
-        assert_eq!(third.hits[0].path, "c.txt");
+        assert_eq!(&*third.hits[0].path, "c.txt");
         assert_eq!(router.stats().dedup_hit_count(), 1);
     }
 

@@ -27,7 +27,7 @@ use parking_lot::RwLock;
 
 use dsearch_index::{CompressedPostings, DocTable, FileId, InMemoryIndex, Postings, SealedShard};
 use dsearch_persist::{IndexStore, PersistError};
-use dsearch_query::{Query, SearchBackend, SearchResults};
+use dsearch_query::{PruneStats, Query, SearchBackend, SearchResults};
 
 /// One immutable in-memory image of an index store.
 #[derive(Debug)]
@@ -216,6 +216,22 @@ impl IndexSnapshot {
     #[must_use]
     pub fn search(&self, query: &Query) -> SearchResults {
         SnapshotSearcher { snapshot: self }.search(query)
+    }
+
+    /// Evaluates `query` as ranked retrieval: BM25-scored top-`k` with
+    /// block-max pruning, sharing one result heap across every sealed shard.
+    /// Returns `None` when the query shape is not scorable (prefix terms,
+    /// exclusions, empty) — callers fall back to [`search`](Self::search).
+    /// `should_cancel` is polled between scoring steps; a cancelled call
+    /// returns the best hits found so far.
+    #[must_use]
+    pub fn search_topk(
+        &self,
+        query: &Query,
+        k: usize,
+        should_cancel: &dyn Fn() -> bool,
+    ) -> Option<(SearchResults, PruneStats)> {
+        dsearch_query::search_topk(&self.shards, &self.docs, query, k, should_cancel)
     }
 }
 

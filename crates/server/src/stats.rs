@@ -34,6 +34,12 @@ pub const RETRY_BUDGET_METRIC: &str = "dsearch_retry_budget_exhausted_total";
 /// Metric name of the remaining-budget-at-dequeue histogram: how much of its
 /// deadline a query still had when a worker picked it up.
 pub const REMAINING_BUDGET_METRIC: &str = "dsearch_remaining_budget_ns";
+/// Metric name of the posting blocks decoded and scored by ranked
+/// (block-max) evaluation.
+pub const BLOCKS_SCORED_METRIC: &str = "dsearch_blocks_scored_total";
+/// Metric name of the posting blocks skipped by block-max pruning (their
+/// score ceiling could not beat the top-k threshold).
+pub const BLOCKS_SKIPPED_METRIC: &str = "dsearch_blocks_skipped_total";
 
 /// Where in the request lifecycle a deadline was exceeded (the `stage` label
 /// of [`DEADLINE_EXCEEDED_METRIC`]).
@@ -114,6 +120,8 @@ pub struct ServerStats {
     deadline_exceeded: [Arc<Counter>; DeadlineStage::ALL.len()],
     retry_budget_exhausted: Arc<Counter>,
     remaining_budget: Arc<Histogram>,
+    blocks_scored: Arc<Counter>,
+    blocks_skipped: Arc<Counter>,
 }
 
 impl Default for ServerStats {
@@ -152,6 +160,8 @@ impl Default for ServerStats {
             deadline_exceeded,
             retry_budget_exhausted: registry.counter(RETRY_BUDGET_METRIC),
             remaining_budget: registry.histogram(REMAINING_BUDGET_METRIC),
+            blocks_scored: registry.counter(BLOCKS_SCORED_METRIC),
+            blocks_skipped: registry.counter(BLOCKS_SKIPPED_METRIC),
             registry,
         }
     }
@@ -276,6 +286,29 @@ impl ServerStats {
     /// Records one hedge or failover suppressed by an empty retry budget.
     pub fn record_retry_budget_exhausted(&self) {
         self.retry_budget_exhausted.inc();
+    }
+
+    /// Records one ranked (block-max) evaluation's pruning outcome: how many
+    /// posting blocks were decoded and scored versus skipped outright.
+    pub fn record_prune(&self, prune: dsearch_query::PruneStats) {
+        if prune.blocks_scored > 0 {
+            self.blocks_scored.add(prune.blocks_scored);
+        }
+        if prune.blocks_skipped > 0 {
+            self.blocks_skipped.add(prune.blocks_skipped);
+        }
+    }
+
+    /// Posting blocks decoded and scored by ranked evaluation so far.
+    #[must_use]
+    pub fn blocks_scored_count(&self) -> u64 {
+        self.blocks_scored.value()
+    }
+
+    /// Posting blocks skipped by block-max pruning so far.
+    #[must_use]
+    pub fn blocks_skipped_count(&self) -> u64 {
+        self.blocks_skipped.value()
     }
 
     /// Deadline misses attributed to one lifecycle stage so far.
@@ -447,8 +480,9 @@ impl ServerStats {
             "queries={} errors={} shed={} expired={} deadline_exceeded={} retry_exhausted={} \
              batched={} dedup_hits={} adaptive_waits={} \
              adaptive_skips={} shard_errors={} partial={} qps={:.1} generation={} \
+             blocks_scored={} blocks_skipped={} \
              cache_hit_rate={:.3} cache_hits={} cache_misses={} cache_evictions={} \
-             conns={} conns_rejected={} idle_closed={} latency[{latency}]",
+             cache_rejected={} conns={} conns_rejected={} idle_closed={} latency[{latency}]",
             self.query_count(),
             self.error_count(),
             self.shed_count(),
@@ -463,10 +497,13 @@ impl ServerStats {
             self.partial_response_count(),
             self.qps(),
             generation,
+            self.blocks_scored_count(),
+            self.blocks_skipped_count(),
             cache.hit_rate(),
             cache.hits,
             cache.misses,
             cache.evictions,
+            cache.rejections,
             self.active_conn_count(),
             self.rejected_conn_count(),
             self.idle_disconnect_count(),
@@ -609,6 +646,28 @@ mod tests {
         }
         assert!(text.contains(RETRY_BUDGET_METRIC), "{text}");
         assert!(text.contains(REMAINING_BUDGET_METRIC), "{text}");
+    }
+
+    #[test]
+    fn prune_counters_accumulate_and_render() {
+        let stats = ServerStats::new();
+        let prune = |scored, skipped| dsearch_query::PruneStats {
+            blocks_scored: scored,
+            blocks_skipped: skipped,
+            ..Default::default()
+        };
+        stats.record_prune(prune(12, 88));
+        stats.record_prune(prune(0, 0));
+        stats.record_prune(prune(3, 2));
+        assert_eq!(stats.blocks_scored_count(), 15);
+        assert_eq!(stats.blocks_skipped_count(), 90);
+        let report = stats.render(CacheCounters::default(), 1);
+        assert!(report.contains("blocks_scored=15"), "{report}");
+        assert!(report.contains("blocks_skipped=90"), "{report}");
+        // Registered eagerly: the exposition lists both series pre-traffic.
+        let text = ServerStats::new().render_metrics();
+        assert!(text.contains(BLOCKS_SCORED_METRIC), "{text}");
+        assert!(text.contains(BLOCKS_SKIPPED_METRIC), "{text}");
     }
 
     #[test]

@@ -16,7 +16,12 @@ use dsearch_server::{CacheKey, QueryCache};
 fn results(n: usize) -> Arc<SearchResults> {
     Arc::new(SearchResults::new(
         (0..n)
-            .map(|i| Hit { file_id: FileId(i as u32), path: format!("f{i}.txt"), matched_terms: 1 })
+            .map(|i| Hit {
+                file_id: FileId(i as u32),
+                path: format!("f{i}.txt").into(),
+                matched_terms: 1,
+                score: 0.0,
+            })
             .collect(),
     ))
 }

@@ -27,9 +27,15 @@ fn path_strategy() -> impl Strategy<Value = String> {
     "[a-z0-9/._-]{1,20}"
 }
 
+/// Hit scores: zero (the unranked wire form, no `score=` field) or a
+/// positive BM25-like value.
+fn score_strategy() -> impl Strategy<Value = f32> {
+    (0u32..10_000).prop_map(|n| if n % 4 == 0 { 0.0 } else { n as f32 / 64.0 })
+}
+
 fn response_strategy() -> impl Strategy<Value = QueryResponse> {
     (
-        proptest::collection::vec((path_strategy(), 1usize..5), 0..8),
+        proptest::collection::vec((path_strategy(), 1usize..5, score_strategy()), 0..8),
         1u64..100,
         any::<bool>(),
         0u64..1_000_000,
@@ -38,10 +44,11 @@ fn response_strategy() -> impl Strategy<Value = QueryResponse> {
             let hits = raw_hits
                 .into_iter()
                 .enumerate()
-                .map(|(i, (path, matched_terms))| Hit {
+                .map(|(i, (path, matched_terms, score))| Hit {
                     file_id: FileId(i as u32),
-                    path,
+                    path: path.into(),
                     matched_terms,
+                    score,
                 })
                 .collect();
             QueryResponse {
@@ -110,9 +117,20 @@ proptest! {
             .results
             .hits()
             .iter()
-            .map(|hit| format!("{} ({} terms)", hit.path, hit.matched_terms))
+            .map(|hit| if hit.score == 0.0 {
+                format!("{} ({} terms)", hit.path, hit.matched_terms)
+            } else {
+                format!("{} ({} terms) score={}", hit.path, hit.matched_terms, hit.score)
+            })
             .collect();
-        prop_assert_eq!(parsed.body, expected_body);
+        prop_assert_eq!(&parsed.body, &expected_body);
+        // And every scored body line parses back to the exact score.
+        for (line, hit) in parsed.body.iter().zip(response.results.hits()) {
+            let back = dsearch_server::protocol::parse_hit_line(line).unwrap();
+            prop_assert_eq!(&*back.path, &*hit.path);
+            prop_assert_eq!(back.matched_terms, hit.matched_terms);
+            prop_assert_eq!(back.score.to_bits(), hit.score.to_bits());
+        }
     }
 
     /// Errors and info lines keep the same framing invariants: one status

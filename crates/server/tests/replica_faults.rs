@@ -70,7 +70,7 @@ impl ShardBackend for FlakyBackend {
             }
         }
         Ok(ShardReply {
-            hits: vec![RankedHit { path: self.path.clone(), matched_terms: 1 }],
+            hits: vec![RankedHit::new(self.path.clone(), 1, 0.0)],
             generation: 1,
             stages: Vec::new(),
         })
@@ -131,7 +131,7 @@ fn breaker_walks_closed_open_half_open_closed() {
     push(&script, &[Action::Fail, Action::Fail]);
     for _ in 0..2 {
         let reply = set.search("rust").expect("failover absorbs the fault");
-        assert_eq!(reply.hits[0].path, "healthy.txt");
+        assert_eq!(&*reply.hits[0].path, "healthy.txt");
     }
     assert!(
         wait_for(Duration::from_secs(2), || state_of(&set, "flaky") == ReplicaState::Open),
@@ -144,7 +144,7 @@ fn breaker_walks_closed_open_half_open_closed() {
 
     // While open, queries route around the dead replica without trying it.
     let reply = set.search("rust").unwrap();
-    assert_eq!(reply.hits[0].path, "healthy.txt");
+    assert_eq!(&*reply.hits[0].path, "healthy.txt");
 
     // Past the backoff the next query mirrors a probe (open → half-open);
     // the script is exhausted, so the probe succeeds: half-open → closed.
@@ -167,7 +167,7 @@ fn breaker_walks_closed_open_half_open_closed() {
     // it once the healthy replica is busier (both idle ties toward index 0,
     // the flaky one).
     let reply = set.search("rust").unwrap();
-    assert_eq!(reply.hits[0].path, "flaky.txt");
+    assert_eq!(&*reply.hits[0].path, "flaky.txt");
 }
 
 #[test]
@@ -229,7 +229,7 @@ fn slow_but_alive_replica_loses_to_the_hedge() {
     push(&script, &[Action::Slow(Duration::from_millis(250))]);
     let started = Instant::now();
     let reply = set.search("rust").unwrap();
-    assert_eq!(reply.hits[0].path, "fast.txt", "hedge answer must win");
+    assert_eq!(&*reply.hits[0].path, "fast.txt", "hedge answer must win");
     assert!(started.elapsed() < Duration::from_millis(200), "winner returns before the loser");
     assert_eq!(set.hedge_count(), 1);
     assert_eq!(set.hedge_win_count(), 1);
@@ -259,7 +259,7 @@ fn with_every_replica_slow_the_first_answer_wins() {
     push(&script_a, &[Action::Slow(Duration::from_millis(60))]);
     push(&script_b, &[Action::Slow(Duration::from_millis(200))]);
     let reply = set.search("rust").unwrap();
-    assert_eq!(reply.hits[0].path, "a.txt", "first answer wins when everyone is slow");
+    assert_eq!(&*reply.hits[0].path, "a.txt", "first answer wins when everyone is slow");
     assert_eq!(set.hedge_count(), 1, "the hedge still fired");
     assert_eq!(set.hedge_win_count(), 0, "but did not win");
 }
@@ -283,7 +283,7 @@ fn hedge_with_empty_retry_budget_fails_fast_to_the_primary() {
     // First slow call: the hedge fires on the banked token and wins.
     push(&script, &[Action::Slow(Duration::from_millis(120))]);
     let reply = set.search("rust").unwrap();
-    assert_eq!(reply.hits[0].path, "fast.txt");
+    assert_eq!(&*reply.hits[0].path, "fast.txt");
     assert_eq!(set.hedge_count(), 1);
     assert_eq!(set.retry_exhausted_count(), 0);
 
@@ -297,7 +297,7 @@ fn hedge_with_empty_retry_budget_fails_fast_to_the_primary() {
     // from the slow primary once it finishes.
     push(&script, &[Action::Slow(Duration::from_millis(80))]);
     let reply = set.search("rust").unwrap();
-    assert_eq!(reply.hits[0].path, "slow.txt", "no hedge: the primary's answer is the only one");
+    assert_eq!(&*reply.hits[0].path, "slow.txt", "no hedge: the primary's answer is the only one");
     assert_eq!(set.hedge_count(), 1, "the refused hedge must not count as fired");
     assert!(set.retry_exhausted_count() >= 1, "the refusal must be counted");
 }
@@ -322,7 +322,7 @@ fn hung_replica_is_absorbed_by_the_hedge_and_opens_later() {
     // the eventual failure opens the breaker.
     push(&script, &[Action::Hang(Duration::from_millis(120))]);
     let reply = set.search("rust").unwrap();
-    assert_eq!(reply.hits[0].path, "healthy.txt");
+    assert_eq!(&*reply.hits[0].path, "healthy.txt");
     assert_eq!(set.hedge_count(), 1);
     assert!(
         wait_for(Duration::from_secs(2), || state_of(&set, "hung") == ReplicaState::Open),

@@ -27,7 +27,7 @@ impl ShardBackend for ScriptedShard {
     fn search(&self, _canonical: &str) -> Result<ShardReply, ShardError> {
         std::thread::sleep(self.delay);
         Ok(ShardReply {
-            hits: vec![RankedHit { path: format!("{}.txt", self.id), matched_terms: 1 }],
+            hits: vec![RankedHit::new(format!("{}.txt", self.id), 1, 0.0)],
             generation: 1,
             stages: Vec::new(),
         })

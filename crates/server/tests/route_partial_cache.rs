@@ -34,7 +34,7 @@ impl ShardBackend for FlippableShard {
             return Err(ShardError::Unavailable("killed".to_owned()));
         }
         Ok(ShardReply {
-            hits: vec![RankedHit { path: self.path.clone(), matched_terms: 1 }],
+            hits: vec![RankedHit::new(self.path.clone(), 1, 0.0)],
             generation: 1,
             stages: Vec::new(),
         })
@@ -78,7 +78,7 @@ fn partial_responses_are_not_cached_and_recovery_serves_complete_answers() {
     flaky_down.store(false, Ordering::Relaxed);
     let recovered = router.route("rust").unwrap();
     assert!(!recovered.partial(), "cached partial answer served after recovery");
-    let paths: Vec<&str> = recovered.hits.iter().map(|h| h.path.as_str()).collect();
+    let paths: Vec<&str> = recovered.hits.iter().map(|h| &*h.path).collect();
     assert_eq!(paths, ["alive.txt", "flaky.txt"]);
     assert_eq!(router.cache_counters().insertions, 1, "only the complete merge is cached");
 }
@@ -122,7 +122,7 @@ impl ShardBackend for SluggishShard {
     fn search(&self, _canonical: &str) -> Result<ShardReply, ShardError> {
         std::thread::sleep(self.delay);
         Ok(ShardReply {
-            hits: vec![RankedHit { path: format!("{}.txt", self.id), matched_terms: 1 }],
+            hits: vec![RankedHit::new(format!("{}.txt", self.id), 1, 0.0)],
             generation: 1,
             stages: Vec::new(),
         })
@@ -152,7 +152,7 @@ fn deadline_degraded_responses_are_not_cached() {
     let degraded = router.route("@d=30 rust").unwrap();
     assert!(degraded.partial());
     assert!(degraded.deadline_exceeded);
-    let paths: Vec<&str> = degraded.hits.iter().map(|h| h.path.as_str()).collect();
+    let paths: Vec<&str> = degraded.hits.iter().map(|h| &*h.path).collect();
     assert_eq!(paths, ["alive.txt"]);
     assert_eq!(router.cache_counters().insertions, 0, "degraded merge must not be cached");
 

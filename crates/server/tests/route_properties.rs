@@ -3,7 +3,11 @@
 //! independent engine with its *own* doc table (so shard-local file ids
 //! collide across shards, exactly like separate `dsearch serve` processes) —
 //! merging the per-shard results through the [`Router`] equals searching one
-//! combined [`IndexSnapshot`] over the union corpus.
+//! combined multi-shard [`IndexSnapshot`] over the same partition.  The
+//! combined snapshot must hold the *same* shard layout because BM25
+//! statistics (document count, average length, idf) are per sealed shard:
+//! that per-shard scoping is precisely what makes scores survive routing
+//! bit-for-bit.
 
 use std::sync::Arc;
 
@@ -83,8 +87,17 @@ proptest! {
         )
         .unwrap();
 
-        let combined = engine_over(&corpus);
-        let snapshot = combined.snapshot_cell().load();
+        // The combined snapshot holds the identical partition as sealed
+        // shards of one image (shard-local BM25 statistics match), while its
+        // doc table spans the union corpus in insertion order.
+        let mut docs = DocTable::new();
+        let mut shard_indexes: Vec<InMemoryIndex> =
+            (0..shards).map(|_| InMemoryIndex::new()).collect();
+        for (i, (path, terms)) in corpus.iter().enumerate() {
+            let id = docs.insert(path.clone());
+            shard_indexes[i % shards].insert_file(id, terms.iter().cloned());
+        }
+        let snapshot = IndexSnapshot::from_shards(shard_indexes, docs, 1);
 
         let queries = [
             "rust",
@@ -99,7 +112,13 @@ proptest! {
         let raw = queries[query_index];
         let routed = router.route(raw).unwrap();
         prop_assert!(!routed.partial(), "local shards never fail");
-        let expected = snapshot.search(&Query::parse(raw).unwrap()).ranked();
+        // Mirror the serving path: ranked top-k for scorable queries, the
+        // exhaustive boolean path for the rest.
+        let query = Query::parse(raw).unwrap();
+        let expected = match snapshot.search_topk(&query, 1000, &|| false) {
+            Some((results, _)) => results.ranked(),
+            None => snapshot.search(&query).ranked(),
+        };
         prop_assert_eq!(routed.hits, expected, "query {:?} over {} shard(s)", raw, shards);
     }
 
@@ -110,7 +129,7 @@ proptest! {
     #[test]
     fn merge_ranked_dedupes_by_path_keeping_best_rank(
         shards in proptest::collection::vec(
-            proptest::collection::vec(("[a-h]", 1usize..6), 0..10),
+            proptest::collection::vec(("[a-h]", 1usize..6, 0u32..4), 0..10),
             0..5,
         ),
         limit in 1usize..12,
@@ -120,8 +139,11 @@ proptest! {
             .map(|shard| {
                 shard
                     .iter()
-                    .map(|(path, terms)| {
-                        RankedHit { path: format!("{path}.txt"), matched_terms: *terms }
+                    .map(|(path, terms, score_q)| {
+                        // Scores from a tiny quantized set so shards often
+                        // tie (exercising the matched-terms/path tiebreaks)
+                        // and often disagree on the same path.
+                        RankedHit::new(format!("{path}.txt"), *terms, *score_q as f32 / 2.0)
                     })
                     .collect()
             })
@@ -142,7 +164,7 @@ proptest! {
         }
 
         let merged = merge_ranked(parts, limit);
-        let mut paths: Vec<&str> = merged.iter().map(|h| h.path.as_str()).collect();
+        let mut paths: Vec<&str> = merged.iter().map(|h| &*h.path).collect();
         let total = paths.len();
         paths.dedup();
         prop_assert_eq!(paths.len(), total, "merged paths must be unique");

@@ -14,13 +14,17 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::hashtable::FnvHashSet;
+use crate::hashtable::FnvHashMap;
 use crate::tokenizer::Term;
 
 /// The de-duplicated terms of a single file, in first-occurrence order.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WordList {
     terms: Vec<Term>,
+    /// How many times each distinct term occurred (parallel to `terms`).
+    /// Ranked retrieval records these at seal time as per-posting term
+    /// frequencies.
+    counts: Vec<u32>,
     /// Total occurrences observed before de-duplication (for statistics and
     /// the simulator's cost model).
     occurrences: u64,
@@ -51,6 +55,18 @@ impl WordList {
         self.occurrences
     }
 
+    /// Per-term occurrence counts, parallel to [`terms`](WordList::terms).
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Iterates over `(term, occurrence count)` pairs in first-occurrence
+    /// order.
+    pub fn iter_counted(&self) -> impl Iterator<Item = (&Term, u32)> {
+        self.terms.iter().zip(self.counts.iter().copied())
+    }
+
     /// Iterates over the distinct terms.
     pub fn iter(&self) -> std::slice::Iter<'_, Term> {
         self.terms.iter()
@@ -60,6 +76,12 @@ impl WordList {
     #[must_use]
     pub fn into_terms(self) -> Vec<Term> {
         self.terms
+    }
+
+    /// Consumes the list, returning `(term, occurrence count)` pairs.
+    #[must_use]
+    pub fn into_counted_terms(self) -> Vec<(Term, u32)> {
+        self.terms.into_iter().zip(self.counts).collect()
     }
 
     /// Builds a word list directly from a term iterator.
@@ -108,8 +130,11 @@ impl<'a> IntoIterator for &'a WordList {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WordListBuilder {
-    seen: FnvHashSet<Term>,
+    /// Maps each seen term to its index in `terms`, so repeat occurrences
+    /// bump the count instead of being discarded.
+    seen: FnvHashMap<Term, u32>,
     terms: Vec<Term>,
+    counts: Vec<u32>,
     occurrences: u64,
 }
 
@@ -124,21 +149,26 @@ impl WordListBuilder {
     #[must_use]
     pub fn with_capacity(expected_terms: usize) -> Self {
         WordListBuilder {
-            seen: FnvHashSet::with_capacity(expected_terms),
+            seen: FnvHashMap::with_capacity(expected_terms),
             terms: Vec::with_capacity(expected_terms),
+            counts: Vec::with_capacity(expected_terms),
             occurrences: 0,
         }
     }
 
-    /// Records one occurrence of `term`; only the first occurrence is kept.
-    /// Returns `true` when the term was new for this file.
+    /// Records one occurrence of `term`; the first occurrence adds the term,
+    /// repeats bump its count. Returns `true` when the term was new for this
+    /// file.
     pub fn push(&mut self, term: Term) -> bool {
         self.occurrences += 1;
-        if self.seen.contains(term.as_str()) {
+        if let Some(&index) = self.seen.get(term.as_str()) {
+            self.counts[index as usize] = self.counts[index as usize].saturating_add(1);
             false
         } else {
-            self.seen.insert(term.clone());
+            let index = u32::try_from(self.terms.len()).unwrap_or(u32::MAX);
+            self.seen.insert(term.clone(), index);
             self.terms.push(term);
+            self.counts.push(1);
             true
         }
     }
@@ -158,13 +188,16 @@ impl WordListBuilder {
     /// Finishes the file, producing the condensed word list.
     #[must_use]
     pub fn finish(self) -> WordList {
-        WordList { terms: self.terms, occurrences: self.occurrences }
+        WordList { terms: self.terms, counts: self.counts, occurrences: self.occurrences }
     }
 
     /// Clears the builder for reuse on the next file, keeping allocations.
     pub fn reset(&mut self) -> WordList {
-        let list =
-            WordList { terms: std::mem::take(&mut self.terms), occurrences: self.occurrences };
+        let list = WordList {
+            terms: std::mem::take(&mut self.terms),
+            counts: std::mem::take(&mut self.counts),
+            occurrences: self.occurrences,
+        };
         self.seen.clear();
         self.occurrences = 0;
         list
@@ -181,7 +214,18 @@ mod tests {
         let list = WordList::from_terms(["b", "a", "b", "c", "a"].map(Term::from));
         let words: Vec<&str> = list.terms().iter().map(|t| t.as_str()).collect();
         assert_eq!(words, ["b", "a", "c"]);
+        assert_eq!(list.counts(), [2, 2, 1]);
         assert_eq!(list.occurrences(), 5);
+    }
+
+    #[test]
+    fn counted_accessors_agree() {
+        let list = WordList::from_terms(["x", "y", "x", "x"].map(Term::from));
+        let pairs: Vec<(&str, u32)> = list.iter_counted().map(|(t, c)| (t.as_str(), c)).collect();
+        assert_eq!(pairs, [("x", 3), ("y", 1)]);
+        let owned = list.into_counted_terms();
+        assert_eq!(owned.len(), 2);
+        assert_eq!(owned[0].1, 3);
     }
 
     #[test]
@@ -209,6 +253,7 @@ mod tests {
         b.push(Term::from("one"));
         let first = b.reset();
         assert_eq!(first.len(), 1);
+        assert_eq!(first.counts(), [2]);
         assert_eq!(first.occurrences(), 2);
 
         b.push(Term::from("two"));
@@ -247,6 +292,11 @@ mod tests {
             for t in list.terms() {
                 prop_assert!(seen.insert(t.as_str().to_owned()));
             }
+
+            // Counts are parallel to terms and sum back to total occurrences.
+            prop_assert_eq!(list.counts().len(), list.len());
+            let total: u64 = list.counts().iter().map(|&c| u64::from(c)).sum();
+            prop_assert_eq!(total, list.occurrences());
         }
     }
 }

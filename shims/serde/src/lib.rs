@@ -236,6 +236,18 @@ impl Serialize for str {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(std::sync::Arc::from).ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
 impl Serialize for char {
     fn serialize(&self) -> Value {
         Value::Str(self.to_string())

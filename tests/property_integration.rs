@@ -117,7 +117,7 @@ proptest! {
         // AND of two words.
         let expected = reference_and_query(&files, &[needle_a.as_str(), needle_b.as_str()]);
         let results = searcher.search(&Query::parse(&format!("{needle_a} {needle_b}")).unwrap());
-        let got: BTreeSet<String> = results.hits().iter().map(|h| h.path.clone()).collect();
+        let got: BTreeSet<String> = results.hits().iter().map(|h| h.path.to_string()).collect();
         prop_assert_eq!(got, expected);
 
         // a NOT b = (docs with a) minus (docs with b).
@@ -126,7 +126,7 @@ proptest! {
         let expected_not: BTreeSet<String> = with_a.difference(&with_b).cloned().collect();
         if !expected_not.is_empty() || !with_a.is_empty() {
             let results = searcher.search(&Query::parse(&format!("{needle_a} NOT {needle_b}")).unwrap());
-            let got: BTreeSet<String> = results.hits().iter().map(|h| h.path.clone()).collect();
+            let got: BTreeSet<String> = results.hits().iter().map(|h| h.path.to_string()).collect();
             prop_assert_eq!(got, expected_not);
         }
 
@@ -134,7 +134,7 @@ proptest! {
         // least every document the exact query finds.
         let prefix = &needle_a[..2];
         let results = searcher.search(&Query::parse(&format!("{prefix}*")).unwrap());
-        let got: BTreeSet<String> = results.hits().iter().map(|h| h.path.clone()).collect();
+        let got: BTreeSet<String> = results.hits().iter().map(|h| h.path.to_string()).collect();
         prop_assert!(with_a.is_subset(&got));
     }
 

@@ -94,7 +94,7 @@ fn queries_against_a_known_corpus_return_exactly_the_right_files() {
             .search(&Query::parse(raw).unwrap())
             .hits()
             .iter()
-            .map(|h| h.path.clone())
+            .map(|h| h.path.to_string())
             .collect();
         p.sort();
         p
@@ -121,7 +121,7 @@ fn ranking_prefers_files_matching_more_terms() {
     let searcher = SingleIndexSearcher::new(&index, &docs);
     let results = searcher.search(&Query::parse("rust parallel OR rust").unwrap());
     assert_eq!(results.len(), 2);
-    assert_eq!(results.hits()[0].path, "both.txt");
+    assert_eq!(&*results.hits()[0].path, "both.txt");
     assert_eq!(results.hits()[0].matched_terms, 2);
-    assert_eq!(results.hits()[1].path, "one.txt");
+    assert_eq!(&*results.hits()[1].path, "one.txt");
 }
